@@ -1,0 +1,75 @@
+package crucial_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each iteration regenerates the experiment's report at smoke scale;
+// cmd/crucial-bench runs the same experiments at full workload sizes.
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/crucial-bench -exp all        # full-size reports
+
+import (
+	"io"
+	"testing"
+
+	"crucial/internal/bench"
+)
+
+// benchOpts compresses latencies hard; Quick shrinks the workloads.
+func benchOpts() bench.Options {
+	return bench.Options{Scale: 0.01, Quick: true}
+}
+
+func runBench(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(name, io.Discard, benchOpts()); err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// BenchmarkTable2Latency regenerates Table 2 (storage access latency).
+func BenchmarkTable2Latency(b *testing.B) { runBench(b, bench.ExpTable2) }
+
+// BenchmarkFig2aThroughput regenerates Fig. 2a (simple vs complex ops).
+func BenchmarkFig2aThroughput(b *testing.B) { runBench(b, bench.ExpFig2a) }
+
+// BenchmarkFig2bMonteCarloScaling regenerates Fig. 2b (scalability).
+func BenchmarkFig2bMonteCarloScaling(b *testing.B) { runBench(b, bench.ExpFig2b) }
+
+// BenchmarkFig3KMeansScaleUp regenerates Fig. 3 (k-means scale-up).
+func BenchmarkFig3KMeansScaleUp(b *testing.B) { runBench(b, bench.ExpFig3) }
+
+// BenchmarkFig4LogReg regenerates Fig. 4 (logistic regression vs Spark).
+func BenchmarkFig4LogReg(b *testing.B) { runBench(b, bench.ExpFig4) }
+
+// BenchmarkFig5KMeansVsK regenerates Fig. 5 (k-means vs cluster count).
+func BenchmarkFig5KMeansVsK(b *testing.B) { runBench(b, bench.ExpFig5) }
+
+// BenchmarkTable3Costs regenerates Table 3 (monetary cost).
+func BenchmarkTable3Costs(b *testing.B) { runBench(b, bench.ExpTable3) }
+
+// BenchmarkFig6MapSync regenerates Fig. 6 (map-phase synchronization).
+func BenchmarkFig6MapSync(b *testing.B) { runBench(b, bench.ExpFig6) }
+
+// BenchmarkFig7aBarrier regenerates Fig. 7a (barrier wait time).
+func BenchmarkFig7aBarrier(b *testing.B) { runBench(b, bench.ExpFig7a) }
+
+// BenchmarkFig7bBreakdown regenerates Fig. 7b (phase breakdown).
+func BenchmarkFig7bBreakdown(b *testing.B) { runBench(b, bench.ExpFig7b) }
+
+// BenchmarkFig7cSantaClaus regenerates Fig. 7c (Santa Claus problem).
+func BenchmarkFig7cSantaClaus(b *testing.B) { runBench(b, bench.ExpFig7c) }
+
+// BenchmarkFig8Elasticity regenerates Fig. 8 (crash + elasticity).
+func BenchmarkFig8Elasticity(b *testing.B) { runBench(b, bench.ExpFig8) }
+
+// BenchmarkTable4LinesChanged regenerates Table 4 (porting effort).
+func BenchmarkTable4LinesChanged(b *testing.B) { runBench(b, bench.ExpTable4) }
+
+// BenchmarkAblationShipping regenerates the method-vs-data shipping
+// ablation (DESIGN.md, paper Section 4.2).
+func BenchmarkAblationShipping(b *testing.B) { runBench(b, bench.ExpAblationShipping) }
+
+// BenchmarkAblationBlocking regenerates the blocking-vs-polling ablation.
+func BenchmarkAblationBlocking(b *testing.B) { runBench(b, bench.ExpAblationBlocking) }

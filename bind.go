@@ -1,0 +1,93 @@
+package crucial
+
+import (
+	"reflect"
+
+	"crucial/internal/core"
+)
+
+// Bind weaving (the AspectJ analog, paper Section 5): when a Runnable is
+// decoded inside a cloud function, its proxy fields carry only object
+// references — no live connection. BindShared walks the value graph and
+// attaches the function's DSO client to every Bindable it finds: proxy
+// fields, proxies nested in user structs, and proxies inside slices,
+// arrays and maps.
+
+// BindShared binds every reachable shared-object proxy in targets to inv.
+// Unexported fields are skipped (export the proxy fields of a Runnable,
+// exactly as they must be serializable).
+func BindShared(inv core.Invoker, targets ...any) {
+	seen := make(map[uintptr]struct{})
+	for _, t := range targets {
+		if t == nil {
+			continue
+		}
+		bindValue(reflect.ValueOf(t), inv, seen, 0)
+	}
+}
+
+var bindableType = reflect.TypeOf((*core.Bindable)(nil)).Elem()
+
+// maxBindDepth bounds recursion on pathological graphs.
+const maxBindDepth = 32
+
+func bindValue(v reflect.Value, inv core.Invoker, seen map[uintptr]struct{}, depth int) {
+	if !v.IsValid() || depth > maxBindDepth {
+		return
+	}
+	// Bind the value itself when possible, then keep descending: a user
+	// struct may both be bindable and contain nested proxies.
+	if v.CanInterface() && v.Type().Implements(bindableType) {
+		if v.Kind() != reflect.Pointer || !v.IsNil() {
+			v.Interface().(core.Bindable).BindDSO(inv)
+			return
+		}
+	}
+	if v.CanAddr() {
+		a := v.Addr()
+		if a.CanInterface() && a.Type().Implements(bindableType) {
+			a.Interface().(core.Bindable).BindDSO(inv)
+			return
+		}
+	}
+
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() {
+			return
+		}
+		ptr := v.Pointer()
+		if _, dup := seen[ptr]; dup {
+			return
+		}
+		seen[ptr] = struct{}{}
+		bindValue(v.Elem(), inv, seen, depth+1)
+	case reflect.Interface:
+		if !v.IsNil() {
+			bindValue(v.Elem(), inv, seen, depth+1)
+		}
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if t.Field(i).PkgPath != "" {
+				continue // unexported
+			}
+			bindValue(v.Field(i), inv, seen, depth+1)
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			bindValue(v.Index(i), inv, seen, depth+1)
+		}
+	case reflect.Map:
+		// Map values are not addressable; only pointer/interface values
+		// can be bound in place.
+		iter := v.MapRange()
+		for iter.Next() {
+			mv := iter.Value()
+			if mv.Kind() == reflect.Pointer || mv.Kind() == reflect.Interface {
+				bindValue(mv, inv, seen, depth+1)
+			}
+		}
+	default:
+	}
+}

@@ -1,0 +1,27 @@
+// Command crucial-loc prints Table 4: the lines changed to port each
+// shipped application from plain multi-threading to Crucial.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"crucial/internal/loc"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	stats, err := loc.AllStats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crucial-loc:", err)
+		return 1
+	}
+	fmt.Printf("%-16s %12s %14s %10s\n", "APPLICATION", "TOTAL LINES", "CHANGED LINES", "CHANGED %")
+	for _, s := range stats {
+		fmt.Printf("%-16s %12d %14d %9.1f%%\n", s.App, s.TotalLines, s.ChangedLines, s.Percent())
+	}
+	return 0
+}

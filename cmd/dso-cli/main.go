@@ -1,0 +1,128 @@
+// Command dso-cli is a one-shot client for a running DSO cluster (see
+// cmd/dso-server): it invokes one method on one shared object and prints
+// the results. Useful for poking at a deployment.
+//
+// Examples:
+//
+//	dso-cli -members n1=:7001,n2=:7002 -type AtomicLong -key counter -method AddAndGet -arg 5
+//	dso-cli -members n1=:7001,n2=:7002 -type Map -key users -method Put -arg alice -arg admin
+//	dso-cli -members n1=:7001,n2=:7002 -type CyclicBarrier -key b -init 3 -method Await
+//
+// Arguments are passed as int64 when they parse as integers, float64 when
+// they parse as decimals, and strings otherwise.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"crucial/internal/client"
+	"crucial/internal/core"
+	"crucial/internal/membership"
+	"crucial/internal/ring"
+	"crucial/internal/rpc"
+)
+
+// argList collects repeatable -arg/-init flags.
+type argList []any
+
+func (a *argList) String() string { return fmt.Sprint([]any(*a)) }
+
+// Set parses one value: int64, then float64, then string.
+func (a *argList) Set(s string) error {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		*a = append(*a, n)
+		return nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		*a = append(*a, f)
+		return nil
+	}
+	*a = append(*a, s)
+	return nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		members = flag.String("members", "", "comma-separated id=addr pairs of the cluster")
+		typ     = flag.String("type", "AtomicLong", "shared object type name")
+		key     = flag.String("key", "", "shared object key")
+		method  = flag.String("method", "Get", "method to invoke")
+		persist = flag.Bool("persist", false, "treat the object as persistent (replicated)")
+		timeout = flag.Duration("timeout", 30*time.Second, "call timeout")
+		args    argList
+		init    argList
+	)
+	flag.Var(&args, "arg", "method argument (repeatable)")
+	flag.Var(&init, "init", "constructor argument, used on first access (repeatable)")
+	flag.Parse()
+
+	if *key == "" {
+		fmt.Fprintln(os.Stderr, "dso-cli: -key is required")
+		return 1
+	}
+	view, err := staticView(*members)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dso-cli:", err)
+		return 1
+	}
+	c, err := client.New(client.Config{
+		Transport: rpc.TCP{},
+		Views:     client.StaticView(view),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dso-cli:", err)
+		return 1
+	}
+	defer func() { _ = c.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	results, err := c.InvokeObject(ctx, core.Invocation{
+		Ref:     core.Ref{Type: *typ, Key: *key},
+		Method:  *method,
+		Args:    args,
+		Init:    init,
+		Persist: *persist,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dso-cli:", err)
+		return 1
+	}
+	if len(results) == 0 {
+		fmt.Println("ok")
+		return 0
+	}
+	for _, r := range results {
+		fmt.Printf("%v\n", r)
+	}
+	return 0
+}
+
+// staticView builds a single fixed view from an id=addr list.
+func staticView(members string) (membership.View, error) {
+	if members == "" {
+		return membership.View{}, fmt.Errorf("missing -members")
+	}
+	v := membership.View{ID: 1, Addrs: make(map[ring.NodeID]string)}
+	for _, pair := range strings.Split(members, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || addr == "" {
+			return membership.View{}, fmt.Errorf("bad member %q, want id=addr", pair)
+		}
+		v.Addrs[ring.NodeID(id)] = addr
+		v.Members = append(v.Members, ring.NodeID(id))
+	}
+	sort.Slice(v.Members, func(i, j int) bool { return v.Members[i] < v.Members[j] })
+	return v, nil
+}

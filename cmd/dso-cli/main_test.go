@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestArgListParsing(t *testing.T) {
+	var a argList
+	for _, s := range []string{"5", "2.5", "hello"} {
+		if err := a.Set(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a[0].(int64) != 5 || a[1].(float64) != 2.5 || a[2].(string) != "hello" {
+		t.Fatalf("argList = %v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestStaticViewParsing(t *testing.T) {
+	v, err := staticView("b=:2,a=:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Members) != 2 || v.Members[0] != "a" {
+		t.Fatalf("members = %v", v.Members)
+	}
+	if v.Addrs["b"] != ":2" {
+		t.Fatalf("addrs = %v", v.Addrs)
+	}
+	if _, err := staticView(""); err == nil {
+		t.Fatal("empty members accepted")
+	}
+	if _, err := staticView("bogus"); err == nil {
+		t.Fatal("malformed member accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Command dso-server runs one DSO storage node over TCP with static
+// membership: every node is started with the full member list (id=addr
+// pairs) and serves shared objects for its share of the consistent-hashing
+// ring. This is the fixed-deployment analog of the paper's explicitly
+// managed storage layer (Section 5: "the deployment of the storage layer
+// is explicitly managed, like AWS ElastiCache").
+//
+// Usage (3-node cluster on one host):
+//
+//	dso-server -id n1 -members n1=:7001,n2=:7002,n3=:7003 -rf 2 &
+//	dso-server -id n2 -members n1=:7001,n2=:7002,n3=:7003 -rf 2 &
+//	dso-server -id n3 -members n1=:7001,n2=:7002,n3=:7003 -rf 2 &
+//
+// Dynamic membership (crash detection, elastic scaling, Fig. 8) is
+// exercised by the in-process cluster harness; the TCP mode keeps
+// membership static.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"crucial/internal/membership"
+	"crucial/internal/objects"
+	"crucial/internal/ring"
+	"crucial/internal/rpc"
+	"crucial/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		id      = flag.String("id", "", "this node's id (must appear in -members)")
+		members = flag.String("members", "", "comma-separated id=addr pairs for the whole cluster")
+		rf      = flag.Int("rf", 1, "replication factor for persistent objects")
+	)
+	flag.Parse()
+
+	addrs, err := parseMembers(*members)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dso-server:", err)
+		return 1
+	}
+	addr, ok := addrs[ring.NodeID(*id)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dso-server: id %q not in member list\n", *id)
+		return 1
+	}
+
+	// Static membership: seed a local directory with every member in
+	// deterministic order so all nodes compute the same placement.
+	dir := membership.NewDirectory(time.Hour)
+	ids := make([]ring.NodeID, 0, len(addrs))
+	for n := range addrs {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, n := range ids {
+		dir.Join(n, addrs[n])
+	}
+
+	node, err := server.Start(server.Config{
+		ID:        ring.NodeID(*id),
+		Addr:      addr,
+		Transport: rpc.TCP{},
+		Registry:  objects.BuiltinRegistry(),
+		Directory: dir,
+		RF:        *rf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dso-server:", err)
+		return 1
+	}
+	fmt.Printf("dso-server: node %s serving on %s (cluster of %d, rf=%d)\n",
+		*id, addr, len(addrs), *rf)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("dso-server: shutting down")
+	if err := node.Crash(); err != nil {
+		fmt.Fprintln(os.Stderr, "dso-server: shutdown:", err)
+		return 1
+	}
+	return 0
+}
+
+// parseMembers decodes "id=addr,id=addr".
+func parseMembers(s string) (map[ring.NodeID]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -members")
+	}
+	out := make(map[ring.NodeID]string)
+	for _, pair := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad member %q, want id=addr", pair)
+		}
+		out[ring.NodeID(id)] = addr
+	}
+	return out, nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestParseMembers(t *testing.T) {
+	got, err := parseMembers("n1=:7001, n2=:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["n1"] != ":7001" || got["n2"] != ":7002" {
+		t.Fatalf("parseMembers = %v", got)
+	}
+}
+
+func TestParseMembersErrors(t *testing.T) {
+	for _, in := range []string{"", "n1", "=addr", "n1="} {
+		if _, err := parseMembers(in); err == nil {
+			t.Errorf("parseMembers(%q) accepted", in)
+		}
+	}
+}

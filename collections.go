@@ -1,0 +1,207 @@
+package crucial
+
+import (
+	"context"
+	"fmt"
+
+	"crucial/internal/objects"
+)
+
+func typeError[T any](got any) error {
+	var zero T
+	return fmt.Errorf("crucial: value has type %T, want %T", got, zero)
+}
+
+// List is a linearizable growable list of T values shared by all cloud
+// threads. Register non-basic T with crucial.RegisterValue first.
+type List[T any] struct{ H Handle }
+
+// NewList builds a proxy for the list named key.
+func NewList[T any](key string, opts ...Option) *List[T] {
+	return &List[T]{H: NewHandle(objects.TypeList, key, opts...)}
+}
+
+// Add appends v and returns its index.
+func (l *List[T]) Add(ctx context.Context, v T) (int64, error) {
+	return result0[int64](l.H.Invoke(ctx, "Add", v))
+}
+
+// Get returns element i.
+func (l *List[T]) Get(ctx context.Context, i int) (T, error) {
+	return result0[T](l.H.Invoke(ctx, "Get", int64(i)))
+}
+
+// Set replaces element i, returning the previous value.
+func (l *List[T]) Set(ctx context.Context, i int, v T) (T, error) {
+	return result0[T](l.H.Invoke(ctx, "Set", int64(i), v))
+}
+
+// Remove deletes element i, returning it.
+func (l *List[T]) Remove(ctx context.Context, i int) (T, error) {
+	return result0[T](l.H.Invoke(ctx, "Remove", int64(i)))
+}
+
+// Size returns the element count.
+func (l *List[T]) Size(ctx context.Context) (int64, error) {
+	return result0[int64](l.H.Invoke(ctx, "Size"))
+}
+
+// Clear removes every element.
+func (l *List[T]) Clear(ctx context.Context) error {
+	return resultVoid(l.H.Invoke(ctx, "Clear"))
+}
+
+// Contains reports membership by serialized equality.
+func (l *List[T]) Contains(ctx context.Context, v T) (bool, error) {
+	return result0[bool](l.H.Invoke(ctx, "Contains", v))
+}
+
+// GetAll returns a copy of all elements.
+func (l *List[T]) GetAll(ctx context.Context) ([]T, error) {
+	raw, err := result0[[]any](l.H.Invoke(ctx, "GetAll"))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(raw))
+	for i, r := range raw {
+		v, ok := r.(T)
+		if !ok {
+			return nil, typeError[T](r)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Map is a linearizable string-keyed map of T values shared by all cloud
+// threads.
+type Map[T any] struct{ H Handle }
+
+// NewMap builds a proxy for the map named key.
+func NewMap[T any](key string, opts ...Option) *Map[T] {
+	return &Map[T]{H: NewHandle(objects.TypeMap, key, opts...)}
+}
+
+// Put stores k=v; ok reports whether a previous value existed (returned as
+// prev).
+func (m *Map[T]) Put(ctx context.Context, k string, v T) (prev T, ok bool, err error) {
+	var zero T
+	res, err := m.H.Invoke(ctx, "Put", k, v)
+	if err != nil {
+		return zero, false, err
+	}
+	had := res[1].(bool)
+	if !had {
+		return zero, false, nil
+	}
+	p, good := res[0].(T)
+	if !good {
+		return zero, false, typeError[T](res[0])
+	}
+	return p, true, nil
+}
+
+// Get returns the value at k.
+func (m *Map[T]) Get(ctx context.Context, k string) (T, bool, error) {
+	var zero T
+	res, err := m.H.Invoke(ctx, "Get", k)
+	if err != nil {
+		return zero, false, err
+	}
+	if !res[1].(bool) {
+		return zero, false, nil
+	}
+	v, good := res[0].(T)
+	if !good {
+		return zero, false, typeError[T](res[0])
+	}
+	return v, true, nil
+}
+
+// PutIfAbsent stores k=v only when absent; it returns the winning value
+// and whether this call inserted it.
+func (m *Map[T]) PutIfAbsent(ctx context.Context, k string, v T) (T, bool, error) {
+	var zero T
+	res, err := m.H.Invoke(ctx, "PutIfAbsent", k, v)
+	if err != nil {
+		return zero, false, err
+	}
+	w, good := res[0].(T)
+	if !good {
+		return zero, false, typeError[T](res[0])
+	}
+	return w, res[1].(bool), nil
+}
+
+// Remove deletes k, returning the removed value if any.
+func (m *Map[T]) Remove(ctx context.Context, k string) (T, bool, error) {
+	var zero T
+	res, err := m.H.Invoke(ctx, "Remove", k)
+	if err != nil {
+		return zero, false, err
+	}
+	if !res[1].(bool) {
+		return zero, false, nil
+	}
+	v, good := res[0].(T)
+	if !good {
+		return zero, false, typeError[T](res[0])
+	}
+	return v, true, nil
+}
+
+// ContainsKey reports key membership.
+func (m *Map[T]) ContainsKey(ctx context.Context, k string) (bool, error) {
+	return result0[bool](m.H.Invoke(ctx, "ContainsKey", k))
+}
+
+// Size returns the entry count.
+func (m *Map[T]) Size(ctx context.Context) (int64, error) {
+	return result0[int64](m.H.Invoke(ctx, "Size"))
+}
+
+// Keys returns all keys (order unspecified).
+func (m *Map[T]) Keys(ctx context.Context) ([]string, error) {
+	return result0[[]string](m.H.Invoke(ctx, "Keys"))
+}
+
+// Clear removes every entry.
+func (m *Map[T]) Clear(ctx context.Context) error {
+	return resultVoid(m.H.Invoke(ctx, "Clear"))
+}
+
+// KV is a single binary cell (used by the storage-baseline benchmarks and
+// handy for PyWren-style result drops).
+type KV struct{ H Handle }
+
+// NewKV builds a proxy for the cell named key.
+func NewKV(key string, opts ...Option) *KV {
+	return &KV{H: NewHandle(objects.TypeKV, key, opts...)}
+}
+
+// Put stores the cell contents.
+func (c *KV) Put(ctx context.Context, v []byte) error {
+	return resultVoid(c.H.Invoke(ctx, "Put", v))
+}
+
+// Get returns the cell contents.
+func (c *KV) Get(ctx context.Context) ([]byte, bool, error) {
+	res, err := c.H.Invoke(ctx, "Get")
+	if err != nil {
+		return nil, false, err
+	}
+	if !res[1].(bool) {
+		return nil, false, nil
+	}
+	return res[0].([]byte), true, nil
+}
+
+// Exists reports whether the cell holds data.
+func (c *KV) Exists(ctx context.Context) (bool, error) {
+	return result0[bool](c.H.Invoke(ctx, "Exists"))
+}
+
+// Delete clears the cell.
+func (c *KV) Delete(ctx context.Context) error {
+	return resultVoid(c.H.Invoke(ctx, "Delete"))
+}

@@ -1,0 +1,301 @@
+package crucial
+
+import "testing"
+
+// Exercises the full surface of the collection proxies against a live
+// runtime.
+func TestListProxyFullSurface(t *testing.T) {
+	rt := testRuntime(t, Options{})
+	l := NewList[string]("api-list")
+	rt.Bind(l)
+	ctx := bg()
+
+	if _, err := l.Add(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Add(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := l.Get(ctx, 0); err != nil || v != "a" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if old, err := l.Set(ctx, 0, "z"); err != nil || old != "a" {
+		t.Fatalf("Set = %q, %v", old, err)
+	}
+	if ok, err := l.Contains(ctx, "z"); err != nil || !ok {
+		t.Fatalf("Contains = %v, %v", ok, err)
+	}
+	if n, err := l.Size(ctx); err != nil || n != 2 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if v, err := l.Remove(ctx, 1); err != nil || v != "b" {
+		t.Fatalf("Remove = %q, %v", v, err)
+	}
+	if err := l.Clear(ctx); err != nil {
+		t.Fatal(err)
+	}
+	all, err := l.GetAll(ctx)
+	if err != nil || len(all) != 0 {
+		t.Fatalf("GetAll after clear = %v, %v", all, err)
+	}
+}
+
+func TestMapProxyFullSurface(t *testing.T) {
+	rt := testRuntime(t, Options{})
+	m := NewMap[int64]("api-map")
+	rt.Bind(m)
+	ctx := bg()
+
+	if _, _, err := m.Put(ctx, "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := m.PutIfAbsent(ctx, "a", 2); err != nil || ok || v != 1 {
+		t.Fatalf("PutIfAbsent existing = %d, %v, %v", v, ok, err)
+	}
+	if v, ok, err := m.PutIfAbsent(ctx, "b", 2); err != nil || !ok || v != 2 {
+		t.Fatalf("PutIfAbsent fresh = %d, %v, %v", v, ok, err)
+	}
+	if ok, err := m.ContainsKey(ctx, "b"); err != nil || !ok {
+		t.Fatalf("ContainsKey = %v, %v", ok, err)
+	}
+	keys, err := m.Keys(ctx)
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("Keys = %v, %v", keys, err)
+	}
+	if v, ok, err := m.Remove(ctx, "a"); err != nil || !ok || v != 1 {
+		t.Fatalf("Remove = %d, %v, %v", v, ok, err)
+	}
+	if _, ok, err := m.Remove(ctx, "ghost"); err != nil || ok {
+		t.Fatalf("Remove missing = %v, %v", ok, err)
+	}
+	if n, err := m.Size(ctx); err != nil || n != 1 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if err := m.Clear(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m.Size(ctx); err != nil || n != 0 {
+		t.Fatalf("Size after clear = %d, %v", n, err)
+	}
+}
+
+func TestKVProxyFullSurface(t *testing.T) {
+	rt := testRuntime(t, Options{})
+	kv := NewKV("api-kv")
+	rt.Bind(kv)
+	ctx := bg()
+
+	if ok, err := kv.Exists(ctx); err != nil || ok {
+		t.Fatalf("Exists fresh = %v, %v", ok, err)
+	}
+	if _, ok, err := kv.Get(ctx); err != nil || ok {
+		t.Fatalf("Get fresh = %v, %v", ok, err)
+	}
+	if err := kv.Put(ctx, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := kv.Get(ctx); err != nil || !ok || string(v) != "data" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if err := kv.Delete(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := kv.Exists(ctx); err != nil || ok {
+		t.Fatalf("Exists after delete = %v, %v", ok, err)
+	}
+}
+
+func TestAtomicProxiesRemainingSurface(t *testing.T) {
+	rt := testRuntime(t, Options{})
+	ctx := bg()
+
+	a := NewAtomicLong("api-long")
+	rt.Bind(a)
+	if _, err := a.GetAndAdd(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := a.DecrementAndGet(ctx); err != nil || v != 3 {
+		t.Fatalf("DecrementAndGet = %d, %v", v, err)
+	}
+	if v, err := a.GetAndSet(ctx, 10); err != nil || v != 3 {
+		t.Fatalf("GetAndSet = %d, %v", v, err)
+	}
+	if v, err := a.Multiply(ctx, 3); err != nil || v != 30 {
+		t.Fatalf("Multiply = %d, %v", v, err)
+	}
+	if _, err := a.MultiplyLoop(ctx, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SimulatedWork(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	i := NewAtomicInt("api-int")
+	rt.Bind(i)
+	if err := i.Set(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := i.AddAndGet(ctx, 1); err != nil || v != 8 {
+		t.Fatalf("AtomicInt AddAndGet = %d, %v", v, err)
+	}
+	if v, err := i.IncrementAndGet(ctx); err != nil || v != 9 {
+		t.Fatalf("AtomicInt IncrementAndGet = %d, %v", v, err)
+	}
+	if ok, err := i.CompareAndSet(ctx, 9, 0); err != nil || !ok {
+		t.Fatalf("AtomicInt CAS = %v, %v", ok, err)
+	}
+	if v, err := i.Get(ctx); err != nil || v != 0 {
+		t.Fatalf("AtomicInt Get = %d, %v", v, err)
+	}
+
+	b := NewAtomicBoolean("api-bool")
+	rt.Bind(b)
+	if err := b.Set(ctx, true); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := b.GetAndSet(ctx, false); err != nil || !v {
+		t.Fatalf("AtomicBoolean GetAndSet = %v, %v", v, err)
+	}
+	if ok, err := b.CompareAndSet(ctx, false, true); err != nil || !ok {
+		t.Fatalf("AtomicBoolean CAS = %v, %v", ok, err)
+	}
+
+	r := NewAtomicReference[string]("api-ref")
+	rt.Bind(r)
+	if err := r.Set(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := r.GetAndSet(ctx, "y"); err != nil || v != "x" {
+		t.Fatalf("reference GetAndSet = %q, %v", v, err)
+	}
+	if ok, err := r.CompareAndSet(ctx, "y", "z"); err != nil || !ok {
+		t.Fatalf("reference CAS = %v, %v", ok, err)
+	}
+
+	ba := NewAtomicByteArray("api-bytes", 4)
+	rt.Bind(ba)
+	if n, err := ba.Length(ctx); err != nil || n != 4 {
+		t.Fatalf("Length = %d, %v", n, err)
+	}
+	if err := ba.Set(ctx, 1, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ba.Get(ctx, 1); err != nil || v != 0xAB {
+		t.Fatalf("byte Get = %#x, %v", v, err)
+	}
+	if err := ba.SetAll(ctx, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if all, err := ba.GetAll(ctx); err != nil || len(all) != 2 {
+		t.Fatalf("byte GetAll = %v, %v", all, err)
+	}
+
+	da := NewAtomicDoubleArray("api-doubles", 3)
+	rt.Bind(da)
+	if n, err := da.Length(ctx); err != nil || n != 3 {
+		t.Fatalf("double Length = %d, %v", n, err)
+	}
+	if err := da.Set(ctx, 0, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := da.AddAndGet(ctx, 0, 0.5); err != nil || v != 2 {
+		t.Fatalf("double AddAndGet = %v, %v", v, err)
+	}
+	if v, err := da.Get(ctx, 0); err != nil || v != 2 {
+		t.Fatalf("double Get = %v, %v", v, err)
+	}
+	if err := da.ScaleAll(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.FillZero(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.SetAll(ctx, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+
+	add := NewDoubleAdder("api-adder")
+	rt.Bind(add)
+	if err := add.Add(ctx, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := add.Sum(ctx); err != nil || v != 2.5 {
+		t.Fatalf("adder Sum = %v, %v", v, err)
+	}
+	if n, err := add.Count(ctx); err != nil || n != 1 {
+		t.Fatalf("adder Count = %d, %v", n, err)
+	}
+	if v, err := add.SumThenReset(ctx); err != nil || v != 2.5 {
+		t.Fatalf("SumThenReset = %v, %v", v, err)
+	}
+	if err := add.Reset(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncProxiesRemainingSurface(t *testing.T) {
+	rt := testRuntime(t, Options{})
+	ctx := bg()
+
+	b := NewCyclicBarrier("api-barrier", 1)
+	rt.Bind(b)
+	if _, err := b.Await(ctx); err != nil {
+		t.Fatal(err) // one party: trips immediately
+	}
+	if n, err := b.GetParties(ctx); err != nil || n != 1 {
+		t.Fatalf("GetParties = %d, %v", n, err)
+	}
+	if n, err := b.GetNumberWaiting(ctx); err != nil || n != 0 {
+		t.Fatalf("GetNumberWaiting = %d, %v", n, err)
+	}
+	if err := b.Reset(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSemaphore("api-sem", 3)
+	rt.Bind(s)
+	if err := s.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReleaseN(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.DrainPermits(ctx); err != nil || n != 4 {
+		t.Fatalf("DrainPermits = %d, %v", n, err)
+	}
+
+	f := NewFuture[int64]("api-future")
+	rt.Bind(f)
+	if done, err := f.IsDone(ctx); err != nil || done {
+		t.Fatalf("IsDone fresh = %v, %v", done, err)
+	}
+	if _, ok, err := f.GetNow(ctx); err != nil || ok {
+		t.Fatalf("GetNow fresh = %v, %v", ok, err)
+	}
+	if err := f.Set(ctx, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := f.GetNow(ctx); err != nil || !ok || v != 42 {
+		t.Fatalf("GetNow = %d, %v, %v", v, ok, err)
+	}
+	ff := NewFuture[int64]("api-future-fail")
+	rt.Bind(ff)
+	if err := ff.Fail(ctx, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ff.Get(ctx); err == nil {
+		t.Fatal("Get after Fail succeeded")
+	}
+
+	l := NewCountDownLatch("api-latch", 1)
+	rt.Bind(l)
+	if n, err := l.GetCount(ctx); err != nil || n != 1 {
+		t.Fatalf("GetCount = %d, %v", n, err)
+	}
+	if _, err := l.CountDown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Await(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Serverless k-means (the paper's Listing 2): cloud threads cluster a
+// synthetic dataset, sharing the centroids through user-defined DSO
+// objects that aggregate updates server side, pacing iterations with a
+// distributed cyclic barrier.
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"crucial"
+	"crucial/internal/apps/kmeansapp"
+	"crucial/internal/ml"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	// The custom shared types (GlobalCentroids, GlobalDelta) are the
+	// @Shared analog: registered once, their methods execute on the DSO
+	// nodes that own them.
+	reg := crucial.NewTypeRegistry()
+	kmeansapp.RegisterTypes(reg)
+	rt, err := crucial.NewLocalRuntime(crucial.Options{DSONodes: 2, Registry: reg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kmeans:", err)
+		return 1
+	}
+	defer func() { _ = rt.Close() }()
+	crucial.Register(&kmeansapp.Worker{})
+
+	cfg := kmeansapp.Config{
+		K:               4,
+		Dims:            8,
+		Workers:         6,
+		MaxIterations:   8,
+		PointsPerWorker: 500,
+		Seed:            42,
+	}
+	res, err := kmeansapp.RunCrucial(context.Background(), rt, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kmeans:", err)
+		return 1
+	}
+
+	// Evaluate the model on freshly drawn points from the same blobs.
+	test := ml.GeneratePointsPartition(2000, cfg.Dims, cfg.K, cfg.Seed, 999)
+	var cost float64
+	for _, p := range test {
+		_, d2 := ml.NearestCentroid(p, res.Centroids)
+		cost += d2
+	}
+	fmt.Printf("trained %d centroids with %d cloud threads in %v\n",
+		cfg.K, cfg.Workers, res.Total.Round(1e6))
+	fmt.Printf("mean squared distance on held-out points: %.3f\n",
+		cost/float64(len(test)))
+	for i, c := range res.Centroids {
+		fmt.Printf("centroid %d: [%.2f %.2f ...]\n", i, c[0], c[1])
+	}
+	return 0
+}

@@ -1,0 +1,84 @@
+// Quickstart: the paper's Listing 1 — a multi-threaded Monte Carlo
+// estimation of pi where the threads are cloud functions and the only
+// shared state is one crucial.AtomicLong.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"crucial"
+)
+
+const (
+	iterations = 200_000
+	nThreads   = 8
+)
+
+// piEstimator is a plain Runnable; its exported fields ship to the cloud
+// function, and the Counter proxy is re-bound to the DSO layer there.
+type piEstimator struct {
+	Seed    int64
+	Counter *crucial.AtomicLong
+}
+
+func (p *piEstimator) Run(tc *crucial.TC) error {
+	rng := rand.New(rand.NewSource(p.Seed))
+	var count int64
+	for i := 0; i < iterations; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		if x*x+y*y <= 1.0 {
+			count++
+		}
+	}
+	_, err := p.Counter.AddAndGet(tc.Context(), count)
+	return err
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	// One call boots the whole local deployment: a FaaS platform plus a
+	// DSO cluster.
+	rt, err := crucial.NewLocalRuntime(crucial.Options{DSONodes: 2})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		return 1
+	}
+	defer func() { _ = rt.Close() }()
+	crucial.Register(&piEstimator{})
+
+	// Fork: one cloud thread per estimator (Listing 1, lines 19-23).
+	threads := make([]*crucial.CloudThread, nThreads)
+	for i := range threads {
+		threads[i] = rt.NewThread(&piEstimator{
+			Seed:    int64(i + 1),
+			Counter: crucial.NewAtomicLong("counter"),
+		})
+		threads[i].Start()
+	}
+	// Join (line 24).
+	if err := crucial.JoinAll(threads); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		return 1
+	}
+
+	// The master thread reads the same shared counter (line 25).
+	counter := crucial.NewAtomicLong("counter")
+	rt.Bind(counter)
+	hits, err := counter.Get(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		return 1
+	}
+	pi := 4.0 * float64(hits) / float64(nThreads*iterations)
+	fmt.Printf("pi ~= %.5f (from %d points across %d cloud threads)\n",
+		pi, nThreads*iterations, nThreads)
+	return 0
+}

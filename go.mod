@@ -1,0 +1,3 @@
+module crucial
+
+go 1.24

@@ -1,0 +1,136 @@
+// Package crucial is a Go library for programming highly-concurrent
+// stateful applications on serverless (FaaS) platforms, reproducing the
+// system described in "On the FaaS Track: Building Stateful Distributed
+// Applications with Serverless Architectures" (Middleware '19).
+//
+// Crucial views cloud functions as threads ("cloud threads") that share
+// state through a layer of distributed shared objects (DSO) hosted by a
+// low-latency in-memory grid. A multi-threaded program is ported by (1)
+// running each Runnable on a CloudThread instead of a goroutine and (2)
+// replacing every shared mutable object with its crucial counterpart:
+// linearizable atomics, collections, and blocking synchronization objects
+// (cyclic barriers, semaphores, futures), plus user-defined shared objects
+// whose methods execute server side (method-call shipping).
+//
+// The Java prototype weaves @Shared fields with AspectJ; here, proxies
+// gob-encode only their object reference, and the function-side runtime
+// re-binds every proxy field of a decoded Runnable via reflection before
+// calling Run.
+package crucial
+
+import (
+	"context"
+	"fmt"
+
+	"crucial/internal/core"
+)
+
+// Option customizes a shared-object proxy at construction.
+type Option func(*Handle)
+
+// WithPersist marks the object persistent: it is replicated rf times in
+// the DSO layer, survives node failures, and outlives the application
+// (the @Shared(persistent=true) analog).
+func WithPersist() Option {
+	return func(h *Handle) { h.persist = true }
+}
+
+// withInit sets constructor arguments shipped with every invocation and
+// used only on first access (so any replica can materialize the object
+// deterministically).
+func withInit(init ...any) Option {
+	return func(h *Handle) { h.init = init }
+}
+
+// Handle is the client-side core of every shared-object proxy: the object
+// reference, its construction arguments, and (after binding) the DSO
+// invoker. Handles serialize to just the reference metadata, never the
+// connection — that is what makes Runnables shippable to cloud functions.
+type Handle struct {
+	ref     core.Ref
+	init    []any
+	persist bool
+	inv     core.Invoker
+}
+
+// NewHandle builds a handle for (typeName, key). Library constructors wrap
+// it; applications use it directly only for user-defined shared types.
+func NewHandle(typeName, key string, opts ...Option) Handle {
+	h := Handle{ref: core.Ref{Type: typeName, Key: key}}
+	for _, o := range opts {
+		o(&h)
+	}
+	return h
+}
+
+// Ref returns the object reference.
+func (h *Handle) Ref() core.Ref { return h.ref }
+
+// Persistent reports whether the proxy requests durability.
+func (h *Handle) Persistent() bool { return h.persist }
+
+// BindDSO attaches the handle to a live DSO client. The crucial runtime
+// calls it for every proxy field of a Runnable before Run; manual binding
+// is only needed for proxies created outside a Runnable (e.g. in the
+// application's master thread, via Runtime.Bind).
+func (h *Handle) BindDSO(inv core.Invoker) { h.inv = inv }
+
+var _ core.Bindable = (*Handle)(nil)
+
+// handleState is the gob wire form of a handle.
+type handleState struct {
+	Ref     core.Ref
+	Init    []any
+	Persist bool
+}
+
+// GobEncode serializes the reference metadata (never the connection).
+func (h Handle) GobEncode() ([]byte, error) {
+	return core.EncodeValue(handleState{Ref: h.ref, Init: h.init, Persist: h.persist})
+}
+
+// GobDecode restores the reference metadata; the handle is unbound until
+// the runtime weaves it.
+func (h *Handle) GobDecode(data []byte) error {
+	var s handleState
+	if err := core.DecodeValue(data, &s); err != nil {
+		return err
+	}
+	h.ref, h.init, h.persist = s.Ref, s.Init, s.Persist
+	h.inv = nil
+	return nil
+}
+
+// Invoke ships one method call to the object's owner.
+func (h *Handle) Invoke(ctx context.Context, method string, args ...any) ([]any, error) {
+	if h.inv == nil {
+		return nil, fmt.Errorf("crucial: %s used before binding to a DSO client "+
+			"(run it on a CloudThread, or bind with Runtime.Bind)", h.ref)
+	}
+	return h.inv.InvokeObject(ctx, core.Invocation{
+		Ref:     h.ref,
+		Method:  method,
+		Args:    args,
+		Init:    h.init,
+		Persist: h.persist,
+	})
+}
+
+// result0 extracts a typed first result.
+func result0[T any](res []any, err error) (T, error) {
+	var zero T
+	if err != nil {
+		return zero, err
+	}
+	if len(res) < 1 {
+		return zero, fmt.Errorf("crucial: empty result set")
+	}
+	v, ok := res[0].(T)
+	if !ok {
+		return zero, fmt.Errorf("crucial: result has type %T, want %T", res[0], zero)
+	}
+	return v, nil
+}
+
+// resultVoid validates a no-result call.
+func resultVoid(_ []any, err error) error { return err }

@@ -1,0 +1,281 @@
+// Package kmeansapp implements the paper's serverless k-means (Listing 2)
+// and its comparators: the same Lloyd's-algorithm kernels running as
+// Crucial cloud threads, as a Spark-like BSP job, as plain VM threads
+// (Fig. 3), and as Crucial-over-Redis (Fig. 5). The Crucial version uses
+// two user-defined shared objects — GlobalCentroids and GlobalDelta — the
+// @Shared custom types the paper highlights for fine-grained aggregation.
+package kmeansapp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crucial/internal/core"
+	"crucial/internal/ml"
+)
+
+// Type names of the custom shared objects.
+const (
+	TypeGlobalCentroids = "kmeans.GlobalCentroids"
+	TypeGlobalDelta     = "kmeans.GlobalDelta"
+)
+
+// centroidsObject is the server-side GlobalCentroids: it holds the current
+// model and aggregates per-partition sums/counts in place (the O(N)
+// auto-reduce of Section 4.2). When the last party of a generation
+// contributes, it folds the accumulators into new centroids.
+type centroidsObject struct {
+	k, dims, parties int
+	centroids        []float64 // flattened k x dims
+	sums             []float64
+	counts           []int64
+	contributors     int
+	generation       int64
+	delta            float64 // max centroid shift of the last fold
+}
+
+// newCentroidsObject builds the object. Init: k, dims, parties, seed.
+func newCentroidsObject(init []any) (core.Object, error) {
+	k, err := core.Int64Arg(init, 0)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := core.Int64Arg(init, 1)
+	if err != nil {
+		return nil, err
+	}
+	parties, err := core.Int64Arg(init, 2)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := core.Int64Arg(init, 3)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 || dims <= 0 || parties <= 0 {
+		return nil, fmt.Errorf("kmeansapp: invalid centroids init k=%d dims=%d parties=%d", k, dims, parties)
+	}
+	o := &centroidsObject{
+		k:         int(k),
+		dims:      int(dims),
+		parties:   int(parties),
+		centroids: make([]float64, int(k)*int(dims)),
+		sums:      make([]float64, int(k)*int(dims)),
+		counts:    make([]int64, k),
+	}
+	// Random initial positions, deterministic per seed so replicas and
+	// retried threads agree.
+	rng := rand.New(rand.NewSource(seed))
+	for i := range o.centroids {
+		o.centroids[i] = rng.NormFloat64() * 10
+	}
+	return o, nil
+}
+
+func (o *centroidsObject) Call(_ core.Ctl, method string, args []any) ([]any, error) {
+	switch method {
+	case "Get":
+		out := make([]float64, len(o.centroids))
+		copy(out, o.centroids)
+		return []any{out, o.generation}, nil
+	case "Update":
+		sums, err := core.Arg[[]float64](args, 0)
+		if err != nil {
+			return nil, err
+		}
+		counts, err := core.Arg[[]int64](args, 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(sums) != len(o.sums) || len(counts) != len(o.counts) {
+			return nil, fmt.Errorf("kmeansapp: update shape %dx%d, want %dx%d",
+				len(sums), len(counts), len(o.sums), len(o.counts))
+		}
+		for i := range sums {
+			o.sums[i] += sums[i]
+		}
+		for c := range counts {
+			o.counts[c] += counts[c]
+		}
+		o.contributors++
+		if o.contributors == o.parties {
+			o.fold()
+		}
+		return []any{o.generation}, nil
+	case "Delta":
+		return []any{o.delta}, nil
+	default:
+		return nil, fmt.Errorf("%w: GlobalCentroids.%s", core.ErrUnknownMethod, method)
+	}
+}
+
+// fold recomputes the centroids from the accumulated sums/counts and
+// starts the next generation.
+func (o *centroidsObject) fold() {
+	var maxShift float64
+	for c := 0; c < o.k; c++ {
+		if o.counts[c] == 0 {
+			continue
+		}
+		var shift float64
+		for d := 0; d < o.dims; d++ {
+			i := c*o.dims + d
+			next := o.sums[i] / float64(o.counts[c])
+			diff := next - o.centroids[i]
+			shift += diff * diff
+			o.centroids[i] = next
+		}
+		if shift > maxShift {
+			maxShift = shift
+		}
+	}
+	o.delta = maxShift
+	for i := range o.sums {
+		o.sums[i] = 0
+	}
+	for c := range o.counts {
+		o.counts[c] = 0
+	}
+	o.contributors = 0
+	o.generation++
+}
+
+type centroidsState struct {
+	K, Dims, Parties int
+	Centroids, Sums  []float64
+	Counts           []int64
+	Contributors     int
+	Generation       int64
+	Delta            float64
+}
+
+// Snapshot supports replication/rebalancing (Fig. 8 stores the trained
+// model in replicated GlobalCentroids).
+func (o *centroidsObject) Snapshot() ([]byte, error) {
+	return core.EncodeValue(centroidsState{
+		K: o.k, Dims: o.dims, Parties: o.parties,
+		Centroids: o.centroids, Sums: o.sums, Counts: o.counts,
+		Contributors: o.contributors, Generation: o.generation, Delta: o.delta,
+	})
+}
+
+// Restore replaces the object state.
+func (o *centroidsObject) Restore(data []byte) error {
+	var s centroidsState
+	if err := core.DecodeValue(data, &s); err != nil {
+		return err
+	}
+	o.k, o.dims, o.parties = s.K, s.Dims, s.Parties
+	o.centroids, o.sums, o.counts = s.Centroids, s.Sums, s.Counts
+	o.contributors, o.generation, o.delta = s.Contributors, s.Generation, s.Delta
+	return nil
+}
+
+// deltaObject is the server-side GlobalDelta: the convergence criterion
+// accumulator of Listing 2 (kept separate from the centroids for fidelity
+// to the paper's code).
+type deltaObject struct {
+	parties      int
+	current      float64
+	last         float64
+	contributors int
+}
+
+// newDeltaObject builds the object. Init: parties.
+func newDeltaObject(init []any) (core.Object, error) {
+	parties, err := core.Int64Arg(init, 0)
+	if err != nil {
+		return nil, err
+	}
+	if parties <= 0 {
+		return nil, fmt.Errorf("kmeansapp: delta needs parties > 0")
+	}
+	return &deltaObject{parties: int(parties), last: -1}, nil
+}
+
+func (o *deltaObject) Call(_ core.Ctl, method string, args []any) ([]any, error) {
+	switch method {
+	case "Update":
+		d, err := core.Arg[float64](args, 0)
+		if err != nil {
+			return nil, err
+		}
+		if d > o.current {
+			o.current = d
+		}
+		o.contributors++
+		if o.contributors == o.parties {
+			o.last = o.current
+			o.current = 0
+			o.contributors = 0
+		}
+		return nil, nil
+	case "Last":
+		return []any{o.last}, nil
+	default:
+		return nil, fmt.Errorf("%w: GlobalDelta.%s", core.ErrUnknownMethod, method)
+	}
+}
+
+type deltaState struct {
+	Parties      int
+	Current      float64
+	Last         float64
+	Contributors int
+}
+
+// Snapshot supports replication/rebalancing.
+func (o *deltaObject) Snapshot() ([]byte, error) {
+	return core.EncodeValue(deltaState{
+		Parties: o.parties, Current: o.current, Last: o.last, Contributors: o.contributors,
+	})
+}
+
+// Restore replaces the object state.
+func (o *deltaObject) Restore(data []byte) error {
+	var s deltaState
+	if err := core.DecodeValue(data, &s); err != nil {
+		return err
+	}
+	o.parties, o.current, o.last, o.contributors = s.Parties, s.Current, s.Last, s.Contributors
+	return nil
+}
+
+var (
+	_ core.Object      = (*centroidsObject)(nil)
+	_ core.Snapshotter = (*centroidsObject)(nil)
+	_ core.Object      = (*deltaObject)(nil)
+	_ core.Snapshotter = (*deltaObject)(nil)
+)
+
+// RegisterTypes installs the custom shared types into a registry (the
+// paper's "jar uploaded to the DSO servers").
+func RegisterTypes(reg *core.Registry) {
+	reg.MustRegister(core.TypeInfo{Name: TypeGlobalCentroids, New: newCentroidsObject})
+	reg.MustRegister(core.TypeInfo{Name: TypeGlobalDelta, New: newDeltaObject})
+}
+
+// Unflatten reshapes a flattened k*dims centroid vector.
+func Unflatten(flat []float64, k, dims int) [][]float64 {
+	out := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		out[c] = flat[c*dims : (c+1)*dims]
+	}
+	return out
+}
+
+// FlattenStats flattens per-cluster sums for the Update call.
+func FlattenStats(st ml.PartitionStats) (sums []float64, counts []int64) {
+	k := len(st.Sums)
+	dims := 0
+	if k > 0 {
+		dims = len(st.Sums[0])
+	}
+	sums = make([]float64, k*dims)
+	for c := 0; c < k; c++ {
+		copy(sums[c*dims:(c+1)*dims], st.Sums[c])
+	}
+	counts = make([]int64, len(st.Counts))
+	copy(counts, st.Counts)
+	return sums, counts
+}

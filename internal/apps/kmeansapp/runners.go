@@ -1,0 +1,590 @@
+package kmeansapp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"crucial"
+	"crucial/internal/core"
+	"crucial/internal/ml"
+	"crucial/internal/netsim"
+	"crucial/internal/sparksim"
+	"crucial/internal/storage/redissim"
+	"crucial/internal/vmsim"
+)
+
+// Config parameterizes one k-means run, identically across all engines.
+type Config struct {
+	// K clusters over Dims-dimensional points; Workers parallel workers
+	// running MaxIterations iterations.
+	K, Dims, Workers, MaxIterations int
+	// PointsPerWorker is the real data computed per worker (each worker
+	// generates its partition deterministically from Seed+partition,
+	// standing in for its S3 partition fetch).
+	PointsPerWorker int
+	Seed            int64
+	// ModeledPointsPerWorker, when positive, adds modeled compute per
+	// iteration representing the paper-scale partition (~695k points of
+	// the 100 GB dataset): ModeledPoints*K*Dims distance-term evaluations
+	// at NsPerOp nanoseconds each, compressed by TimeScale.
+	ModeledPointsPerWorker int
+	NsPerOp                float64
+	TimeScale              float64
+	// Persist replicates the model objects (Fig. 8 trains with
+	// persistence on).
+	Persist bool
+	// KeyPrefix isolates object keys between runs sharing a cluster.
+	KeyPrefix string
+	// RedisLuaNsPerElem models Lua interpretation cost in the
+	// Redis-backed variant: every element touched by a server-side script
+	// (k*dims per get/update) costs this many nanoseconds of
+	// single-threaded event-loop time, compressed by TimeScale. The
+	// default (when zero) is 8000ns, covering interpreted arithmetic and
+	// the value re-encoding a Lua script pays per element — the gap
+	// Fig. 2a attributes to scripts. Negative disables the cost.
+	RedisLuaNsPerElem float64
+	// SparkStageOverheadMs is the modeled per-iteration driver overhead
+	// of the Spark comparator (MLlib job scheduling, caching, and stage
+	// bookkeeping beyond raw task dispatch), calibrated from the paper's
+	// EMR measurements. Zero means none.
+	SparkStageOverheadMs float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.Dims <= 0 {
+		c.Dims = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 5
+	}
+	if c.PointsPerWorker <= 0 {
+		c.PointsPerWorker = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	if c.KeyPrefix == "" {
+		c.KeyPrefix = "kmeans"
+	}
+	return c
+}
+
+// modeledCompute returns the real sleep representing one iteration's
+// paper-scale computation.
+func (c Config) modeledCompute() time.Duration {
+	if c.ModeledPointsPerWorker <= 0 || c.NsPerOp <= 0 {
+		return 0
+	}
+	ops := float64(c.ModeledPointsPerWorker) * float64(c.K) * float64(c.Dims)
+	return time.Duration(ops * c.NsPerOp * c.TimeScale)
+}
+
+// initialCentroids reproduces the centroids object's deterministic random
+// initialization so every engine starts from the same model.
+func (c Config) initialCentroids() [][]float64 {
+	rng := rand.New(rand.NewSource(c.Seed))
+	flat := make([]float64, c.K*c.Dims)
+	for i := range flat {
+		flat[i] = rng.NormFloat64() * 10
+	}
+	out := make([][]float64, c.K)
+	for k := 0; k < c.K; k++ {
+		out[k] = flat[k*c.Dims : (k+1)*c.Dims]
+	}
+	return out
+}
+
+// partition deterministically generates one worker's data slice; all
+// partitions draw from the same blob centers (c.Seed).
+func (c Config) partition(part int) [][]float64 {
+	return ml.GeneratePointsPartition(c.PointsPerWorker, c.Dims, c.K, c.Seed, c.Seed+int64(part)+1)
+}
+
+// Result captures a run for the benchmark harness.
+type Result struct {
+	Centroids [][]float64
+	// IterTimes are real wall-clock iteration durations measured at the
+	// driver; divide by TimeScale for modeled time.
+	IterTimes []time.Duration
+	Total     time.Duration
+}
+
+// --- Crucial proxies for the custom objects ---
+
+// Centroids is the client proxy of GlobalCentroids.
+type Centroids struct{ H crucial.Handle }
+
+// NewCentroids builds the proxy. The init arguments materialize the object
+// on first access.
+func NewCentroids(key string, k, dims, parties int, seed int64, opts ...crucial.Option) *Centroids {
+	s := crucial.NewShared(TypeGlobalCentroids, key,
+		[]any{int64(k), int64(dims), int64(parties), seed}, opts...)
+	return &Centroids{H: s.H}
+}
+
+// Get returns the flattened centroids and their generation.
+func (c *Centroids) Get(ctx context.Context) ([]float64, int64, error) {
+	res, err := c.H.Invoke(ctx, "Get")
+	if err != nil {
+		return nil, 0, err
+	}
+	return res[0].([]float64), res[1].(int64), nil
+}
+
+// Update contributes one partition's sums/counts (server-side aggregate).
+func (c *Centroids) Update(ctx context.Context, sums []float64, counts []int64) error {
+	_, err := c.H.Invoke(ctx, "Update", sums, counts)
+	return err
+}
+
+// Delta returns the max centroid shift of the last completed fold.
+func (c *Centroids) Delta(ctx context.Context) (float64, error) {
+	res, err := c.H.Invoke(ctx, "Delta")
+	if err != nil {
+		return 0, err
+	}
+	return res[0].(float64), nil
+}
+
+// Delta is the client proxy of GlobalDelta (the Listing 2 convergence
+// criterion object).
+type Delta struct{ H crucial.Handle }
+
+// NewDelta builds the proxy.
+func NewDelta(key string, parties int, opts ...crucial.Option) *Delta {
+	s := crucial.NewShared(TypeGlobalDelta, key, []any{int64(parties)}, opts...)
+	return &Delta{H: s.H}
+}
+
+// Update contributes one partition's local delta.
+func (d *Delta) Update(ctx context.Context, v float64) error {
+	_, err := d.H.Invoke(ctx, "Update", v)
+	return err
+}
+
+// Last returns the previous round's folded delta (-1 before any fold).
+func (d *Delta) Last(ctx context.Context) (float64, error) {
+	res, err := d.H.Invoke(ctx, "Last")
+	if err != nil {
+		return 0, err
+	}
+	return res[0].(float64), nil
+}
+
+// Worker is the Listing 2 Runnable: one cloud thread of the serverless
+// k-means.
+type Worker struct {
+	Cfg  Config
+	Part int
+
+	Centroids *Centroids
+	Delta     *Delta
+	Iter      *crucial.AtomicInt
+	Barrier   *crucial.CyclicBarrier
+}
+
+// Run executes the iterative clustering loop (compare with Listing 2: the
+// shared iteration counter makes retried executions idempotent).
+func (w *Worker) Run(tc *crucial.TC) error {
+	ctx := tc.Context()
+	points := w.Cfg.partition(w.Part) // stand-in for loadDatasetFragment()
+	pad := w.Cfg.modeledCompute()
+
+	iter, err := w.Iter.Get(ctx)
+	if err != nil {
+		return err
+	}
+	for int(iter) < w.Cfg.MaxIterations {
+		flat, _, err := w.Centroids.Get(ctx)
+		if err != nil {
+			return err
+		}
+		cents := Unflatten(flat, w.Cfg.K, w.Cfg.Dims)
+		st := ml.AssignPartition(points, cents)
+		if pad > 0 {
+			if err := netsim.Sleep(ctx, pad); err != nil {
+				return err
+			}
+		}
+		if err := w.Delta.Update(ctx, st.Cost); err != nil {
+			return err
+		}
+		sums, counts := FlattenStats(st)
+		if err := w.Centroids.Update(ctx, sums, counts); err != nil {
+			return err
+		}
+		if _, err := w.Barrier.Await(ctx); err != nil {
+			return err
+		}
+		if _, err := w.Iter.CompareAndSet(ctx, iter, iter+1); err != nil {
+			return err
+		}
+		if iter, err = w.Iter.Get(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewWorker wires one worker's proxies for cfg.
+func NewWorker(cfg Config, part int) *Worker {
+	cfg = cfg.withDefaults()
+	var opts []crucial.Option
+	if cfg.Persist {
+		opts = append(opts, crucial.WithPersist())
+	}
+	return &Worker{
+		Cfg:       cfg,
+		Part:      part,
+		Centroids: NewCentroids(cfg.KeyPrefix+"/centroids", cfg.K, cfg.Dims, cfg.Workers, cfg.Seed, opts...),
+		Delta:     NewDelta(cfg.KeyPrefix+"/delta", cfg.Workers, opts...),
+		Iter:      crucial.NewAtomicInt(cfg.KeyPrefix + "/iterations"),
+		Barrier:   crucial.NewCyclicBarrier(cfg.KeyPrefix+"/barrier", cfg.Workers),
+	}
+}
+
+// RunCrucial executes the serverless k-means on a runtime, returning the
+// final model and timing.
+func RunCrucial(ctx context.Context, rt *crucial.Runtime, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	rs := make([]crucial.Runnable, cfg.Workers)
+	for i := range rs {
+		rs[i] = NewWorker(cfg, i)
+	}
+	start := time.Now()
+	threads := make([]*crucial.CloudThread, len(rs))
+	for i, r := range rs {
+		threads[i] = rt.NewThread(r)
+		threads[i].StartCtx(ctx)
+	}
+	if err := crucial.JoinAll(threads); err != nil {
+		return Result{}, err
+	}
+	total := time.Since(start)
+
+	probe := NewCentroids(cfg.KeyPrefix+"/centroids", cfg.K, cfg.Dims, cfg.Workers, cfg.Seed)
+	rt.Bind(probe)
+	flat, _, err := probe.Get(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Centroids: Unflatten(flat, cfg.K, cfg.Dims), Total: total}, nil
+}
+
+// RunSpark executes the same clustering as an MLlib-style BSP job:
+// broadcast centroids, map partitions, reduce at the driver, recompute —
+// the per-iteration reduce phase Crucial avoids.
+func RunSpark(ctx context.Context, c *sparksim.Cluster, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	centroids := cfg.initialCentroids()
+	pad := cfg.modeledCompute()
+	modelBytes := cfg.K*cfg.Dims*8 + cfg.K*8
+
+	res := Result{IterTimes: make([]time.Duration, 0, cfg.MaxIterations)}
+	start := time.Now()
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		iterStart := time.Now()
+		if cfg.SparkStageOverheadMs > 0 {
+			d := time.Duration(cfg.SparkStageOverheadMs * float64(time.Millisecond) * cfg.TimeScale)
+			if err := netsim.Sleep(ctx, d); err != nil {
+				return Result{}, err
+			}
+		}
+		if err := c.Broadcast(ctx, modelBytes); err != nil {
+			return Result{}, err
+		}
+		tasks := make([]sparksim.Task[ml.PartitionStats], cfg.Workers)
+		for i := range tasks {
+			part := i
+			tasks[i] = sparksim.Task[ml.PartitionStats]{
+				// pad is already compressed by cfg.TimeScale; sparksim
+				// re-applies its profile scale, so divide it back out to
+				// sleep the same real duration as the Crucial workers.
+				Compute: time.Duration(float64(pad) / prescale(c)),
+				Fn: func() (ml.PartitionStats, error) {
+					return ml.AssignPartition(cfg.partition(part), centroids), nil
+				},
+			}
+		}
+		partials, err := sparksim.RunStage(ctx, c, tasks)
+		if err != nil {
+			return Result{}, err
+		}
+		merged, err := sparksim.ReduceCollect(ctx, c, partials, modelBytes, ml.MergeStats)
+		if err != nil {
+			return Result{}, err
+		}
+		centroids, _ = ml.RecomputeCentroids(merged, centroids)
+		res.IterTimes = append(res.IterTimes, time.Since(iterStart))
+	}
+	res.Total = time.Since(start)
+	res.Centroids = centroids
+	return res, nil
+}
+
+// prescale is the spark cluster's own compression factor (guarded > 0).
+func prescale(c *sparksim.Cluster) float64 {
+	s := c.Config().Profile.Scale
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// RunVM executes the baseline of Fig. 3: plain threads on one machine with
+// in-memory shared state. Coordination is (nearly) free; the machine's
+// core count is the bottleneck.
+func RunVM(ctx context.Context, m *vmsim.Machine, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	centroids := cfg.initialCentroids()
+	pad := cfg.modeledCompute()
+
+	var mu sync.Mutex
+	start := time.Now()
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		var agg ml.PartitionStats
+		first := true
+		var wg sync.WaitGroup
+		errs := make([]error, cfg.Workers)
+		for i := 0; i < cfg.Workers; i++ {
+			wg.Add(1)
+			go func(part int) {
+				defer wg.Done()
+				// pad is already compressed by cfg.TimeScale; the machine
+				// must not compress it again, so pass through Run with a
+				// pre-scaled value via profile-scale-1 machines.
+				errs[part] = m.Run(ctx, pad, func() error {
+					st := ml.AssignPartition(cfg.partition(part), centroids)
+					mu.Lock()
+					if first {
+						agg = st
+						first = false
+					} else {
+						agg = ml.MergeStats(agg, st)
+					}
+					mu.Unlock()
+					return nil
+				})
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		centroids, _ = ml.RecomputeCentroids(agg, centroids)
+	}
+	return Result{Centroids: centroids, Total: time.Since(start)}, nil
+}
+
+// RunCrucialRedis is the Fig. 5 variant: the same worker loop, but shared
+// state lives in a Redis-like store with the aggregation implemented as
+// server-side scripts and the barrier as a poll loop — every scripted
+// operation serializes on the single-threaded shard. The store may be a
+// local cluster or an RPC front (fair comparisons use the latter); the
+// k-means scripts must already be registered on the backing cluster
+// (RegisterRedisScripts).
+func RunCrucialRedis(ctx context.Context, rc redissim.Store, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	pad := cfg.modeledCompute()
+
+	luaNs := cfg.RedisLuaNsPerElem
+	if luaNs == 0 {
+		luaNs = 8000
+	}
+	var scriptWorkNs int64
+	if luaNs > 0 {
+		scriptWorkNs = int64(luaNs * float64(cfg.K*cfg.Dims) * cfg.TimeScale)
+	}
+
+	// Seed the model.
+	init := cfg.initialCentroids()
+	flat := make([]float64, 0, cfg.K*cfg.Dims)
+	for _, c := range init {
+		flat = append(flat, c...)
+	}
+	keyC := cfg.KeyPrefix + "/centroids"
+	keyB := cfg.KeyPrefix + "/barrier"
+	if _, err := rc.Eval(ctx, "kmeans_init", []string{keyC}, flat, int64(cfg.K), int64(cfg.Dims), int64(cfg.Workers)); err != nil {
+		return Result{}, err
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			points := cfg.partition(part)
+			for iter := 0; iter < cfg.MaxIterations; iter++ {
+				v, err := rc.Eval(ctx, "kmeans_get", []string{keyC}, scriptWorkNs)
+				if err != nil {
+					errs[part] = err
+					return
+				}
+				cents := Unflatten(v.([]float64), cfg.K, cfg.Dims)
+				st := ml.AssignPartition(points, cents)
+				if pad > 0 {
+					if err := netsim.Sleep(ctx, pad); err != nil {
+						errs[part] = err
+						return
+					}
+				}
+				sums, counts := FlattenStats(st)
+				if _, err := rc.Eval(ctx, "kmeans_update", []string{keyC}, sums, counts, scriptWorkNs); err != nil {
+					errs[part] = err
+					return
+				}
+				// Polling barrier: INCR arrival count, poll the round
+				// counter until the last arrival advances it.
+				if err := redisBarrier(ctx, rc, keyB, cfg.Workers, iter); err != nil {
+					errs[part] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	total := time.Since(start)
+
+	v, err := rc.Eval(ctx, "kmeans_get", []string{keyC})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Centroids: Unflatten(v.([]float64), cfg.K, cfg.Dims),
+		Total:     total,
+	}, nil
+}
+
+// redisBarrier implements a generation barrier over the store with
+// polling, the best a scripting KV can do.
+func redisBarrier(ctx context.Context, rc redissim.Store, key string, parties, round int) error {
+	if _, err := rc.Eval(ctx, "barrier_arrive", []string{key}, int64(parties)); err != nil {
+		return err
+	}
+	for {
+		v, err := rc.Eval(ctx, "barrier_round", []string{key})
+		if err != nil {
+			return err
+		}
+		if v.(int64) > int64(round) {
+			return nil
+		}
+		if err := netsim.Sleep(ctx, time.Millisecond); err != nil {
+			return err
+		}
+	}
+}
+
+// luaSleep blocks the shard's event loop for the modeled interpretation
+// cost shipped as args[i] (nanoseconds; absent or zero means none). It
+// deliberately uses a plain sleep inside the script: that is precisely how
+// a slow Lua script behaves in Redis — nothing else on the shard runs.
+func luaSleep(args []any, i int) {
+	if i >= len(args) {
+		return
+	}
+	ns, ok := core.NumberAsInt64(args[i])
+	if !ok || ns <= 0 {
+		return
+	}
+	_ = netsim.Sleep(context.Background(), time.Duration(ns))
+}
+
+// RegisterRedisScripts installs the k-means Lua-script analogs on every
+// shard. Idempotent.
+func RegisterRedisScripts(rc *redissim.Cluster) {
+	rc.RegisterScript("kmeans_init", func(d *redissim.Data, keys []string, args []any) (any, error) {
+		flat := args[0].([]float64)
+		d.SetFloats(keys[0], flat)
+		d.SetInt(keys[0]+"/k", args[1].(int64))
+		d.SetInt(keys[0]+"/dims", args[2].(int64))
+		d.SetInt(keys[0]+"/parties", args[3].(int64))
+		d.SetFloats(keys[0]+"/sums", make([]float64, len(flat)))
+		d.SetFloats(keys[0]+"/counts", make([]float64, args[1].(int64)))
+		d.SetInt(keys[0]+"/contrib", 0)
+		return nil, nil
+	})
+	rc.RegisterScript("kmeans_get", func(d *redissim.Data, keys []string, args []any) (any, error) {
+		luaSleep(args, 0)
+		v, ok := d.GetFloats(keys[0])
+		if !ok {
+			return nil, fmt.Errorf("kmeansapp: centroids not initialized")
+		}
+		return v, nil
+	})
+	rc.RegisterScript("kmeans_update", func(d *redissim.Data, keys []string, args []any) (any, error) {
+		luaSleep(args, 2)
+		sums := args[0].([]float64)
+		counts := args[1].([]int64)
+		curSums, _ := d.GetFloats(keys[0] + "/sums")
+		curCounts, _ := d.GetFloats(keys[0] + "/counts")
+		for i := range sums {
+			curSums[i] += sums[i]
+		}
+		for i := range counts {
+			curCounts[i] += float64(counts[i])
+		}
+		contrib, _ := d.GetInt(keys[0] + "/contrib")
+		contrib++
+		parties, _ := d.GetInt(keys[0] + "/parties")
+		if contrib == parties {
+			dims, _ := d.GetInt(keys[0] + "/dims")
+			cents, _ := d.GetFloats(keys[0])
+			for c := range curCounts {
+				if curCounts[c] == 0 {
+					continue
+				}
+				for dd := int64(0); dd < dims; dd++ {
+					i := int64(c)*dims + dd
+					cents[i] = curSums[i] / curCounts[c]
+				}
+			}
+			d.SetFloats(keys[0], cents)
+			d.SetFloats(keys[0]+"/sums", make([]float64, len(curSums)))
+			d.SetFloats(keys[0]+"/counts", make([]float64, len(curCounts)))
+			contrib = 0
+		} else {
+			d.SetFloats(keys[0]+"/sums", curSums)
+			d.SetFloats(keys[0]+"/counts", curCounts)
+		}
+		d.SetInt(keys[0]+"/contrib", contrib)
+		return nil, nil
+	})
+	rc.RegisterScript("barrier_arrive", func(d *redissim.Data, keys []string, args []any) (any, error) {
+		parties := args[0].(int64)
+		n, _ := d.GetInt(keys[0] + "/count")
+		n++
+		if n == parties {
+			round, _ := d.GetInt(keys[0] + "/round")
+			d.SetInt(keys[0]+"/round", round+1)
+			n = 0
+		}
+		d.SetInt(keys[0]+"/count", n)
+		return nil, nil
+	})
+	rc.RegisterScript("barrier_round", func(d *redissim.Data, keys []string, _ []any) (any, error) {
+		round, _ := d.GetInt(keys[0] + "/round")
+		return round, nil
+	})
+}

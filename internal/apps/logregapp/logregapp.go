@@ -1,0 +1,450 @@
+// Package logregapp implements the paper's serverless logistic regression
+// (Section 6.2.2) and its Spark comparator. The Crucial version keeps the
+// weight vector in a user-defined shared object that aggregates
+// sub-gradients server side and applies the descent step when the last
+// worker of a round contributes — the fine-grained update pattern that
+// replaces Spark's per-iteration broadcast + reduce.
+package logregapp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"crucial"
+	"crucial/internal/core"
+	"crucial/internal/ml"
+	"crucial/internal/netsim"
+	"crucial/internal/sparksim"
+)
+
+// TypeGlobalModel is the wire name of the custom shared object.
+const TypeGlobalModel = "logreg.GlobalModel"
+
+// Config parameterizes one training run, identically across engines.
+type Config struct {
+	// Dims features (the paper: 100), Workers parallel workers (80),
+	// Iterations descent steps (100).
+	Dims, Workers, Iterations int
+	// PointsPerWorker is the real data per worker; LearningRate the step
+	// size.
+	PointsPerWorker int
+	LearningRate    float64
+	Seed            int64
+	// ModeledPointsPerWorker adds modeled compute per iteration at
+	// NsPerOp ns per point-feature term, compressed by TimeScale
+	// (the 100 GB-dataset stand-in; see DESIGN.md).
+	ModeledPointsPerWorker int
+	NsPerOp                float64
+	TimeScale              float64
+	// KeyPrefix isolates object keys between runs sharing a cluster.
+	KeyPrefix string
+	// SparkStageOverheadMs is the modeled per-iteration driver overhead
+	// of the Spark comparator, calibrated from the paper's EMR
+	// measurements. Zero means none.
+	SparkStageOverheadMs float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dims <= 0 {
+		c.Dims = 10
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 5
+	}
+	if c.PointsPerWorker <= 0 {
+		c.PointsPerWorker = 250
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 2.0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	if c.KeyPrefix == "" {
+		c.KeyPrefix = "logreg"
+	}
+	return c
+}
+
+func (c Config) modeledCompute() time.Duration {
+	if c.ModeledPointsPerWorker <= 0 || c.NsPerOp <= 0 {
+		return 0
+	}
+	ops := float64(c.ModeledPointsPerWorker) * float64(c.Dims)
+	return time.Duration(ops * c.NsPerOp * c.TimeScale)
+}
+
+// partition deterministically generates one worker's labeled slice; all
+// partitions label against the same ground-truth model (c.Seed).
+func (c Config) partition(part int) ([][]float64, []float64) {
+	return ml.GenerateLabeledPartition(c.PointsPerWorker, c.Dims, c.Seed, c.Seed+int64(part)+1)
+}
+
+// Result captures a run.
+type Result struct {
+	Weights []float64
+	// Losses is the per-iteration average log-loss (Fig. 4's loss curve).
+	Losses []float64
+	// IterTimes are real per-iteration durations where the engine's
+	// driver can observe them.
+	IterTimes []time.Duration
+	Total     time.Duration
+}
+
+// modelObject is the server-side GlobalModel.
+type modelObject struct {
+	dims, parties int
+	lr            float64
+	weights       []float64
+	grad          []float64
+	lossSum       float64
+	nSum          int64
+	contributors  int
+	losses        []float64
+	generation    int64
+}
+
+func newModelObject(init []any) (core.Object, error) {
+	dims, err := core.Int64Arg(init, 0)
+	if err != nil {
+		return nil, err
+	}
+	parties, err := core.Int64Arg(init, 1)
+	if err != nil {
+		return nil, err
+	}
+	lr, err := core.Arg[float64](init, 2)
+	if err != nil {
+		return nil, err
+	}
+	if dims <= 0 || parties <= 0 || lr <= 0 {
+		return nil, fmt.Errorf("logregapp: invalid init dims=%d parties=%d lr=%v", dims, parties, lr)
+	}
+	return &modelObject{
+		dims:    int(dims),
+		parties: int(parties),
+		lr:      lr,
+		weights: make([]float64, dims),
+		grad:    make([]float64, dims),
+	}, nil
+}
+
+func (o *modelObject) Call(_ core.Ctl, method string, args []any) ([]any, error) {
+	switch method {
+	case "Weights":
+		out := make([]float64, len(o.weights))
+		copy(out, o.weights)
+		return []any{out, o.generation}, nil
+	case "Update":
+		grad, err := core.Arg[[]float64](args, 0)
+		if err != nil {
+			return nil, err
+		}
+		loss, err := core.Arg[float64](args, 1)
+		if err != nil {
+			return nil, err
+		}
+		n, err := core.Int64Arg(args, 2)
+		if err != nil {
+			return nil, err
+		}
+		if len(grad) != len(o.grad) {
+			return nil, fmt.Errorf("logregapp: gradient dim %d, want %d", len(grad), len(o.grad))
+		}
+		for i := range grad {
+			o.grad[i] += grad[i]
+		}
+		o.lossSum += loss
+		o.nSum += n
+		o.contributors++
+		if o.contributors == o.parties {
+			o.weights = ml.ApplyGradient(o.weights, o.grad, o.lr, int(o.nSum))
+			o.losses = append(o.losses, o.lossSum/float64(o.nSum))
+			o.grad = make([]float64, o.dims)
+			o.lossSum, o.nSum, o.contributors = 0, 0, 0
+			o.generation++
+		}
+		return []any{o.generation}, nil
+	case "Losses":
+		out := make([]float64, len(o.losses))
+		copy(out, o.losses)
+		return []any{out}, nil
+	default:
+		return nil, fmt.Errorf("%w: GlobalModel.%s", core.ErrUnknownMethod, method)
+	}
+}
+
+type modelState struct {
+	Dims, Parties int
+	LR            float64
+	Weights, Grad []float64
+	LossSum       float64
+	NSum          int64
+	Contributors  int
+	Losses        []float64
+	Generation    int64
+}
+
+// Snapshot supports replication/rebalancing.
+func (o *modelObject) Snapshot() ([]byte, error) {
+	return core.EncodeValue(modelState{
+		Dims: o.dims, Parties: o.parties, LR: o.lr,
+		Weights: o.weights, Grad: o.grad, LossSum: o.lossSum, NSum: o.nSum,
+		Contributors: o.contributors, Losses: o.losses, Generation: o.generation,
+	})
+}
+
+// Restore replaces the object state.
+func (o *modelObject) Restore(data []byte) error {
+	var s modelState
+	if err := core.DecodeValue(data, &s); err != nil {
+		return err
+	}
+	o.dims, o.parties, o.lr = s.Dims, s.Parties, s.LR
+	o.weights, o.grad, o.lossSum, o.nSum = s.Weights, s.Grad, s.LossSum, s.NSum
+	o.contributors, o.losses, o.generation = s.Contributors, s.Losses, s.Generation
+	return nil
+}
+
+var (
+	_ core.Object      = (*modelObject)(nil)
+	_ core.Snapshotter = (*modelObject)(nil)
+)
+
+// RegisterTypes installs the custom shared type into a registry.
+func RegisterTypes(reg *core.Registry) {
+	reg.MustRegister(core.TypeInfo{Name: TypeGlobalModel, New: newModelObject})
+}
+
+// Model is the client proxy of GlobalModel.
+type Model struct{ H crucial.Handle }
+
+// NewModel builds the proxy.
+func NewModel(key string, dims, parties int, lr float64, opts ...crucial.Option) *Model {
+	s := crucial.NewShared(TypeGlobalModel, key, []any{int64(dims), int64(parties), lr}, opts...)
+	return &Model{H: s.H}
+}
+
+// Weights returns the current weight vector and its generation.
+func (m *Model) Weights(ctx context.Context) ([]float64, int64, error) {
+	res, err := m.H.Invoke(ctx, "Weights")
+	if err != nil {
+		return nil, 0, err
+	}
+	return res[0].([]float64), res[1].(int64), nil
+}
+
+// Update contributes one partition's sub-gradient, loss, and size.
+func (m *Model) Update(ctx context.Context, grad []float64, loss float64, n int) error {
+	_, err := m.H.Invoke(ctx, "Update", grad, loss, int64(n))
+	return err
+}
+
+// Losses returns the per-iteration average loss recorded server side.
+func (m *Model) Losses(ctx context.Context) ([]float64, error) {
+	res, err := m.H.Invoke(ctx, "Losses")
+	if err != nil {
+		return nil, err
+	}
+	return res[0].([]float64), nil
+}
+
+// Worker is the Crucial logistic regression cloud thread.
+type Worker struct {
+	Cfg  Config
+	Part int
+
+	Model   *Model
+	Iter    *crucial.AtomicInt
+	Barrier *crucial.CyclicBarrier
+}
+
+// NewWorker wires one worker for cfg.
+func NewWorker(cfg Config, part int) *Worker {
+	cfg = cfg.withDefaults()
+	return &Worker{
+		Cfg:     cfg,
+		Part:    part,
+		Model:   NewModel(cfg.KeyPrefix+"/model", cfg.Dims, cfg.Workers, cfg.LearningRate),
+		Iter:    crucial.NewAtomicInt(cfg.KeyPrefix + "/iterations"),
+		Barrier: crucial.NewCyclicBarrier(cfg.KeyPrefix+"/barrier", cfg.Workers),
+	}
+}
+
+// Run executes the training loop: fetch weights, compute the partition's
+// sub-gradient and loss, push both to the DSO layer, synchronize, repeat.
+func (w *Worker) Run(tc *crucial.TC) error {
+	ctx := tc.Context()
+	points, labels := w.Cfg.partition(w.Part)
+	pad := w.Cfg.modeledCompute()
+
+	iter, err := w.Iter.Get(ctx)
+	if err != nil {
+		return err
+	}
+	for int(iter) < w.Cfg.Iterations {
+		weights, _, err := w.Model.Weights(ctx)
+		if err != nil {
+			return err
+		}
+		grad := ml.SubGradient(points, labels, weights)
+		loss := ml.LogisticLoss(points, labels, weights)
+		if pad > 0 {
+			if err := netsim.Sleep(ctx, pad); err != nil {
+				return err
+			}
+		}
+		if err := w.Model.Update(ctx, grad, loss, len(points)); err != nil {
+			return err
+		}
+		if _, err := w.Barrier.Await(ctx); err != nil {
+			return err
+		}
+		if _, err := w.Iter.CompareAndSet(ctx, iter, iter+1); err != nil {
+			return err
+		}
+		if iter, err = w.Iter.Get(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunCrucial trains on a Crucial runtime.
+func RunCrucial(ctx context.Context, rt *crucial.Runtime, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	threads := make([]*crucial.CloudThread, cfg.Workers)
+	start := time.Now()
+	for i := range threads {
+		threads[i] = rt.NewThread(NewWorker(cfg, i))
+		threads[i].StartCtx(ctx)
+	}
+	if err := crucial.JoinAll(threads); err != nil {
+		return Result{}, err
+	}
+	total := time.Since(start)
+
+	probe := NewModel(cfg.KeyPrefix+"/model", cfg.Dims, cfg.Workers, cfg.LearningRate)
+	rt.Bind(probe)
+	weights, _, err := probe.Weights(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	losses, err := probe.Losses(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Weights: weights, Losses: losses, Total: total}, nil
+}
+
+// sparkPartial is one task's contribution in the Spark job.
+type sparkPartial struct {
+	grad []float64
+	loss float64
+	n    int
+}
+
+// RunSpark trains with the MLlib structure: broadcast weights, map
+// partitions, reduce sub-gradients at the driver, step.
+func RunSpark(ctx context.Context, c *sparksim.Cluster, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	weights := make([]float64, cfg.Dims)
+	pad := cfg.modeledCompute()
+	modelBytes := cfg.Dims * 8
+
+	res := Result{
+		Losses:    make([]float64, 0, cfg.Iterations),
+		IterTimes: make([]time.Duration, 0, cfg.Iterations),
+	}
+	scale := c.Config().Profile.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	start := time.Now()
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		iterStart := time.Now()
+		if cfg.SparkStageOverheadMs > 0 {
+			d := time.Duration(cfg.SparkStageOverheadMs * float64(time.Millisecond) * cfg.TimeScale)
+			if err := netsim.Sleep(ctx, d); err != nil {
+				return Result{}, err
+			}
+		}
+		if err := c.Broadcast(ctx, modelBytes); err != nil {
+			return Result{}, err
+		}
+		tasks := make([]sparksim.Task[sparkPartial], cfg.Workers)
+		for i := range tasks {
+			part := i
+			tasks[i] = sparksim.Task[sparkPartial]{
+				Compute: time.Duration(float64(pad) / scale),
+				Fn: func() (sparkPartial, error) {
+					points, labels := cfg.partition(part)
+					return sparkPartial{
+						grad: ml.SubGradient(points, labels, weights),
+						loss: ml.LogisticLoss(points, labels, weights),
+						n:    len(points),
+					}, nil
+				},
+			}
+		}
+		partials, err := sparksim.RunStage(ctx, c, tasks)
+		if err != nil {
+			return Result{}, err
+		}
+		merged, err := sparksim.ReduceCollect(ctx, c, partials, modelBytes+16,
+			func(a, b sparkPartial) sparkPartial {
+				for i := range a.grad {
+					a.grad[i] += b.grad[i]
+				}
+				a.loss += b.loss
+				a.n += b.n
+				return a
+			})
+		if err != nil {
+			return Result{}, err
+		}
+		weights = ml.ApplyGradient(weights, merged.grad, cfg.LearningRate, merged.n)
+		res.Losses = append(res.Losses, merged.loss/float64(merged.n))
+		res.IterTimes = append(res.IterTimes, time.Since(iterStart))
+	}
+	res.Total = time.Since(start)
+	res.Weights = weights
+	return res, nil
+}
+
+// RunLocal is the reference single-process trainer over the same
+// partitioned data (tests use it as ground truth for both engines).
+func RunLocal(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	weights := make([]float64, cfg.Dims)
+	losses := make([]float64, 0, cfg.Iterations)
+
+	parts := make([][][]float64, cfg.Workers)
+	labels := make([][]float64, cfg.Workers)
+	total := 0
+	for p := 0; p < cfg.Workers; p++ {
+		parts[p], labels[p] = cfg.partition(p)
+		total += len(parts[p])
+	}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		grad := make([]float64, cfg.Dims)
+		var loss float64
+		for p := 0; p < cfg.Workers; p++ {
+			g := ml.SubGradient(parts[p], labels[p], weights)
+			for i := range grad {
+				grad[i] += g[i]
+			}
+			loss += ml.LogisticLoss(parts[p], labels[p], weights)
+		}
+		weights = ml.ApplyGradient(weights, grad, cfg.LearningRate, total)
+		losses = append(losses, loss/float64(total))
+	}
+	return Result{Weights: weights, Losses: losses}, nil
+}

@@ -1,0 +1,141 @@
+package logregapp
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"crucial"
+	"crucial/internal/netsim"
+	"crucial/internal/sparksim"
+)
+
+func testCfg() Config {
+	return Config{
+		Dims: 6, Workers: 3, Iterations: 6,
+		PointsPerWorker: 150, LearningRate: 2.0, Seed: 5,
+	}
+}
+
+func newRuntime(t *testing.T) *crucial.Runtime {
+	t.Helper()
+	reg := crucial.NewTypeRegistry()
+	RegisterTypes(reg)
+	rt, err := crucial.NewLocalRuntime(crucial.Options{DSONodes: 2, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	crucial.Register(&Worker{})
+	return rt
+}
+
+func assertClose(t *testing.T, got, want []float64, tol float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("%s[%d] = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestCrucialMatchesLocal(t *testing.T) {
+	cfg := testCfg()
+	want, err := RunLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := newRuntime(t)
+	got, err := RunCrucial(context.Background(), rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClose(t, got.Weights, want.Weights, 1e-6, "weights")
+	assertClose(t, got.Losses, want.Losses, 1e-6, "losses")
+}
+
+func TestSparkMatchesLocal(t *testing.T) {
+	cfg := testCfg()
+	want, err := RunLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sparksim.NewCluster(sparksim.Config{
+		Workers: 2, CoresPerWorker: 2, Profile: netsim.Zero(), TaskOverheadMs: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSpark(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClose(t, got.Weights, want.Weights, 1e-6, "weights")
+	assertClose(t, got.Losses, want.Losses, 1e-6, "losses")
+	if len(got.IterTimes) != cfg.Iterations {
+		t.Fatalf("iter times = %d", len(got.IterTimes))
+	}
+}
+
+func TestLossDecreases(t *testing.T) {
+	cfg := testCfg()
+	cfg.Iterations = 15
+	res, err := RunLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Losses[len(res.Losses)-1] >= res.Losses[0] {
+		t.Fatalf("loss did not decrease: %v -> %v", res.Losses[0], res.Losses[len(res.Losses)-1])
+	}
+}
+
+func TestModelObjectValidation(t *testing.T) {
+	if _, err := newModelObject([]any{int64(0), int64(2), 0.5}); err == nil {
+		t.Fatal("dims=0 accepted")
+	}
+	if _, err := newModelObject([]any{int64(2), int64(2), -1.0}); err == nil {
+		t.Fatal("negative lr accepted")
+	}
+}
+
+func TestModelObjectRejectsBadGradient(t *testing.T) {
+	obj, err := newModelObject([]any{int64(3), int64(1), 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Call(nil, "Update", []any{[]float64{1}, 0.5, int64(10)}); err == nil {
+		t.Fatal("wrong-dim gradient accepted")
+	}
+}
+
+func TestModelSnapshotRoundTrip(t *testing.T) {
+	obj, _ := newModelObject([]any{int64(2), int64(1), 1.0})
+	mo := obj.(*modelObject)
+	if _, err := mo.Call(nil, "Update", []any{[]float64{1, 2}, 3.0, int64(2)}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := mo.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2, _ := newModelObject([]any{int64(1), int64(1), 1.0})
+	mo2 := obj2.(*modelObject)
+	if err := mo2.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := mo2.Call(nil, "Weights", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res[0].([]float64)
+	if len(w) != 2 || w[0] == 0 {
+		t.Fatalf("restored weights = %v", w)
+	}
+	res, _ = mo2.Call(nil, "Losses", nil)
+	if len(res[0].([]float64)) != 1 {
+		t.Fatalf("restored losses = %v", res[0])
+	}
+}

@@ -1,0 +1,376 @@
+// Package mapreduce implements the Fig. 6 experiment: synchronizing the
+// map phase of a MapReduce job (the Monte Carlo estimation of Listing 1
+// run map-style) with five different techniques:
+//
+//	(i)   PyWren-style polling over S3-like object storage,
+//	(ii)  the same polling over the in-memory grid used as a plain KV
+//	      store (the "Infinispan" baseline),
+//	(iii) an SQS-like queue,
+//	(iv)  Crucial Future objects (one per mapper, blocking Get), and
+//	(v)   Crucial auto-reduce: partials aggregated server side, driver
+//	      woken by a latch — the reduce phase disappears.
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"crucial"
+	"crucial/internal/apps/montecarlo"
+	"crucial/internal/netsim"
+	"crucial/internal/storage/queuesim"
+	"crucial/internal/storage/s3sim"
+)
+
+// Variant selects the synchronization technique.
+type Variant string
+
+// The five techniques of Fig. 6.
+const (
+	VariantS3Polling  Variant = "pywren-s3"
+	VariantKVPolling  Variant = "infinispan-poll"
+	VariantSQS        Variant = "sqs"
+	VariantFuture     Variant = "crucial-future"
+	VariantAutoReduce Variant = "crucial-autoreduce"
+)
+
+// Variants lists all techniques in presentation order.
+func Variants() []Variant {
+	return []Variant{
+		VariantS3Polling, VariantKVPolling, VariantSQS,
+		VariantFuture, VariantAutoReduce,
+	}
+}
+
+// Env holds the external cloud services a mapper reaches by global
+// endpoint (cloud functions address S3/SQS through process-global SDKs;
+// the registry below models those global endpoints).
+type Env struct {
+	S3    *s3sim.Store
+	Queue *queuesim.Queue
+}
+
+var envs = struct {
+	sync.Mutex
+	m map[string]*Env
+}{m: make(map[string]*Env)}
+
+// RegisterEnv publishes the services under an id referenced by mappers.
+func RegisterEnv(id string, env *Env) {
+	envs.Lock()
+	defer envs.Unlock()
+	envs.m[id] = env
+}
+
+// UnregisterEnv removes an environment.
+func UnregisterEnv(id string) {
+	envs.Lock()
+	defer envs.Unlock()
+	delete(envs.m, id)
+}
+
+func lookupEnv(id string) (*Env, error) {
+	envs.Lock()
+	defer envs.Unlock()
+	env, ok := envs.m[id]
+	if !ok {
+		return nil, fmt.Errorf("mapreduce: unknown environment %q", id)
+	}
+	return env, nil
+}
+
+// Params sizes one run.
+type Params struct {
+	// Threads mappers, each sampling Iterations points (plus modeled
+	// extension, like montecarlo.Params).
+	Threads           int
+	Iterations        int64
+	ModeledIterations int64
+	PointsPerSecond   float64
+	TimeScale         float64
+	Seed              int64
+	// EnvID names the registered Env (S3/SQS variants).
+	EnvID string
+	// Prefix isolates keys between runs.
+	Prefix string
+	// PollInterval is the modeled pause between storage polls
+	// (default 5ms).
+	PollInterval time.Duration
+}
+
+func (p Params) withDefaults() Params {
+	if p.Threads <= 0 {
+		p.Threads = 4
+	}
+	if p.Iterations <= 0 {
+		p.Iterations = 5000
+	}
+	if p.PointsPerSecond <= 0 {
+		p.PointsPerSecond = 12_000_000
+	}
+	if p.TimeScale <= 0 {
+		p.TimeScale = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Prefix == "" {
+		p.Prefix = "mr"
+	}
+	if p.PollInterval <= 0 {
+		p.PollInterval = 5 * time.Millisecond
+	}
+	return p
+}
+
+// computeDuration is the modeled map-phase compute time (identical across
+// variants; subtracted out to isolate synchronization time).
+func (p Params) computeDuration() time.Duration {
+	if p.ModeledIterations <= p.Iterations || p.PointsPerSecond <= 0 {
+		return 0
+	}
+	extra := p.ModeledIterations - p.Iterations
+	return time.Duration(float64(extra) / p.PointsPerSecond * float64(time.Second) * p.TimeScale)
+}
+
+// Mapper is the map-phase Runnable: sample, then emit through the
+// variant's channel.
+type Mapper struct {
+	P       Params
+	Idx     int
+	Variant Variant
+}
+
+// Run computes the partial count and emits it.
+func (m *Mapper) Run(tc *crucial.TC) error {
+	ctx := tc.Context()
+	p := m.P.withDefaults()
+	est := &montecarlo.Estimator{
+		P: montecarlo.Params{
+			Iterations:        p.Iterations,
+			ModeledIterations: p.ModeledIterations,
+			PointsPerSecond:   p.PointsPerSecond,
+			TimeScale:         p.TimeScale,
+			Seed:              p.Seed,
+		},
+		Idx: m.Idx,
+	}
+	hits, _, err := estCompute(ctx, est)
+	if err != nil {
+		return err
+	}
+
+	switch m.Variant {
+	case VariantS3Polling:
+		env, err := lookupEnv(p.EnvID)
+		if err != nil {
+			return err
+		}
+		return env.S3.Put(ctx, fmt.Sprintf("%s/part-%04d", p.Prefix, m.Idx), encodeCount(hits))
+	case VariantKVPolling:
+		cell := crucial.NewKV(fmt.Sprintf("%s/part-%04d", p.Prefix, m.Idx))
+		tc.Bind(cell)
+		return cell.Put(ctx, encodeCount(hits))
+	case VariantSQS:
+		env, err := lookupEnv(p.EnvID)
+		if err != nil {
+			return err
+		}
+		return env.Queue.Send(ctx, encodeCount(hits))
+	case VariantFuture:
+		fut := crucial.NewFuture[int64](fmt.Sprintf("%s/fut-%04d", p.Prefix, m.Idx))
+		tc.Bind(fut)
+		return fut.Set(ctx, hits)
+	case VariantAutoReduce:
+		counter := crucial.NewAtomicLong(p.Prefix + "/sum")
+		latch := crucial.NewCountDownLatch(p.Prefix+"/latch", p.Threads)
+		tc.Bind(counter, latch)
+		if _, err := counter.AddAndGet(ctx, hits); err != nil {
+			return err
+		}
+		_, err := latch.CountDown(ctx)
+		return err
+	default:
+		return fmt.Errorf("mapreduce: unknown variant %q", m.Variant)
+	}
+}
+
+// estCompute runs the estimator's sampling without touching its counter.
+func estCompute(ctx context.Context, e *montecarlo.Estimator) (int64, int64, error) {
+	return e.ComputeOnly(ctx)
+}
+
+func encodeCount(v int64) []byte {
+	return []byte(strconv.FormatInt(v, 10))
+}
+
+func decodeCount(b []byte) (int64, error) {
+	v, err := strconv.ParseInt(string(b), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("mapreduce: bad partial %q: %w", b, err)
+	}
+	return v, nil
+}
+
+// Result of one run.
+type Result struct {
+	Pi float64
+	// Total is the wall-clock of the whole run; Sync is Total minus the
+	// (identical, modeled) compute time — the Fig. 6 quantity.
+	Total time.Duration
+	Sync  time.Duration
+}
+
+// Run executes the map phase with the chosen synchronization technique
+// and reduces to the pi estimate.
+func Run(ctx context.Context, rt *crucial.Runtime, p Params, v Variant) (Result, error) {
+	p = p.withDefaults()
+	crucial.Register(&Mapper{})
+
+	start := time.Now()
+	threads := make([]*crucial.CloudThread, p.Threads)
+	for i := range threads {
+		threads[i] = rt.NewThread(&Mapper{P: p, Idx: i, Variant: v})
+		threads[i].StartCtx(ctx)
+	}
+
+	sum, err := collect(ctx, rt, p, v)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := crucial.JoinAll(threads); err != nil {
+		return Result{}, err
+	}
+	total := time.Since(start)
+
+	perThread := p.Iterations
+	if p.ModeledIterations > perThread {
+		perThread = p.ModeledIterations
+	}
+	points := perThread * int64(p.Threads)
+	syncTime := total - p.computeDuration()
+	if syncTime < 0 {
+		syncTime = 0
+	}
+	return Result{
+		Pi:    4.0 * float64(sum) / float64(points),
+		Total: total,
+		Sync:  syncTime,
+	}, nil
+}
+
+// collect implements the driver side of each technique.
+func collect(ctx context.Context, rt *crucial.Runtime, p Params, v Variant) (int64, error) {
+	poll := time.Duration(float64(p.PollInterval) * p.TimeScale)
+	switch v {
+	case VariantS3Polling:
+		env, err := lookupEnv(p.EnvID)
+		if err != nil {
+			return 0, err
+		}
+		// PyWren: poll LIST until every partial shows up (eventual
+		// consistency makes this erratic), then GET each one and reduce.
+		for {
+			keys, err := env.S3.List(ctx, p.Prefix+"/part-")
+			if err != nil {
+				return 0, err
+			}
+			if len(keys) >= p.Threads {
+				var sum int64
+				for _, k := range keys {
+					data, err := env.S3.Get(ctx, k)
+					if err != nil {
+						return 0, err
+					}
+					n, err := decodeCount(data)
+					if err != nil {
+						return 0, err
+					}
+					sum += n
+				}
+				return sum, nil
+			}
+			if err := netsim.Sleep(ctx, poll); err != nil {
+				return 0, err
+			}
+		}
+	case VariantKVPolling:
+		// Same polling pattern against the in-memory grid: faster but
+		// still poll-based.
+		var sum int64
+		for i := 0; i < p.Threads; i++ {
+			cell := crucial.NewKV(fmt.Sprintf("%s/part-%04d", p.Prefix, i))
+			rt.Bind(cell)
+			for {
+				data, ok, err := cell.Get(ctx)
+				if err != nil {
+					return 0, err
+				}
+				if ok {
+					n, err := decodeCount(data)
+					if err != nil {
+						return 0, err
+					}
+					sum += n
+					break
+				}
+				if err := netsim.Sleep(ctx, poll); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return sum, nil
+	case VariantSQS:
+		env, err := lookupEnv(p.EnvID)
+		if err != nil {
+			return 0, err
+		}
+		var sum int64
+		received := 0
+		for received < p.Threads {
+			// One message per receive: SQS's MaxNumberOfMessages default,
+			// and the reason the paper finds this technique slowest.
+			msgs, err := env.Queue.Receive(ctx, 1)
+			if err != nil {
+				return 0, err
+			}
+			for _, msg := range msgs {
+				n, err := decodeCount(msg)
+				if err != nil {
+					return 0, err
+				}
+				sum += n
+				received++
+			}
+		}
+		return sum, nil
+	case VariantFuture:
+		// Blocking Get: the server responds the moment the result lands.
+		var sum int64
+		for i := 0; i < p.Threads; i++ {
+			fut := crucial.NewFuture[int64](fmt.Sprintf("%s/fut-%04d", p.Prefix, i))
+			rt.Bind(fut)
+			v, err := fut.Get(ctx)
+			if err != nil {
+				return 0, err
+			}
+			sum += v
+		}
+		return sum, nil
+	case VariantAutoReduce:
+		// The reduce already happened in the DSO layer: await the latch,
+		// read one number.
+		latch := crucial.NewCountDownLatch(p.Prefix+"/latch", p.Threads)
+		counter := crucial.NewAtomicLong(p.Prefix + "/sum")
+		rt.Bind(latch, counter)
+		if err := latch.Await(ctx); err != nil {
+			return 0, err
+		}
+		return counter.Get(ctx)
+	default:
+		return 0, fmt.Errorf("mapreduce: unknown variant %q", v)
+	}
+}

@@ -1,0 +1,148 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"crucial"
+	"crucial/internal/netsim"
+	"crucial/internal/storage/queuesim"
+	"crucial/internal/storage/s3sim"
+)
+
+func mrRuntime(t *testing.T) *crucial.Runtime {
+	t.Helper()
+	rt, err := crucial.NewLocalRuntime(crucial.Options{DSONodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	return rt
+}
+
+func registerTestEnv(t *testing.T, id string, profile *netsim.Profile) {
+	t.Helper()
+	RegisterEnv(id, &Env{
+		S3:    s3sim.New(s3sim.Options{Profile: profile, ListLag: 5 * time.Millisecond}),
+		Queue: queuesim.NewQueue(profile),
+	})
+	t.Cleanup(func() { UnregisterEnv(id) })
+}
+
+func TestAllVariantsProduceSamePi(t *testing.T) {
+	rt := mrRuntime(t)
+	ctx := context.Background()
+
+	var first float64
+	for i, v := range Variants() {
+		envID := fmt.Sprintf("env-%s", v)
+		registerTestEnv(t, envID, netsim.Zero())
+		p := Params{
+			Threads: 4, Iterations: 8000, Seed: 7,
+			EnvID:  envID,
+			Prefix: fmt.Sprintf("mr-%s", v),
+		}
+		res, err := Run(ctx, rt, p, v)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if res.Pi < 2.8 || res.Pi > 3.5 {
+			t.Fatalf("%s: pi = %v", v, res.Pi)
+		}
+		if i == 0 {
+			first = res.Pi
+		} else if res.Pi != first {
+			t.Fatalf("%s: pi %v differs from first variant %v (same seed must agree)", v, res.Pi, first)
+		}
+		if res.Sync < 0 || res.Total <= 0 {
+			t.Fatalf("%s: timing %v/%v", v, res.Sync, res.Total)
+		}
+	}
+}
+
+func TestUnknownVariant(t *testing.T) {
+	rt := mrRuntime(t)
+	_, err := Run(context.Background(), rt, Params{Threads: 1, Prefix: "bad"}, Variant("nope"))
+	if err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestMissingEnv(t *testing.T) {
+	rt := mrRuntime(t)
+	_, err := Run(context.Background(), rt, Params{
+		Threads: 1, EnvID: "ghost", Prefix: "ghost",
+	}, VariantSQS)
+	if err == nil {
+		t.Fatal("missing environment accepted")
+	}
+}
+
+func TestSlowVariantsSlowerThanFutures(t *testing.T) {
+	rt := mrRuntime(t)
+	ctx := context.Background()
+
+	// Latency-bearing profile so the ordering S3 > Future emerges.
+	profile := netsim.Zero()
+	profile.S3Put = netsim.Latency{Base: 8 * time.Millisecond}
+	profile.S3Get = netsim.Latency{Base: 6 * time.Millisecond}
+	profile.S3List = netsim.Latency{Base: 6 * time.Millisecond}
+	registerTestEnv(t, "env-order", profile)
+
+	run := func(v Variant) time.Duration {
+		t.Helper()
+		res, err := Run(ctx, rt, Params{
+			Threads: 3, Iterations: 2000, Seed: 3,
+			EnvID:  "env-order",
+			Prefix: fmt.Sprintf("order-%s", v),
+		}, v)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		return res.Sync
+	}
+	s3Time := run(VariantS3Polling)
+	futTime := run(VariantFuture)
+	if s3Time <= futTime {
+		t.Fatalf("S3 polling (%v) not slower than futures (%v)", s3Time, futTime)
+	}
+}
+
+func TestEnvRegistry(t *testing.T) {
+	env := &Env{}
+	RegisterEnv("x", env)
+	got, err := lookupEnv("x")
+	if err != nil || got != env {
+		t.Fatalf("lookup = %v %v", got, err)
+	}
+	UnregisterEnv("x")
+	if _, err := lookupEnv("x"); err == nil {
+		t.Fatal("lookup after unregister succeeded")
+	}
+}
+
+func TestDecodeCount(t *testing.T) {
+	n, err := decodeCount(encodeCount(42))
+	if err != nil || n != 42 {
+		t.Fatalf("round trip = %d %v", n, err)
+	}
+	if _, err := decodeCount([]byte("nope")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestComputeDuration(t *testing.T) {
+	p := Params{
+		Iterations: 1000, ModeledIterations: 2000,
+		PointsPerSecond: 1000, TimeScale: 1,
+	}.withDefaults()
+	if got := p.computeDuration(); got != time.Second {
+		t.Fatalf("computeDuration = %v, want 1s", got)
+	}
+	p.ModeledIterations = 0
+	if got := p.computeDuration(); got != 0 {
+		t.Fatalf("computeDuration without modeling = %v", got)
+	}
+}

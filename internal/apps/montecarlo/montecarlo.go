@@ -1,0 +1,182 @@
+// Package montecarlo implements the paper's Listing 1: a multi-threaded
+// Monte Carlo estimation of pi whose only shared state is one counter.
+// It backs the quickstart example, the Fig. 2b scalability experiment and
+// the Fig. 6 map phase.
+package montecarlo
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"crucial"
+	"crucial/internal/netsim"
+)
+
+// Params sizes one estimation run.
+type Params struct {
+	// Threads cloud threads each draw Iterations points.
+	Threads    int
+	Iterations int64
+	Seed       int64
+	// ModeledIterations, when positive, represents paper-scale work: the
+	// thread really draws Iterations points for the statistics, then
+	// sleeps ModeledIterations/PointsPerSecond (compressed by TimeScale)
+	// and scales its count, standing in for the full loop (see DESIGN.md).
+	ModeledIterations int64
+	PointsPerSecond   float64
+	TimeScale         float64
+	// CounterKey names the shared counter.
+	CounterKey string
+}
+
+func (p Params) withDefaults() Params {
+	if p.Threads <= 0 {
+		p.Threads = 4
+	}
+	if p.Iterations <= 0 {
+		p.Iterations = 10000
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.PointsPerSecond <= 0 {
+		p.PointsPerSecond = 12_000_000 // one Lambda core, ~12M points/s
+	}
+	if p.TimeScale <= 0 {
+		p.TimeScale = 1
+	}
+	if p.CounterKey == "" {
+		p.CounterKey = "counter"
+	}
+	return p
+}
+
+// Sample draws n points and counts the hits inside the unit circle.
+func Sample(n int64, seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	var count int64
+	for i := int64(0); i < n; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		if x*x+y*y <= 1.0 {
+			count++
+		}
+	}
+	return count
+}
+
+// Estimator is the Listing 1 Runnable.
+type Estimator struct {
+	P       Params
+	Idx     int
+	Counter *crucial.AtomicLong
+}
+
+// NewEstimator wires one cloud thread.
+func NewEstimator(p Params, idx int) *Estimator {
+	p = p.withDefaults()
+	return &Estimator{P: p, Idx: idx, Counter: crucial.NewAtomicLong(p.CounterKey)}
+}
+
+// Run draws points and pushes the hit count into the shared counter
+// (lines 7-16 of Listing 1).
+func (e *Estimator) Run(tc *crucial.TC) error {
+	count, total, err := e.ComputeOnly(tc.Context())
+	if err != nil {
+		return err
+	}
+	_ = total
+	_, err = e.Counter.AddAndGet(tc.Context(), count)
+	return err
+}
+
+// ComputeOnly performs the (possibly partially modeled) sampling without
+// touching the shared counter, returning the hits and the logical number
+// of points they represent. The mapreduce experiment reuses it with its
+// own emission channels.
+func (e *Estimator) ComputeOnly(ctx context.Context) (hits, total int64, err error) {
+	p := e.P.withDefaults()
+	hits = Sample(p.Iterations, p.Seed+int64(e.Idx))
+	total = p.Iterations
+	if p.ModeledIterations > p.Iterations {
+		// Stand-in for the rest of the loop: sleep the modeled compute
+		// time and extrapolate the hit count from the real sample.
+		extra := p.ModeledIterations - p.Iterations
+		d := time.Duration(float64(extra) / p.PointsPerSecond * float64(time.Second) * p.TimeScale)
+		if err := netsim.Sleep(ctx, d); err != nil {
+			return 0, 0, err
+		}
+		hits += int64(float64(extra) * float64(hits) / float64(p.Iterations))
+		total = p.ModeledIterations
+	}
+	return hits, total, nil
+}
+
+// Result summarizes a run.
+type Result struct {
+	Pi          float64
+	TotalPoints int64
+	Elapsed     time.Duration
+}
+
+// RunCrucial executes the estimation with cloud threads (Listing 1's
+// main): fork, join, read the counter.
+func RunCrucial(ctx context.Context, rt *crucial.Runtime, p Params) (Result, error) {
+	p = p.withDefaults()
+	crucial.Register(&Estimator{})
+	start := time.Now()
+	threads := make([]*crucial.CloudThread, p.Threads)
+	for i := range threads {
+		threads[i] = rt.NewThread(NewEstimator(p, i))
+		threads[i].StartCtx(ctx)
+	}
+	if err := crucial.JoinAll(threads); err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+
+	counter := crucial.NewAtomicLong(p.CounterKey)
+	rt.Bind(counter)
+	hits, err := counter.Get(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	perThread := p.Iterations
+	if p.ModeledIterations > perThread {
+		perThread = p.ModeledIterations
+	}
+	total := perThread * int64(p.Threads)
+	return Result{
+		Pi:          4.0 * float64(hits) / float64(total),
+		TotalPoints: total,
+		Elapsed:     elapsed,
+	}, nil
+}
+
+// RunLocal is the plain multi-threaded version (the program Listing 1
+// starts from; Table 4 counts the lines changed between the two).
+func RunLocal(ctx context.Context, p Params) (Result, error) {
+	p = p.withDefaults()
+	var counter int64
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < p.Threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hits := Sample(p.Iterations, p.Seed+int64(i))
+			mu.Lock()
+			counter += hits
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	total := p.Iterations * int64(p.Threads)
+	return Result{
+		Pi:          4.0 * float64(counter) / float64(total),
+		TotalPoints: total,
+		Elapsed:     time.Since(start),
+	}, nil
+}

@@ -1,0 +1,111 @@
+package montecarlo
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"crucial"
+)
+
+func TestSampleDeterministic(t *testing.T) {
+	a := Sample(10000, 7)
+	b := Sample(10000, 7)
+	if a != b {
+		t.Fatal("Sample not deterministic")
+	}
+	// Hit ratio must be near pi/4.
+	ratio := float64(a) / 10000
+	if math.Abs(ratio-math.Pi/4) > 0.03 {
+		t.Fatalf("hit ratio %v far from pi/4", ratio)
+	}
+}
+
+func TestRunLocal(t *testing.T) {
+	res, err := RunLocal(context.Background(), Params{Threads: 4, Iterations: 10000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Pi-math.Pi) > 0.1 {
+		t.Fatalf("pi = %v", res.Pi)
+	}
+	if res.TotalPoints != 40000 {
+		t.Fatalf("points = %d", res.TotalPoints)
+	}
+}
+
+func TestRunCrucial(t *testing.T) {
+	rt, err := crucial.NewLocalRuntime(crucial.Options{DSONodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rt.Close() }()
+	res, err := RunCrucial(context.Background(), rt, Params{
+		Threads: 4, Iterations: 10000, Seed: 1, CounterKey: "mc-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Pi-math.Pi) > 0.1 {
+		t.Fatalf("pi = %v", res.Pi)
+	}
+}
+
+func TestCrucialMatchesLocalCounts(t *testing.T) {
+	// Same seeds => identical per-thread samples => identical estimate.
+	p := Params{Threads: 3, Iterations: 5000, Seed: 11, CounterKey: "mc-match"}
+	local, err := RunLocal(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := crucial.NewLocalRuntime(crucial.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rt.Close() }()
+	remote, err := RunCrucial(context.Background(), rt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Pi != remote.Pi {
+		t.Fatalf("local pi %v != crucial pi %v", local.Pi, remote.Pi)
+	}
+}
+
+func TestModeledExtension(t *testing.T) {
+	e := &Estimator{P: Params{
+		Iterations:        1000,
+		ModeledIterations: 100000,
+		PointsPerSecond:   10_000_000,
+		TimeScale:         1,
+		Seed:              5,
+	}}
+	start := time.Now()
+	hits, total, err := e.ComputeOnly(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 100000 {
+		t.Fatalf("total = %d", total)
+	}
+	ratio := float64(hits) / float64(total)
+	if math.Abs(ratio-math.Pi/4) > 0.05 {
+		t.Fatalf("extrapolated ratio %v", ratio)
+	}
+	// 99000 extra points at 10M/s ~ 9.9ms sleep.
+	if time.Since(start) < 9*time.Millisecond {
+		t.Fatal("modeled extension did not sleep")
+	}
+}
+
+func TestModeledDisabledWhenSmaller(t *testing.T) {
+	e := &Estimator{P: Params{Iterations: 1000, ModeledIterations: 10, Seed: 5}}
+	_, total, err := e.ComputeOnly(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 1000 {
+		t.Fatalf("total = %d, modeled smaller than real must be ignored", total)
+	}
+}

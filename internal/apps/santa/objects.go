@@ -1,0 +1,389 @@
+// Package santa solves the Santa Claus problem (Trono, 1994; paper
+// Section 6.3.3): Santa sleeps until either all 9 reindeer return from
+// vacation (deliver toys) or 3 of the 10 elves need help (consult). The
+// entities coordinate through groups and gates, implemented three ways:
+//
+//   - POJO: local goroutines with monitor-based objects (the single-machine
+//     baseline of Fig. 7c),
+//   - DSO: the same algorithm with the objects in the DSO layer (only the
+//     object placement changes — the code of the entities is identical),
+//   - Cloud: DSO objects and entities running as cloud threads.
+//
+// The three variants share one algorithm parameterized by the SyncFactory
+// interface, which is the Go equivalent of "the code of the objects used
+// in the POJO solution is not changed; only the @Shared annotation is
+// required".
+package santa
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"crucial/internal/core"
+)
+
+// Group admits up to n entities per batch; the batch then waits to be
+// served and released.
+type Group interface {
+	// Join blocks while a full batch is being served, then admits the
+	// caller; last reports whether the caller completed the batch.
+	Join(ctx context.Context) (last bool, err error)
+	// Release ends the batch, readmitting waiting joiners.
+	Release(ctx context.Context) error
+}
+
+// Gate lets exactly n entities pass each time it is opened. Open blocks
+// until all n have passed (giving Santa his synchronization points).
+type Gate interface {
+	Pass(ctx context.Context) error
+	Open(ctx context.Context) error
+}
+
+// Signal is Santa's doorbell: entities raise a kind, Santa awaits one,
+// reindeer having priority (the problem's fairness requirement).
+type Signal interface {
+	Raise(ctx context.Context, kind string) error
+	Await(ctx context.Context) (string, error)
+}
+
+// Kinds of signal.
+const (
+	KindReindeer = "reindeer"
+	KindElf      = "elf"
+)
+
+// Counter is a shared work pool: Dec atomically takes one unit,
+// returning the remaining count (negative when the pool is dry).
+type Counter interface {
+	Dec(ctx context.Context) (int64, error)
+}
+
+// SyncFactory builds named synchronization objects; implementations are
+// local monitors or DSO proxies.
+type SyncFactory interface {
+	Group(name string, n int) Group
+	Gate(name string, n int) Gate
+	Signal(name string) Signal
+	Counter(name string, initial int64) Counter
+}
+
+// --- Local (POJO) implementation: plain monitors ---
+
+// LocalFactory builds in-process objects (the single-machine solution).
+type LocalFactory struct {
+	mu   sync.Mutex
+	objs map[string]any
+}
+
+// NewLocalFactory builds an empty factory.
+func NewLocalFactory() *LocalFactory {
+	return &LocalFactory{objs: make(map[string]any)}
+}
+
+func factoryGet[T any](f *LocalFactory, name string, build func() T) T {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if o, ok := f.objs[name]; ok {
+		return o.(T)
+	}
+	o := build()
+	f.objs[name] = o
+	return o
+}
+
+// Group returns the named group.
+func (f *LocalFactory) Group(name string, n int) Group {
+	return factoryGet(f, name, func() *localGroup {
+		g := &localGroup{n: n}
+		g.cond = sync.NewCond(&g.mu)
+		return g
+	})
+}
+
+// Gate returns the named gate.
+func (f *LocalFactory) Gate(name string, n int) Gate {
+	return factoryGet(f, name, func() *localGate {
+		g := &localGate{n: n}
+		g.cond = sync.NewCond(&g.mu)
+		return g
+	})
+}
+
+// Signal returns the named signal.
+func (f *LocalFactory) Signal(name string) Signal {
+	return factoryGet(f, name, func() *localSignal {
+		s := &localSignal{}
+		s.cond = sync.NewCond(&s.mu)
+		return s
+	})
+}
+
+// Counter returns the named counter seeded with initial.
+func (f *LocalFactory) Counter(name string, initial int64) Counter {
+	return factoryGet(f, name, func() *localCounter {
+		c := &localCounter{}
+		c.v.Store(initial)
+		return c
+	})
+}
+
+type localCounter struct {
+	v atomic.Int64
+}
+
+func (c *localCounter) Dec(context.Context) (int64, error) {
+	return c.v.Add(-1), nil
+}
+
+// localGroup admits joiners in FIFO ticket order: ticket t belongs to
+// batch t/n, and Join returns once that batch is active (all earlier
+// batches released). FIFO admission makes the group starvation-free: with
+// a total join count divisible by n, every batch eventually fills, whereas
+// naive "first n waiters" admission can strand the last joiners of a
+// bounded workload (three eager elves can exhaust their consultations
+// early and leave a straggler unable to ever fill a batch).
+type localGroup struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	n           int
+	nextTicket  int
+	activeBatch int
+}
+
+func (g *localGroup) Join(context.Context) (bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	t := g.nextTicket
+	g.nextTicket++
+	batch := t / g.n
+	last := t%g.n == g.n-1
+	for g.activeBatch != batch {
+		g.cond.Wait()
+	}
+	return last, nil
+}
+
+func (g *localGroup) Release(context.Context) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.activeBatch++
+	g.cond.Broadcast()
+	return nil
+}
+
+type localGate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	open   bool
+	passed int
+}
+
+func (g *localGate) Pass(context.Context) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for !g.open {
+		g.cond.Wait()
+	}
+	g.passed++
+	if g.passed == g.n {
+		g.open = false
+	}
+	g.cond.Broadcast()
+	return nil
+}
+
+func (g *localGate) Open(context.Context) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.passed = 0
+	g.open = true
+	g.cond.Broadcast()
+	for g.passed != g.n {
+		g.cond.Wait()
+	}
+	return nil
+}
+
+type localSignal struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	reindeer int
+	elves    int
+}
+
+func (s *localSignal) Raise(_ context.Context, kind string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch kind {
+	case KindReindeer:
+		s.reindeer++
+	case KindElf:
+		s.elves++
+	default:
+		return fmt.Errorf("santa: unknown signal kind %q", kind)
+	}
+	s.cond.Broadcast()
+	return nil
+}
+
+func (s *localSignal) Await(context.Context) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.reindeer == 0 && s.elves == 0 {
+		s.cond.Wait()
+	}
+	if s.reindeer > 0 { // reindeer priority
+		s.reindeer--
+		return KindReindeer, nil
+	}
+	s.elves--
+	return KindElf, nil
+}
+
+// --- DSO server-side objects (the @Shared versions) ---
+
+// Type names of the custom shared objects.
+const (
+	TypeGroup  = "santa.Group"
+	TypeGate   = "santa.Gate"
+	TypeSignal = "santa.Signal"
+)
+
+// RegisterTypes installs the Santa object types into a registry.
+func RegisterTypes(reg *core.Registry) {
+	reg.MustRegister(core.TypeInfo{Name: TypeGroup, New: newGroupObject, Synchronization: true})
+	reg.MustRegister(core.TypeInfo{Name: TypeGate, New: newGateObject, Synchronization: true})
+	reg.MustRegister(core.TypeInfo{Name: TypeSignal, New: newSignalObject, Synchronization: true})
+}
+
+// groupObject mirrors localGroup on a DSO node with the same FIFO ticket
+// semantics. Note the identical logic: ctl.Wait/Broadcast replace the
+// monitor (this is the paper's point).
+type groupObject struct {
+	n           int64
+	nextTicket  int64
+	activeBatch int64
+}
+
+func newGroupObject(init []any) (core.Object, error) {
+	n, err := core.Int64Arg(init, 0)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("santa: group needs n > 0")
+	}
+	return &groupObject{n: n}, nil
+}
+
+func (g *groupObject) Call(ctl core.Ctl, method string, _ []any) ([]any, error) {
+	switch method {
+	case "Join":
+		t := g.nextTicket
+		g.nextTicket++
+		batch := t / g.n
+		last := t%g.n == g.n-1
+		if err := ctl.Wait(func() bool { return g.activeBatch == batch }); err != nil {
+			return nil, err
+		}
+		return []any{last}, nil
+	case "Release":
+		g.activeBatch++
+		ctl.Broadcast()
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: santa.Group.%s", core.ErrUnknownMethod, method)
+	}
+}
+
+type gateObject struct {
+	n      int64
+	open   bool
+	passed int64
+}
+
+func newGateObject(init []any) (core.Object, error) {
+	n, err := core.Int64Arg(init, 0)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("santa: gate needs n > 0")
+	}
+	return &gateObject{n: n}, nil
+}
+
+func (g *gateObject) Call(ctl core.Ctl, method string, _ []any) ([]any, error) {
+	switch method {
+	case "Pass":
+		if err := ctl.Wait(func() bool { return g.open }); err != nil {
+			return nil, err
+		}
+		g.passed++
+		if g.passed == g.n {
+			g.open = false
+		}
+		ctl.Broadcast()
+		return nil, nil
+	case "Open":
+		g.passed = 0
+		g.open = true
+		ctl.Broadcast()
+		if err := ctl.Wait(func() bool { return g.passed == g.n }); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: santa.Gate.%s", core.ErrUnknownMethod, method)
+	}
+}
+
+type signalObject struct {
+	reindeer int64
+	elves    int64
+}
+
+func newSignalObject(_ []any) (core.Object, error) {
+	return &signalObject{}, nil
+}
+
+func (s *signalObject) Call(ctl core.Ctl, method string, args []any) ([]any, error) {
+	switch method {
+	case "Raise":
+		kind, err := core.Arg[string](args, 0)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case KindReindeer:
+			s.reindeer++
+		case KindElf:
+			s.elves++
+		default:
+			return nil, fmt.Errorf("santa: unknown signal kind %q", kind)
+		}
+		ctl.Broadcast()
+		return nil, nil
+	case "Await":
+		if err := ctl.Wait(func() bool { return s.reindeer > 0 || s.elves > 0 }); err != nil {
+			return nil, err
+		}
+		if s.reindeer > 0 {
+			s.reindeer--
+			return []any{KindReindeer}, nil
+		}
+		s.elves--
+		return []any{KindElf}, nil
+	default:
+		return nil, fmt.Errorf("%w: santa.Signal.%s", core.ErrUnknownMethod, method)
+	}
+}
+
+var (
+	_ core.Object = (*groupObject)(nil)
+	_ core.Object = (*gateObject)(nil)
+	_ core.Object = (*signalObject)(nil)
+)

@@ -1,0 +1,394 @@
+package santa
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"crucial"
+	"crucial/internal/core"
+	"crucial/internal/netsim"
+)
+
+// Params sizes one simulation. The paper's instance: 10 elves, 9 reindeer,
+// 15 toy deliveries.
+type Params struct {
+	Elves, Reindeer, Deliveries int
+	// TotalConsults is the shared pool of consultations the elves work
+	// through; it must be divisible by the showroom size (3). A shared
+	// pool (rather than a per-elf quota) keeps the system deadlock-free:
+	// with fixed quotas, the last batch can demand a second ticket from
+	// an elf already blocked inside that batch.
+	TotalConsults int
+	// Modeled activity durations, compressed by TimeScale at run time.
+	DeliveryTime, ConsultTime, VacationTime time.Duration
+	TimeScale                               float64
+	Seed                                    int64
+	// Prefix isolates DSO object keys between runs.
+	Prefix string
+}
+
+// ElfGroupSize is the number of elves Santa helps at a time.
+const ElfGroupSize = 3
+
+func (p Params) withDefaults() (Params, error) {
+	if p.Elves <= 0 {
+		p.Elves = 10
+	}
+	if p.Reindeer <= 0 {
+		p.Reindeer = 9
+	}
+	if p.Deliveries <= 0 {
+		p.Deliveries = 15
+	}
+	if p.TotalConsults <= 0 {
+		p.TotalConsults = p.Elves * 3
+	}
+	if p.TotalConsults%ElfGroupSize != 0 {
+		return p, fmt.Errorf("santa: %d total consults not divisible by %d",
+			p.TotalConsults, ElfGroupSize)
+	}
+	if p.DeliveryTime <= 0 {
+		p.DeliveryTime = 100 * time.Millisecond
+	}
+	if p.ConsultTime <= 0 {
+		p.ConsultTime = 50 * time.Millisecond
+	}
+	if p.VacationTime <= 0 {
+		p.VacationTime = 120 * time.Millisecond
+	}
+	if p.TimeScale <= 0 {
+		p.TimeScale = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Prefix == "" {
+		p.Prefix = "santa"
+	}
+	return p, nil
+}
+
+func (p Params) sleep(ctx context.Context, d time.Duration, jitter *rand.Rand) error {
+	if jitter != nil {
+		d = d/2 + time.Duration(jitter.Int63n(int64(d)))
+	}
+	return netsim.Sleep(ctx, time.Duration(float64(d)*p.TimeScale))
+}
+
+// episodes is the total number of batches Santa serves.
+func (p Params) episodes() int {
+	return p.Deliveries + p.TotalConsults/ElfGroupSize
+}
+
+// SantaLoop is Santa: await a full group (reindeer first), serve it,
+// release it — repeated until all deliveries and consultations are done.
+func SantaLoop(ctx context.Context, f SyncFactory, p Params) error {
+	signal := f.Signal(p.Prefix + "/signal")
+	rgroup := f.Group(p.Prefix+"/rgroup", p.Reindeer)
+	egroup := f.Group(p.Prefix+"/egroup", ElfGroupSize)
+	harness := f.Gate(p.Prefix+"/harness", p.Reindeer)
+	unharness := f.Gate(p.Prefix+"/unharness", p.Reindeer)
+	showIn := f.Gate(p.Prefix+"/showin", ElfGroupSize)
+	showOut := f.Gate(p.Prefix+"/showout", ElfGroupSize)
+
+	for served := 0; served < p.episodes(); served++ {
+		kind, err := signal.Await(ctx)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case KindReindeer:
+			if err := harness.Open(ctx); err != nil {
+				return err
+			}
+			if err := p.sleep(ctx, p.DeliveryTime, nil); err != nil {
+				return err
+			}
+			if err := unharness.Open(ctx); err != nil {
+				return err
+			}
+			if err := rgroup.Release(ctx); err != nil {
+				return err
+			}
+		case KindElf:
+			if err := showIn.Open(ctx); err != nil {
+				return err
+			}
+			if err := p.sleep(ctx, p.ConsultTime, nil); err != nil {
+				return err
+			}
+			if err := showOut.Open(ctx); err != nil {
+				return err
+			}
+			if err := egroup.Release(ctx); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("santa: unexpected signal %q", kind)
+		}
+	}
+	return nil
+}
+
+// ReindeerLoop is one reindeer: vacation, regroup, get harnessed, deliver,
+// get unharnessed — once per delivery.
+func ReindeerLoop(ctx context.Context, f SyncFactory, p Params, idx int) error {
+	signal := f.Signal(p.Prefix + "/signal")
+	rgroup := f.Group(p.Prefix+"/rgroup", p.Reindeer)
+	harness := f.Gate(p.Prefix+"/harness", p.Reindeer)
+	unharness := f.Gate(p.Prefix+"/unharness", p.Reindeer)
+	jitter := rand.New(rand.NewSource(p.Seed + int64(idx)))
+
+	for d := 0; d < p.Deliveries; d++ {
+		if err := p.sleep(ctx, p.VacationTime, jitter); err != nil {
+			return err
+		}
+		last, err := rgroup.Join(ctx)
+		if err != nil {
+			return err
+		}
+		if last {
+			if err := signal.Raise(ctx, KindReindeer); err != nil {
+				return err
+			}
+		}
+		if err := harness.Pass(ctx); err != nil {
+			return err
+		}
+		if err := unharness.Pass(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ElfLoop is one elf: work until stuck, group up in threes, consult Santa.
+// Elves draw consultations from the shared pool until it runs dry.
+func ElfLoop(ctx context.Context, f SyncFactory, p Params, idx int) error {
+	signal := f.Signal(p.Prefix + "/signal")
+	egroup := f.Group(p.Prefix+"/egroup", ElfGroupSize)
+	showIn := f.Gate(p.Prefix+"/showin", ElfGroupSize)
+	showOut := f.Gate(p.Prefix+"/showout", ElfGroupSize)
+	pool := f.Counter(p.Prefix+"/consults", int64(p.TotalConsults))
+	jitter := rand.New(rand.NewSource(p.Seed + 1000 + int64(idx)))
+
+	for {
+		remaining, err := pool.Dec(ctx)
+		if err != nil {
+			return err
+		}
+		if remaining < 0 {
+			return nil
+		}
+		if err := p.sleep(ctx, p.VacationTime/2, jitter); err != nil {
+			return err
+		}
+		last, err := egroup.Join(ctx)
+		if err != nil {
+			return err
+		}
+		if last {
+			if err := signal.Raise(ctx, KindElf); err != nil {
+				return err
+			}
+		}
+		if err := showIn.Pass(ctx); err != nil {
+			return err
+		}
+		if err := showOut.Pass(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// runEntities runs the full cast over a factory using local goroutines.
+func runEntities(ctx context.Context, f SyncFactory, p Params) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1+p.Reindeer+p.Elves)
+	launch := func(fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fn(); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	launch(func() error { return SantaLoop(ctx, f, p) })
+	for i := 0; i < p.Reindeer; i++ {
+		i := i
+		launch(func() error { return ReindeerLoop(ctx, f, p, i) })
+	}
+	for i := 0; i < p.Elves; i++ {
+		i := i
+		launch(func() error { return ElfLoop(ctx, f, p, i) })
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// RunPOJO solves the problem with local goroutines and monitors.
+func RunPOJO(ctx context.Context, p Params) (time.Duration, error) {
+	full, err := p.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := runEntities(ctx, NewLocalFactory(), full); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// RunDSO solves the problem with local goroutines whose synchronization
+// objects live in the DSO layer (the "@Shared only" refinement).
+func RunDSO(ctx context.Context, rt *crucial.Runtime, p Params) (time.Duration, error) {
+	full, err := p.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := runEntities(ctx, NewDSOFactory(rt.Invoker()), full); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// Entity is the cloud-thread form of one cast member.
+type Entity struct {
+	Role string // "santa", "reindeer", or "elf"
+	Idx  int
+	P    Params
+}
+
+// Run dispatches the entity's loop with DSO-backed objects bound to the
+// function's client.
+func (e *Entity) Run(tc *crucial.TC) error {
+	f := NewDSOFactory(tc.Invoker())
+	switch e.Role {
+	case "santa":
+		return SantaLoop(tc.Context(), f, e.P)
+	case "reindeer":
+		return ReindeerLoop(tc.Context(), f, e.P, e.Idx)
+	case "elf":
+		return ElfLoop(tc.Context(), f, e.P, e.Idx)
+	default:
+		return fmt.Errorf("santa: unknown role %q", e.Role)
+	}
+}
+
+// RunCloud solves the problem with every entity on a cloud thread
+// (the full Crucial refinement of Fig. 7c).
+func RunCloud(ctx context.Context, rt *crucial.Runtime, p Params) (time.Duration, error) {
+	full, err := p.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	crucial.Register(&Entity{})
+	rs := make([]crucial.Runnable, 0, 1+full.Reindeer+full.Elves)
+	rs = append(rs, &Entity{Role: "santa", P: full})
+	for i := 0; i < full.Reindeer; i++ {
+		rs = append(rs, &Entity{Role: "reindeer", Idx: i, P: full})
+	}
+	for i := 0; i < full.Elves; i++ {
+		rs = append(rs, &Entity{Role: "elf", Idx: i, P: full})
+	}
+	start := time.Now()
+	threads := make([]*crucial.CloudThread, len(rs))
+	for i, r := range rs {
+		threads[i] = rt.NewThread(r)
+		threads[i].StartCtx(ctx)
+	}
+	if err := crucial.JoinAll(threads); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// --- DSO factory: proxies over the custom shared objects ---
+
+// DSOFactory builds proxies bound to a DSO client.
+type DSOFactory struct {
+	inv core.Invoker
+}
+
+// NewDSOFactory wraps an invoker (runtime master client or a thread's
+// client).
+func NewDSOFactory(inv core.Invoker) *DSOFactory {
+	return &DSOFactory{inv: inv}
+}
+
+// Group returns a proxy for the named group.
+func (f *DSOFactory) Group(name string, n int) Group {
+	s := crucial.NewShared(TypeGroup, name, []any{int64(n)})
+	s.H.BindDSO(f.inv)
+	return &dsoGroup{s: s}
+}
+
+// Gate returns a proxy for the named gate.
+func (f *DSOFactory) Gate(name string, n int) Gate {
+	s := crucial.NewShared(TypeGate, name, []any{int64(n)})
+	s.H.BindDSO(f.inv)
+	return &dsoGate{s: s}
+}
+
+// Signal returns a proxy for the named signal.
+func (f *DSOFactory) Signal(name string) Signal {
+	s := crucial.NewShared(TypeSignal, name, nil)
+	s.H.BindDSO(f.inv)
+	return &dsoSignal{s: s}
+}
+
+// Counter returns a proxy for the named shared counter.
+func (f *DSOFactory) Counter(name string, initial int64) Counter {
+	c := crucial.NewAtomicLongInit(name, initial)
+	c.H.BindDSO(f.inv)
+	return &dsoCounter{c: c}
+}
+
+type dsoCounter struct{ c *crucial.AtomicLong }
+
+func (d *dsoCounter) Dec(ctx context.Context) (int64, error) {
+	return d.c.DecrementAndGet(ctx)
+}
+
+type dsoGroup struct{ s *crucial.Shared }
+
+func (g *dsoGroup) Join(ctx context.Context) (bool, error) {
+	return crucial.CallOne[bool](ctx, g.s, "Join")
+}
+
+func (g *dsoGroup) Release(ctx context.Context) error {
+	return g.s.CallVoid(ctx, "Release")
+}
+
+type dsoGate struct{ s *crucial.Shared }
+
+func (g *dsoGate) Pass(ctx context.Context) error { return g.s.CallVoid(ctx, "Pass") }
+func (g *dsoGate) Open(ctx context.Context) error { return g.s.CallVoid(ctx, "Open") }
+
+type dsoSignal struct{ s *crucial.Shared }
+
+func (s *dsoSignal) Raise(ctx context.Context, kind string) error {
+	return s.s.CallVoid(ctx, "Raise", kind)
+}
+
+func (s *dsoSignal) Await(ctx context.Context) (string, error) {
+	return crucial.CallOne[string](ctx, s.s, "Await")
+}
+
+var (
+	_ SyncFactory = (*LocalFactory)(nil)
+	_ SyncFactory = (*DSOFactory)(nil)
+	_ Group       = (*dsoGroup)(nil)
+	_ Gate        = (*dsoGate)(nil)
+	_ Signal      = (*dsoSignal)(nil)
+)

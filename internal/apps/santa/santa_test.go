@@ -1,0 +1,184 @@
+package santa
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"crucial"
+)
+
+func fastParams() Params {
+	return Params{
+		Elves: 4, Reindeer: 3, Deliveries: 3, TotalConsults: 12,
+		DeliveryTime: 4 * time.Millisecond,
+		ConsultTime:  2 * time.Millisecond,
+		VacationTime: 4 * time.Millisecond,
+		Seed:         3,
+	}
+}
+
+func santaRuntime(t *testing.T) *crucial.Runtime {
+	t.Helper()
+	reg := crucial.NewTypeRegistry()
+	RegisterTypes(reg)
+	rt, err := crucial.NewLocalRuntime(crucial.Options{DSONodes: 2, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	return rt
+}
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestParamsValidation(t *testing.T) {
+	p := fastParams()
+	p.TotalConsults = 4 // not divisible by 3
+	if _, err := p.withDefaults(); err == nil {
+		t.Fatal("non-divisible elf work accepted")
+	}
+}
+
+func TestEpisodeCount(t *testing.T) {
+	p, err := fastParams().withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 deliveries + 12/3 elf batches = 7.
+	if got := p.episodes(); got != 7 {
+		t.Fatalf("episodes = %d", got)
+	}
+}
+
+func TestRunPOJOCompletes(t *testing.T) {
+	d, err := RunPOJO(ctxT(t), fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("duration = %v", d)
+	}
+}
+
+func TestRunPOJODefaultInstance(t *testing.T) {
+	// The paper's instance (10 elves, 9 reindeer, 15 deliveries) with
+	// tiny activity times.
+	p := Params{
+		DeliveryTime: time.Millisecond,
+		ConsultTime:  time.Millisecond,
+		VacationTime: 2 * time.Millisecond,
+	}
+	if _, err := RunPOJO(ctxT(t), p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDSOCompletes(t *testing.T) {
+	rt := santaRuntime(t)
+	p := fastParams()
+	p.Prefix = "santa-dso"
+	d, err := RunDSO(ctxT(t), rt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("duration = %v", d)
+	}
+}
+
+func TestRunCloudCompletes(t *testing.T) {
+	rt := santaRuntime(t)
+	p := fastParams()
+	p.Prefix = "santa-cloud"
+	d, err := RunCloud(ctxT(t), rt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("duration = %v", d)
+	}
+}
+
+// The three variants must take broadly comparable time (Fig. 7c: DSO
+// within ~8% of POJO at paper scale; here we only require the same order
+// of magnitude since activity times are tiny).
+func TestVariantsComparable(t *testing.T) {
+	rt := santaRuntime(t)
+	ctx := ctxT(t)
+
+	pojo, err := RunPOJO(ctx, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fastParams()
+	p.Prefix = "santa-cmp"
+	dso, err := RunDSO(ctx, rt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dso < pojo/2 {
+		t.Fatalf("DSO (%v) implausibly faster than POJO (%v)", dso, pojo)
+	}
+	if dso > pojo*20 {
+		t.Fatalf("DSO (%v) more than 20x POJO (%v)", dso, pojo)
+	}
+}
+
+func TestEntityUnknownRole(t *testing.T) {
+	rt := santaRuntime(t)
+	crucial.Register(&Entity{})
+	p, err := fastParams().withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.NewThread(&Entity{Role: "grinch", P: p})
+	th.Start()
+	if err := th.Join(); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+}
+
+func TestLocalFactoryReuse(t *testing.T) {
+	f := NewLocalFactory()
+	g1 := f.Group("g", 3)
+	g2 := f.Group("g", 3)
+	if g1 != g2 {
+		t.Fatal("factory built two objects for one name")
+	}
+}
+
+func TestLocalSignalPriority(t *testing.T) {
+	f := NewLocalFactory()
+	s := f.Signal("s")
+	ctx := context.Background()
+	if err := s.Raise(ctx, KindElf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Raise(ctx, KindReindeer); err != nil {
+		t.Fatal(err)
+	}
+	kind, err := s.Await(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindReindeer {
+		t.Fatalf("Await = %q, reindeer must have priority", kind)
+	}
+	kind, _ = s.Await(ctx)
+	if kind != KindElf {
+		t.Fatalf("second Await = %q", kind)
+	}
+}
+
+func TestLocalSignalUnknownKind(t *testing.T) {
+	f := NewLocalFactory()
+	if err := f.Signal("s").Raise(context.Background(), "penguin"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"crucial"
+	"crucial/internal/apps/kmeansapp"
+	"crucial/internal/apps/logregapp"
+	"crucial/internal/costmodel"
+	"crucial/internal/netsim"
+	"crucial/internal/rpc"
+	"crucial/internal/sparksim"
+	"crucial/internal/storage/redissim"
+)
+
+// The Spark-vs-Crucial experiments run at a gentler compression than the
+// micro-benchmarks: at very small scales, the (unscaled) real CPU cost of
+// Go serialization would inflate the modeled coordination overheads and
+// distort the comparison.
+const mlMinScale = 0.2
+
+func mlScale(o Options) float64 {
+	if o.Quick {
+		return o.Scale
+	}
+	if o.Scale < mlMinScale {
+		return mlMinScale
+	}
+	return o.Scale
+}
+
+// sparkCluster builds the EMR-like comparator with enough executor cores
+// to match the Crucial worker count (the paper equalizes CPU resources).
+// TaskOverheadMs and the stagePause below are calibrated against EMR
+// behaviour: per-task dispatch plus per-stage scheduling/straggler slack.
+func sparkCluster(scale float64, cores int) (*sparksim.Cluster, error) {
+	workers := (cores + 7) / 8
+	return sparksim.NewCluster(sparksim.Config{
+		Workers:        workers,
+		CoresPerWorker: 8,
+		Profile:        netsim.AWS2019(scale),
+		TaskOverheadMs: 10,
+		NetworkMBps:    250,
+	})
+}
+
+// Per-iteration driver overheads of MLlib on EMR, derived from the
+// paper's own measurements (Fig. 4/5 and Table 3): logistic regression's
+// treeAggregate costs ~140ms of scheduling per iteration beyond the
+// compute; MLlib k-means, which runs extra jobs per iteration (cost
+// computation, caching), ~1300ms. See EXPERIMENTS.md.
+const (
+	sparkLogRegOverheadMs = 140
+	sparkKMeansOverheadMs = 1300
+)
+
+// logregCfg sizes the Fig. 4 run.
+func logregCfg(o Options, scale float64) logregapp.Config {
+	dims := pick(o, 8, 40)
+	// Per-iteration modeled compute ~0.55s (the paper's 695k-element
+	// partitions at 100 features).
+	const modeledPoints = 100000
+	targetNs := pick(o, 1.2e8, 5.5e8)
+	return logregapp.Config{
+		Dims:                   dims,
+		Workers:                pick(o, 4, 40),
+		Iterations:             pick(o, 4, 20),
+		PointsPerWorker:        pick(o, 120, 200),
+		LearningRate:           2.0,
+		Seed:                   17,
+		ModeledPointsPerWorker: modeledPoints,
+		NsPerOp:                targetNs / (modeledPoints * float64(dims)),
+		TimeScale:              scale,
+		SparkStageOverheadMs:   sparkLogRegOverheadMs,
+	}
+}
+
+// Fig4 reproduces Fig. 4: logistic regression in Crucial versus Spark —
+// completion time of the iteration phase and the loss curve.
+func Fig4(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	scale := mlScale(o)
+	if !o.Quick && scale < 0.5 {
+		// Fig. 4's per-iteration synchronization is small (tens of ms),
+		// so it needs the least compression of all experiments to stay
+		// above the harness's real CPU costs.
+		scale = 0.5
+	}
+	cfg := logregCfg(o, scale)
+	ctx := context.Background()
+
+	reg := crucial.NewTypeRegistry()
+	logregapp.RegisterTypes(reg)
+	rt, err := crucial.NewLocalRuntime(crucial.Options{
+		DSONodes:    1,
+		Profile:     netsim.AWS2019(scale),
+		Registry:    reg,
+		Concurrency: 1000,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = rt.Close() }()
+	crucial.Register(&logregapp.Worker{})
+	if err := rt.Prewarm(cfg.Workers); err != nil {
+		return err
+	}
+	crucialRes, err := logregapp.RunCrucial(ctx, rt, cfg)
+	if err != nil {
+		return err
+	}
+
+	sc, err := sparkCluster(scale, cfg.Workers)
+	if err != nil {
+		return err
+	}
+	sparkCfg := cfg
+	sparkRes, err := logregapp.RunSpark(ctx, sc, sparkCfg)
+	if err != nil {
+		return err
+	}
+
+	cru := modeledSeconds(crucialRes.Total, scale)
+	spk := modeledSeconds(sparkRes.Total, scale)
+	title(w, "Fig 4a: logistic regression, iteration phase completion time (modeled s)")
+	row(w, "%-10s %12s %14s", "SYSTEM", "TOTAL (s)", "PER-ITER (s)")
+	row(w, "%-10s %12.1f %14.3f", "spark", spk, spk/float64(cfg.Iterations))
+	row(w, "%-10s %12.1f %14.3f", "crucial", cru, cru/float64(cfg.Iterations))
+	row(w, "%-10s %11.0f%%", "gain", 100*(spk-cru)/spk)
+	note(w, "paper: spark 75.9s, crucial 62.3s over 100 iterations (18%% faster)")
+
+	title(w, "Fig 4b: logistic loss per iteration (identical math in both systems)")
+	row(w, "%6s %14s %14s", "ITER", "SPARK LOSS", "CRUCIAL LOSS")
+	step := len(sparkRes.Losses) / 4
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(sparkRes.Losses); i += step {
+		cl := float64(-1)
+		if i < len(crucialRes.Losses) {
+			cl = crucialRes.Losses[i]
+		}
+		row(w, "%6d %14.5f %14.5f", i+1, sparkRes.Losses[i], cl)
+	}
+	note(w, "paper shape: same per-iteration loss; Crucial reaches it sooner in wall-clock")
+	return nil
+}
+
+// kmeansMLCfg sizes a Fig. 5 / Table 3 run for a given k.
+func kmeansMLCfg(o Options, scale float64, k int, prefix string) kmeansapp.Config {
+	dims := pick(o, 6, 20)
+	// Per-iteration modeled compute ~ 80ms * k / dims-normalized (at
+	// k=25: ~2s, matching the paper's 20.4s/10 iterations).
+	const modeledPoints = 40000
+	nsPerOp := pick(o, 0.4e9, 2e9) / (modeledPoints * 25.0 * float64(dims))
+	return kmeansapp.Config{
+		K:                      k,
+		Dims:                   dims,
+		Workers:                pick(o, 3, 40),
+		MaxIterations:          pick(o, 2, 10),
+		PointsPerWorker:        pick(o, 60, 100),
+		Seed:                   23,
+		ModeledPointsPerWorker: modeledPoints,
+		NsPerOp:                nsPerOp,
+		TimeScale:              scale,
+		KeyPrefix:              prefix,
+		SparkStageOverheadMs:   sparkKMeansOverheadMs,
+	}
+}
+
+// Fig5 reproduces Fig. 5: k-means completion time (10 iterations) for
+// varying cluster counts k — Spark, Crucial, and Crucial-over-Redis.
+func Fig5(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	scale := mlScale(o)
+	ks := pick(o, []int{2, 4}, []int{25, 50, 100, 200})
+	ctx := context.Background()
+
+	rt, err := crucial.NewLocalRuntime(crucial.Options{
+		DSONodes:    1,
+		Profile:     netsim.AWS2019(scale),
+		Registry:    kmeansRegistry(),
+		Concurrency: 1000,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = rt.Close() }()
+	crucial.Register(&kmeansapp.Worker{})
+
+	title(w, "Fig 5: k-means completion time vs number of clusters (modeled s)")
+	row(w, "%6s %12s %12s %16s", "K", "SPARK", "CRUCIAL", "CRUCIAL-REDIS")
+	for _, k := range ks {
+		cfg := kmeansMLCfg(o, scale, k, fmt.Sprintf("f5/%d", k))
+		if err := rt.Prewarm(cfg.Workers); err != nil {
+			return err
+		}
+		cruRes, err := kmeansapp.RunCrucial(ctx, rt, cfg)
+		if err != nil {
+			return err
+		}
+		sc, err := sparkCluster(scale, cfg.Workers)
+		if err != nil {
+			return err
+		}
+		spkRes, err := kmeansapp.RunSpark(ctx, sc, cfg)
+		if err != nil {
+			return err
+		}
+		// The Redis variant pays the same RPC costs as the DSO client.
+		rc := redissim.NewCluster(1, netsim.AWS2019(scale))
+		kmeansapp.RegisterRedisScripts(rc)
+		rnet := rpc.NewMemNetwork()
+		rsrv, err := redissim.Serve(rc, rnet, "redis")
+		if err != nil {
+			rc.Close()
+			return err
+		}
+		remote, err := redissim.Dial(rnet, "redis")
+		if err != nil {
+			_ = rsrv.Close()
+			rc.Close()
+			return err
+		}
+		redisRes, err := kmeansapp.RunCrucialRedis(ctx, remote, cfg)
+		_ = remote.Close()
+		_ = rsrv.Close()
+		rc.Close()
+		if err != nil {
+			return err
+		}
+		row(w, "%6d %12.1f %12.1f %16.1f", k,
+			modeledSeconds(spkRes.Total, scale),
+			modeledSeconds(cruRes.Total, scale),
+			modeledSeconds(redisRes.Total, scale))
+	}
+	note(w, "paper: k=25 crucial 20.4s vs spark 34s (40%% faster); gap narrows as k grows;")
+	note(w, "the Redis-backed variant is always the slowest")
+	return nil
+}
+
+// Table3 reproduces Table 3: monetary cost of the k-means (k=25, k=200)
+// and logistic regression experiments, priced with the 2019 AWS rates.
+// Iteration times come from runs like Fig. 4/5; the load phase (reading
+// and parsing the 100 GB input) is modeled from aggregate S3 bandwidth:
+// Spark's 10 readers at ~100 MB/s each versus 80 concurrent functions at
+// ~50 MB/s each.
+func Table3(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	scale := mlScale(o)
+	ctx := context.Background()
+
+	const (
+		sparkLoadSeconds   = 134.0
+		crucialLoadSeconds = 66.0
+		functionMemoryMB   = 2048
+		paperFunctions     = 80
+		paperEMRWorkers    = 10
+	)
+
+	rt, err := crucial.NewLocalRuntime(crucial.Options{
+		DSONodes:    1,
+		Profile:     netsim.AWS2019(scale),
+		Registry:    kmeansRegistry(),
+		Concurrency: 1000,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = rt.Close() }()
+	crucial.Register(&kmeansapp.Worker{})
+
+	type experiment struct {
+		name               string
+		sparkIter, cruIter float64 // modeled iteration seconds
+	}
+	var exps []experiment
+
+	for _, k := range pick(o, []int{2, 4}, []int{25, 200}) {
+		cfg := kmeansMLCfg(o, scale, k, fmt.Sprintf("t3/%d", k))
+		if err := rt.Prewarm(cfg.Workers); err != nil {
+			return err
+		}
+		cru, err := kmeansapp.RunCrucial(ctx, rt, cfg)
+		if err != nil {
+			return err
+		}
+		sc, err := sparkCluster(scale, cfg.Workers)
+		if err != nil {
+			return err
+		}
+		spk, err := kmeansapp.RunSpark(ctx, sc, cfg)
+		if err != nil {
+			return err
+		}
+		exps = append(exps, experiment{
+			name:      fmt.Sprintf("k-means (k=%d)", k),
+			sparkIter: modeledSeconds(spk.Total, scale),
+			cruIter:   modeledSeconds(cru.Total, scale),
+		})
+	}
+
+	reg := crucial.NewTypeRegistry()
+	logregapp.RegisterTypes(reg)
+	rt2, err := crucial.NewLocalRuntime(crucial.Options{
+		DSONodes:    1,
+		Profile:     netsim.AWS2019(scale),
+		Registry:    reg,
+		Concurrency: 1000,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = rt2.Close() }()
+	crucial.Register(&logregapp.Worker{})
+	lrCfg := logregCfg(o, scale)
+	if err := rt2.Prewarm(lrCfg.Workers); err != nil {
+		return err
+	}
+	lrCru, err := logregapp.RunCrucial(ctx, rt2, lrCfg)
+	if err != nil {
+		return err
+	}
+	sc, err := sparkCluster(scale, lrCfg.Workers)
+	if err != nil {
+		return err
+	}
+	lrSpk, err := logregapp.RunSpark(ctx, sc, lrCfg)
+	if err != nil {
+		return err
+	}
+	exps = append(exps, experiment{
+		name:      "logistic regression",
+		sparkIter: modeledSeconds(lrSpk.Total, scale),
+		cruIter:   modeledSeconds(lrCru.Total, scale),
+	})
+
+	title(w, "Table 3: monetary cost (USD; iteration times measured, load modeled)")
+	row(w, "%-22s %-9s %10s %11s %11s", "EXPERIMENT", "SYSTEM", "TIME (s)", "TOTAL ($)", "ITER ($)")
+	for _, e := range exps {
+		s := costmodel.SparkRun(e.sparkIter+sparkLoadSeconds, e.sparkIter, paperEMRWorkers)
+		c := costmodel.CrucialRun(e.cruIter+crucialLoadSeconds, e.cruIter, paperFunctions, functionMemoryMB, 1)
+		row(w, "%-22s %-9s %10.0f %11.3f %11.3f", e.name, "spark", s.TotalSeconds, s.TotalUSD, s.IterUSD)
+		row(w, "%-22s %-9s %10.0f %11.3f %11.3f", "", "crucial", c.TotalSeconds, c.TotalUSD, c.IterUSD)
+	}
+	note(w, "paper: total costs comparable at k=25 (0.246 vs 0.244); Crucial pricier when compute")
+	note(w, "dominates (k=200: 0.484 vs 0.657); logreg 0.282 vs 0.302")
+	return nil
+}

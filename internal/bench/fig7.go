@@ -1,0 +1,450 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"crucial"
+	"crucial/internal/apps/santa"
+	"crucial/internal/client"
+	"crucial/internal/cluster"
+	"crucial/internal/netsim"
+	"crucial/internal/storage/queuesim"
+	"crucial/internal/storage/s3sim"
+)
+
+// Fig7a reproduces Fig. 7a: average time a thread spends waiting on a
+// barrier while executing short computations in lock step — the Crucial
+// barrier versus a barrier built from SNS+SQS (publish arrival, poll the
+// own queue until everyone's arrival arrived).
+func Fig7a(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	if !o.Quick && o.Scale < 0.25 {
+		// Barrier waits are tens of milliseconds; measure them above the
+		// harness's real per-request costs.
+		o.Scale = 0.25
+	}
+	profile := netsim.AWS2019(o.Scale)
+	counts := pick(o, []int{3, 6}, []int{10, 40, 160, 320})
+	rounds := pick(o, 2, 6)
+	step := profile.Scaled(time.Second) // the 1s lock-step computation
+
+	clu, err := cluster.StartLocal(cluster.Options{Nodes: 2, Profile: profile})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = clu.Close() }()
+	clients := make([]*client.Client, 8)
+	for i := range clients {
+		if clients[i], err = clu.NewClient(); err != nil {
+			return err
+		}
+		defer func(c *client.Client) { _ = c.Close() }(clients[i])
+	}
+
+	title(w, "Fig 7a: average barrier wait per thread (modeled ms)")
+	row(w, "%8s %14s %14s", "THREADS", "CRUCIAL (ms)", "SNS+SQS (ms)")
+	ctx := context.Background()
+	for _, n := range counts {
+		// Crucial barrier.
+		crucialWait, err := lockstep(n, rounds, step, func(tid int) roundFn {
+			b := crucial.NewCyclicBarrier(fmt.Sprintf("f7a/b%d", n), n)
+			b.H.BindDSO(clients[tid%len(clients)])
+			return func(round int) error {
+				_, err := b.Await(ctx)
+				return err
+			}
+		})
+		if err != nil {
+			return err
+		}
+
+		// SNS+SQS barrier: a topic fans arrival tokens out to one queue
+		// per thread; a thread passes the barrier for round r once it has
+		// drained n tokens of that round from its queue.
+		topic := queuesim.NewTopic(profile)
+		queues := make([]*queuesim.Queue, n)
+		for i := range queues {
+			queues[i] = queuesim.NewQueue(profile)
+			topic.Subscribe(queues[i])
+		}
+		snsWait, err := lockstep(n, rounds, step, func(tid int) roundFn {
+			pendingByRound := map[int]int{}
+			return func(round int) error {
+				if err := topic.Publish(ctx, []byte(strconv.Itoa(round))); err != nil {
+					return err
+				}
+				for pendingByRound[round] < n {
+					msgs, err := queues[tid].Receive(ctx, 10)
+					if err != nil {
+						return err
+					}
+					for _, m := range msgs {
+						r, err := strconv.Atoi(string(m))
+						if err != nil {
+							return err
+						}
+						pendingByRound[r]++
+					}
+				}
+				return nil
+			}
+		})
+		if err != nil {
+			return err
+		}
+		row(w, "%8d %14.1f %14.1f", n,
+			float64(modeled(crucialWait, o.Scale).Milliseconds()),
+			float64(modeled(snsWait, o.Scale).Milliseconds()))
+	}
+	note(w, "paper shape: Crucial one order of magnitude faster at 320 threads;")
+	note(w, "(paper extends to 1800 threads at 68ms average wait)")
+	return nil
+}
+
+// roundFn performs one barrier round for a thread.
+type roundFn func(round int) error
+
+// lockstep runs n threads doing rounds of (compute step; barrier) and
+// returns the average time spent waiting on the barrier per round. Round
+// zero is a warm-up — goroutine start-up skew would otherwise be charged
+// to the barrier — and is excluded from the average.
+func lockstep(n, rounds int, step time.Duration, mk func(tid int) roundFn) (time.Duration, error) {
+	var mu sync.Mutex
+	var totalWait time.Duration
+	var waits int
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for t := 0; t < n; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			pass := mk(tid)
+			for r := 0; r <= rounds; r++ {
+				if err := netsim.Sleep(context.Background(), step); err != nil {
+					errs[tid] = err
+					return
+				}
+				start := time.Now()
+				if err := pass(r); err != nil {
+					errs[tid] = err
+					return
+				}
+				if r == 0 {
+					continue // warm-up round
+				}
+				mu.Lock()
+				totalWait += time.Since(start)
+				waits++
+				mu.Unlock()
+			}
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	if waits == 0 {
+		return 0, nil
+	}
+	return totalWait / time.Duration(waits), nil
+}
+
+// iterTask is the instrumented Runnable of Fig. 7b.
+type iterTask struct {
+	Idx        int
+	Iterations int
+	EnvID      string
+	InputKey   string // S3 key of the input partition
+	Prefix     string // DSO key prefix (per stage in the multi-stage run)
+	StepMs     int64  // scaled compute per iteration, ms
+	UseBarrier bool
+	Parties    int
+	StartedAt  int64 // unix nanos at thread Start, for invocation time
+}
+
+// Run fetches input from S3 (once with the barrier, every iteration
+// without), computes, and synchronizes; phase durations land in a shared
+// DSO map.
+func (t *iterTask) Run(tc *crucial.TC) error {
+	ctx := tc.Context()
+	invocation := time.Since(time.Unix(0, t.StartedAt))
+
+	env, err := benchEnv(t.EnvID)
+	if err != nil {
+		return err
+	}
+	phases := crucial.NewMap[int64](t.Prefix + "/phases")
+	barrier := crucial.NewCyclicBarrier(t.Prefix+"/barrier", t.Parties)
+	tc.Bind(phases, barrier)
+
+	var s3Time, computeTime, syncTime time.Duration
+	readInput := func() error {
+		start := time.Now()
+		_, err := env.S3.Get(ctx, t.InputKey)
+		s3Time += time.Since(start)
+		return err
+	}
+	if t.UseBarrier {
+		if err := readInput(); err != nil {
+			return err
+		}
+	}
+	for it := 0; it < t.Iterations; it++ {
+		if !t.UseBarrier {
+			if err := readInput(); err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		if err := netsim.Sleep(ctx, time.Duration(t.StepMs)*time.Millisecond); err != nil {
+			return err
+		}
+		computeTime += time.Since(start)
+		if t.UseBarrier {
+			start = time.Now()
+			if _, err := barrier.Await(ctx); err != nil {
+				return err
+			}
+			syncTime += time.Since(start)
+		}
+	}
+	for phase, d := range map[string]time.Duration{
+		"invocation": invocation,
+		"s3":         s3Time,
+		"compute":    computeTime,
+		"sync":       syncTime,
+	} {
+		key := fmt.Sprintf("t%d/%s", t.Idx, phase)
+		if _, _, err := phases.Put(ctx, key, int64(d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchEnv is the S3 endpoint registry for instrumented bench runnables.
+var benchEnvs = struct {
+	sync.Mutex
+	m map[string]*benchEnvT
+}{m: make(map[string]*benchEnvT)}
+
+type benchEnvT struct {
+	S3 *s3sim.Store
+}
+
+func registerBenchEnv(id string, env *benchEnvT) {
+	benchEnvs.Lock()
+	benchEnvs.m[id] = env
+	benchEnvs.Unlock()
+}
+
+func unregisterBenchEnv(id string) {
+	benchEnvs.Lock()
+	delete(benchEnvs.m, id)
+	benchEnvs.Unlock()
+}
+
+func benchEnv(id string) (*benchEnvT, error) {
+	benchEnvs.Lock()
+	defer benchEnvs.Unlock()
+	env, ok := benchEnvs.m[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown env %q", id)
+	}
+	return env, nil
+}
+
+// Fig7b reproduces Fig. 7b: the phase breakdown of an iterative task run
+// either as one stage of cloud threads per iteration (a0/a1: input re-read
+// every iteration, no barrier) or as a single stage synchronized with the
+// Crucial barrier (b0/b1: input read once).
+func Fig7b(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	profile := netsim.AWS2019(o.Scale)
+	threads := pick(o, 3, 10)
+	iterations := pick(o, 2, 4)
+	stepMs := int64(float64(1000) * o.Scale)
+	if stepMs < 1 {
+		stepMs = 1
+	}
+
+	rt, err := crucial.NewLocalRuntime(crucial.Options{
+		DSONodes:    1,
+		Profile:     profile,
+		Concurrency: 1000,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = rt.Close() }()
+	crucial.Register(&iterTask{})
+	ctx := context.Background()
+
+	runApproach := func(name string, useBarrier bool) (map[string][4]time.Duration, error) {
+		envID := "f7b-" + name
+		s3 := s3sim.New(s3sim.Options{Profile: profile})
+		registerBenchEnv(envID, &benchEnvT{S3: s3})
+		defer unregisterBenchEnv(envID)
+		prefix := "f7b/" + name
+		if err := s3.Put(ctx, prefix+"/input", make([]byte, 4096)); err != nil {
+			return nil, err
+		}
+		if err := rt.Prewarm(threads); err != nil {
+			return nil, err
+		}
+
+		launch := func(iters int, useBarrier bool, tag string) error {
+			ts := make([]*crucial.CloudThread, threads)
+			for i := range ts {
+				ts[i] = rt.NewThread(&iterTask{
+					Idx: i, Iterations: iters, EnvID: envID,
+					InputKey: prefix + "/input",
+					Prefix:   prefix + tag, StepMs: stepMs,
+					UseBarrier: useBarrier, Parties: threads,
+					StartedAt: time.Now().UnixNano(),
+				})
+				ts[i].StartCtx(ctx)
+			}
+			return crucial.JoinAll(ts)
+		}
+		if useBarrier {
+			if err := launch(iterations, true, ""); err != nil {
+				return nil, err
+			}
+		} else {
+			// One fresh stage per iteration; per-thread phases accumulate
+			// in the same map across stages (keys overwrite with the last
+			// stage's values, so sum client-side instead).
+			for it := 0; it < iterations; it++ {
+				if err := launch(1, false, fmt.Sprintf("/s%d", it)); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Collect phases for the first two threads.
+		out := make(map[string][4]time.Duration, 2)
+		for i := 0; i < 2 && i < threads; i++ {
+			var sums [4]time.Duration
+			tags := []string{""}
+			if !useBarrier {
+				tags = tags[:0]
+				for it := 0; it < iterations; it++ {
+					tags = append(tags, fmt.Sprintf("/s%d", it))
+				}
+			}
+			for _, tag := range tags {
+				phases := crucial.NewMap[int64](prefix + tag + "/phases")
+				rt.Bind(phases)
+				for pi, phase := range []string{"invocation", "s3", "compute", "sync"} {
+					v, ok, err := phases.Get(ctx, fmt.Sprintf("t%d/%s", i, phase))
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						sums[pi] += time.Duration(v)
+					}
+				}
+			}
+			out[fmt.Sprintf("%d", i)] = sums
+		}
+		return out, nil
+	}
+
+	multi, err := runApproach("multi", false)
+	if err != nil {
+		return err
+	}
+	single, err := runApproach("single", true)
+	if err != nil {
+		return err
+	}
+
+	title(w, "Fig 7b: iterative task phase breakdown (modeled ms per thread)")
+	row(w, "%-6s %12s %10s %10s %10s %10s", "THREAD", "INVOCATION", "S3 READ", "COMPUTE", "SYNC", "TOTAL")
+	print := func(label string, p [4]time.Duration) {
+		total := p[0] + p[1] + p[2] + p[3]
+		row(w, "%-6s %12.0f %10.0f %10.0f %10.0f %10.0f", label,
+			float64(modeled(p[0], o.Scale).Milliseconds()),
+			float64(modeled(p[1], o.Scale).Milliseconds()),
+			float64(modeled(p[2], o.Scale).Milliseconds()),
+			float64(modeled(p[3], o.Scale).Milliseconds()),
+			float64(modeled(total, o.Scale).Milliseconds()))
+	}
+	print("a0", multi["0"])
+	print("a1", multi["1"])
+	print("b0", single["0"])
+	print("b1", single["1"])
+	note(w, "paper shape: multi-stage (a*) pays invocation + S3 read every iteration;")
+	note(w, "single stage with barrier (b*) reads once and syncs cheaply -> lower total")
+	return nil
+}
+
+// Fig7c reproduces Fig. 7c: the Santa Claus problem on a single machine
+// (POJO), with DSO-hosted objects, and with cloud threads.
+func Fig7c(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	profile := netsim.AWS2019(o.Scale)
+	params := santa.Params{
+		Elves:         10,
+		Reindeer:      9,
+		Deliveries:    pick(o, 3, 15),
+		TotalConsults: pick(o, 6, 30),
+		DeliveryTime:  200 * time.Millisecond,
+		ConsultTime:   100 * time.Millisecond,
+		VacationTime:  250 * time.Millisecond,
+		TimeScale:     o.Scale,
+		Seed:          5,
+	}
+
+	reg := crucial.NewTypeRegistry()
+	santa.RegisterTypes(reg)
+	rt, err := crucial.NewLocalRuntime(crucial.Options{
+		DSONodes:    2,
+		Profile:     profile,
+		Registry:    reg,
+		Concurrency: 1000,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = rt.Close() }()
+	ctx := context.Background()
+
+	params.Prefix = "f7c-pojo"
+	pojo, err := santa.RunPOJO(ctx, params)
+	if err != nil {
+		return err
+	}
+	params.Prefix = "f7c-dso"
+	dso, err := santa.RunDSO(ctx, rt, params)
+	if err != nil {
+		return err
+	}
+	if err := rt.Prewarm(1 + params.Reindeer + params.Elves); err != nil {
+		return err
+	}
+	params.Prefix = "f7c-cloud"
+	cloud, err := santa.RunCloud(ctx, rt, params)
+	if err != nil {
+		return err
+	}
+
+	title(w, "Fig 7c: Santa Claus problem completion time (modeled s)")
+	row(w, "%-24s %10s %10s", "VARIANT", "TIME (s)", "VS POJO")
+	p := modeledSeconds(pojo, o.Scale)
+	d := modeledSeconds(dso, o.Scale)
+	c := modeledSeconds(cloud, o.Scale)
+	row(w, "%-24s %10.2f %9.0f%%", "POJO (single machine)", p, 0.0)
+	row(w, "%-24s %10.2f %+9.0f%%", "DSO objects", d, 100*(d-p)/p)
+	row(w, "%-24s %10.2f %+9.0f%%", "DSO + cloud threads", c, 100*(c-p)/p)
+	note(w, "paper: DSO within ~8%% of POJO; cloud threads add only invocation latency")
+	return nil
+}

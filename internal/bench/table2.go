@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"crucial"
+	"crucial/internal/cluster"
+	"crucial/internal/core"
+	"crucial/internal/netsim"
+	"crucial/internal/objects"
+	"crucial/internal/storage/redissim"
+	"crucial/internal/storage/s3sim"
+)
+
+// Table2 reproduces Table 2: average latency to access a 1 KB object
+// sequentially in S3, Redis, Infinispan (the DSO grid used as a plain KV
+// store), Crucial (the full proxy stack) and Crucial with rf=2.
+func Table2(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	// Latency measurements run uncompressed (unless in quick mode): the
+	// experiment is sequential and cheap, and compression would divide the
+	// injected microsecond latencies below the harness's own real
+	// per-operation overhead, inflating the modeled numbers.
+	if !o.Quick && o.Scale < 1.0 {
+		o.Scale = 1.0
+	}
+	profile := netsim.AWS2019(o.Scale)
+	value := make([]byte, 1024)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	memOps := pick(o, 40, 1500)
+	s3Ops := pick(o, 8, 150)
+	ctx := context.Background()
+
+	type entry struct {
+		name     string
+		put, get time.Duration
+	}
+	var entries []entry
+
+	// S3.
+	s3 := s3sim.New(s3sim.Options{Profile: profile})
+	s3Put, err := timeOps(s3Ops, func(i int) error {
+		return s3.Put(ctx, fmt.Sprintf("t2/%d", i%8), value)
+	})
+	if err != nil {
+		return err
+	}
+	s3Get, err := timeOps(s3Ops, func(i int) error {
+		_, err := s3.Get(ctx, fmt.Sprintf("t2/%d", i%8))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	entries = append(entries, entry{"S3", s3Put, s3Get})
+
+	// Redis.
+	shard := redissim.NewShard(profile)
+	defer shard.Close()
+	sval := string(value)
+	redisPut, err := timeOps(memOps, func(i int) error {
+		return shard.Set(ctx, fmt.Sprintf("k%d", i%8), sval)
+	})
+	if err != nil {
+		return err
+	}
+	redisGet, err := timeOps(memOps, func(i int) error {
+		_, _, err := shard.Get(ctx, fmt.Sprintf("k%d", i%8))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	entries = append(entries, entry{"Redis", redisPut, redisGet})
+
+	// Infinispan baseline: raw KV cells on the DSO grid, invoked through
+	// the low-level client (no proxy layer).
+	clu, err := cluster.StartLocal(cluster.Options{Nodes: 1, Profile: profile})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = clu.Close() }()
+	cl, err := clu.NewClient()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cl.Close() }()
+	kvRef := func(i int) core.Ref {
+		return core.Ref{Type: objects.TypeKV, Key: fmt.Sprintf("t2/%d", i%8)}
+	}
+	ispnPut, err := timeOps(memOps, func(i int) error {
+		_, err := cl.Call(ctx, kvRef(i), "Put", value)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	ispnGet, err := timeOps(memOps, func(i int) error {
+		_, err := cl.Call(ctx, kvRef(i), "Get")
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	entries = append(entries, entry{"Infinispan", ispnPut, ispnGet})
+
+	// Crucial: the full proxy stack over the same grid.
+	cells := make([]*crucial.KV, 8)
+	for i := range cells {
+		cells[i] = crucial.NewKV(fmt.Sprintf("t2c/%d", i))
+		cells[i].H.BindDSO(cl)
+	}
+	cruPut, err := timeOps(memOps, func(i int) error {
+		return cells[i%8].Put(ctx, value)
+	})
+	if err != nil {
+		return err
+	}
+	cruGet, err := timeOps(memOps, func(i int) error {
+		_, _, err := cells[i%8].Get(ctx)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	entries = append(entries, entry{"Crucial", cruPut, cruGet})
+
+	// Crucial rf=2: replicated cells on a 2-node cluster. The SMR round
+	// adds an extra replica round trip, roughly doubling latency.
+	clu2, err := cluster.StartLocal(cluster.Options{Nodes: 2, RF: 2, Profile: profile})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = clu2.Close() }()
+	cl2, err := clu2.NewClient()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cl2.Close() }()
+	pcells := make([]*crucial.KV, 8)
+	for i := range pcells {
+		pcells[i] = crucial.NewKV(fmt.Sprintf("t2p/%d", i), crucial.WithPersist())
+		pcells[i].H.BindDSO(cl2)
+	}
+	repPut, err := timeOps(memOps, func(i int) error {
+		return pcells[i%8].Put(ctx, value)
+	})
+	if err != nil {
+		return err
+	}
+	repGet, err := timeOps(memOps, func(i int) error {
+		_, _, err := pcells[i%8].Get(ctx)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	entries = append(entries, entry{"Crucial (rf=2)", repPut, repGet})
+
+	title(w, "Table 2: average latency, 1KB payload (modeled microseconds)")
+	row(w, "%-16s %12s %12s", "SYSTEM", "PUT (us)", "GET (us)")
+	for _, e := range entries {
+		row(w, "%-16s %12.0f %12.0f",
+			e.name,
+			float64(modeled(e.put, o.Scale).Microseconds()),
+			float64(modeled(e.get, o.Scale).Microseconds()))
+	}
+	note(w, "paper: S3 34868/23072, Redis 232/229, Infinispan 228/207, Crucial 231/229, rf=2 512/505")
+	return nil
+}
+
+// timeOps runs n sequential operations and returns the average latency.
+func timeOps(n int, op func(i int) error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := op(i); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(n), nil
+}

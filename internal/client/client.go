@@ -1,0 +1,245 @@
+// Package client implements the DSO client: it routes object invocations
+// to the owning node using the consistent-hashing ring of the current view,
+// injects the simulated client-to-server network latency, and transparently
+// retries on topology changes (paper Section 4.3: every access to a shared
+// object is mediated by a proxy; this package is what proxies bind to).
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"crucial/internal/core"
+	"crucial/internal/membership"
+	"crucial/internal/netsim"
+	"crucial/internal/ring"
+	"crucial/internal/rpc"
+	"crucial/internal/server"
+)
+
+// ViewSource supplies the current membership view. membership.Directory
+// implements it directly; a remote deployment can wrap an RPC fetch.
+type ViewSource interface {
+	View() membership.View
+}
+
+// StaticView is a fixed single view (for deployments without a live
+// directory, e.g. a static server list).
+type StaticView membership.View
+
+// View implements ViewSource.
+func (s StaticView) View() membership.View { return membership.View(s) }
+
+var _ ViewSource = StaticView{}
+
+// Config parameterizes a client.
+type Config struct {
+	// Transport must match the cluster's transport.
+	Transport rpc.Transport
+	// Views supplies membership.
+	Views ViewSource
+	// Profile injects the client<->DSO network latency. Nil means no
+	// injected latency.
+	Profile *netsim.Profile
+	// MaxRetries bounds re-routing attempts after topology changes
+	// (default 8).
+	MaxRetries int
+	// RetryBackoff is the pause between attempts (default 2ms, scaled by
+	// the profile).
+	RetryBackoff time.Duration
+}
+
+// Client invokes methods on shared objects. Safe for concurrent use by any
+// number of goroutines (cloud threads share one client per process).
+type Client struct {
+	cfg     Config
+	profile *netsim.Profile
+
+	mu    sync.Mutex
+	view  membership.View
+	ring  *ring.Ring
+	conns map[string]*rpc.Client // keyed by address
+
+	closed bool
+}
+
+// New builds a client and loads the initial view.
+func New(cfg Config) (*Client, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("client: config needs a Transport")
+	}
+	if cfg.Views == nil {
+		return nil, errors.New("client: config needs a ViewSource")
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = netsim.Zero()
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 2 * time.Millisecond
+	}
+	c := &Client{
+		cfg:     cfg,
+		profile: cfg.Profile,
+		conns:   make(map[string]*rpc.Client),
+	}
+	c.refreshView()
+	return c, nil
+}
+
+// refreshView reloads membership and rebuilds the ring.
+func (c *Client) refreshView() {
+	v := c.cfg.Views.View()
+	c.mu.Lock()
+	if v.ID >= c.view.ID {
+		c.view = v
+		c.ring = v.Ring()
+	}
+	c.mu.Unlock()
+}
+
+// target picks the primary node for a reference.
+func (c *Client) target(ref core.Ref) (ring.NodeID, string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring == nil || c.ring.Size() == 0 {
+		return "", "", errors.New("client: no DSO nodes in view")
+	}
+	owner, ok := c.ring.Owner(ref.String())
+	if !ok {
+		return "", "", errors.New("client: no owner for " + ref.String())
+	}
+	addr, ok := c.view.Addrs[owner]
+	if !ok {
+		return "", "", fmt.Errorf("client: no address for node %s", owner)
+	}
+	return owner, addr, nil
+}
+
+// conn returns a pooled connection to addr, dialing if needed.
+func (c *Client) conn(addr string) (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, rpc.ErrClientClosed
+	}
+	if rc, ok := c.conns[addr]; ok {
+		return rc, nil
+	}
+	netConn, err := c.cfg.Transport.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	rc := rpc.NewClient(netConn)
+	c.conns[addr] = rc
+	return rc, nil
+}
+
+// dropConn discards a broken pooled connection.
+func (c *Client) dropConn(addr string) {
+	c.mu.Lock()
+	if rc, ok := c.conns[addr]; ok {
+		_ = rc.Close()
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+}
+
+// retryable reports whether an invocation error warrants a re-route.
+func retryable(err error) bool {
+	if errors.Is(err, core.ErrWrongNode) || errors.Is(err, core.ErrRebalancing) ||
+		errors.Is(err, core.ErrStopped) || errors.Is(err, rpc.ErrClientClosed) {
+		return true
+	}
+	// Transport-level failures (connection reset, refused) are retried
+	// against the refreshed view.
+	msg := err.Error()
+	return strings.Contains(msg, "connection") || strings.Contains(msg, "closed") ||
+		strings.Contains(msg, "EOF") || strings.Contains(msg, "pipe")
+}
+
+// InvokeObject sends one method invocation and returns its results,
+// implementing core.Invoker. It pays one injected network hop each way and
+// retries transparently when the cluster topology shifts underneath it.
+func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, error) {
+	payload, err := core.EncodeInvocation(inv)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.refreshView()
+			if err := netsim.Sleep(ctx, c.profile.Scaled(c.cfg.RetryBackoff)); err != nil {
+				return nil, err
+			}
+		}
+		_, addr, err := c.target(inv.Ref)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rc, err := c.conn(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.profile.Delay(ctx, c.profile.DSONet); err != nil {
+			return nil, err
+		}
+		raw, err := rc.Call(ctx, server.KindInvoke, payload)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			c.dropConn(addr)
+			lastErr = err
+			continue
+		}
+		if err := c.profile.Delay(ctx, c.profile.DSONet); err != nil {
+			return nil, err
+		}
+		resp, err := core.DecodeResponse(raw)
+		if err != nil {
+			return nil, err
+		}
+		if remote := core.DecodeError(resp.Err); remote != nil {
+			if retryable(remote) {
+				lastErr = remote
+				continue
+			}
+			return nil, remote
+		}
+		return resp.Results, nil
+	}
+	return nil, fmt.Errorf("client: %s.%s failed after %d attempts: %w",
+		inv.Ref, inv.Method, c.cfg.MaxRetries, lastErr)
+}
+
+var _ core.Invoker = (*Client)(nil)
+
+// Call is a convenience wrapper building the Invocation inline.
+func (c *Client) Call(ctx context.Context, ref core.Ref, method string, args ...any) ([]any, error) {
+	return c.InvokeObject(ctx, core.Invocation{Ref: ref, Method: method, Args: args})
+}
+
+// Close releases all pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, rc := range c.conns {
+		_ = rc.Close()
+	}
+	c.conns = make(map[string]*rpc.Client)
+	return nil
+}

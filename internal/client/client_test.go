@@ -1,0 +1,229 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"crucial/internal/core"
+	"crucial/internal/membership"
+	"crucial/internal/netsim"
+	"crucial/internal/objects"
+	"crucial/internal/ring"
+	"crucial/internal/rpc"
+	"crucial/internal/server"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing transport accepted")
+	}
+	if _, err := New(Config{Transport: rpc.NewMemNetwork()}); err == nil {
+		t.Fatal("missing view source accepted")
+	}
+}
+
+func TestStaticView(t *testing.T) {
+	v := StaticView{ID: 1, Members: []ring.NodeID{"a"}, Addrs: map[ring.NodeID]string{"a": "x"}}
+	got := v.View()
+	if got.ID != 1 || len(got.Members) != 1 {
+		t.Fatalf("StaticView.View = %+v", got)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	retry := []error{
+		core.ErrWrongNode,
+		core.ErrRebalancing,
+		core.ErrStopped,
+		rpc.ErrClientClosed,
+		errors.New("read: connection reset by peer"),
+		errors.New("unexpected EOF"),
+		errors.New("io: read/write on closed pipe"),
+	}
+	for _, err := range retry {
+		if !retryable(err) {
+			t.Errorf("%v should be retryable", err)
+		}
+	}
+	noRetry := []error{
+		core.ErrUnknownType,
+		core.ErrUnknownMethod,
+		errors.New("objects: index 5 out of range"),
+	}
+	for _, err := range noRetry {
+		if retryable(err) {
+			t.Errorf("%v should not be retryable", err)
+		}
+	}
+}
+
+func TestInvokeNoNodes(t *testing.T) {
+	dir := membership.NewDirectory(time.Hour)
+	c, err := New(Config{
+		Transport:    rpc.NewMemNetwork(),
+		Views:        dir,
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	_, err = c.Call(context.Background(), core.Ref{Type: objects.TypeAtomicLong, Key: "x"}, "Get")
+	if err == nil {
+		t.Fatal("invoke with no nodes succeeded")
+	}
+}
+
+// Full round trip with a real node, exercising view refresh when the node
+// joins after the client was created.
+func TestClientDiscoversLateNode(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	c, err := New(Config{
+		Transport:    net,
+		Views:        dir,
+		MaxRetries:   8,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	// Starts with an empty view; the node joins afterwards.
+	node, err := server.Start(server.Config{
+		ID:        "n1",
+		Addr:      "n1",
+		Transport: net,
+		Registry:  objects.BuiltinRegistry(),
+		Directory: dir,
+		RF:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Crash() }()
+
+	res, err := c.Call(context.Background(), core.Ref{Type: objects.TypeAtomicLong, Key: "x"}, "AddAndGet", int64(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(int64) != 3 {
+		t.Fatalf("result = %v", res[0])
+	}
+}
+
+func TestClientClosedRejectsCalls(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	node, err := server.Start(server.Config{
+		ID: "n1", Addr: "n1", Transport: net,
+		Registry: objects.BuiltinRegistry(), Directory: dir, RF: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Crash() }()
+	c, err := New(Config{Transport: net, Views: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("second Close errored")
+	}
+	if _, err := c.Call(context.Background(), core.Ref{Type: objects.TypeAtomicLong, Key: "x"}, "Get"); err == nil {
+		t.Fatal("call after Close succeeded")
+	}
+}
+
+func TestNonRetryableErrorReturnedImmediately(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	node, err := server.Start(server.Config{
+		ID: "n1", Addr: "n1", Transport: net,
+		Registry: objects.BuiltinRegistry(), Directory: dir, RF: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Crash() }()
+	c, err := New(Config{Transport: net, Views: dir, MaxRetries: 5, RetryBackoff: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	start := time.Now()
+	_, err = c.Call(context.Background(), core.Ref{Type: "NoSuchType", Key: "x"}, "Get")
+	if !errors.Is(err, core.ErrUnknownType) {
+		t.Fatalf("want ErrUnknownType, got %v", err)
+	}
+	if time.Since(start) > 40*time.Millisecond {
+		t.Fatal("non-retryable error went through the retry loop")
+	}
+}
+
+func TestContextCancellationDuringInvoke(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	node, err := server.Start(server.Config{
+		ID: "n1", Addr: "n1", Transport: net,
+		Registry: objects.BuiltinRegistry(), Directory: dir, RF: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Crash() }()
+	c, err := New(Config{Transport: net, Views: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	// A barrier Await that can never complete; the context must break it.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err = c.InvokeObject(ctx, core.Invocation{
+		Ref:    core.Ref{Type: objects.TypeCyclicBarrier, Key: "b"},
+		Method: "Await",
+		Init:   []any{int64(2)},
+	})
+	if err == nil {
+		t.Fatal("blocked call survived context cancellation")
+	}
+}
+
+func TestProfileLatencyApplied(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	node, err := server.Start(server.Config{
+		ID: "n1", Addr: "n1", Transport: net,
+		Registry: objects.BuiltinRegistry(), Directory: dir, RF: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Crash() }()
+
+	profile := netsim.Zero()
+	profile.DSONet = netsim.Latency{Base: 10 * time.Millisecond}
+	c, err := New(Config{Transport: net, Views: dir, Profile: profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	start := time.Now()
+	if _, err := c.Call(context.Background(), core.Ref{Type: objects.TypeAtomicLong, Key: "x"}, "Get"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("call took %v, want >= 20ms (two injected hops)", d)
+	}
+}

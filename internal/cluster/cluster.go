@@ -1,0 +1,216 @@
+// Package cluster assembles a complete DSO deployment — directory, server
+// nodes, transport — behind one handle. Tests, benchmarks, examples and the
+// FaaS runtime all start clusters through this package; cmd/dso-server
+// wires the same pieces over TCP by hand.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crucial/internal/client"
+	"crucial/internal/core"
+	"crucial/internal/membership"
+	"crucial/internal/netsim"
+	"crucial/internal/objects"
+	"crucial/internal/ring"
+	"crucial/internal/rpc"
+	"crucial/internal/server"
+)
+
+// Options configures a local cluster. The zero value is usable: one node,
+// rf=1, no injected latency, in-memory transport, built-in object types.
+type Options struct {
+	// Nodes is the initial node count (default 1).
+	Nodes int
+	// RF is the replication factor for persistent objects (default 1).
+	RF int
+	// Profile injects simulated latencies (default none).
+	Profile *netsim.Profile
+	// Registry overrides the object type registry (default builtins).
+	// Application object types must be registered before StartLocal.
+	Registry *core.Registry
+	// HeartbeatTimeout configures the failure detector threshold
+	// (default 5s; experiments drive membership explicitly anyway).
+	HeartbeatTimeout time.Duration
+	// ServiceTime/ServiceConcurrency model per-node processing capacity
+	// (see server.Config); zero disables the model.
+	ServiceTime        time.Duration
+	ServiceConcurrency int
+}
+
+// Cluster is a running DSO deployment.
+type Cluster struct {
+	// Dir is the membership service; experiments may drive it directly.
+	Dir *membership.Directory
+	// Transport is the in-memory network shared by nodes and clients.
+	Transport rpc.Transport
+
+	opts     Options
+	registry *core.Registry
+	profile  *netsim.Profile
+
+	mu     sync.Mutex
+	nodes  map[ring.NodeID]*server.Node
+	nextID int
+	closed bool
+}
+
+// StartLocal boots an in-process cluster over an in-memory network.
+func StartLocal(opts Options) (*Cluster, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	if opts.RF <= 0 {
+		opts.RF = 1
+	}
+	if opts.Profile == nil {
+		opts.Profile = netsim.Zero()
+	}
+	if opts.Registry == nil {
+		opts.Registry = objects.BuiltinRegistry()
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 5 * time.Second
+	}
+	c := &Cluster{
+		Dir:       membership.NewDirectory(opts.HeartbeatTimeout),
+		Transport: rpc.NewMemNetwork(),
+		opts:      opts,
+		registry:  opts.Registry,
+		profile:   opts.Profile,
+		nodes:     make(map[ring.NodeID]*server.Node),
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		if _, err := c.AddNode(); err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// AddNode starts one more DSO node and returns it. The directory installs
+// a new view and existing nodes rebalance onto it (Fig. 8 "add a storage
+// node").
+func (c *Cluster) AddNode() (*server.Node, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("cluster: closed")
+	}
+	c.nextID++
+	id := ring.NodeID(fmt.Sprintf("dso-%02d", c.nextID))
+	c.mu.Unlock()
+
+	n, err := server.Start(server.Config{
+		ID:                 id,
+		Addr:               string(id),
+		Transport:          c.Transport,
+		Registry:           c.registry,
+		Directory:          c.Dir,
+		Profile:            c.profile,
+		RF:                 c.opts.RF,
+		ServiceTime:        c.opts.ServiceTime,
+		ServiceConcurrency: c.opts.ServiceConcurrency,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: start node %s: %w", id, err)
+	}
+	c.mu.Lock()
+	c.nodes[id] = n
+	c.mu.Unlock()
+	return n, nil
+}
+
+// CrashNode kills a node abruptly and informs the directory, like a failure
+// detector would. Ephemeral objects on the node are lost; persistent ones
+// survive on their replicas.
+func (c *Cluster) CrashNode(id ring.NodeID) error {
+	c.mu.Lock()
+	n, ok := c.nodes[id]
+	if ok {
+		delete(c.nodes, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %s", id)
+	}
+	err := n.Crash()
+	c.Dir.Crash(id)
+	return err
+}
+
+// StopNode shuts a node down gracefully (leave + state hand-off).
+func (c *Cluster) StopNode(id ring.NodeID) error {
+	c.mu.Lock()
+	n, ok := c.nodes[id]
+	if ok {
+		delete(c.nodes, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %s", id)
+	}
+	return n.Close()
+}
+
+// NodeIDs lists live nodes in start order.
+func (c *Cluster) NodeIDs() []ring.NodeID {
+	v := c.Dir.View()
+	return v.Members
+}
+
+// Node returns a live node by id (tests).
+func (c *Cluster) Node(id ring.NodeID) (*server.Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	return n, ok
+}
+
+// NewClient opens a DSO client against this cluster.
+func (c *Cluster) NewClient() (*client.Client, error) {
+	return client.New(client.Config{
+		Transport: c.Transport,
+		Views:     c.Dir,
+		Profile:   c.profile,
+	})
+}
+
+// Registry exposes the cluster's type registry.
+func (c *Cluster) Registry() *core.Registry { return c.registry }
+
+// Profile exposes the cluster's latency profile.
+func (c *Cluster) Profile() *netsim.Profile { return c.profile }
+
+// RF exposes the replication factor.
+func (c *Cluster) RF() int { return c.opts.RF }
+
+// Close stops every node.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	nodes := make([]*server.Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.nodes = make(map[ring.NodeID]*server.Node)
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, n := range nodes {
+		// Crash, not Close: tearing the whole cluster down should not pay
+		// for state hand-off between dying nodes.
+		if err := n.Crash(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,85 @@
+// Package costmodel prices experiment runs with the 2019 us-east-1
+// on-demand rates the paper uses (Section 6.2.3, Table 3). With these
+// constants, the paper's quoted rates reproduce: a Crucial setup of 80
+// concurrent 1792 MB functions plus one r5.2xlarge DSO node costs ~0.25
+// cents/s, and the 11-machine EMR cluster ~0.15 cents/s.
+package costmodel
+
+import "time"
+
+// AWS on-demand prices, USD, us-east-1, 2019.
+const (
+	// LambdaPerGBSecond is AWS Lambda's duration price.
+	LambdaPerGBSecond = 0.0000166667
+	// LambdaPerRequest is the per-invocation price.
+	LambdaPerRequest = 0.0000002
+
+	// EC2 hourly rates.
+	M5XLargePerHour  = 0.192 // 4 vCPU (EMR master)
+	M52XLargePerHour = 0.384 // 8 vCPU (EMR core nodes, Fig. 3 VM)
+	M54XLargePerHour = 0.768 // 16 vCPU
+	R52XLargePerHour = 0.504 // 8 vCPU, memory-optimized (DSO nodes)
+
+	// EMR service fees per instance-hour.
+	EMRFeeM5XLargePerHour  = 0.048
+	EMRFeeM52XLargePerHour = 0.096
+)
+
+// LambdaCost prices function execution: billed GB-seconds plus requests.
+func LambdaCost(gbSeconds float64, requests uint64) float64 {
+	return gbSeconds*LambdaPerGBSecond + float64(requests)*LambdaPerRequest
+}
+
+// EC2Cost prices count instances at an hourly rate for a duration.
+func EC2Cost(hourlyRate float64, count int, d time.Duration) float64 {
+	return hourlyRate * float64(count) * d.Hours()
+}
+
+// EMRClusterPerSecond is the paper's Spark deployment rate: one m5.xlarge
+// master plus workers m5.2xlarge core nodes, including EMR fees.
+func EMRClusterPerSecond(workers int) float64 {
+	perHour := (M5XLargePerHour + EMRFeeM5XLargePerHour) +
+		float64(workers)*(M52XLargePerHour+EMRFeeM52XLargePerHour)
+	return perHour / 3600.0
+}
+
+// CrucialPerSecond is the Crucial deployment rate: functions of memoryMB
+// running concurrently plus DSO r5.2xlarge nodes.
+func CrucialPerSecond(functions int, memoryMB int, dsoNodes int) float64 {
+	lambda := float64(functions) * float64(memoryMB) / 1024.0 * LambdaPerGBSecond
+	dso := float64(dsoNodes) * R52XLargePerHour / 3600.0
+	return lambda + dso
+}
+
+// RunCost is one experiment's priced breakdown (a Table 3 row half).
+type RunCost struct {
+	// TotalSeconds includes load + iterations; IterSeconds only the
+	// iterative phase.
+	TotalSeconds float64
+	IterSeconds  float64
+	// TotalUSD and IterUSD price those windows.
+	TotalUSD float64
+	IterUSD  float64
+}
+
+// SparkRun prices a Spark experiment on the paper's EMR cluster.
+func SparkRun(totalSeconds, iterSeconds float64, workers int) RunCost {
+	rate := EMRClusterPerSecond(workers)
+	return RunCost{
+		TotalSeconds: totalSeconds,
+		IterSeconds:  iterSeconds,
+		TotalUSD:     rate * totalSeconds,
+		IterUSD:      rate * iterSeconds,
+	}
+}
+
+// CrucialRun prices a Crucial experiment (concurrent functions + DSO).
+func CrucialRun(totalSeconds, iterSeconds float64, functions, memoryMB, dsoNodes int) RunCost {
+	rate := CrucialPerSecond(functions, memoryMB, dsoNodes)
+	return RunCost{
+		TotalSeconds: totalSeconds,
+		IterSeconds:  iterSeconds,
+		TotalUSD:     rate * totalSeconds,
+		IterUSD:      rate * iterSeconds,
+	}
+}

@@ -1,0 +1,70 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLambdaCost(t *testing.T) {
+	// 1 GB for 1000s = 1000 GB-s.
+	got := LambdaCost(1000, 0)
+	want := 1000 * LambdaPerGBSecond
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("LambdaCost = %v, want %v", got, want)
+	}
+	withReq := LambdaCost(0, 1_000_000)
+	if math.Abs(withReq-0.2) > 1e-9 {
+		t.Fatalf("request cost = %v, want 0.2", withReq)
+	}
+}
+
+func TestEC2Cost(t *testing.T) {
+	got := EC2Cost(0.384, 10, time.Hour)
+	if math.Abs(got-3.84) > 1e-9 {
+		t.Fatalf("EC2Cost = %v", got)
+	}
+}
+
+// The paper quotes ~0.25 cents/s for 80 x 1792MB functions (plus storage)
+// and ~0.28 for 2048MB; EMR with 10 workers ~0.15 cents/s.
+func TestPaperRatesReproduce(t *testing.T) {
+	crucial1792 := CrucialPerSecond(80, 1792, 1) * 100 // cents/s
+	if crucial1792 < 0.23 || crucial1792 > 0.27 {
+		t.Fatalf("Crucial 1792MB rate = %v cents/s, want ~0.25", crucial1792)
+	}
+	crucial2048 := CrucialPerSecond(80, 2048, 1) * 100
+	if crucial2048 < 0.26 || crucial2048 > 0.30 {
+		t.Fatalf("Crucial 2048MB rate = %v cents/s, want ~0.28", crucial2048)
+	}
+	spark := EMRClusterPerSecond(10) * 100
+	if spark < 0.13 || spark > 0.16 {
+		t.Fatalf("EMR rate = %v cents/s, want ~0.15", spark)
+	}
+}
+
+func TestRunCosts(t *testing.T) {
+	s := SparkRun(168, 34, 10)
+	if s.TotalUSD <= s.IterUSD || s.IterUSD <= 0 {
+		t.Fatalf("spark costs = %+v", s)
+	}
+	c := CrucialRun(87, 20.4, 80, 2048, 1)
+	if c.TotalUSD <= c.IterUSD || c.IterUSD <= 0 {
+		t.Fatalf("crucial costs = %+v", c)
+	}
+	// Table 3 k-means (k=25): total costs roughly comparable
+	// (paper: 0.246 vs 0.244 USD).
+	if ratio := c.TotalUSD / s.TotalUSD; ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("k=25 cost ratio = %v, want ~1", ratio)
+	}
+}
+
+// With much longer compute (k=200), Crucial's higher per-second rate makes
+// it more expensive, as in Table 3.
+func TestLongComputeFavorsSpark(t *testing.T) {
+	s := SparkRun(330, 288, 10)
+	c := CrucialRun(234, 246, 80, 2048, 1)
+	if c.IterUSD <= s.IterUSD {
+		t.Fatalf("long-compute iteration cost: crucial %v <= spark %v", c.IterUSD, s.IterUSD)
+	}
+}

@@ -1,0 +1,179 @@
+// Package linearizability implements a Wing & Gill style checker for
+// concurrent operation histories, used by the test suite to verify the DSO
+// layer's central guarantee (paper Section 3.1: shared objects are
+// linearizable — "concurrent method invocations behave as if they were
+// executed by a single thread").
+//
+// A history is a set of operations with real-time invocation/response
+// intervals. The checker searches for a legal sequential witness: a total
+// order of all operations that (1) respects real time — if op A responded
+// before op B was invoked, A precedes B — and (2) is legal for a given
+// sequential specification. The search is exponential in the worst case
+// but fast for the small, heavily-concurrent histories the tests record.
+package linearizability
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Operation is one invocation in a history.
+type Operation struct {
+	// ClientID identifies the issuing client (diagnostics only).
+	ClientID int
+	// Input describes the call; Output the observed result. Their
+	// interpretation belongs to the Model.
+	Input  any
+	Output any
+	// Call and Return are the real-time bounds of the operation.
+	Call   time.Time
+	Return time.Time
+}
+
+// Model is a sequential specification: an initial state and a step
+// function that, given a state and an operation, reports whether the
+// operation's observed output is legal and what the next state is.
+type Model struct {
+	// Init produces the initial state.
+	Init func() any
+	// Step applies op to state. ok reports whether op's Output is legal
+	// from this state; next is the resulting state (ignored when !ok).
+	Step func(state any, op Operation) (next any, ok bool)
+	// Equal compares states for memoization. Nil disables memoization.
+	Equal func(a, b any) bool
+}
+
+// Check reports whether history is linearizable with respect to the model.
+// It returns a witness order (indices into history) when it is.
+func Check(model Model, history []Operation) (witness []int, ok bool) {
+	n := len(history)
+	if n == 0 {
+		return nil, true
+	}
+	if n > 20 {
+		// The exhaustive search is for small histories; refuse rather
+		// than burn unbounded CPU (tests keep histories small).
+		panic(fmt.Sprintf("linearizability: history of %d ops too large for exhaustive check", n))
+	}
+
+	// Precompute the strict real-time precedence relation:
+	// mustPrecede[i] is the set of ops that must come before i.
+	mustPrecede := make([][]bool, n)
+	for i := range mustPrecede {
+		mustPrecede[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			if i != j && history[j].Return.Before(history[i].Call) {
+				mustPrecede[i][j] = true
+			}
+		}
+	}
+
+	type frame struct {
+		state any
+		used  uint32
+		order []int
+	}
+	// Depth-first search over permutations consistent with real time.
+	var dfs func(f frame) ([]int, bool)
+	dfs = func(f frame) ([]int, bool) {
+		if len(f.order) == n {
+			out := make([]int, n)
+			copy(out, f.order)
+			return out, true
+		}
+		for i := 0; i < n; i++ {
+			if f.used&(1<<uint(i)) != 0 {
+				continue
+			}
+			// Every operation that must precede i must already be placed.
+			eligible := true
+			for j := 0; j < n; j++ {
+				if mustPrecede[i][j] && f.used&(1<<uint(j)) == 0 {
+					eligible = false
+					break
+				}
+			}
+			if !eligible {
+				continue
+			}
+			next, legal := model.Step(f.state, history[i])
+			if !legal {
+				continue
+			}
+			if w, ok := dfs(frame{state: next, used: f.used | 1<<uint(i), order: append(f.order, i)}); ok {
+				return w, true
+			}
+			f.order = f.order[:len(f.order):len(f.order)] // defensive re-slice
+		}
+		return nil, false
+	}
+	return dfs(frame{state: model.Init()})
+}
+
+// --- ready-made models for the object library ---
+
+// CounterOp is an operation on an AtomicLong-like counter.
+type CounterOp struct {
+	// Kind is "add" (AddAndGet) or "get".
+	Kind  string
+	Delta int64
+}
+
+// CounterModel specifies the AtomicLong used by the tests: AddAndGet
+// returns the post-increment value; Get returns the current value.
+func CounterModel() Model {
+	return Model{
+		Init: func() any { return int64(0) },
+		Step: func(state any, op Operation) (any, bool) {
+			v := state.(int64)
+			in := op.Input.(CounterOp)
+			switch in.Kind {
+			case "add":
+				v += in.Delta
+				return v, op.Output.(int64) == v
+			case "get":
+				return v, op.Output.(int64) == v
+			default:
+				return v, false
+			}
+		},
+		Equal: func(a, b any) bool { return a.(int64) == b.(int64) },
+	}
+}
+
+// RegisterOp is an operation on a read/write register.
+type RegisterOp struct {
+	// Kind is "write" or "read".
+	Kind  string
+	Value int64
+}
+
+// RegisterModel specifies an atomic register: reads return the most
+// recently written value (0 initially).
+func RegisterModel() Model {
+	return Model{
+		Init: func() any { return int64(0) },
+		Step: func(state any, op Operation) (any, bool) {
+			v := state.(int64)
+			in := op.Input.(RegisterOp)
+			switch in.Kind {
+			case "write":
+				return in.Value, true
+			case "read":
+				return v, op.Output.(int64) == v
+			default:
+				return v, false
+			}
+		},
+		Equal: func(a, b any) bool { return a.(int64) == b.(int64) },
+	}
+}
+
+// SortByCall orders a history by invocation time (diagnostics and
+// deterministic iteration).
+func SortByCall(history []Operation) {
+	sort.Slice(history, func(i, j int) bool {
+		return history[i].Call.Before(history[j].Call)
+	})
+}

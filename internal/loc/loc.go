@@ -1,0 +1,107 @@
+// Package loc computes the "lines changed" metric of the paper's Table 4:
+// how many lines differ between the plain multi-threaded version of an
+// application and its Crucial port. The pairs of program variants live in
+// testdata/ and mirror this repository's real applications; the diff is a
+// standard LCS line diff.
+package loc
+
+import (
+	"embed"
+	"fmt"
+	"strings"
+)
+
+//go:embed testdata
+var variants embed.FS
+
+// Apps lists the application pairs shipped with the repository, in the
+// paper's Table 4 order.
+func Apps() []string {
+	return []string{"montecarlo", "logreg", "kmeans", "santa"}
+}
+
+// Stats is one Table 4 row.
+type Stats struct {
+	App string
+	// TotalLines is the line count of the Crucial variant; ChangedLines
+	// the lines in it that are not part of the longest common
+	// subsequence with the local variant (i.e. added or modified).
+	TotalLines   int
+	ChangedLines int
+}
+
+// Percent is the changed fraction in percent.
+func (s Stats) Percent() float64 {
+	if s.TotalLines == 0 {
+		return 0
+	}
+	return 100 * float64(s.ChangedLines) / float64(s.TotalLines)
+}
+
+// Diff counts lines of b that are not in the LCS of a and b.
+func Diff(a, b string) Stats {
+	al := splitLines(a)
+	bl := splitLines(b)
+	lcs := lcsLength(al, bl)
+	return Stats{TotalLines: len(bl), ChangedLines: len(bl) - lcs}
+}
+
+func splitLines(s string) []string {
+	s = strings.ReplaceAll(s, "\r\n", "\n")
+	s = strings.TrimRight(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// lcsLength is the classic dynamic program over lines.
+func lcsLength(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// AppStats diffs one shipped application pair.
+func AppStats(app string) (Stats, error) {
+	local, err := variants.ReadFile(fmt.Sprintf("testdata/%s/local.go.txt", app))
+	if err != nil {
+		return Stats{}, fmt.Errorf("loc: unknown app %q: %w", app, err)
+	}
+	ported, err := variants.ReadFile(fmt.Sprintf("testdata/%s/crucial.go.txt", app))
+	if err != nil {
+		return Stats{}, fmt.Errorf("loc: missing crucial variant for %q: %w", app, err)
+	}
+	st := Diff(string(local), string(ported))
+	st.App = app
+	return st, nil
+}
+
+// AllStats returns every shipped pair's stats in table order.
+func AllStats() ([]Stats, error) {
+	apps := Apps()
+	out := make([]Stats, 0, len(apps))
+	for _, app := range apps {
+		st, err := AppStats(app)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

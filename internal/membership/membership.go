@@ -1,0 +1,225 @@
+// Package membership provides the view service of the DSO layer: a
+// totally-ordered sequence of views (paper Section 4.1, "a variation of
+// view synchrony"). Nodes join, heartbeat, and leave; the directory
+// installs a new view on every membership change and notifies subscribers
+// in order, so all nodes agree on the view sequence and rebalance
+// deterministically.
+//
+// The directory plays the role JGroups' coordinator plays for Infinispan.
+// It runs in the control plane of the cluster: in-process for tests and
+// benchmarks, or hosted by a seed node for the TCP deployment. Experiments
+// drive membership changes through Crash and Join (Fig. 8).
+package membership
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"crucial/internal/ring"
+)
+
+// View is one membership epoch. Views are immutable; Members is sorted.
+type View struct {
+	ID      uint64
+	Members []ring.NodeID
+	Addrs   map[ring.NodeID]string
+}
+
+// Contains reports whether node is a member of the view.
+func (v View) Contains(node ring.NodeID) bool {
+	for _, m := range v.Members {
+		if m == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Ring builds the consistent-hashing ring of this view.
+func (v View) Ring() *ring.Ring {
+	return ring.New(v.Members, 0)
+}
+
+// clone returns a deep copy so callers can never alias directory state.
+func (v View) clone() View {
+	out := View{ID: v.ID, Members: make([]ring.NodeID, len(v.Members)), Addrs: make(map[ring.NodeID]string, len(v.Addrs))}
+	copy(out.Members, v.Members)
+	for k, a := range v.Addrs {
+		out.Addrs[k] = a
+	}
+	return out
+}
+
+// Listener observes installed views. Listeners are invoked sequentially,
+// in view order, on the goroutine that triggered the change; they must not
+// call back into the directory.
+type Listener func(View)
+
+// ErrUnknownNode is returned when operating on a node that is not a
+// member.
+var ErrUnknownNode = errors.New("membership: unknown node")
+
+// Directory is the membership service. Safe for concurrent use.
+type Directory struct {
+	mu         sync.Mutex
+	view       View
+	heartbeats map[ring.NodeID]time.Time
+	listeners  map[int]Listener
+	nextSub    int
+	timeout    time.Duration
+	// installMu serializes view installation + listener notification so
+	// listeners observe views strictly in order.
+	installMu sync.Mutex
+}
+
+// NewDirectory builds a directory. timeout is the heartbeat staleness
+// threshold used by CheckFailures (and the background detector, if
+// started).
+func NewDirectory(timeout time.Duration) *Directory {
+	return &Directory{
+		view:       View{ID: 0, Addrs: map[ring.NodeID]string{}},
+		heartbeats: make(map[ring.NodeID]time.Time),
+		listeners:  make(map[int]Listener),
+		timeout:    timeout,
+	}
+}
+
+// View returns the current view.
+func (d *Directory) View() View {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.view.clone()
+}
+
+// Subscribe registers a listener for future views and returns a cancel
+// function. The listener is immediately called with the current view so
+// subscribers need no separate bootstrap.
+func (d *Directory) Subscribe(l Listener) (cancel func()) {
+	d.installMu.Lock()
+	d.mu.Lock()
+	id := d.nextSub
+	d.nextSub++
+	d.listeners[id] = l
+	current := d.view.clone()
+	d.mu.Unlock()
+	l(current)
+	d.installMu.Unlock()
+	return func() {
+		d.mu.Lock()
+		delete(d.listeners, id)
+		d.mu.Unlock()
+	}
+}
+
+// Join adds a node and installs the next view. Joining twice updates the
+// address (a restarted node).
+func (d *Directory) Join(node ring.NodeID, addr string) View {
+	return d.change(func(members map[ring.NodeID]string) {
+		members[node] = addr
+	})
+}
+
+// Leave removes a node gracefully and installs the next view.
+func (d *Directory) Leave(node ring.NodeID) View {
+	return d.change(func(members map[ring.NodeID]string) {
+		delete(members, node)
+	})
+}
+
+// Crash removes a node abruptly (experiment hook; equivalent to the
+// failure detector firing). The view change is identical to Leave — the
+// difference is at the node, which gets no chance to hand off state.
+func (d *Directory) Crash(node ring.NodeID) View {
+	return d.Leave(node)
+}
+
+// change applies a mutation to the member set and installs the next view.
+func (d *Directory) change(mutate func(map[ring.NodeID]string)) View {
+	d.installMu.Lock()
+	defer d.installMu.Unlock()
+
+	d.mu.Lock()
+	members := make(map[ring.NodeID]string, len(d.view.Addrs))
+	for n, a := range d.view.Addrs {
+		members[n] = a
+	}
+	mutate(members)
+
+	next := View{ID: d.view.ID + 1, Addrs: members}
+	next.Members = make([]ring.NodeID, 0, len(members))
+	for n := range members {
+		next.Members = append(next.Members, n)
+		if _, ok := d.heartbeats[n]; !ok {
+			d.heartbeats[n] = time.Now()
+		}
+	}
+	for n := range d.heartbeats {
+		if _, ok := members[n]; !ok {
+			delete(d.heartbeats, n)
+		}
+	}
+	sort.Slice(next.Members, func(i, j int) bool { return next.Members[i] < next.Members[j] })
+	d.view = next
+
+	ls := make([]Listener, 0, len(d.listeners))
+	for _, l := range d.listeners {
+		ls = append(ls, l)
+	}
+	installed := next.clone()
+	d.mu.Unlock()
+
+	for _, l := range ls {
+		l(installed)
+	}
+	return installed
+}
+
+// Heartbeat records liveness for node.
+func (d *Directory) Heartbeat(node ring.NodeID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.view.Addrs[node]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, node)
+	}
+	d.heartbeats[node] = time.Now()
+	return nil
+}
+
+// CheckFailures removes every node whose heartbeat is older than the
+// timeout, installing one view per removal. It returns the removed nodes.
+func (d *Directory) CheckFailures() []ring.NodeID {
+	d.mu.Lock()
+	var stale []ring.NodeID
+	now := time.Now()
+	for n, last := range d.heartbeats {
+		if now.Sub(last) > d.timeout {
+			stale = append(stale, n)
+		}
+	}
+	d.mu.Unlock()
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, n := range stale {
+		d.Crash(n)
+	}
+	return stale
+}
+
+// RunFailureDetector polls CheckFailures every interval until the context
+// is cancelled. Call it in a goroutine when heartbeat-based detection is
+// wanted (the TCP deployment); tests drive CheckFailures directly.
+func (d *Directory) RunFailureDetector(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			d.CheckFailures()
+		}
+	}
+}

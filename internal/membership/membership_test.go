@@ -1,0 +1,203 @@
+package membership
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"crucial/internal/ring"
+)
+
+func TestJoinInstallsViews(t *testing.T) {
+	d := NewDirectory(time.Second)
+	v1 := d.Join("a", "addr-a")
+	if v1.ID != 1 || len(v1.Members) != 1 {
+		t.Fatalf("first view = %+v", v1)
+	}
+	v2 := d.Join("b", "addr-b")
+	if v2.ID != 2 || len(v2.Members) != 2 {
+		t.Fatalf("second view = %+v", v2)
+	}
+	if v2.Addrs["b"] != "addr-b" {
+		t.Fatalf("address lost: %+v", v2.Addrs)
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	d := NewDirectory(time.Second)
+	d.Join("c", "3")
+	d.Join("a", "1")
+	v := d.Join("b", "2")
+	want := []ring.NodeID{"a", "b", "c"}
+	for i, m := range v.Members {
+		if m != want[i] {
+			t.Fatalf("members = %v", v.Members)
+		}
+	}
+}
+
+func TestLeaveAndCrash(t *testing.T) {
+	d := NewDirectory(time.Second)
+	d.Join("a", "1")
+	d.Join("b", "2")
+	v := d.Leave("a")
+	if v.Contains("a") || !v.Contains("b") {
+		t.Fatalf("view after leave = %+v", v)
+	}
+	v = d.Crash("b")
+	if len(v.Members) != 0 {
+		t.Fatalf("view after crash = %+v", v)
+	}
+}
+
+func TestSubscribeGetsCurrentThenUpdates(t *testing.T) {
+	d := NewDirectory(time.Second)
+	d.Join("a", "1")
+
+	var mu sync.Mutex
+	var got []uint64
+	cancel := d.Subscribe(func(v View) {
+		mu.Lock()
+		got = append(got, v.ID)
+		mu.Unlock()
+	})
+	defer cancel()
+
+	d.Join("b", "2")
+	d.Leave("a")
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("listener saw views %v, want [1 2 3]", got)
+	}
+}
+
+func TestCancelStopsNotifications(t *testing.T) {
+	d := NewDirectory(time.Second)
+	var count int
+	cancel := d.Subscribe(func(View) { count++ })
+	cancel()
+	d.Join("a", "1")
+	if count != 1 { // only the bootstrap call
+		t.Fatalf("listener called %d times after cancel", count)
+	}
+}
+
+func TestViewsStrictlyOrderedUnderConcurrency(t *testing.T) {
+	d := NewDirectory(time.Second)
+	var mu sync.Mutex
+	var seen []uint64
+	cancel := d.Subscribe(func(v View) {
+		mu.Lock()
+		seen = append(seen, v.ID)
+		mu.Unlock()
+	})
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d.Join(ring.NodeID(rune('a'+i)), "x")
+		}(i)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(seen); i++ {
+		if seen[i] != seen[i-1]+1 {
+			t.Fatalf("views out of order: %v", seen)
+		}
+	}
+	if len(seen) != 11 {
+		t.Fatalf("saw %d views, want 11", len(seen))
+	}
+}
+
+func TestHeartbeatUnknownNode(t *testing.T) {
+	d := NewDirectory(time.Second)
+	if err := d.Heartbeat("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("want ErrUnknownNode, got %v", err)
+	}
+}
+
+func TestFailureDetection(t *testing.T) {
+	d := NewDirectory(30 * time.Millisecond)
+	d.Join("a", "1")
+	d.Join("b", "2")
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := d.Heartbeat("a"); err != nil {
+			t.Fatal(err)
+		}
+		removed := d.CheckFailures()
+		if len(removed) > 0 {
+			if removed[0] != "b" || len(removed) != 1 {
+				t.Fatalf("removed %v, want [b]", removed)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stale node never removed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	v := d.View()
+	if v.Contains("b") || !v.Contains("a") {
+		t.Fatalf("view after detection = %+v", v)
+	}
+}
+
+func TestCheckFailuresNoStale(t *testing.T) {
+	d := NewDirectory(time.Hour)
+	d.Join("a", "1")
+	if removed := d.CheckFailures(); len(removed) != 0 {
+		t.Fatalf("removed %v with fresh heartbeats", removed)
+	}
+}
+
+func TestViewCloneIsolation(t *testing.T) {
+	d := NewDirectory(time.Second)
+	d.Join("a", "1")
+	v := d.View()
+	v.Addrs["evil"] = "x"
+	v.Members[0] = "evil"
+	v2 := d.View()
+	if v2.Contains("evil") {
+		t.Fatal("View() exposed internal members slice")
+	}
+	if _, ok := v2.Addrs["evil"]; ok {
+		t.Fatal("View() exposed internal addr map")
+	}
+}
+
+func TestViewRing(t *testing.T) {
+	d := NewDirectory(time.Second)
+	d.Join("a", "1")
+	v := d.Join("b", "2")
+	r := v.Ring()
+	if r.Size() != 2 {
+		t.Fatalf("ring size %d", r.Size())
+	}
+	owner, ok := r.Owner("some-key")
+	if !ok || (owner != "a" && owner != "b") {
+		t.Fatalf("owner = %v, %v", owner, ok)
+	}
+}
+
+func TestRejoinUpdatesAddress(t *testing.T) {
+	d := NewDirectory(time.Second)
+	d.Join("a", "old")
+	v := d.Join("a", "new")
+	if v.Addrs["a"] != "new" {
+		t.Fatalf("address not updated: %+v", v.Addrs)
+	}
+	if len(v.Members) != 1 {
+		t.Fatalf("duplicate member: %v", v.Members)
+	}
+}

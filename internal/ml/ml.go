@@ -1,0 +1,327 @@
+// Package ml implements the machine-learning workloads of the paper's
+// evaluation: k-means clustering (Lloyd's algorithm) and logistic
+// regression with gradient descent, plus a deterministic synthetic dataset
+// generator standing in for the 100 GB spark-perf input (see DESIGN.md for
+// the substitution). The same per-partition kernels run under Crucial
+// cloud threads, the Spark-like engine, and the single-machine baselines,
+// so every system computes identical math.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GeneratePoints produces n dims-dimensional points drawn from `clusters`
+// Gaussian blobs (unit variance, random centers), deterministically from
+// seed. It mirrors spark-perf's k-means input generator.
+func GeneratePoints(n, dims, clusters int, seed int64) [][]float64 {
+	return GeneratePointsPartition(n, dims, clusters, seed, seed+1)
+}
+
+// GeneratePointsPartition draws one partition of a distributed dataset:
+// the blob centers derive from centerSeed only (shared by every
+// partition), while the sampling noise derives from partSeed, so workers
+// can generate disjoint partitions of one coherent dataset independently.
+func GeneratePointsPartition(n, dims, clusters int, centerSeed, partSeed int64) [][]float64 {
+	crng := rand.New(rand.NewSource(centerSeed))
+	centers := make([][]float64, clusters)
+	for c := range centers {
+		centers[c] = make([]float64, dims)
+		for d := range centers[c] {
+			centers[c][d] = crng.NormFloat64() * 10
+		}
+	}
+	rng := rand.New(rand.NewSource(partSeed))
+	points := make([][]float64, n)
+	for i := range points {
+		c := centers[rng.Intn(clusters)]
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = c[d] + rng.NormFloat64()
+		}
+		points[i] = p
+	}
+	return points
+}
+
+// GenerateLabeled produces a binary-labeled dataset from a random ground-
+// truth logistic model with label noise, mirroring spark-perf's logistic
+// regression generator (100 numeric features in the paper).
+func GenerateLabeled(n, dims int, seed int64) (points [][]float64, labels []float64) {
+	return GenerateLabeledPartition(n, dims, seed, seed+1)
+}
+
+// GenerateLabeledPartition draws one partition of a distributed labeled
+// dataset: the ground-truth model derives from truthSeed only, the
+// sampling noise from partSeed, so all workers label against the same
+// underlying model.
+func GenerateLabeledPartition(n, dims int, truthSeed, partSeed int64) (points [][]float64, labels []float64) {
+	trng := rand.New(rand.NewSource(truthSeed))
+	truth := make([]float64, dims)
+	for d := range truth {
+		truth[d] = trng.NormFloat64()
+	}
+	rng := rand.New(rand.NewSource(partSeed))
+	points = make([][]float64, n)
+	labels = make([]float64, n)
+	for i := range points {
+		p := make([]float64, dims)
+		var dot float64
+		for d := range p {
+			p[d] = rng.NormFloat64()
+			dot += p[d] * truth[d]
+		}
+		points[i] = p
+		if Sigmoid(dot) > rng.Float64() {
+			labels[i] = 1
+		}
+	}
+	return points, labels
+}
+
+// Split partitions items into parts nearly-equal contiguous chunks (the
+// dataset "has been split into 80 equal-size partitions").
+func Split[T any](items []T, parts int) [][]T {
+	if parts <= 0 {
+		parts = 1
+	}
+	out := make([][]T, parts)
+	base := len(items) / parts
+	rem := len(items) % parts
+	idx := 0
+	for p := 0; p < parts; p++ {
+		size := base
+		if p < rem {
+			size++
+		}
+		out[p] = items[idx : idx+size]
+		idx += size
+	}
+	return out
+}
+
+// --- k-means (Lloyd's algorithm) ---
+
+// NearestCentroid returns the index of and squared distance to the closest
+// centroid.
+func NearestCentroid(p []float64, centroids [][]float64) (int, float64) {
+	best, bestDist := -1, math.MaxFloat64
+	for c, cent := range centroids {
+		var d2 float64
+		for i := range p {
+			diff := p[i] - cent[i]
+			d2 += diff * diff
+		}
+		if d2 < bestDist {
+			best, bestDist = c, d2
+		}
+	}
+	return best, bestDist
+}
+
+// PartitionStats is one partition's contribution to a k-means iteration:
+// per-cluster coordinate sums and counts, plus the within-cluster squared
+// distance (the iteration's cost contribution).
+type PartitionStats struct {
+	Sums   [][]float64
+	Counts []int64
+	Cost   float64
+}
+
+// AssignPartition runs one assignment pass over a partition against the
+// current centroids.
+func AssignPartition(points [][]float64, centroids [][]float64) PartitionStats {
+	k := len(centroids)
+	dims := 0
+	if k > 0 {
+		dims = len(centroids[0])
+	}
+	st := PartitionStats{
+		Sums:   make([][]float64, k),
+		Counts: make([]int64, k),
+	}
+	for c := range st.Sums {
+		st.Sums[c] = make([]float64, dims)
+	}
+	for _, p := range points {
+		c, d2 := NearestCentroid(p, centroids)
+		if c < 0 {
+			continue
+		}
+		st.Counts[c]++
+		st.Cost += d2
+		sum := st.Sums[c]
+		for i := range p {
+			sum[i] += p[i]
+		}
+	}
+	return st
+}
+
+// MergeStats folds b into a (the reduce step).
+func MergeStats(a, b PartitionStats) PartitionStats {
+	for c := range a.Sums {
+		a.Counts[c] += b.Counts[c]
+		for i := range a.Sums[c] {
+			a.Sums[c][i] += b.Sums[c][i]
+		}
+	}
+	a.Cost += b.Cost
+	return a
+}
+
+// RecomputeCentroids derives the next centroids; empty clusters keep their
+// previous position. It returns the new centroids and the maximum centroid
+// shift (the convergence delta of Listing 2).
+func RecomputeCentroids(stats PartitionStats, prev [][]float64) (next [][]float64, delta float64) {
+	next = make([][]float64, len(prev))
+	for c := range prev {
+		next[c] = make([]float64, len(prev[c]))
+		if stats.Counts[c] == 0 {
+			copy(next[c], prev[c])
+			continue
+		}
+		var shift float64
+		for i := range next[c] {
+			next[c][i] = stats.Sums[c][i] / float64(stats.Counts[c])
+			d := next[c][i] - prev[c][i]
+			shift += d * d
+		}
+		if s := math.Sqrt(shift); s > delta {
+			delta = s
+		}
+	}
+	return next, delta
+}
+
+// InitCentroids picks k points as starting centroids, deterministically
+// from seed ("centroids are initially at random positions").
+func InitCentroids(points [][]float64, k int, seed int64) ([][]float64, error) {
+	if k <= 0 || k > len(points) {
+		return nil, fmt.Errorf("ml: k=%d outside [1,%d]", k, len(points))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(points))
+	out := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		src := points[perm[i]]
+		out[i] = make([]float64, len(src))
+		copy(out[i], src)
+	}
+	return out, nil
+}
+
+// KMeansLocal is the reference single-process implementation: it returns
+// the final centroids and the per-iteration costs.
+func KMeansLocal(points [][]float64, k, iterations int, seed int64) ([][]float64, []float64, error) {
+	centroids, err := InitCentroids(points, k, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	costs := make([]float64, 0, iterations)
+	for it := 0; it < iterations; it++ {
+		st := AssignPartition(points, centroids)
+		costs = append(costs, st.Cost)
+		centroids, _ = RecomputeCentroids(st, centroids)
+	}
+	return centroids, costs, nil
+}
+
+// --- logistic regression (batch gradient descent, MLlib's
+// LogisticRegressionWithSGD shape) ---
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 {
+	return 1.0 / (1.0 + math.Exp(-x))
+}
+
+// Dot computes an inner product.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SubGradient computes a partition's gradient contribution for weights w:
+// sum over points of (sigmoid(w.x) - y) * x.
+func SubGradient(points [][]float64, labels []float64, w []float64) []float64 {
+	g := make([]float64, len(w))
+	for i, p := range points {
+		err := Sigmoid(Dot(w, p)) - labels[i]
+		for d := range g {
+			g[d] += err * p[d]
+		}
+	}
+	return g
+}
+
+// LogisticLoss computes a partition's total log-loss for weights w.
+func LogisticLoss(points [][]float64, labels []float64, w []float64) float64 {
+	var loss float64
+	const eps = 1e-12
+	for i, p := range points {
+		h := Sigmoid(Dot(w, p))
+		if labels[i] > 0.5 {
+			loss += -math.Log(h + eps)
+		} else {
+			loss += -math.Log(1 - h + eps)
+		}
+	}
+	return loss
+}
+
+// ApplyGradient takes one descent step: w -= lr/n * grad.
+func ApplyGradient(w, grad []float64, lr float64, n int) []float64 {
+	out := make([]float64, len(w))
+	scale := lr / float64(n)
+	for d := range w {
+		out[d] = w[d] - scale*grad[d]
+	}
+	return out
+}
+
+// LogRegLocal is the reference single-process trainer returning final
+// weights and the per-iteration loss curve.
+func LogRegLocal(points [][]float64, labels []float64, iterations int, lr float64) ([]float64, []float64, error) {
+	if len(points) == 0 {
+		return nil, nil, errors.New("ml: empty dataset")
+	}
+	w := make([]float64, len(points[0]))
+	losses := make([]float64, 0, iterations)
+	for it := 0; it < iterations; it++ {
+		g := SubGradient(points, labels, w)
+		w = ApplyGradient(w, g, lr, len(points))
+		losses = append(losses, LogisticLoss(points, labels, w)/float64(len(points)))
+	}
+	return w, losses, nil
+}
+
+// Accuracy reports the fraction of correct binary predictions.
+func Accuracy(points [][]float64, labels []float64, w []float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	var correct int
+	for i, p := range points {
+		pred := 0.0
+		if Sigmoid(Dot(w, p)) >= 0.5 {
+			pred = 1.0
+		}
+		if pred == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(points))
+}
+
+// Predict classifies one point against a k-means model (Fig. 8's
+// inference workload: read all centroids, compute distances).
+func Predict(p []float64, centroids [][]float64) int {
+	c, _ := NearestCentroid(p, centroids)
+	return c
+}

@@ -1,0 +1,269 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratePointsShapeAndDeterminism(t *testing.T) {
+	a := GeneratePoints(100, 5, 3, 42)
+	b := GeneratePoints(100, 5, 3, 42)
+	if len(a) != 100 || len(a[0]) != 5 {
+		t.Fatalf("shape = %dx%d", len(a), len(a[0]))
+	}
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != b[i][d] {
+				t.Fatal("generator not deterministic")
+			}
+		}
+	}
+	c := GeneratePoints(100, 5, 3, 43)
+	same := true
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != c[i][d] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateLabeledBalancedEnough(t *testing.T) {
+	_, labels := GenerateLabeled(2000, 10, 7)
+	var ones int
+	for _, l := range labels {
+		if l == 1 {
+			ones++
+		}
+	}
+	if ones < 400 || ones > 1600 {
+		t.Fatalf("labels heavily skewed: %d/2000 ones", ones)
+	}
+}
+
+func TestSplitSizes(t *testing.T) {
+	items := make([]int, 103)
+	parts := Split(items, 10)
+	if len(parts) != 10 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		if len(p) < 10 || len(p) > 11 {
+			t.Fatalf("uneven partition size %d", len(p))
+		}
+		total += len(p)
+	}
+	if total != 103 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestSplitDegenerate(t *testing.T) {
+	parts := Split([]int{1, 2}, 0)
+	if len(parts) != 1 || len(parts[0]) != 2 {
+		t.Fatalf("Split with parts=0 = %v", parts)
+	}
+	parts = Split([]int{1}, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+}
+
+func TestNearestCentroid(t *testing.T) {
+	cents := [][]float64{{0, 0}, {10, 10}}
+	c, d2 := NearestCentroid([]float64{1, 1}, cents)
+	if c != 0 || d2 != 2 {
+		t.Fatalf("nearest = %d, %v", c, d2)
+	}
+	c, _ = NearestCentroid([]float64{9, 9}, cents)
+	if c != 1 {
+		t.Fatalf("nearest = %d", c)
+	}
+}
+
+func TestKMeansConvergesOnBlobs(t *testing.T) {
+	points := GeneratePoints(600, 4, 3, 11)
+	// Random init can merge blobs for an unlucky seed; like any practical
+	// k-means run, take the best of a few restarts.
+	best := math.MaxFloat64
+	var first float64
+	for seed := int64(1); seed <= 5; seed++ {
+		_, costs, err := KMeansLocal(points, 3, 10, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(costs) != 10 {
+			t.Fatalf("costs len = %d", len(costs))
+		}
+		if costs[len(costs)-1] > costs[0] {
+			t.Fatalf("cost increased: %v -> %v", costs[0], costs[len(costs)-1])
+		}
+		if first == 0 || costs[0] > first {
+			first = costs[0]
+		}
+		if c := costs[len(costs)-1]; c < best {
+			best = c
+		}
+	}
+	if best > first*0.2 {
+		t.Fatalf("best restart only reached %v from initial %v", best, first)
+	}
+}
+
+func TestKMeansInvalidK(t *testing.T) {
+	points := GeneratePoints(10, 2, 2, 1)
+	if _, _, err := KMeansLocal(points, 0, 1, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := KMeansLocal(points, 11, 1, 1); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+// The distributed decomposition must match the single-pass computation:
+// merging per-partition stats equals assigning over the full dataset.
+func TestPartitionMergeEqualsSinglePass(t *testing.T) {
+	points := GeneratePoints(500, 3, 4, 21)
+	cents, err := InitCentroids(points, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := AssignPartition(points, cents)
+
+	parts := Split(points, 7)
+	merged := AssignPartition(parts[0], cents)
+	for _, p := range parts[1:] {
+		merged = MergeStats(merged, AssignPartition(p, cents))
+	}
+	if math.Abs(whole.Cost-merged.Cost) > 1e-6*math.Abs(whole.Cost) {
+		t.Fatalf("cost: whole %v, merged %v", whole.Cost, merged.Cost)
+	}
+	for c := range whole.Counts {
+		if whole.Counts[c] != merged.Counts[c] {
+			t.Fatalf("counts[%d]: %d vs %d", c, whole.Counts[c], merged.Counts[c])
+		}
+		for d := range whole.Sums[c] {
+			if math.Abs(whole.Sums[c][d]-merged.Sums[c][d]) > 1e-6 {
+				t.Fatalf("sums[%d][%d]: %v vs %v", c, d, whole.Sums[c][d], merged.Sums[c][d])
+			}
+		}
+	}
+}
+
+func TestRecomputeCentroidsEmptyCluster(t *testing.T) {
+	prev := [][]float64{{1, 1}, {5, 5}}
+	stats := PartitionStats{
+		Sums:   [][]float64{{4, 4}, {0, 0}},
+		Counts: []int64{2, 0},
+	}
+	next, delta := RecomputeCentroids(stats, prev)
+	if next[0][0] != 2 || next[0][1] != 2 {
+		t.Fatalf("next[0] = %v", next[0])
+	}
+	if next[1][0] != 5 || next[1][1] != 5 {
+		t.Fatalf("empty cluster moved: %v", next[1])
+	}
+	if delta <= 0 {
+		t.Fatalf("delta = %v", delta)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Sigmoid(0) = %v", got)
+	}
+	if got := Sigmoid(100); got < 0.999 {
+		t.Fatalf("Sigmoid(100) = %v", got)
+	}
+	if got := Sigmoid(-100); got > 0.001 {
+		t.Fatalf("Sigmoid(-100) = %v", got)
+	}
+}
+
+func TestSigmoidRangeProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		s := Sigmoid(x)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogRegLossDecreasesAndLearns(t *testing.T) {
+	points, labels := GenerateLabeled(1500, 8, 13)
+	w, losses, err := LogRegLocal(points, labels, 40, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+	if acc := Accuracy(points, labels, w); acc < 0.7 {
+		t.Fatalf("training accuracy %v too low", acc)
+	}
+}
+
+func TestLogRegEmptyDataset(t *testing.T) {
+	if _, _, err := LogRegLocal(nil, nil, 1, 1); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+// Distributed gradient: sum of per-partition sub-gradients equals the
+// whole-dataset gradient.
+func TestSubGradientDecomposition(t *testing.T) {
+	points, labels := GenerateLabeled(400, 5, 3)
+	w := []float64{0.1, -0.2, 0.3, 0, 0.5}
+	whole := SubGradient(points, labels, w)
+
+	pParts := Split(points, 5)
+	lParts := Split(labels, 5)
+	sum := make([]float64, len(w))
+	for i := range pParts {
+		g := SubGradient(pParts[i], lParts[i], w)
+		for d := range sum {
+			sum[d] += g[d]
+		}
+	}
+	for d := range whole {
+		if math.Abs(whole[d]-sum[d]) > 1e-8 {
+			t.Fatalf("gradient[%d]: %v vs %v", d, whole[d], sum[d])
+		}
+	}
+}
+
+func TestApplyGradient(t *testing.T) {
+	w := ApplyGradient([]float64{1, 1}, []float64{10, -10}, 0.1, 10)
+	if w[0] != 0.9 || w[1] != 1.1 {
+		t.Fatalf("step = %v", w)
+	}
+}
+
+func TestPredict(t *testing.T) {
+	cents := [][]float64{{0, 0}, {10, 10}}
+	if Predict([]float64{9, 8}, cents) != 1 {
+		t.Fatal("prediction wrong")
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if Accuracy(nil, nil, nil) != 0 {
+		t.Fatal("accuracy of empty set not 0")
+	}
+}
+
+func TestDot(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("dot product wrong")
+	}
+}

@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatencySampleZero(t *testing.T) {
+	var l Latency
+	if got := l.Sample(1.0); got != 0 {
+		t.Fatalf("zero latency sampled %v, want 0", got)
+	}
+}
+
+func TestLatencySampleNoJitter(t *testing.T) {
+	l := Latency{Base: 10 * time.Millisecond}
+	for i := 0; i < 10; i++ {
+		if got := l.Sample(1.0); got != 10*time.Millisecond {
+			t.Fatalf("sample %v, want exactly 10ms without jitter", got)
+		}
+	}
+}
+
+func TestLatencySampleScale(t *testing.T) {
+	l := Latency{Base: 10 * time.Millisecond}
+	if got := l.Sample(0.1); got != time.Millisecond {
+		t.Fatalf("scaled sample %v, want 1ms", got)
+	}
+}
+
+func TestLatencySampleJitterBounds(t *testing.T) {
+	l := Latency{Base: 10 * time.Millisecond, Jitter: 2 * time.Millisecond}
+	for i := 0; i < 200; i++ {
+		got := l.Sample(1.0)
+		if got < 8*time.Millisecond || got > 12*time.Millisecond {
+			t.Fatalf("sample %v outside [8ms,12ms]", got)
+		}
+	}
+}
+
+func TestLatencySampleNeverNegative(t *testing.T) {
+	f := func(base, jitter uint16) bool {
+		l := Latency{
+			Base:   time.Duration(base) * time.Microsecond,
+			Jitter: time.Duration(jitter) * time.Microsecond,
+		}
+		return l.Sample(1.0) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSleepRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := Sleep(ctx, time.Hour)
+	if err == nil {
+		t.Fatal("want context error, got nil")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on cancelled context")
+	}
+}
+
+func TestSleepZeroOnCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, 0); err == nil {
+		t.Fatal("want context error for cancelled context even with zero delay")
+	}
+}
+
+func TestSleepCompletes(t *testing.T) {
+	if err := Sleep(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("Sleep returned %v", err)
+	}
+}
+
+func TestProfileDelayZeroProfile(t *testing.T) {
+	p := Zero()
+	start := time.Now()
+	if err := p.Delay(context.Background(), Latency{}); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("zero profile delayed noticeably")
+	}
+}
+
+func TestAWS2019Ordering(t *testing.T) {
+	p := AWS2019(1.0)
+	if p.S3Get.Base <= p.DSONet.Base {
+		t.Fatal("S3 must be slower than the DSO network hop")
+	}
+	if p.SQSReceive.Base <= p.DSONet.Base {
+		t.Fatal("SQS polling must be slower than the DSO network hop")
+	}
+	if p.ColdStart.Base <= p.InvokeOverhead.Base {
+		t.Fatal("cold start must dominate warm invocation overhead")
+	}
+}
+
+func TestFastTestIsCompressed(t *testing.T) {
+	p := FastTest()
+	if p.Scale >= 0.01 {
+		t.Fatalf("FastTest scale %v is not compressed enough for tests", p.Scale)
+	}
+	if got := p.S3Get.Sample(p.Scale); got > time.Millisecond {
+		t.Fatalf("FastTest S3 get %v too slow for unit tests", got)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := AWS2019(0.5)
+	if got := p.Scaled(10 * time.Second); got != 5*time.Second {
+		t.Fatalf("Scaled = %v, want 5s", got)
+	}
+}

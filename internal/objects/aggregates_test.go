@@ -1,0 +1,226 @@
+package objects
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDoubleAdder(t *testing.T) {
+	m := newTestMonitor()
+	d := mustNew(t, NewDoubleAdder)
+	for _, v := range []float64{1.5, 2.5, -1.0} {
+		if _, err := m.Call(d, "Add", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := call[float64](t, m, d, "Sum"); got != 3.0 {
+		t.Fatalf("Sum = %v", got)
+	}
+	if got := call[int64](t, m, d, "Count"); got != 3 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := call[float64](t, m, d, "SumThenReset"); got != 3.0 {
+		t.Fatalf("SumThenReset = %v", got)
+	}
+	if got := call[float64](t, m, d, "Sum"); got != 0 {
+		t.Fatalf("Sum after reset = %v", got)
+	}
+}
+
+func TestDoubleAdderSnapshot(t *testing.T) {
+	m := newTestMonitor()
+	d := mustNew(t, NewDoubleAdder).(*DoubleAdder)
+	_, _ = m.Call(d, "Add", 4.25)
+	data, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := mustNew(t, NewDoubleAdder).(*DoubleAdder)
+	if err := d2.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := call[float64](t, m, d2, "Sum"); got != 4.25 {
+		t.Fatalf("restored Sum = %v", got)
+	}
+	if got := call[int64](t, m, d2, "Count"); got != 1 {
+		t.Fatalf("restored Count = %d", got)
+	}
+}
+
+func TestAtomicDoubleArrayBasics(t *testing.T) {
+	m := newTestMonitor()
+	a := mustNew(t, NewAtomicDoubleArray, int64(3))
+	if got := call[int64](t, m, a, "Length"); got != 3 {
+		t.Fatalf("Length = %d", got)
+	}
+	if _, err := m.Call(a, "Set", int64(1), 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := call[float64](t, m, a, "Get", int64(1)); got != 2.5 {
+		t.Fatalf("Get = %v", got)
+	}
+	if got := call[float64](t, m, a, "AddAndGet", int64(1), 0.5); got != 3.0 {
+		t.Fatalf("AddAndGet = %v", got)
+	}
+	if _, err := m.Call(a, "AddAll", []float64{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	all := call[[]float64](t, m, a, "GetAll")
+	want := []float64{1, 4, 1}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("GetAll = %v, want %v", all, want)
+		}
+	}
+	if _, err := m.Call(a, "ScaleAll", 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := call[float64](t, m, a, "Get", int64(0)); got != 2 {
+		t.Fatalf("after ScaleAll = %v", got)
+	}
+	if _, err := m.Call(a, "FillZero"); err != nil {
+		t.Fatal(err)
+	}
+	if got := call[float64](t, m, a, "Get", int64(2)); got != 0 {
+		t.Fatalf("after FillZero = %v", got)
+	}
+}
+
+func TestAtomicDoubleArrayErrors(t *testing.T) {
+	m := newTestMonitor()
+	a := mustNew(t, NewAtomicDoubleArray, int64(2))
+	if _, err := m.Call(a, "Get", int64(9)); err == nil {
+		t.Fatal("out-of-range Get accepted")
+	}
+	if _, err := m.Call(a, "AddAll", []float64{1}); err == nil {
+		t.Fatal("length-mismatched AddAll accepted")
+	}
+	if _, err := NewAtomicDoubleArray([]any{int64(-1)}); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestAtomicDoubleArrayPreload(t *testing.T) {
+	m := newTestMonitor()
+	a := mustNew(t, NewAtomicDoubleArray, int64(2), []float64{3.5, 4.5})
+	if got := call[float64](t, m, a, "Get", int64(1)); got != 4.5 {
+		t.Fatalf("preload lost: %v", got)
+	}
+}
+
+func TestAtomicDoubleArraySnapshot(t *testing.T) {
+	m := newTestMonitor()
+	a := mustNew(t, NewAtomicDoubleArray, int64(2), []float64{1, 2}).(*AtomicDoubleArray)
+	data, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mustNew(t, NewAtomicDoubleArray, int64(0)).(*AtomicDoubleArray)
+	if err := b.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := call[float64](t, m, b, "Get", int64(1)); got != 2 {
+		t.Fatalf("restored = %v", got)
+	}
+}
+
+// Property: AddAll over random vectors equals element-wise sum.
+func TestAtomicDoubleArrayAddAllProperty(t *testing.T) {
+	m := newTestMonitor()
+	f := func(rounds uint8, seed int64) bool {
+		const n = 4
+		a := mustNewQuick(NewAtomicDoubleArray) // zero length
+		_, _ = m.Call(a, "SetAll", make([]float64, n))
+		model := make([]float64, n)
+		r := seed
+		next := func() float64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			return float64(r%1000) / 10.0
+		}
+		for i := 0; i < int(rounds%16); i++ {
+			v := make([]float64, n)
+			for j := range v {
+				v[j] = next()
+			}
+			if _, err := m.Call(a, "AddAll", v); err != nil {
+				return false
+			}
+			for j := range v {
+				model[j] += v[j]
+			}
+		}
+		res, err := m.Call(a, "GetAll")
+		if err != nil {
+			return false
+		}
+		got := res[0].([]float64)
+		for j := range model {
+			if math.Abs(got[j]-model[j]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKVCell(t *testing.T) {
+	m := newTestMonitor()
+	c := mustNew(t, NewKV)
+	res, err := m.Call(c, "Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].(bool) {
+		t.Fatal("fresh cell reports data")
+	}
+	if got := call[bool](t, m, c, "Exists"); got {
+		t.Fatal("fresh cell exists")
+	}
+	if _, err := m.Call(c, "Put", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = m.Call(c, "Get")
+	if string(res[0].([]byte)) != "payload" || !res[1].(bool) {
+		t.Fatalf("Get = %v", res)
+	}
+	if _, err := m.Call(c, "Delete"); err != nil {
+		t.Fatal(err)
+	}
+	if got := call[bool](t, m, c, "Exists"); got {
+		t.Fatal("cell exists after delete")
+	}
+}
+
+func TestKVGetReturnsCopy(t *testing.T) {
+	m := newTestMonitor()
+	c := mustNew(t, NewKV)
+	_, _ = m.Call(c, "Put", []byte{1, 2, 3})
+	res, _ := m.Call(c, "Get")
+	res[0].([]byte)[0] = 99
+	res2, _ := m.Call(c, "Get")
+	if res2[0].([]byte)[0] != 1 {
+		t.Fatal("Get leaked internal buffer")
+	}
+}
+
+func TestKVSnapshot(t *testing.T) {
+	c := mustNewQuick(NewKV).(*KV)
+	m := newTestMonitor()
+	_, _ = m.Call(c, "Put", []byte("x"))
+	data, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustNewQuick(NewKV).(*KV)
+	if err := c2.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := m.Call(c2, "Get")
+	if !res[1].(bool) || string(res[0].([]byte)) != "x" {
+		t.Fatalf("restored cell = %v", res)
+	}
+}

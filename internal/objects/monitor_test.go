@@ -1,0 +1,56 @@
+package objects
+
+import (
+	"context"
+	"sync"
+
+	"crucial/internal/core"
+)
+
+// testMonitor replicates the per-object monitor the DSO node provides:
+// calls execute under the object's lock and Ctl.Wait releases it on a
+// condition variable. Tests drive objects through it concurrently.
+type testMonitor struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func newTestMonitor() *testMonitor {
+	m := &testMonitor{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+type testCtl struct {
+	m   *testMonitor
+	ctx context.Context
+}
+
+func (c testCtl) Wait(cond func() bool) error {
+	for !cond() {
+		select {
+		case <-c.ctx.Done():
+			return c.ctx.Err()
+		default:
+		}
+		c.m.cond.Wait()
+	}
+	return nil
+}
+
+func (c testCtl) Broadcast()               { c.m.cond.Broadcast() }
+func (c testCtl) Context() context.Context { return c.ctx }
+
+var _ core.Ctl = testCtl{}
+
+// Call runs one method on obj under the monitor, as the server would.
+func (m *testMonitor) Call(obj core.Object, method string, args ...any) ([]any, error) {
+	return m.CallCtx(context.Background(), obj, method, args...)
+}
+
+// CallCtx is Call with an explicit context for cancellation tests.
+func (m *testMonitor) CallCtx(ctx context.Context, obj core.Object, method string, args ...any) ([]any, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return obj.Call(testCtl{m: m, ctx: ctx}, method, args)
+}

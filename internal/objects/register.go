@@ -1,0 +1,49 @@
+package objects
+
+import "crucial/internal/core"
+
+// Wire type names of the built-in library. The paper exposes AtomicInt and
+// AtomicLong separately (Table 1); both map to AtomicInt64 here.
+const (
+	TypeAtomicInt         = "AtomicInt"
+	TypeAtomicLong        = "AtomicLong"
+	TypeAtomicBoolean     = "AtomicBoolean"
+	TypeAtomicReference   = "AtomicReference"
+	TypeAtomicByteArray   = "AtomicByteArray"
+	TypeAtomicDoubleArray = "AtomicDoubleArray"
+	TypeDoubleAdder       = "DoubleAdder"
+	TypeList              = "List"
+	TypeMap               = "Map"
+	TypeKV                = "KV"
+	TypeCyclicBarrier     = "CyclicBarrier"
+	TypeSemaphore         = "Semaphore"
+	TypeFuture            = "Future"
+	TypeCountDownLatch    = "CountDownLatch"
+)
+
+// RegisterBuiltins installs the shared object library into a registry.
+// Server nodes call it at startup; applications then add their own
+// user-defined types on top (the @Shared analog).
+func RegisterBuiltins(r *core.Registry) {
+	r.MustRegister(core.TypeInfo{Name: TypeAtomicInt, New: NewAtomicInt64})
+	r.MustRegister(core.TypeInfo{Name: TypeAtomicLong, New: NewAtomicInt64})
+	r.MustRegister(core.TypeInfo{Name: TypeAtomicBoolean, New: NewAtomicBoolean})
+	r.MustRegister(core.TypeInfo{Name: TypeAtomicReference, New: NewAtomicReference})
+	r.MustRegister(core.TypeInfo{Name: TypeAtomicByteArray, New: NewAtomicByteArray})
+	r.MustRegister(core.TypeInfo{Name: TypeAtomicDoubleArray, New: NewAtomicDoubleArray})
+	r.MustRegister(core.TypeInfo{Name: TypeDoubleAdder, New: NewDoubleAdder})
+	r.MustRegister(core.TypeInfo{Name: TypeList, New: NewList})
+	r.MustRegister(core.TypeInfo{Name: TypeMap, New: NewMap})
+	r.MustRegister(core.TypeInfo{Name: TypeKV, New: NewKV})
+	r.MustRegister(core.TypeInfo{Name: TypeCyclicBarrier, New: NewCyclicBarrier, Synchronization: true})
+	r.MustRegister(core.TypeInfo{Name: TypeSemaphore, New: NewSemaphore, Synchronization: true})
+	r.MustRegister(core.TypeInfo{Name: TypeFuture, New: NewFuture, Synchronization: true})
+	r.MustRegister(core.TypeInfo{Name: TypeCountDownLatch, New: NewCountDownLatch, Synchronization: true})
+}
+
+// BuiltinRegistry returns a fresh registry preloaded with the library.
+func BuiltinRegistry() *core.Registry {
+	r := core.NewRegistry()
+	RegisterBuiltins(r)
+	return r
+}

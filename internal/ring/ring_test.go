@@ -1,0 +1,255 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func nodes(n int) []NodeID {
+	out := make([]NodeID, n)
+	for i := range out {
+		out[i] = NodeID(fmt.Sprintf("node-%02d", i))
+	}
+	return out
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(nil, 0)
+	if r.Size() != 0 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("owner found on empty ring")
+	}
+	if got := r.ReplicaSet("k", 3); got != nil {
+		t.Fatalf("ReplicaSet on empty ring = %v", got)
+	}
+}
+
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	r := New(nodes(1), 0)
+	for i := 0; i < 100; i++ {
+		owner, ok := r.Owner(fmt.Sprintf("key-%d", i))
+		if !ok || owner != "node-00" {
+			t.Fatalf("key %d owned by %q, ok=%v", i, owner, ok)
+		}
+	}
+}
+
+func TestOwnerDeterministic(t *testing.T) {
+	a := New(nodes(5), 0)
+	b := New(nodes(5), 0)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("placement of %q differs across identical rings: %q vs %q", k, oa, ob)
+		}
+	}
+}
+
+func TestOwnerIndependentOfNodeOrder(t *testing.T) {
+	ns := nodes(5)
+	rev := make([]NodeID, len(ns))
+	for i, n := range ns {
+		rev[len(ns)-1-i] = n
+	}
+	a, b := New(ns, 0), New(rev, 0)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("placement depends on node order for %q", k)
+		}
+	}
+}
+
+func TestReplicaSetDistinctAndSized(t *testing.T) {
+	r := New(nodes(5), 0)
+	for i := 0; i < 100; i++ {
+		set := r.ReplicaSet(fmt.Sprintf("key-%d", i), 3)
+		if len(set) != 3 {
+			t.Fatalf("replica set size %d, want 3", len(set))
+		}
+		seen := map[NodeID]struct{}{}
+		for _, n := range set {
+			if _, dup := seen[n]; dup {
+				t.Fatalf("duplicate node %q in replica set %v", n, set)
+			}
+			seen[n] = struct{}{}
+		}
+	}
+}
+
+func TestReplicaSetClampedToClusterSize(t *testing.T) {
+	r := New(nodes(2), 0)
+	set := r.ReplicaSet("k", 5)
+	if len(set) != 2 {
+		t.Fatalf("replica set size %d, want 2 (cluster size)", len(set))
+	}
+}
+
+func TestReplicaSetPrimaryMatchesOwner(t *testing.T) {
+	r := New(nodes(7), 0)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		owner, _ := r.Owner(k)
+		set := r.ReplicaSet(k, 3)
+		if set[0] != owner {
+			t.Fatalf("primary %q != owner %q for %q", set[0], owner, k)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := New(nodes(3), 0)
+	if !r.Contains("node-01") {
+		t.Fatal("Contains missed a member")
+	}
+	if r.Contains("node-99") {
+		t.Fatal("Contains reported a non-member")
+	}
+}
+
+func TestBalance(t *testing.T) {
+	const keys = 20000
+	r := New(nodes(5), 0)
+	counts := map[NodeID]int{}
+	for i := 0; i < keys; i++ {
+		owner, _ := r.Owner(fmt.Sprintf("key-%d", i))
+		counts[owner]++
+	}
+	want := keys / 5
+	for n, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("node %q owns %d keys, want within [%d,%d]", n, c, want/2, want*2)
+		}
+	}
+}
+
+// Consistency: removing one node must not move keys between the surviving
+// nodes — the defining property of consistent hashing.
+func TestMinimalMovementOnRemoval(t *testing.T) {
+	const keys = 5000
+	before := New(nodes(5), 0)
+	after := New(nodes(5)[:4], 0) // drop node-04
+
+	moved, stayedWrong := 0, 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		ob, _ := before.Owner(k)
+		oa, _ := after.Owner(k)
+		if ob == "node-04" {
+			moved++
+			continue
+		}
+		if ob != oa {
+			stayedWrong++
+		}
+	}
+	if stayedWrong != 0 {
+		t.Fatalf("%d keys moved between surviving nodes", stayedWrong)
+	}
+	if moved == 0 {
+		t.Fatal("expected some keys on the removed node")
+	}
+}
+
+func TestMinimalMovementOnAddition(t *testing.T) {
+	const keys = 5000
+	before := New(nodes(4), 0)
+	after := New(nodes(5), 0)
+
+	movedToNew, movedElsewhere := 0, 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		ob, _ := before.Owner(k)
+		oa, _ := after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		if oa == "node-04" {
+			movedToNew++
+		} else {
+			movedElsewhere++
+		}
+	}
+	if movedElsewhere != 0 {
+		t.Fatalf("%d keys moved between pre-existing nodes on addition", movedElsewhere)
+	}
+	if movedToNew == 0 {
+		t.Fatal("new node received no keys")
+	}
+}
+
+func TestMoved(t *testing.T) {
+	before := New(nodes(5), 0)
+	after := New(nodes(5)[:4], 0)
+	anyMoved := false
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if Moved(before, after, k, 2) {
+			anyMoved = true
+		} else {
+			// Unmoved keys must have identical replica sets.
+			a := before.ReplicaSet(k, 2)
+			b := after.ReplicaSet(k, 2)
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("Moved=false but sets differ for %q: %v vs %v", k, a, b)
+				}
+			}
+		}
+	}
+	if !anyMoved {
+		t.Fatal("no keys moved after removing a node")
+	}
+}
+
+func TestNodesReturnsCopy(t *testing.T) {
+	r := New(nodes(3), 0)
+	got := r.Nodes()
+	got[0] = "mutated"
+	if r.Nodes()[0] == "mutated" {
+		t.Fatal("Nodes() exposed internal state")
+	}
+}
+
+func TestReplicaSetZeroRF(t *testing.T) {
+	r := New(nodes(3), 0)
+	if got := r.ReplicaSet("k", 0); got != nil {
+		t.Fatalf("rf=0 returned %v", got)
+	}
+}
+
+// Property: for arbitrary keys, the replica set is always distinct nodes,
+// never exceeds the cluster, and the primary equals Owner.
+func TestReplicaSetProperty(t *testing.T) {
+	r := New(nodes(6), 32)
+	f := func(key string, rf uint8) bool {
+		n := int(rf%8) + 1
+		set := r.ReplicaSet(key, n)
+		want := n
+		if want > 6 {
+			want = 6
+		}
+		if len(set) != want {
+			return false
+		}
+		seen := map[NodeID]struct{}{}
+		for _, nd := range set {
+			if _, dup := seen[nd]; dup {
+				return false
+			}
+			seen[nd] = struct{}{}
+		}
+		owner, ok := r.Owner(key)
+		return ok && owner == set[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,372 @@
+// Package rpc implements the framed, multiplexed request/response protocol
+// used between DSO clients, DSO server nodes, and the simulated cloud
+// services.
+//
+// Design constraints, in order of importance:
+//
+//  1. A single connection must support many outstanding requests, because
+//     synchronization objects (barriers, futures) block server side for
+//     arbitrarily long: the server runs every request in its own goroutine
+//     and writes responses as they complete, in any order.
+//  2. Cancellation must propagate: a caller abandoning a request (context
+//     cancelled) must not wedge the connection.
+//  3. The framing must be transport-agnostic so the same protocol runs over
+//     TCP (cmd/dso-server) and over in-memory pipes (tests, benchmarks).
+//
+// Frame layout (big endian):
+//
+//	uint32  payload length
+//	uint64  request id
+//	uint8   kind (application-defined multiplexing tag)
+//	uint8   flags (request / response / error-response)
+//	[]byte  payload
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	flagRequest  = 0x01
+	flagResponse = 0x02
+	flagError    = 0x04
+
+	headerSize = 4 + 8 + 1 + 1
+
+	// MaxPayload bounds a single frame. Large transfers (dataset blobs in
+	// s3sim) stay well under this.
+	MaxPayload = 64 << 20
+)
+
+// ErrClientClosed is returned by Call after Close, or when the underlying
+// connection fails.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+type frame struct {
+	id      uint64
+	kind    uint8
+	flags   uint8
+	payload []byte
+}
+
+func writeFrame(w io.Writer, buf *[]byte, f frame) error {
+	if len(f.payload) > MaxPayload {
+		return fmt.Errorf("rpc: payload %d exceeds limit", len(f.payload))
+	}
+	need := headerSize + len(f.payload)
+	if cap(*buf) < need {
+		*buf = make([]byte, need)
+	}
+	b := (*buf)[:need]
+	binary.BigEndian.PutUint32(b[0:4], uint32(len(f.payload)))
+	binary.BigEndian.PutUint64(b[4:12], f.id)
+	b[12] = f.kind
+	b[13] = f.flags
+	copy(b[headerSize:], f.payload)
+	_, err := w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > MaxPayload {
+		return frame{}, fmt.Errorf("rpc: incoming payload %d exceeds limit", n)
+	}
+	f := frame{
+		id:    binary.BigEndian.Uint64(hdr[4:12]),
+		kind:  hdr[12],
+		flags: hdr[13],
+	}
+	if n > 0 {
+		f.payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			return frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// Handler processes one request. kind is the application multiplexing tag;
+// the returned bytes are shipped back as the response payload. Returning an
+// error sends an error response carrying err.Error(). Handlers run in their
+// own goroutine per request and may block (that is the point).
+type Handler func(ctx context.Context, kind uint8, payload []byte) ([]byte, error)
+
+// Server serves the protocol on any net.Listener.
+type Server struct {
+	handler Handler
+
+	mu       sync.Mutex
+	closed   bool
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+}
+
+// NewServer returns a server dispatching to handler.
+func NewServer(handler Handler) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		handler:    handler,
+		conns:      make(map[net.Conn]struct{}),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+	}
+}
+
+// Serve accepts connections on l until Close. It returns the accept error
+// that terminated the loop (net.ErrClosed after a clean Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = l.Close()
+		return ErrClientClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	var writeMu sync.Mutex
+	var wbuf []byte
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if f.flags&flagRequest == 0 {
+			continue // ignore stray frames
+		}
+		reqWG.Add(1)
+		go func(f frame) {
+			defer reqWG.Done()
+			out, herr := s.handler(s.baseCtx, f.kind, f.payload)
+			resp := frame{id: f.id, kind: f.kind, flags: flagResponse}
+			if herr != nil {
+				resp.flags |= flagError
+				resp.payload = []byte(herr.Error())
+			} else {
+				resp.payload = out
+			}
+			writeMu.Lock()
+			err := writeFrame(conn, &wbuf, resp)
+			writeMu.Unlock()
+			if err != nil {
+				_ = conn.Close()
+			}
+		}(f)
+	}
+}
+
+// Close stops accepting, closes every connection and cancels the contexts
+// of in-flight handlers, then waits for connection goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.cancelBase()
+	if l != nil {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+type pending struct {
+	ch chan result
+}
+
+type result struct {
+	payload []byte
+	err     error
+}
+
+// Client multiplexes calls over a single connection.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	wbuf    []byte
+
+	mu      sync.Mutex
+	pending map[uint64]pending
+	closed  bool
+	readErr error
+
+	nextID atomic.Uint64
+	done   chan struct{}
+}
+
+// NewClient wraps an established connection. The client owns the
+// connection and closes it on Close.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]pending),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects over TCP and returns a client.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(fmt.Errorf("%w: %v", ErrClientClosed, err))
+			return
+		}
+		if f.flags&flagResponse == 0 {
+			continue
+		}
+		c.mu.Lock()
+		p, ok := c.pending[f.id]
+		if ok {
+			delete(c.pending, f.id)
+		}
+		c.mu.Unlock()
+		if !ok {
+			continue // caller gave up (context cancelled)
+		}
+		if f.flags&flagError != 0 {
+			p.ch <- result{err: errors.New(string(f.payload))}
+		} else {
+			p.ch <- result{payload: f.payload}
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	c.readErr = err
+	ps := make([]pending, 0, len(c.pending))
+	for id, p := range c.pending {
+		ps = append(ps, p)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	for _, p := range ps {
+		p.ch <- result{err: err}
+	}
+}
+
+// Call sends one request and waits for its response or context
+// cancellation. It is safe for concurrent use.
+func (c *Client) Call(ctx context.Context, kind uint8, payload []byte) ([]byte, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan result, 1)
+
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return nil, err
+	}
+	c.pending[id] = pending{ch: ch}
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, &c.wbuf, frame{id: id, kind: kind, flags: flagRequest, payload: payload})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+
+	select {
+	case r := <-ch:
+		return r.payload, r.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Close tears down the connection and fails outstanding calls.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+var _ io.Closer = (*Client)(nil)

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"crucial/internal/core"
+	"crucial/internal/ring"
+	"sync"
+)
+
+// entry is one resident object plus its monitor. The mutex serializes all
+// calls on the object (linearizability through mutual exclusion); the
+// condition variable implements server-side blocking for synchronization
+// objects, mirroring Java monitors (paper Section 5).
+type entry struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	obj     core.Object
+	persist bool
+	sync    bool
+	init    []any
+	// transferring marks the object as mid-rebalance; invocations bounce
+	// with ErrRebalancing so clients back off and retry.
+	transferring bool
+}
+
+func newEntry(obj core.Object, persist, syncObj bool, init []any) *entry {
+	e := &entry{obj: obj, persist: persist, sync: syncObj, init: init}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// nodeCtl is the core.Ctl handed to object methods. It operates on the
+// entry's monitor; the object's lock is held whenever object code runs.
+type nodeCtl struct {
+	n   *Node
+	e   *entry
+	ctx context.Context
+}
+
+// Wait blocks until cond() holds, re-checking after every Broadcast on the
+// same object. It aborts with ErrStopped when the node shuts down.
+func (c nodeCtl) Wait(cond func() bool) error {
+	for !cond() {
+		if c.n.closed.Load() {
+			return core.ErrStopped
+		}
+		select {
+		case <-c.ctx.Done():
+			return c.ctx.Err()
+		default:
+		}
+		c.e.cond.Wait()
+	}
+	return nil
+}
+
+// Broadcast wakes all waiters of the object.
+func (c nodeCtl) Broadcast() { c.e.cond.Broadcast() }
+
+// Context returns the invocation context.
+func (c nodeCtl) Context() context.Context { return c.ctx }
+
+var _ core.Ctl = nodeCtl{}
+
+// replicaGroup computes the nodes responsible for a reference in the
+// current view. rf is clamped by membership size inside the ring.
+func (n *Node) replicaGroup(ref core.Ref, persist bool) ([]ring.NodeID, *ring.Ring) {
+	_, r := n.currentView()
+	if r == nil {
+		return nil, nil
+	}
+	rf := 1
+	if persist {
+		rf = n.cfg.RF
+	}
+	return r.ReplicaSet(ref.String(), rf), r
+}
+
+// lookupOrCreate returns the entry for ref, materializing the object from
+// the registry on first access (using the invocation's Init arguments).
+func (n *Node) lookupOrCreate(inv core.Invocation) (*entry, error) {
+	n.objMu.Lock()
+	defer n.objMu.Unlock()
+	if e, ok := n.objects[inv.Ref]; ok {
+		return e, nil
+	}
+	info, err := n.cfg.Registry.Lookup(inv.Ref.Type)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := info.New(inv.Init)
+	if err != nil {
+		return nil, fmt.Errorf("server: create %s: %w", inv.Ref, err)
+	}
+	persist := inv.Persist && !info.Synchronization
+	e := newEntry(obj, persist, info.Synchronization, inv.Init)
+	n.objects[inv.Ref] = e
+	return e, nil
+}
+
+// invokeLocal executes an invocation on this node directly (the rf=1
+// path). Ownership is validated against the current ring so stale clients
+// are redirected.
+func (n *Node) invokeLocal(ctx context.Context, inv core.Invocation) ([]any, error) {
+	group, r := n.replicaGroup(inv.Ref, false)
+	if r == nil || len(group) == 0 {
+		return nil, core.ErrRebalancing
+	}
+	if group[0] != n.cfg.ID {
+		return nil, fmt.Errorf("%w: %s belongs to %s", core.ErrWrongNode, inv.Ref, group[0])
+	}
+	e, err := n.lookupOrCreate(inv)
+	if err != nil {
+		return nil, err
+	}
+	return n.execOn(ctx, e, inv)
+}
+
+// execOn runs one method under the object monitor.
+func (n *Node) execOn(ctx context.Context, e *entry, inv core.Invocation) ([]any, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.transferring {
+		return nil, core.ErrRebalancing
+	}
+	return e.obj.Call(nodeCtl{n: n, e: e, ctx: ctx}, inv.Method, inv.Args)
+}
+
+// DebugObjectCount reports resident objects (tests and introspection).
+func (n *Node) DebugObjectCount() int {
+	n.objMu.Lock()
+	defer n.objMu.Unlock()
+	return len(n.objects)
+}
+
+// DebugHasObject reports residency of a reference (tests).
+func (n *Node) DebugHasObject(ref core.Ref) bool {
+	n.objMu.Lock()
+	defer n.objMu.Unlock()
+	_, ok := n.objects[ref]
+	return ok
+}

@@ -1,0 +1,328 @@
+// Package server implements a DSO node: the in-memory grid server that
+// stores shared objects, executes shipped method calls under per-object
+// monitors (linearizability + server-side blocking), replicates persistent
+// objects through total-order multicast, and rebalances state on membership
+// changes (paper Sections 4 and 5).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crucial/internal/core"
+	"crucial/internal/membership"
+	"crucial/internal/netsim"
+	"crucial/internal/ring"
+	"crucial/internal/rpc"
+	"crucial/internal/totalorder"
+)
+
+// RPC kinds multiplexed on node connections.
+const (
+	// KindInvoke is a client object invocation.
+	KindInvoke uint8 = 1
+	// KindPropose and KindFinal are Skeen protocol messages between nodes.
+	KindPropose uint8 = 2
+	KindFinal   uint8 = 3
+	// KindTransfer pushes an object snapshot during rebalancing.
+	KindTransfer uint8 = 4
+	// KindPing is a health check.
+	KindPing uint8 = 5
+	// KindAbort drops an abandoned total-order message.
+	KindAbort uint8 = 6
+)
+
+// Config wires one node into a cluster.
+type Config struct {
+	// ID is the cluster-unique node name; Addr is where it listens on the
+	// transport.
+	ID   ring.NodeID
+	Addr string
+	// Transport carries all node traffic (TCP or in-memory).
+	Transport rpc.Transport
+	// Registry resolves object types. Usually objects.BuiltinRegistry()
+	// plus application types.
+	Registry *core.Registry
+	// Directory is the membership service of the cluster.
+	Directory *membership.Directory
+	// Profile injects simulated network latencies for inter-node traffic.
+	// Client-side latency is injected by the DSO client.
+	Profile *netsim.Profile
+	// RF is the replication factor applied to persistent objects.
+	RF int
+	// ServiceTime and ServiceConcurrency, when both set, model the node's
+	// finite processing capacity: at most ServiceConcurrency invocations
+	// at a time each pay ServiceTime (scaled) of node CPU before
+	// executing. The elasticity experiment (Fig. 8) uses this so that
+	// losing one of three nodes costs a third of the fleet's capacity, as
+	// it would in a real deployment; by default it is off.
+	ServiceTime        time.Duration
+	ServiceConcurrency int
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.ID == "":
+		return errors.New("server: config needs an ID")
+	case c.Addr == "":
+		return errors.New("server: config needs an Addr")
+	case c.Transport == nil:
+		return errors.New("server: config needs a Transport")
+	case c.Registry == nil:
+		return errors.New("server: config needs a Registry")
+	case c.Directory == nil:
+		return errors.New("server: config needs a Directory")
+	case c.RF < 1:
+		return errors.New("server: RF must be >= 1")
+	}
+	return nil
+}
+
+// Stats are monotonic node counters.
+type Stats struct {
+	Invocations uint64
+	Transfers   uint64
+	SMROps      uint64
+}
+
+// Node is one DSO server.
+type Node struct {
+	cfg     Config
+	profile *netsim.Profile
+
+	rpcServer *rpc.Server
+	listener  net.Listener
+
+	// view state
+	viewMu      sync.RWMutex
+	view        membership.View
+	ringCur     *ring.Ring
+	unsubscribe func()
+
+	// object table
+	objMu   sync.Mutex
+	objects map[core.Ref]*entry
+
+	// peer connections
+	peerMu sync.Mutex
+	peers  map[ring.NodeID]*rpc.Client
+
+	// replication
+	to      *totalorder.Node
+	seq     atomic.Uint64
+	waitMu  sync.Mutex
+	waiters map[totalorder.MsgID]chan smrResult
+
+	// svcGate, when non-nil, is the modeled capacity gate (see Config).
+	svcGate chan struct{}
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+
+	invocations atomic.Uint64
+	transfers   atomic.Uint64
+	smrOps      atomic.Uint64
+}
+
+// Start launches the node: it listens on cfg.Addr, joins the directory and
+// begins serving. Close (graceful) or Crash (abrupt) stop it.
+func Start(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = netsim.Zero()
+	}
+	n := &Node{
+		cfg:     cfg,
+		profile: cfg.Profile,
+		objects: make(map[core.Ref]*entry),
+		peers:   make(map[ring.NodeID]*rpc.Client),
+		waiters: make(map[totalorder.MsgID]chan smrResult),
+	}
+	if cfg.ServiceTime > 0 && cfg.ServiceConcurrency > 0 {
+		n.svcGate = make(chan struct{}, cfg.ServiceConcurrency)
+	}
+	n.to = totalorder.NewNode(string(cfg.ID), n.deliverSMR)
+
+	l, err := cfg.Transport.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	n.listener = l
+	n.rpcServer = rpc.NewServer(n.handle)
+	go func() { _ = n.rpcServer.Serve(l) }()
+
+	// Join after the listener is live so peers can reach us immediately,
+	// then track view changes for rebalancing.
+	cfg.Directory.Join(cfg.ID, cfg.Addr)
+	n.unsubscribe = cfg.Directory.Subscribe(n.onView)
+	return n, nil
+}
+
+// ID returns the node name.
+func (n *Node) ID() ring.NodeID { return n.cfg.ID }
+
+// Addr returns the listen address.
+func (n *Node) Addr() string { return n.cfg.Addr }
+
+// Stats returns a snapshot of the node counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Invocations: n.invocations.Load(),
+		Transfers:   n.transfers.Load(),
+		SMROps:      n.smrOps.Load(),
+	}
+}
+
+// Close leaves the cluster gracefully: the directory installs a new view,
+// surviving nodes receive this node's objects via rebalancing, and then the
+// node shuts down.
+func (n *Node) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		// Leaving triggers onView on *other* nodes; this node pushes its
+		// state away in its own onView callback for the leave view.
+		n.cfg.Directory.Leave(n.cfg.ID)
+		err = n.shutdown()
+	})
+	return err
+}
+
+// Crash stops the node abruptly without handing off state, simulating a
+// server failure (Fig. 8). The caller is responsible for telling the
+// directory (membership.Directory.Crash) — exactly like a real failure
+// detector noticing after the fact.
+func (n *Node) Crash() error {
+	var err error
+	n.closeOnce.Do(func() {
+		err = n.shutdown()
+	})
+	return err
+}
+
+func (n *Node) shutdown() error {
+	n.closed.Store(true)
+	if n.unsubscribe != nil {
+		n.unsubscribe()
+	}
+	// Wake every blocked synchronization call with ErrStopped.
+	n.objMu.Lock()
+	entries := make([]*entry, 0, len(n.objects))
+	for _, e := range n.objects {
+		entries = append(entries, e)
+	}
+	n.objMu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+	err := n.rpcServer.Close()
+	n.peerMu.Lock()
+	for _, c := range n.peers {
+		_ = c.Close()
+	}
+	n.peers = make(map[ring.NodeID]*rpc.Client)
+	n.peerMu.Unlock()
+	return err
+}
+
+// currentView returns the node's installed view and ring.
+func (n *Node) currentView() (membership.View, *ring.Ring) {
+	n.viewMu.RLock()
+	defer n.viewMu.RUnlock()
+	return n.view, n.ringCur
+}
+
+// handle dispatches one RPC request.
+func (n *Node) handle(ctx context.Context, kind uint8, payload []byte) ([]byte, error) {
+	if n.closed.Load() {
+		return nil, core.ErrStopped
+	}
+	switch kind {
+	case KindInvoke:
+		return n.handleInvoke(ctx, payload)
+	case KindPropose:
+		return n.handlePropose(payload)
+	case KindFinal:
+		return n.handleFinal(payload)
+	case KindTransfer:
+		return n.handleTransfer(payload)
+	case KindAbort:
+		return n.handleAbort(payload)
+	case KindPing:
+		return []byte("pong"), nil
+	default:
+		return nil, fmt.Errorf("server: unknown rpc kind %d", kind)
+	}
+}
+
+// handleInvoke executes a client invocation, choosing the direct path for
+// ephemeral objects and the SMR path for persistent ones.
+func (n *Node) handleInvoke(ctx context.Context, payload []byte) ([]byte, error) {
+	inv, err := core.DecodeInvocation(payload)
+	if err != nil {
+		return nil, err
+	}
+	n.invocations.Add(1)
+	if n.svcGate != nil {
+		select {
+		case n.svcGate <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		err := netsim.Sleep(ctx, n.profile.Scaled(n.cfg.ServiceTime))
+		<-n.svcGate
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var results []any
+	var callErr error
+	if inv.Persist && n.cfg.RF > 1 {
+		results, callErr = n.invokeReplicated(ctx, inv)
+	} else {
+		results, callErr = n.invokeLocal(ctx, inv)
+	}
+	resp := core.Response{Results: results, Err: core.EncodeError(callErr)}
+	return core.EncodeResponse(resp)
+}
+
+// peer returns (dialing if needed) the RPC client for a peer node.
+func (n *Node) peer(id ring.NodeID) (*rpc.Client, error) {
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	if c, ok := n.peers[id]; ok {
+		return c, nil
+	}
+	view, _ := n.currentView()
+	addr, ok := view.Addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("server: no address for peer %s in view %d", id, view.ID)
+	}
+	conn, err := n.cfg.Transport.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial peer %s: %w", id, err)
+	}
+	c := rpc.NewClient(conn)
+	n.peers[id] = c
+	return c, nil
+}
+
+// dropPeer discards a cached connection after an error so the next call
+// redials.
+func (n *Node) dropPeer(id ring.NodeID) {
+	n.peerMu.Lock()
+	if c, ok := n.peers[id]; ok {
+		_ = c.Close()
+		delete(n.peers, id)
+	}
+	n.peerMu.Unlock()
+}

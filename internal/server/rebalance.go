@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"crucial/internal/core"
+	"crucial/internal/membership"
+	"crucial/internal/ring"
+)
+
+// Rebalancing (paper Section 4.1): when a view is installed, nodes
+// re-balance objects according to the new consistent-hashing ring. For each
+// resident data object, the first surviving member of the old replica set
+// pushes snapshots to the nodes that joined the new replica set; nodes that
+// left the set drop their copy. Synchronization objects are ephemeral and
+// are never transferred (their waiters are connection-bound).
+
+// transferMsg carries one object snapshot between nodes.
+type transferMsg struct {
+	Ref      core.Ref
+	Init     []any
+	Persist  bool
+	Snapshot []byte
+}
+
+// onView installs a new view and rebalances. The directory serializes
+// listener invocations, so onView never runs concurrently with itself.
+func (n *Node) onView(v membership.View) {
+	n.viewMu.Lock()
+	oldRing := n.ringCur
+	n.view = v
+	n.ringCur = v.Ring()
+	newRing := n.ringCur
+	n.viewMu.Unlock()
+
+	if oldRing == nil || n.closed.Load() {
+		return
+	}
+	// Flush the total-order layer: a coordinator that died mid-multicast
+	// must not hold back deliveries forever (view-synchrony flush).
+	n.to.PurgeOrigins(func(origin string) bool {
+		return origin == string(n.cfg.ID) || v.Contains(ring.NodeID(origin))
+	})
+	n.rebalance(oldRing, newRing, v)
+}
+
+func contains(set []ring.NodeID, id ring.NodeID) bool {
+	for _, s := range set {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// rebalance moves objects after a membership change.
+func (n *Node) rebalance(oldRing, newRing *ring.Ring, v membership.View) {
+	n.objMu.Lock()
+	refs := make([]core.Ref, 0, len(n.objects))
+	entries := make([]*entry, 0, len(n.objects))
+	for ref, e := range n.objects {
+		refs = append(refs, ref)
+		entries = append(entries, e)
+	}
+	n.objMu.Unlock()
+
+	for i, ref := range refs {
+		e := entries[i]
+		if e.sync {
+			continue
+		}
+		rf := 1
+		if e.persist {
+			rf = n.cfg.RF
+		}
+		key := ref.String()
+		oldSet := oldRing.ReplicaSet(key, rf)
+		newSet := newRing.ReplicaSet(key, rf)
+		if !contains(oldSet, n.cfg.ID) {
+			// We hold a copy we were not responsible for (leftover of an
+			// earlier view); drop it if we are not responsible now either.
+			if !contains(newSet, n.cfg.ID) {
+				n.removeObject(ref)
+			}
+			continue
+		}
+
+		// Deterministic pusher: the first old-set member still alive. The
+		// local node counts as alive even when absent from the new view —
+		// that is precisely the graceful-leave hand-off. Duplicate pushes
+		// from two candidates are idempotent (transfer replaces).
+		var pusher ring.NodeID
+		for _, m := range oldSet {
+			if m == n.cfg.ID || v.Contains(m) {
+				pusher = m
+				break
+			}
+		}
+		if pusher == n.cfg.ID {
+			for _, target := range newSet {
+				if contains(oldSet, target) || target == n.cfg.ID {
+					continue
+				}
+				if err := n.pushObject(ref, e, target); err != nil {
+					// Best effort: the target may be mid-join; clients
+					// retry on ErrWrongNode and repair on next access.
+					continue
+				}
+			}
+		}
+		if !contains(newSet, n.cfg.ID) {
+			n.removeObject(ref)
+		}
+	}
+}
+
+// pushObject snapshots one object and ships it to target. The object is
+// marked transferring while the snapshot is taken so concurrent calls
+// back off.
+func (n *Node) pushObject(ref core.Ref, e *entry, target ring.NodeID) error {
+	e.mu.Lock()
+	snap, ok := e.obj.(core.Snapshotter)
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("server: %s (%T) is not snapshotable", ref, e.obj)
+	}
+	e.transferring = true
+	data, err := snap.Snapshot()
+	e.transferring = false
+	persist := e.persist
+	init := e.init
+	e.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("server: snapshot %s: %w", ref, err)
+	}
+
+	body, err := core.EncodeValue(transferMsg{Ref: ref, Init: init, Persist: persist, Snapshot: data})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := n.peerCall(ctx, target, KindTransfer, body); err != nil {
+		return fmt.Errorf("server: transfer %s to %s: %w", ref, target, err)
+	}
+	n.transfers.Add(1)
+	return nil
+}
+
+// removeObject drops a local copy, waking any (stale) waiters first.
+func (n *Node) removeObject(ref core.Ref) {
+	n.objMu.Lock()
+	e, ok := n.objects[ref]
+	if ok {
+		delete(n.objects, ref)
+	}
+	n.objMu.Unlock()
+	if ok {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+// handleTransfer installs a pushed snapshot, replacing any local copy.
+func (n *Node) handleTransfer(payload []byte) ([]byte, error) {
+	var msg transferMsg
+	if err := core.DecodeValue(payload, &msg); err != nil {
+		return nil, err
+	}
+	info, err := n.cfg.Registry.Lookup(msg.Ref.Type)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := info.New(msg.Init)
+	if err != nil {
+		return nil, fmt.Errorf("server: transfer create %s: %w", msg.Ref, err)
+	}
+	snap, ok := obj.(core.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("server: transferred type %s is not snapshotable", msg.Ref.Type)
+	}
+	if err := snap.Restore(msg.Snapshot); err != nil {
+		return nil, fmt.Errorf("server: restore %s: %w", msg.Ref, err)
+	}
+	e := newEntry(obj, msg.Persist, false, msg.Init)
+	n.objMu.Lock()
+	n.objects[msg.Ref] = e
+	n.objMu.Unlock()
+	n.transfers.Add(1)
+	return nil, nil
+}

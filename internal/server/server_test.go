@@ -1,0 +1,264 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"crucial/internal/core"
+	"crucial/internal/membership"
+	"crucial/internal/objects"
+	"crucial/internal/rpc"
+)
+
+func validConfig(net rpc.Transport, dir *membership.Directory) Config {
+	return Config{
+		ID:        "n1",
+		Addr:      "n1",
+		Transport: net,
+		Registry:  objects.BuiltinRegistry(),
+		Directory: dir,
+		RF:        1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	base := validConfig(net, dir)
+
+	mutations := map[string]func(Config) Config{
+		"missing id":        func(c Config) Config { c.ID = ""; return c },
+		"missing addr":      func(c Config) Config { c.Addr = ""; return c },
+		"missing transport": func(c Config) Config { c.Transport = nil; return c },
+		"missing registry":  func(c Config) Config { c.Registry = nil; return c },
+		"missing directory": func(c Config) Config { c.Directory = nil; return c },
+		"rf zero":           func(c Config) Config { c.RF = 0; return c },
+	}
+	for name, mutate := range mutations {
+		if _, err := Start(mutate(base)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func startNode(t *testing.T, cfg Config) *Node {
+	t.Helper()
+	n, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Crash() })
+	return n
+}
+
+func TestIDAndAddr(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	n := startNode(t, validConfig(net, dir))
+	if n.ID() != "n1" || n.Addr() != "n1" {
+		t.Fatalf("identity = %s/%s", n.ID(), n.Addr())
+	}
+}
+
+// dial opens a raw RPC connection to a node.
+func dial(t *testing.T, net rpc.Transport, addr string) *rpc.Client {
+	t.Helper()
+	conn, err := net.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rpc.NewClient(conn)
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestUnknownRPCKind(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	startNode(t, validConfig(net, dir))
+	c := dial(t, net, "n1")
+	if _, err := c.Call(context.Background(), 200, nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestPing(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	startNode(t, validConfig(net, dir))
+	c := dial(t, net, "n1")
+	out, err := c.Call(context.Background(), KindPing, nil)
+	if err != nil || string(out) != "pong" {
+		t.Fatalf("ping = %q, %v", out, err)
+	}
+}
+
+func TestInvokeGarbagePayload(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	startNode(t, validConfig(net, dir))
+	c := dial(t, net, "n1")
+	if _, err := c.Call(context.Background(), KindInvoke, []byte("garbage")); err == nil {
+		t.Fatal("garbage invocation accepted")
+	}
+}
+
+func TestTransferGarbagePayload(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	startNode(t, validConfig(net, dir))
+	c := dial(t, net, "n1")
+	if _, err := c.Call(context.Background(), KindTransfer, []byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage transfer accepted")
+	}
+}
+
+func TestInvokeWrongNodeForeignKey(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	startNode(t, validConfig(net, dir))
+	cfg2 := validConfig(net, dir)
+	cfg2.ID, cfg2.Addr = "n2", "n2"
+	startNode(t, cfg2)
+
+	// Find a key owned by n2, send its invocation to n1.
+	view := dir.View()
+	r := view.Ring()
+	var foreign string
+	for i := 0; i < 1000; i++ {
+		key := core.Ref{Type: objects.TypeAtomicLong, Key: string(rune('a' + i%26))}.String()
+		if owner, _ := r.Owner(key); owner == "n2" {
+			foreign = string(rune('a' + i%26))
+			break
+		}
+	}
+	if foreign == "" {
+		t.Skip("no key maps to n2")
+	}
+	payload, err := core.EncodeInvocation(core.Invocation{
+		Ref:    core.Ref{Type: objects.TypeAtomicLong, Key: foreign},
+		Method: "Get",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, net, "n1")
+	raw, err := c.Call(context.Background(), KindInvoke, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := core.DecodeResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(core.DecodeError(resp.Err), core.ErrWrongNode) {
+		t.Fatalf("want ErrWrongNode, got %q", resp.Err)
+	}
+}
+
+func TestStatsTransfersAndInvocations(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	n1 := startNode(t, validConfig(net, dir))
+
+	// Create state, then add a node: transfers must be counted somewhere.
+	payload, _ := core.EncodeInvocation(core.Invocation{
+		Ref:    core.Ref{Type: objects.TypeAtomicLong, Key: "s"},
+		Method: "Set",
+		Args:   []any{int64(1)},
+	})
+	c := dial(t, net, "n1")
+	if _, err := c.Call(context.Background(), KindInvoke, payload); err != nil {
+		t.Fatal(err)
+	}
+	if n1.Stats().Invocations == 0 {
+		t.Fatal("invocations not counted")
+	}
+}
+
+func TestCrashIdempotent(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	n, err := Start(validConfig(net, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Crash(); err != nil {
+		t.Fatal("second Crash errored")
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal("Close after Crash errored")
+	}
+}
+
+func TestClosedNodeRejectsRequests(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	n, err := Start(validConfig(net, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, net, "n1")
+	if _, err := c.Call(context.Background(), KindPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = n.Crash()
+	if _, err := c.Call(context.Background(), KindPing, nil); err == nil {
+		t.Fatal("crashed node answered")
+	}
+}
+
+func TestServiceGateLimitsThroughput(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	cfg := validConfig(net, dir)
+	cfg.ServiceTime = 20 * time.Millisecond
+	cfg.ServiceConcurrency = 1
+	startNode(t, cfg)
+
+	c := dial(t, net, "n1")
+	payload, _ := core.EncodeInvocation(core.Invocation{
+		Ref:    core.Ref{Type: objects.TypeAtomicLong, Key: "g"},
+		Method: "IncrementAndGet",
+	})
+	start := time.Now()
+	const ops = 4
+	done := make(chan error, ops)
+	for i := 0; i < ops; i++ {
+		go func() {
+			_, err := c.Call(context.Background(), KindInvoke, payload)
+			done <- err
+		}()
+	}
+	for i := 0; i < ops; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d < ops*20*time.Millisecond {
+		t.Fatalf("4 ops with a 20ms x1 gate finished in %v, want >= 80ms", d)
+	}
+}
+
+func TestDebugHelpers(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	n := startNode(t, validConfig(net, dir))
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: "dbg"}
+	if n.DebugHasObject(ref) || n.DebugObjectCount() != 0 {
+		t.Fatal("fresh node has objects")
+	}
+	payload, _ := core.EncodeInvocation(core.Invocation{Ref: ref, Method: "Get"})
+	c := dial(t, net, "n1")
+	if _, err := c.Call(context.Background(), KindInvoke, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !n.DebugHasObject(ref) || n.DebugObjectCount() != 1 {
+		t.Fatal("object not materialized")
+	}
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"crucial/internal/core"
+	"crucial/internal/ring"
+	"crucial/internal/totalorder"
+)
+
+// State-machine replication of persistent objects (paper Section 4.1):
+// operations on an object with rf > 1 are disseminated to its replica group
+// with total-order multicast; every replica applies them in delivery order
+// on its local copy, and the primary returns the result to the caller.
+
+type smrResult struct {
+	results []any
+	err     error
+}
+
+// proposeMsg and finalMsg are the Skeen control messages on the wire.
+type proposeMsg struct {
+	ID      totalorder.MsgID
+	Payload []byte
+}
+
+type finalMsg struct {
+	ID totalorder.MsgID
+	TS uint64
+}
+
+// invokeReplicated is the primary-side path for persistent objects: the
+// contacted node must be the primary replica; it multicasts the operation
+// to the group and waits for its own in-order delivery to produce the
+// result.
+func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any, error) {
+	group, r := n.replicaGroup(inv.Ref, true)
+	if r == nil || len(group) == 0 {
+		return nil, core.ErrRebalancing
+	}
+	if group[0] != n.cfg.ID {
+		return nil, fmt.Errorf("%w: %s belongs to %s", core.ErrWrongNode, inv.Ref, group[0])
+	}
+	info, err := n.cfg.Registry.Lookup(inv.Ref.Type)
+	if err != nil {
+		return nil, err
+	}
+	if info.Synchronization {
+		// Synchronization objects are never replicated (paper, fn. 2).
+		return n.invokeLocal(ctx, inv)
+	}
+
+	payload, err := core.EncodeInvocation(inv)
+	if err != nil {
+		return nil, err
+	}
+	id := totalorder.MsgID{Origin: string(n.cfg.ID), Seq: n.seq.Add(1)}
+	ch := make(chan smrResult, 1)
+	n.waitMu.Lock()
+	n.waiters[id] = ch
+	n.waitMu.Unlock()
+	defer func() {
+		n.waitMu.Lock()
+		delete(n.waiters, id)
+		n.waitMu.Unlock()
+	}()
+
+	members := make([]string, len(group))
+	for i, g := range group {
+		members[i] = string(g)
+	}
+	if err := totalorder.Multicast(ctx, (*toTransport)(n), members, id, payload); err != nil {
+		return nil, err
+	}
+	n.smrOps.Add(1)
+	select {
+	case res := <-ch:
+		return res.results, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// deliverSMR applies one totally-ordered operation to the local replica and
+// completes the coordinator's waiter if this node originated it.
+func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) {
+	inv, err := core.DecodeInvocation(payload)
+	var results []any
+	if err == nil {
+		var e *entry
+		e, err = n.lookupOrCreate(inv)
+		if err == nil {
+			// SMR ops never block (no sync objects), so Background is a
+			// safe execution context here.
+			results, err = n.execOn(context.Background(), e, inv)
+		}
+	}
+	n.waitMu.Lock()
+	ch, ok := n.waiters[id]
+	n.waitMu.Unlock()
+	if ok {
+		ch <- smrResult{results: results, err: err}
+	}
+}
+
+// toTransport adapts the node's peer RPC connections to the total-order
+// protocol. Messages to self short-circuit without network or simulated
+// latency; messages to peers pay one DSOReplica hop each way.
+type toTransport Node
+
+func (t *toTransport) node() *Node { return (*Node)(t) }
+
+// Propose implements totalorder.Transport.
+func (t *toTransport) Propose(ctx context.Context, target string, id totalorder.MsgID, payload []byte) (uint64, error) {
+	n := t.node()
+	if target == string(n.cfg.ID) {
+		return n.to.HandlePropose(id, payload), nil
+	}
+	body, err := core.EncodeValue(proposeMsg{ID: id, Payload: payload})
+	if err != nil {
+		return 0, err
+	}
+	out, err := n.peerCall(ctx, ring.NodeID(target), KindPropose, body)
+	if err != nil {
+		return 0, err
+	}
+	var ts uint64
+	if err := core.DecodeValue(out, &ts); err != nil {
+		return 0, err
+	}
+	return ts, nil
+}
+
+// Final implements totalorder.Transport.
+func (t *toTransport) Final(ctx context.Context, target string, id totalorder.MsgID, ts uint64) error {
+	n := t.node()
+	if target == string(n.cfg.ID) {
+		n.to.HandleFinal(id, ts)
+		return nil
+	}
+	body, err := core.EncodeValue(finalMsg{ID: id, TS: ts})
+	if err != nil {
+		return err
+	}
+	_, err = n.peerCall(ctx, ring.NodeID(target), KindFinal, body)
+	return err
+}
+
+// Abort implements totalorder.Transport.
+func (t *toTransport) Abort(ctx context.Context, target string, id totalorder.MsgID) error {
+	n := t.node()
+	if target == string(n.cfg.ID) {
+		n.to.Drop(id)
+		return nil
+	}
+	body, err := core.EncodeValue(id)
+	if err != nil {
+		return err
+	}
+	_, err = n.peerCall(ctx, ring.NodeID(target), KindAbort, body)
+	return err
+}
+
+var _ totalorder.Transport = (*toTransport)(nil)
+
+// peerCall performs one inter-node RPC with simulated replica-link latency
+// and a single redial on connection failure.
+func (n *Node) peerCall(ctx context.Context, id ring.NodeID, kind uint8, body []byte) ([]byte, error) {
+	if err := n.profile.Delay(ctx, n.profile.DSOReplica); err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		c, err := n.peer(id)
+		if err != nil {
+			return nil, err
+		}
+		out, err := c.Call(ctx, kind, body)
+		if err == nil {
+			return out, nil
+		}
+		n.dropPeer(id)
+		if attempt >= 1 || ctx.Err() != nil {
+			return nil, err
+		}
+		// Brief pause before redial: the peer may be restarting.
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// handleAbort services a peer's ABORT.
+func (n *Node) handleAbort(payload []byte) ([]byte, error) {
+	var id totalorder.MsgID
+	if err := core.DecodeValue(payload, &id); err != nil {
+		return nil, err
+	}
+	n.to.Drop(id)
+	return nil, nil
+}
+
+// handlePropose services a peer's PROPOSE.
+func (n *Node) handlePropose(payload []byte) ([]byte, error) {
+	var msg proposeMsg
+	if err := core.DecodeValue(payload, &msg); err != nil {
+		return nil, err
+	}
+	ts := n.to.HandlePropose(msg.ID, msg.Payload)
+	return core.EncodeValue(ts)
+}
+
+// handleFinal services a peer's FINAL.
+func (n *Node) handleFinal(payload []byte) ([]byte, error) {
+	var msg finalMsg
+	if err := core.DecodeValue(payload, &msg); err != nil {
+		return nil, err
+	}
+	n.to.HandleFinal(msg.ID, msg.TS)
+	return nil, nil
+}

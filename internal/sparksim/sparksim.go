@@ -1,0 +1,173 @@
+// Package sparksim is a Spark-like bulk-synchronous-parallel engine: a
+// driver schedules per-partition tasks onto a cluster of worker machines,
+// stages end with a barrier, and iterative ML jobs follow MLlib's
+// broadcast -> map -> reduce structure. It is the baseline Crucial is
+// compared against in Figs. 4 and 5 and Table 3.
+//
+// Tasks execute their closures for real (the ML math runs); the costs that
+// give Spark its performance profile — per-task scheduling overhead,
+// stage barriers, broadcast of the model, and the reduce/collect phase
+// funnelling partial results through the driver — are modeled explicitly
+// from sizes and the cluster's network bandwidth.
+package sparksim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crucial/internal/netsim"
+	"crucial/internal/vmsim"
+)
+
+// Config sizes the cluster like an EMR deployment.
+type Config struct {
+	// Workers is the worker (core-node) count; CoresPerWorker the
+	// executor cores on each (paper: 10 m5.2xlarge = 10 x 8).
+	Workers        int
+	CoresPerWorker int
+	// Profile supplies the time scale.
+	Profile *netsim.Profile
+	// TaskOverheadMs is the modeled per-task scheduling cost in
+	// milliseconds (Spark's task serialization/dispatch, ~5-15ms).
+	TaskOverheadMs float64
+	// NetworkMBps is the modeled per-link bandwidth used for broadcast
+	// and reduce transfers.
+	NetworkMBps float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Workers <= 0 {
+		c.Workers = 10
+	}
+	if c.CoresPerWorker <= 0 {
+		c.CoresPerWorker = 8
+	}
+	if c.Profile == nil {
+		c.Profile = netsim.Zero()
+	}
+	if c.TaskOverheadMs < 0 {
+		return c, errors.New("sparksim: negative task overhead")
+	}
+	if c.TaskOverheadMs == 0 {
+		c.TaskOverheadMs = 8
+	}
+	if c.NetworkMBps <= 0 {
+		c.NetworkMBps = 500
+	}
+	return c, nil
+}
+
+// Cluster is a running Spark-like deployment.
+type Cluster struct {
+	cfg      Config
+	machines []*vmsim.Machine
+}
+
+// NewCluster provisions the workers.
+func NewCluster(cfg Config) (*Cluster, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: full}
+	c.machines = make([]*vmsim.Machine, full.Workers)
+	for i := range c.machines {
+		m, err := vmsim.NewMachine(fmt.Sprintf("worker-%02d", i), full.CoresPerWorker, full.Profile)
+		if err != nil {
+			return nil, err
+		}
+		c.machines[i] = m
+	}
+	return c, nil
+}
+
+// TotalCores reports the executor core count.
+func (c *Cluster) TotalCores() int {
+	return c.cfg.Workers * c.cfg.CoresPerWorker
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Task is one partition's work: it returns a partial result and the size
+// in bytes that result contributes to the reduce transfer.
+type Task[O any] struct {
+	// Compute is the modeled duration of the partition's computation.
+	Compute time.Duration
+	// Fn is the real work (may be nil).
+	Fn func() (O, error)
+}
+
+// RunStage schedules one task per entry across the cluster's cores and
+// barriers until all complete (a Spark stage). Task i runs on machine
+// i%workers, mirroring even partition placement.
+func RunStage[O any](ctx context.Context, c *Cluster, tasks []Task[O]) ([]O, error) {
+	out := make([]O, len(tasks))
+	errs := make([]error, len(tasks))
+	overhead := time.Duration(c.cfg.TaskOverheadMs * float64(time.Millisecond))
+
+	var wg sync.WaitGroup
+	for i := range tasks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := c.machines[i%len(c.machines)]
+			// Scheduling overhead precedes the core acquisition, like the
+			// driver dispatching the task.
+			if err := netsim.Sleep(ctx, c.cfg.Profile.Scaled(overhead)); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = m.Run(ctx, tasks[i].Compute, func() error {
+				if tasks[i].Fn == nil {
+					return nil
+				}
+				v, err := tasks[i].Fn()
+				if err != nil {
+					return err
+				}
+				out[i] = v
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Broadcast models shipping sizeBytes of read-only state (e.g. the model
+// weights) to every worker before a stage. Spark's torrent broadcast is
+// roughly two link-serial rounds, so the modeled cost is two transfers.
+func (c *Cluster) Broadcast(ctx context.Context, sizeBytes int) error {
+	d := 2 * vmsim.TransferTime(sizeBytes, c.cfg.NetworkMBps)
+	return netsim.Sleep(ctx, c.cfg.Profile.Scaled(d))
+}
+
+// ReduceCollect models the shuffle/aggregate that ends an MLlib iteration:
+// every task's partial (bytesEach) funnels to the driver, then combine
+// runs for real over the partials. The transfer is what Crucial's
+// server-side aggregation avoids (paper Section 4.2).
+func ReduceCollect[O any](ctx context.Context, c *Cluster, partials []O, bytesEach int, combine func(a, b O) O) (O, error) {
+	var zero O
+	if len(partials) == 0 {
+		return zero, errors.New("sparksim: reduce over no partials")
+	}
+	total := bytesEach * len(partials)
+	d := vmsim.TransferTime(total, c.cfg.NetworkMBps)
+	if err := netsim.Sleep(ctx, c.cfg.Profile.Scaled(d)); err != nil {
+		return zero, err
+	}
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc = combine(acc, p)
+	}
+	return acc, nil
+}

@@ -1,0 +1,172 @@
+package sparksim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"crucial/internal/netsim"
+)
+
+func clusterT(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.Profile == nil {
+		cfg.Profile = netsim.Zero()
+	}
+	if cfg.TaskOverheadMs == 0 {
+		cfg.TaskOverheadMs = 0.001 // effectively none for logic tests
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c, err := NewCluster(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalCores() != 80 {
+		t.Fatalf("default cores = %d, want 80 (10x8 EMR)", c.TotalCores())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewCluster(Config{TaskOverheadMs: -1}); err == nil {
+		t.Fatal("negative overhead accepted")
+	}
+}
+
+func TestRunStageExecutesAllTasks(t *testing.T) {
+	c := clusterT(t, Config{Workers: 2, CoresPerWorker: 2})
+	tasks := make([]Task[int], 10)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{Fn: func() (int, error) { return i * i, nil }}
+	}
+	out, err := RunStage(context.Background(), c, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("task %d = %d", i, v)
+		}
+	}
+}
+
+func TestRunStageErrorPropagates(t *testing.T) {
+	c := clusterT(t, Config{Workers: 1, CoresPerWorker: 1})
+	boom := errors.New("task failed")
+	tasks := []Task[int]{
+		{Fn: func() (int, error) { return 0, nil }},
+		{Fn: func() (int, error) { return 0, boom }},
+	}
+	if _, err := RunStage(context.Background(), c, tasks); !errors.Is(err, boom) {
+		t.Fatalf("want task error, got %v", err)
+	}
+}
+
+// A stage is a barrier: with more tasks than cores, elapsed time must be
+// at least ceil(tasks/cores) waves of compute.
+func TestStageCoresLimitThroughput(t *testing.T) {
+	c := clusterT(t, Config{Workers: 1, CoresPerWorker: 2})
+	tasks := make([]Task[int], 6)
+	for i := range tasks {
+		tasks[i] = Task[int]{Compute: 20 * time.Millisecond}
+	}
+	start := time.Now()
+	if _, err := RunStage(context.Background(), c, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("6x20ms on 2 cores finished in %v, want >= 60ms", d)
+	}
+}
+
+func TestTaskOverheadApplied(t *testing.T) {
+	c := clusterT(t, Config{Workers: 4, CoresPerWorker: 4, TaskOverheadMs: 25})
+	start := time.Now()
+	if _, err := RunStage(context.Background(), c, []Task[int]{{}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("stage with 25ms overhead finished in %v", d)
+	}
+}
+
+func TestBroadcastCost(t *testing.T) {
+	c := clusterT(t, Config{NetworkMBps: 10}) // 10 MB/s
+	start := time.Now()
+	// 1 MB at 10MB/s, two rounds = 200ms.
+	if err := c.Broadcast(context.Background(), 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 180*time.Millisecond {
+		t.Fatalf("broadcast took %v, want ~200ms", d)
+	}
+}
+
+func TestReduceCollectCombines(t *testing.T) {
+	c := clusterT(t, Config{})
+	sum, err := ReduceCollect(context.Background(), c, []int{1, 2, 3, 4}, 8,
+		func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 10 {
+		t.Fatalf("reduce = %d", sum)
+	}
+}
+
+func TestReduceCollectEmpty(t *testing.T) {
+	c := clusterT(t, Config{})
+	if _, err := ReduceCollect(context.Background(), c, nil, 8, func(a, b int) int { return a + b }); err == nil {
+		t.Fatal("empty reduce accepted")
+	}
+}
+
+func TestReduceCollectTransferCost(t *testing.T) {
+	c := clusterT(t, Config{NetworkMBps: 10})
+	partials := make([]int, 10)
+	start := time.Now()
+	// 10 partials x 100KB = 1MB at 10MB/s = 100ms.
+	if _, err := ReduceCollect(context.Background(), c, partials, 100_000,
+		func(a, b int) int { return a + b }); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 90*time.Millisecond {
+		t.Fatalf("reduce transfer took %v, want ~100ms", d)
+	}
+}
+
+// End-to-end iterative job: broadcast + stage + reduce, MLlib style.
+func TestIterativeJobStructure(t *testing.T) {
+	c := clusterT(t, Config{Workers: 2, CoresPerWorker: 4})
+	ctx := context.Background()
+	model := 0
+	for iter := 0; iter < 3; iter++ {
+		if err := c.Broadcast(ctx, 800); err != nil {
+			t.Fatal(err)
+		}
+		tasks := make([]Task[int], 8)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task[int]{Fn: func() (int, error) { return i + model, nil }}
+		}
+		partials, err := RunStage(ctx, c, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err = ReduceCollect(ctx, c, partials, 8, func(a, b int) int { return a + b })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if model == 0 {
+		t.Fatal("iterative job produced no model")
+	}
+}

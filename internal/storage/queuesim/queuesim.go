@@ -1,0 +1,161 @@
+// Package queuesim simulates the AWS queueing/notification services used
+// by the paper's coordination baselines: an SQS-like polling queue and an
+// SNS-like fan-out topic (Fig. 6 and Fig. 7a). Their defining costs are
+// tens-of-milliseconds per operation and polling-based consumption.
+package queuesim
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"crucial/internal/netsim"
+)
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("queuesim: closed")
+
+// Queue is an SQS-like queue: Send enqueues, Receive polls. An empty poll
+// still pays the receive latency — that is the whole point of the
+// baseline.
+type Queue struct {
+	profile *netsim.Profile
+
+	mu     sync.Mutex
+	items  [][]byte
+	closed bool
+
+	sends, receives, emptyReceives uint64
+}
+
+// NewQueue builds a queue.
+func NewQueue(profile *netsim.Profile) *Queue {
+	if profile == nil {
+		profile = netsim.Zero()
+	}
+	return &Queue{profile: profile}
+}
+
+// Send enqueues one message.
+func (q *Queue) Send(ctx context.Context, msg []byte) error {
+	if err := q.profile.Delay(ctx, q.profile.SQSSend); err != nil {
+		return err
+	}
+	if !q.enqueue(msg) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// enqueue appends without latency (used by Send and by topic fan-out).
+func (q *Queue) enqueue(msg []byte) bool {
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, cp)
+	q.sends++
+	return true
+}
+
+// Receive polls once, returning up to max messages (possibly none).
+func (q *Queue) Receive(ctx context.Context, max int) ([][]byte, error) {
+	if max <= 0 {
+		max = 1
+	}
+	if err := q.profile.Delay(ctx, q.profile.SQSReceive); err != nil {
+		return nil, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	q.receives++
+	if len(q.items) == 0 {
+		q.emptyReceives++
+		return nil, nil
+	}
+	n := max
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	out := q.items[:n]
+	q.items = q.items[n:]
+	return out, nil
+}
+
+// Len reports queued messages (tests).
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Stats reports (sends, receives, empty receives).
+func (q *Queue) Stats() (sends, receives, empty uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sends, q.receives, q.emptyReceives
+}
+
+// Close rejects further operations.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.items = nil
+	q.mu.Unlock()
+}
+
+// Topic is an SNS-like topic: Publish fans a message out to every
+// subscribed queue (the SNS+SQS barrier construction of Fig. 7a).
+type Topic struct {
+	profile *netsim.Profile
+
+	mu   sync.Mutex
+	subs []*Queue
+}
+
+// NewTopic builds a topic.
+func NewTopic(profile *netsim.Profile) *Topic {
+	if profile == nil {
+		profile = netsim.Zero()
+	}
+	return &Topic{profile: profile}
+}
+
+// Subscribe attaches a queue to the topic.
+func (t *Topic) Subscribe(q *Queue) {
+	t.mu.Lock()
+	t.subs = append(t.subs, q)
+	t.mu.Unlock()
+}
+
+// Publish pays one publish latency, then delivers to every subscriber
+// (SNS's server-side fan-out: the publisher pays one call, the service
+// replicates internally). One background goroutine performs the fan-out
+// after a single modeled internal-delivery delay; per-queue enqueue is
+// in-memory, so publishing to hundreds of subscribers stays cheap.
+func (t *Topic) Publish(ctx context.Context, msg []byte) error {
+	if err := t.profile.Delay(ctx, t.profile.SNSPublish); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	subs := make([]*Queue, len(t.subs))
+	copy(subs, t.subs)
+	t.mu.Unlock()
+	go func() {
+		// Internal delivery latency, paid once; undeliverable (closed)
+		// queues are dropped like SNS drops them.
+		if err := t.profile.Delay(context.Background(), t.profile.SQSSend); err != nil {
+			return
+		}
+		for _, q := range subs {
+			q.enqueue(msg)
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,127 @@
+package queuesim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"crucial/internal/netsim"
+)
+
+func TestSendReceive(t *testing.T) {
+	q := NewQueue(netsim.Zero())
+	ctx := context.Background()
+	if err := q.Send(ctx, []byte("m1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Send(ctx, []byte("m2")); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := q.Receive(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || string(msgs[0]) != "m1" || string(msgs[1]) != "m2" {
+		t.Fatalf("Receive = %v", msgs)
+	}
+}
+
+func TestReceiveEmptyStillCosts(t *testing.T) {
+	p := netsim.Zero()
+	p.SQSReceive = netsim.Latency{Base: 15 * time.Millisecond}
+	q := NewQueue(p)
+	start := time.Now()
+	msgs, err := q.Receive(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 0 {
+		t.Fatalf("empty queue returned %v", msgs)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("empty poll took %v, want >= 15ms", d)
+	}
+	_, _, empty := q.Stats()
+	if empty != 1 {
+		t.Fatalf("empty receives = %d", empty)
+	}
+}
+
+func TestReceiveMaxBatch(t *testing.T) {
+	q := NewQueue(netsim.Zero())
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		_ = q.Send(ctx, []byte{byte(i)})
+	}
+	msgs, _ := q.Receive(ctx, 2)
+	if len(msgs) != 2 {
+		t.Fatalf("batch = %d", len(msgs))
+	}
+	if q.Len() != 3 {
+		t.Fatalf("remaining = %d", q.Len())
+	}
+}
+
+func TestQueueClosed(t *testing.T) {
+	q := NewQueue(netsim.Zero())
+	q.Close()
+	if err := q.Send(context.Background(), nil); err != ErrClosed {
+		t.Fatalf("Send after close = %v", err)
+	}
+	if _, err := q.Receive(context.Background(), 1); err != ErrClosed {
+		t.Fatalf("Receive after close = %v", err)
+	}
+}
+
+func TestSendCopiesMessage(t *testing.T) {
+	q := NewQueue(netsim.Zero())
+	ctx := context.Background()
+	buf := []byte{1}
+	_ = q.Send(ctx, buf)
+	buf[0] = 9
+	msgs, _ := q.Receive(ctx, 1)
+	if msgs[0][0] != 1 {
+		t.Fatal("queue aliased caller buffer")
+	}
+}
+
+func TestTopicFanOut(t *testing.T) {
+	top := NewTopic(netsim.Zero())
+	q1 := NewQueue(netsim.Zero())
+	q2 := NewQueue(netsim.Zero())
+	top.Subscribe(q1)
+	top.Subscribe(q2)
+	if err := top.Publish(context.Background(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for q1.Len() == 0 || q2.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("fan-out delivery never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m1, _ := q1.Receive(context.Background(), 1)
+	m2, _ := q2.Receive(context.Background(), 1)
+	if string(m1[0]) != "hello" || string(m2[0]) != "hello" {
+		t.Fatalf("deliveries = %q %q", m1[0], m2[0])
+	}
+}
+
+func TestTopicNoSubscribers(t *testing.T) {
+	top := NewTopic(netsim.Zero())
+	if err := top.Publish(context.Background(), []byte("void")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextCancelledSend(t *testing.T) {
+	p := netsim.Zero()
+	p.SQSSend = netsim.Latency{Base: time.Hour}
+	q := NewQueue(p)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := q.Send(ctx, nil); err == nil {
+		t.Fatal("Send with cancelled context succeeded")
+	}
+}

@@ -1,0 +1,334 @@
+// Package redissim simulates a Redis-like in-memory store: sub-millisecond
+// key-value operations plus server-side scripts (the Lua analog), with the
+// defining architectural property the paper's Fig. 2a and Fig. 5 hinge on —
+// each shard is single-threaded, so scripts execute strictly sequentially
+// and CPU-bound scripted operations do not enjoy any parallelism, unlike
+// the DSO layer's disjoint-access parallelism.
+package redissim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"sync"
+
+	"crucial/internal/netsim"
+)
+
+// ErrNotFound is returned for absent keys where a value is required.
+var ErrNotFound = errors.New("redissim: key not found")
+
+// ErrStopped is returned after Close.
+var ErrStopped = errors.New("redissim: shard stopped")
+
+// Data is the state view handed to scripts. Scripts run on the shard's
+// single event-loop goroutine, so access needs no locking.
+type Data struct {
+	kv map[string]string
+}
+
+// Get returns the raw value at key.
+func (d *Data) Get(key string) (string, bool) {
+	v, ok := d.kv[key]
+	return v, ok
+}
+
+// Set stores a raw value.
+func (d *Data) Set(key, value string) { d.kv[key] = value }
+
+// GetInt parses the value at key as int64 (0 when absent).
+func (d *Data) GetInt(key string) (int64, error) {
+	v, ok := d.kv[key]
+	if !ok {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("redissim: value at %q is not an integer: %w", key, err)
+	}
+	return n, nil
+}
+
+// SetInt stores an int64.
+func (d *Data) SetInt(key string, v int64) { d.kv[key] = strconv.FormatInt(v, 10) }
+
+// GetFloats decodes a []float64 stored with SetFloats.
+func (d *Data) GetFloats(key string) ([]float64, bool) {
+	v, ok := d.kv[key]
+	if !ok {
+		return nil, false
+	}
+	return decodeFloats(v), true
+}
+
+// SetFloats stores a []float64.
+func (d *Data) SetFloats(key string, v []float64) { d.kv[key] = encodeFloats(v) }
+
+// Script is a registered server-side procedure (the Lua analog). It runs
+// atomically on the shard's event loop.
+type Script func(d *Data, keys []string, args []any) (any, error)
+
+type command struct {
+	run   func(d *Data) (any, error)
+	reply chan result
+}
+
+type result struct {
+	val any
+	err error
+}
+
+// Shard is one single-threaded Redis instance.
+type Shard struct {
+	profile *netsim.Profile
+	cmds    chan command
+
+	scriptMu sync.RWMutex
+	scripts  map[string]Script
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// NewShard starts a shard's event loop.
+func NewShard(profile *netsim.Profile) *Shard {
+	if profile == nil {
+		profile = netsim.Zero()
+	}
+	s := &Shard{
+		profile: profile,
+		cmds:    make(chan command),
+		scripts: make(map[string]Script),
+		done:    make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// loop is the single thread of the shard: commands execute one at a time.
+func (s *Shard) loop() {
+	d := &Data{kv: make(map[string]string)}
+	for {
+		select {
+		case cmd := <-s.cmds:
+			v, err := cmd.run(d)
+			cmd.reply <- result{val: v, err: err}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Close stops the event loop.
+func (s *Shard) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+}
+
+// RegisterScript installs a server-side script under name.
+func (s *Shard) RegisterScript(name string, script Script) {
+	s.scriptMu.Lock()
+	s.scripts[name] = script
+	s.scriptMu.Unlock()
+}
+
+// exec pays the network round trip and runs one command on the loop.
+func (s *Shard) exec(ctx context.Context, run func(d *Data) (any, error)) (any, error) {
+	if err := s.profile.Delay(ctx, s.profile.RedisNet); err != nil {
+		return nil, err
+	}
+	cmd := command{run: run, reply: make(chan result, 1)}
+	select {
+	case s.cmds <- cmd:
+	case <-s.done:
+		return nil, ErrStopped
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-cmd.reply:
+		if err := s.profile.Delay(ctx, s.profile.RedisNet); err != nil {
+			return nil, err
+		}
+		return r.val, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Get returns the value at key.
+func (s *Shard) Get(ctx context.Context, key string) (string, bool, error) {
+	v, err := s.exec(ctx, func(d *Data) (any, error) {
+		val, ok := d.Get(key)
+		if !ok {
+			return nil, nil
+		}
+		return val, nil
+	})
+	if err != nil {
+		return "", false, err
+	}
+	if v == nil {
+		return "", false, nil
+	}
+	return v.(string), true, nil
+}
+
+// Set stores a value at key.
+func (s *Shard) Set(ctx context.Context, key, value string) error {
+	_, err := s.exec(ctx, func(d *Data) (any, error) {
+		d.Set(key, value)
+		return nil, nil
+	})
+	return err
+}
+
+// IncrBy adds delta to the integer at key, returning the new value.
+func (s *Shard) IncrBy(ctx context.Context, key string, delta int64) (int64, error) {
+	v, err := s.exec(ctx, func(d *Data) (any, error) {
+		n, err := d.GetInt(key)
+		if err != nil {
+			return nil, err
+		}
+		n += delta
+		d.SetInt(key, n)
+		return n, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(int64), nil
+}
+
+// Exists reports key presence.
+func (s *Shard) Exists(ctx context.Context, key string) (bool, error) {
+	v, err := s.exec(ctx, func(d *Data) (any, error) {
+		_, ok := d.Get(key)
+		return ok, nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return v.(bool), nil
+}
+
+// Del removes a key.
+func (s *Shard) Del(ctx context.Context, key string) error {
+	_, err := s.exec(ctx, func(d *Data) (any, error) {
+		delete(d.kv, key)
+		return nil, nil
+	})
+	return err
+}
+
+// Eval runs a registered script atomically on the event loop. This is
+// where the single-threaded cost model bites: a CPU-heavy script blocks
+// every other client of the shard for its whole duration.
+func (s *Shard) Eval(ctx context.Context, name string, keys []string, args ...any) (any, error) {
+	s.scriptMu.RLock()
+	script, ok := s.scripts[name]
+	s.scriptMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("redissim: unknown script %q", name)
+	}
+	return s.exec(ctx, func(d *Data) (any, error) {
+		return script(d, keys, args)
+	})
+}
+
+// Cluster is a client-side sharded deployment (Redis Cluster style): keys
+// hash to shards, scripts must keep their keys on one shard.
+type Cluster struct {
+	shards []*Shard
+}
+
+// NewCluster starts n shards.
+func NewCluster(n int, profile *netsim.Profile) *Cluster {
+	if n <= 0 {
+		n = 1
+	}
+	c := &Cluster{shards: make([]*Shard, n)}
+	for i := range c.shards {
+		c.shards[i] = NewShard(profile)
+	}
+	return c
+}
+
+// Close stops every shard.
+func (c *Cluster) Close() {
+	for _, s := range c.shards {
+		s.Close()
+	}
+}
+
+// ShardFor routes a key.
+func (c *Cluster) ShardFor(key string) *Shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return c.shards[int(h.Sum32())%len(c.shards)]
+}
+
+// Shards exposes the shard list (script registration).
+func (c *Cluster) Shards() []*Shard { return c.shards }
+
+// RegisterScript installs a script on every shard.
+func (c *Cluster) RegisterScript(name string, script Script) {
+	for _, s := range c.shards {
+		s.RegisterScript(name, script)
+	}
+}
+
+// Get routes a Get by key.
+func (c *Cluster) Get(ctx context.Context, key string) (string, bool, error) {
+	return c.ShardFor(key).Get(ctx, key)
+}
+
+// Set routes a Set by key.
+func (c *Cluster) Set(ctx context.Context, key, value string) error {
+	return c.ShardFor(key).Set(ctx, key, value)
+}
+
+// IncrBy routes an IncrBy by key.
+func (c *Cluster) IncrBy(ctx context.Context, key string, delta int64) (int64, error) {
+	return c.ShardFor(key).IncrBy(ctx, key, delta)
+}
+
+// Eval routes a script by its first key.
+func (c *Cluster) Eval(ctx context.Context, name string, keys []string, args ...any) (any, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("redissim: Eval needs at least one key for routing")
+	}
+	return c.ShardFor(keys[0]).Eval(ctx, name, keys, args...)
+}
+
+// encodeFloats/decodeFloats pack []float64 as the string values Redis
+// would hold.
+func encodeFloats(v []float64) string {
+	out := make([]byte, 0, len(v)*12)
+	for i, f := range v {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = strconv.AppendFloat(out, f, 'g', -1, 64)
+	}
+	return string(out)
+}
+
+func decodeFloats(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var out []float64
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			f, err := strconv.ParseFloat(s[start:i], 64)
+			if err == nil {
+				out = append(out, f)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

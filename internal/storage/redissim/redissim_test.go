@@ -1,0 +1,258 @@
+package redissim
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"crucial/internal/netsim"
+)
+
+func shardT(t *testing.T) *Shard {
+	t.Helper()
+	s := NewShard(netsim.Zero())
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestSetGet(t *testing.T) {
+	s := shardT(t)
+	ctx := context.Background()
+	if err := s.Set(ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get(ctx, "k")
+	if err != nil || !ok || v != "v" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	_, ok, err = s.Get(ctx, "missing")
+	if err != nil || ok {
+		t.Fatalf("Get missing = %v %v", ok, err)
+	}
+}
+
+func TestIncrBy(t *testing.T) {
+	s := shardT(t)
+	ctx := context.Background()
+	n, err := s.IncrBy(ctx, "c", 5)
+	if err != nil || n != 5 {
+		t.Fatalf("IncrBy = %d %v", n, err)
+	}
+	n, err = s.IncrBy(ctx, "c", -2)
+	if err != nil || n != 3 {
+		t.Fatalf("IncrBy = %d %v", n, err)
+	}
+}
+
+func TestIncrByNonInteger(t *testing.T) {
+	s := shardT(t)
+	ctx := context.Background()
+	_ = s.Set(ctx, "c", "not-a-number")
+	if _, err := s.IncrBy(ctx, "c", 1); err == nil {
+		t.Fatal("IncrBy on non-integer accepted")
+	}
+}
+
+func TestExistsDel(t *testing.T) {
+	s := shardT(t)
+	ctx := context.Background()
+	_ = s.Set(ctx, "k", "v")
+	ok, _ := s.Exists(ctx, "k")
+	if !ok {
+		t.Fatal("Exists missed key")
+	}
+	_ = s.Del(ctx, "k")
+	ok, _ = s.Exists(ctx, "k")
+	if ok {
+		t.Fatal("key survived Del")
+	}
+}
+
+func TestEvalScript(t *testing.T) {
+	s := shardT(t)
+	s.RegisterScript("mul", func(d *Data, keys []string, args []any) (any, error) {
+		n, err := d.GetInt(keys[0])
+		if err != nil {
+			return nil, err
+		}
+		n *= args[0].(int64)
+		d.SetInt(keys[0], n)
+		return n, nil
+	})
+	ctx := context.Background()
+	_ = s.Set(ctx, "x", "3")
+	v, err := s.Eval(ctx, "mul", []string{"x"}, int64(4))
+	if err != nil || v.(int64) != 12 {
+		t.Fatalf("Eval = %v %v", v, err)
+	}
+}
+
+func TestEvalUnknownScript(t *testing.T) {
+	s := shardT(t)
+	if _, err := s.Eval(context.Background(), "nope", []string{"k"}); err == nil {
+		t.Fatal("unknown script accepted")
+	}
+}
+
+// The defining property: scripts serialize on the shard's single thread.
+func TestScriptsSerialize(t *testing.T) {
+	s := shardT(t)
+	s.RegisterScript("slow", func(d *Data, _ []string, _ []any) (any, error) {
+		time.Sleep(20 * time.Millisecond)
+		n, _ := d.GetInt("seq")
+		d.SetInt("seq", n+1)
+		return n, nil
+	})
+	ctx := context.Background()
+	const n = 5
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Eval(ctx, "slow", []string{"seq"}); err != nil {
+				t.Errorf("Eval: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if d := time.Since(start); d < n*20*time.Millisecond {
+		t.Fatalf("5 concurrent slow scripts finished in %v; they must serialize (>= 100ms)", d)
+	}
+	v, _, _ := s.Get(ctx, "seq")
+	if v != "5" {
+		t.Fatalf("seq = %q, want 5", v)
+	}
+}
+
+func TestConcurrentIncrementsAtomic(t *testing.T) {
+	s := shardT(t)
+	ctx := context.Background()
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := s.IncrBy(ctx, "c", 1); err != nil {
+					t.Errorf("IncrBy: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n, err := s.IncrBy(ctx, "c", 0)
+	if err != nil || n != workers*per {
+		t.Fatalf("counter = %d %v", n, err)
+	}
+}
+
+func TestShardClosed(t *testing.T) {
+	s := NewShard(netsim.Zero())
+	s.Close()
+	if err := s.Set(context.Background(), "k", "v"); err == nil {
+		t.Fatal("Set on closed shard accepted")
+	}
+}
+
+func TestNetworkLatencyApplied(t *testing.T) {
+	p := netsim.Zero()
+	p.RedisNet = netsim.Latency{Base: 10 * time.Millisecond}
+	s := NewShard(p)
+	defer s.Close()
+	start := time.Now()
+	if err := s.Set(context.Background(), "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("Set took %v, want >= 20ms (two hops)", d)
+	}
+}
+
+func TestClusterRouting(t *testing.T) {
+	c := NewCluster(3, netsim.Zero())
+	defer c.Close()
+	ctx := context.Background()
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, k := range keys {
+		if err := c.Set(ctx, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		v, ok, err := c.Get(ctx, k)
+		if err != nil || !ok || v != k {
+			t.Fatalf("Get %q = %q %v %v", k, v, ok, err)
+		}
+	}
+	// Same key must route to the same shard deterministically.
+	if c.ShardFor("a") != c.ShardFor("a") {
+		t.Fatal("routing not deterministic")
+	}
+}
+
+func TestClusterScripts(t *testing.T) {
+	c := NewCluster(2, netsim.Zero())
+	defer c.Close()
+	c.RegisterScript("incr", func(d *Data, keys []string, _ []any) (any, error) {
+		n, _ := d.GetInt(keys[0])
+		d.SetInt(keys[0], n+1)
+		return n + 1, nil
+	})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Eval(ctx, "incr", []string{"x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := c.IncrBy(ctx, "x", 0)
+	if err != nil || n != 3 {
+		t.Fatalf("x = %d %v", n, err)
+	}
+	if _, err := c.Eval(ctx, "incr", nil); err == nil {
+		t.Fatal("Eval without keys accepted")
+	}
+}
+
+func TestFloatsCodec(t *testing.T) {
+	in := []float64{1.5, -2.25, 0, 1e10}
+	out := decodeFloats(encodeFloats(in))
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, out[i], in[i])
+		}
+	}
+	if decodeFloats("") != nil {
+		t.Fatal("empty decode not nil")
+	}
+}
+
+func TestDataFloats(t *testing.T) {
+	s := shardT(t)
+	s.RegisterScript("putf", func(d *Data, keys []string, args []any) (any, error) {
+		d.SetFloats(keys[0], args[0].([]float64))
+		return nil, nil
+	})
+	s.RegisterScript("getf", func(d *Data, keys []string, _ []any) (any, error) {
+		v, _ := d.GetFloats(keys[0])
+		return v, nil
+	})
+	ctx := context.Background()
+	if _, err := s.Eval(ctx, "putf", []string{"w"}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Eval(ctx, "getf", []string{"w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := v.([]float64); len(f) != 2 || f[1] != 2 {
+		t.Fatalf("floats = %v", f)
+	}
+}

@@ -1,0 +1,166 @@
+// Package s3sim simulates a disaggregated object store with the
+// operational behaviour of Amazon S3 circa 2019 that the paper's baselines
+// depend on (Table 2, Fig. 6): tens-of-milliseconds PUT/GET latency and
+// eventually-consistent LIST-after-PUT, which makes polling-based
+// synchronization slow and highly variable.
+package s3sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"crucial/internal/netsim"
+)
+
+// ErrNoSuchKey is returned by Get for absent objects.
+var ErrNoSuchKey = errors.New("s3sim: no such key")
+
+type object struct {
+	data []byte
+	// visibleAt implements eventual LIST consistency: the object serves
+	// GETs immediately (S3 read-after-write for new keys) but does not
+	// appear in LIST results until this time.
+	visibleAt time.Time
+}
+
+// Store is one bucket-less S3 endpoint. Safe for concurrent use.
+type Store struct {
+	profile *netsim.Profile
+
+	mu      sync.Mutex
+	objects map[string]object
+	rng     *rand.Rand
+	// listLag bounds the extra delay before a new object appears in LIST.
+	listLag time.Duration
+
+	puts, gets, lists uint64
+}
+
+// Options configures the store.
+type Options struct {
+	// Profile supplies PUT/GET/LIST latencies; nil means none.
+	Profile *netsim.Profile
+	// ListLag is the maximum modeled visibility delay for LIST (default
+	// 80ms, scaled by the profile). Zero keeps the default; negative
+	// disables the lag.
+	ListLag time.Duration
+	// Seed makes the visibility jitter deterministic (default 1).
+	Seed int64
+}
+
+// New builds an empty store.
+func New(opts Options) *Store {
+	if opts.Profile == nil {
+		opts.Profile = netsim.Zero()
+	}
+	if opts.ListLag == 0 {
+		opts.ListLag = 80 * time.Millisecond
+	}
+	if opts.ListLag < 0 {
+		opts.ListLag = 0
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return &Store{
+		profile: opts.Profile,
+		objects: make(map[string]object),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		listLag: opts.ListLag,
+	}
+}
+
+// Put stores an object under key.
+func (s *Store) Put(ctx context.Context, key string, data []byte) error {
+	if key == "" {
+		return errors.New("s3sim: empty key")
+	}
+	if err := s.profile.Delay(ctx, s.profile.S3Put); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	lag := time.Duration(0)
+	if s.listLag > 0 {
+		lag = s.profile.Scaled(time.Duration(s.rng.Int63n(int64(s.listLag))))
+	}
+	s.objects[key] = object{data: cp, visibleAt: time.Now().Add(lag)}
+	s.puts++
+	s.mu.Unlock()
+	return nil
+}
+
+// Get retrieves an object.
+func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := s.profile.Delay(ctx, s.profile.S3Get); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	obj, ok := s.objects[key]
+	s.gets++
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchKey, key)
+	}
+	out := make([]byte, len(obj.data))
+	copy(out, obj.data)
+	return out, nil
+}
+
+// Exists reports key presence with GET-like latency (a HEAD request).
+func (s *Store) Exists(ctx context.Context, key string) (bool, error) {
+	if err := s.profile.Delay(ctx, s.profile.S3Get); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	_, ok := s.objects[key]
+	s.gets++
+	s.mu.Unlock()
+	return ok, nil
+}
+
+// List returns the keys with the given prefix that are currently visible.
+// Freshly written objects may be missing (eventual consistency), which is
+// what makes S3 polling-based synchronization erratic (Fig. 6).
+func (s *Store) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := s.profile.Delay(ctx, s.profile.S3List); err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.objects))
+	for k, o := range s.objects {
+		if strings.HasPrefix(k, prefix) && !o.visibleAt.After(now) {
+			keys = append(keys, k)
+		}
+	}
+	s.lists++
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete removes an object (idempotent, like S3).
+func (s *Store) Delete(ctx context.Context, key string) error {
+	if err := s.profile.Delay(ctx, s.profile.S3Put); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.objects, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// Stats reports operation counts (puts, gets+heads, lists).
+func (s *Store) Stats() (puts, gets, lists uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.puts, s.gets, s.lists
+}

@@ -1,0 +1,159 @@
+package s3sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"crucial/internal/netsim"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	if err := s.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v" {
+		t.Fatalf("Get = %q", got)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New(Options{})
+	if _, err := s.Get(context.Background(), "ghost"); !errors.Is(err, ErrNoSuchKey) {
+		t.Fatalf("want ErrNoSuchKey, got %v", err)
+	}
+}
+
+func TestPutEmptyKey(t *testing.T) {
+	s := New(Options{})
+	if err := s.Put(context.Background(), "", nil); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestExists(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	ok, err := s.Exists(ctx, "k")
+	if err != nil || ok {
+		t.Fatalf("Exists before Put = %v %v", ok, err)
+	}
+	_ = s.Put(ctx, "k", []byte("v"))
+	ok, err = s.Exists(ctx, "k")
+	if err != nil || !ok {
+		t.Fatalf("Exists after Put = %v %v", ok, err)
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	_ = s.Put(ctx, "k", []byte("v"))
+	if err := s.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, "k"); !errors.Is(err, ErrNoSuchKey) {
+		t.Fatal("object survived delete")
+	}
+}
+
+func TestListPrefixAndEventualConsistency(t *testing.T) {
+	// A long list lag guarantees fresh keys are invisible immediately.
+	s := New(Options{ListLag: 10 * time.Second, Profile: netsim.Zero()})
+	ctx := context.Background()
+	_ = s.Put(ctx, "results/1", []byte("a"))
+	_ = s.Put(ctx, "results/2", []byte("b"))
+	_ = s.Put(ctx, "other/3", []byte("c"))
+
+	keys, err := s.List(ctx, "results/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("fresh keys visible in LIST: %v (eventual consistency broken)", keys)
+	}
+	// But GET is read-after-write.
+	if _, err := s.Get(ctx, "results/1"); err != nil {
+		t.Fatalf("read-after-write GET failed: %v", err)
+	}
+}
+
+func TestListBecomesConsistent(t *testing.T) {
+	s := New(Options{ListLag: 20 * time.Millisecond, Profile: netsim.Zero()})
+	ctx := context.Background()
+	_ = s.Put(ctx, "results/1", []byte("a"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		keys, err := s.List(ctx, "results/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(keys) == 1 && keys[0] == "results/1" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("key never became visible in LIST")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	p := netsim.Zero()
+	p.S3Get = netsim.Latency{Base: 30 * time.Millisecond}
+	s := New(Options{Profile: p})
+	ctx := context.Background()
+	_ = s.Put(ctx, "k", []byte("v"))
+	start := time.Now()
+	if _, err := s.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("GET took %v, want >= 30ms", d)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	_ = s.Put(ctx, "k", []byte{1, 2, 3})
+	got, _ := s.Get(ctx, "k")
+	got[0] = 99
+	got2, _ := s.Get(ctx, "k")
+	if got2[0] != 1 {
+		t.Fatal("Get leaked internal buffer")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	_ = s.Put(ctx, "k", nil)
+	_, _ = s.Get(ctx, "k")
+	_, _ = s.List(ctx, "")
+	puts, gets, lists := s.Stats()
+	if puts != 1 || gets != 1 || lists != 1 {
+		t.Fatalf("stats = %d %d %d", puts, gets, lists)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	p := netsim.Zero()
+	p.S3Put = netsim.Latency{Base: time.Hour}
+	s := New(Options{Profile: p})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Put(ctx, "k", nil); err == nil {
+		t.Fatal("Put with cancelled context succeeded")
+	}
+}

@@ -1,0 +1,308 @@
+// Package totalorder implements Skeen's total-order multicast algorithm,
+// the primitive beneath state-machine replication of persistent objects
+// (paper Section 4.1/5: Infinispan relies on JGroups' TOA protocol, which
+// uses Skeen's algorithm).
+//
+// Protocol, per message m multicast to group G:
+//
+//  1. The sender sends PROPOSE(m) to every node of G.
+//  2. Each receiver increments its logical clock, stores m as pending with
+//     the proposed timestamp, and returns that timestamp.
+//  3. The sender takes the maximum of all proposals as the final timestamp
+//     and sends FINAL(m, ts) to every node of G.
+//  4. A receiver marks m final, advances its clock to max(clock, ts), and
+//     delivers, in timestamp order, every final message whose timestamp is
+//     smaller than the (proposed or final) timestamp of every other pending
+//     message. Ties break on message id, which is globally unique.
+//
+// Because a pending message's final timestamp can only be >= its proposed
+// timestamp at this node, the delivery rule is safe, and all nodes deliver
+// overlapping messages in the same total order.
+package totalorder
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MsgID uniquely identifies a multicast message: the originating sender
+// plus a sender-local sequence number.
+type MsgID struct {
+	Origin string
+	Seq    uint64
+}
+
+// String renders the id for logs and tie-breaking.
+func (m MsgID) String() string { return fmt.Sprintf("%s/%d", m.Origin, m.Seq) }
+
+// Less orders ids deterministically for timestamp ties.
+func (m MsgID) Less(o MsgID) bool {
+	if m.Origin != o.Origin {
+		return m.Origin < o.Origin
+	}
+	return m.Seq < o.Seq
+}
+
+// Deliver is invoked exactly once per message, in total order, on the
+// node's delivery goroutine. Implementations must not block indefinitely.
+type Deliver func(id MsgID, payload []byte)
+
+type pendingMsg struct {
+	id      MsgID
+	payload []byte
+	ts      uint64
+	final   bool
+}
+
+// Node is one group member's state machine for the protocol. A Node is
+// driven by HandlePropose/HandleFinal (wired to the node's RPC layer) and
+// delivers through the callback given at construction. Safe for concurrent
+// use.
+type Node struct {
+	id      string
+	deliver Deliver
+
+	// deliverMu serializes HandleFinal end-to-end so that the pop order
+	// (decided under mu) equals the callback order: without it, two
+	// concurrent finals could pop m1 then m2 but run deliver(m2) first.
+	deliverMu sync.Mutex
+
+	mu        sync.Mutex
+	clock     uint64
+	pending   map[MsgID]*pendingMsg
+	delivered map[MsgID]struct{}
+}
+
+// NewNode builds a protocol node. id must be the node's cluster-unique
+// name; deliver receives messages in total order.
+func NewNode(id string, deliver Deliver) *Node {
+	return &Node{
+		id:        id,
+		deliver:   deliver,
+		pending:   make(map[MsgID]*pendingMsg),
+		delivered: make(map[MsgID]struct{}),
+	}
+}
+
+// ID returns the node's name.
+func (n *Node) ID() string { return n.id }
+
+// Clock returns the current logical clock (for tests and introspection).
+func (n *Node) Clock() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.clock
+}
+
+// HandlePropose records a pending message and returns this node's proposed
+// timestamp. It is idempotent: re-proposing a known message returns the
+// original proposal.
+func (n *Node) HandlePropose(id MsgID, payload []byte) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, done := n.delivered[id]; done {
+		// Retry of an already-delivered message: echo a harmless value.
+		return n.clock
+	}
+	if p, ok := n.pending[id]; ok {
+		return p.ts
+	}
+	n.clock++
+	n.pending[id] = &pendingMsg{id: id, payload: payload, ts: n.clock}
+	return n.clock
+}
+
+// HandleFinal assigns the final timestamp to a pending message and delivers
+// every message that became deliverable. Delivery happens synchronously on
+// the caller's goroutine, outside the node lock, preserving order.
+func (n *Node) HandleFinal(id MsgID, ts uint64) {
+	n.deliverMu.Lock()
+	defer n.deliverMu.Unlock()
+	n.mu.Lock()
+	if _, done := n.delivered[id]; done {
+		n.mu.Unlock()
+		return
+	}
+	p, ok := n.pending[id]
+	if !ok {
+		// FINAL can only follow our own PROPOSE reply in this transport,
+		// but be permissive for retries: record it as final directly.
+		p = &pendingMsg{id: id, ts: ts, final: true}
+		n.pending[id] = p
+	}
+	p.ts = ts
+	p.final = true
+	if ts > n.clock {
+		n.clock = ts
+	}
+	ready := n.collectDeliverableLocked()
+	n.mu.Unlock()
+
+	for _, m := range ready {
+		n.deliver(m.id, m.payload)
+	}
+}
+
+// collectDeliverableLocked pops, in order, every final message whose
+// (ts, id) precedes all other pending messages.
+func (n *Node) collectDeliverableLocked() []*pendingMsg {
+	var out []*pendingMsg
+	for {
+		var min *pendingMsg
+		for _, p := range n.pending {
+			if min == nil || less(p, min) {
+				min = p
+			}
+		}
+		if min == nil || !min.final {
+			return out
+		}
+		delete(n.pending, min.id)
+		n.delivered[min.id] = struct{}{}
+		out = append(out, min)
+	}
+}
+
+func less(a, b *pendingMsg) bool {
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	return a.id.Less(b.id)
+}
+
+// Drop removes one pending, not-yet-finalized message and delivers
+// whatever that unblocks. Senders call it (directly and through
+// Transport.Abort) when a multicast fails partway, so an abandoned
+// message cannot hold back later deliveries.
+func (n *Node) Drop(id MsgID) {
+	n.deliverMu.Lock()
+	defer n.deliverMu.Unlock()
+	n.mu.Lock()
+	if p, ok := n.pending[id]; ok && !p.final {
+		delete(n.pending, id)
+	}
+	ready := n.collectDeliverableLocked()
+	n.mu.Unlock()
+	for _, m := range ready {
+		n.deliver(m.id, m.payload)
+	}
+}
+
+// PurgeOrigins removes pending messages that were proposed but never
+// finalized by origins that are no longer alive, then delivers whatever
+// that unblocks. It implements the flush step of view synchrony: a
+// coordinator that dies between PROPOSE and FINAL would otherwise leave a
+// zombie pending message that holds back every later delivery. Messages
+// that already have their final timestamp are kept and delivered normally.
+func (n *Node) PurgeOrigins(alive func(origin string) bool) {
+	n.deliverMu.Lock()
+	defer n.deliverMu.Unlock()
+	n.mu.Lock()
+	for id, p := range n.pending {
+		if !p.final && !alive(id.Origin) {
+			delete(n.pending, id)
+		}
+	}
+	ready := n.collectDeliverableLocked()
+	n.mu.Unlock()
+	for _, m := range ready {
+		n.deliver(m.id, m.payload)
+	}
+}
+
+// PendingCount reports how many messages await delivery (for tests).
+func (n *Node) PendingCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.pending)
+}
+
+// Transport carries protocol messages to group members. The DSO server
+// implements it over its inter-node RPC connections; tests use an
+// in-process fake.
+type Transport interface {
+	// Propose asks target to timestamp the message and returns the
+	// proposal.
+	Propose(ctx context.Context, target string, id MsgID, payload []byte) (uint64, error)
+	// Final announces the final timestamp to target.
+	Final(ctx context.Context, target string, id MsgID, ts uint64) error
+	// Abort asks target to drop a pending, not-yet-finalized message
+	// (best effort, used when a multicast fails partway).
+	Abort(ctx context.Context, target string, id MsgID) error
+}
+
+// Multicast runs the sender side of the protocol: it proposes to every
+// member of group, computes the final timestamp, and distributes it. The
+// group must be non-empty. On error the message may be stuck pending at a
+// subset of the group; the caller (SMR layer) is responsible for retrying
+// in a new view.
+func Multicast(ctx context.Context, tr Transport, group []string, id MsgID, payload []byte) error {
+	if len(group) == 0 {
+		return fmt.Errorf("totalorder: empty group for %s", id)
+	}
+	// Deterministic order keeps tests reproducible; correctness does not
+	// depend on it.
+	members := make([]string, len(group))
+	copy(members, group)
+	sort.Strings(members)
+
+	type proposal struct {
+		ts  uint64
+		err error
+	}
+	proposals := make(chan proposal, len(members))
+	for _, m := range members {
+		go func(m string) {
+			ts, err := tr.Propose(ctx, m, id, payload)
+			proposals <- proposal{ts: ts, err: err}
+		}(m)
+	}
+	var final uint64
+	var proposeErr error
+	for range members {
+		p := <-proposals
+		if p.err != nil && proposeErr == nil {
+			proposeErr = p.err
+		}
+		if p.ts > final {
+			final = p.ts
+		}
+	}
+	if proposeErr != nil {
+		// Clean up: members that did store the message must drop it, or
+		// the abandoned proposal would block their later deliveries.
+		abort(ctx, tr, members, id)
+		return fmt.Errorf("totalorder: propose %s: %w", id, proposeErr)
+	}
+
+	errs := make(chan error, len(members))
+	for _, m := range members {
+		go func(m string) {
+			errs <- tr.Final(ctx, m, id, final)
+		}(m)
+	}
+	var finalErr error
+	for range members {
+		if err := <-errs; err != nil && finalErr == nil {
+			finalErr = err
+		}
+	}
+	if finalErr != nil {
+		// Members that received FINAL will deliver; aborting only drops
+		// the message where it never finalized. Replica divergence from a
+		// crash at this point is repaired by the post-view state transfer
+		// (see server rebalancing).
+		abort(ctx, tr, members, id)
+		return fmt.Errorf("totalorder: final %s: %w", id, finalErr)
+	}
+	return nil
+}
+
+// abort best-effort drops a message at every member.
+func abort(ctx context.Context, tr Transport, members []string, id MsgID) {
+	for _, m := range members {
+		_ = tr.Abort(ctx, m, id)
+	}
+}

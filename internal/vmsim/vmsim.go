@@ -1,0 +1,85 @@
+// Package vmsim models compute resources: machines with a fixed core
+// count executing tasks whose cost is expressed in modeled time. The host
+// running this repository has a single CPU, so wall-clock parallelism
+// cannot demonstrate 800-way scaling; instead, "compute" is a scaled sleep
+// behind a core gate, which makes coordination costs — the paper's actual
+// subject — the measured quantity. DESIGN.md documents this substitution.
+package vmsim
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"crucial/internal/netsim"
+)
+
+// Machine is one VM with a fixed number of cores. Tasks contend for cores
+// exactly like threads on a real box: with more runnable tasks than cores,
+// per-task latency degrades proportionally (the Fig. 3 VM baseline).
+type Machine struct {
+	name    string
+	cores   chan struct{}
+	profile *netsim.Profile
+}
+
+// NewMachine builds a machine. cores must be positive.
+func NewMachine(name string, cores int, profile *netsim.Profile) (*Machine, error) {
+	if cores <= 0 {
+		return nil, errors.New("vmsim: cores must be positive")
+	}
+	if profile == nil {
+		profile = netsim.Zero()
+	}
+	return &Machine{
+		name:    name,
+		cores:   make(chan struct{}, cores),
+		profile: profile,
+	}, nil
+}
+
+// Name returns the machine name.
+func (m *Machine) Name() string { return m.name }
+
+// Cores returns the core count.
+func (m *Machine) Cores() int { return cap(m.cores) }
+
+// Run executes one task of the given modeled duration: it waits for a free
+// core, holds it for the (scaled) duration, then releases it. fn, if
+// non-nil, runs while the core is held — real work piggybacking on the
+// modeled task (e.g. actual ML math on a sample).
+func (m *Machine) Run(ctx context.Context, modeled time.Duration, fn func() error) error {
+	select {
+	case m.cores <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-m.cores }()
+	if err := netsim.Sleep(ctx, m.profile.Scaled(modeled)); err != nil {
+		return err
+	}
+	if fn != nil {
+		return fn()
+	}
+	return nil
+}
+
+// Compute is a convenience for a pure modeled task.
+func (m *Machine) Compute(ctx context.Context, modeled time.Duration) error {
+	return m.Run(ctx, modeled, nil)
+}
+
+// Work converts a dataset-shaped cost into modeled time: n logical items
+// at nsPerItem nanoseconds each.
+func Work(n int, nsPerItem float64) time.Duration {
+	return time.Duration(float64(n) * nsPerItem)
+}
+
+// TransferTime models moving bytes over a link of mbps megabytes/second.
+func TransferTime(bytes int, mbps float64) time.Duration {
+	if mbps <= 0 || bytes <= 0 {
+		return 0
+	}
+	seconds := float64(bytes) / (mbps * 1e6)
+	return time.Duration(seconds * float64(time.Second))
+}

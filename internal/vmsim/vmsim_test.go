@@ -1,0 +1,124 @@
+package vmsim
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"crucial/internal/netsim"
+)
+
+func TestNewMachineValidation(t *testing.T) {
+	if _, err := NewMachine("m", 0, nil); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	m, err := NewMachine("m", 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cores() != 4 || m.Name() != "m" {
+		t.Fatalf("machine = %s/%d", m.Name(), m.Cores())
+	}
+}
+
+func TestComputeDuration(t *testing.T) {
+	m, _ := NewMachine("m", 1, netsim.Zero())
+	start := time.Now()
+	if err := m.Compute(context.Background(), 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("Compute took %v", d)
+	}
+}
+
+func TestComputeScaled(t *testing.T) {
+	p := netsim.AWS2019(0.1)
+	m, _ := NewMachine("m", 1, p)
+	start := time.Now()
+	if err := m.Compute(context.Background(), 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	d := time.Since(start)
+	if d < 8*time.Millisecond || d > 100*time.Millisecond {
+		t.Fatalf("scaled compute took %v, want ~10ms", d)
+	}
+}
+
+// Core contention: 4 tasks of 30ms on 2 cores must take >= 60ms; on 4
+// cores ~30ms. This is the mechanism behind Fig. 3's VM degradation.
+func TestCoreContention(t *testing.T) {
+	run := func(cores int) time.Duration {
+		m, _ := NewMachine("m", cores, netsim.Zero())
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = m.Compute(context.Background(), 30*time.Millisecond)
+			}()
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	if d := run(2); d < 60*time.Millisecond {
+		t.Fatalf("2 cores finished 4x30ms in %v", d)
+	}
+	if d := run(4); d >= 60*time.Millisecond {
+		t.Fatalf("4 cores finished 4x30ms in %v", d)
+	}
+}
+
+func TestRunExecutesFn(t *testing.T) {
+	m, _ := NewMachine("m", 1, netsim.Zero())
+	ran := false
+	err := m.Run(context.Background(), 0, func() error {
+		ran = true
+		return nil
+	})
+	if err != nil || !ran {
+		t.Fatalf("Run fn: ran=%v err=%v", ran, err)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	m, _ := NewMachine("m", 1, netsim.Zero())
+	blocker := make(chan struct{})
+	go func() {
+		_ = m.Run(context.Background(), 0, func() error {
+			<-blocker
+			return nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := m.Compute(ctx, time.Millisecond); err == nil {
+		t.Fatal("queued task did not honor cancellation")
+	}
+	close(blocker)
+}
+
+func TestWork(t *testing.T) {
+	if got := Work(1000, 1000); got != time.Millisecond {
+		t.Fatalf("Work = %v", got)
+	}
+	if got := Work(0, 1e9); got != 0 {
+		t.Fatalf("Work(0) = %v", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 100 MB over 100 MB/s = 1s.
+	if got := TransferTime(100_000_000, 100); got != time.Second {
+		t.Fatalf("TransferTime = %v", got)
+	}
+	if got := TransferTime(0, 100); got != 0 {
+		t.Fatalf("TransferTime(0) = %v", got)
+	}
+	if got := TransferTime(100, 0); got != 0 {
+		t.Fatalf("TransferTime(mbps=0) = %v", got)
+	}
+}

@@ -1,0 +1,318 @@
+package crucial
+
+import (
+	"context"
+
+	"crucial/internal/objects"
+)
+
+// This file defines the client-side proxies of the built-in shared object
+// library (Table 1 of the paper). Every method ships to the owning DSO
+// node and executes there under the object's monitor, so all proxies are
+// linearizable and safe for concurrent use from any number of cloud
+// threads.
+
+// AtomicLong is a linearizable 64-bit counter, the workhorse of the
+// paper's examples (Listing 1 shares one across all cloud threads).
+type AtomicLong struct{ H Handle }
+
+// NewAtomicLong builds a proxy for the counter named key.
+func NewAtomicLong(key string, opts ...Option) *AtomicLong {
+	return &AtomicLong{H: NewHandle(objects.TypeAtomicLong, key, opts...)}
+}
+
+// NewAtomicLongInit builds the proxy with an initial value applied on
+// first access.
+func NewAtomicLongInit(key string, initial int64, opts ...Option) *AtomicLong {
+	opts = append(opts, withInit(initial))
+	return NewAtomicLong(key, opts...)
+}
+
+// Get returns the current value.
+func (a *AtomicLong) Get(ctx context.Context) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "Get"))
+}
+
+// Set replaces the value.
+func (a *AtomicLong) Set(ctx context.Context, v int64) error {
+	return resultVoid(a.H.Invoke(ctx, "Set", v))
+}
+
+// AddAndGet atomically adds delta and returns the new value.
+func (a *AtomicLong) AddAndGet(ctx context.Context, delta int64) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "AddAndGet", delta))
+}
+
+// GetAndAdd atomically adds delta and returns the previous value.
+func (a *AtomicLong) GetAndAdd(ctx context.Context, delta int64) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "GetAndAdd", delta))
+}
+
+// IncrementAndGet adds one and returns the new value.
+func (a *AtomicLong) IncrementAndGet(ctx context.Context) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "IncrementAndGet"))
+}
+
+// DecrementAndGet subtracts one and returns the new value.
+func (a *AtomicLong) DecrementAndGet(ctx context.Context) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "DecrementAndGet"))
+}
+
+// GetAndSet swaps the value, returning the previous one.
+func (a *AtomicLong) GetAndSet(ctx context.Context, v int64) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "GetAndSet", v))
+}
+
+// CompareAndSet installs update iff the current value equals expect.
+func (a *AtomicLong) CompareAndSet(ctx context.Context, expect, update int64) (bool, error) {
+	return result0[bool](a.H.Invoke(ctx, "CompareAndSet", expect, update))
+}
+
+// Multiply multiplies the value by f server side (one simple shipped
+// operation, the Fig. 2a micro-benchmark).
+func (a *AtomicLong) Multiply(ctx context.Context, f int64) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "Multiply", f))
+}
+
+// MultiplyLoop performs n chained multiplications server side (the Fig. 2a
+// "complex" operation: CPU-bound work shipped to the data).
+func (a *AtomicLong) MultiplyLoop(ctx context.Context, f, n int64) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "MultiplyLoop", f, n))
+}
+
+// SimulatedWork executes a modeled CPU-bound method of the given duration
+// (microseconds) under the object's monitor — the benchmark stand-in for
+// a complex shipped computation on a single-core host.
+func (a *AtomicLong) SimulatedWork(ctx context.Context, micros int64) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "SimulatedWork", micros))
+}
+
+// AtomicInt is the 32-bit-flavored counter of Table 1. It shares the
+// server implementation with AtomicLong.
+type AtomicInt struct{ H Handle }
+
+// NewAtomicInt builds a proxy for the counter named key.
+func NewAtomicInt(key string, opts ...Option) *AtomicInt {
+	return &AtomicInt{H: NewHandle(objects.TypeAtomicInt, key, opts...)}
+}
+
+// Get returns the current value.
+func (a *AtomicInt) Get(ctx context.Context) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "Get"))
+}
+
+// Set replaces the value.
+func (a *AtomicInt) Set(ctx context.Context, v int64) error {
+	return resultVoid(a.H.Invoke(ctx, "Set", v))
+}
+
+// AddAndGet atomically adds delta and returns the new value.
+func (a *AtomicInt) AddAndGet(ctx context.Context, delta int64) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "AddAndGet", delta))
+}
+
+// IncrementAndGet adds one and returns the new value.
+func (a *AtomicInt) IncrementAndGet(ctx context.Context) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "IncrementAndGet"))
+}
+
+// CompareAndSet installs update iff the current value equals expect
+// (the k-means iteration-counter idiom of Listing 2).
+func (a *AtomicInt) CompareAndSet(ctx context.Context, expect, update int64) (bool, error) {
+	return result0[bool](a.H.Invoke(ctx, "CompareAndSet", expect, update))
+}
+
+// AtomicBoolean is a linearizable flag.
+type AtomicBoolean struct{ H Handle }
+
+// NewAtomicBoolean builds a proxy for the flag named key.
+func NewAtomicBoolean(key string, opts ...Option) *AtomicBoolean {
+	return &AtomicBoolean{H: NewHandle(objects.TypeAtomicBoolean, key, opts...)}
+}
+
+// Get returns the current value.
+func (a *AtomicBoolean) Get(ctx context.Context) (bool, error) {
+	return result0[bool](a.H.Invoke(ctx, "Get"))
+}
+
+// Set replaces the value.
+func (a *AtomicBoolean) Set(ctx context.Context, v bool) error {
+	return resultVoid(a.H.Invoke(ctx, "Set", v))
+}
+
+// GetAndSet swaps the value, returning the previous one.
+func (a *AtomicBoolean) GetAndSet(ctx context.Context, v bool) (bool, error) {
+	return result0[bool](a.H.Invoke(ctx, "GetAndSet", v))
+}
+
+// CompareAndSet installs update iff the current value equals expect.
+func (a *AtomicBoolean) CompareAndSet(ctx context.Context, expect, update bool) (bool, error) {
+	return result0[bool](a.H.Invoke(ctx, "CompareAndSet", expect, update))
+}
+
+// AtomicReference holds an arbitrary gob-serializable value of type T.
+// Register non-basic T with crucial.RegisterValue first.
+type AtomicReference[T any] struct{ H Handle }
+
+// NewAtomicReference builds a proxy for the reference named key.
+func NewAtomicReference[T any](key string, opts ...Option) *AtomicReference[T] {
+	return &AtomicReference[T]{H: NewHandle(objects.TypeAtomicReference, key, opts...)}
+}
+
+// Get returns the current value; ok is false while the reference is nil.
+func (a *AtomicReference[T]) Get(ctx context.Context) (T, bool, error) {
+	var zero T
+	res, err := a.H.Invoke(ctx, "Get")
+	if err != nil {
+		return zero, false, err
+	}
+	if len(res) < 1 || res[0] == nil {
+		return zero, false, nil
+	}
+	v, ok := res[0].(T)
+	if !ok {
+		return zero, false, typeError[T](res[0])
+	}
+	return v, true, nil
+}
+
+// Set replaces the value.
+func (a *AtomicReference[T]) Set(ctx context.Context, v T) error {
+	return resultVoid(a.H.Invoke(ctx, "Set", v))
+}
+
+// GetAndSet swaps the value, returning the previous one.
+func (a *AtomicReference[T]) GetAndSet(ctx context.Context, v T) (T, error) {
+	return result0[T](a.H.Invoke(ctx, "GetAndSet", v))
+}
+
+// CompareAndSet installs update iff the current value serializes equal to
+// expect.
+func (a *AtomicReference[T]) CompareAndSet(ctx context.Context, expect, update T) (bool, error) {
+	return result0[bool](a.H.Invoke(ctx, "CompareAndSet", expect, update))
+}
+
+// AtomicByteArray is a fixed-length mutable byte array.
+type AtomicByteArray struct{ H Handle }
+
+// NewAtomicByteArray builds a proxy for an array of the given length
+// (applied on first access).
+func NewAtomicByteArray(key string, length int, opts ...Option) *AtomicByteArray {
+	opts = append(opts, withInit(int64(length)))
+	return &AtomicByteArray{H: NewHandle(objects.TypeAtomicByteArray, key, opts...)}
+}
+
+// Length returns the array length.
+func (a *AtomicByteArray) Length(ctx context.Context) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "Length"))
+}
+
+// Get returns element i.
+func (a *AtomicByteArray) Get(ctx context.Context, i int) (byte, error) {
+	v, err := result0[int64](a.H.Invoke(ctx, "Get", int64(i)))
+	return byte(v), err
+}
+
+// Set stores element i.
+func (a *AtomicByteArray) Set(ctx context.Context, i int, v byte) error {
+	return resultVoid(a.H.Invoke(ctx, "Set", int64(i), int64(v)))
+}
+
+// GetAll returns a copy of the whole array.
+func (a *AtomicByteArray) GetAll(ctx context.Context) ([]byte, error) {
+	return result0[[]byte](a.H.Invoke(ctx, "GetAll"))
+}
+
+// SetAll replaces the whole array.
+func (a *AtomicByteArray) SetAll(ctx context.Context, v []byte) error {
+	return resultVoid(a.H.Invoke(ctx, "SetAll", v))
+}
+
+// AtomicDoubleArray is a fixed-length float64 array with server-side
+// aggregation (AddAll), the natural container for ML weight vectors.
+type AtomicDoubleArray struct{ H Handle }
+
+// NewAtomicDoubleArray builds a proxy for an array of the given length.
+func NewAtomicDoubleArray(key string, length int, opts ...Option) *AtomicDoubleArray {
+	opts = append(opts, withInit(int64(length)))
+	return &AtomicDoubleArray{H: NewHandle(objects.TypeAtomicDoubleArray, key, opts...)}
+}
+
+// Length returns the array length.
+func (a *AtomicDoubleArray) Length(ctx context.Context) (int64, error) {
+	return result0[int64](a.H.Invoke(ctx, "Length"))
+}
+
+// Get returns element i.
+func (a *AtomicDoubleArray) Get(ctx context.Context, i int) (float64, error) {
+	return result0[float64](a.H.Invoke(ctx, "Get", int64(i)))
+}
+
+// Set stores element i.
+func (a *AtomicDoubleArray) Set(ctx context.Context, i int, v float64) error {
+	return resultVoid(a.H.Invoke(ctx, "Set", int64(i), v))
+}
+
+// AddAndGet adds delta to element i server side.
+func (a *AtomicDoubleArray) AddAndGet(ctx context.Context, i int, delta float64) (float64, error) {
+	return result0[float64](a.H.Invoke(ctx, "AddAndGet", int64(i), delta))
+}
+
+// GetAll returns a copy of the whole array.
+func (a *AtomicDoubleArray) GetAll(ctx context.Context) ([]float64, error) {
+	return result0[[]float64](a.H.Invoke(ctx, "GetAll"))
+}
+
+// SetAll replaces the whole array.
+func (a *AtomicDoubleArray) SetAll(ctx context.Context, v []float64) error {
+	return resultVoid(a.H.Invoke(ctx, "SetAll", v))
+}
+
+// AddAll adds v element-wise server side — the O(N) aggregate of
+// Section 4.2 (e.g. accumulating sub-gradients).
+func (a *AtomicDoubleArray) AddAll(ctx context.Context, v []float64) error {
+	return resultVoid(a.H.Invoke(ctx, "AddAll", v))
+}
+
+// ScaleAll multiplies every element by f server side.
+func (a *AtomicDoubleArray) ScaleAll(ctx context.Context, f float64) error {
+	return resultVoid(a.H.Invoke(ctx, "ScaleAll", f))
+}
+
+// FillZero resets every element.
+func (a *AtomicDoubleArray) FillZero(ctx context.Context) error {
+	return resultVoid(a.H.Invoke(ctx, "FillZero"))
+}
+
+// DoubleAdder accumulates float64 contributions server side.
+type DoubleAdder struct{ H Handle }
+
+// NewDoubleAdder builds a proxy for the adder named key.
+func NewDoubleAdder(key string, opts ...Option) *DoubleAdder {
+	return &DoubleAdder{H: NewHandle(objects.TypeDoubleAdder, key, opts...)}
+}
+
+// Add contributes v.
+func (d *DoubleAdder) Add(ctx context.Context, v float64) error {
+	return resultVoid(d.H.Invoke(ctx, "Add", v))
+}
+
+// Sum returns the accumulated total.
+func (d *DoubleAdder) Sum(ctx context.Context) (float64, error) {
+	return result0[float64](d.H.Invoke(ctx, "Sum"))
+}
+
+// Count returns the number of contributions.
+func (d *DoubleAdder) Count(ctx context.Context) (int64, error) {
+	return result0[int64](d.H.Invoke(ctx, "Count"))
+}
+
+// SumThenReset returns the total and zeroes the adder atomically.
+func (d *DoubleAdder) SumThenReset(ctx context.Context) (float64, error) {
+	return result0[float64](d.H.Invoke(ctx, "SumThenReset"))
+}
+
+// Reset zeroes the adder.
+func (d *DoubleAdder) Reset(ctx context.Context) error {
+	return resultVoid(d.H.Invoke(ctx, "Reset"))
+}

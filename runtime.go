@@ -1,0 +1,174 @@
+package crucial
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"crucial/internal/client"
+	"crucial/internal/cluster"
+	"crucial/internal/core"
+	"crucial/internal/faas"
+	"crucial/internal/netsim"
+)
+
+// RunnerFunction is the name of the generic serverless function the
+// runtime deploys: it decodes a Runnable, binds its shared-object proxies
+// to the DSO layer, and runs it (paper Section 5).
+const RunnerFunction = "crucial-runner"
+
+// Options configures a local runtime: an in-process FaaS platform plus an
+// in-process DSO cluster wired over an in-memory network.
+type Options struct {
+	// DSONodes is the storage node count (default 1).
+	DSONodes int
+	// RF is the replication factor for persistent objects (default 1).
+	RF int
+	// Profile injects simulated service latencies (default none; use
+	// netsim.AWS2019(scale) for paper-like behaviour).
+	Profile *netsim.Profile
+	// Registry supplies object types (default: built-ins). Add custom
+	// types before building the runtime.
+	Registry *TypeRegistry
+	// FunctionMemoryMB sizes the runner function (default 1792, the
+	// paper's 1-vCPU setting).
+	FunctionMemoryMB int
+	// FunctionTimeout is the modeled execution limit (default 15 min).
+	FunctionTimeout time.Duration
+	// Concurrency caps simultaneous function executions (default 1000).
+	Concurrency int
+	// FailureRate injects random invocation failures for fault-tolerance
+	// experiments.
+	FailureRate float64
+	// DefaultRetry is the retry policy applied by NewThread.
+	DefaultRetry RetryPolicy
+}
+
+// Runtime is a complete local Crucial deployment: the FaaS platform
+// executing cloud threads and the DSO cluster holding shared state.
+type Runtime struct {
+	platform *faas.Platform
+	clu      *cluster.Cluster
+
+	// fnClient is the DSO connection used inside function containers;
+	// masterClient is the client application's own connection (Fig. 1:
+	// the client has access to the same state).
+	fnClient     *client.Client
+	masterClient *client.Client
+
+	functionName string
+	defaultRetry RetryPolicy
+	profile      *netsim.Profile
+
+	threadSeq atomic.Int64
+}
+
+// NewLocalRuntime boots the platform and cluster.
+func NewLocalRuntime(opts Options) (*Runtime, error) {
+	if opts.Profile == nil {
+		opts.Profile = netsim.Zero()
+	}
+	clu, err := cluster.StartLocal(cluster.Options{
+		Nodes:    opts.DSONodes,
+		RF:       opts.RF,
+		Profile:  opts.Profile,
+		Registry: opts.Registry,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crucial: start DSO cluster: %w", err)
+	}
+
+	rt := &Runtime{
+		clu:          clu,
+		functionName: RunnerFunction,
+		defaultRetry: opts.DefaultRetry,
+		profile:      opts.Profile,
+	}
+	rt.platform = faas.NewPlatform(faas.Options{
+		Profile:     opts.Profile,
+		Concurrency: opts.Concurrency,
+	})
+	if rt.fnClient, err = clu.NewClient(); err != nil {
+		_ = clu.Close()
+		return nil, err
+	}
+	if rt.masterClient, err = clu.NewClient(); err != nil {
+		_ = rt.fnClient.Close()
+		_ = clu.Close()
+		return nil, err
+	}
+	err = rt.platform.Deploy(RunnerFunction, rt.runnerHandler, faas.FunctionConfig{
+		MemoryMB:    opts.FunctionMemoryMB,
+		Timeout:     opts.FunctionTimeout,
+		FailureRate: opts.FailureRate,
+	})
+	if err != nil {
+		_ = rt.Close()
+		return nil, err
+	}
+	return rt, nil
+}
+
+// runnerHandler is the generic function body: decode, weave, run.
+func (rt *Runtime) runnerHandler(ctx context.Context, payload []byte) ([]byte, error) {
+	env, err := decodeThreadEnv(payload)
+	if err != nil {
+		return nil, err
+	}
+	BindShared(rt.fnClient, env.R)
+	tc := &TC{ctx: ctx, threadID: env.ID, invoker: rt.fnClient}
+	if err := env.R.Run(tc); err != nil {
+		// The return payload is empty unless an error occurs; errors are
+		// re-thrown to the invoker (paper Section 5).
+		return nil, err
+	}
+	return nil, nil
+}
+
+// Bind attaches proxies used by the application's master thread (outside
+// any cloud function) to the runtime's own DSO client, e.g. to read the
+// final counter after joining all threads (Listing 1, line 25).
+func (rt *Runtime) Bind(targets ...any) {
+	BindShared(rt.masterClient, targets...)
+}
+
+// Invoker returns the master thread's DSO client.
+func (rt *Runtime) Invoker() core.Invoker { return rt.masterClient }
+
+// Platform exposes the FaaS platform (stats, prewarming, extra function
+// deployments).
+func (rt *Runtime) Platform() *faas.Platform { return rt.platform }
+
+// Cluster exposes the DSO cluster (membership experiments).
+func (rt *Runtime) Cluster() *cluster.Cluster { return rt.clu }
+
+// Profile returns the latency profile in effect.
+func (rt *Runtime) Profile() *netsim.Profile { return rt.profile }
+
+// Prewarm provisions n warm runner containers, excluding cold starts from
+// a measurement (the paper's global barrier before measuring).
+func (rt *Runtime) Prewarm(n int) error {
+	return rt.platform.Prewarm(rt.functionName, n)
+}
+
+// Close tears the runtime down.
+func (rt *Runtime) Close() error {
+	var firstErr error
+	if rt.fnClient != nil {
+		if err := rt.fnClient.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if rt.masterClient != nil {
+		if err := rt.masterClient.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if rt.clu != nil {
+		if err := rt.clu.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

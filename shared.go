@@ -1,0 +1,82 @@
+package crucial
+
+import (
+	"context"
+
+	"crucial/internal/core"
+	"crucial/internal/objects"
+)
+
+// User-defined shared objects (the @Shared annotation of the paper).
+//
+// A custom type has two halves:
+//
+//   - A server-side implementation of ServerObject (plus Snapshotter if it
+//     should be replicable/rebalanceable), registered under a type name in
+//     the registry passed to the runtime. This is the analog of uploading
+//     the jar with the object code to the DSO servers.
+//   - A client-side proxy: either the generic Shared handle below, or a
+//     typed wrapper struct embedding a Handle (see the k-means example's
+//     GlobalCentroids).
+
+// ServerObject is the server-side contract of a shared object: Call runs
+// under the object's monitor on its owning node.
+type ServerObject = core.Object
+
+// Ctl is the monitor handle passed to ServerObject.Call; blocking methods
+// use Wait/Broadcast (Java wait()/notify() semantics).
+type Ctl = core.Ctl
+
+// Snapshotter enables replication and rebalancing for a user object.
+type Snapshotter = core.Snapshotter
+
+// TypeRegistry maps type names to server-side factories.
+type TypeRegistry = core.Registry
+
+// ObjectType describes one registered shared-object type.
+type ObjectType = core.TypeInfo
+
+// Factory builds a server-side object from Init arguments.
+type Factory = core.Factory
+
+// NewTypeRegistry returns a registry preloaded with the built-in object
+// library; register application types on it and pass it to the runtime
+// options.
+func NewTypeRegistry() *TypeRegistry {
+	return objects.BuiltinRegistry()
+}
+
+// RegisterValue registers a concrete Go type for transport inside shared
+// object arguments, results, and Runnable fields — the moral equivalent of
+// implementing Serializable.
+func RegisterValue(v any) {
+	core.RegisterValue(v)
+}
+
+// Shared is the generic client proxy for a user-defined shared object.
+type Shared struct{ H Handle }
+
+// NewShared builds a proxy for the object (typeName, key). init arguments
+// are applied on first access.
+func NewShared(typeName, key string, init []any, opts ...Option) *Shared {
+	if len(init) > 0 {
+		opts = append(opts, withInit(init...))
+	}
+	return &Shared{H: NewHandle(typeName, key, opts...)}
+}
+
+// Call ships one method invocation to the object.
+func (s *Shared) Call(ctx context.Context, method string, args ...any) ([]any, error) {
+	return s.H.Invoke(ctx, method, args...)
+}
+
+// CallVoid ships a method invocation and discards its results.
+func (s *Shared) CallVoid(ctx context.Context, method string, args ...any) error {
+	_, err := s.H.Invoke(ctx, method, args...)
+	return err
+}
+
+// CallOne ships a method invocation and returns its single typed result.
+func CallOne[T any](ctx context.Context, s *Shared, method string, args ...any) (T, error) {
+	return result0[T](s.H.Invoke(ctx, method, args...))
+}

@@ -1,0 +1,196 @@
+package crucial
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"crucial/internal/core"
+	"crucial/internal/netsim"
+)
+
+// TC is the thread context handed to a Runnable: the invocation context,
+// the thread's identity, and the DSO client the runtime bound its proxies
+// to.
+type TC struct {
+	ctx      context.Context
+	threadID int
+	invoker  core.Invoker
+}
+
+// Context returns the invocation context (cancelled on function timeout).
+func (tc *TC) Context() context.Context { return tc.ctx }
+
+// ThreadID returns the cloud thread's index (assigned at Start, unique per
+// runtime).
+func (tc *TC) ThreadID() int { return tc.threadID }
+
+// Invoker exposes the underlying DSO client for advanced use.
+func (tc *TC) Invoker() core.Invoker { return tc.invoker }
+
+// Bind attaches proxies created at run time (rather than shipped as
+// fields) to the thread's DSO client.
+func (tc *TC) Bind(targets ...any) {
+	BindShared(tc.invoker, targets...)
+}
+
+// Runnable is the unit of work executed by a cloud thread. Implementations
+// must be gob-serializable (exported fields; register the concrete type
+// with crucial.Register) because the value itself is shipped to the FaaS
+// platform, exactly like the Java prototype ships the Runnable's class
+// name and parameters.
+type Runnable interface {
+	Run(tc *TC) error
+}
+
+// Register makes a Runnable implementation shippable, like declaring it
+// Serializable. Call it once per concrete type, e.g. in the example's
+// setup: crucial.Register(&PiEstimator{}).
+func Register(r Runnable) {
+	core.RegisterValueTypes()
+	gob.Register(r)
+}
+
+// RetryPolicy controls re-execution of failed cloud threads
+// (paper Section 4.4: the user controls how many retries are allowed and
+// the time between them; re-execution must be made idempotent by the
+// application, e.g. via a shared iteration counter).
+type RetryPolicy struct {
+	// MaxRetries is the number of re-invocations after the first failure.
+	MaxRetries int
+	// Backoff is the modeled pause between attempts.
+	Backoff time.Duration
+}
+
+// threadEnv is the invocation payload: the Runnable itself plus the thread
+// identity.
+type threadEnv struct {
+	R  Runnable
+	ID int
+}
+
+// ErrThreadNotStarted is returned by Join before Start.
+var ErrThreadNotStarted = errors.New("crucial: thread not started")
+
+// CloudThread runs a Runnable as a serverless function invocation while
+// exposing the familiar Start/Join surface of a thread (Listing 1 of the
+// paper). The creating goroutine blocks in Join until the remote function
+// finishes; errors (after retries) propagate to Join.
+type CloudThread struct {
+	rt    *Runtime
+	r     Runnable
+	retry RetryPolicy
+
+	id   int
+	done chan error
+}
+
+// NewThread wraps a Runnable in a cloud thread with the runtime's default
+// retry policy.
+func (rt *Runtime) NewThread(r Runnable) *CloudThread {
+	return rt.NewThreadRetry(r, rt.defaultRetry)
+}
+
+// NewThreadRetry wraps a Runnable with an explicit retry policy.
+func (rt *Runtime) NewThreadRetry(r Runnable, retry RetryPolicy) *CloudThread {
+	return &CloudThread{rt: rt, r: r, retry: retry}
+}
+
+// Start launches the remote invocation. It never blocks on the function.
+func (t *CloudThread) Start() {
+	t.StartCtx(context.Background())
+}
+
+// StartCtx launches the remote invocation under an explicit context.
+func (t *CloudThread) StartCtx(ctx context.Context) {
+	if t.done != nil {
+		return
+	}
+	t.id = int(t.rt.threadSeq.Add(1))
+	t.done = make(chan error, 1)
+	go func() {
+		t.done <- t.invokeWithRetries(ctx)
+	}()
+}
+
+// invokeWithRetries re-invokes the function with the exact same payload on
+// failure, mirroring Lambda's replay semantics under the application's
+// policy.
+func (t *CloudThread) invokeWithRetries(ctx context.Context) error {
+	payload, err := encodeThreadEnv(threadEnv{R: t.r, ID: t.id})
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= t.retry.MaxRetries; attempt++ {
+		if attempt > 0 && t.retry.Backoff > 0 {
+			if err := netsim.Sleep(ctx, t.rt.profile.Scaled(t.retry.Backoff)); err != nil {
+				return err
+			}
+		}
+		if _, err := t.rt.platform.Invoke(ctx, t.rt.functionName, payload); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("crucial: thread %d failed after %d attempts: %w",
+		t.id, t.retry.MaxRetries+1, lastErr)
+}
+
+// Join blocks until the cloud thread finishes, returning its error (the
+// fork/join pattern of Listing 1).
+func (t *CloudThread) Join() error {
+	if t.done == nil {
+		return ErrThreadNotStarted
+	}
+	return <-t.done
+}
+
+// ID returns the thread's identity (0 before Start).
+func (t *CloudThread) ID() int { return t.id }
+
+// encodeThreadEnv and decodeThreadEnv (de)serialize the payload.
+func encodeThreadEnv(env threadEnv) ([]byte, error) {
+	data, err := core.EncodeValue(&env)
+	if err != nil {
+		return nil, fmt.Errorf("crucial: encode runnable %T (did you crucial.Register it?): %w", env.R, err)
+	}
+	return data, nil
+}
+
+func decodeThreadEnv(data []byte) (threadEnv, error) {
+	var env threadEnv
+	if err := core.DecodeValue(data, &env); err != nil {
+		return threadEnv{}, fmt.Errorf("crucial: decode runnable: %w", err)
+	}
+	if env.R == nil {
+		return threadEnv{}, errors.New("crucial: payload carried no runnable")
+	}
+	return env, nil
+}
+
+// SpawnAll creates and starts one cloud thread per Runnable, returning the
+// threads (the threads.forEach(Thread::start) idiom).
+func (rt *Runtime) SpawnAll(rs ...Runnable) []*CloudThread {
+	ts := make([]*CloudThread, len(rs))
+	for i, r := range rs {
+		ts[i] = rt.NewThread(r)
+		ts[i].Start()
+	}
+	return ts
+}
+
+// JoinAll joins every thread, returning the first error encountered
+// (all threads are joined regardless).
+func JoinAll(ts []*CloudThread) error {
+	var firstErr error
+	for _, t := range ts {
+		if err := t.Join(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
