@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkInvokeTelemetry' -benchtime 2000x .
+
+# verify is the tier-1 gate (see ROADMAP.md): everything must compile, vet
+# clean, and pass under the race detector.
+verify: vet build race

@@ -25,10 +25,11 @@ func main() {
 
 func run() int {
 	var (
-		exp   = flag.String("exp", "all", "experiment id or 'all'")
-		scale = flag.Float64("scale", 0.1, "time compression factor (0 < scale <= 1)")
-		quick = flag.Bool("quick", false, "shrink workloads to smoke-test size")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "all", "experiment id or 'all'")
+		scale    = flag.Float64("scale", 0.1, "time compression factor (0 < scale <= 1)")
+		quick    = flag.Bool("quick", false, "shrink workloads to smoke-test size")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonPath = flag.String("json", "", "write telemetry metrics snapshots as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -39,9 +40,21 @@ func run() int {
 		for _, name := range bench.AblationNames() {
 			fmt.Println(name)
 		}
+		fmt.Println(bench.ExpStages)
 		return 0
 	}
 	opts := bench.Options{Scale: *scale, Quick: *quick}
+	if *jsonPath == "-" {
+		opts.JSON = os.Stdout
+	} else if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crucial-bench:", err)
+			return 1
+		}
+		defer func() { _ = f.Close() }()
+		opts.JSON = f
+	}
 	var err error
 	if *exp == "all" {
 		err = bench.RunAll(os.Stdout, opts)

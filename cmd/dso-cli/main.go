@@ -7,6 +7,12 @@
 //	dso-cli -members n1=:7001,n2=:7002 -type AtomicLong -key counter -method AddAndGet -arg 5
 //	dso-cli -members n1=:7001,n2=:7002 -type Map -key users -method Put -arg alice -arg admin
 //	dso-cli -members n1=:7001,n2=:7002 -type CyclicBarrier -key b -init 3 -method Await
+//	dso-cli stats -members n1=:7001,n2=:7002
+//
+// The stats subcommand fetches every node's counters and telemetry
+// snapshot and prints a per-node breakdown plus a cluster-wide merge
+// (latency histograms with p50/p95/p99 when the cluster runs
+// instrumented).
 //
 // Arguments are passed as int64 when they parse as integers, float64 when
 // they parse as decimals, and strings otherwise.
@@ -27,6 +33,8 @@ import (
 	"crucial/internal/membership"
 	"crucial/internal/ring"
 	"crucial/internal/rpc"
+	"crucial/internal/server"
+	"crucial/internal/telemetry"
 )
 
 // argList collects repeatable -arg/-init flags.
@@ -49,7 +57,87 @@ func (a *argList) Set(s string) error {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		os.Exit(runStats(os.Args[2:]))
+	}
 	os.Exit(run())
+}
+
+// runStats implements `dso-cli stats`: one KindStats RPC per member, a
+// per-node report, and a merged cluster-wide metrics snapshot.
+func runStats(argv []string) int {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	var (
+		members = fs.String("members", "", "comma-separated id=addr pairs of the cluster")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-node RPC timeout")
+	)
+	_ = fs.Parse(argv)
+
+	view, err := staticView(*members)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dso-cli:", err)
+		return 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var merged telemetry.Snapshot
+	failures := 0
+	for _, id := range view.Members {
+		snap, err := fetchSnapshot(ctx, view.Addrs[id])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dso-cli: node %s: %v\n", id, err)
+			failures++
+			continue
+		}
+		fmt.Printf("node %s: objects=%d invocations=%d transfers=%d smr_ops=%d\n",
+			snap.ID, snap.Objects, snap.Stats.Invocations, snap.Stats.Transfers, snap.Stats.SMROps)
+		if !snap.Metrics.Empty() {
+			fmt.Print(indent(snap.Metrics.String(), "  "))
+		}
+		merged = merged.Merge(snap.Metrics)
+	}
+	if !merged.Empty() && len(view.Members) > 1 {
+		fmt.Println("cluster (merged):")
+		fmt.Print(indent(merged.String(), "  "))
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// fetchSnapshot performs one KindStats round-trip against a node.
+func fetchSnapshot(ctx context.Context, addr string) (server.Snapshot, error) {
+	conn, err := rpc.TCP{}.Dial(addr)
+	if err != nil {
+		return server.Snapshot{}, err
+	}
+	rc := rpc.NewClient(conn)
+	defer func() { _ = rc.Close() }()
+	raw, err := rc.Call(ctx, server.KindStats, nil)
+	if err != nil {
+		return server.Snapshot{}, err
+	}
+	var snap server.Snapshot
+	if err := core.DecodeValue(raw, &snap); err != nil {
+		return server.Snapshot{}, err
+	}
+	return snap, nil
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	var b strings.Builder
+	for _, l := range lines {
+		if l != "" {
+			b.WriteString(prefix)
+		}
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 func run() int {

@@ -31,6 +31,7 @@ import (
 	"crucial/internal/ring"
 	"crucial/internal/rpc"
 	"crucial/internal/server"
+	"crucial/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func run() int {
 		id      = flag.String("id", "", "this node's id (must appear in -members)")
 		members = flag.String("members", "", "comma-separated id=addr pairs for the whole cluster")
 		rf      = flag.Int("rf", 1, "replication factor for persistent objects")
+		telem   = flag.Bool("telemetry", false, "record spans and latency histograms (served via `dso-cli stats`)")
 	)
 	flag.Parse()
 
@@ -68,6 +70,10 @@ func run() int {
 		dir.Join(n, addrs[n])
 	}
 
+	var tel *telemetry.Telemetry
+	if *telem {
+		tel = telemetry.New()
+	}
 	node, err := server.Start(server.Config{
 		ID:        ring.NodeID(*id),
 		Addr:      addr,
@@ -75,6 +81,7 @@ func run() int {
 		Registry:  objects.BuiltinRegistry(),
 		Directory: dir,
 		RF:        *rf,
+		Telemetry: tel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dso-server:", err)

@@ -351,18 +351,18 @@ func TestUserDefinedSharedObject(t *testing.T) {
 	s := NewShared("CustomCounter", "metrics", nil)
 	rt.Bind(s)
 	for _, v := range []int64{3, 9, 4} {
-		if _, err := s.Call(bg(), "Update", v); err != nil {
+		if _, err := s.Invoke(bg(), "Update", v); err != nil {
 			t.Fatal(err)
 		}
 	}
-	peak, err := CallOne[int64](bg(), s, "Peak")
+	peak, err := Call1[int64](bg(), s, "Peak")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if peak != 9 {
 		t.Fatalf("peak = %d", peak)
 	}
-	total, err := CallOne[int64](bg(), s, "Update", int64(0))
+	total, err := Call1[int64](bg(), s, "Update", int64(0))
 	if err != nil {
 		t.Fatal(err)
 	}

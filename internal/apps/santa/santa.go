@@ -363,26 +363,26 @@ func (d *dsoCounter) Dec(ctx context.Context) (int64, error) {
 type dsoGroup struct{ s *crucial.Shared }
 
 func (g *dsoGroup) Join(ctx context.Context) (bool, error) {
-	return crucial.CallOne[bool](ctx, g.s, "Join")
+	return crucial.Call1[bool](ctx, g.s, "Join")
 }
 
 func (g *dsoGroup) Release(ctx context.Context) error {
-	return g.s.CallVoid(ctx, "Release")
+	return crucial.Call0(ctx, g.s, "Release")
 }
 
 type dsoGate struct{ s *crucial.Shared }
 
-func (g *dsoGate) Pass(ctx context.Context) error { return g.s.CallVoid(ctx, "Pass") }
-func (g *dsoGate) Open(ctx context.Context) error { return g.s.CallVoid(ctx, "Open") }
+func (g *dsoGate) Pass(ctx context.Context) error { return crucial.Call0(ctx, g.s, "Pass") }
+func (g *dsoGate) Open(ctx context.Context) error { return crucial.Call0(ctx, g.s, "Open") }
 
 type dsoSignal struct{ s *crucial.Shared }
 
 func (s *dsoSignal) Raise(ctx context.Context, kind string) error {
-	return s.s.CallVoid(ctx, "Raise", kind)
+	return crucial.Call0(ctx, s.s, "Raise", kind)
 }
 
 func (s *dsoSignal) Await(ctx context.Context) (string, error) {
-	return crucial.CallOne[string](ctx, s.s, "Await")
+	return crucial.Call1[string](ctx, s.s, "Await")
 }
 
 var (

@@ -22,6 +22,11 @@ type Options struct {
 	Scale float64
 	// Quick shrinks workloads to smoke-test size (used by `go test`).
 	Quick bool
+	// JSON, when non-nil, receives machine-readable results from
+	// experiments that capture telemetry (currently the stages breakdown):
+	// one JSON document with the experiment id and the final metrics
+	// snapshot.
+	JSON io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -99,8 +104,11 @@ func Run(name string, w io.Writer, o Options) error {
 		return AblationShipping(w, o)
 	case ExpAblationBlocking:
 		return AblationBlocking(w, o)
+	case ExpStages:
+		return Stages(w, o)
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (known: %v + %v)", name, Names(), AblationNames())
+		return fmt.Errorf("bench: unknown experiment %q (known: %v + %v + %q)",
+			name, Names(), AblationNames(), ExpStages)
 	}
 }
 

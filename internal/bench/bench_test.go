@@ -177,3 +177,23 @@ func TestAblationNames(t *testing.T) {
 		t.Fatalf("ablations = %v", AblationNames())
 	}
 }
+
+func TestStagesSmoke(t *testing.T) {
+	var jsonBuf bytes.Buffer
+	var buf bytes.Buffer
+	o := quickOpts()
+	o.JSON = &jsonBuf
+	if err := Run(ExpStages, &buf, o); err != nil {
+		t.Fatalf("stages: %v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, stage := range []string{"faas.invoke", "client.rpc", "server.exec", "server.monitor_wait", "cold starts"} {
+		if !strings.Contains(out, stage) {
+			t.Fatalf("stages missing %q:\n%s", stage, out)
+		}
+	}
+	js := jsonBuf.String()
+	if !strings.Contains(js, `"experiment": "stages"`) || !strings.Contains(js, `"histograms"`) {
+		t.Fatalf("stages JSON incomplete:\n%s", js)
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"crucial"
+	"crucial/internal/netsim"
+	"crucial/internal/telemetry"
+)
+
+// ExpStages is the instrumented end-to-end breakdown (not part of RunAll,
+// like the ablations): it runs a fork/join workload on a telemetry-enabled
+// runtime and reports where invocation time goes — cold start, FaaS
+// dispatch, DSO RPC, server execution, monitor blocking.
+const ExpStages = "stages"
+
+// stageWorker is the workload: hammer a shared counter, then meet the
+// other threads at a barrier. The barrier populates server.monitor_wait;
+// the counter calls populate the RPC and execution histograms.
+type stageWorker struct {
+	Counter *crucial.AtomicLong
+	Barrier *crucial.CyclicBarrier
+	Ops     int
+}
+
+// Run implements crucial.Runnable.
+func (s *stageWorker) Run(tc *crucial.TC) error {
+	ctx := tc.Context()
+	for i := 0; i < s.Ops; i++ {
+		if _, err := s.Counter.IncrementAndGet(ctx); err != nil {
+			return err
+		}
+	}
+	_, err := s.Barrier.Await(ctx)
+	return err
+}
+
+// Stages runs two waves of cloud threads — the first all cold, the second
+// all warm — against an instrumented runtime and prints the per-stage
+// latency histograms (p50/p95/p99, modeled time). With Options.JSON set it
+// also emits the full metrics snapshot as one JSON document.
+func Stages(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	profile := netsim.AWS2019(o.Scale)
+	threads := pick(o, 4, 32)
+	ops := pick(o, 5, 50)
+
+	tel := telemetry.New()
+	rt, err := crucial.NewLocalRuntime(crucial.Options{
+		DSONodes:  2,
+		Profile:   profile,
+		Telemetry: tel,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = rt.Close() }()
+	crucial.Register(&stageWorker{})
+
+	wave := func(tag string) error {
+		rs := make([]crucial.Runnable, threads)
+		for i := range rs {
+			rs[i] = &stageWorker{
+				Counter: crucial.NewAtomicLong("stages/" + tag + "/counter"),
+				Barrier: crucial.NewCyclicBarrier("stages/"+tag+"/barrier", threads),
+				Ops:     ops,
+			}
+		}
+		return crucial.JoinAll(rt.SpawnAll(rs...))
+	}
+	// Wave 1 pays cold starts; wave 2 reuses the warm containers.
+	if err := wave("cold"); err != nil {
+		return err
+	}
+	if err := wave("warm"); err != nil {
+		return err
+	}
+
+	snap := rt.Metrics()
+	title(w, "Stages: per-stage latency breakdown (modeled time, instrumented runtime)")
+	row(w, "%-22s %8s %10s %10s %10s %10s", "STAGE", "COUNT", "P50", "P95", "P99", "MAX")
+	for _, name := range []string{
+		telemetry.HistFaaSColdStart,
+		telemetry.HistFaaSInvoke,
+		telemetry.HistClientRPC,
+		telemetry.HistServerExec,
+		telemetry.HistServerMonitorWait,
+		telemetry.HistThreadLifetime,
+	} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			continue
+		}
+		row(w, "%-22s %8d %10s %10s %10s %10s", name, h.Count,
+			stageDur(h.P50, o.Scale), stageDur(h.P95, o.Scale),
+			stageDur(h.P99, o.Scale), stageDur(h.Max, o.Scale))
+	}
+	cold := snap.Counters[telemetry.MetFaaSColdStarts]
+	total := snap.Counters[telemetry.MetFaaSInvocations]
+	note(w, "%d/%d invocations were cold starts; server.exec includes monitor blocking,", cold, total)
+	note(w, "subtract server.monitor_wait for pure compute (barrier waits dominate it here)")
+
+	if o.JSON != nil {
+		doc := struct {
+			Experiment string             `json:"experiment"`
+			Threads    int                `json:"threads"`
+			Scale      float64            `json:"scale"`
+			Metrics    telemetry.Snapshot `json:"metrics"`
+		}{ExpStages, threads, o.Scale, snap}
+		enc := json.NewEncoder(o.JSON)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return fmt.Errorf("bench: write JSON results: %w", err)
+		}
+	}
+	return nil
+}
+
+// stageDur renders one histogram duration in modeled time.
+func stageDur(d time.Duration, scale float64) string {
+	return modeled(d, scale).Round(10 * time.Microsecond).String()
+}

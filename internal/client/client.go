@@ -19,6 +19,7 @@ import (
 	"crucial/internal/ring"
 	"crucial/internal/rpc"
 	"crucial/internal/server"
+	"crucial/internal/telemetry"
 )
 
 // ViewSource supplies the current membership view. membership.Directory
@@ -45,12 +46,44 @@ type Config struct {
 	// Profile injects the client<->DSO network latency. Nil means no
 	// injected latency.
 	Profile *netsim.Profile
-	// MaxRetries bounds re-routing attempts after topology changes
-	// (default 8).
+	// Retry governs re-routing after topology changes: exponential
+	// backoff with jitter so a fleet of cloud threads does not retry in
+	// lockstep. The zero value means core.DefaultClientRetry (unless the
+	// deprecated fields below are set, which are honored for
+	// compatibility).
+	Retry core.RetryPolicy
+	// Telemetry, when non-nil, records client spans (one per invocation,
+	// propagated to the serving node through the wire), RPC round-trip
+	// and per-object-type latency histograms, and re-route counters.
+	Telemetry *telemetry.Telemetry
+
+	// MaxRetries bounds total attempts per invocation.
+	//
+	// Deprecated: set Retry.MaxRetries (attempts = retries + 1) instead.
 	MaxRetries int
-	// RetryBackoff is the pause between attempts (default 2ms, scaled by
-	// the profile).
+	// RetryBackoff is the fixed pause between attempts.
+	//
+	// Deprecated: set Retry.Backoff (plus Multiplier/Jitter) instead.
 	RetryBackoff time.Duration
+}
+
+// retryPolicy resolves the configured policy, honoring the deprecated
+// fixed-pause knobs when the new one is unset.
+func (cfg Config) retryPolicy() core.RetryPolicy {
+	if cfg.Retry != (core.RetryPolicy{}) {
+		return cfg.Retry
+	}
+	if cfg.MaxRetries > 0 || cfg.RetryBackoff > 0 {
+		p := core.RetryPolicy{MaxRetries: cfg.MaxRetries - 1, Backoff: cfg.RetryBackoff}
+		if cfg.MaxRetries <= 0 {
+			p.MaxRetries = core.DefaultClientRetry().MaxRetries
+		}
+		if p.Backoff <= 0 {
+			p.Backoff = 2 * time.Millisecond
+		}
+		return p
+	}
+	return core.DefaultClientRetry()
 }
 
 // Client invokes methods on shared objects. Safe for concurrent use by any
@@ -58,6 +91,15 @@ type Config struct {
 type Client struct {
 	cfg     Config
 	profile *netsim.Profile
+	retry   core.RetryPolicy
+
+	// Telemetry handles; nil (no-op) when no bundle was configured.
+	instrumented bool
+	tracer       *telemetry.Tracer
+	metrics      *telemetry.Registry
+	cCalls       *telemetry.Counter
+	cReroutes    *telemetry.Counter
+	hRPC         *telemetry.Histogram
 
 	mu    sync.Mutex
 	view  membership.View
@@ -78,16 +120,19 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Profile == nil {
 		cfg.Profile = netsim.Zero()
 	}
-	if cfg.MaxRetries <= 0 {
-		cfg.MaxRetries = 8
-	}
-	if cfg.RetryBackoff <= 0 {
-		cfg.RetryBackoff = 2 * time.Millisecond
-	}
 	c := &Client{
 		cfg:     cfg,
 		profile: cfg.Profile,
+		retry:   cfg.retryPolicy(),
 		conns:   make(map[string]*rpc.Client),
+	}
+	if cfg.Telemetry != nil {
+		c.instrumented = true
+		c.tracer = cfg.Telemetry.Tracer()
+		c.metrics = cfg.Telemetry.Metrics()
+		c.cCalls = c.metrics.Counter(telemetry.MetClientCalls)
+		c.cReroutes = c.metrics.Counter(telemetry.MetClientReroutes)
+		c.hRPC = c.metrics.Histogram(telemetry.HistClientRPC)
 	}
 	c.refreshView()
 	return c, nil
@@ -137,6 +182,14 @@ func (c *Client) conn(addr string) (*rpc.Client, error) {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	rc := rpc.NewClient(netConn)
+	if c.instrumented {
+		// The transport layer feeds the round-trip histogram directly, so
+		// it also covers server-side blocking time (barrier waits etc.).
+		hRPC := c.hRPC
+		rc.SetObserver(func(_ uint8, rtt time.Duration, _ int, _ error) {
+			hRPC.Observe(rtt)
+		})
+	}
 	c.conns[addr] = rc
 	return rc, nil
 }
@@ -166,17 +219,42 @@ func retryable(err error) bool {
 
 // InvokeObject sends one method invocation and returns its results,
 // implementing core.Invoker. It pays one injected network hop each way and
-// retries transparently when the cluster topology shifts underneath it.
+// retries transparently when the cluster topology shifts underneath it,
+// backing off exponentially with jitter so re-routes after a membership
+// change spread out instead of stampeding.
 func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, error) {
+	// Telemetry: one client.invoke span per logical call. Its identity
+	// travels inside the Invocation so the serving node can attach its
+	// server-side spans to this trace across the RPC boundary.
+	var span *telemetry.Span
+	if c.instrumented {
+		callStart := time.Now()
+		var sctx context.Context
+		sctx, span = c.tracer.Start(ctx, telemetry.SpanClientInvoke)
+		ctx = sctx
+		span.SetAttr(telemetry.AttrObjectType, inv.Ref.Type)
+		span.SetAttr(telemetry.AttrMethod, inv.Method)
+		sc := span.Context()
+		inv.Trace = core.TraceContext{TraceID: sc.TraceID, SpanID: sc.SpanID}
+		c.cCalls.Inc()
+		typeHist := c.metrics.Histogram(telemetry.MetClientCallPrefix + inv.Ref.Type)
+		defer func() {
+			typeHist.Observe(time.Since(callStart))
+			span.End()
+		}()
+	}
+
 	payload, err := core.EncodeInvocation(inv)
 	if err != nil {
 		return nil, err
 	}
 	var lastErr error
-	for attempt := 0; attempt < c.cfg.MaxRetries; attempt++ {
+	for attempt := 0; attempt < c.retry.Attempts(); attempt++ {
 		if attempt > 0 {
+			c.cReroutes.Inc()
+			span.SetAttr(telemetry.AttrAttempt, fmt.Sprint(attempt+1))
 			c.refreshView()
-			if err := netsim.Sleep(ctx, c.profile.Scaled(c.cfg.RetryBackoff)); err != nil {
+			if err := netsim.Sleep(ctx, c.profile.Scaled(c.retry.Delay(attempt, nil))); err != nil {
 				return nil, err
 			}
 		}
@@ -214,12 +292,14 @@ func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, 
 				lastErr = remote
 				continue
 			}
+			span.SetAttr(telemetry.AttrError, remote.Error())
 			return nil, remote
 		}
 		return resp.Results, nil
 	}
+	span.SetAttr(telemetry.AttrError, fmt.Sprint(lastErr))
 	return nil, fmt.Errorf("client: %s.%s failed after %d attempts: %w",
-		inv.Ref, inv.Method, c.cfg.MaxRetries, lastErr)
+		inv.Ref, inv.Method, c.retry.Attempts(), lastErr)
 }
 
 var _ core.Invoker = (*Client)(nil)

@@ -18,6 +18,7 @@ import (
 	"crucial/internal/ring"
 	"crucial/internal/rpc"
 	"crucial/internal/server"
+	"crucial/internal/telemetry"
 )
 
 // Options configures a local cluster. The zero value is usable: one node,
@@ -39,6 +40,10 @@ type Options struct {
 	// (see server.Config); zero disables the model.
 	ServiceTime        time.Duration
 	ServiceConcurrency int
+	// Telemetry, when non-nil, is shared by every node and client of this
+	// cluster: server-side spans and metrics land in the same bundle the
+	// runtime samples. Nil disables instrumentation.
+	Telemetry *telemetry.Telemetry
 }
 
 // Cluster is a running DSO deployment.
@@ -115,6 +120,7 @@ func (c *Cluster) AddNode() (*server.Node, error) {
 		RF:                 c.opts.RF,
 		ServiceTime:        c.opts.ServiceTime,
 		ServiceConcurrency: c.opts.ServiceConcurrency,
+		Telemetry:          c.opts.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: start node %s: %w", id, err)
@@ -177,8 +183,12 @@ func (c *Cluster) NewClient() (*client.Client, error) {
 		Transport: c.Transport,
 		Views:     c.Dir,
 		Profile:   c.profile,
+		Telemetry: c.opts.Telemetry,
 	})
 }
+
+// Telemetry exposes the cluster's telemetry bundle (nil when disabled).
+func (c *Cluster) Telemetry() *telemetry.Telemetry { return c.opts.Telemetry }
 
 // Registry exposes the cluster's type registry.
 func (c *Cluster) Registry() *core.Registry { return c.registry }

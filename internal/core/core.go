@@ -41,7 +41,23 @@ type Invocation struct {
 	// Persist requests durability: the object is replicated with the
 	// cluster's replication factor and survives node failures.
 	Persist bool
+	// Trace carries the caller's span identity so the serving node can
+	// attach its server-side spans to the client's trace. The zero value
+	// (no telemetry) is ignored; old payloads without the field decode to
+	// the zero value, keeping the wire format backward compatible.
+	Trace TraceContext
 }
+
+// TraceContext is the wire form of a telemetry span context. It lives in
+// core (rather than internal/telemetry) so the dependency-free vocabulary
+// package stays self-contained; the telemetry layer converts at the edges.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
 
 // Response carries the results of an invocation back to the caller.
 type Response struct {

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy is the single retry vocabulary of the system (paper
+// Section 4.4: the user controls how many retries are allowed and the time
+// between them). The same policy type configures cloud-thread re-execution
+// (crucial.Options.DefaultRetry), DSO client re-routing after topology
+// changes (client.Config.Retry), and any other layer that retries.
+//
+// The delay before retry k (1-based) is
+//
+//	Backoff * Multiplier^(k-1), capped at MaxBackoff,
+//
+// then jittered uniformly down into [(1-Jitter)*d, d]. Jitter exists so a
+// fleet of cloud threads re-routing after the same membership change does
+// not retry in lockstep.
+//
+// The zero value disables retries. A policy with only MaxRetries and
+// Backoff set behaves like the historical fixed-pause policy (Multiplier
+// defaults to 1, no jitter), so existing literals keep their meaning.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure.
+	MaxRetries int
+	// Backoff is the base pause before the first retry.
+	Backoff time.Duration
+	// MaxBackoff caps the grown delay; 0 means no cap.
+	MaxBackoff time.Duration
+	// Multiplier grows the delay per retry; values <= 1 (including the
+	// zero value) keep it constant.
+	Multiplier float64
+	// Jitter in [0,1] randomizes each delay down by up to that fraction.
+	Jitter float64
+}
+
+// DefaultClientRetry is the re-routing policy of the DSO client: quick
+// first retry, exponential growth, a tight cap (topology churn settles in
+// milliseconds) and heavy jitter to spread the re-route stampede.
+func DefaultClientRetry() RetryPolicy {
+	return RetryPolicy{
+		MaxRetries: 8,
+		Backoff:    2 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     0.5,
+	}
+}
+
+// ExponentialRetry builds a policy with doubling backoff and the given cap
+// plus moderate (20%) jitter — a sane default for cloud-thread retries.
+func ExponentialRetry(maxRetries int, base, cap time.Duration) RetryPolicy {
+	return RetryPolicy{
+		MaxRetries: maxRetries,
+		Backoff:    base,
+		MaxBackoff: cap,
+		Multiplier: 2,
+		Jitter:     0.2,
+	}
+}
+
+// Enabled reports whether the policy allows any retry.
+func (p RetryPolicy) Enabled() bool { return p.MaxRetries > 0 }
+
+// Attempts is the total number of tries (first attempt + retries).
+func (p RetryPolicy) Attempts() int {
+	if p.MaxRetries < 0 {
+		return 1
+	}
+	return p.MaxRetries + 1
+}
+
+// Delay returns the pause before retry number retry (1-based; 0 or
+// negative yields 0). rnd supplies uniform randomness in [0,1) for the
+// jitter; pass nil for the global math/rand source, or a deterministic
+// function in tests.
+func (p RetryPolicy) Delay(retry int, rnd func() float64) time.Duration {
+	if retry <= 0 || p.Backoff <= 0 {
+		return 0
+	}
+	d := float64(p.Backoff)
+	if m := p.Multiplier; m > 1 {
+		for i := 1; i < retry; i++ {
+			d *= m
+			if p.MaxBackoff > 0 && d >= float64(p.MaxBackoff) {
+				break // already at/over the cap; stop before overflow
+			}
+		}
+	}
+	if p.MaxBackoff > 0 && d > float64(p.MaxBackoff) {
+		d = float64(p.MaxBackoff)
+	}
+	if j := p.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		if rnd == nil {
+			rnd = rand.Float64
+		}
+		d -= d * j * rnd()
+	}
+	return time.Duration(d)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyZeroValue(t *testing.T) {
+	var p RetryPolicy
+	if p.Enabled() {
+		t.Fatal("zero policy enabled")
+	}
+	if p.Attempts() != 1 {
+		t.Fatalf("attempts = %d, want 1", p.Attempts())
+	}
+	if d := p.Delay(1, nil); d != 0 {
+		t.Fatalf("zero policy delay = %v", d)
+	}
+}
+
+func TestRetryPolicyFixedPauseCompat(t *testing.T) {
+	// The historical shape {MaxRetries, Backoff} must keep meaning a
+	// constant pause: Multiplier defaults to 1, no jitter.
+	p := RetryPolicy{MaxRetries: 3, Backoff: 5 * time.Millisecond}
+	for retry := 1; retry <= 3; retry++ {
+		if d := p.Delay(retry, nil); d != 5*time.Millisecond {
+			t.Fatalf("retry %d delay = %v, want 5ms", retry, d)
+		}
+	}
+}
+
+func TestRetryPolicyExponentialSequence(t *testing.T) {
+	p := RetryPolicy{
+		MaxRetries: 6,
+		Backoff:    2 * time.Millisecond,
+		MaxBackoff: 20 * time.Millisecond,
+		Multiplier: 2,
+	}
+	want := []time.Duration{
+		2 * time.Millisecond,  // retry 1
+		4 * time.Millisecond,  // retry 2
+		8 * time.Millisecond,  // retry 3
+		16 * time.Millisecond, // retry 4
+		20 * time.Millisecond, // retry 5, capped
+		20 * time.Millisecond, // retry 6, capped
+	}
+	for i, w := range want {
+		if d := p.Delay(i+1, nil); d != w {
+			t.Fatalf("retry %d delay = %v, want %v", i+1, d, w)
+		}
+	}
+	if d := p.Delay(0, nil); d != 0 {
+		t.Fatalf("retry 0 delay = %v", d)
+	}
+}
+
+func TestRetryPolicyJitterBounds(t *testing.T) {
+	p := DefaultClientRetry() // jitter 0.5
+	base := RetryPolicy{
+		MaxRetries: p.MaxRetries,
+		Backoff:    p.Backoff,
+		MaxBackoff: p.MaxBackoff,
+		Multiplier: p.Multiplier,
+	}
+	// rnd=0 keeps the full delay; rnd→1 removes up to Jitter of it.
+	for retry := 1; retry <= p.MaxRetries; retry++ {
+		full := base.Delay(retry, nil)
+		if d := p.Delay(retry, func() float64 { return 0 }); d != full {
+			t.Fatalf("retry %d with rnd=0: %v, want %v", retry, d, full)
+		}
+		lo := time.Duration(float64(full) * (1 - p.Jitter))
+		if d := p.Delay(retry, func() float64 { return 0.999999 }); d < lo-time.Microsecond || d > full {
+			t.Fatalf("retry %d with rnd~1: %v outside [%v,%v]", retry, d, lo, full)
+		}
+		// Default randomness stays inside the envelope too.
+		for i := 0; i < 50; i++ {
+			if d := p.Delay(retry, nil); d < lo-time.Microsecond || d > full {
+				t.Fatalf("retry %d jittered delay %v outside [%v,%v]", retry, d, lo, full)
+			}
+		}
+	}
+}
+
+func TestRetryPolicyOverflowSafe(t *testing.T) {
+	p := RetryPolicy{
+		MaxRetries: 500,
+		Backoff:    time.Second,
+		MaxBackoff: time.Minute,
+		Multiplier: 10,
+	}
+	if d := p.Delay(500, nil); d != time.Minute {
+		t.Fatalf("deep retry delay = %v, want cap", d)
+	}
+}
+
+func TestTraceContextOnInvocationWire(t *testing.T) {
+	inv := Invocation{
+		Ref:    Ref{Type: "AtomicLong", Key: "k"},
+		Method: "Get",
+		Trace:  TraceContext{TraceID: 7, SpanID: 9},
+	}
+	data, err := EncodeInvocation(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeInvocation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != inv.Trace {
+		t.Fatalf("trace = %+v, want %+v", got.Trace, inv.Trace)
+	}
+	if !got.Trace.Valid() || (TraceContext{}).Valid() {
+		t.Fatal("TraceContext validity wrong")
+	}
+}

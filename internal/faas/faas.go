@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"crucial/internal/netsim"
+	"crucial/internal/telemetry"
 )
 
 // Default limits, mirroring AWS Lambda at the paper's time of writing.
@@ -80,6 +81,11 @@ func (c FunctionConfig) withDefaults() (FunctionConfig, error) {
 
 // Stats aggregates platform counters. BilledGBSeconds uses modeled time,
 // matching what Table 3 prices.
+//
+// Deprecated: Stats is a compatibility view over the platform's telemetry
+// registry (see Metrics), which additionally carries latency histograms
+// and throttle counts. Existing call sites keep working; new code should
+// read the registry snapshot.
 type Stats struct {
 	Invocations    uint64
 	ColdStarts     uint64
@@ -106,7 +112,25 @@ type Platform struct {
 	mu        sync.Mutex
 	functions map[string]*function
 	rng       *rand.Rand
-	stats     Stats
+
+	// Telemetry: counters always live in a registry (a private one when
+	// telemetry is disabled, so Stats keeps working at seed cost); spans,
+	// histograms and extra timestamps are only taken when a shared
+	// telemetry bundle was supplied (instrumented == true).
+	tracer       *telemetry.Tracer
+	metrics      *telemetry.Registry
+	instrumented bool
+
+	cInvocations *telemetry.Counter
+	cColdStarts  *telemetry.Counter
+	cFailures    *telemetry.Counter
+	cTimeouts    *telemetry.Counter
+	cThrottled   *telemetry.Counter
+	fBilled      *telemetry.FloatCounter
+	gInflight    *telemetry.Gauge
+	hInvoke      *telemetry.Histogram
+	hColdStart   *telemetry.Histogram
+	hQueueWait   *telemetry.Histogram
 }
 
 // Options configures a Platform.
@@ -117,6 +141,10 @@ type Options struct {
 	Concurrency int
 	// Seed makes fault injection deterministic (default 1).
 	Seed int64
+	// Telemetry, when non-nil, turns on full instrumentation: per-stage
+	// spans (cold vs warm annotated) and latency histograms recorded into
+	// the shared registry. Nil keeps the platform at seed overhead.
+	Telemetry *telemetry.Telemetry
 }
 
 // NewPlatform builds an empty platform.
@@ -130,12 +158,30 @@ func NewPlatform(opts Options) *Platform {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	return &Platform{
+	p := &Platform{
 		profile:   opts.Profile,
 		sem:       make(chan struct{}, opts.Concurrency),
 		functions: make(map[string]*function),
 		rng:       rand.New(rand.NewSource(opts.Seed)),
 	}
+	if opts.Telemetry != nil {
+		p.instrumented = true
+		p.tracer = opts.Telemetry.Tracer()
+		p.metrics = opts.Telemetry.Metrics()
+		p.gInflight = p.metrics.Gauge(telemetry.MetFaaSInflight)
+		p.hInvoke = p.metrics.Histogram(telemetry.HistFaaSInvoke)
+		p.hColdStart = p.metrics.Histogram(telemetry.HistFaaSColdStart)
+		p.hQueueWait = p.metrics.Histogram(telemetry.HistFaaSQueueWait)
+	} else {
+		p.metrics = telemetry.NewRegistry()
+	}
+	p.cInvocations = p.metrics.Counter(telemetry.MetFaaSInvocations)
+	p.cColdStarts = p.metrics.Counter(telemetry.MetFaaSColdStarts)
+	p.cFailures = p.metrics.Counter(telemetry.MetFaaSFailures)
+	p.cTimeouts = p.metrics.Counter(telemetry.MetFaaSTimeouts)
+	p.cThrottled = p.metrics.Counter(telemetry.MetFaaSThrottled)
+	p.fBilled = p.metrics.Float(telemetry.MetFaaSBilledGBs)
+	return p
 }
 
 // Deploy registers (or replaces) a function.
@@ -156,12 +202,23 @@ func (p *Platform) Deploy(name string, handler Handler, cfg FunctionConfig) erro
 	return nil
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the classic counters.
+//
+// Deprecated: use Metrics().Snapshot() for the full registry including
+// latency histograms; Stats remains as a thin view for old call sites.
 func (p *Platform) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Invocations:    p.cInvocations.Value(),
+		ColdStarts:     p.cColdStarts.Value(),
+		Failures:       p.cFailures.Value(),
+		Timeouts:       p.cTimeouts.Value(),
+		BilledGBSecond: p.fBilled.Value(),
+	}
 }
+
+// Metrics exposes the platform's metrics registry (the private fallback
+// registry when no telemetry bundle was configured).
+func (p *Platform) Metrics() *telemetry.Registry { return p.metrics }
 
 // Invoke runs one synchronous (RequestResponse) invocation: it waits for a
 // concurrency slot, provisions a container (cold start if none is warm),
@@ -176,18 +233,50 @@ func (p *Platform) Invoke(ctx context.Context, name string, payload []byte) ([]b
 		return nil, fmt.Errorf("%w: %q", ErrNotDeployed, name)
 	}
 
+	// Telemetry: one faas.invoke span per invocation (child of the
+	// caller's cloud-thread span, which arrives through ctx), annotated
+	// cold/warm, with queue-wait and cold-start stage timings. All of
+	// this is skipped when the platform is uninstrumented.
+	var span *telemetry.Span
+	var invokeStart time.Time
+	if p.instrumented {
+		invokeStart = time.Now()
+		ctx, span = p.tracer.Start(ctx, telemetry.SpanFaaSInvoke)
+		span.SetAttr(telemetry.AttrFunction, name)
+		p.gInflight.Add(1)
+		defer func() {
+			p.gInflight.Add(-1)
+			p.hInvoke.Observe(time.Since(invokeStart))
+			span.End()
+		}()
+	}
+
 	// Concurrency admission.
 	if fn.cfg.NoQueue {
 		select {
 		case p.sem <- struct{}{}:
 		default:
+			p.cThrottled.Inc()
+			span.SetAttr(telemetry.AttrError, "throttled")
 			return nil, ErrThrottled
 		}
 	} else {
-		select {
-		case p.sem <- struct{}{}:
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if p.instrumented {
+			queued := time.Now()
+			select {
+			case p.sem <- struct{}{}:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			wait := time.Since(queued)
+			p.hQueueWait.Observe(wait)
+			span.AddTiming(telemetry.TimingQueueWait, wait)
+		} else {
+			select {
+			case p.sem <- struct{}{}:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
 	}
 	defer func() { <-p.sem }()
@@ -201,13 +290,21 @@ func (p *Platform) Invoke(ctx context.Context, name string, payload []byte) ([]b
 	fn.mu.Unlock()
 
 	if cold {
-		p.mu.Lock()
-		p.stats.ColdStarts++
-		p.mu.Unlock()
-		if err := p.profile.Delay(ctx, p.profile.ColdStart); err != nil {
+		p.cColdStarts.Inc()
+		span.SetAttr(telemetry.AttrCold, "true")
+		if p.instrumented {
+			provision := time.Now()
+			if err := p.profile.Delay(ctx, p.profile.ColdStart); err != nil {
+				return nil, err
+			}
+			d := time.Since(provision)
+			p.hColdStart.Observe(d)
+			span.AddTiming(telemetry.TimingColdStart, d)
+		} else if err := p.profile.Delay(ctx, p.profile.ColdStart); err != nil {
 			return nil, err
 		}
 	} else {
+		span.SetAttr(telemetry.AttrCold, "false")
 		if err := p.profile.Delay(ctx, p.profile.InvokeOverhead); err != nil {
 			return nil, err
 		}
@@ -220,12 +317,13 @@ func (p *Platform) Invoke(ctx context.Context, name string, payload []byte) ([]b
 	}()
 
 	// Fault injection, before user code like a sandbox-level failure.
+	p.cInvocations.Inc()
 	p.mu.Lock()
-	p.stats.Invocations++
 	failed := fn.cfg.FailureRate > 0 && p.rng.Float64() < fn.cfg.FailureRate
 	p.mu.Unlock()
 	if failed {
-		p.recordFailure()
+		p.cFailures.Inc()
+		span.SetAttr(telemetry.AttrError, "injected failure")
 		return nil, fmt.Errorf("%w: %s", ErrInjectedFailure, name)
 	}
 
@@ -241,27 +339,19 @@ func (p *Platform) Invoke(ctx context.Context, name string, payload []byte) ([]b
 	out, err := runHandler(runCtx, fn.handler, payload)
 	elapsed := time.Since(start)
 
-	p.mu.Lock()
-	p.stats.BilledGBSecond += p.modeledSeconds(elapsed) * float64(fn.cfg.MemoryMB) / 1024.0
-	p.mu.Unlock()
+	p.fBilled.Add(p.modeledSeconds(elapsed) * float64(fn.cfg.MemoryMB) / 1024.0)
 
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
-			p.mu.Lock()
-			p.stats.Timeouts++
-			p.mu.Unlock()
+			p.cTimeouts.Inc()
+			span.SetAttr(telemetry.AttrError, "timeout")
 			return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, name, fn.cfg.Timeout)
 		}
-		p.recordFailure()
+		p.cFailures.Inc()
+		span.SetAttr(telemetry.AttrError, err.Error())
 		return nil, err
 	}
 	return out, nil
-}
-
-func (p *Platform) recordFailure() {
-	p.mu.Lock()
-	p.stats.Failures++
-	p.mu.Unlock()
 }
 
 // modeledSeconds converts a measured wall-clock duration back to modeled

@@ -378,3 +378,50 @@ func TestManyClientsOneServer(t *testing.T) {
 }
 
 var _ net.Listener = (*memListener)(nil)
+
+func TestObserverSamplesCalls(t *testing.T) {
+	c := startPair(t, NewMemNetwork(), func(_ context.Context, kind uint8, payload []byte) ([]byte, error) {
+		if kind == 9 {
+			return nil, errors.New("boom")
+		}
+		return payload, nil
+	})
+	type sample struct {
+		kind uint8
+		rtt  time.Duration
+		sent int
+		err  error
+	}
+	var mu sync.Mutex
+	var samples []sample
+	c.SetObserver(func(kind uint8, rtt time.Duration, sent int, err error) {
+		mu.Lock()
+		samples = append(samples, sample{kind, rtt, sent, err})
+		mu.Unlock()
+	})
+	if _, err := c.Call(context.Background(), 1, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(context.Background(), 9, nil); err == nil {
+		t.Fatal("handler error not surfaced")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(samples) != 2 {
+		t.Fatalf("observer saw %d calls, want 2", len(samples))
+	}
+	if samples[0].kind != 1 || samples[0].sent != 3 || samples[0].err != nil || samples[0].rtt <= 0 {
+		t.Fatalf("first sample = %+v", samples[0])
+	}
+	if samples[1].kind != 9 || samples[1].err == nil {
+		t.Fatalf("second sample = %+v", samples[1])
+	}
+	// Removing the observer stops sampling.
+	c.SetObserver(nil)
+	if _, err := c.Call(context.Background(), 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("observer fired after removal: %d samples", len(samples))
+	}
+}

@@ -3,10 +3,12 @@ package server
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"crucial/internal/core"
 	"crucial/internal/ring"
-	"sync"
+	"crucial/internal/telemetry"
 )
 
 // entry is one resident object plus its monitor. The mutex serializes all
@@ -41,8 +43,29 @@ type nodeCtl struct {
 
 // Wait blocks until cond() holds, re-checking after every Broadcast on the
 // same object. It aborts with ErrStopped when the node shuts down.
+//
+// When the node is instrumented, time actually spent blocked is recorded
+// into the server.monitor_wait histogram and attributed to the active
+// server.invoke span (accumulated across multiple waits), so reports can
+// separate "the barrier was slow" from "the method was slow". A Wait whose
+// condition already holds records nothing.
 func (c nodeCtl) Wait(cond func() bool) error {
+	var start time.Time
+	blocked := false
+	if c.n.instrumented {
+		defer func() {
+			if blocked {
+				d := time.Since(start)
+				c.n.hMonitorWait.Observe(d)
+				telemetry.SpanFromContext(c.ctx).AddTiming(telemetry.TimingMonitor, d)
+			}
+		}()
+	}
 	for !cond() {
+		if c.n.instrumented && !blocked {
+			blocked = true
+			start = time.Now()
+		}
 		if c.n.closed.Load() {
 			return core.ErrStopped
 		}
@@ -118,14 +141,30 @@ func (n *Node) invokeLocal(ctx context.Context, inv core.Invocation) ([]any, err
 	return n.execOn(ctx, e, inv)
 }
 
-// execOn runs one method under the object monitor.
+// execOn runs one method under the object monitor. Instrumented nodes
+// attribute monitor acquisition time to the active span and record the
+// method's wall time (which includes any Ctl.Wait blocking — subtract the
+// span's monitor_wait timing for pure compute) in server.exec.
 func (n *Node) execOn(ctx context.Context, e *entry, inv core.Invocation) ([]any, error) {
+	if !n.instrumented {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.transferring {
+			return nil, core.ErrRebalancing
+		}
+		return e.obj.Call(nodeCtl{n: n, e: e, ctx: ctx}, inv.Method, inv.Args)
+	}
+	acquire := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	telemetry.SpanFromContext(ctx).AddTiming(telemetry.TimingAcquire, time.Since(acquire))
 	if e.transferring {
 		return nil, core.ErrRebalancing
 	}
-	return e.obj.Call(nodeCtl{n: n, e: e, ctx: ctx}, inv.Method, inv.Args)
+	execStart := time.Now()
+	results, err := e.obj.Call(nodeCtl{n: n, e: e, ctx: ctx}, inv.Method, inv.Args)
+	n.hExec.Observe(time.Since(execStart))
+	return results, err
 }
 
 // DebugObjectCount reports resident objects (tests and introspection).

@@ -19,6 +19,7 @@ import (
 	"crucial/internal/netsim"
 	"crucial/internal/ring"
 	"crucial/internal/rpc"
+	"crucial/internal/telemetry"
 	"crucial/internal/totalorder"
 )
 
@@ -35,6 +36,9 @@ const (
 	KindPing uint8 = 5
 	// KindAbort drops an abandoned total-order message.
 	KindAbort uint8 = 6
+	// KindStats returns the node's counters and telemetry snapshot
+	// (gob-encoded Snapshot) for dso-cli stats and cluster dashboards.
+	KindStats uint8 = 7
 )
 
 // Config wires one node into a cluster.
@@ -63,6 +67,10 @@ type Config struct {
 	// it would in a real deployment; by default it is off.
 	ServiceTime        time.Duration
 	ServiceConcurrency int
+	// Telemetry, when non-nil, records server-side spans (attached to the
+	// caller's trace via the invocation's TraceContext), execution and
+	// monitor-wait histograms, SMR round counters and an in-flight gauge.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c Config) validate() error {
@@ -127,6 +135,17 @@ type Node struct {
 	invocations atomic.Uint64
 	transfers   atomic.Uint64
 	smrOps      atomic.Uint64
+
+	// Telemetry handles; nil (no-op) when no bundle was configured.
+	instrumented bool
+	tracer       *telemetry.Tracer
+	metrics      *telemetry.Registry
+	cInvocations *telemetry.Counter
+	cSMRRounds   *telemetry.Counter
+	cTransfers   *telemetry.Counter
+	gInflight    *telemetry.Gauge
+	hExec        *telemetry.Histogram
+	hMonitorWait *telemetry.Histogram
 }
 
 // Start launches the node: it listens on cfg.Addr, joins the directory and
@@ -147,6 +166,17 @@ func Start(cfg Config) (*Node, error) {
 	}
 	if cfg.ServiceTime > 0 && cfg.ServiceConcurrency > 0 {
 		n.svcGate = make(chan struct{}, cfg.ServiceConcurrency)
+	}
+	if cfg.Telemetry != nil {
+		n.instrumented = true
+		n.tracer = cfg.Telemetry.Tracer()
+		n.metrics = cfg.Telemetry.Metrics()
+		n.cInvocations = n.metrics.Counter(telemetry.MetServerInvocations)
+		n.cSMRRounds = n.metrics.Counter(telemetry.MetServerSMRRounds)
+		n.cTransfers = n.metrics.Counter(telemetry.MetServerTransfers)
+		n.gInflight = n.metrics.Gauge(telemetry.MetServerInflight)
+		n.hExec = n.metrics.Histogram(telemetry.HistServerExec)
+		n.hMonitorWait = n.metrics.Histogram(telemetry.HistServerMonitorWait)
 	}
 	n.to = totalorder.NewNode(string(cfg.ID), n.deliverSMR)
 
@@ -177,6 +207,26 @@ func (n *Node) Stats() Stats {
 		Invocations: n.invocations.Load(),
 		Transfers:   n.transfers.Load(),
 		SMROps:      n.smrOps.Load(),
+	}
+}
+
+// Snapshot is the full introspection payload served over KindStats: the
+// classic counters plus the node's telemetry registry (empty when the node
+// runs uninstrumented).
+type Snapshot struct {
+	ID      string
+	Objects int
+	Stats   Stats
+	Metrics telemetry.Snapshot
+}
+
+// Snapshot captures the node's current state.
+func (n *Node) Snapshot() Snapshot {
+	return Snapshot{
+		ID:      string(n.cfg.ID),
+		Objects: n.DebugObjectCount(),
+		Stats:   n.Stats(),
+		Metrics: n.metrics.Snapshot(),
 	}
 }
 
@@ -256,6 +306,8 @@ func (n *Node) handle(ctx context.Context, kind uint8, payload []byte) ([]byte, 
 		return n.handleTransfer(payload)
 	case KindAbort:
 		return n.handleAbort(payload)
+	case KindStats:
+		return core.EncodeValue(n.Snapshot())
 	case KindPing:
 		return []byte("pong"), nil
 	default:
@@ -271,6 +323,25 @@ func (n *Node) handleInvoke(ctx context.Context, payload []byte) ([]byte, error)
 		return nil, err
 	}
 	n.invocations.Add(1)
+	// Telemetry: continue the client's trace across the RPC boundary via
+	// the invocation's TraceContext, and track queue depth (in-flight
+	// invocations on this node).
+	if n.instrumented {
+		n.cInvocations.Inc()
+		n.gInflight.Add(1)
+		defer n.gInflight.Add(-1)
+		var span *telemetry.Span
+		ctx, span = n.tracer.StartRemote(ctx, telemetry.SpanServerInvoke,
+			telemetry.SpanContext{TraceID: inv.Trace.TraceID, SpanID: inv.Trace.SpanID})
+		span.SetAttr(telemetry.AttrObjectType, inv.Ref.Type)
+		span.SetAttr(telemetry.AttrMethod, inv.Method)
+		if inv.Persist && n.cfg.RF > 1 {
+			span.SetAttr(telemetry.AttrPath, "smr")
+		} else {
+			span.SetAttr(telemetry.AttrPath, "local")
+		}
+		defer span.End()
+	}
 	if n.svcGate != nil {
 		select {
 		case n.svcGate <- struct{}{}:

@@ -146,6 +146,7 @@ func (n *Node) pushObject(ref core.Ref, e *entry, target ring.NodeID) error {
 		return fmt.Errorf("server: transfer %s to %s: %w", ref, target, err)
 	}
 	n.transfers.Add(1)
+	n.cTransfers.Inc()
 	return nil
 }
 
@@ -190,5 +191,6 @@ func (n *Node) handleTransfer(payload []byte) ([]byte, error) {
 	n.objects[msg.Ref] = e
 	n.objMu.Unlock()
 	n.transfers.Add(1)
+	n.cTransfers.Inc()
 	return nil, nil
 }

@@ -75,6 +75,7 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 		return nil, err
 	}
 	n.smrOps.Add(1)
+	n.cSMRRounds.Inc()
 	select {
 	case res := <-ch:
 		return res.results, res.err

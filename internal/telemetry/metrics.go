@@ -1,0 +1,506 @@
+// Package telemetry is the stdlib-only observability layer of the
+// reproduction: a Tracer records spans of the invocation path (cloud-thread
+// spawn, FaaS invoke, DSO round trip, server-side monitor acquire/execute)
+// into a bounded in-memory ring, and a Registry holds named counters,
+// gauges and latency histograms for every subsystem.
+//
+// Every entry point is nil-safe: methods on a nil *Tracer, *Registry,
+// *Counter, *Gauge, *FloatCounter, *Histogram or *Span are no-ops, so the
+// instrumentation hooks threaded through faas, client, server and cluster
+// cost nothing when telemetry is disabled (the default). Hot paths cache
+// the metric handles they use instead of re-resolving names per operation.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic uint64 counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous signed value (e.g. queue depth, in-flight
+// invocations).
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatCounter accumulates float64 contributions (billing totals).
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add contributes v.
+func (f *FloatCounter) Add(v float64) {
+	if f == nil {
+		return
+	}
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (f *FloatCounter) Value() float64 {
+	if f == nil {
+		return 0
+	}
+	return math.Float64frombits(f.bits.Load())
+}
+
+// histBuckets is the bucket count of every Histogram. Bucket i covers
+// durations whose microsecond value has bit length i (i.e. [2^(i-1), 2^i)
+// µs), so the range spans sub-microsecond to ~39 hours.
+const histBuckets = 48
+
+// Histogram is a lock-free latency histogram with exponential
+// (power-of-two microsecond) buckets. Quantiles are estimated from the
+// bucket midpoints, which is within a factor of sqrt(2) of the true value —
+// plenty for attributing where invocation time goes.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+	min     atomic.Int64 // ns; math.MaxInt64 when empty
+	max     atomic.Int64 // ns
+	buckets [histBuckets]atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	i := bits.Len64(us)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i in
+// microseconds.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+	for {
+		old := h.min.Load()
+		if int64(d) >= old || h.min.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if int64(d) <= old || h.max.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     time.Duration(h.sumNs.Load()),
+		Buckets: make([]uint64, histBuckets),
+	}
+	if s.Count > 0 {
+		s.Min = time.Duration(h.min.Load())
+		s.Max = time.Duration(h.max.Load())
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// HistogramSnapshot is the immutable, serializable state of a Histogram.
+// P50/P95/P99 are precomputed so JSON consumers (bench result files) can
+// track tail latency without re-deriving quantiles from the buckets.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     time.Duration `json:"sum_ns"`
+	Min     time.Duration `json:"min_ns"`
+	Max     time.Duration `json:"max_ns"`
+	P50     time.Duration `json:"p50_ns"`
+	P95     time.Duration `json:"p95_ns"`
+	P99     time.Duration `json:"p99_ns"`
+	Buckets []uint64      `json:"buckets,omitempty"`
+}
+
+// Mean returns the average sample.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile estimates the p-quantile (0..1) from the buckets, clamped to
+// the observed min/max.
+func (s HistogramSnapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(s.Count-1))
+	var seen uint64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen > rank {
+			// Midpoint of the bucket, clamped to observed extremes.
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketUpper(i - 1)
+			}
+			est := (lo + bucketUpper(i)) / 2
+			if est < s.Min {
+				est = s.Min
+			}
+			if s.Max > 0 && est > s.Max {
+				est = s.Max
+			}
+			return est
+		}
+	}
+	return s.Max
+}
+
+// Merge accumulates other into s (for aggregating per-node snapshots).
+func (s HistogramSnapshot) Merge(other HistogramSnapshot) HistogramSnapshot {
+	if s.Count == 0 {
+		return other
+	}
+	if other.Count == 0 {
+		return s
+	}
+	out := HistogramSnapshot{
+		Count:   s.Count + other.Count,
+		Sum:     s.Sum + other.Sum,
+		Min:     s.Min,
+		Max:     s.Max,
+		Buckets: make([]uint64, histBuckets),
+	}
+	if other.Min < out.Min {
+		out.Min = other.Min
+	}
+	if other.Max > out.Max {
+		out.Max = other.Max
+	}
+	for i := range out.Buckets {
+		if i < len(s.Buckets) {
+			out.Buckets[i] += s.Buckets[i]
+		}
+		if i < len(other.Buckets) {
+			out.Buckets[i] += other.Buckets[i]
+		}
+	}
+	out.P50, out.P95, out.P99 = out.Quantile(0.50), out.Quantile(0.95), out.Quantile(0.99)
+	return out
+}
+
+// Registry is a concurrency-safe collection of named metrics, created
+// lazily on first use. A nil *Registry hands out nil metric handles, whose
+// methods are no-ops, so callers never need to branch on "telemetry
+// enabled".
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	floats   map[string]*FloatCounter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		floats:   make(map[string]*FloatCounter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Float returns (creating if needed) the named float accumulator.
+func (r *Registry) Float(name string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	f := r.floats[name]
+	r.mu.RUnlock()
+	if f != nil {
+		return f
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f = r.floats[name]; f == nil {
+		f = &FloatCounter{}
+		r.floats[name] = f
+	}
+	return f
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a Registry, serializable with gob
+// and JSON (the shape emitted into bench result files and over the
+// KindStats RPC).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Floats     map[string]float64           `json:"floats,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric. A nil registry yields an empty (but
+// usable) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Floats:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, f := range r.floats {
+		s.Floats[name] = f.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Merge combines two snapshots (counters/floats add, gauges add,
+// histograms merge), used to aggregate per-node stats cluster-wide.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Floats:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range other.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range other.Gauges {
+		out.Gauges[k] += v
+	}
+	for k, v := range s.Floats {
+		out.Floats[k] = v
+	}
+	for k, v := range other.Floats {
+		out.Floats[k] += v
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = v
+	}
+	for k, v := range other.Histograms {
+		out.Histograms[k] = out.Histograms[k].Merge(v)
+	}
+	return out
+}
+
+// Empty reports whether the snapshot carries no metrics.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 &&
+		len(s.Floats) == 0 && len(s.Histograms) == 0
+}
+
+// Format renders the snapshot as a human-readable report: counters and
+// gauges first, then one line per histogram with count, mean and
+// p50/p95/p99.
+func (s Snapshot) Format(w io.Writer) {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-32s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-32s %d (gauge)\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Floats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-32s %.6f\n", n, s.Floats[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(w, "%-32s n=%-8d mean=%-10v p50=%-10v p95=%-10v p99=%-10v max=%v\n",
+			n, h.Count, h.Mean().Round(time.Microsecond),
+			h.P50.Round(time.Microsecond), h.P95.Round(time.Microsecond),
+			h.P99.Round(time.Microsecond), h.Max.Round(time.Microsecond))
+	}
+}
+
+// String renders the snapshot via Format.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	s.Format(&b)
+	return b.String()
+}

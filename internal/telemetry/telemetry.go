@@ -1,0 +1,100 @@
+package telemetry
+
+// Telemetry bundles the tracer and metrics registry that one deployment
+// (runtime, cluster, platform) shares. A nil *Telemetry is the disabled
+// state: its accessors return nil, and every hook downstream degrades to a
+// no-op.
+type Telemetry struct {
+	tracer  *Tracer
+	metrics *Registry
+}
+
+// New returns an enabled telemetry bundle with a DefaultSpanCapacity span
+// ring and an empty metrics registry.
+func New() *Telemetry {
+	return &Telemetry{tracer: NewTracer(0), metrics: NewRegistry()}
+}
+
+// NewWithCapacity sizes the span ring explicitly.
+func NewWithCapacity(spanCapacity int) *Telemetry {
+	return &Telemetry{tracer: NewTracer(spanCapacity), metrics: NewRegistry()}
+}
+
+// Tracer returns the span recorder (nil when disabled).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Metrics returns the metrics registry (nil when disabled).
+func (t *Telemetry) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
+
+// Snapshot captures the current metrics (empty when disabled).
+func (t *Telemetry) Snapshot() Snapshot {
+	return t.Metrics().Snapshot()
+}
+
+// Canonical metric names. Layers record under these so reports, bench JSON
+// and dso-cli stats agree on vocabulary; per-object-type call latencies
+// append the type name to MetClientCallPrefix.
+const (
+	// FaaS platform.
+	MetFaaSInvocations = "faas.invocations"
+	MetFaaSColdStarts  = "faas.cold_starts"
+	MetFaaSFailures    = "faas.failures"
+	MetFaaSTimeouts    = "faas.timeouts"
+	MetFaaSThrottled   = "faas.throttled"
+	MetFaaSBilledGBs   = "faas.billed_gb_seconds"
+	MetFaaSInflight    = "faas.inflight"
+	HistFaaSInvoke     = "faas.invoke"
+	HistFaaSColdStart  = "faas.cold_start"
+	HistFaaSQueueWait  = "faas.queue_wait"
+
+	// Cloud-thread layer.
+	MetThreadSpawns    = "thread.spawns"
+	MetThreadRetries   = "thread.retries"
+	HistThreadLifetime = "thread.lifetime"
+
+	// DSO client.
+	MetClientCalls      = "client.calls"
+	MetClientReroutes   = "client.reroutes"
+	HistClientRPC       = "client.rpc"
+	MetClientCallPrefix = "client.call."
+
+	// DSO server.
+	MetServerInvocations  = "server.invocations"
+	MetServerSMRRounds    = "server.smr_rounds"
+	MetServerTransfers    = "server.transfers"
+	MetServerInflight     = "server.inflight"
+	HistServerExec        = "server.exec"
+	HistServerMonitorWait = "server.monitor_wait"
+)
+
+// Span names and attributes used along the invocation path.
+const (
+	SpanThread       = "thread"
+	SpanFaaSInvoke   = "faas.invoke"
+	SpanClientInvoke = "client.invoke"
+	SpanServerInvoke = "server.invoke"
+
+	AttrCold        = "cold"
+	AttrFunction    = "function"
+	AttrThreadID    = "thread_id"
+	AttrAttempt     = "attempt"
+	AttrObjectType  = "object_type"
+	AttrObjectKey   = "object_key"
+	AttrMethod      = "method"
+	AttrPath        = "path" // "local" or "smr"
+	AttrError       = "error"
+	TimingMonitor   = "monitor_wait"
+	TimingAcquire   = "monitor_acquire"
+	TimingColdStart = "cold_start"
+	TimingQueueWait = "queue_wait"
+)

@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every hook must be a no-op on nil receivers: this is the disabled
+	// telemetry path threaded through faas/client/server.
+	var tel *Telemetry
+	if tel.Tracer() != nil || tel.Metrics() != nil {
+		t.Fatal("nil telemetry handed out non-nil components")
+	}
+	if !tel.Snapshot().Empty() {
+		t.Fatal("nil telemetry snapshot not empty")
+	}
+
+	var tr *Tracer
+	ctx, span := tr.Start(context.Background(), "x")
+	if span != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	span.SetAttr("k", "v")
+	span.AddTiming("k", time.Second)
+	span.End()
+	if span.Context().Valid() {
+		t.Fatal("nil span has valid context")
+	}
+	if tr.Spans() != nil || tr.Recorded() != 0 {
+		t.Fatal("nil tracer retained spans")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("nil span installed in context")
+	}
+
+	var reg *Registry
+	reg.Counter("c").Inc()
+	reg.Gauge("g").Add(1)
+	reg.Float("f").Add(1.5)
+	reg.Histogram("h").Observe(time.Second)
+	if reg.Counter("c").Value() != 0 || reg.Histogram("h").Count() != 0 {
+		t.Fatal("nil registry recorded values")
+	}
+	if !reg.Snapshot().Empty() {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestCountersGaugesFloats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Counter("a").Inc()
+	r.Gauge("g").Add(5)
+	r.Gauge("g").Add(-2)
+	r.Float("f").Add(1.25)
+	r.Float("f").Add(2.5)
+
+	s := r.Snapshot()
+	if s.Counters["a"] != 4 {
+		t.Fatalf("counter = %d, want 4", s.Counters["a"])
+	}
+	if s.Gauges["g"] != 3 {
+		t.Fatalf("gauge = %d, want 3", s.Gauges["g"])
+	}
+	if s.Floats["f"] != 3.75 {
+		t.Fatalf("float = %v, want 3.75", s.Floats["f"])
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	// 100 samples spread 1ms..100ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Exponential buckets estimate within a factor of ~2.
+	if s.P50 < 20*time.Millisecond || s.P50 > 100*time.Millisecond {
+		t.Fatalf("p50 = %v, want around 50ms", s.P50)
+	}
+	if s.P99 < s.P50 {
+		t.Fatalf("p99 %v < p50 %v", s.P99, s.P50)
+	}
+	if s.Mean() < 40*time.Millisecond || s.Mean() > 60*time.Millisecond {
+		t.Fatalf("mean = %v, want ~50.5ms", s.Mean())
+	}
+}
+
+func TestHistogramMergeAndFormat(t *testing.T) {
+	a, b := newHistogram(), newHistogram()
+	a.Observe(time.Millisecond)
+	b.Observe(100 * time.Millisecond)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 2 || m.Min != time.Millisecond || m.Max != 100*time.Millisecond {
+		t.Fatalf("merge = %+v", m)
+	}
+
+	r := NewRegistry()
+	r.Counter("faas.invocations").Add(7)
+	r.Histogram("server.exec").Observe(2 * time.Millisecond)
+	out := r.Snapshot().String()
+	if !strings.Contains(out, "faas.invocations") || !strings.Contains(out, "p99=") {
+		t.Fatalf("format output missing fields:\n%s", out)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("c").Add(1)
+	r2.Counter("c").Add(2)
+	r2.Counter("only2").Inc()
+	r1.Histogram("h").Observe(time.Millisecond)
+	r2.Histogram("h").Observe(3 * time.Millisecond)
+	m := r1.Snapshot().Merge(r2.Snapshot())
+	if m.Counters["c"] != 3 || m.Counters["only2"] != 1 {
+		t.Fatalf("counters = %v", m.Counters)
+	}
+	if m.Histograms["h"].Count != 2 {
+		t.Fatalf("histogram count = %d", m.Histograms["h"].Count)
+	}
+}
+
+func TestSpanParentChildPropagation(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, root := tr.Start(context.Background(), "root")
+	_, child := tr.Start(ctx, "child")
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Fatal("child not in parent's trace")
+	}
+	child.SetAttr("k", "v")
+	child.AddTiming("wait", 2*time.Millisecond)
+	child.AddTiming("wait", 3*time.Millisecond)
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	// Ring records in End order: child first.
+	c, r := spans[0], spans[1]
+	if c.ParentID != r.SpanID {
+		t.Fatalf("child parent %d, root span %d", c.ParentID, r.SpanID)
+	}
+	if c.Attrs["k"] != "v" {
+		t.Fatalf("attrs = %v", c.Attrs)
+	}
+	if c.Timings["wait"] != 5*time.Millisecond {
+		t.Fatalf("timings = %v", c.Timings)
+	}
+	got := tr.TraceSpans(r.TraceID)
+	if len(got) != 2 {
+		t.Fatalf("TraceSpans = %d spans", len(got))
+	}
+}
+
+func TestStartRemoteContinuesTrace(t *testing.T) {
+	client, server := NewTracer(8), NewTracer(8)
+	_, s := client.Start(context.Background(), "client.invoke")
+	wire := s.Context() // what travels inside core.Invocation
+	_, remote := server.StartRemote(context.Background(), "server.invoke", wire)
+	if remote.Context().TraceID != wire.TraceID {
+		t.Fatal("remote span lost the trace")
+	}
+	remote.End()
+	s.End()
+	if got := server.Spans(); len(got) != 1 || got[0].ParentID != wire.SpanID {
+		t.Fatalf("server spans = %+v", got)
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		_, s := tr.Start(context.Background(), "s")
+		s.End()
+	}
+	if got := len(tr.Spans()); got != 4 {
+		t.Fatalf("ring kept %d spans, want 4", got)
+	}
+	if tr.Recorded() != 10 {
+		t.Fatalf("recorded = %d, want 10", tr.Recorded())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tel := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				ctx, s := tel.Tracer().Start(context.Background(), "op")
+				_, c := tel.Tracer().Start(ctx, "child")
+				c.End()
+				s.End()
+				tel.Metrics().Counter("ops").Inc()
+				tel.Metrics().Histogram("lat").Observe(time.Duration(j) * time.Microsecond)
+				tel.Metrics().Gauge("depth").Add(1)
+				tel.Metrics().Gauge("depth").Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := tel.Snapshot()
+	if s.Counters["ops"] != 1600 {
+		t.Fatalf("ops = %d", s.Counters["ops"])
+	}
+	if s.Histograms["lat"].Count != 1600 {
+		t.Fatalf("lat count = %d", s.Histograms["lat"].Count)
+	}
+	if s.Gauges["depth"] != 0 {
+		t.Fatalf("depth = %d", s.Gauges["depth"])
+	}
+	if tel.Tracer().Recorded() != 3200 {
+		t.Fatalf("recorded = %d", tel.Tracer().Recorded())
+	}
+}

@@ -1,0 +1,258 @@
+package telemetry
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext is the wire-propagatable identity of a span: enough for a
+// remote layer (the DSO server, reached over RPC) to attach its own spans
+// to the caller's trace. The zero value means "no trace".
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+// SpanData is the immutable record of one finished span, as stored in the
+// tracer's ring and returned by Spans.
+type SpanData struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	// Attrs are string annotations set during the span (cold/warm,
+	// function name, object type...).
+	Attrs map[string]string
+	// Timings attribute portions of the span's duration to named stages
+	// (e.g. monitor_wait accumulated across Ctl.Wait calls).
+	Timings map[string]time.Duration
+}
+
+// Span is one in-flight operation. It is created by Tracer.Start and
+// recorded into the tracer's ring by End. A nil *Span is a valid no-op
+// receiver for every method, which is how the disabled-telemetry path
+// stays free of branches at call sites.
+type Span struct {
+	tracer *Tracer
+	start  time.Time
+
+	mu   sync.Mutex
+	data SpanData
+}
+
+// Context returns the span's propagatable identity.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.data.TraceID, SpanID: s.data.SpanID}
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(map[string]string, 4)
+	}
+	s.data.Attrs[key] = value
+	s.mu.Unlock()
+}
+
+// AddTiming attributes d to the named stage, accumulating across calls
+// (a monitor can be waited on several times within one invocation).
+func (s *Span) AddTiming(key string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.data.Timings == nil {
+		s.data.Timings = make(map[string]time.Duration, 2)
+	}
+	s.data.Timings[key] += d
+	s.mu.Unlock()
+}
+
+// End finishes the span and records it into the tracer's ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.data.Duration = time.Since(s.start)
+	data := s.data
+	// Copy the maps so later mutation (there should be none) cannot race
+	// with readers of the ring.
+	if data.Attrs != nil {
+		attrs := make(map[string]string, len(data.Attrs))
+		for k, v := range data.Attrs {
+			attrs[k] = v
+		}
+		data.Attrs = attrs
+	}
+	if data.Timings != nil {
+		timings := make(map[string]time.Duration, len(data.Timings))
+		for k, v := range data.Timings {
+			timings[k] = v
+		}
+		data.Timings = timings
+	}
+	s.mu.Unlock()
+	s.tracer.record(data)
+}
+
+// DefaultSpanCapacity is the ring size used by NewTracer(0).
+const DefaultSpanCapacity = 4096
+
+// Tracer records finished spans into a bounded in-memory ring: the newest
+// DefaultSpanCapacity (or the configured capacity) spans are retained,
+// older ones are overwritten. All methods are safe for concurrent use and
+// nil-safe.
+type Tracer struct {
+	ids atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []SpanData
+	next  int
+	total uint64
+}
+
+// NewTracer returns a tracer retaining the last capacity spans
+// (DefaultSpanCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	t := &Tracer{ring: make([]SpanData, 0, capacity)}
+	// Seed the ID space so two tracers in one process (e.g. separate
+	// client and server deployments) are unlikely to collide.
+	t.ids.Store(rand.Uint64() >> 16) //nolint:gosec // not security-sensitive
+	return t
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the active span, or nil (a valid no-op span).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// ContextOf returns the SpanContext of the active span in ctx.
+func ContextOf(ctx context.Context) SpanContext {
+	return SpanFromContext(ctx).Context()
+}
+
+// Start begins a span as a child of the active span in ctx (or a new root
+// trace), returning ctx with the new span installed. On a nil tracer it
+// returns ctx unchanged and a nil span.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	return t.startSpan(ctx, name, SpanFromContext(ctx).Context())
+}
+
+// StartRemote begins a span whose parent arrived over the wire (the DSO
+// server continuing a client trace). An invalid parent starts a new root.
+func (t *Tracer) StartRemote(ctx context.Context, name string, parent SpanContext) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	return t.startSpan(ctx, name, parent)
+}
+
+func (t *Tracer) startSpan(ctx context.Context, name string, parent SpanContext) (context.Context, *Span) {
+	s := &Span{
+		tracer: t,
+		start:  time.Now(),
+	}
+	s.data = SpanData{
+		SpanID: t.ids.Add(1),
+		Name:   name,
+		Start:  s.start,
+	}
+	if parent.Valid() {
+		s.data.TraceID = parent.TraceID
+		s.data.ParentID = parent.SpanID
+	} else {
+		s.data.TraceID = t.ids.Add(1)
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// record appends one finished span to the ring.
+func (t *Tracer) record(data SpanData) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, data)
+	} else {
+		t.ring[t.next] = data
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first. Nil tracers return nil.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		out = append(out, t.ring...)
+	} else {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	}
+	return out
+}
+
+// TraceSpans returns the retained spans of one trace, oldest first.
+func (t *Tracer) TraceSpans(traceID uint64) []SpanData {
+	var out []SpanData
+	for _, s := range t.Spans() {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Recorded returns the total number of spans ever recorded (including
+// those already overwritten in the ring).
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

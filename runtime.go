@@ -11,6 +11,7 @@ import (
 	"crucial/internal/core"
 	"crucial/internal/faas"
 	"crucial/internal/netsim"
+	"crucial/internal/telemetry"
 )
 
 // RunnerFunction is the name of the generic serverless function the
@@ -43,6 +44,11 @@ type Options struct {
 	FailureRate float64
 	// DefaultRetry is the retry policy applied by NewThread.
 	DefaultRetry RetryPolicy
+	// Telemetry, when non-nil, turns on end-to-end instrumentation: every
+	// layer (cloud threads, FaaS platform, DSO client and servers) records
+	// spans and metrics into this one bundle. Nil (the default) disables
+	// all instrumentation at zero cost. Use telemetry.New().
+	Telemetry *telemetry.Telemetry
 }
 
 // Runtime is a complete local Crucial deployment: the FaaS platform
@@ -61,6 +67,14 @@ type Runtime struct {
 	defaultRetry RetryPolicy
 	profile      *netsim.Profile
 
+	// Telemetry handles; nil/no-op when Options.Telemetry was unset.
+	tel          *telemetry.Telemetry
+	instrumented bool
+	tracer       *telemetry.Tracer
+	cSpawns      *telemetry.Counter
+	cRetries     *telemetry.Counter
+	hLifetime    *telemetry.Histogram
+
 	threadSeq atomic.Int64
 }
 
@@ -70,10 +84,11 @@ func NewLocalRuntime(opts Options) (*Runtime, error) {
 		opts.Profile = netsim.Zero()
 	}
 	clu, err := cluster.StartLocal(cluster.Options{
-		Nodes:    opts.DSONodes,
-		RF:       opts.RF,
-		Profile:  opts.Profile,
-		Registry: opts.Registry,
+		Nodes:     opts.DSONodes,
+		RF:        opts.RF,
+		Profile:   opts.Profile,
+		Registry:  opts.Registry,
+		Telemetry: opts.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("crucial: start DSO cluster: %w", err)
@@ -84,10 +99,20 @@ func NewLocalRuntime(opts Options) (*Runtime, error) {
 		functionName: RunnerFunction,
 		defaultRetry: opts.DefaultRetry,
 		profile:      opts.Profile,
+		tel:          opts.Telemetry,
+	}
+	if opts.Telemetry != nil {
+		rt.instrumented = true
+		rt.tracer = opts.Telemetry.Tracer()
+		m := opts.Telemetry.Metrics()
+		rt.cSpawns = m.Counter(telemetry.MetThreadSpawns)
+		rt.cRetries = m.Counter(telemetry.MetThreadRetries)
+		rt.hLifetime = m.Histogram(telemetry.HistThreadLifetime)
 	}
 	rt.platform = faas.NewPlatform(faas.Options{
 		Profile:     opts.Profile,
 		Concurrency: opts.Concurrency,
+		Telemetry:   opts.Telemetry,
 	})
 	if rt.fnClient, err = clu.NewClient(); err != nil {
 		_ = clu.Close()
@@ -145,6 +170,18 @@ func (rt *Runtime) Cluster() *cluster.Cluster { return rt.clu }
 
 // Profile returns the latency profile in effect.
 func (rt *Runtime) Profile() *netsim.Profile { return rt.profile }
+
+// Telemetry returns the runtime's telemetry bundle (nil when disabled).
+func (rt *Runtime) Telemetry() *telemetry.Telemetry { return rt.tel }
+
+// Metrics snapshots every counter, gauge and latency histogram recorded so
+// far across all layers. The snapshot is empty when telemetry is disabled.
+func (rt *Runtime) Metrics() telemetry.Snapshot { return rt.tel.Snapshot() }
+
+// Trace returns the recorded spans, oldest first (empty when telemetry is
+// disabled). Spans from one logical cloud-thread invocation share a
+// TraceID: thread → faas.invoke → client.invoke → server.invoke.
+func (rt *Runtime) Trace() []telemetry.SpanData { return rt.tel.Tracer().Spans() }
 
 // Prewarm provisions n warm runner containers, excluding cold starts from
 // a measurement (the paper's global barrier before measuring).

@@ -2,6 +2,7 @@ package crucial
 
 import (
 	"context"
+	"fmt"
 
 	"crucial/internal/core"
 	"crucial/internal/objects"
@@ -65,18 +66,64 @@ func NewShared(typeName, key string, init []any, opts ...Option) *Shared {
 	return &Shared{H: NewHandle(typeName, key, opts...)}
 }
 
-// Call ships one method invocation to the object.
-func (s *Shared) Call(ctx context.Context, method string, args ...any) ([]any, error) {
+// Invoke ships one method invocation to the object and returns its raw
+// results. It is the root of the call surface; the CallN helpers below add
+// arity-typed results on top of it.
+func (s *Shared) Invoke(ctx context.Context, method string, args ...any) ([]any, error) {
 	return s.H.Invoke(ctx, method, args...)
 }
 
-// CallVoid ships a method invocation and discards its results.
-func (s *Shared) CallVoid(ctx context.Context, method string, args ...any) error {
+// Call0 ships a method invocation that returns no results (or whose
+// results the caller discards).
+func Call0(ctx context.Context, s *Shared, method string, args ...any) error {
 	_, err := s.H.Invoke(ctx, method, args...)
 	return err
 }
 
-// CallOne ships a method invocation and returns its single typed result.
-func CallOne[T any](ctx context.Context, s *Shared, method string, args ...any) (T, error) {
+// Call1 ships a method invocation and returns its single typed result.
+func Call1[T any](ctx context.Context, s *Shared, method string, args ...any) (T, error) {
 	return result0[T](s.H.Invoke(ctx, method, args...))
+}
+
+// Call2 ships a method invocation and returns its two typed results.
+func Call2[T1, T2 any](ctx context.Context, s *Shared, method string, args ...any) (T1, T2, error) {
+	var zero1 T1
+	var zero2 T2
+	res, err := s.H.Invoke(ctx, method, args...)
+	if err != nil {
+		return zero1, zero2, err
+	}
+	if len(res) < 2 {
+		return zero1, zero2, fmt.Errorf("crucial: %s returned %d results, want 2", method, len(res))
+	}
+	v1, ok := res[0].(T1)
+	if !ok {
+		return zero1, zero2, fmt.Errorf("crucial: result 0 has type %T, want %T", res[0], zero1)
+	}
+	v2, ok := res[1].(T2)
+	if !ok {
+		return zero1, zero2, fmt.Errorf("crucial: result 1 has type %T, want %T", res[1], zero2)
+	}
+	return v1, v2, nil
+}
+
+// Call ships one method invocation to the object.
+//
+// Deprecated: use Invoke.
+func (s *Shared) Call(ctx context.Context, method string, args ...any) ([]any, error) {
+	return s.Invoke(ctx, method, args...)
+}
+
+// CallVoid ships a method invocation and discards its results.
+//
+// Deprecated: use Call0.
+func (s *Shared) CallVoid(ctx context.Context, method string, args ...any) error {
+	return Call0(ctx, s, method, args...)
+}
+
+// CallOne ships a method invocation and returns its single typed result.
+//
+// Deprecated: use Call1.
+func CallOne[T any](ctx context.Context, s *Shared, method string, args ...any) (T, error) {
+	return Call1[T](ctx, s, method, args...)
 }

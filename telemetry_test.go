@@ -1,0 +1,204 @@
+package crucial
+
+import (
+	"testing"
+	"time"
+
+	"crucial/internal/telemetry"
+)
+
+// telemWorker is the instrumented-path workload: bump a counter, then
+// optionally meet the others at a barrier (which blocks server side).
+type telemWorker struct {
+	Counter *AtomicLong
+	Barrier *CyclicBarrier
+	Pause   time.Duration
+}
+
+func (w *telemWorker) Run(tc *TC) error {
+	ctx := tc.Context()
+	if w.Pause > 0 {
+		time.Sleep(w.Pause)
+	}
+	if _, err := w.Counter.IncrementAndGet(ctx); err != nil {
+		return err
+	}
+	if w.Barrier != nil {
+		if _, err := w.Barrier.Await(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestSpanPropagationColdWarm runs one cold and one warm invocation and
+// checks that each produces a single trace spanning all four layers, with
+// correct parent links and cold/warm annotation.
+func TestSpanPropagationColdWarm(t *testing.T) {
+	Register(&telemWorker{})
+	tel := telemetry.New()
+	rt := testRuntime(t, Options{Telemetry: tel})
+
+	for i := 0; i < 2; i++ {
+		th := rt.NewThread(&telemWorker{Counter: NewAtomicLong("tspan/counter")})
+		th.Start()
+		if err := th.Join(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	spans := rt.Trace()
+	byName := make(map[string][]telemetry.SpanData)
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	threadSpans := byName[telemetry.SpanThread]
+	faasSpans := byName[telemetry.SpanFaaSInvoke]
+	if len(threadSpans) != 2 || len(faasSpans) != 2 {
+		t.Fatalf("got %d thread and %d faas.invoke spans, want 2 and 2",
+			len(threadSpans), len(faasSpans))
+	}
+
+	// Each trace must contain the full chain thread -> faas.invoke ->
+	// client.invoke -> server.invoke with parent links intact.
+	for _, root := range threadSpans {
+		if root.ParentID != 0 {
+			t.Fatalf("thread span has parent %d, want root", root.ParentID)
+		}
+		var faas, cli, srv *telemetry.SpanData
+		for i := range spans {
+			s := &spans[i]
+			if s.TraceID != root.TraceID {
+				continue
+			}
+			switch s.Name {
+			case telemetry.SpanFaaSInvoke:
+				faas = s
+			case telemetry.SpanClientInvoke:
+				cli = s
+			case telemetry.SpanServerInvoke:
+				srv = s
+			}
+		}
+		if faas == nil || cli == nil || srv == nil {
+			t.Fatalf("trace %x missing layers: faas=%v cli=%v srv=%v",
+				root.TraceID, faas != nil, cli != nil, srv != nil)
+		}
+		if faas.ParentID != root.SpanID {
+			t.Fatalf("faas.invoke parent = %d, want thread span %d", faas.ParentID, root.SpanID)
+		}
+		if cli.ParentID != faas.SpanID {
+			t.Fatalf("client.invoke parent = %d, want faas.invoke %d", cli.ParentID, faas.SpanID)
+		}
+		if srv.ParentID != cli.SpanID {
+			t.Fatalf("server.invoke parent = %d, want client.invoke %d (cross-RPC propagation)",
+				srv.ParentID, cli.SpanID)
+		}
+		if srv.Attrs[telemetry.AttrMethod] != "IncrementAndGet" {
+			t.Fatalf("server.invoke method = %q", srv.Attrs[telemetry.AttrMethod])
+		}
+	}
+
+	// First invocation cold, second warm (the container is reused).
+	colds := map[string]int{}
+	for _, f := range faasSpans {
+		colds[f.Attrs[telemetry.AttrCold]]++
+	}
+	if colds["true"] != 1 || colds["false"] != 1 {
+		t.Fatalf("cold annotations = %v, want one cold and one warm", colds)
+	}
+	if c := tel.Snapshot().Counters[telemetry.MetFaaSColdStarts]; c != 1 {
+		t.Fatalf("faas.cold_starts = %d, want 1", c)
+	}
+}
+
+// TestMonitorWaitAttribution blocks one thread on a barrier and checks the
+// wait shows up in the server.monitor_wait histogram and is attributed to
+// the Await invocation's span (so slow-barrier and slow-method are
+// distinguishable in reports).
+func TestMonitorWaitAttribution(t *testing.T) {
+	Register(&telemWorker{})
+	tel := telemetry.New()
+	rt := testRuntime(t, Options{Telemetry: tel})
+
+	const parties = 2
+	rs := make([]Runnable, parties)
+	for i := range rs {
+		w := &telemWorker{
+			Counter: NewAtomicLong("tmon/counter"),
+			Barrier: NewCyclicBarrier("tmon/barrier", parties),
+		}
+		if i == parties-1 {
+			// The last thread arrives late, so the others measurably block.
+			w.Pause = 30 * time.Millisecond
+		}
+		rs[i] = w
+	}
+	if err := JoinAll(rt.SpawnAll(rs...)); err != nil {
+		t.Fatal(err)
+	}
+
+	h, ok := rt.Metrics().Histograms[telemetry.HistServerMonitorWait]
+	if !ok || h.Count == 0 {
+		t.Fatalf("server.monitor_wait empty: %+v", h)
+	}
+	if h.Max < 10*time.Millisecond {
+		t.Fatalf("server.monitor_wait max = %v, want >= 10ms of real blocking", h.Max)
+	}
+	var attributed bool
+	for _, s := range rt.Trace() {
+		if s.Name == telemetry.SpanServerInvoke &&
+			s.Attrs[telemetry.AttrMethod] == "Await" &&
+			s.Timings[telemetry.TimingMonitor] >= 10*time.Millisecond {
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Fatal("no server.invoke span for Await carries a monitor_wait timing")
+	}
+}
+
+// TestTelemetryDisabled checks the nil-telemetry runtime degrades cleanly.
+func TestTelemetryDisabled(t *testing.T) {
+	Register(&telemWorker{})
+	rt := testRuntime(t, Options{})
+	th := rt.NewThread(&telemWorker{Counter: NewAtomicLong("toff/counter")})
+	th.Start()
+	if err := th.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Telemetry() != nil {
+		t.Fatal("Telemetry() non-nil without Options.Telemetry")
+	}
+	if !rt.Metrics().Empty() {
+		t.Fatalf("Metrics() = %+v, want empty", rt.Metrics())
+	}
+	if len(rt.Trace()) != 0 {
+		t.Fatalf("Trace() returned %d spans, want none", len(rt.Trace()))
+	}
+}
+
+// benchInvoke measures one master-client DSO read through the full client
+// and server path, with and without telemetry, guarding the claim that
+// disabled instrumentation costs nothing measurable.
+func benchInvoke(b *testing.B, tel *telemetry.Telemetry) {
+	rt, err := NewLocalRuntime(Options{Telemetry: tel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = rt.Close() }()
+	a := NewAtomicLong("bench/counter")
+	rt.Bind(a)
+	if _, err := a.IncrementAndGet(bg()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Get(bg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInvokeTelemetryOff(b *testing.B) { benchInvoke(b, nil) }
+func BenchmarkInvokeTelemetryOn(b *testing.B)  { benchInvoke(b, telemetry.New()) }

@@ -9,6 +9,7 @@ import (
 
 	"crucial/internal/core"
 	"crucial/internal/netsim"
+	"crucial/internal/telemetry"
 )
 
 // TC is the thread context handed to a Runnable: the invocation context,
@@ -53,15 +54,22 @@ func Register(r Runnable) {
 	gob.Register(r)
 }
 
-// RetryPolicy controls re-execution of failed cloud threads
-// (paper Section 4.4: the user controls how many retries are allowed and
-// the time between them; re-execution must be made idempotent by the
-// application, e.g. via a shared iteration counter).
-type RetryPolicy struct {
-	// MaxRetries is the number of re-invocations after the first failure.
-	MaxRetries int
-	// Backoff is the modeled pause between attempts.
-	Backoff time.Duration
+// RetryPolicy controls re-execution of failed cloud threads and re-routing
+// of DSO calls (paper Section 4.4: the user controls how many retries are
+// allowed and the time between them; re-execution must be made idempotent
+// by the application, e.g. via a shared iteration counter).
+//
+// It is an alias of core.RetryPolicy, the single policy type shared by
+// every retrying layer. The zero Multiplier/Jitter mean a constant pause,
+// so pre-existing literals like RetryPolicy{MaxRetries: 3, Backoff: time.
+// Millisecond} behave exactly as before; set Multiplier/MaxBackoff/Jitter
+// for exponential backoff.
+type RetryPolicy = core.RetryPolicy
+
+// ExponentialRetry builds a jittered exponential policy (doubling pauses
+// capped at maxBackoff). A convenience re-export of core.ExponentialRetry.
+func ExponentialRetry(maxRetries int, backoff, maxBackoff time.Duration) RetryPolicy {
+	return core.ExponentialRetry(maxRetries, backoff, maxBackoff)
 }
 
 // threadEnv is the invocation payload: the Runnable itself plus the thread
@@ -117,17 +125,38 @@ func (t *CloudThread) StartCtx(ctx context.Context) {
 
 // invokeWithRetries re-invokes the function with the exact same payload on
 // failure, mirroring Lambda's replay semantics under the application's
-// policy.
+// policy. Pauses between attempts follow the policy's backoff schedule
+// (constant, or exponential with jitter when Multiplier/Jitter are set).
 func (t *CloudThread) invokeWithRetries(ctx context.Context) error {
+	// Telemetry: the thread span is the trace root — faas.invoke, the
+	// client's RPC and the server-side execution all nest under it.
+	var span *telemetry.Span
+	if t.rt.instrumented {
+		t.rt.cSpawns.Inc()
+		start := time.Now()
+		var sctx context.Context
+		sctx, span = t.rt.tracer.Start(ctx, telemetry.SpanThread)
+		ctx = sctx
+		span.SetAttr(telemetry.AttrThreadID, fmt.Sprint(t.id))
+		defer func() {
+			t.rt.hLifetime.Observe(time.Since(start))
+			span.End()
+		}()
+	}
+
 	payload, err := encodeThreadEnv(threadEnv{R: t.r, ID: t.id})
 	if err != nil {
 		return err
 	}
 	var lastErr error
-	for attempt := 0; attempt <= t.retry.MaxRetries; attempt++ {
-		if attempt > 0 && t.retry.Backoff > 0 {
-			if err := netsim.Sleep(ctx, t.rt.profile.Scaled(t.retry.Backoff)); err != nil {
-				return err
+	for attempt := 0; attempt < t.retry.Attempts(); attempt++ {
+		if attempt > 0 {
+			t.rt.cRetries.Inc()
+			span.SetAttr(telemetry.AttrAttempt, fmt.Sprint(attempt+1))
+			if d := t.retry.Delay(attempt, nil); d > 0 {
+				if err := netsim.Sleep(ctx, t.rt.profile.Scaled(d)); err != nil {
+					return err
+				}
 			}
 		}
 		if _, err := t.rt.platform.Invoke(ctx, t.rt.functionName, payload); err != nil {
@@ -136,8 +165,9 @@ func (t *CloudThread) invokeWithRetries(ctx context.Context) error {
 		}
 		return nil
 	}
+	span.SetAttr(telemetry.AttrError, fmt.Sprint(lastErr))
 	return fmt.Errorf("crucial: thread %d failed after %d attempts: %w",
-		t.id, t.retry.MaxRetries+1, lastErr)
+		t.id, t.retry.Attempts(), lastErr)
 }
 
 // Join blocks until the cloud thread finishes, returning its error (the
