@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet fmt race bench cover verify
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# fmt fails (listing the offenders) when any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -17,6 +22,10 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkInvokeTelemetry' -benchtime 2000x .
 
-# verify is the tier-1 gate (see ROADMAP.md): everything must compile, vet
-# clean, and pass under the race detector.
-verify: vet build race
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# verify is the tier-1 gate (see ROADMAP.md): everything must be gofmt
+# clean, compile, vet clean, and pass under the race detector.
+verify: fmt vet build race

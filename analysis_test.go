@@ -1,0 +1,116 @@
+package crucial
+
+import (
+	"testing"
+
+	"crucial/internal/netsim"
+	"crucial/internal/telemetry"
+	"crucial/internal/telemetry/analysis"
+)
+
+// TestCriticalPathReportCoversWallTime is the acceptance check for the
+// analytics layer: on a real instrumented runtime, the per-category
+// attribution must account for (nearly) all trace wall time — every
+// nanosecond of every root span lands in exactly one category, so the sum
+// may only drift from the total by clock-clamping noise, bounded at 5%.
+func TestCriticalPathReportCoversWallTime(t *testing.T) {
+	Register(&telemWorker{})
+	tel := telemetry.New()
+	// A compressed AWS profile so cold starts and RPC hops take real
+	// (if tiny) time: the category assertions below must not depend on
+	// nanosecond clock deltas.
+	rt := testRuntime(t, Options{
+		DSONodes:  2,
+		Profile:   netsim.AWS2019(0.002),
+		Telemetry: tel,
+	})
+
+	const threads = 6
+	rs := make([]Runnable, threads)
+	for i := range rs {
+		rs[i] = &telemWorker{
+			Counter: NewAtomicLong("analysis/counter"),
+			Barrier: NewCyclicBarrier("analysis/barrier", threads),
+		}
+	}
+	if err := JoinAll(rt.SpawnAll(rs...)); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := analysis.Analyze(rt.Trace())
+	if rep.Traces != threads {
+		t.Fatalf("analyzed %d traces, want %d", rep.Traces, threads)
+	}
+	if rep.Total <= 0 {
+		t.Fatal("report total is zero")
+	}
+	sum := rep.CategorySum()
+	diff := rep.Total - sum
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.05*float64(rep.Total) {
+		t.Fatalf("category sum %v deviates from total %v by %v (> 5%%)\n%s",
+			sum, rep.Total, diff, rep)
+	}
+
+	// The workload blocks threads on a barrier and pays cold starts, so
+	// those categories must be populated — an all-"other" report would
+	// trivially pass the sum check while attributing nothing.
+	for _, cat := range []string{analysis.CatColdStart, analysis.CatMonitorWait, analysis.CatRPC} {
+		if rep.Categories[cat] <= 0 {
+			t.Fatalf("category %s empty in report:\n%s", cat, rep)
+		}
+	}
+	if rep.Slowest == nil || len(rep.Slowest.Path) == 0 {
+		t.Fatal("report has no critical path for the slowest trace")
+	}
+	// The critical path starts at the thread root and is time-ordered.
+	if rep.Slowest.Path[0].Name != telemetry.SpanThread {
+		t.Fatalf("critical path starts at %q, want %q",
+			rep.Slowest.Path[0].Name, telemetry.SpanThread)
+	}
+}
+
+// TestEnableTelemetryOption covers the runtime-level enablement knob: the
+// runtime builds its own bundle, sized by TelemetrySpanCapacity.
+func TestEnableTelemetryOption(t *testing.T) {
+	rt := testRuntime(t, Options{EnableTelemetry: true, TelemetrySpanCapacity: 64})
+	if rt.Telemetry() == nil {
+		t.Fatal("EnableTelemetry did not build a bundle")
+	}
+	Register(&telemWorker{})
+	th := rt.NewThread(&telemWorker{Counter: NewAtomicLong("enable/counter")})
+	th.Start()
+	if err := th.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Trace()) == 0 {
+		t.Fatal("instrumented runtime recorded no spans")
+	}
+}
+
+// TestTelemetryEnvToggle covers CRUCIAL_TELEMETRY: a runtime built with a
+// zero Options still comes up instrumented when the environment asks.
+func TestTelemetryEnvToggle(t *testing.T) {
+	t.Setenv("CRUCIAL_TELEMETRY", "1")
+	t.Setenv("CRUCIAL_SPAN_CAPACITY", "32")
+	rt := testRuntime(t, Options{})
+	if rt.Telemetry() == nil {
+		t.Fatal("CRUCIAL_TELEMETRY=1 did not enable instrumentation")
+	}
+	Register(&telemWorker{})
+	for i := 0; i < 3; i++ {
+		th := rt.NewThread(&telemWorker{Counter: NewAtomicLong("envtel/counter")})
+		th.Start()
+		if err := th.Join(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The ring was sized by CRUCIAL_SPAN_CAPACITY: spans are recorded and
+	// bounded by it.
+	n := len(rt.Trace())
+	if n == 0 || n > 32 {
+		t.Fatalf("trace holds %d spans, want 1..32", n)
+	}
+}

@@ -5,10 +5,14 @@
 //	crucial-bench -list
 //	crucial-bench -exp table2
 //	crucial-bench -exp all -scale 0.1
+//	crucial-bench stages -report
 //
-// Scale compresses simulated latencies and modeled compute; reports are
-// always printed in modeled (paper-scale) units. -quick shrinks workloads
-// to smoke-test size.
+// The experiment may be given positionally (`crucial-bench stages -quick`)
+// or via -exp. Scale compresses simulated latencies and modeled compute;
+// reports are always printed in modeled (paper-scale) units. -quick shrinks
+// workloads to smoke-test size. -report appends the critical-path
+// attribution (where trace wall time goes, by category) for instrumented
+// experiments.
 package main
 
 import (
@@ -30,8 +34,16 @@ func run() int {
 		quick    = flag.Bool("quick", false, "shrink workloads to smoke-test size")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		jsonPath = flag.String("json", "", "write telemetry metrics snapshots as JSON to this file ('-' for stdout)")
+		report   = flag.Bool("report", false, "append critical-path attribution for instrumented experiments")
 	)
-	flag.Parse()
+	// Accept the experiment id positionally (`crucial-bench stages -report`):
+	// the flag package stops at the first non-flag argument, so lift it into
+	// -exp before parsing.
+	argv := os.Args[1:]
+	if len(argv) > 0 && len(argv[0]) > 0 && argv[0][0] != '-' {
+		argv = append([]string{"-exp", argv[0]}, argv[1:]...)
+	}
+	_ = flag.CommandLine.Parse(argv)
 
 	if *list {
 		for _, name := range bench.Names() {
@@ -43,7 +55,7 @@ func run() int {
 		fmt.Println(bench.ExpStages)
 		return 0
 	}
-	opts := bench.Options{Scale: *scale, Quick: *quick}
+	opts := bench.Options{Scale: *scale, Quick: *quick, Report: *report}
 	if *jsonPath == "-" {
 		opts.JSON = os.Stdout
 	} else if *jsonPath != "" {

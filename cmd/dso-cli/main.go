@@ -8,11 +8,18 @@
 //	dso-cli -members n1=:7001,n2=:7002 -type Map -key users -method Put -arg alice -arg admin
 //	dso-cli -members n1=:7001,n2=:7002 -type CyclicBarrier -key b -init 3 -method Await
 //	dso-cli stats -members n1=:7001,n2=:7002
+//	dso-cli trace -members n1=:7001,n2=:7002 -o trace.json
 //
 // The stats subcommand fetches every node's counters and telemetry
 // snapshot and prints a per-node breakdown plus a cluster-wide merge
 // (latency histograms with p50/p95/p99 when the cluster runs
-// instrumented).
+// instrumented). Nodes that are down are skipped with a warning; the
+// command fails only when no node answers.
+//
+// The trace subcommand drains the span ring of every reachable node
+// (clock-aligned, merged by trace ID) and writes Chrome/Perfetto
+// trace-event JSON — open the file at https://ui.perfetto.dev or
+// chrome://tracing. Use `-o -` for stdout.
 //
 // Arguments are passed as int64 when they parse as integers, float64 when
 // they parse as decimals, and strings otherwise.
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"crucial/internal/client"
+	"crucial/internal/collector"
 	"crucial/internal/core"
 	"crucial/internal/membership"
 	"crucial/internal/ring"
@@ -57,10 +65,72 @@ func (a *argList) Set(s string) error {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "stats" {
-		os.Exit(runStats(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "stats":
+			os.Exit(runStats(os.Args[2:]))
+		case "trace":
+			os.Exit(runTrace(os.Args[2:]))
+		}
 	}
 	os.Exit(run())
+}
+
+// runTrace implements `dso-cli trace`: collect every reachable node's span
+// ring (clock-aligned over dedicated probes), merge by trace ID, and export
+// Chrome/Perfetto trace-event JSON.
+func runTrace(argv []string) int {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	var (
+		members = fs.String("members", "", "comma-separated id=addr pairs of the cluster")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-node RPC timeout")
+		out     = fs.String("o", "trace.json", "output file for trace-event JSON (\"-\" for stdout)")
+	)
+	_ = fs.Parse(argv)
+
+	view, err := staticView(*members)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dso-cli:", err)
+		return 1
+	}
+
+	col := &collector.Collector{}
+	reached := 0
+	for _, id := range view.Members {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		err := col.FetchNode(ctx, rpc.TCP{}, view.Addrs[id])
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dso-cli: warning: node %s unreachable, skipping: %v\n", id, err)
+			continue
+		}
+		reached++
+	}
+	if reached == 0 {
+		fmt.Fprintln(os.Stderr, "dso-cli: no node answered; nothing to export")
+		return 1
+	}
+
+	spans := col.Spans()
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dso-cli:", err)
+			return 1
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	if err := telemetry.WriteTraceEvents(w, spans); err != nil {
+		fmt.Fprintln(os.Stderr, "dso-cli: export:", err)
+		return 1
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %d spans from %d/%d nodes to %s (open at https://ui.perfetto.dev)\n",
+			len(spans), reached, len(view.Members), *out)
+	}
+	return 0
 }
 
 // runStats implements `dso-cli stats`: one KindStats RPC per member, a
@@ -82,14 +152,16 @@ func runStats(argv []string) int {
 	defer cancel()
 
 	var merged telemetry.Snapshot
-	failures := 0
+	reached := 0
 	for _, id := range view.Members {
 		snap, err := fetchSnapshot(ctx, view.Addrs[id])
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dso-cli: node %s: %v\n", id, err)
-			failures++
+			// A down node must not hide the rest of the cluster: warn,
+			// skip, and report a partial merge below.
+			fmt.Fprintf(os.Stderr, "dso-cli: warning: node %s unreachable, skipping: %v\n", id, err)
 			continue
 		}
+		reached++
 		fmt.Printf("node %s: objects=%d invocations=%d transfers=%d smr_ops=%d\n",
 			snap.ID, snap.Objects, snap.Stats.Invocations, snap.Stats.Transfers, snap.Stats.SMROps)
 		if !snap.Metrics.Empty() {
@@ -97,12 +169,13 @@ func runStats(argv []string) int {
 		}
 		merged = merged.Merge(snap.Metrics)
 	}
-	if !merged.Empty() && len(view.Members) > 1 {
-		fmt.Println("cluster (merged):")
-		fmt.Print(indent(merged.String(), "  "))
-	}
-	if failures > 0 {
+	if reached == 0 {
+		fmt.Fprintln(os.Stderr, "dso-cli: no node answered")
 		return 1
+	}
+	if !merged.Empty() && len(view.Members) > 1 {
+		fmt.Printf("cluster (merged, %d/%d nodes):\n", reached, len(view.Members))
+		fmt.Print(indent(merged.String(), "  "))
 	}
 	return 0
 }

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -40,12 +41,20 @@ func main() {
 
 func run() int {
 	var (
-		id      = flag.String("id", "", "this node's id (must appear in -members)")
-		members = flag.String("members", "", "comma-separated id=addr pairs for the whole cluster")
-		rf      = flag.Int("rf", 1, "replication factor for persistent objects")
-		telem   = flag.Bool("telemetry", false, "record spans and latency histograms (served via `dso-cli stats`)")
+		id       = flag.String("id", "", "this node's id (must appear in -members)")
+		members  = flag.String("members", "", "comma-separated id=addr pairs for the whole cluster")
+		rf       = flag.Int("rf", 1, "replication factor for persistent objects")
+		telem    = flag.Bool("telemetry", false, "record spans and latency histograms (served via `dso-cli stats`)")
+		httpAddr = flag.String("http", "", "serve /metrics (Prometheus), /traces (trace-event JSON) and /debug/pprof on this address, e.g. :8080")
+		logSpec  = flag.String("log", "info", "log level spec: one level for all components (debug|info|warn|error) or component=level pairs")
 	)
 	flag.Parse()
+
+	if err := telemetry.ConfigureLogging(*logSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "dso-server:", err)
+		return 1
+	}
+	logger := telemetry.Logger(telemetry.CompServer)
 
 	addrs, err := parseMembers(*members)
 	if err != nil {
@@ -74,6 +83,20 @@ func run() int {
 	if *telem {
 		tel = telemetry.New()
 	}
+	if *httpAddr != "" {
+		if tel == nil {
+			logger.Warn("serving -http without -telemetry: /metrics and /traces will be empty, pprof still works")
+		}
+		srv := &http.Server{Addr: *httpAddr, Handler: telemetry.HTTPHandler(*id, tel)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("http endpoint failed", "addr", *httpAddr, "err", err)
+			}
+		}()
+		defer func() { _ = srv.Close() }()
+		logger.Info("observability endpoint up", "addr", *httpAddr,
+			"paths", "/metrics /traces /debug/pprof")
+	}
 	node, err := server.Start(server.Config{
 		ID:        ring.NodeID(*id),
 		Addr:      addr,
@@ -87,15 +110,15 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "dso-server:", err)
 		return 1
 	}
-	fmt.Printf("dso-server: node %s serving on %s (cluster of %d, rf=%d)\n",
-		*id, addr, len(addrs), *rf)
+	logger.Info("node serving",
+		"node", *id, "addr", addr, "cluster_size", len(addrs), "rf", *rf)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("dso-server: shutting down")
+	logger.Info("shutting down")
 	if err := node.Crash(); err != nil {
-		fmt.Fprintln(os.Stderr, "dso-server: shutdown:", err)
+		logger.Error("shutdown failed", "err", err)
 		return 1
 	}
 	return 0

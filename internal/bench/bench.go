@@ -27,6 +27,10 @@ type Options struct {
 	// one JSON document with the experiment id and the final metrics
 	// snapshot.
 	JSON io.Writer
+	// Report prints the critical-path analysis (per-category attribution of
+	// trace wall time plus the slowest trace's path) after experiments that
+	// run instrumented (currently the stages breakdown).
+	Report bool
 }
 
 func (o Options) withDefaults() Options {

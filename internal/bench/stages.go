@@ -9,6 +9,7 @@ import (
 	"crucial"
 	"crucial/internal/netsim"
 	"crucial/internal/telemetry"
+	"crucial/internal/telemetry/analysis"
 )
 
 // ExpStages is the instrumented end-to-end breakdown (not part of RunAll,
@@ -102,6 +103,11 @@ func Stages(w io.Writer, o Options) error {
 	total := snap.Counters[telemetry.MetFaaSInvocations]
 	note(w, "%d/%d invocations were cold starts; server.exec includes monitor blocking,", cold, total)
 	note(w, "subtract server.monitor_wait for pure compute (barrier waits dominate it here)")
+
+	if o.Report {
+		title(w, "Stages: critical-path attribution")
+		analysis.Analyze(rt.Trace()).Format(w)
+	}
 
 	if o.JSON != nil {
 		doc := struct {

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -92,6 +93,7 @@ type Client struct {
 	cfg     Config
 	profile *netsim.Profile
 	retry   core.RetryPolicy
+	log     *slog.Logger
 
 	// Telemetry handles; nil (no-op) when no bundle was configured.
 	instrumented bool
@@ -124,6 +126,7 @@ func New(cfg Config) (*Client, error) {
 		cfg:     cfg,
 		profile: cfg.Profile,
 		retry:   cfg.retryPolicy(),
+		log:     telemetry.Logger(telemetry.CompClient),
 		conns:   make(map[string]*rpc.Client),
 	}
 	if cfg.Telemetry != nil {
@@ -253,6 +256,9 @@ func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, 
 		if attempt > 0 {
 			c.cReroutes.Inc()
 			span.SetAttr(telemetry.AttrAttempt, fmt.Sprint(attempt+1))
+			c.log.DebugContext(ctx, "re-routing after retryable error",
+				"ref", inv.Ref.String(), "method", inv.Method,
+				"attempt", attempt+1, "err", lastErr)
 			c.refreshView()
 			if err := netsim.Sleep(ctx, c.profile.Scaled(c.retry.Delay(attempt, nil))); err != nil {
 				return nil, err
@@ -298,6 +304,9 @@ func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, 
 		return resp.Results, nil
 	}
 	span.SetAttr(telemetry.AttrError, fmt.Sprint(lastErr))
+	c.log.WarnContext(ctx, "invocation failed after all attempts",
+		"ref", inv.Ref.String(), "method", inv.Method,
+		"attempts", c.retry.Attempts(), "err", lastErr)
 	return nil, fmt.Errorf("client: %s.%s failed after %d attempts: %w",
 		inv.Ref, inv.Method, c.retry.Attempts(), lastErr)
 }

@@ -7,6 +7,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -56,6 +57,7 @@ type Cluster struct {
 	opts     Options
 	registry *core.Registry
 	profile  *netsim.Profile
+	log      *slog.Logger
 
 	mu     sync.Mutex
 	nodes  map[ring.NodeID]*server.Node
@@ -86,6 +88,7 @@ func StartLocal(opts Options) (*Cluster, error) {
 		opts:      opts,
 		registry:  opts.Registry,
 		profile:   opts.Profile,
+		log:       telemetry.Logger(telemetry.CompCluster),
 		nodes:     make(map[ring.NodeID]*server.Node),
 	}
 	for i := 0; i < opts.Nodes; i++ {
@@ -128,6 +131,7 @@ func (c *Cluster) AddNode() (*server.Node, error) {
 	c.mu.Lock()
 	c.nodes[id] = n
 	c.mu.Unlock()
+	c.log.Info("node added", "node", string(id))
 	return n, nil
 }
 
@@ -144,6 +148,7 @@ func (c *Cluster) CrashNode(id ring.NodeID) error {
 	if !ok {
 		return fmt.Errorf("cluster: unknown node %s", id)
 	}
+	c.log.Warn("node crashed", "node", string(id))
 	err := n.Crash()
 	c.Dir.Crash(id)
 	return err
@@ -160,6 +165,7 @@ func (c *Cluster) StopNode(id ring.NodeID) error {
 	if !ok {
 		return fmt.Errorf("cluster: unknown node %s", id)
 	}
+	c.log.Info("node stopping gracefully", "node", string(id))
 	return n.Close()
 }
 

@@ -1,0 +1,232 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"crucial/internal/client"
+	"crucial/internal/core"
+	"crucial/internal/membership"
+	"crucial/internal/objects"
+	"crucial/internal/ring"
+	"crucial/internal/rpc"
+	"crucial/internal/server"
+	"crucial/internal/telemetry"
+)
+
+// startTestCluster boots a two-node cluster where, unlike cluster.StartLocal,
+// every node records into its own telemetry bundle — the realistic multi-
+// process shape the collector exists for.
+func startTestCluster(t *testing.T) (rpc.Transport, *client.Client, *telemetry.Telemetry, []*server.Node) {
+	t.Helper()
+	transport := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	reg := objects.BuiltinRegistry()
+
+	var nodes []*server.Node
+	for _, id := range []string{"n1", "n2"} {
+		n, err := server.Start(server.Config{
+			ID:        ring.NodeID(id),
+			Addr:      id,
+			Transport: transport,
+			Registry:  reg,
+			Directory: dir,
+			RF:        1,
+			Telemetry: telemetry.New(),
+		})
+		if err != nil {
+			t.Fatalf("start node %s: %v", id, err)
+		}
+		nodes = append(nodes, n)
+		t.Cleanup(func() { _ = n.Crash() })
+	}
+
+	clientTel := telemetry.New()
+	cl, err := client.New(client.Config{
+		Transport: transport,
+		Views:     dir,
+		Telemetry: clientTel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cl.Close() })
+	return transport, cl, clientTel, nodes
+}
+
+// TestClusterTraceCollection is the end-to-end check of the observability
+// plane: a two-node cluster with per-node telemetry, an instrumented
+// client, collection over KindTraceDump, and a merged result in which the
+// client and server spans of one trace share a trace ID and nest correctly
+// after clock alignment.
+func TestClusterTraceCollection(t *testing.T) {
+	transport, cl, clientTel, nodes := startTestCluster(t)
+	ctx := context.Background()
+
+	// Spread calls over enough keys that both nodes serve traffic.
+	for i := 0; i < 16; i++ {
+		ref := core.Ref{Type: "AtomicLong", Key: fmt.Sprintf("collect/c%d", i)}
+		if _, err := cl.Call(ctx, ref, "AddAndGet", int64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes {
+		if n.Stats().Invocations == 0 {
+			t.Fatalf("node %s served no invocations; key spread too narrow", n.ID())
+		}
+	}
+
+	col := &Collector{}
+	col.AddLocal("client", clientTel.Tracer().Spans())
+	for _, n := range nodes {
+		if err := col.FetchNode(ctx, transport, n.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(col.Nodes()); got != 3 {
+		t.Fatalf("merged %d sources, want 3", got)
+	}
+
+	// Every trace must hold an enclosing client span and a server span from
+	// a node source, sharing the trace ID.
+	crossNode := 0
+	for id, spans := range col.Traces() {
+		var clientSpan, serverSpan *telemetry.NodeSpan
+		for i := range spans {
+			ns := &spans[i]
+			switch ns.Span.Name {
+			case telemetry.SpanClientInvoke:
+				clientSpan = ns
+			case telemetry.SpanServerInvoke:
+				serverSpan = ns
+			}
+		}
+		if clientSpan == nil || serverSpan == nil {
+			continue
+		}
+		crossNode++
+		if clientSpan.Node == serverSpan.Node {
+			t.Fatalf("trace %x: client and server spans from one source %q", id, clientSpan.Node)
+		}
+		if serverSpan.Span.ParentID != clientSpan.Span.SpanID {
+			t.Errorf("trace %x: server span parent %x, want client span %x",
+				id, serverSpan.Span.ParentID, clientSpan.Span.SpanID)
+		}
+		cs, ce := clientSpan.Span.Start, clientSpan.Span.Start.Add(clientSpan.Span.Duration)
+		ss, se := serverSpan.Span.Start, serverSpan.Span.Start.Add(serverSpan.Span.Duration)
+		if ss.Before(cs) || se.After(ce) {
+			t.Errorf("trace %x: server span [%v,%v] not nested in client span [%v,%v]",
+				id, ss, se, cs, ce)
+		}
+	}
+	if crossNode < 16 {
+		t.Fatalf("found %d cross-node traces, want 16", crossNode)
+	}
+}
+
+// TestTraceEventExport exports a merged collection and validates the
+// trace-event JSON shape Perfetto expects.
+func TestTraceEventExport(t *testing.T) {
+	transport, cl, clientTel, nodes := startTestCluster(t)
+	ctx := context.Background()
+	for i := 0; i < 16; i++ {
+		ref := core.Ref{Type: "AtomicLong", Key: fmt.Sprintf("export/c%d", i)}
+		if _, err := cl.Call(ctx, ref, "IncrementAndGet"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col := &Collector{}
+	col.AddLocal("client", clientTel.Tracer().Spans())
+	for _, n := range nodes {
+		if err := col.FetchNode(ctx, transport, n.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteTraceEvents(&buf, col.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	var complete, meta int
+	procs := make(map[int]string)
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			procs[ev.PID] = ev.Args["name"]
+		case "X":
+			complete++
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Fatalf("event %q has negative ts/dur", ev.Name)
+			}
+			if ev.Args["trace_id"] == "" {
+				t.Fatalf("event %q missing trace_id arg", ev.Name)
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no complete (ph=X) events exported")
+	}
+	if meta != 3 {
+		t.Fatalf("got %d process_name metadata events, want 3 (%v)", meta, procs)
+	}
+}
+
+// TestAlignDumpCorrectsSkew feeds the collector a dump whose clock runs
+// fast by a known offset and checks the spans come back on the collector's
+// timeline, restoring client/server nesting.
+func TestAlignDumpCorrectsSkew(t *testing.T) {
+	const skew = 5 * time.Second
+	base := time.Now()
+
+	// Ground truth: server worked [base+2ms, base+8ms] inside a client call
+	// [base, base+10ms], but the server's clock reads skew ahead.
+	dump := telemetry.Dump{
+		Node: "n1",
+		Now:  base.Add(skew),
+		Spans: []telemetry.SpanData{{
+			TraceID:  1,
+			SpanID:   2,
+			ParentID: 1,
+			Name:     telemetry.SpanServerInvoke,
+			Start:    base.Add(skew).Add(2 * time.Millisecond),
+			Duration: 6 * time.Millisecond,
+		}},
+	}
+	// The collection RPC bracketed the remote clock sample tightly.
+	aligned := telemetry.AlignDump(dump, base, base.Add(200*time.Microsecond))
+	if len(aligned) != 1 {
+		t.Fatalf("aligned %d spans, want 1", len(aligned))
+	}
+	got := aligned[0].Span.Start
+	want := base.Add(2 * time.Millisecond)
+	if diff := got.Sub(want); diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("aligned start off by %v (got %v, want %v)", diff, got, want)
+	}
+
+	clientStart, clientEnd := base, base.Add(10*time.Millisecond)
+	ss, se := got, got.Add(aligned[0].Span.Duration)
+	if ss.Before(clientStart) || se.After(clientEnd) {
+		t.Fatalf("aligned server span [%v,%v] does not nest in client [%v,%v]",
+			ss, se, clientStart, clientEnd)
+	}
+}

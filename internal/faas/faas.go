@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"time"
@@ -106,6 +107,7 @@ type function struct {
 // Platform is one simulated FaaS region/account.
 type Platform struct {
 	profile *netsim.Profile
+	log     *slog.Logger
 
 	sem chan struct{} // account concurrency
 
@@ -160,6 +162,7 @@ func NewPlatform(opts Options) *Platform {
 	}
 	p := &Platform{
 		profile:   opts.Profile,
+		log:       telemetry.Logger(telemetry.CompFaaS),
 		sem:       make(chan struct{}, opts.Concurrency),
 		functions: make(map[string]*function),
 		rng:       rand.New(rand.NewSource(opts.Seed)),
@@ -258,6 +261,7 @@ func (p *Platform) Invoke(ctx context.Context, name string, payload []byte) ([]b
 		default:
 			p.cThrottled.Inc()
 			span.SetAttr(telemetry.AttrError, "throttled")
+			p.log.DebugContext(ctx, "invocation throttled", "function", name)
 			return nil, ErrThrottled
 		}
 	} else {
@@ -292,6 +296,7 @@ func (p *Platform) Invoke(ctx context.Context, name string, payload []byte) ([]b
 	if cold {
 		p.cColdStarts.Inc()
 		span.SetAttr(telemetry.AttrCold, "true")
+		p.log.DebugContext(ctx, "cold start", "function", name)
 		if p.instrumented {
 			provision := time.Now()
 			if err := p.profile.Delay(ctx, p.profile.ColdStart); err != nil {
@@ -324,6 +329,7 @@ func (p *Platform) Invoke(ctx context.Context, name string, payload []byte) ([]b
 	if failed {
 		p.cFailures.Inc()
 		span.SetAttr(telemetry.AttrError, "injected failure")
+		p.log.DebugContext(ctx, "injected invocation failure", "function", name)
 		return nil, fmt.Errorf("%w: %s", ErrInjectedFailure, name)
 	}
 
@@ -345,6 +351,8 @@ func (p *Platform) Invoke(ctx context.Context, name string, payload []byte) ([]b
 		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 			p.cTimeouts.Inc()
 			span.SetAttr(telemetry.AttrError, "timeout")
+			p.log.WarnContext(ctx, "function timed out",
+				"function", name, "timeout", fn.cfg.Timeout)
 			return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, name, fn.cfg.Timeout)
 		}
 		p.cFailures.Inc()

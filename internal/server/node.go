@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,14 @@ const (
 	// KindStats returns the node's counters and telemetry snapshot
 	// (gob-encoded Snapshot) for dso-cli stats and cluster dashboards.
 	KindStats uint8 = 7
+	// KindTraceDump drains the node's span ring (gob-encoded
+	// telemetry.Dump, with the node's wall clock for offset alignment) for
+	// cluster-wide trace collection (dso-cli trace).
+	KindTraceDump uint8 = 8
+	// KindClock returns the node's wall clock (gob-encoded time.Time). The
+	// trace collector estimates per-node clock offsets from this cheap,
+	// symmetric round trip before draining spans.
+	KindClock uint8 = 9
 )
 
 // Config wires one node into a cluster.
@@ -136,6 +145,8 @@ type Node struct {
 	transfers   atomic.Uint64
 	smrOps      atomic.Uint64
 
+	log *slog.Logger
+
 	// Telemetry handles; nil (no-op) when no bundle was configured.
 	instrumented bool
 	tracer       *telemetry.Tracer
@@ -163,6 +174,7 @@ func Start(cfg Config) (*Node, error) {
 		objects: make(map[core.Ref]*entry),
 		peers:   make(map[ring.NodeID]*rpc.Client),
 		waiters: make(map[totalorder.MsgID]chan smrResult),
+		log:     telemetry.Logger(telemetry.CompServer).With("node", string(cfg.ID)),
 	}
 	if cfg.ServiceTime > 0 && cfg.ServiceConcurrency > 0 {
 		n.svcGate = make(chan struct{}, cfg.ServiceConcurrency)
@@ -192,6 +204,8 @@ func Start(cfg Config) (*Node, error) {
 	// then track view changes for rebalancing.
 	cfg.Directory.Join(cfg.ID, cfg.Addr)
 	n.unsubscribe = cfg.Directory.Subscribe(n.onView)
+	n.log.Info("node started", "addr", cfg.Addr, "rf", cfg.RF,
+		"instrumented", n.instrumented)
 	return n, nil
 }
 
@@ -227,6 +241,16 @@ func (n *Node) Snapshot() Snapshot {
 		Objects: n.DebugObjectCount(),
 		Stats:   n.Stats(),
 		Metrics: n.metrics.Snapshot(),
+	}
+}
+
+// TraceDump captures the node's retained spans plus its wall clock, the
+// payload of KindTraceDump. Uninstrumented nodes dump zero spans.
+func (n *Node) TraceDump() telemetry.Dump {
+	return telemetry.Dump{
+		Node:  string(n.cfg.ID),
+		Now:   time.Now(),
+		Spans: n.tracer.Spans(),
 	}
 }
 
@@ -280,6 +304,8 @@ func (n *Node) shutdown() error {
 	}
 	n.peers = make(map[ring.NodeID]*rpc.Client)
 	n.peerMu.Unlock()
+	n.log.Info("node stopped",
+		"invocations", n.invocations.Load(), "transfers", n.transfers.Load())
 	return err
 }
 
@@ -308,6 +334,10 @@ func (n *Node) handle(ctx context.Context, kind uint8, payload []byte) ([]byte, 
 		return n.handleAbort(payload)
 	case KindStats:
 		return core.EncodeValue(n.Snapshot())
+	case KindTraceDump:
+		return core.EncodeValue(n.TraceDump())
+	case KindClock:
+		return core.EncodeValue(time.Now())
 	case KindPing:
 		return []byte("pong"), nil
 	default:

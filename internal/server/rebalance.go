@@ -38,6 +38,7 @@ func (n *Node) onView(v membership.View) {
 	if oldRing == nil || n.closed.Load() {
 		return
 	}
+	n.log.Debug("view installed, rebalancing", "view", v.ID, "members", len(v.Members))
 	// Flush the total-order layer: a coordinator that died mid-multicast
 	// must not hold back deliveries forever (view-synchrony flush).
 	n.to.PurgeOrigins(func(origin string) bool {
@@ -106,6 +107,8 @@ func (n *Node) rebalance(oldRing, newRing *ring.Ring, v membership.View) {
 				if err := n.pushObject(ref, e, target); err != nil {
 					// Best effort: the target may be mid-join; clients
 					// retry on ErrWrongNode and repair on next access.
+					n.log.Debug("transfer failed", "ref", ref.String(),
+						"target", string(target), "err", err)
 					continue
 				}
 			}

@@ -7,6 +7,7 @@ import (
 
 	"crucial/internal/core"
 	"crucial/internal/ring"
+	"crucial/internal/telemetry"
 	"crucial/internal/totalorder"
 )
 
@@ -71,6 +72,13 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 	for i, g := range group {
 		members[i] = string(g)
 	}
+	// Telemetry: attribute the whole ordering round — multicast, in-order
+	// delivery, replica execution — to the active server span so reports
+	// can separate SMR cost from plain method execution.
+	var orderStart time.Time
+	if n.instrumented {
+		orderStart = time.Now()
+	}
 	if err := totalorder.Multicast(ctx, (*toTransport)(n), members, id, payload); err != nil {
 		return nil, err
 	}
@@ -78,6 +86,9 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 	n.cSMRRounds.Inc()
 	select {
 	case res := <-ch:
+		if n.instrumented {
+			telemetry.SpanFromContext(ctx).AddTiming(telemetry.TimingSMR, time.Since(orderStart))
+		}
 		return res.results, res.err
 	case <-ctx.Done():
 		return nil, ctx.Err()

@@ -1,0 +1,310 @@
+// Package analysis turns raw spans into the paper's latency attribution:
+// per-trace span trees, critical paths, and an aggregate breakdown of where
+// invocation wall time goes — cold start, invoke queueing, RPC round trip,
+// monitor blocking, method execution, SMR ordering (the categories of the
+// Fig. 2 discussion and Section 6's elasticity analysis). crucial-bench
+// -report prints the Report; later performance PRs justify their numbers
+// against it.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"crucial/internal/telemetry"
+)
+
+// Categories of the breakdown. Every nanosecond of every root span lands in
+// exactly one category (self time of each span in the tree is attributed by
+// span kind and stage timings; unattributed remainder is CatOther), so the
+// category sum equals total trace wall time up to clamping of clock noise.
+const (
+	// CatColdStart is container provisioning (faas.invoke cold_start).
+	CatColdStart = "cold_start"
+	// CatQueueWait is FaaS admission queueing at the concurrency cap.
+	CatQueueWait = "invoke_queue"
+	// CatRPC is the client-observed DSO round trip minus server-side time:
+	// wire transfer, framing, simulated network and re-route backoff.
+	CatRPC = "rpc"
+	// CatMonitorWait is time blocked in Ctl.Wait on an object monitor
+	// (barriers, futures).
+	CatMonitorWait = "monitor_wait"
+	// CatExec is server-side method execution outside monitor waits and
+	// SMR ordering.
+	CatExec = "exec"
+	// CatSMR is total-order multicast latency for replicated objects.
+	CatSMR = "smr_order"
+	// CatFnCompute is user code running inside the function between DSO
+	// calls.
+	CatFnCompute = "function_compute"
+	// CatOther is everything unattributed: thread dispatch, retry backoff,
+	// encode/decode outside any finer-grained span.
+	CatOther = "other"
+)
+
+// Categories lists every category in presentation order.
+func Categories() []string {
+	return []string{
+		CatColdStart, CatQueueWait, CatRPC, CatMonitorWait,
+		CatExec, CatSMR, CatFnCompute, CatOther,
+	}
+}
+
+// Node is one span in a trace tree.
+type Node struct {
+	Span     telemetry.SpanData
+	Source   string // originating process, when known (collector merges)
+	Children []*Node
+}
+
+// end returns the span's finish instant.
+func (n *Node) end() time.Time { return n.Span.Start.Add(n.Span.Duration) }
+
+// PathStep is one hop of a critical path.
+type PathStep struct {
+	Name     string
+	Source   string
+	Duration time.Duration
+	// Self is the step's duration not covered by its own critical child.
+	Self time.Duration
+}
+
+// TraceBreakdown is the analysis of one trace.
+type TraceBreakdown struct {
+	TraceID uint64
+	// Total is the summed duration of the trace's root spans.
+	Total time.Duration
+	// Categories attribute Total (per-root self times summed).
+	Categories map[string]time.Duration
+	// Path is the critical path from the slowest root: at every level the
+	// child that finishes last, i.e. the chain that determined the trace's
+	// end-to-end latency.
+	Path []PathStep
+}
+
+// Report aggregates every trace of a run.
+type Report struct {
+	Traces int
+	Spans  int
+	// Total is the summed wall time of all root spans.
+	Total time.Duration
+	// Categories attribute Total across all traces.
+	Categories map[string]time.Duration
+	// Slowest is the breakdown of the longest trace (nil when empty).
+	Slowest *TraceBreakdown
+}
+
+// Analyze builds trees, computes per-trace breakdowns and aggregates them.
+// It accepts plain span slices; use AnalyzeNodeSpans when spans carry
+// source labels from a cluster-wide collection.
+func Analyze(spans []telemetry.SpanData) *Report {
+	tagged := make([]telemetry.NodeSpan, len(spans))
+	for i, s := range spans {
+		tagged[i] = telemetry.NodeSpan{Span: s}
+	}
+	return AnalyzeNodeSpans(tagged)
+}
+
+// AnalyzeNodeSpans is Analyze over source-labelled spans.
+func AnalyzeNodeSpans(spans []telemetry.NodeSpan) *Report {
+	rep := &Report{
+		Spans:      len(spans),
+		Categories: make(map[string]time.Duration),
+	}
+	byTrace := make(map[uint64][]*Node)
+	for _, ns := range spans {
+		byTrace[ns.Span.TraceID] = append(byTrace[ns.Span.TraceID],
+			&Node{Span: ns.Span, Source: ns.Node})
+	}
+	rep.Traces = len(byTrace)
+
+	traceIDs := make([]uint64, 0, len(byTrace))
+	for id := range byTrace {
+		traceIDs = append(traceIDs, id)
+	}
+	sort.Slice(traceIDs, func(i, j int) bool { return traceIDs[i] < traceIDs[j] })
+
+	for _, id := range traceIDs {
+		bd := analyzeTrace(id, byTrace[id])
+		rep.Total += bd.Total
+		for c, d := range bd.Categories {
+			rep.Categories[c] += d
+		}
+		if rep.Slowest == nil || bd.Total > rep.Slowest.Total {
+			rep.Slowest = bd
+		}
+	}
+	return rep
+}
+
+// buildTrees links parent pointers within one trace. Spans whose parent is
+// absent (evicted from a ring, or recorded by an uncollected process)
+// become roots of their own subtree.
+func buildTrees(nodes []*Node) []*Node {
+	byID := make(map[uint64]*Node, len(nodes))
+	for _, n := range nodes {
+		byID[n.Span.SpanID] = n
+	}
+	var roots []*Node
+	for _, n := range nodes {
+		if p, ok := byID[n.Span.ParentID]; ok && n.Span.ParentID != 0 && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	for _, n := range nodes {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return n.Children[i].Span.Start.Before(n.Children[j].Span.Start)
+		})
+	}
+	sort.SliceStable(roots, func(i, j int) bool {
+		return roots[i].Span.Start.Before(roots[j].Span.Start)
+	})
+	return roots
+}
+
+func analyzeTrace(id uint64, nodes []*Node) *TraceBreakdown {
+	bd := &TraceBreakdown{
+		TraceID:    id,
+		Categories: make(map[string]time.Duration),
+	}
+	roots := buildTrees(nodes)
+	var slowestRoot *Node
+	for _, r := range roots {
+		bd.Total += r.Span.Duration
+		attribute(r, bd.Categories)
+		if slowestRoot == nil || r.Span.Duration > slowestRoot.Span.Duration {
+			slowestRoot = r
+		}
+	}
+	if slowestRoot != nil {
+		bd.Path = criticalPath(slowestRoot)
+	}
+	return bd
+}
+
+// attribute walks a tree assigning each span's self time (duration minus
+// the time covered by its children) to a category. Stage timings recorded
+// on the span (cold_start, queue_wait, monitor_wait, smr_order) are split
+// out of the self time first; the remainder goes to the span kind's
+// residual category.
+func attribute(n *Node, cats map[string]time.Duration) {
+	var childSum time.Duration
+	for _, c := range n.Children {
+		childSum += c.Span.Duration
+		attribute(c, cats)
+	}
+	self := n.Span.Duration - childSum
+	if self < 0 {
+		self = 0
+	}
+	take := func(cat string, d time.Duration) {
+		if d <= 0 {
+			return
+		}
+		if d > self {
+			d = self
+		}
+		cats[cat] += d
+		self -= d
+	}
+	switch n.Span.Name {
+	case telemetry.SpanFaaSInvoke:
+		take(CatColdStart, n.Span.Timings[telemetry.TimingColdStart])
+		take(CatQueueWait, n.Span.Timings[telemetry.TimingQueueWait])
+		cats[CatFnCompute] += self
+	case telemetry.SpanClientInvoke:
+		cats[CatRPC] += self
+	case telemetry.SpanServerInvoke:
+		take(CatMonitorWait, n.Span.Timings[telemetry.TimingMonitor])
+		take(CatSMR, n.Span.Timings[telemetry.TimingSMR])
+		cats[CatExec] += self
+	default:
+		cats[CatOther] += self
+	}
+}
+
+// criticalPath follows, from the root, the child that finishes last — the
+// chain of spans that gated the trace's completion.
+func criticalPath(root *Node) []PathStep {
+	var path []PathStep
+	for n := root; n != nil; {
+		var next *Node
+		for _, c := range n.Children {
+			if next == nil || c.end().After(next.end()) {
+				next = c
+			}
+		}
+		self := n.Span.Duration
+		if next != nil {
+			self -= next.Span.Duration
+			if self < 0 {
+				self = 0
+			}
+		}
+		path = append(path, PathStep{
+			Name:     n.Span.Name,
+			Source:   n.Source,
+			Duration: n.Span.Duration,
+			Self:     self,
+		})
+		n = next
+	}
+	return path
+}
+
+// CategorySum totals the attributed categories (equal to Total up to clock
+// clamping).
+func (r *Report) CategorySum() time.Duration {
+	var sum time.Duration
+	for _, d := range r.Categories {
+		sum += d
+	}
+	return sum
+}
+
+// Format renders the report: the aggregate category table (share of total
+// wall time) followed by the slowest trace's critical path.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "critical-path report: %d traces, %d spans, total %v\n",
+		r.Traces, r.Spans, r.Total.Round(time.Microsecond))
+	if r.Total <= 0 {
+		return
+	}
+	for _, cat := range Categories() {
+		d := r.Categories[cat]
+		if d == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-18s %12v  %5.1f%%\n",
+			cat, d.Round(time.Microsecond), 100*float64(d)/float64(r.Total))
+	}
+	fmt.Fprintf(w, "  category sum %v of %v total (%.1f%%)\n",
+		r.CategorySum().Round(time.Microsecond), r.Total.Round(time.Microsecond),
+		100*float64(r.CategorySum())/float64(r.Total))
+	if r.Slowest != nil && len(r.Slowest.Path) > 0 {
+		fmt.Fprintf(w, "slowest trace %016x (%v):\n",
+			r.Slowest.TraceID, r.Slowest.Total.Round(time.Microsecond))
+		indent := "  "
+		for _, step := range r.Slowest.Path {
+			src := ""
+			if step.Source != "" {
+				src = " @" + step.Source
+			}
+			fmt.Fprintf(w, "%s%s%s %v (self %v)\n", indent, step.Name, src,
+				step.Duration.Round(time.Microsecond), step.Self.Round(time.Microsecond))
+			indent += "  "
+		}
+	}
+}
+
+// String renders the report via Format.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Format(&b)
+	return b.String()
+}

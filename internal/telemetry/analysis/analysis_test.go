@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"crucial/internal/telemetry"
+)
+
+// span builds one synthetic SpanData for tree tests.
+func span(trace, id, parent uint64, name string, start, dur time.Duration, timings map[string]time.Duration) telemetry.SpanData {
+	base := time.Unix(1700000000, 0)
+	return telemetry.SpanData{
+		TraceID:  trace,
+		SpanID:   id,
+		ParentID: parent,
+		Name:     name,
+		Start:    base.Add(start),
+		Duration: dur,
+		Timings:  timings,
+	}
+}
+
+func TestAttributionSyntheticTrace(t *testing.T) {
+	// thread [0,100ms] -> faas.invoke [5,95] (cold 20ms) ->
+	// client.invoke [40,80] -> server.invoke [45,75] (monitor 10ms).
+	spans := []telemetry.SpanData{
+		span(1, 1, 0, telemetry.SpanThread, 0, 100*time.Millisecond, nil),
+		span(1, 2, 1, telemetry.SpanFaaSInvoke, 5*time.Millisecond, 90*time.Millisecond,
+			map[string]time.Duration{telemetry.TimingColdStart: 20 * time.Millisecond}),
+		span(1, 3, 2, telemetry.SpanClientInvoke, 40*time.Millisecond, 40*time.Millisecond, nil),
+		span(1, 4, 3, telemetry.SpanServerInvoke, 45*time.Millisecond, 30*time.Millisecond,
+			map[string]time.Duration{telemetry.TimingMonitor: 10 * time.Millisecond}),
+	}
+	rep := Analyze(spans)
+	if rep.Traces != 1 || rep.Spans != 4 {
+		t.Fatalf("traces/spans = %d/%d", rep.Traces, rep.Spans)
+	}
+	if rep.Total != 100*time.Millisecond {
+		t.Fatalf("total = %v, want root duration 100ms", rep.Total)
+	}
+	want := map[string]time.Duration{
+		CatOther:       10 * time.Millisecond, // thread self: 100-90
+		CatColdStart:   20 * time.Millisecond,
+		CatFnCompute:   30 * time.Millisecond, // faas self 50 - cold 20
+		CatRPC:         10 * time.Millisecond, // client 40 - server 30
+		CatMonitorWait: 10 * time.Millisecond,
+		CatExec:        20 * time.Millisecond, // server 30 - monitor 10
+	}
+	for cat, d := range want {
+		if rep.Categories[cat] != d {
+			t.Errorf("category %s = %v, want %v (all: %v)",
+				cat, rep.Categories[cat], d, rep.Categories)
+		}
+	}
+	if rep.CategorySum() != rep.Total {
+		t.Fatalf("category sum %v != total %v", rep.CategorySum(), rep.Total)
+	}
+
+	// Critical path must walk the full chain.
+	if rep.Slowest == nil || len(rep.Slowest.Path) != 4 {
+		t.Fatalf("critical path = %+v", rep.Slowest)
+	}
+	names := make([]string, len(rep.Slowest.Path))
+	for i, s := range rep.Slowest.Path {
+		names[i] = s.Name
+	}
+	if got := strings.Join(names, ">"); got != "thread>faas.invoke>client.invoke>server.invoke" {
+		t.Fatalf("path = %s", got)
+	}
+}
+
+func TestOrphanSpansBecomeRoots(t *testing.T) {
+	// A server span whose client parent was evicted (or never collected)
+	// must still be analyzed as its own root, not dropped.
+	spans := []telemetry.SpanData{
+		span(7, 10, 99, telemetry.SpanServerInvoke, 0, 5*time.Millisecond, nil),
+	}
+	rep := Analyze(spans)
+	if rep.Traces != 1 || rep.Total != 5*time.Millisecond {
+		t.Fatalf("orphan dropped: %+v", rep)
+	}
+	if rep.Categories[CatExec] != 5*time.Millisecond {
+		t.Fatalf("orphan exec = %v", rep.Categories[CatExec])
+	}
+}
+
+func TestCriticalPathPicksLatestFinisher(t *testing.T) {
+	// Two children: a long-running early one and a short one that finishes
+	// later. The path must follow the one that gated completion.
+	spans := []telemetry.SpanData{
+		span(3, 1, 0, telemetry.SpanThread, 0, 100*time.Millisecond, nil),
+		span(3, 2, 1, "early.long", 0, 60*time.Millisecond, nil),
+		span(3, 3, 1, "late.short", 90*time.Millisecond, 10*time.Millisecond, nil),
+	}
+	rep := Analyze(spans)
+	if len(rep.Slowest.Path) != 2 || rep.Slowest.Path[1].Name != "late.short" {
+		t.Fatalf("path = %+v", rep.Slowest.Path)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	rep := Analyze(nil)
+	if rep.Traces != 0 || rep.Total != 0 || rep.Slowest != nil {
+		t.Fatalf("empty analysis = %+v", rep)
+	}
+	if s := rep.String(); !strings.Contains(s, "0 traces") {
+		t.Fatalf("empty format = %q", s)
+	}
+}

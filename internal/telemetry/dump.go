@@ -1,0 +1,64 @@
+package telemetry
+
+import "time"
+
+// Dump is the payload of a trace-collection RPC (server.KindTraceDump): one
+// process's retained spans plus the wall-clock instant the dump was taken,
+// which lets a collector estimate the clock offset between itself and the
+// dumped process (NTP-style: offset = remote Now - midpoint of the request
+// round trip) and shift the spans onto its own timeline before merging.
+type Dump struct {
+	// Node identifies the dumped process (server node ID, "client",
+	// "faas", ...). It becomes the process lane in exported trace files.
+	Node string
+	// Now is the dumping process's wall clock at capture time.
+	Now time.Time
+	// Spans are the retained spans, oldest first.
+	Spans []SpanData
+}
+
+// TakeDump captures the telemetry bundle's spans under a node name. A nil
+// bundle yields an empty (but timestamped) dump.
+func (t *Telemetry) TakeDump(node string) Dump {
+	return Dump{Node: node, Now: time.Now(), Spans: t.Tracer().Spans()}
+}
+
+// NodeSpan is one span tagged with the process it came from, the unit a
+// cluster-wide collector merges and the exporters consume.
+type NodeSpan struct {
+	// Node is the originating process (Dump.Node).
+	Node string
+	// Span is the span, with Start already aligned to the collector's
+	// clock when it arrived through a Dump.
+	Span SpanData
+}
+
+// AlignSpans tags spans with their source and shifts their start times by
+// -offset, where offset is the source clock minus the collector clock (see
+// AlignDump and collector.Collector for how it is estimated). The residual
+// error is bounded by half the round trip of the probe that measured the
+// offset, which is what makes cross-node span nesting come out right.
+func AlignSpans(node string, spans []SpanData, offset time.Duration) []NodeSpan {
+	out := make([]NodeSpan, 0, len(spans))
+	for _, s := range spans {
+		s.Start = s.Start.Add(-offset)
+		out = append(out, NodeSpan{Node: node, Span: s})
+	}
+	return out
+}
+
+// AlignDump shifts a dump's spans onto the collector's timeline using the
+// midpoint estimate: reqStart and reqEnd bracket the collection RPC on the
+// collector's clock, the remote clock is assumed sampled at the round
+// trip's midpoint, so offset = Now - midpoint. Collectors that can afford
+// an extra round trip should prefer a dedicated clock probe (symmetric
+// payloads, min-RTT of several tries) and AlignSpans; this single-RPC form
+// serves in-process dumps (zero offset by construction) and HTTP handlers.
+func AlignDump(d Dump, reqStart, reqEnd time.Time) []NodeSpan {
+	var offset time.Duration
+	if !d.Now.IsZero() && !reqStart.IsZero() && !reqEnd.IsZero() {
+		mid := reqStart.Add(reqEnd.Sub(reqStart) / 2)
+		offset = d.Now.Sub(mid)
+	}
+	return AlignSpans(d.Node, d.Spans, offset)
+}

@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// HTTPHandler builds the observability endpoint served by dso-server's
+// optional -http listener:
+//
+//	/metrics          Prometheus text-format exposition of the registry
+//	/traces           retained spans as Chrome/Perfetto trace-event JSON
+//	/debug/pprof/*    the standard net/http/pprof profiles
+//
+// node labels the process lane in exported traces (the server's node ID).
+// A nil *Telemetry serves empty documents, so the endpoint can always be
+// enabled regardless of whether instrumentation is on.
+func HTTPHandler(node string, t *Telemetry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, t.Snapshot())
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		dump := t.TakeDump(node)
+		_ = WriteTraceEvents(w, AlignDump(dump, dump.Now, dump.Now))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Structured logging for the whole system, built on log/slog: every
+// subsystem gets a named component logger with its own dynamically
+// adjustable level, and records emitted under a context that carries an
+// active span are automatically stamped with trace_id/span_id so logs and
+// traces cross-reference.
+//
+// Levels default to Warn (quiet enough for tests and benchmarks) and are
+// configurable per component via SetLogLevel/ConfigureLogging or the
+// CRUCIAL_LOG environment variable, e.g.:
+//
+//	CRUCIAL_LOG=info                  # everything at info
+//	CRUCIAL_LOG=server=debug,faas=warn
+
+// Component names used across the codebase.
+const (
+	CompFaaS    = "faas"
+	CompClient  = "client"
+	CompServer  = "server"
+	CompCluster = "cluster"
+)
+
+// switchWriter lets SetLogOutput retarget every live logger atomically.
+type switchWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *switchWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+var logState = struct {
+	mu      sync.Mutex
+	out     *switchWriter
+	levels  map[string]*slog.LevelVar
+	loggers map[string]*slog.Logger
+}{
+	out:     &switchWriter{w: os.Stderr},
+	levels:  make(map[string]*slog.LevelVar),
+	loggers: make(map[string]*slog.Logger),
+}
+
+// spanHandler decorates records with the ambient span identity.
+type spanHandler struct{ inner slog.Handler }
+
+func (h spanHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return h.inner.Enabled(ctx, l)
+}
+
+func (h spanHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sc := ContextOf(ctx); sc.Valid() {
+		r.AddAttrs(
+			slog.String("trace_id", fmt.Sprintf("%016x", sc.TraceID)),
+			slog.String("span_id", fmt.Sprintf("%016x", sc.SpanID)),
+		)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h spanHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return spanHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h spanHandler) WithGroup(name string) slog.Handler {
+	return spanHandler{inner: h.inner.WithGroup(name)}
+}
+
+// levelVar returns (creating at Warn) the component's level knob.
+// logState.mu must be held.
+func levelVarLocked(component string) *slog.LevelVar {
+	lv, ok := logState.levels[component]
+	if !ok {
+		lv = &slog.LevelVar{}
+		lv.Set(slog.LevelWarn)
+		logState.levels[component] = lv
+	}
+	return lv
+}
+
+// Logger returns the shared structured logger for a component
+// (CompFaaS/CompClient/CompServer/CompCluster or any other name). Loggers
+// are cached; the returned value is safe for concurrent use.
+func Logger(component string) *slog.Logger {
+	logState.mu.Lock()
+	defer logState.mu.Unlock()
+	if l, ok := logState.loggers[component]; ok {
+		return l
+	}
+	h := slog.NewTextHandler(logState.out, &slog.HandlerOptions{
+		Level: levelVarLocked(component),
+	})
+	l := slog.New(spanHandler{inner: h}).With(slog.String("component", component))
+	logState.loggers[component] = l
+	return l
+}
+
+// SetLogLevel adjusts one component's level ("" or "all" adjusts every
+// component, including ones not created yet).
+func SetLogLevel(component string, level slog.Level) {
+	logState.mu.Lock()
+	defer logState.mu.Unlock()
+	if component == "" || component == "all" {
+		for _, comp := range []string{CompFaaS, CompClient, CompServer, CompCluster} {
+			levelVarLocked(comp).Set(level)
+		}
+		for _, lv := range logState.levels {
+			lv.Set(level)
+		}
+		return
+	}
+	levelVarLocked(component).Set(level)
+}
+
+// SetLogOutput redirects every component logger (tests; defaults to
+// stderr).
+func SetLogOutput(w io.Writer) {
+	logState.out.mu.Lock()
+	logState.out.w = w
+	logState.out.mu.Unlock()
+}
+
+// ConfigureLogging applies a level spec: either one level name applied to
+// all components ("debug", "info", "warn", "error") or a comma-separated
+// list of component=level pairs ("server=debug,faas=warn").
+func ConfigureLogging(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		comp, levelName, ok := strings.Cut(part, "=")
+		if !ok {
+			levelName, comp = comp, ""
+		}
+		var level slog.Level
+		if err := level.UnmarshalText([]byte(levelName)); err != nil {
+			return fmt.Errorf("telemetry: bad log level %q in %q", levelName, spec)
+		}
+		SetLogLevel(strings.TrimSpace(comp), level)
+	}
+	return nil
+}
+
+func init() {
+	if spec := os.Getenv("CRUCIAL_LOG"); spec != "" {
+		// A bad spec must not take the process down at init; fall back to
+		// defaults and say why.
+		if err := ConfigureLogging(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "crucial:", err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text-format exposition (version 0.0.4), the format every
+// Prometheus-compatible scraper ingests. Served by the optional HTTP
+// endpoint of dso-server under /metrics.
+//
+// Mapping: counters and float accumulators become `counter`, gauges become
+// `gauge`, and latency histograms become native `histogram` families in
+// seconds, with the tracer's power-of-two-microsecond bucket bounds
+// converted to cumulative `le` buckets. Metric names are prefixed with
+// "crucial_" and sanitized (dots and dashes to underscores).
+
+// promName sanitizes a registry name into a Prometheus metric name.
+func promName(name string) string {
+	out := make([]byte, 0, len(name)+8)
+	out = append(out, "crucial_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// promFloat renders a sample value the way Prometheus expects.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns the map's keys in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders a metrics snapshot in Prometheus text format.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Floats) {
+		n := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", n, n, promFloat(s.Floats[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		if err := writePromHistogram(w, promName(name)+"_seconds", s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram family. Trailing all-zero buckets
+// are collapsed into +Inf so the exposition stays readable; the cumulative
+// counts are preserved exactly.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	last := -1
+	for i, c := range h.Buckets {
+		if c > 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += h.Buckets[i]
+		le := promFloat(bucketUpper(i).Seconds())
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		name, promFloat(h.Sum.Seconds()), name, h.Count)
+	return err
+}

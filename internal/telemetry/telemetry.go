@@ -97,4 +97,5 @@ const (
 	TimingAcquire   = "monitor_acquire"
 	TimingColdStart = "cold_start"
 	TimingQueueWait = "queue_wait"
+	TimingSMR       = "smr_order"
 )

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome/Perfetto trace-event export: the merged cluster trace serialized
+// in the Trace Event Format (the JSON that chrome://tracing and
+// https://ui.perfetto.dev open directly). Each originating process (server
+// node, client, FaaS simulator) becomes one "process" lane, each trace one
+// "thread" row inside it, so a DSO call renders as a flame: the client RPC
+// span enclosing the server execution span.
+
+// traceEvent is one entry of the traceEvents array. Timestamps and
+// durations are microseconds (float), per the format.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents renders spans as a trace-event JSON document. Spans must
+// already be clock-aligned (see AlignDump); timestamps are emitted relative
+// to the earliest span so the viewer opens at t=0.
+func WriteTraceEvents(w io.Writer, spans []NodeSpan) error {
+	// Stable lane assignment: processes sorted by name, traces by first
+	// appearance in time order.
+	sorted := make([]NodeSpan, len(spans))
+	copy(sorted, spans)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Span.Start.Before(sorted[j].Span.Start)
+	})
+
+	nodeNames := make([]string, 0, 4)
+	seenNode := make(map[string]bool)
+	for _, ns := range sorted {
+		if !seenNode[ns.Node] {
+			seenNode[ns.Node] = true
+			nodeNames = append(nodeNames, ns.Node)
+		}
+	}
+	sort.Strings(nodeNames)
+	pids := make(map[string]int, len(nodeNames))
+	for i, n := range nodeNames {
+		pids[n] = i + 1
+	}
+
+	var base time.Time
+	if len(sorted) > 0 {
+		base = sorted[0].Span.Start
+	}
+	tids := make(map[uint64]int)
+
+	events := make([]traceEvent, 0, len(sorted)+len(nodeNames))
+	for _, n := range nodeNames {
+		events = append(events, traceEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  pids[n],
+			Args: map[string]string{"name": n},
+		})
+	}
+	for _, ns := range sorted {
+		s := ns.Span
+		tid, ok := tids[s.TraceID]
+		if !ok {
+			tid = len(tids) + 1
+			tids[s.TraceID] = tid
+		}
+		args := make(map[string]string, len(s.Attrs)+len(s.Timings)+3)
+		args["trace_id"] = fmt.Sprintf("%016x", s.TraceID)
+		args["span_id"] = fmt.Sprintf("%016x", s.SpanID)
+		if s.ParentID != 0 {
+			args["parent_id"] = fmt.Sprintf("%016x", s.ParentID)
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		for k, d := range s.Timings {
+			args["timing."+k] = d.String()
+		}
+		events = append(events, traceEvent{
+			Name: s.Name,
+			Cat:  ns.Node,
+			Ph:   "X",
+			TS:   float64(s.Start.Sub(base)) / float64(time.Microsecond),
+			Dur:  float64(s.Duration) / float64(time.Microsecond),
+			PID:  pids[ns.Node],
+			TID:  tid,
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

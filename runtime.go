@@ -3,6 +3,8 @@ package crucial
 import (
 	"context"
 	"fmt"
+	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -49,6 +51,45 @@ type Options struct {
 	// spans and metrics into this one bundle. Nil (the default) disables
 	// all instrumentation at zero cost. Use telemetry.New().
 	Telemetry *telemetry.Telemetry
+	// EnableTelemetry builds a private telemetry bundle when Telemetry is
+	// nil, so callers can opt in without importing internal/telemetry.
+	// Setting the CRUCIAL_TELEMETRY environment variable to 1/true has the
+	// same effect, letting experiments toggle instrumentation per run.
+	EnableTelemetry bool
+	// TelemetrySpanCapacity sizes the tracer's span ring when the runtime
+	// builds the bundle itself (via EnableTelemetry or CRUCIAL_TELEMETRY);
+	// it is ignored when an explicit Telemetry bundle is supplied. Zero
+	// means telemetry.DefaultSpanCapacity (4096). The environment variable
+	// CRUCIAL_SPAN_CAPACITY overrides a zero value. Memory bound: the ring
+	// holds at most capacity spans at roughly 250 B each plus attribute and
+	// timing maps, so the default ring tops out around 1–2 MB per process
+	// and old spans are overwritten beyond that.
+	TelemetrySpanCapacity int
+}
+
+// resolveTelemetry applies the enablement and capacity knobs: an explicit
+// bundle always wins; otherwise EnableTelemetry or CRUCIAL_TELEMETRY builds
+// one sized by TelemetrySpanCapacity or CRUCIAL_SPAN_CAPACITY.
+func (o Options) resolveTelemetry() *telemetry.Telemetry {
+	if o.Telemetry != nil {
+		return o.Telemetry
+	}
+	if !o.EnableTelemetry && !envBool("CRUCIAL_TELEMETRY") {
+		return nil
+	}
+	capacity := o.TelemetrySpanCapacity
+	if capacity <= 0 {
+		if v, err := strconv.Atoi(os.Getenv("CRUCIAL_SPAN_CAPACITY")); err == nil && v > 0 {
+			capacity = v
+		}
+	}
+	return telemetry.NewWithCapacity(capacity)
+}
+
+// envBool reports whether an environment variable is set to a truthy value.
+func envBool(name string) bool {
+	v, err := strconv.ParseBool(os.Getenv(name))
+	return err == nil && v
 }
 
 // Runtime is a complete local Crucial deployment: the FaaS platform
@@ -83,6 +124,7 @@ func NewLocalRuntime(opts Options) (*Runtime, error) {
 	if opts.Profile == nil {
 		opts.Profile = netsim.Zero()
 	}
+	opts.Telemetry = opts.resolveTelemetry()
 	clu, err := cluster.StartLocal(cluster.Options{
 		Nodes:     opts.DSONodes,
 		RF:        opts.RF,
