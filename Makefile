@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race bench cover verify
+.PHONY: build test vet fmt race bench bench-rpc cover verify
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench:
+# bench runs the telemetry-overhead spot check plus the RPC hot-path
+# microbenchmark suite (which refreshes BENCH_rpc.json).
+bench: bench-rpc
 	$(GO) test -run '^$$' -bench 'BenchmarkInvokeTelemetry' -benchtime 2000x .
+
+# bench-rpc runs the wire-codec and RPC hot-path microbenchmarks and
+# commits their aggregate (min ns/op over 5 runs, allocs/op) to
+# BENCH_rpc.json via cmd/benchfmt. The *Gob benchmarks are the retained
+# pre-codec encoder, kept as the before/after baseline.
+bench-rpc:
+	$(GO) test -run '^$$' -bench 'BenchmarkEncodeInvocation|BenchmarkDecodeInvocation|BenchmarkInvocationRoundTrip|BenchmarkResponseRoundTrip' \
+		-benchmem -count=5 ./internal/core/ > /tmp/bench_rpc_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkRPCEcho' -benchmem -count=5 \
+		./internal/rpc/ >> /tmp/bench_rpc_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkInvokeObject' -benchmem -count=5 \
+		./internal/client/ >> /tmp/bench_rpc_raw.txt
+	$(GO) run ./cmd/benchfmt < /tmp/bench_rpc_raw.txt > BENCH_rpc.json
+	@echo "wrote BENCH_rpc.json"
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

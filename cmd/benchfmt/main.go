@@ -1,0 +1,138 @@
+// Command benchfmt converts `go test -bench` output on stdin into a JSON
+// document on stdout, so benchmark results can be committed and diffed
+// (BENCH_rpc.json) without hand-editing the raw text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 5 ./internal/core/ | benchfmt
+//
+// Repeated runs of the same benchmark (from -count) are aggregated: the
+// JSON reports the minimum ns/op (least-noise estimate) and the maximum
+// observed allocs/op and B/op (allocation counts are deterministic, so
+// min==max in practice; max is the conservative side if they ever differ).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one aggregated benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the emitted JSON shape.
+type Document struct {
+	Context map[string]string `json:"context"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	doc := Document{Context: map[string]string{}}
+	agg := map[string]*Result{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			// pkg repeats per package; keep a comma-joined union.
+			v = strings.TrimSpace(v)
+			if prev, ok := doc.Context[k]; ok && prev != v && !strings.Contains(prev, v) {
+				v = prev + ", " + v
+			}
+			doc.Context[k] = v
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			if cur, seen := agg[r.Name]; seen {
+				cur.Runs++
+				if r.NsPerOp < cur.NsPerOp {
+					cur.NsPerOp = r.NsPerOp
+				}
+				if r.BytesPerOp > cur.BytesPerOp {
+					cur.BytesPerOp = r.BytesPerOp
+				}
+				if r.AllocsPerOp > cur.AllocsPerOp {
+					cur.AllocsPerOp = r.AllocsPerOp
+				}
+			} else {
+				rc := r
+				rc.Runs = 1
+				agg[r.Name] = &rc
+				order = append(order, r.Name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt: read stdin:", err)
+		os.Exit(1)
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		doc.Results = append(doc.Results, *agg[name])
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt: encode:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine handles the standard testing output shape:
+//
+//	BenchmarkName-8   1000000   123.4 ns/op   56 B/op   7 allocs/op
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so counts aggregate across machines.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name}
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				r.NsPerOp = f
+				ok = true
+			}
+		case "B/op":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.BytesPerOp = n
+			}
+		case "allocs/op":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = n
+			}
+		}
+	}
+	return r, ok
+}

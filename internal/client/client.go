@@ -9,9 +9,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
+	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"crucial/internal/core"
@@ -87,8 +91,22 @@ func (cfg Config) retryPolicy() core.RetryPolicy {
 	return core.DefaultClientRetry()
 }
 
+// routes is an immutable routing snapshot: the installed view, its ring,
+// and the pooled connections keyed by address. The hot path reads the
+// whole bundle with one atomic load; updates (view refresh, dial, drop)
+// copy-on-write under the client's update mutex and publish a fresh
+// snapshot. A published snapshot — including its conns map — is never
+// mutated again.
+type routes struct {
+	view  membership.View
+	ring  *ring.Ring
+	conns map[string]*rpc.Client
+}
+
 // Client invokes methods on shared objects. Safe for concurrent use by any
-// number of goroutines (cloud threads share one client per process).
+// number of goroutines (cloud threads share one client per process): the
+// invocation fast path is lock-free (one atomic snapshot load per call),
+// so a fleet of cloud threads no longer serializes on a client mutex.
 type Client struct {
 	cfg     Config
 	profile *netsim.Profile
@@ -103,11 +121,10 @@ type Client struct {
 	cReroutes    *telemetry.Counter
 	hRPC         *telemetry.Histogram
 
-	mu    sync.Mutex
-	view  membership.View
-	ring  *ring.Ring
-	conns map[string]*rpc.Client // keyed by address
-
+	// routes is the lock-free routing snapshot; mu serializes writers
+	// (refreshView, dial, dropConn, Close) only.
+	routes atomic.Pointer[routes]
+	mu     sync.Mutex
 	closed bool
 }
 
@@ -127,8 +144,8 @@ func New(cfg Config) (*Client, error) {
 		profile: cfg.Profile,
 		retry:   cfg.retryPolicy(),
 		log:     telemetry.Logger(telemetry.CompClient),
-		conns:   make(map[string]*rpc.Client),
 	}
+	c.routes.Store(&routes{conns: make(map[string]*rpc.Client)})
 	if cfg.Telemetry != nil {
 		c.instrumented = true
 		c.tracer = cfg.Telemetry.Tracer()
@@ -141,43 +158,62 @@ func New(cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// refreshView reloads membership and rebuilds the ring.
+// refreshView reloads membership and publishes a new routing snapshot.
 func (c *Client) refreshView() {
 	v := c.cfg.Views.View()
 	c.mu.Lock()
-	if v.ID >= c.view.ID {
-		c.view = v
-		c.ring = v.Ring()
+	cur := c.routes.Load()
+	if v.ID >= cur.view.ID {
+		// The conns map is shared with the previous snapshot: published
+		// maps are immutable, so aliasing is safe.
+		c.routes.Store(&routes{view: v, ring: v.Ring(), conns: cur.conns})
 	}
 	c.mu.Unlock()
 }
 
-// target picks the primary node for a reference.
-func (c *Client) target(ref core.Ref) (ring.NodeID, string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.ring == nil || c.ring.Size() == 0 {
+// target picks the primary node for a reference from a routing snapshot.
+func (rt *routes) target(ref core.Ref) (ring.NodeID, string, error) {
+	if rt.ring == nil || rt.ring.Size() == 0 {
 		return "", "", errors.New("client: no DSO nodes in view")
 	}
-	owner, ok := c.ring.Owner(ref.String())
+	owner, ok := rt.ring.Owner(ref.String())
 	if !ok {
 		return "", "", errors.New("client: no owner for " + ref.String())
 	}
-	addr, ok := c.view.Addrs[owner]
+	addr, ok := rt.view.Addrs[owner]
 	if !ok {
 		return "", "", fmt.Errorf("client: no address for node %s", owner)
 	}
 	return owner, addr, nil
 }
 
-// conn returns a pooled connection to addr, dialing if needed.
-func (c *Client) conn(addr string) (*rpc.Client, error) {
+// route resolves ref to its owner's pooled connection. The common case —
+// warm connection, stable view — touches no locks: one atomic snapshot
+// load, one ring lookup, one map hit.
+func (c *Client) route(ref core.Ref) (string, *rpc.Client, error) {
+	rt := c.routes.Load()
+	_, addr, err := rt.target(ref)
+	if err != nil {
+		return "", nil, err
+	}
+	if rc, ok := rt.conns[addr]; ok {
+		return addr, rc, nil
+	}
+	rc, err := c.dial(addr)
+	return addr, rc, err
+}
+
+// dial establishes (or returns a concurrently established) connection to
+// addr and publishes it in a new snapshot. This is the slow path, taken
+// once per address until the connection breaks.
+func (c *Client) dial(addr string) (*rpc.Client, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, rpc.ErrClientClosed
 	}
-	if rc, ok := c.conns[addr]; ok {
+	cur := c.routes.Load()
+	if rc, ok := cur.conns[addr]; ok {
 		return rc, nil
 	}
 	netConn, err := c.cfg.Transport.Dial(addr)
@@ -193,28 +229,53 @@ func (c *Client) conn(addr string) (*rpc.Client, error) {
 			hRPC.Observe(rtt)
 		})
 	}
-	c.conns[addr] = rc
+	conns := make(map[string]*rpc.Client, len(cur.conns)+1)
+	for a, cl := range cur.conns {
+		conns[a] = cl
+	}
+	conns[addr] = rc
+	c.routes.Store(&routes{view: cur.view, ring: cur.ring, conns: conns})
 	return rc, nil
 }
 
 // dropConn discards a broken pooled connection.
 func (c *Client) dropConn(addr string) {
 	c.mu.Lock()
-	if rc, ok := c.conns[addr]; ok {
+	cur := c.routes.Load()
+	if rc, ok := cur.conns[addr]; ok {
 		_ = rc.Close()
-		delete(c.conns, addr)
+		conns := make(map[string]*rpc.Client, len(cur.conns))
+		for a, cl := range cur.conns {
+			if a != addr {
+				conns[a] = cl
+			}
+		}
+		c.routes.Store(&routes{view: cur.view, ring: cur.ring, conns: conns})
 	}
 	c.mu.Unlock()
 }
 
 // retryable reports whether an invocation error warrants a re-route.
+// Local transport failures are matched structurally with errors.Is; the
+// substring checks at the end are a documented last resort for errors
+// that crossed the wire as plain text (core.Response.Err) and lost their
+// type, plus platform error strings not covered by the sentinels.
 func retryable(err error) bool {
 	if errors.Is(err, core.ErrWrongNode) || errors.Is(err, core.ErrRebalancing) ||
 		errors.Is(err, core.ErrStopped) || errors.Is(err, rpc.ErrClientClosed) {
 		return true
 	}
-	// Transport-level failures (connection reset, refused) are retried
-	// against the refreshed view.
+	// Structured transport errors: closed sockets and pipes, truncated
+	// streams, peer resets. These cover TCP (syscall errnos wrapped in
+	// *net.OpError) and the in-memory pipe transport.
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
+	// Last resort: substring matching on error text, for remote errors
+	// stringified by the wire format.
 	msg := err.Error()
 	return strings.Contains(msg, "connection") || strings.Contains(msg, "closed") ||
 		strings.Contains(msg, "EOF") || strings.Contains(msg, "pipe")
@@ -247,10 +308,14 @@ func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, 
 		}()
 	}
 
-	payload, err := core.EncodeInvocation(inv)
+	// Encode into a pooled buffer: the payload is reused across retry
+	// attempts and recycled when the call completes (the RPC layer copies
+	// it into the connection's write buffer before Call returns).
+	payload, err := core.AppendInvocation(rpc.GetBuffer(0), inv)
 	if err != nil {
 		return nil, err
 	}
+	defer rpc.PutBuffer(payload)
 	var lastErr error
 	for attempt := 0; attempt < c.retry.Attempts(); attempt++ {
 		if attempt > 0 {
@@ -264,12 +329,7 @@ func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, 
 				return nil, err
 			}
 		}
-		_, addr, err := c.target(inv.Ref)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		rc, err := c.conn(addr)
+		addr, rc, err := c.route(inv.Ref)
 		if err != nil {
 			lastErr = err
 			continue
@@ -287,9 +347,13 @@ func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, 
 			continue
 		}
 		if err := c.profile.Delay(ctx, c.profile.DSONet); err != nil {
+			rpc.PutBuffer(raw)
 			return nil, err
 		}
 		resp, err := core.DecodeResponse(raw)
+		// The decoder copies everything out of the frame, so the response
+		// buffer can rejoin the pool immediately.
+		rpc.PutBuffer(raw)
 		if err != nil {
 			return nil, err
 		}
@@ -326,9 +390,10 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	for _, rc := range c.conns {
+	cur := c.routes.Load()
+	for _, rc := range cur.conns {
 		_ = rc.Close()
 	}
-	c.conns = make(map[string]*rpc.Client)
+	c.routes.Store(&routes{view: cur.view, ring: cur.ring, conns: make(map[string]*rpc.Client)})
 	return nil
 }

@@ -1,0 +1,76 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"crucial/internal/core"
+	"crucial/internal/membership"
+	"crucial/internal/objects"
+	"crucial/internal/rpc"
+	"crucial/internal/server"
+)
+
+func benchCluster(b *testing.B) *Client {
+	b.Helper()
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	node, err := server.Start(server.Config{
+		ID: "n1", Addr: "n1", Transport: net,
+		Registry: objects.BuiltinRegistry(), Directory: dir, RF: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = node.Crash() })
+	c, err := New(Config{Transport: net, Views: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// BenchmarkInvokeObject is the end-to-end hot path: encode on the client,
+// frame over the in-memory transport, dispatch and execute on the node,
+// encode the response, decode on the client. allocs/op here is the number
+// the zero-allocation work targets (routing snapshot load + pooled
+// buffers + fast codec).
+func BenchmarkInvokeObject(b *testing.B) {
+	c := benchCluster(b)
+	ctx := context.Background()
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: "bench"}
+	// Warm: materialize the object and the connection.
+	if _, err := c.Call(ctx, ref, "Get"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(ctx, ref, "AddAndGet", int64(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInvokeObjectParallel layers client-side concurrency on the same
+// path, exercising the lock-free routing snapshot and write coalescing
+// under contention.
+func BenchmarkInvokeObjectParallel(b *testing.B) {
+	c := benchCluster(b)
+	ctx := context.Background()
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: "bench"}
+	if _, err := c.Call(ctx, ref, "Get"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Call(ctx, ref, "AddAndGet", int64(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -3,6 +3,11 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -38,6 +43,19 @@ func TestRetryableClassification(t *testing.T) {
 		core.ErrRebalancing,
 		core.ErrStopped,
 		rpc.ErrClientClosed,
+		// Typed transport errors classified via errors.Is, including when
+		// buried under fmt.Errorf %w wrapping.
+		net.ErrClosed,
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		io.ErrClosedPipe,
+		syscall.ECONNRESET,
+		syscall.EPIPE,
+		syscall.ECONNREFUSED,
+		fmt.Errorf("rpc: call failed: %w", net.ErrClosed),
+		fmt.Errorf("dial: %w", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}),
+		// Remote errors arrive stringified over the wire; these exercise
+		// the documented last-resort substring matching.
 		errors.New("read: connection reset by peer"),
 		errors.New("unexpected EOF"),
 		errors.New("io: read/write on closed pipe"),
@@ -225,5 +243,35 @@ func TestProfileLatencyApplied(t *testing.T) {
 	}
 	if d := time.Since(start); d < 20*time.Millisecond {
 		t.Fatalf("call took %v, want >= 20ms (two injected hops)", d)
+	}
+}
+
+// TestUninstrumentedRetryNilSpan drives the full retry loop on a client
+// built without telemetry, where the per-call *telemetry.Span stays nil.
+// Every attempt after the first calls SetAttr on that nil span, and the
+// final failure path does too; the test pins the no-op contract of nil
+// span receivers so stripping telemetry can never panic the client.
+func TestUninstrumentedRetryNilSpan(t *testing.T) {
+	dir := membership.NewDirectory(time.Hour)
+	// A member is advertised but nothing listens at its address, so every
+	// attempt fails at dial time and the client walks all retries.
+	dir.Join("ghost", "ghost-addr")
+	c, err := New(Config{
+		Transport:    rpc.NewMemNetwork(),
+		Views:        dir,
+		MaxRetries:   4,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	_, err = c.Call(context.Background(), core.Ref{Type: objects.TypeAtomicLong, Key: "x"}, "Get")
+	if err == nil {
+		t.Fatal("call to dead address succeeded")
+	}
+	if !strings.Contains(err.Error(), "failed after") {
+		t.Fatalf("error %q does not report exhausted attempts", err)
 	}
 }

@@ -7,11 +7,14 @@ import (
 	"sync"
 )
 
-// The invocation wire format is encoding/gob. Because Invocation.Args is
-// []any, every concrete argument type must be registered with gob before it
-// crosses the wire. RegisterValueTypes installs the common set; user-defined
-// shared objects register their own argument types the same way they would
-// make them Serializable in the paper's Java prototype.
+// The invocation wire format is the fast tag codec of wire.go, with
+// encoding/gob as the per-value fallback for user-registered types and as
+// the whole-message fallback when decoding pre-codec frames. Because
+// Invocation.Args is []any, every concrete argument type outside the
+// built-in tag set must be registered with gob before it crosses the
+// wire. RegisterValueTypes installs the common set; user-defined shared
+// objects register their own argument types the same way they would make
+// them Serializable in the paper's Java prototype.
 
 var registerOnce sync.Once
 
@@ -49,8 +52,37 @@ func RegisterValue(v any) {
 	gob.Register(v)
 }
 
-// EncodeInvocation serializes an invocation.
+// EncodeInvocation serializes an invocation in the fast tag format (see
+// wire.go). Hot paths that reuse buffers call AppendInvocation directly.
 func EncodeInvocation(inv Invocation) ([]byte, error) {
+	RegisterValueTypes()
+	return AppendInvocation(nil, inv)
+}
+
+// DecodeInvocation parses an invocation produced by EncodeInvocation. For
+// wire compatibility it also accepts the pre-codec format: frames without
+// the codec magic byte decode as whole-message gob (old peers).
+func DecodeInvocation(data []byte) (Invocation, error) {
+	RegisterValueTypes()
+	if isWire(data) {
+		return decodeWireInvocation(data)
+	}
+	return decodeInvocationGob(data)
+}
+
+// decodeInvocationGob is the legacy whole-message decoder.
+func decodeInvocationGob(data []byte) (Invocation, error) {
+	var inv Invocation
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&inv); err != nil {
+		return Invocation{}, fmt.Errorf("core: decode invocation: %w", err)
+	}
+	codecStats.legacyGobDecodes.Add(1)
+	return inv, nil
+}
+
+// encodeInvocationGob produces the legacy gob framing; retained for
+// wire-compatibility tests and as the baseline in codec benchmarks.
+func encodeInvocationGob(inv Invocation) ([]byte, error) {
 	RegisterValueTypes()
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(inv); err != nil {
@@ -59,34 +91,40 @@ func EncodeInvocation(inv Invocation) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeInvocation parses an invocation produced by EncodeInvocation.
-func DecodeInvocation(data []byte) (Invocation, error) {
+// EncodeResponse serializes a response in the fast tag format.
+func EncodeResponse(resp Response) ([]byte, error) {
 	RegisterValueTypes()
-	var inv Invocation
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&inv); err != nil {
-		return Invocation{}, fmt.Errorf("core: decode invocation: %w", err)
-	}
-	return inv, nil
+	return AppendResponse(nil, resp)
 }
 
-// EncodeResponse serializes a response.
-func EncodeResponse(resp Response) ([]byte, error) {
+// DecodeResponse parses a response produced by EncodeResponse, falling
+// back to whole-message gob for pre-codec frames.
+func DecodeResponse(data []byte) (Response, error) {
+	RegisterValueTypes()
+	if isWire(data) {
+		return decodeWireResponse(data)
+	}
+	return decodeResponseGob(data)
+}
+
+// decodeResponseGob is the legacy whole-message decoder.
+func decodeResponseGob(data []byte) (Response, error) {
+	var resp Response
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("core: decode response: %w", err)
+	}
+	codecStats.legacyGobDecodes.Add(1)
+	return resp, nil
+}
+
+// encodeResponseGob produces the legacy gob framing (tests, benchmarks).
+func encodeResponseGob(resp Response) ([]byte, error) {
 	RegisterValueTypes()
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
 		return nil, fmt.Errorf("core: encode response: %w", err)
 	}
 	return buf.Bytes(), nil
-}
-
-// DecodeResponse parses a response produced by EncodeResponse.
-func DecodeResponse(data []byte) (Response, error) {
-	RegisterValueTypes()
-	var resp Response
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&resp); err != nil {
-		return Response{}, fmt.Errorf("core: decode response: %w", err)
-	}
-	return resp, nil
 }
 
 // EncodeValue gob-encodes a single value; used by Snapshotter

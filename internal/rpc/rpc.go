@@ -12,6 +12,10 @@
 //     cancelled) must not wedge the connection.
 //  3. The framing must be transport-agnostic so the same protocol runs over
 //     TCP (cmd/dso-server) and over in-memory pipes (tests, benchmarks).
+//  4. The hot path must not allocate: payload buffers are pooled
+//     (GetBuffer/PutBuffer), frames are appended straight into a shared
+//     write buffer, and concurrent writers on one connection coalesce
+//     into a single Write (one syscall carries many frames).
 //
 // Frame layout (big endian):
 //
@@ -20,6 +24,11 @@
 //	uint8   kind (application-defined multiplexing tag)
 //	uint8   flags (request / response / error-response)
 //	[]byte  payload
+//
+// The frame layout is unchanged since the seed; payload *contents* moved
+// from whole-message gob to the tag codec of internal/core/wire.go, which
+// is self-identifying (magic byte), so mixed-version peers interoperate:
+// decoders accept both payload formats frame by frame.
 package rpc
 
 import (
@@ -50,6 +59,51 @@ const (
 // connection fails.
 var ErrClientClosed = errors.New("rpc: client closed")
 
+// Payload buffer pool. Incoming frame payloads, outgoing encode buffers
+// and handler responses all cycle through here so a warmed-up connection
+// serves calls without per-message allocations.
+const (
+	// minBuffer is the capacity of freshly allocated pool buffers;
+	// typical invocation frames are well under this.
+	minBuffer = 4 << 10
+	// maxPooledBuffer keeps one-off giants (dataset blobs) out of the
+	// pool so they do not pin memory.
+	maxPooledBuffer = 256 << 10
+)
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, minBuffer)
+		return &b
+	},
+}
+
+// GetBuffer returns a zero-length buffer with capacity of at least n from
+// the payload pool. Hand it back with PutBuffer when the data encoded or
+// decoded from it is no longer referenced.
+func GetBuffer(n int) []byte {
+	bp := bufPool.Get().(*[]byte)
+	b := *bp
+	if cap(b) >= n {
+		return b[:0]
+	}
+	bufPool.Put(bp)
+	if n < minBuffer {
+		n = minBuffer
+	}
+	return make([]byte, 0, n)
+}
+
+// PutBuffer recycles a buffer previously handed out by GetBuffer (or any
+// buffer the caller owns outright). The caller must not touch b again.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuffer {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
 type frame struct {
 	id      uint64
 	kind    uint8
@@ -57,24 +111,93 @@ type frame struct {
 	payload []byte
 }
 
-func writeFrame(w io.Writer, buf *[]byte, f frame) error {
+// appendFrame appends the frame's wire image to dst.
+func appendFrame(dst []byte, f frame) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.payload)))
+	dst = binary.BigEndian.AppendUint64(dst, f.id)
+	dst = append(dst, f.kind, f.flags)
+	return append(dst, f.payload...)
+}
+
+// connWriter serializes and coalesces frame writes on one connection.
+// Concurrent writers append their frames to a shared buffer; the first
+// one in becomes the flusher and carries everyone's bytes out in a single
+// conn.Write per round, so N goroutines hammering one connection cost
+// ~1 syscall per batch instead of N. A failed write closes the connection
+// (unblocking the peer's read loop) and poisons the writer.
+type connWriter struct {
+	conn net.Conn
+
+	mu       sync.Mutex
+	err      error
+	buf      []byte // frames waiting to be written
+	spare    []byte // double buffer swapped with buf on each flush
+	flushing bool
+	// direct disables coalescing: each write performs its own
+	// conn.Write under the lock (the pre-coalescing behavior, kept for
+	// A/B benchmarks and debugging).
+	direct bool
+}
+
+func (w *connWriter) write(f frame) error {
 	if len(f.payload) > MaxPayload {
 		return fmt.Errorf("rpc: payload %d exceeds limit", len(f.payload))
 	}
-	need := headerSize + len(f.payload)
-	if cap(*buf) < need {
-		*buf = make([]byte, need)
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
 	}
-	b := (*buf)[:need]
-	binary.BigEndian.PutUint32(b[0:4], uint32(len(f.payload)))
-	binary.BigEndian.PutUint64(b[4:12], f.id)
-	b[12] = f.kind
-	b[13] = f.flags
-	copy(b[headerSize:], f.payload)
-	_, err := w.Write(b)
+	if w.direct {
+		w.buf = appendFrame(w.buf[:0], f)
+		_, err := w.conn.Write(w.buf)
+		if err != nil {
+			w.fail(err)
+		}
+		w.mu.Unlock()
+		return err
+	}
+	w.buf = appendFrame(w.buf, f)
+	if w.flushing {
+		// The active flusher will pick these bytes up before it exits;
+		// a write failure surfaces through the connection teardown.
+		w.mu.Unlock()
+		return nil
+	}
+	w.flushing = true
+	for w.err == nil && len(w.buf) > 0 {
+		out := w.buf
+		w.buf = w.spare[:0]
+		w.spare = nil
+		w.mu.Unlock()
+		_, err := w.conn.Write(out)
+		w.mu.Lock()
+		if err != nil {
+			w.fail(err)
+		}
+		if cap(out) <= maxPooledBuffer {
+			w.spare = out[:0]
+		}
+	}
+	w.flushing = false
+	err := w.err
+	w.mu.Unlock()
 	return err
 }
 
+// fail poisons the writer and closes the connection so both directions
+// (including a blocked read loop) observe the failure. Callers hold mu.
+func (w *connWriter) fail(err error) {
+	if w.err == nil {
+		w.err = err
+		_ = w.conn.Close()
+	}
+}
+
+// readFrame reads one frame, drawing the payload buffer from the pool.
+// Ownership of the payload passes to the caller, who may recycle it with
+// PutBuffer once decoded.
 func readFrame(r io.Reader) (frame, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -90,7 +213,7 @@ func readFrame(r io.Reader) (frame, error) {
 		flags: hdr[13],
 	}
 	if n > 0 {
-		f.payload = make([]byte, n)
+		f.payload = GetBuffer(int(n))[:n]
 		if _, err := io.ReadFull(r, f.payload); err != nil {
 			return frame{}, err
 		}
@@ -102,6 +225,13 @@ func readFrame(r io.Reader) (frame, error) {
 // the returned bytes are shipped back as the response payload. Returning an
 // error sends an error response carrying err.Error(). Handlers run in their
 // own goroutine per request and may block (that is the point).
+//
+// Buffer ownership: payload is only valid for the duration of the call —
+// the server recycles it after the handler returns, so handlers must copy
+// anything they keep (every decoder in this codebase copies). The returned
+// slice is recycled by the server once the response frame is written;
+// handlers must hand back a buffer they own (a fresh allocation or one
+// from GetBuffer) and not retain it.
 type Handler func(ctx context.Context, kind uint8, payload []byte) ([]byte, error)
 
 // Server serves the protocol on any net.Listener.
@@ -168,8 +298,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close()
 	}()
 
-	var writeMu sync.Mutex
-	var wbuf []byte
+	w := &connWriter{conn: conn}
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
 
@@ -179,6 +308,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		if f.flags&flagRequest == 0 {
+			PutBuffer(f.payload)
 			continue // ignore stray frames
 		}
 		reqWG.Add(1)
@@ -192,9 +322,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			} else {
 				resp.payload = out
 			}
-			writeMu.Lock()
-			err := writeFrame(conn, &wbuf, resp)
-			writeMu.Unlock()
+			err := w.write(resp)
+			// Both buffers are dead once the frame is out: the request
+			// payload (handlers may not retain it) and the response
+			// (copied into the write buffer). Guard against a handler
+			// echoing the request buffer back so it is not pooled twice.
+			aliased := len(out) > 0 && len(f.payload) > 0 && &out[0] == &f.payload[0]
+			PutBuffer(f.payload)
+			if !aliased {
+				PutBuffer(resp.payload)
+			}
 			if err != nil {
 				_ = conn.Close()
 			}
@@ -238,6 +375,14 @@ type result struct {
 	err     error
 }
 
+// chPool recycles the one-shot result channels of Call. A channel re-enters
+// the pool only when provably drained and senderless: either its result was
+// received, or the caller removed its pending entry before any sender could
+// observe it.
+var chPool = sync.Pool{
+	New: func() any { return make(chan result, 1) },
+}
+
 // Observer receives one sample per completed Call: the multiplexing kind,
 // the round-trip time (including server-side blocking), the request
 // payload size, and the terminal error (nil on success). Implementations
@@ -248,9 +393,7 @@ type Observer func(kind uint8, rtt time.Duration, sent int, err error)
 // Client multiplexes calls over a single connection.
 type Client struct {
 	conn net.Conn
-
-	writeMu sync.Mutex
-	wbuf    []byte
+	w    *connWriter
 
 	mu      sync.Mutex
 	pending map[uint64]pending
@@ -266,15 +409,27 @@ type Client struct {
 }
 
 // NewClient wraps an established connection. The client owns the
-// connection and closes it on Close.
+// connection and closes it on Close. Write coalescing is on by default;
+// SetWriteCoalescing(false) reverts to one Write per frame.
 func NewClient(conn net.Conn) *Client {
 	c := &Client{
 		conn:    conn,
+		w:       &connWriter{conn: conn},
 		pending: make(map[uint64]pending),
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
 	return c
+}
+
+// SetWriteCoalescing toggles batching of concurrent writes into single
+// conn.Write calls. It is meant to be set right after NewClient (A/B
+// benchmarking, debugging); flipping it mid-traffic is safe but the
+// switch is not synchronized with in-flight writes.
+func (c *Client) SetWriteCoalescing(enable bool) {
+	c.w.mu.Lock()
+	c.w.direct = !enable
+	c.w.mu.Unlock()
 }
 
 // Dial connects over TCP and returns a client.
@@ -295,6 +450,7 @@ func (c *Client) readLoop() {
 			return
 		}
 		if f.flags&flagResponse == 0 {
+			PutBuffer(f.payload)
 			continue
 		}
 		c.mu.Lock()
@@ -304,10 +460,12 @@ func (c *Client) readLoop() {
 		}
 		c.mu.Unlock()
 		if !ok {
+			PutBuffer(f.payload)
 			continue // caller gave up (context cancelled)
 		}
 		if f.flags&flagError != 0 {
 			p.ch <- result{err: errors.New(string(f.payload))}
+			PutBuffer(f.payload)
 		} else {
 			p.ch <- result{payload: f.payload}
 		}
@@ -339,6 +497,11 @@ func (c *Client) SetObserver(f Observer) {
 
 // Call sends one request and waits for its response or context
 // cancellation. It is safe for concurrent use.
+//
+// The returned payload is a pooled buffer owned by the caller; callers on
+// hot paths may hand it back with PutBuffer once they have fully decoded
+// it (decoders must not retain references into it afterwards). Callers
+// that never recycle simply let the garbage collector take it.
 func (c *Client) Call(ctx context.Context, kind uint8, payload []byte) ([]byte, error) {
 	if obs := c.observer.Load(); obs != nil {
 		start := time.Now()
@@ -351,12 +514,13 @@ func (c *Client) Call(ctx context.Context, kind uint8, payload []byte) ([]byte, 
 
 func (c *Client) call(ctx context.Context, kind uint8, payload []byte) ([]byte, error) {
 	id := c.nextID.Add(1)
-	ch := make(chan result, 1)
+	ch := chPool.Get().(chan result)
 
 	c.mu.Lock()
 	if c.closed || c.readErr != nil {
 		err := c.readErr
 		c.mu.Unlock()
+		chPool.Put(ch)
 		if err == nil {
 			err = ErrClientClosed
 		}
@@ -365,23 +529,34 @@ func (c *Client) call(ctx context.Context, kind uint8, payload []byte) ([]byte, 
 	c.pending[id] = pending{ch: ch}
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err := writeFrame(c.conn, &c.wbuf, frame{id: id, kind: kind, flags: flagRequest, payload: payload})
-	c.writeMu.Unlock()
+	err := c.w.write(frame{id: id, kind: kind, flags: flagRequest, payload: payload})
 	if err != nil {
 		c.mu.Lock()
+		_, mine := c.pending[id]
 		delete(c.pending, id)
 		c.mu.Unlock()
+		if mine {
+			chPool.Put(ch)
+		}
 		return nil, fmt.Errorf("rpc: send: %w", err)
 	}
 
 	select {
 	case r := <-ch:
+		chPool.Put(ch)
 		return r.payload, r.err
 	case <-ctx.Done():
 		c.mu.Lock()
+		_, mine := c.pending[id]
 		delete(c.pending, id)
 		c.mu.Unlock()
+		if mine {
+			// No sender can exist: the entry was still ours, so the read
+			// loop never saw it. Safe to recycle.
+			chPool.Put(ch)
+		}
+		// Otherwise the read loop (or failAll) owns the channel and its
+		// imminent send; abandon it to the garbage collector.
 		return nil, ctx.Err()
 	}
 }

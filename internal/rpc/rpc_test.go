@@ -252,8 +252,8 @@ func TestLargePayload(t *testing.T) {
 }
 
 func TestPayloadTooLarge(t *testing.T) {
-	var buf []byte
-	err := writeFrame(&bytes.Buffer{}, &buf, frame{payload: make([]byte, MaxPayload+1)})
+	w := &connWriter{}
+	err := w.write(frame{payload: make([]byte, MaxPayload+1)})
 	if err == nil {
 		t.Fatal("oversized frame accepted")
 	}
@@ -261,13 +261,8 @@ func TestPayloadTooLarge(t *testing.T) {
 
 func TestFrameRoundTripProperty(t *testing.T) {
 	f := func(id uint64, kind, flags uint8, payload []byte) bool {
-		var buf bytes.Buffer
-		var wbuf []byte
 		in := frame{id: id, kind: kind, flags: flags, payload: payload}
-		if err := writeFrame(&buf, &wbuf, in); err != nil {
-			return false
-		}
-		out, err := readFrame(&buf)
+		out, err := readFrame(bytes.NewReader(appendFrame(nil, in)))
 		if err != nil {
 			return false
 		}
@@ -423,5 +418,149 @@ func TestObserverSamplesCalls(t *testing.T) {
 	}
 	if len(samples) != 2 {
 		t.Fatalf("observer fired after removal: %d samples", len(samples))
+	}
+}
+
+// TestBufferPoolRoundTrip pins the GetBuffer/PutBuffer contract: sizes up
+// to the pooled ceiling are served with capacity to spare, oversized
+// requests still work, and nil/undersized Puts are ignored.
+func TestBufferPoolRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, minBuffer, minBuffer + 1, maxPooledBuffer, maxPooledBuffer + 1} {
+		b := GetBuffer(n)
+		if len(b) != 0 {
+			t.Fatalf("GetBuffer(%d) len = %d, want 0", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("GetBuffer(%d) cap = %d", n, cap(b))
+		}
+		PutBuffer(b)
+	}
+	PutBuffer(nil) // must not panic
+}
+
+// TestBufferPoolStress hammers the pool from many goroutines while
+// checking that recycled buffers never leak bytes between users (each
+// goroutine writes a signature and verifies it before releasing).
+func TestBufferPoolStress(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(sig byte) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b := GetBuffer(128)
+				b = b[:128]
+				for j := range b {
+					b[j] = sig
+				}
+				for j := range b {
+					if b[j] != sig {
+						t.Errorf("buffer corrupted: got %d want %d", b[j], sig)
+						return
+					}
+				}
+				PutBuffer(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}
+
+// TestCoalescedWritesUnderLoad drives many concurrent callers through a
+// single connection with write coalescing enabled, so follower writers
+// regularly hand their frames to an in-flight flusher. Every response must
+// still match its request (no frame tearing or cross-wiring).
+func TestCoalescedWritesUnderLoad(t *testing.T) {
+	c := startPair(t, NewMemNetwork(), echoHandler)
+	c.SetWriteCoalescing(true)
+
+	const goroutines = 32
+	const callsPer = 200
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < callsPer; i++ {
+				payload := []byte(fmt.Sprintf("g%d-call%d", g, i))
+				got, err := c.Call(context.Background(), 3, payload)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				want := append([]byte{3}, payload...)
+				if !bytes.Equal(got, want) {
+					errCh <- fmt.Errorf("cross-wired response: got %q want %q", got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestDirectWritesUnderLoad is the same workload with coalescing disabled,
+// covering the mutex-serialized direct write path used for A/B comparison.
+func TestDirectWritesUnderLoad(t *testing.T) {
+	c := startPair(t, NewMemNetwork(), echoHandler)
+	c.SetWriteCoalescing(false)
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				payload := []byte(fmt.Sprintf("d%d-%d", g, i))
+				got, err := c.Call(context.Background(), 9, payload)
+				if err != nil || !bytes.Equal(got, append([]byte{9}, payload...)) {
+					failures.Add(1)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d goroutines failed on the direct write path", n)
+	}
+}
+
+// TestCoalescedWriterFailurePropagates closes the connection under a
+// coalesced writer and checks pending calls fail rather than hang.
+func TestCoalescedWriterFailurePropagates(t *testing.T) {
+	tr := NewMemNetwork()
+	block := make(chan struct{})
+	c := startPair(t, tr, func(_ context.Context, kind uint8, payload []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	defer close(block)
+
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := c.Call(context.Background(), 1, []byte("stuck"))
+			done <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	_ = c.Close()
+	for i := 0; i < 8; i++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("call succeeded after client close while handler blocked")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("pending call hung after client close")
+		}
 	}
 }

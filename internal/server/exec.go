@@ -44,6 +44,14 @@ type nodeCtl struct {
 // Wait blocks until cond() holds, re-checking after every Broadcast on the
 // same object. It aborts with ErrStopped when the node shuts down.
 //
+// Cancellation: a waiter must not depend on another Broadcast to notice
+// its context died, so the first time Wait actually blocks it installs a
+// context watcher that broadcasts the object's monitor on cancellation.
+// The watcher acquires the entry lock before broadcasting, which closes
+// the check-then-sleep race: a waiter holding the lock either sees
+// ctx.Done before sleeping, or is parked in cond.Wait (lock released) and
+// receives the wakeup.
+//
 // When the node is instrumented, time actually spent blocked is recorded
 // into the server.monitor_wait histogram and attributed to the active
 // server.invoke span (accumulated across multiple waits), so reports can
@@ -61,10 +69,21 @@ func (c nodeCtl) Wait(cond func() bool) error {
 			}
 		}()
 	}
+	var stopWatch func() bool
 	for !cond() {
-		if c.n.instrumented && !blocked {
+		if !blocked {
 			blocked = true
-			start = time.Now()
+			if c.n.instrumented {
+				start = time.Now()
+			}
+			if c.ctx.Done() != nil {
+				stopWatch = context.AfterFunc(c.ctx, func() {
+					c.e.mu.Lock()
+					c.e.cond.Broadcast()
+					c.e.mu.Unlock()
+				})
+				defer stopWatch()
+			}
 		}
 		if c.n.closed.Load() {
 			return core.ErrStopped

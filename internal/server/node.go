@@ -393,7 +393,9 @@ func (n *Node) handleInvoke(ctx context.Context, payload []byte) ([]byte, error)
 		results, callErr = n.invokeLocal(ctx, inv)
 	}
 	resp := core.Response{Results: results, Err: core.EncodeError(callErr)}
-	return core.EncodeResponse(resp)
+	// Encode into a pooled buffer; the rpc server recycles it after the
+	// response frame is written (see rpc.Handler's ownership contract).
+	return core.AppendResponse(rpc.GetBuffer(0), resp)
 }
 
 // peer returns (dialing if needed) the RPC client for a peer node.

@@ -262,3 +262,38 @@ func TestDebugHelpers(t *testing.T) {
 		t.Fatal("object not materialized")
 	}
 }
+
+// Regression: a context cancelled while an invocation is parked in
+// Ctl.Wait must unblock promptly. Before the cancellation watcher the
+// waiter only re-checked its context after a Broadcast on the same
+// object, so an abandoned barrier/future wait slept forever.
+func TestWaitUnblocksOnContextCancel(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	n := startNode(t, validConfig(net, dir))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inv := core.Invocation{
+		Ref:    core.Ref{Type: objects.TypeCyclicBarrier, Key: "stuck"},
+		Method: "Await",
+		Init:   []any{int64(2)}, // two parties, only one ever arrives
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := n.invokeLocal(ctx, inv)
+		done <- err
+	}()
+	// Let the invocation park inside Wait, then abandon it. No other
+	// invocation ever touches the object, so no Broadcast will occur.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not unblock on context cancellation")
+	}
+}

@@ -1,8 +1,12 @@
 package telemetry
 
 import (
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
+
+	"crucial/internal/core"
 )
 
 // HTTPHandler builds the observability endpoint served by dso-server's
@@ -20,6 +24,7 @@ func HTTPHandler(node string, t *Telemetry) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w, t.Snapshot())
+		writeCodecStats(w)
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -32,4 +37,34 @@ func HTTPHandler(node string, t *Telemetry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// writeCodecStats appends the wire-codec counters to a Prometheus
+// exposition. They live as process-wide atomics in internal/core (the
+// codec cannot depend on telemetry), so they are exported here rather
+// than through the registry. Interpretation:
+//
+//	crucial_codec_fast_encodes_total    messages written in the tag-based format
+//	crucial_codec_fast_decodes_total    messages parsed from the tag-based format
+//	crucial_codec_legacy_gob_total      inbound frames still in the pre-codec gob
+//	                                    format (non-zero during a rolling upgrade;
+//	                                    persistently non-zero means an old peer)
+//	crucial_codec_fallback_values_total argument/result values outside the
+//	                                    built-in type set, embedded via per-value
+//	                                    gob (non-zero means RegisterValue types
+//	                                    are on the hot path — worth a look if
+//	                                    codec throughput matters)
+func writeCodecStats(w io.Writer) {
+	s := core.ReadCodecStats()
+	for _, c := range []struct {
+		name string
+		v    uint64
+	}{
+		{"crucial_codec_fast_encodes_total", s.FastEncodes},
+		{"crucial_codec_fast_decodes_total", s.FastDecodes},
+		{"crucial_codec_legacy_gob_total", s.LegacyGobDecodes},
+		{"crucial_codec_fallback_values_total", s.FallbackValues},
+	} {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v)
+	}
 }

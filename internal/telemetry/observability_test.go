@@ -325,6 +325,18 @@ func TestHTTPEndpoints(t *testing.T) {
 	if samples["crucial_server_invocations_total"] != 9 {
 		t.Fatalf("scraped counter = %v", samples["crucial_server_invocations_total"])
 	}
+	// The wire-codec counters (process-wide atomics in internal/core) must
+	// ride along on every scrape, even when their values are zero.
+	for _, name := range []string{
+		"crucial_codec_fast_encodes_total",
+		"crucial_codec_fast_decodes_total",
+		"crucial_codec_legacy_gob_total",
+		"crucial_codec_fallback_values_total",
+	} {
+		if !strings.Contains(string(body), "# TYPE "+name+" counter") {
+			t.Fatalf("/metrics missing codec counter %s", name)
+		}
+	}
 
 	tr, err := srv.Client().Get(srv.URL + "/traces")
 	if err != nil {
