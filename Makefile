@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-rpc cover verify
+.PHONY: build test vet fmt race bench bench-rpc cover verify chaos chaos-short
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,19 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
+# chaos runs the nemesis linearizability suite under the race detector:
+# five seeded fault schedules (partitions, drop/delay, duplication,
+# crash/restart, combined) plus the at-most-once blackhole regressions.
+# Schedules are deterministic in their seeds, so a failure reproduces.
+chaos:
+	$(GO) test -race -count=1 -run 'TestNemesis|TestAtMostOnce' ./internal/chaos/
+
+# chaos-short is the verify-gate slice of the nemesis: one partition
+# schedule and one crash/restart schedule, shrunk by -short.
+chaos-short:
+	$(GO) test -race -count=1 -short -run 'TestNemesisPartition|TestNemesisCrashRestart' ./internal/chaos/
+
 # verify is the tier-1 gate (see ROADMAP.md): everything must be gofmt
-# clean, compile, vet clean, and pass under the race detector.
-verify: fmt vet build race
+# clean, compile, vet clean, pass under the race detector, and survive
+# the short nemesis slice.
+verify: fmt vet build race chaos-short

@@ -53,6 +53,7 @@ func run() int {
 			fmt.Println(name)
 		}
 		fmt.Println(bench.ExpStages)
+		fmt.Println(bench.ExpChaos)
 		return 0
 	}
 	opts := bench.Options{Scale: *scale, Quick: *quick, Report: *report}

@@ -9,6 +9,8 @@
 //	dso-cli -members n1=:7001,n2=:7002 -type CyclicBarrier -key b -init 3 -method Await
 //	dso-cli stats -members n1=:7001,n2=:7002
 //	dso-cli trace -members n1=:7001,n2=:7002 -o trace.json
+//	dso-cli chaos partition -members n1=:7001,n2=:7002 -group n1 -group n2
+//	dso-cli chaos restart -members n1=:7001,n2=:7002 -node n2
 //
 // The stats subcommand fetches every node's counters and telemetry
 // snapshot and prints a per-node breakdown plus a cluster-wide merge
@@ -71,6 +73,8 @@ func main() {
 			os.Exit(runStats(os.Args[2:]))
 		case "trace":
 			os.Exit(runTrace(os.Args[2:]))
+		case "chaos":
+			os.Exit(runChaos(os.Args[2:]))
 		}
 	}
 	os.Exit(run())
@@ -131,6 +135,135 @@ func runTrace(argv []string) int {
 			len(spans), reached, len(view.Members), *out)
 	}
 	return 0
+}
+
+// runChaos implements `dso-cli chaos <op>`: fault-injection commands for a
+// running cluster.
+//
+//	dso-cli chaos partition -members ... -group n1 -group n2,n3
+//	dso-cli chaos partition-one-way -members ... -from n1 -to n2,n3
+//	dso-cli chaos heal -members ...
+//	dso-cli chaos crash -members ... -node n2
+//	dso-cli chaos restart -members ... -node n2
+//
+// Partition commands are broadcast to every member (each node applies them
+// to its local chaos engine); crash/restart go to the named node only,
+// whose supervisor (dso-server -chaos) bounces it.
+func runChaos(argv []string) int {
+	if len(argv) == 0 {
+		fmt.Fprintln(os.Stderr, "dso-cli chaos: missing op (partition|partition-one-way|heal|crash|restart)")
+		return 1
+	}
+	op := argv[0]
+	fs := flag.NewFlagSet("chaos "+op, flag.ExitOnError)
+	var (
+		members = fs.String("members", "", "comma-separated id=addr pairs of the cluster")
+		node    = fs.String("node", "", "target node for crash/restart")
+		from    = fs.String("from", "", "comma-separated source group for partition-one-way")
+		to      = fs.String("to", "", "comma-separated destination group for partition-one-way")
+		timeout = fs.Duration("timeout", 10*time.Second, "per-node RPC timeout")
+		groups  groupList
+	)
+	fs.Var(&groups, "group", "comma-separated partition group (repeatable)")
+	_ = fs.Parse(argv[1:])
+
+	view, err := staticView(*members)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dso-cli:", err)
+		return 1
+	}
+
+	cmd := server.ChaosCmd{Op: op}
+	targets := view.Members
+	switch op {
+	case "partition":
+		if len(groups) < 2 {
+			fmt.Fprintln(os.Stderr, "dso-cli chaos partition: need at least two -group")
+			return 1
+		}
+		cmd.Groups = groups
+	case "partition-one-way":
+		cmd.From = splitGroup(*from)
+		cmd.To = splitGroup(*to)
+		if len(cmd.From) == 0 || len(cmd.To) == 0 {
+			fmt.Fprintln(os.Stderr, "dso-cli chaos partition-one-way: need -from and -to")
+			return 1
+		}
+	case "heal":
+	case "crash", "restart":
+		if *node == "" {
+			fmt.Fprintf(os.Stderr, "dso-cli chaos %s: need -node\n", op)
+			return 1
+		}
+		if _, ok := view.Addrs[ring.NodeID(*node)]; !ok {
+			fmt.Fprintf(os.Stderr, "dso-cli chaos: node %q not in member list\n", *node)
+			return 1
+		}
+		targets = []ring.NodeID{ring.NodeID(*node)}
+	default:
+		fmt.Fprintf(os.Stderr, "dso-cli chaos: unknown op %q\n", op)
+		return 1
+	}
+
+	payload, err := core.EncodeValue(cmd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dso-cli:", err)
+		return 1
+	}
+	applied := 0
+	for _, id := range targets {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		err := sendChaos(ctx, view.Addrs[id], payload)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dso-cli: warning: node %s: %v\n", id, err)
+			continue
+		}
+		applied++
+	}
+	if applied == 0 {
+		fmt.Fprintln(os.Stderr, "dso-cli: no node accepted the chaos command")
+		return 1
+	}
+	fmt.Printf("chaos %s applied on %d/%d node(s)\n", op, applied, len(targets))
+	return 0
+}
+
+// sendChaos performs one KindChaos round-trip against a node.
+func sendChaos(ctx context.Context, addr string, payload []byte) error {
+	conn, err := rpc.TCP{}.Dial(addr)
+	if err != nil {
+		return err
+	}
+	rc := rpc.NewClient(conn)
+	defer func() { _ = rc.Close() }()
+	_, err = rc.Call(ctx, server.KindChaos, payload)
+	return err
+}
+
+// groupList collects repeatable -group flags, each a comma-separated node
+// list.
+type groupList [][]string
+
+func (g *groupList) String() string { return fmt.Sprint([][]string(*g)) }
+
+func (g *groupList) Set(s string) error {
+	grp := splitGroup(s)
+	if len(grp) == 0 {
+		return fmt.Errorf("empty group")
+	}
+	*g = append(*g, grp)
+	return nil
+}
+
+func splitGroup(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // runStats implements `dso-cli stats`: one KindStats RPC per member, a

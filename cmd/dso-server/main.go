@@ -45,6 +45,8 @@ func run() int {
 		members  = flag.String("members", "", "comma-separated id=addr pairs for the whole cluster")
 		rf       = flag.Int("rf", 1, "replication factor for persistent objects")
 		telem    = flag.Bool("telemetry", false, "record spans and latency histograms (served via `dso-cli stats`)")
+		chaosOn  = flag.Bool("chaos", false, "accept `dso-cli chaos crash/restart` commands: a supervisor bounces this node in-process")
+		crashFor = flag.Duration("chaos-restart-after", 3*time.Second, "downtime before the supervisor revives a chaos-crashed node (restart is immediate)")
 		httpAddr = flag.String("http", "", "serve /metrics (Prometheus), /traces (trace-event JSON) and /debug/pprof on this address, e.g. :8080")
 		logSpec  = flag.String("log", "info", "log level spec: one level for all components (debug|info|warn|error) or component=level pairs")
 	)
@@ -97,7 +99,7 @@ func run() int {
 		logger.Info("observability endpoint up", "addr", *httpAddr,
 			"paths", "/metrics /traces /debug/pprof")
 	}
-	node, err := server.Start(server.Config{
+	cfg := server.Config{
 		ID:        ring.NodeID(*id),
 		Addr:      addr,
 		Transport: rpc.TCP{},
@@ -105,23 +107,62 @@ func run() int {
 		Directory: dir,
 		RF:        *rf,
 		Telemetry: tel,
-	})
+	}
+	// The supervisor channel decouples the KindChaos RPC handler from the
+	// node teardown it triggers: the handler just enqueues the op and the
+	// main loop below does the bouncing.
+	lifecycle := make(chan string, 4)
+	if *chaosOn {
+		cfg.OnChaosLifecycle = func(op string) error {
+			select {
+			case lifecycle <- op:
+				return nil
+			default:
+				return fmt.Errorf("chaos lifecycle command %q dropped: supervisor busy", op)
+			}
+		}
+	}
+	node, err := server.Start(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dso-server:", err)
 		return 1
 	}
 	logger.Info("node serving",
-		"node", *id, "addr", addr, "cluster_size", len(addrs), "rf", *rf)
+		"node", *id, "addr", addr, "cluster_size", len(addrs), "rf", *rf, "chaos", *chaosOn)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	logger.Info("shutting down")
-	if err := node.Crash(); err != nil {
-		logger.Error("shutdown failed", "err", err)
-		return 1
+	for {
+		select {
+		case <-sig:
+			logger.Info("shutting down")
+			if err := node.Crash(); err != nil {
+				logger.Error("shutdown failed", "err", err)
+				return 1
+			}
+			return 0
+		case op := <-lifecycle:
+			// "restart" bounces immediately; "crash" leaves the node down
+			// for -chaos-restart-after so peers and clients feel the
+			// outage. Static membership means peers keep this node in
+			// their views throughout — the revived node re-serves its ring
+			// share as soon as it is back up.
+			logger.Warn("chaos lifecycle", "op", op)
+			if err := node.Crash(); err != nil {
+				logger.Error("chaos crash failed", "err", err)
+				return 1
+			}
+			if op == "crash" {
+				time.Sleep(*crashFor)
+			}
+			node, err = server.Start(cfg)
+			if err != nil {
+				logger.Error("chaos restart failed", "err", err)
+				return 1
+			}
+			logger.Info("node revived", "node", *id, "addr", addr)
+		}
 	}
-	return 0
 }
 
 // parseMembers decodes "id=addr,id=addr".

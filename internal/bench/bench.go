@@ -110,9 +110,11 @@ func Run(name string, w io.Writer, o Options) error {
 		return AblationBlocking(w, o)
 	case ExpStages:
 		return Stages(w, o)
+	case ExpChaos:
+		return Chaos(w, o)
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (known: %v + %v + %q)",
-			name, Names(), AblationNames(), ExpStages)
+		return fmt.Errorf("bench: unknown experiment %q (known: %v + %v + %q + %q)",
+			name, Names(), AblationNames(), ExpStages, ExpChaos)
 	}
 }
 

@@ -178,6 +178,20 @@ func TestAblationNames(t *testing.T) {
 	}
 }
 
+func TestChaosSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(ExpChaos, &buf, quickOpts()); err != nil {
+		t.Fatalf("chaos: %v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SEED") || !strings.Contains(out, "yes") {
+		t.Fatalf("chaos report incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "NO") {
+		t.Fatalf("chaos run not linearizable:\n%s", out)
+	}
+}
+
 func TestStagesSmoke(t *testing.T) {
 	var jsonBuf bytes.Buffer
 	var buf bytes.Buffer

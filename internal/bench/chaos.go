@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"crucial/internal/chaos"
+	"crucial/internal/cluster"
+	"crucial/internal/core"
+	"crucial/internal/linearizability"
+	"crucial/internal/objects"
+	"crucial/internal/ring"
+	"crucial/internal/rpc"
+	"crucial/internal/telemetry"
+)
+
+// ExpChaos is the nemesis experiment (not part of RunAll, like the
+// ablations): a live 3-node RF=2 cluster runs a concurrent counter
+// workload while a seeded, generated fault schedule partitions links,
+// drops/delays/duplicates frames, and crashes/restarts nodes. Every run
+// checks the recorded history for linearizability — the paper's central
+// guarantee — and reports the injected-fault breakdown. Schedules are
+// deterministic in the seed, so a reported run reproduces exactly.
+const ExpChaos = "chaos"
+
+// chaosSeeds are the schedules the experiment reports. Deterministic and
+// diverse: each seed generates a different mix of partitions, link faults
+// and crash/restarts.
+var chaosSeeds = []int64{11, 22, 33}
+
+// Chaos runs the nemesis schedules and prints one row per seed.
+func Chaos(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	seeds := chaosSeeds
+	if o.Quick {
+		seeds = seeds[:1]
+	}
+
+	title(w, "Chaos: linearizability under seeded fault schedules (3 nodes, RF=2)")
+	row(w, "%6s %6s %9s %9s %7s %7s %7s %9s %12s", "SEED", "OPS",
+		"DROPPED", "PARTDROP", "DUP", "CRASH", "RESTART", "DEDUPHIT", "LINEARIZABLE")
+	for _, seed := range seeds {
+		r, err := chaosRun(seed, o)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		verdict := "yes"
+		if !r.linearizable {
+			verdict = "NO"
+		}
+		row(w, "%6d %6d %9d %9d %7d %7d %7d %9d %12s", seed, r.ops,
+			r.counts.FramesDropped, r.counts.PartitionDrops, r.counts.FramesDuplicated,
+			r.counts.Crashes, r.counts.Restarts, r.dedupHits, verdict)
+		if !r.linearizable {
+			return fmt.Errorf("seed %d: history not linearizable", seed)
+		}
+	}
+	note(w, "every op retried until success (at-most-once stamps make retries safe);")
+	note(w, "DEDUPHIT counts duplicate deliveries answered from the server window")
+	return nil
+}
+
+// chaosResult is one seed's outcome.
+type chaosResult struct {
+	ops          int
+	counts       chaos.Counts
+	dedupHits    uint64
+	linearizable bool
+}
+
+// chaosRun executes one seeded schedule against a fresh cluster.
+func chaosRun(seed int64, o Options) (chaosResult, error) {
+	tel := telemetry.New()
+	eng := chaos.New(rpc.NewMemNetwork(), chaos.Options{Seed: seed, Telemetry: tel})
+	cl, err := cluster.StartLocal(cluster.Options{
+		Nodes:     3,
+		RF:        2,
+		Chaos:     eng,
+		Telemetry: tel,
+		ClientRetry: core.RetryPolicy{
+			MaxRetries: 150,
+			Backoff:    time.Millisecond,
+			MaxBackoff: 15 * time.Millisecond,
+			Multiplier: 1.5,
+			Jitter:     0.3,
+		},
+		ClientAttemptTimeout: 200 * time.Millisecond,
+		PeerCallTimeout:      250 * time.Millisecond,
+	})
+	if err != nil {
+		return chaosResult{}, err
+	}
+	defer cl.Close()
+
+	nodes := make([]string, 0, 3)
+	for _, id := range cl.NodeIDs() {
+		nodes = append(nodes, string(id))
+	}
+	plan := chaos.GeneratePlan(seed, chaos.PlanConfig{
+		Nodes:        nodes,
+		Steps:        pick(o, 3, 6),
+		Spacing:      60 * time.Millisecond,
+		Partitions:   true,
+		LinkFaults:   true,
+		CrashRestart: true,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	planDone := make(chan error, 1)
+	go func() {
+		planDone <- plan.Run(ctx, chaos.Target{
+			Engine: eng,
+			Crash:  func(n string) error { return cl.CrashNode(ring.NodeID(n)) },
+			Restart: func(n string) error {
+				_, err := cl.RestartNode(ring.NodeID(n))
+				return err
+			},
+		})
+	}()
+
+	// Crash/restart schedules kill single-copy state, so the workload uses
+	// one persistent (replicated) counter. Histories stay small: the
+	// linearizability check is exhaustive.
+	workers := pick(o, 2, 4)
+	opsPer := pick(o, 3, 4)
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: fmt.Sprintf("chaos-%d", seed)}
+	var (
+		mu       sync.Mutex
+		history  []linearizability.Operation
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := cl.NewClient()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < opsPer; i++ {
+				method, input := "AddAndGet", any(linearizability.CounterOp{Kind: "add", Delta: 1})
+				var args []any = []any{int64(1)}
+				if (w+i)%3 == 2 {
+					method, input, args = "Get", linearizability.CounterOp{Kind: "get"}, nil
+				}
+				call := time.Now()
+				res, err := conn.InvokeObject(ctx, core.Invocation{
+					Ref: ref, Method: method, Args: args, Persist: true,
+				})
+				ret := time.Now()
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("worker %d %s: %w", w, method, err)
+					}
+					mu.Unlock()
+					return
+				}
+				v, ok := core.NumberAsInt64(res[0])
+				if !ok {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s returned %T, want integer", method, res[0])
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				history = append(history, linearizability.Operation{
+					ClientID: w, Input: input, Output: v, Call: call, Return: ret,
+				})
+				mu.Unlock()
+				// Pace the ops so the small history spans the whole fault
+				// schedule instead of finishing inside the first window.
+				time.Sleep(time.Duration(50+5*((w+i)%5)) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := <-planDone; err != nil {
+		return chaosResult{}, fmt.Errorf("fault plan: %w", err)
+	}
+	if firstErr != nil {
+		return chaosResult{}, firstErr
+	}
+
+	_, ok := linearizability.Check(linearizability.CounterModel(), history)
+	return chaosResult{
+		ops:          len(history),
+		counts:       eng.Counts(),
+		dedupHits:    tel.Metrics().Counter(telemetry.MetServerDedupHits).Value(),
+		linearizable: ok,
+	}, nil
+}

@@ -1,0 +1,103 @@
+package chaos_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"crucial/internal/chaos"
+	"crucial/internal/cluster"
+	"crucial/internal/core"
+	"crucial/internal/objects"
+	"crucial/internal/rpc"
+	"crucial/internal/server"
+	"crucial/internal/telemetry"
+)
+
+// atMostOnceCluster builds a cluster whose first invocation response is
+// blackholed: the server executes, the client never hears back, times the
+// attempt out and retries the same stamped invocation.
+func atMostOnceCluster(t *testing.T, nodes, rf int) (*cluster.Cluster, *telemetry.Telemetry) {
+	t.Helper()
+	tel := telemetry.New()
+	eng := chaos.New(rpc.NewMemNetwork(), chaos.Options{Seed: 7, Telemetry: tel})
+	eng.AddRule(chaos.Rule{
+		From:    "dso-*",
+		To:      "client-*",
+		Dir:     chaos.Responses,
+		Kind:    server.KindInvoke,
+		Faults:  chaos.LinkFaults{Drop: 1},
+		MaxHits: 1,
+	})
+	cl, err := cluster.StartLocal(cluster.Options{
+		Nodes:     nodes,
+		RF:        rf,
+		Chaos:     eng,
+		Telemetry: tel,
+		ClientRetry: core.RetryPolicy{
+			MaxRetries: 20, Backoff: time.Millisecond,
+			MaxBackoff: 10 * time.Millisecond, Multiplier: 1.5, Jitter: 0.2,
+		},
+		ClientAttemptTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, tel
+}
+
+func checkMovesOnce(t *testing.T, cl *cluster.Cluster, tel *telemetry.Telemetry, persist bool) {
+	t.Helper()
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: "amo"}
+	res, err := c.InvokeObject(ctx, core.Invocation{
+		Ref: ref, Method: "AddAndGet", Args: []any{int64(1)}, Persist: persist,
+	})
+	if err != nil {
+		t.Fatalf("AddAndGet after response loss: %v", err)
+	}
+	if got := res[0].(int64); got != 1 {
+		t.Fatalf("AddAndGet = %d, want 1 (the increment must apply exactly once)", got)
+	}
+
+	res, err = c.InvokeObject(ctx, core.Invocation{Ref: ref, Method: "Get", Persist: persist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res[0].(int64); got != 1 {
+		t.Fatalf("counter = %d after one increment with a lost response, want exactly 1", got)
+	}
+
+	if v := tel.Metrics().Counter(telemetry.MetChaosFramesDropped).Value(); v == 0 {
+		t.Error("the blackhole rule never fired — test exercised nothing")
+	}
+	if v := tel.Metrics().Counter(telemetry.MetServerDedupHits).Value(); v == 0 {
+		t.Error("retry was not answered from the dedup window")
+	}
+}
+
+// TestAtMostOnceBlackholedResponse is the core at-most-once regression: the
+// response to the first AddAndGet is dropped in-network, the client retries,
+// and the counter still moves exactly once because the server replays the
+// cached response instead of re-executing.
+func TestAtMostOnceBlackholedResponse(t *testing.T) {
+	cl, tel := atMostOnceCluster(t, 1, 1)
+	checkMovesOnce(t, cl, tel, false)
+}
+
+// TestAtMostOnceReplicatedBlackhole repeats the regression for a persistent
+// (SMR, rf=2) object: the retried invocation passes through total-order
+// multicast again, and the dedup window — populated on every replica at
+// apply time — must stop the second application.
+func TestAtMostOnceReplicatedBlackhole(t *testing.T) {
+	cl, tel := atMostOnceCluster(t, 2, 2)
+	checkMovesOnce(t, cl, tel, true)
+}

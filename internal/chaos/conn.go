@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"crucial/internal/rpc"
+)
+
+// chaosConn passes both flows of a dialed connection through the engine's
+// fault rules at frame granularity.
+//
+// Write side (local -> remote): bytes are accumulated until a complete rpc
+// frame is available, then the engine rolls the dice per frame. Delivered
+// and duplicated frames go to the underlying connection immediately;
+// delayed frames are rewritten by a timer; dropped frames vanish. A mutex
+// around underlying writes keeps frames atomic even when a delayed frame
+// fires concurrently with a fresh write.
+//
+// Read side (remote -> local): a pump goroutine drains the underlying
+// connection continuously, cuts the stream into frames, and pushes the
+// survivors into an inbox the Read method serves from. Draining
+// continuously is what makes delay work on net.Pipe transports: the remote
+// writer unblocks immediately while delivery to the local reader waits in
+// the inbox, and an undelayed successor frame can overtake a delayed one
+// (reordering).
+type chaosConn struct {
+	net.Conn
+	e             *Engine
+	local, remote string
+
+	wmu    sync.Mutex // Write path: splitter + dice
+	wsplit splitter
+	outMu  sync.Mutex // underlying writes (shared with delay timers)
+	werr   error      // first underlying write error (under outMu)
+
+	in inbox
+}
+
+func newChaosConn(e *Engine, local, remote string, inner net.Conn) *chaosConn {
+	c := &chaosConn{Conn: inner, e: e, local: local, remote: remote}
+	c.in.cond = sync.NewCond(&c.in.mu)
+	go c.pump()
+	return c
+}
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	c.wsplit.feed(p)
+	for {
+		frame, meta, ok := c.wsplit.next()
+		if !ok {
+			break
+		}
+		v := c.e.frameVerdict(c.local, c.remote, meta)
+		switch {
+		case v.drop:
+		case v.delay > 0:
+			time.AfterFunc(v.delay, func() { c.writeRaw(frame) })
+		default:
+			c.writeRaw(frame)
+			if v.dup {
+				c.writeRaw(frame)
+			}
+		}
+	}
+	c.wmu.Unlock()
+
+	c.outMu.Lock()
+	err := c.werr
+	c.outMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	// Dropped frames still count as written: to the caller a drop is loss
+	// inside the network, not a broken connection.
+	return len(p), nil
+}
+
+func (c *chaosConn) writeRaw(frame []byte) {
+	c.outMu.Lock()
+	defer c.outMu.Unlock()
+	if c.werr != nil {
+		return
+	}
+	if _, err := c.Conn.Write(frame); err != nil {
+		c.werr = err
+	}
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	return c.in.read(p)
+}
+
+func (c *chaosConn) pump() {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := c.Conn.Read(buf)
+		if n > 0 {
+			c.in.mu.Lock()
+			c.rpumpFeed(buf[:n])
+			c.in.mu.Unlock()
+		}
+		if err != nil {
+			c.in.fail(err)
+			return
+		}
+	}
+}
+
+// rpumpFeed runs under c.in.mu (the pump is the only splitter user, but
+// the inbox pushes must be ordered with delayed pushes anyway).
+func (c *chaosConn) rpumpFeed(p []byte) {
+	c.in.rsplit.feed(p)
+	for {
+		frame, meta, ok := c.in.rsplit.next()
+		if !ok {
+			return
+		}
+		v := c.e.frameVerdict(c.remote, c.local, meta)
+		switch {
+		case v.drop:
+		case v.delay > 0:
+			time.AfterFunc(v.delay, func() { c.in.push(frame) })
+		default:
+			c.in.pushLocked(frame)
+			if v.dup {
+				c.in.pushLocked(frame)
+			}
+		}
+	}
+}
+
+// inbox buffers inbound frames between the pump and Read.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	rsplit splitter
+	buf    bytes.Buffer
+	err    error
+}
+
+func (in *inbox) push(frame []byte) {
+	in.mu.Lock()
+	in.pushLocked(frame)
+	in.mu.Unlock()
+}
+
+func (in *inbox) pushLocked(frame []byte) {
+	if in.err != nil {
+		return // connection already failed; late delayed frames vanish
+	}
+	in.buf.Write(frame)
+	in.cond.Broadcast()
+}
+
+func (in *inbox) fail(err error) {
+	in.mu.Lock()
+	if in.err == nil {
+		in.err = err
+	}
+	in.cond.Broadcast()
+	in.mu.Unlock()
+}
+
+func (in *inbox) read(p []byte) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for in.buf.Len() == 0 && in.err == nil {
+		in.cond.Wait()
+	}
+	if in.buf.Len() > 0 {
+		return in.buf.Read(p)
+	}
+	if in.err == io.EOF {
+		return 0, io.EOF
+	}
+	return 0, in.err
+}
+
+// Close closes the underlying connection; the pump observes the resulting
+// read error and fails the inbox, waking any blocked Read.
+func (c *chaosConn) Close() error {
+	return c.Conn.Close()
+}
+
+// splitter reassembles a byte stream into whole rpc frames.
+type splitter struct {
+	buf []byte
+}
+
+func (s *splitter) feed(p []byte) {
+	s.buf = append(s.buf, p...)
+}
+
+// next pops one complete frame (header + payload) as a fresh copy, safe to
+// retain past the next feed.
+func (s *splitter) next() ([]byte, rpc.FrameMeta, bool) {
+	if len(s.buf) < rpc.FrameHeaderSize {
+		return nil, rpc.FrameMeta{}, false
+	}
+	meta := rpc.ParseFrameHeader(s.buf)
+	total := rpc.FrameHeaderSize + meta.PayloadLen
+	if len(s.buf) < total {
+		return nil, rpc.FrameMeta{}, false
+	}
+	frame := make([]byte, total)
+	copy(frame, s.buf[:total])
+	s.buf = s.buf[total:]
+	if len(s.buf) == 0 {
+		s.buf = nil // let the backing array go once fully drained
+	}
+	return frame, meta, true
+}

@@ -1,0 +1,57 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"crucial/internal/chaos"
+	"crucial/internal/faas"
+	"crucial/internal/rpc"
+)
+
+// The chaos engine must plug into the FaaS platform's injector seam
+// structurally — neither package imports the other outside of tests.
+var _ faas.Injector = (*chaos.Engine)(nil)
+
+// TestEngineDrivesFaaSPlatform runs the engine as the platform's injector:
+// scheduled invocation faults surface as ErrInjectedFailure, slow-container
+// delays stretch execution, and both drain once MaxFaults is hit.
+func TestEngineDrivesFaaSPlatform(t *testing.T) {
+	eng := chaos.New(rpc.NewMemNetwork(), chaos.Options{Seed: 42})
+	p := faas.NewPlatform(faas.Options{Injector: eng})
+	if err := p.Deploy("sq", func(_ context.Context, in []byte) ([]byte, error) {
+		return in, nil
+	}, faas.FunctionConfig{}); err != nil {
+		t.Fatal(err)
+	}
+
+	eng.SetFaaSFaults("sq", chaos.FaaSFaults{FailProb: 1, MaxFaults: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := p.Invoke(context.Background(), "sq", nil); !errors.Is(err, faas.ErrInjectedFailure) {
+			t.Fatalf("invocation %d: err = %v, want ErrInjectedFailure", i, err)
+		}
+	}
+	if out, err := p.Invoke(context.Background(), "sq", []byte("ok")); err != nil || string(out) != "ok" {
+		t.Fatalf("after MaxFaults drained: %q, %v", out, err)
+	}
+	if got := eng.Counts().FaaSFaults; got != 2 {
+		t.Fatalf("engine counted %d faas faults, want 2", got)
+	}
+	if got := p.Metrics().Counter("faas.failures.by_fn.sq").Value(); got != 2 {
+		t.Fatalf("per-function failure counter = %d, want 2", got)
+	}
+
+	eng.SetFaaSFaults("sq", chaos.FaaSFaults{SlowProb: 1, SlowBy: 5 * time.Millisecond, MaxFaults: 1})
+	start := time.Now()
+	if _, err := p.Invoke(context.Background(), "sq", nil); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("slow-container delay was not applied")
+	}
+	if got := eng.Counts().FaaSDelays; got != 1 {
+		t.Fatalf("engine counted %d faas delays, want 1", got)
+	}
+}

@@ -1,0 +1,279 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// ActionKind enumerates what a plan step does.
+type ActionKind int
+
+const (
+	// ActPartition installs a symmetric partition (Step.Groups).
+	ActPartition ActionKind = iota
+	// ActPartitionOneWay blocks only Step.From -> Step.To.
+	ActPartitionOneWay
+	// ActHeal removes every partition.
+	ActHeal
+	// ActRule installs a link-fault rule (Step.Rule).
+	ActRule
+	// ActClearRules removes all link-fault rules.
+	ActClearRules
+	// ActCrash crashes Step.Node via the target's Crash hook.
+	ActCrash
+	// ActRestart restarts Step.Node via the target's Restart hook.
+	ActRestart
+	// ActFaaS installs FaaS faults for Step.Fn (Step.FaaS).
+	ActFaaS
+	// ActReset heals partitions and clears link and FaaS rules.
+	ActReset
+)
+
+var actionNames = map[ActionKind]string{
+	ActPartition:       "partition",
+	ActPartitionOneWay: "partition-one-way",
+	ActHeal:            "heal",
+	ActRule:            "rule",
+	ActClearRules:      "clear-rules",
+	ActCrash:           "crash",
+	ActRestart:         "restart",
+	ActFaaS:            "faas",
+	ActReset:           "reset",
+}
+
+// Step is one scheduled action of a plan.
+type Step struct {
+	// At is the offset from plan start at which the step fires.
+	At   time.Duration
+	Kind ActionKind
+
+	Groups   [][]string // ActPartition
+	From, To []string   // ActPartitionOneWay
+	Rule     Rule       // ActRule
+	Node     string     // ActCrash, ActRestart
+	Fn       string     // ActFaaS
+	FaaS     FaaSFaults // ActFaaS
+}
+
+// String renders the step for logs and determinism tests.
+func (s Step) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", s.At, actionNames[s.Kind])
+	switch s.Kind {
+	case ActPartition:
+		fmt.Fprintf(&b, " %v", s.Groups)
+	case ActPartitionOneWay:
+		fmt.Fprintf(&b, " %v->%v", s.From, s.To)
+	case ActRule:
+		fmt.Fprintf(&b, " %s->%s drop=%.2f dup=%.2f delay=%.2f/%s",
+			s.Rule.From, s.Rule.To, s.Rule.Faults.Drop,
+			s.Rule.Faults.Duplicate, s.Rule.Faults.Delay, s.Rule.Faults.DelayBy)
+	case ActCrash, ActRestart:
+		fmt.Fprintf(&b, " %s", s.Node)
+	case ActFaaS:
+		fmt.Fprintf(&b, " %s fail=%.2f slow=%.2f", s.Fn, s.FaaS.FailProb, s.FaaS.SlowProb)
+	}
+	return b.String()
+}
+
+// Plan is a timed fault schedule. Steps must be ordered by At; Run fires
+// them relative to the moment it is called.
+type Plan struct {
+	Steps []Step
+}
+
+// String renders one step per line — two plans generated from the same
+// seed render identically, which the determinism test pins.
+func (p Plan) String() string {
+	lines := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		lines[i] = s.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Target is what a plan acts on. Crash and Restart may be nil when the
+// plan contains no lifecycle steps.
+type Target struct {
+	Engine  *Engine
+	Crash   func(node string) error
+	Restart func(node string) error
+}
+
+// Run fires the plan's steps at their offsets. It returns early on ctx
+// cancellation or on the first Crash/Restart hook error; rule and
+// partition steps cannot fail.
+func (p Plan) Run(ctx context.Context, t Target) error {
+	start := time.Now()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for _, s := range p.Steps {
+		if wait := s.At - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err := applyStep(s, t); err != nil {
+			return fmt.Errorf("chaos: step %q: %w", s.String(), err)
+		}
+	}
+	return nil
+}
+
+func applyStep(s Step, t Target) error {
+	e := t.Engine
+	switch s.Kind {
+	case ActPartition:
+		e.Partition(s.Groups...)
+	case ActPartitionOneWay:
+		e.PartitionOneWay(s.From, s.To)
+	case ActHeal:
+		e.Heal()
+	case ActRule:
+		e.AddRule(s.Rule)
+	case ActClearRules:
+		e.ClearRules()
+	case ActCrash:
+		if t.Crash == nil {
+			return fmt.Errorf("no crash hook")
+		}
+		if err := t.Crash(s.Node); err != nil {
+			return err
+		}
+		e.NoteCrash(s.Node)
+	case ActRestart:
+		if t.Restart == nil {
+			return fmt.Errorf("no restart hook")
+		}
+		if err := t.Restart(s.Node); err != nil {
+			return err
+		}
+		e.NoteRestart(s.Node)
+	case ActFaaS:
+		e.SetFaaSFaults(s.Fn, s.FaaS)
+	case ActReset:
+		e.Reset()
+	}
+	return nil
+}
+
+// PlanConfig parameterizes GeneratePlan.
+type PlanConfig struct {
+	// Nodes are the cluster node names faults target.
+	Nodes []string
+	// Steps is the number of fault windows to generate.
+	Steps int
+	// Spacing is the period of one fault window: the fault fires at the
+	// window start and reverts three quarters in, leaving a healthy gap
+	// before the next window so the workload keeps making progress.
+	Spacing time.Duration
+	// Fault-class toggles. At least one must be set.
+	Partitions   bool
+	LinkFaults   bool
+	CrashRestart bool
+	FaaS         bool
+	// FaaSFunctions are the function names FaaS fault steps target
+	// (required when FaaS is set).
+	FaaSFunctions []string
+}
+
+// GeneratePlan derives a fault schedule deterministically from the seed:
+// the same seed and config always produce the identical step list. Every
+// generated window reverts its own fault (heal, clear-rules, restart)
+// before the next begins, at most one node is down at any time, and the
+// plan ends fully healed.
+func GeneratePlan(seed int64, cfg PlanConfig) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	var classes []ActionKind
+	if cfg.Partitions {
+		classes = append(classes, ActPartition)
+	}
+	if cfg.LinkFaults {
+		classes = append(classes, ActRule)
+	}
+	if cfg.CrashRestart {
+		classes = append(classes, ActCrash)
+	}
+	if cfg.FaaS {
+		classes = append(classes, ActFaaS)
+	}
+	if len(classes) == 0 || cfg.Steps <= 0 || len(cfg.Nodes) == 0 {
+		return Plan{}
+	}
+	if cfg.Spacing <= 0 {
+		cfg.Spacing = 50 * time.Millisecond
+	}
+
+	var steps []Step
+	for i := 0; i < cfg.Steps; i++ {
+		at := cfg.Spacing * time.Duration(i)
+		revert := at + cfg.Spacing*3/4
+		switch classes[rng.Intn(len(classes))] {
+		case ActPartition:
+			node := cfg.Nodes[rng.Intn(len(cfg.Nodes))]
+			rest := without(cfg.Nodes, node)
+			if rng.Float64() < 0.5 || len(rest) == 0 {
+				steps = append(steps,
+					Step{At: at, Kind: ActPartition, Groups: [][]string{{node}, rest}},
+					Step{At: revert, Kind: ActHeal})
+			} else {
+				steps = append(steps,
+					Step{At: at, Kind: ActPartitionOneWay, From: []string{node}, To: rest},
+					Step{At: revert, Kind: ActHeal})
+			}
+		case ActRule:
+			r := Rule{From: "*", To: "*"}
+			switch rng.Intn(3) {
+			case 0:
+				r.Faults.Drop = 0.05 + rng.Float64()*0.15
+			case 1:
+				r.Faults.Duplicate = 0.1 + rng.Float64()*0.2
+			case 2:
+				r.Faults.Delay = 0.2 + rng.Float64()*0.3
+				r.Faults.DelayBy = time.Duration(1+rng.Intn(4)) * time.Millisecond
+				r.Faults.DelayJitter = 2 * time.Millisecond
+			}
+			steps = append(steps,
+				Step{At: at, Kind: ActRule, Rule: r},
+				Step{At: revert, Kind: ActClearRules})
+		case ActCrash:
+			node := cfg.Nodes[rng.Intn(len(cfg.Nodes))]
+			steps = append(steps,
+				Step{At: at, Kind: ActCrash, Node: node},
+				Step{At: revert, Kind: ActRestart, Node: node})
+		case ActFaaS:
+			fn := cfg.FaaSFunctions[rng.Intn(len(cfg.FaaSFunctions))]
+			f := FaaSFaults{FailProb: 0.1 + rng.Float64()*0.2}
+			if rng.Float64() < 0.5 {
+				f.SlowProb = 0.2
+				f.SlowBy = time.Duration(1+rng.Intn(3)) * time.Millisecond
+			}
+			steps = append(steps,
+				Step{At: at, Kind: ActFaaS, Fn: fn, FaaS: f},
+				Step{At: revert, Kind: ActFaaS, Fn: fn}) // zero FaaSFaults removes
+		}
+	}
+	// Belt and braces: end in the fully healed state even if a future
+	// editor reorders windows.
+	steps = append(steps, Step{At: cfg.Spacing * time.Duration(cfg.Steps), Kind: ActReset})
+	return Plan{Steps: steps}
+}
+
+func without(names []string, drop string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if n != drop {
+			out = append(out, n)
+		}
+	}
+	return out
+}

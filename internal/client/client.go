@@ -7,6 +7,8 @@ package client
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -57,6 +59,14 @@ type Config struct {
 	// deprecated fields below are set, which are honored for
 	// compatibility).
 	Retry core.RetryPolicy
+	// AttemptTimeout, when set, bounds each individual attempt. Without
+	// it a blackholed response (the request was applied but the reply was
+	// lost in the network) parks the call until the connection breaks or
+	// the caller's context expires; with it the attempt times out and the
+	// client retries the same stamped invocation, which the server's
+	// at-most-once window answers by replay instead of re-executing. The
+	// caller's context still bounds the call as a whole.
+	AttemptTimeout time.Duration
 	// Telemetry, when non-nil, records client spans (one per invocation,
 	// propagated to the serving node through the wire), RPC round-trip
 	// and per-object-type latency histograms, and re-route counters.
@@ -113,6 +123,13 @@ type Client struct {
 	retry   core.RetryPolicy
 	log     *slog.Logger
 
+	// id and seq form the at-most-once stamp: every invocation is sent as
+	// (id, seq.Add(1)) and keeps that stamp across all its retries, so
+	// servers can recognize a retry of an already-applied call and replay
+	// the recorded response (see internal/server/dedup.go).
+	id  uint64
+	seq atomic.Uint64
+
 	// Telemetry handles; nil (no-op) when no bundle was configured.
 	instrumented bool
 	tracer       *telemetry.Tracer
@@ -144,6 +161,7 @@ func New(cfg Config) (*Client, error) {
 		profile: cfg.Profile,
 		retry:   cfg.retryPolicy(),
 		log:     telemetry.Logger(telemetry.CompClient),
+		id:      newClientID(),
 	}
 	c.routes.Store(&routes{conns: make(map[string]*rpc.Client)})
 	if cfg.Telemetry != nil {
@@ -156,6 +174,25 @@ func New(cfg Config) (*Client, error) {
 	}
 	c.refreshView()
 	return c, nil
+}
+
+// newClientID draws a random at-most-once identity. Client IDs must be
+// unique across *processes*, not just within one: two one-shot CLI
+// invocations hitting the same server must never share a stamp, or the
+// second would be answered from the first's dedup window instead of
+// executing (a process-local counter fails exactly that way — every
+// fresh process would start at 1). Zero is the reserved "unstamped"
+// value old clients send, so it is never returned.
+func newClientID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+	// crypto/rand unavailable or drew zero: a time-derived id still
+	// distinguishes processes (the |1 keeps it nonzero).
+	return uint64(time.Now().UnixNano()) | 1
 }
 
 // refreshView reloads membership and publishes a new routing snapshot.
@@ -308,6 +345,14 @@ func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, 
 		}()
 	}
 
+	// Stamp before encoding: the payload below is reused verbatim across
+	// retries, so every retry carries the same (clientID, seq) and the
+	// server can deduplicate re-executions of an already-applied call.
+	if !inv.Stamped() {
+		inv.ClientID = c.id
+		inv.Seq = c.seq.Add(1)
+	}
+
 	// Encode into a pooled buffer: the payload is reused across retry
 	// attempts and recycled when the call completes (the RPC layer copies
 	// it into the connection's write buffer before Call returns).
@@ -337,8 +382,19 @@ func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, 
 		if err := c.profile.Delay(ctx, c.profile.DSONet); err != nil {
 			return nil, err
 		}
-		raw, err := rc.Call(ctx, server.KindInvoke, payload)
+		callCtx := ctx
+		var cancel context.CancelFunc
+		if c.cfg.AttemptTimeout > 0 {
+			callCtx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+		}
+		raw, err := rc.Call(callCtx, server.KindInvoke, payload)
+		if cancel != nil {
+			cancel()
+		}
 		if err != nil {
+			// Only the caller's context ends the call; an expired attempt
+			// context means this attempt timed out (e.g. the response was
+			// lost in the network) and the stamped retry is safe.
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}

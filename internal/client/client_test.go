@@ -275,3 +275,29 @@ func TestUninstrumentedRetryNilSpan(t *testing.T) {
 		t.Fatalf("error %q does not report exhausted attempts", err)
 	}
 }
+
+// TestClientIDsAreRandomAndNonzero pins the cross-process at-most-once
+// contract: ids come from a process-independent random source (a
+// process-local counter would make every fresh process reuse id 1 and
+// collide in the server's dedup window — a one-shot CLI run would then
+// be answered with another process's cached response).
+func TestClientIDsAreRandomAndNonzero(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		id := newClientID()
+		if id == 0 {
+			t.Fatal("client id 0 is reserved for unstamped frames")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate client id %d after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+	// Counter-like ids (1, 2, 3, ...) would all fall below 64 here; 64
+	// random draws from a 64-bit space never do.
+	for id := range seen {
+		if id <= 64 {
+			t.Fatalf("client id %d looks counter-allocated, want random", id)
+		}
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"crucial/internal/chaos"
 	"crucial/internal/client"
 	"crucial/internal/core"
 	"crucial/internal/membership"
@@ -45,6 +47,25 @@ type Options struct {
 	// cluster: server-side spans and metrics land in the same bundle the
 	// runtime samples. Nil disables instrumentation.
 	Telemetry *telemetry.Telemetry
+	// Chaos, when non-nil, threads every node and client connection
+	// through this fault-injection engine: nodes get engine endpoints
+	// named by their IDs, clients get "client-NN" endpoints, so engine
+	// rules and partitions can address either side of any link. The
+	// engine must wrap the same inner network the cluster uses (pass
+	// chaos.New(rpc.NewMemNetwork(), ...) and the cluster adopts the
+	// engine's inner transport).
+	Chaos *chaos.Engine
+	// ClientRetry, when non-zero, overrides the retry policy of clients
+	// from NewClient — nemesis tests hand out generous budgets so calls
+	// survive fault windows.
+	ClientRetry core.RetryPolicy
+	// ClientAttemptTimeout, when set, bounds each attempt of clients from
+	// NewClient (see client.Config.AttemptTimeout).
+	ClientAttemptTimeout time.Duration
+	// PeerCallTimeout bounds inter-node RPC attempts (see
+	// server.Config.PeerCallTimeout); nemesis tests lower it so lost SMR
+	// frames are detected and aborted within a fault window.
+	PeerCallTimeout time.Duration
 }
 
 // Cluster is a running DSO deployment.
@@ -59,10 +80,11 @@ type Cluster struct {
 	profile  *netsim.Profile
 	log      *slog.Logger
 
-	mu     sync.Mutex
-	nodes  map[ring.NodeID]*server.Node
-	nextID int
-	closed bool
+	mu        sync.Mutex
+	nodes     map[ring.NodeID]*server.Node
+	nextID    int
+	clientSeq atomic.Uint64
+	closed    bool
 }
 
 // StartLocal boots an in-process cluster over an in-memory network.
@@ -82,9 +104,13 @@ func StartLocal(opts Options) (*Cluster, error) {
 	if opts.HeartbeatTimeout <= 0 {
 		opts.HeartbeatTimeout = 5 * time.Second
 	}
+	transport := rpc.Transport(rpc.NewMemNetwork())
+	if opts.Chaos != nil {
+		transport = opts.Chaos.Inner()
+	}
 	c := &Cluster{
 		Dir:       membership.NewDirectory(opts.HeartbeatTimeout),
-		Transport: rpc.NewMemNetwork(),
+		Transport: transport,
 		opts:      opts,
 		registry:  opts.Registry,
 		profile:   opts.Profile,
@@ -113,18 +139,7 @@ func (c *Cluster) AddNode() (*server.Node, error) {
 	id := ring.NodeID(fmt.Sprintf("dso-%02d", c.nextID))
 	c.mu.Unlock()
 
-	n, err := server.Start(server.Config{
-		ID:                 id,
-		Addr:               string(id),
-		Transport:          c.Transport,
-		Registry:           c.registry,
-		Directory:          c.Dir,
-		Profile:            c.profile,
-		RF:                 c.opts.RF,
-		ServiceTime:        c.opts.ServiceTime,
-		ServiceConcurrency: c.opts.ServiceConcurrency,
-		Telemetry:          c.opts.Telemetry,
-	})
+	n, err := server.Start(c.nodeConfig(id))
 	if err != nil {
 		return nil, fmt.Errorf("cluster: start node %s: %w", id, err)
 	}
@@ -132,6 +147,57 @@ func (c *Cluster) AddNode() (*server.Node, error) {
 	c.nodes[id] = n
 	c.mu.Unlock()
 	c.log.Info("node added", "node", string(id))
+	return n, nil
+}
+
+// nodeConfig builds the server config for a node name; AddNode and
+// RestartNode share it so a restarted node comes back identical.
+func (c *Cluster) nodeConfig(id ring.NodeID) server.Config {
+	transport := c.Transport
+	if c.opts.Chaos != nil {
+		transport = c.opts.Chaos.Endpoint(string(id))
+	}
+	return server.Config{
+		ID:                 id,
+		Addr:               string(id),
+		Transport:          transport,
+		Registry:           c.registry,
+		Directory:          c.Dir,
+		Profile:            c.profile,
+		RF:                 c.opts.RF,
+		ServiceTime:        c.opts.ServiceTime,
+		ServiceConcurrency: c.opts.ServiceConcurrency,
+		PeerCallTimeout:    c.opts.PeerCallTimeout,
+		Telemetry:          c.opts.Telemetry,
+		Chaos:              c.opts.Chaos,
+	}
+}
+
+// RestartNode brings a previously crashed or stopped node back under the
+// same identity: it rejoins the directory, the new view is installed
+// everywhere, and peers push it the objects it is now responsible for
+// (state-transfer recovery). The in-memory transport frees a dead node's
+// address on close, so the restart listens where the old incarnation did.
+func (c *Cluster) RestartNode(id ring.NodeID) (*server.Node, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("cluster: closed")
+	}
+	if _, ok := c.nodes[id]; ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: node %s still running", id)
+	}
+	c.mu.Unlock()
+
+	n, err := server.Start(c.nodeConfig(id))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: restart node %s: %w", id, err)
+	}
+	c.mu.Lock()
+	c.nodes[id] = n
+	c.mu.Unlock()
+	c.log.Info("node restarted", "node", string(id))
 	return n, nil
 }
 
@@ -183,13 +249,21 @@ func (c *Cluster) Node(id ring.NodeID) (*server.Node, bool) {
 	return n, ok
 }
 
-// NewClient opens a DSO client against this cluster.
+// NewClient opens a DSO client against this cluster. With a chaos engine
+// configured, each client dials through its own "client-NN" endpoint so
+// fault rules can target individual clients.
 func (c *Cluster) NewClient() (*client.Client, error) {
+	transport := c.Transport
+	if c.opts.Chaos != nil {
+		transport = c.opts.Chaos.Endpoint(fmt.Sprintf("client-%02d", c.clientSeq.Add(1)))
+	}
 	return client.New(client.Config{
-		Transport: c.Transport,
-		Views:     c.Dir,
-		Profile:   c.profile,
-		Telemetry: c.opts.Telemetry,
+		Transport:      transport,
+		Views:          c.Dir,
+		Profile:        c.profile,
+		Retry:          c.opts.ClientRetry,
+		AttemptTimeout: c.opts.ClientAttemptTimeout,
+		Telemetry:      c.opts.Telemetry,
 	})
 }
 

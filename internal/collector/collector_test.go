@@ -118,7 +118,12 @@ func TestClusterTraceCollection(t *testing.T) {
 		}
 		cs, ce := clientSpan.Span.Start, clientSpan.Span.Start.Add(clientSpan.Span.Duration)
 		ss, se := serverSpan.Span.Start, serverSpan.Span.Start.Add(serverSpan.Span.Duration)
-		if ss.Before(cs) || se.After(ce) {
+		// Clock alignment is midpoint estimation with error bounded by
+		// half the minimum probe RTT, so the aligned server span can
+		// overhang the client span by sub-RTT amounts; only flag
+		// misalignment beyond that bound.
+		const slop = 100 * time.Microsecond
+		if ss.Before(cs.Add(-slop)) || se.After(ce.Add(slop)) {
 			t.Errorf("trace %x: server span [%v,%v] not nested in client span [%v,%v]",
 				id, ss, se, cs, ce)
 		}

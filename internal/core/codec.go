@@ -64,10 +64,23 @@ func EncodeInvocation(inv Invocation) ([]byte, error) {
 // the codec magic byte decode as whole-message gob (old peers).
 func DecodeInvocation(data []byte) (Invocation, error) {
 	RegisterValueTypes()
+	var inv Invocation
+	var err error
 	if isWire(data) {
-		return decodeWireInvocation(data)
+		inv, err = decodeWireInvocation(data)
+	} else {
+		inv, err = decodeInvocationGob(data)
 	}
-	return decodeInvocationGob(data)
+	if err == nil {
+		// Both codecs land here so the stamped/unstamped split covers the
+		// legacy gob path too (old peers always decode as unstamped).
+		if inv.Stamped() {
+			codecStats.stampedDecodes.Add(1)
+		} else {
+			codecStats.unstampedDecodes.Add(1)
+		}
+	}
+	return inv, err
 }
 
 // decodeInvocationGob is the legacy whole-message decoder.

@@ -46,7 +46,19 @@ type Invocation struct {
 	// (no telemetry) is ignored; old payloads without the field decode to
 	// the zero value, keeping the wire format backward compatible.
 	Trace TraceContext
+	// ClientID and Seq stamp the invocation for at-most-once execution
+	// under client retries: servers keep a bounded per-client window of
+	// (Seq -> response) per object and replay the cached response when a
+	// retry re-delivers an already-applied invocation. ClientID zero marks
+	// an unstamped invocation (old clients, control-plane tools); those
+	// execute without dedup, preserving the original at-least-once retry
+	// semantics.
+	ClientID uint64
+	Seq      uint64
 }
+
+// Stamped reports whether the invocation carries an at-most-once stamp.
+func (inv Invocation) Stamped() bool { return inv.ClientID != 0 }
 
 // TraceContext is the wire form of a telemetry span context. It lives in
 // core (rather than internal/telemetry) so the dependency-free vocabulary

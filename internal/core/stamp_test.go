@@ -1,0 +1,108 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStampRoundTrip pins the at-most-once stamp through the fast codec.
+func TestStampRoundTrip(t *testing.T) {
+	in := sampleInvocation()
+	in.ClientID = 0xC0FFEE
+	in.Seq = 917
+	data, err := EncodeInvocation(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeInvocation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", in, out)
+	}
+	if !out.Stamped() {
+		t.Fatal("decoded invocation lost its stamp")
+	}
+}
+
+// TestUnstampedFrameDecodesZeroStamp pins backward compatibility: frames
+// from pre-stamp encoders (flags bit1 clear, no trailing stamp bytes) must
+// decode with a zero stamp, not an error.
+func TestUnstampedFrameDecodesZeroStamp(t *testing.T) {
+	in := sampleInvocation() // sampleInvocation carries no stamp
+	data, err := EncodeInvocation(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeInvocation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stamped() || out.ClientID != 0 || out.Seq != 0 {
+		t.Fatalf("unstamped frame decoded with stamp (%d, %d)", out.ClientID, out.Seq)
+	}
+}
+
+// TestStampedFrameToleratesTrailingBytes pins the forward-compatibility
+// property the stamp itself relies on: decoders ignore bytes after the
+// last field they know, so yet-to-be-added trailing fields cannot break
+// this decoder either.
+func TestStampedFrameToleratesTrailingBytes(t *testing.T) {
+	in := Invocation{Ref: Ref{Type: "T", Key: "k"}, Method: "m", ClientID: 7, Seq: 3}
+	data, err := EncodeInvocation(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, 0xAA, 0xBB, 0xCC) // a future field this decoder predates
+	out, err := DecodeInvocation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ClientID != 7 || out.Seq != 3 {
+		t.Fatalf("stamp corrupted by trailing bytes: (%d, %d)", out.ClientID, out.Seq)
+	}
+}
+
+// TestLegacyGobCarriesStamp checks the whole-message gob fallback: the
+// stamp fields ride along like any struct field, and pre-stamp gob frames
+// decode with a zero stamp.
+func TestLegacyGobCarriesStamp(t *testing.T) {
+	in := Invocation{Ref: Ref{Type: "T", Key: "k"}, Method: "m", ClientID: 11, Seq: 5}
+	data, err := encodeInvocationGob(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isWire(data) {
+		t.Fatal("gob frame unexpectedly carries the codec magic")
+	}
+	out, err := DecodeInvocation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ClientID != 11 || out.Seq != 5 {
+		t.Fatalf("gob stamp mismatch: (%d, %d)", out.ClientID, out.Seq)
+	}
+}
+
+// TestStampDecodeCounters checks that DecodeInvocation splits the
+// stamped/unstamped counters across both codec paths.
+func TestStampDecodeCounters(t *testing.T) {
+	stamped, _ := EncodeInvocation(Invocation{Ref: Ref{Type: "T", Key: "k"}, Method: "m", ClientID: 1, Seq: 1})
+	plain, _ := EncodeInvocation(Invocation{Ref: Ref{Type: "T", Key: "k"}, Method: "m"})
+	legacy, _ := encodeInvocationGob(Invocation{Ref: Ref{Type: "T", Key: "k"}, Method: "m"})
+
+	before := ReadCodecStats()
+	for _, frame := range [][]byte{stamped, plain, legacy} {
+		if _, err := DecodeInvocation(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := ReadCodecStats()
+	if got := after.StampedDecodes - before.StampedDecodes; got != 1 {
+		t.Fatalf("stamped decodes moved by %d, want 1", got)
+	}
+	if got := after.UnstampedDecodes - before.UnstampedDecodes; got != 2 {
+		t.Fatalf("unstamped decodes moved by %d, want 2", got)
+	}
+}

@@ -27,7 +27,13 @@ import (
 //	byte    kind: 'I' invocation | 'R' response
 //
 //	invocation: Type, Key, Method (strings), Args values, Init values,
-//	            flags byte (bit0 = Persist), TraceID, SpanID (uvarint)
+//	            flags byte (bit0 = Persist, bit1 = stamped), TraceID,
+//	            SpanID (uvarint), then — only when bit1 is set — ClientID,
+//	            Seq (uvarint): the at-most-once stamp. The stamp is
+//	            appended after every field an old decoder reads, and old
+//	            decoders ignore trailing bytes, so stamped frames remain
+//	            decodable by pre-stamp peers (which simply execute without
+//	            dedup).
 //	response:   Results values, Err (string)
 //
 // A value list is a uvarint count followed by tagged values; strings and
@@ -94,6 +100,13 @@ type CodecStats struct {
 	// FallbackValues counts individual values inside fast messages that
 	// needed the gob escape hatch (user-registered types).
 	FallbackValues uint64
+	// StampedDecodes and UnstampedDecodes split decoded invocations by
+	// whether they carried an at-most-once (ClientID, Seq) stamp. A
+	// persistently non-zero unstamped count means pre-stamp clients (or
+	// control-plane tools) are still talking to this process; their
+	// retries keep the legacy at-least-once semantics.
+	StampedDecodes   uint64
+	UnstampedDecodes uint64
 }
 
 var codecStats struct {
@@ -101,6 +114,8 @@ var codecStats struct {
 	fastDecodes      atomic.Uint64
 	legacyGobDecodes atomic.Uint64
 	fallbackValues   atomic.Uint64
+	stampedDecodes   atomic.Uint64
+	unstampedDecodes atomic.Uint64
 }
 
 // ReadCodecStats returns a snapshot of the process-wide codec counters.
@@ -110,6 +125,8 @@ func ReadCodecStats() CodecStats {
 		FastDecodes:      codecStats.fastDecodes.Load(),
 		LegacyGobDecodes: codecStats.legacyGobDecodes.Load(),
 		FallbackValues:   codecStats.fallbackValues.Load(),
+		StampedDecodes:   codecStats.stampedDecodes.Load(),
+		UnstampedDecodes: codecStats.unstampedDecodes.Load(),
 	}
 }
 
@@ -139,9 +156,18 @@ func AppendInvocation(dst []byte, inv Invocation) ([]byte, error) {
 	if inv.Persist {
 		flags |= 1
 	}
+	if inv.Stamped() {
+		flags |= 2
+	}
 	dst = append(dst, flags)
 	dst = binary.AppendUvarint(dst, inv.Trace.TraceID)
 	dst = binary.AppendUvarint(dst, inv.Trace.SpanID)
+	if inv.Stamped() {
+		// The stamp trails every pre-stamp field so old decoders (which
+		// stop after SpanID and ignore trailing bytes) stay compatible.
+		dst = binary.AppendUvarint(dst, inv.ClientID)
+		dst = binary.AppendUvarint(dst, inv.Seq)
+	}
 	codecStats.fastEncodes.Add(1)
 	return dst, nil
 }
@@ -191,6 +217,14 @@ func decodeWireInvocation(data []byte) (Invocation, error) {
 	}
 	if inv.Trace.SpanID, err = r.uvarint(); err != nil {
 		return Invocation{}, fmt.Errorf("core: decode invocation: %w", err)
+	}
+	if flags&2 != 0 {
+		if inv.ClientID, err = r.uvarint(); err != nil {
+			return Invocation{}, fmt.Errorf("core: decode invocation stamp: %w", err)
+		}
+		if inv.Seq, err = r.uvarint(); err != nil {
+			return Invocation{}, fmt.Errorf("core: decode invocation stamp: %w", err)
+		}
 	}
 	codecStats.fastDecodes.Add(1)
 	return inv, nil

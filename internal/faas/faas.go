@@ -50,6 +50,19 @@ var (
 // Handler is a function entry point: payload in, payload out.
 type Handler func(ctx context.Context, payload []byte) ([]byte, error)
 
+// Injector is the seam for external fault-injection engines (the chaos
+// package's Engine satisfies it without either package importing the
+// other). The platform consults it on every invocation, before the
+// per-function FailureRate dice.
+type Injector interface {
+	// InvocationFault returns a non-nil error to fail the invocation at
+	// the sandbox level; the platform surfaces it as ErrInjectedFailure.
+	InvocationFault(fn string) error
+	// ContainerDelay returns an extra execution delay modeling a slow or
+	// cold-throttled container; zero means none.
+	ContainerDelay(fn string) time.Duration
+}
+
 // FunctionConfig describes one deployed function.
 type FunctionConfig struct {
 	// MemoryMB in [64, MaxMemoryMB]; defaults to DefaultMemoryMB.
@@ -106,8 +119,9 @@ type function struct {
 
 // Platform is one simulated FaaS region/account.
 type Platform struct {
-	profile *netsim.Profile
-	log     *slog.Logger
+	profile  *netsim.Profile
+	log      *slog.Logger
+	injector Injector
 
 	sem chan struct{} // account concurrency
 
@@ -147,6 +161,9 @@ type Options struct {
 	// spans (cold vs warm annotated) and latency histograms recorded into
 	// the shared registry. Nil keeps the platform at seed overhead.
 	Telemetry *telemetry.Telemetry
+	// Injector, when non-nil, is consulted on every invocation for
+	// chaos-driven faults (see Injector).
+	Injector Injector
 }
 
 // NewPlatform builds an empty platform.
@@ -163,6 +180,7 @@ func NewPlatform(opts Options) *Platform {
 	p := &Platform{
 		profile:   opts.Profile,
 		log:       telemetry.Logger(telemetry.CompFaaS),
+		injector:  opts.Injector,
 		sem:       make(chan struct{}, opts.Concurrency),
 		functions: make(map[string]*function),
 		rng:       rand.New(rand.NewSource(opts.Seed)),
@@ -322,12 +340,32 @@ func (p *Platform) Invoke(ctx context.Context, name string, payload []byte) ([]b
 	}()
 
 	// Fault injection, before user code like a sandbox-level failure.
+	// Chaos-engine faults first (they carry their own schedule), then the
+	// function's static FailureRate dice.
 	p.cInvocations.Inc()
+	if p.injector != nil {
+		if ferr := p.injector.InvocationFault(name); ferr != nil {
+			p.cFailures.Inc()
+			p.fnFailures(name).Inc()
+			span.SetAttr(telemetry.AttrError, "injected failure")
+			p.log.DebugContext(ctx, "chaos-injected invocation failure",
+				"function", name, "err", ferr)
+			return nil, fmt.Errorf("%w: %s: %v", ErrInjectedFailure, name, ferr)
+		}
+		if d := p.injector.ContainerDelay(name); d > 0 {
+			// A slow container: the handler still runs, just later. The
+			// delay bites the caller's deadline like real sandbox jitter.
+			if err := netsim.Sleep(ctx, d); err != nil {
+				return nil, err
+			}
+		}
+	}
 	p.mu.Lock()
 	failed := fn.cfg.FailureRate > 0 && p.rng.Float64() < fn.cfg.FailureRate
 	p.mu.Unlock()
 	if failed {
 		p.cFailures.Inc()
+		p.fnFailures(name).Inc()
 		span.SetAttr(telemetry.AttrError, "injected failure")
 		p.log.DebugContext(ctx, "injected invocation failure", "function", name)
 		return nil, fmt.Errorf("%w: %s", ErrInjectedFailure, name)
@@ -350,16 +388,30 @@ func (p *Platform) Invoke(ctx context.Context, name string, payload []byte) ([]b
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 			p.cTimeouts.Inc()
+			p.fnTimeouts(name).Inc()
 			span.SetAttr(telemetry.AttrError, "timeout")
 			p.log.WarnContext(ctx, "function timed out",
 				"function", name, "timeout", fn.cfg.Timeout)
 			return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, name, fn.cfg.Timeout)
 		}
 		p.cFailures.Inc()
+		p.fnFailures(name).Inc()
 		span.SetAttr(telemetry.AttrError, err.Error())
 		return nil, err
 	}
 	return out, nil
+}
+
+// fnFailures and fnTimeouts return the per-function failure/timeout
+// counters, exported as crucial_faas_failures_by_fn_<fn>_total and
+// crucial_faas_timeouts_by_fn_<fn>_total so dashboards can tell which
+// function the fleet is losing invocations on.
+func (p *Platform) fnFailures(name string) *telemetry.Counter {
+	return p.metrics.Counter(telemetry.MetFaaSFailurePrefix + name)
+}
+
+func (p *Platform) fnTimeouts(name string) *telemetry.Counter {
+	return p.metrics.Counter(telemetry.MetFaaSTimeoutPrefix + name)
 }
 
 // modeledSeconds converts a measured wall-clock duration back to modeled

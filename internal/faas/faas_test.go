@@ -309,3 +309,99 @@ func TestParallelInvocationsIndependent(t *testing.T) {
 		t.Fatalf("invocations = %d", got)
 	}
 }
+
+// scriptedInjector fails/delays invocations on demand (the production
+// implementation is the chaos engine; see chaos.Engine).
+type scriptedInjector struct {
+	mu        sync.Mutex
+	failNext  int
+	delayNext time.Duration
+	delays    int
+}
+
+func (s *scriptedInjector) InvocationFault(string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failNext > 0 {
+		s.failNext--
+		return errors.New("scripted fault")
+	}
+	return nil
+}
+
+func (s *scriptedInjector) ContainerDelay(string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.delayNext
+	s.delayNext = 0
+	if d > 0 {
+		s.delays++
+	}
+	return d
+}
+
+func TestInjectorFaultSurfacesAsInjectedFailure(t *testing.T) {
+	inj := &scriptedInjector{failNext: 2}
+	p := NewPlatform(Options{Injector: inj})
+	if err := p.Deploy("f", echo, FunctionConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := p.Invoke(context.Background(), "f", nil); !errors.Is(err, ErrInjectedFailure) {
+			t.Fatalf("invocation %d: err = %v, want ErrInjectedFailure", i, err)
+		}
+	}
+	if out, err := p.Invoke(context.Background(), "f", []byte("ok")); err != nil || string(out) != "ok" {
+		t.Fatalf("after faults drained: %q, %v", out, err)
+	}
+	if got := p.Stats().Failures; got != 2 {
+		t.Fatalf("failures = %d, want 2", got)
+	}
+	if got := p.Metrics().Counter("faas.failures.by_fn.f").Value(); got != 2 {
+		t.Fatalf("per-function failure counter = %d, want 2", got)
+	}
+}
+
+func TestInjectorContainerDelayStillExecutes(t *testing.T) {
+	inj := &scriptedInjector{delayNext: 5 * time.Millisecond}
+	p := NewPlatform(Options{Injector: inj})
+	if err := p.Deploy("f", echo, FunctionConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	out, err := p.Invoke(context.Background(), "f", []byte("slow"))
+	if err != nil || string(out) != "slow" {
+		t.Fatalf("delayed invocation: %q, %v", out, err)
+	}
+	if inj.delays != 1 {
+		t.Fatalf("delays consumed = %d", inj.delays)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("container delay was not applied")
+	}
+}
+
+func TestPerFunctionFailureAndTimeoutCounters(t *testing.T) {
+	p := NewPlatform(Options{})
+	_ = p.Deploy("boom", func(context.Context, []byte) ([]byte, error) {
+		return nil, errors.New("app error")
+	}, FunctionConfig{})
+	_ = p.Deploy("slow", func(ctx context.Context, _ []byte) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, FunctionConfig{Timeout: 5 * time.Millisecond})
+
+	_, _ = p.Invoke(context.Background(), "boom", nil)
+	if _, err := p.Invoke(context.Background(), "slow", nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if got := p.Metrics().Counter("faas.failures.by_fn.boom").Value(); got != 1 {
+		t.Fatalf("boom failures = %d", got)
+	}
+	if got := p.Metrics().Counter("faas.timeouts.by_fn.slow").Value(); got != 1 {
+		t.Fatalf("slow timeouts = %d", got)
+	}
+	if got := p.Metrics().Counter("faas.failures.by_fn.slow").Value(); got != 0 {
+		t.Fatalf("timeout double-counted as failure: %d", got)
+	}
+}

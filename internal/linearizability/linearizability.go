@@ -170,6 +170,133 @@ func RegisterModel() Model {
 	}
 }
 
+// MapOp is an operation on a Map-like object (objects.Map semantics).
+type MapOp struct {
+	// Kind is "put", "get" or "remove".
+	Kind  string
+	Key   string
+	Value int64
+}
+
+// MapOut is the observed result of a MapOp: Put and Remove return the
+// previous mapping, Get the current one. OK mirrors the object's "had a
+// mapping" boolean; Value is meaningful only when OK.
+type MapOut struct {
+	Value int64
+	OK    bool
+}
+
+// MapModel specifies the Map object: Put returns (old, had), Get returns
+// (value, ok), Remove returns (old, had).
+func MapModel() Model {
+	type state = map[string]int64
+	clone := func(s state) state {
+		next := make(state, len(s))
+		for k, v := range s {
+			next[k] = v
+		}
+		return next
+	}
+	lookup := func(s state, k string) MapOut {
+		v, ok := s[k]
+		return MapOut{Value: v, OK: ok}
+	}
+	return Model{
+		Init: func() any { return state{} },
+		Step: func(st any, op Operation) (any, bool) {
+			s := st.(state)
+			in := op.Input.(MapOp)
+			out := op.Output.(MapOut)
+			switch in.Kind {
+			case "put":
+				if lookup(s, in.Key) != out {
+					return s, false
+				}
+				next := clone(s)
+				next[in.Key] = in.Value
+				return next, true
+			case "get":
+				return s, lookup(s, in.Key) == out
+			case "remove":
+				if lookup(s, in.Key) != out {
+					return s, false
+				}
+				next := clone(s)
+				delete(next, in.Key)
+				return next, true
+			default:
+				return s, false
+			}
+		},
+		Equal: func(a, b any) bool {
+			ma, mb := a.(state), b.(state)
+			if len(ma) != len(mb) {
+				return false
+			}
+			for k, v := range ma {
+				if w, ok := mb[k]; !ok || w != v {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// ListOp is an operation on a List-like object (objects.List semantics).
+type ListOp struct {
+	// Kind is "add", "get" or "size".
+	Kind  string
+	Value int64 // the element for "add"
+	Index int64 // the position for "get"
+}
+
+// ListModel specifies the List object: Add appends and returns the new
+// element's index, Get returns the element at an index, Size the length.
+// Histories must only Get indices that were already added (the object
+// errors on out-of-range access; the model treats it as illegal).
+func ListModel() Model {
+	type state = []int64
+	return Model{
+		Init: func() any { return state{} },
+		Step: func(st any, op Operation) (any, bool) {
+			s := st.(state)
+			in := op.Input.(ListOp)
+			switch in.Kind {
+			case "add":
+				if op.Output.(int64) != int64(len(s)) {
+					return s, false
+				}
+				next := make(state, len(s)+1)
+				copy(next, s)
+				next[len(s)] = in.Value
+				return next, true
+			case "get":
+				if in.Index < 0 || in.Index >= int64(len(s)) {
+					return s, false
+				}
+				return s, s[in.Index] == op.Output.(int64)
+			case "size":
+				return s, op.Output.(int64) == int64(len(s))
+			default:
+				return s, false
+			}
+		},
+		Equal: func(a, b any) bool {
+			sa, sb := a.(state), b.(state)
+			if len(sa) != len(sb) {
+				return false
+			}
+			for i := range sa {
+				if sa[i] != sb[i] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
 // SortByCall orders a history by invocation time (diagnostics and
 // deterministic iteration).
 func SortByCall(history []Operation) {

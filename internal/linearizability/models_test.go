@@ -1,0 +1,93 @@
+package linearizability
+
+import (
+	"testing"
+	"time"
+)
+
+// seqHistory builds a strictly sequential history (op i returns before op
+// i+1 is called), so only the listed order itself can be the witness.
+func seqHistory(ops []Operation) []Operation {
+	base := time.Now()
+	for i := range ops {
+		ops[i].Call = base.Add(time.Duration(2*i) * time.Millisecond)
+		ops[i].Return = base.Add(time.Duration(2*i+1) * time.Millisecond)
+	}
+	return ops
+}
+
+func TestMapModelAcceptsLegalHistory(t *testing.T) {
+	h := seqHistory([]Operation{
+		{Input: MapOp{Kind: "put", Key: "a", Value: 1}, Output: MapOut{}},
+		{Input: MapOp{Kind: "get", Key: "a"}, Output: MapOut{Value: 1, OK: true}},
+		{Input: MapOp{Kind: "put", Key: "a", Value: 2}, Output: MapOut{Value: 1, OK: true}},
+		{Input: MapOp{Kind: "remove", Key: "a"}, Output: MapOut{Value: 2, OK: true}},
+		{Input: MapOp{Kind: "get", Key: "a"}, Output: MapOut{}},
+	})
+	if _, ok := Check(MapModel(), h); !ok {
+		t.Fatal("legal map history rejected")
+	}
+}
+
+func TestMapModelRejectsLostUpdate(t *testing.T) {
+	// The second put claims there was no previous mapping — as if the
+	// first put was lost (the signature of a duplicated/misapplied op).
+	h := seqHistory([]Operation{
+		{Input: MapOp{Kind: "put", Key: "a", Value: 1}, Output: MapOut{}},
+		{Input: MapOp{Kind: "put", Key: "a", Value: 2}, Output: MapOut{}},
+	})
+	if _, ok := Check(MapModel(), h); ok {
+		t.Fatal("map history with a lost update accepted")
+	}
+}
+
+func TestMapModelAllowsConcurrentReorder(t *testing.T) {
+	// Two overlapping puts on one key: either order is a legal witness, so
+	// a get observing either previous value must be accepted.
+	base := time.Now()
+	h := []Operation{
+		{Input: MapOp{Kind: "put", Key: "k", Value: 1}, Output: MapOut{},
+			Call: base, Return: base.Add(10 * time.Millisecond)},
+		{Input: MapOp{Kind: "put", Key: "k", Value: 2}, Output: MapOut{Value: 1, OK: true},
+			Call: base.Add(1 * time.Millisecond), Return: base.Add(9 * time.Millisecond)},
+		{Input: MapOp{Kind: "get", Key: "k"}, Output: MapOut{Value: 2, OK: true},
+			Call: base.Add(11 * time.Millisecond), Return: base.Add(12 * time.Millisecond)},
+	}
+	if _, ok := Check(MapModel(), h); !ok {
+		t.Fatal("legal concurrent map history rejected")
+	}
+}
+
+func TestListModelAcceptsLegalHistory(t *testing.T) {
+	h := seqHistory([]Operation{
+		{Input: ListOp{Kind: "add", Value: 10}, Output: int64(0)},
+		{Input: ListOp{Kind: "add", Value: 20}, Output: int64(1)},
+		{Input: ListOp{Kind: "get", Index: 0}, Output: int64(10)},
+		{Input: ListOp{Kind: "size"}, Output: int64(2)},
+	})
+	if _, ok := Check(ListModel(), h); !ok {
+		t.Fatal("legal list history rejected")
+	}
+}
+
+func TestListModelRejectsDuplicatedAppend(t *testing.T) {
+	// Two adds reporting the same index: the double-apply signature when a
+	// retried append executed twice.
+	h := seqHistory([]Operation{
+		{Input: ListOp{Kind: "add", Value: 10}, Output: int64(0)},
+		{Input: ListOp{Kind: "add", Value: 20}, Output: int64(0)},
+	})
+	if _, ok := Check(ListModel(), h); ok {
+		t.Fatal("list history with duplicated append accepted")
+	}
+}
+
+func TestListModelRejectsWrongElement(t *testing.T) {
+	h := seqHistory([]Operation{
+		{Input: ListOp{Kind: "add", Value: 10}, Output: int64(0)},
+		{Input: ListOp{Kind: "get", Index: 0}, Output: int64(99)},
+	})
+	if _, ok := Check(ListModel(), h); ok {
+		t.Fatal("list history with wrong element accepted")
+	}
+}

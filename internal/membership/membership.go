@@ -44,6 +44,29 @@ func (v View) Ring() *ring.Ring {
 	return ring.New(v.Members, 0)
 }
 
+// Fence is a digest of the view's membership (FNV-1a over the sorted
+// member list). Two views with equal fences resolve every object to the
+// same replica group and the same primary, so replication messages fenced
+// on it can only commit among nodes that agree on who coordinates —
+// ruling out a stale primary and a new one serving the same object
+// concurrently during a view transition. Unlike the ID, the fence is
+// comparable across independently-numbered directories (each process of a
+// TCP deployment runs its own).
+func (v View) Fence() uint64 {
+	// Inline FNV-1a, 64 bit.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, m := range v.Members {
+		for i := 0; i < len(m); i++ {
+			h ^= uint64(m[i])
+			h *= prime64
+		}
+		h ^= 0xff // member separator
+		h *= prime64
+	}
+	return h
+}
+
 // clone returns a deep copy so callers can never alias directory state.
 func (v View) clone() View {
 	out := View{ID: v.ID, Members: make([]ring.NodeID, len(v.Members)), Addrs: make(map[ring.NodeID]string, len(v.Addrs))}
@@ -133,11 +156,18 @@ func (d *Directory) Leave(node ring.NodeID) View {
 // Crash removes a node abruptly (experiment hook; equivalent to the
 // failure detector firing). The view change is identical to Leave — the
 // difference is at the node, which gets no chance to hand off state.
+// Crashing a node that is not a member is a no-op: no view is installed
+// and the current view is returned (a failure detector and an explicit
+// experiment step may race to remove the same node).
 func (d *Directory) Crash(node ring.NodeID) View {
 	return d.Leave(node)
 }
 
 // change applies a mutation to the member set and installs the next view.
+// A mutation that leaves the member set unchanged (leave of a non-member,
+// re-join with the same address) installs nothing: subscribers only ever
+// see views that differ from their predecessor, so a redundant call can
+// not trigger a spurious rebalance.
 func (d *Directory) change(mutate func(map[ring.NodeID]string)) View {
 	d.installMu.Lock()
 	defer d.installMu.Unlock()
@@ -148,6 +178,11 @@ func (d *Directory) change(mutate func(map[ring.NodeID]string)) View {
 		members[n] = a
 	}
 	mutate(members)
+	if unchangedLocked(d.view.Addrs, members) {
+		cur := d.view.clone()
+		d.mu.Unlock()
+		return cur
+	}
 
 	next := View{ID: d.view.ID + 1, Addrs: members}
 	next.Members = make([]ring.NodeID, 0, len(members))
@@ -178,6 +213,20 @@ func (d *Directory) change(mutate func(map[ring.NodeID]string)) View {
 	return installed
 }
 
+// unchangedLocked reports whether the mutated member set equals the
+// current view's.
+func unchangedLocked(cur, next map[ring.NodeID]string) bool {
+	if len(cur) != len(next) {
+		return false
+	}
+	for n, a := range next {
+		if prev, ok := cur[n]; !ok || prev != a {
+			return false
+		}
+	}
+	return true
+}
+
 // Heartbeat records liveness for node.
 func (d *Directory) Heartbeat(node ring.NodeID) error {
 	d.mu.Lock()
@@ -191,6 +240,10 @@ func (d *Directory) Heartbeat(node ring.NodeID) error {
 
 // CheckFailures removes every node whose heartbeat is older than the
 // timeout, installing one view per removal. It returns the removed nodes.
+// Safe against concurrent Join/Leave/Heartbeat: staleness is re-validated
+// under the directory lock at removal time, so a node that heartbeats (or
+// leaves and rejoins) between the scan and the removal is spared instead
+// of being evicted on stale evidence.
 func (d *Directory) CheckFailures() []ring.NodeID {
 	d.mu.Lock()
 	var stale []ring.NodeID
@@ -202,10 +255,28 @@ func (d *Directory) CheckFailures() []ring.NodeID {
 	}
 	d.mu.Unlock()
 	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+
+	var removed []ring.NodeID
 	for _, n := range stale {
-		d.Crash(n)
+		evicted := false
+		d.change(func(members map[ring.NodeID]string) {
+			// d.mu is held here (see change): re-read the heartbeat and
+			// only remove a node that is both present and still stale.
+			last, tracked := d.heartbeats[n]
+			if !tracked || time.Since(last) <= d.timeout {
+				return
+			}
+			if _, ok := members[n]; !ok {
+				return
+			}
+			delete(members, n)
+			evicted = true
+		})
+		if evicted {
+			removed = append(removed, n)
+		}
 	}
-	return stale
+	return removed
 }
 
 // RunFailureDetector polls CheckFailures every interval until the context

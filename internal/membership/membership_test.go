@@ -1,6 +1,7 @@
 package membership
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -199,5 +200,155 @@ func TestRejoinUpdatesAddress(t *testing.T) {
 	}
 	if len(v.Members) != 1 {
 		t.Fatalf("duplicate member: %v", v.Members)
+	}
+}
+
+func TestCrashUnknownNodeNoOp(t *testing.T) {
+	d := NewDirectory(time.Second)
+	before := d.Join("a", "1")
+	var calls int
+	cancel := d.Subscribe(func(View) { calls++ })
+	defer cancel()
+	v := d.Crash("ghost")
+	if v.ID != before.ID || !v.Contains("a") {
+		t.Fatalf("crash of unknown node installed view %+v", v)
+	}
+	if calls != 1 { // bootstrap only — no spurious view notification
+		t.Fatalf("listener called %d times", calls)
+	}
+}
+
+func TestRejoinSameAddressNoOp(t *testing.T) {
+	d := NewDirectory(time.Second)
+	v1 := d.Join("a", "1")
+	v2 := d.Join("a", "1")
+	if v2.ID != v1.ID {
+		t.Fatalf("redundant join bumped view %d -> %d", v1.ID, v2.ID)
+	}
+	// A changed address is a real change and must install a view.
+	if v3 := d.Join("a", "2"); v3.ID != v1.ID+1 {
+		t.Fatalf("address change did not install a view: %+v", v3)
+	}
+}
+
+// TestRunFailureDetectorRemovesSilentNode covers the background ticker
+// path: the detector must evict a node that stops heartbeating while a
+// heartbeating one survives, and must stop when the context is cancelled.
+func TestRunFailureDetectorRemovesSilentNode(t *testing.T) {
+	d := NewDirectory(20 * time.Millisecond)
+	d.Join("alive", "1")
+	d.Join("silent", "2")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.RunFailureDetector(ctx, 5*time.Millisecond)
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for d.View().Contains("silent") {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatal("failure detector never removed the silent node")
+		}
+		if err := d.Heartbeat("alive"); err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !d.View().Contains("alive") {
+		t.Fatal("heartbeating node was evicted")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("detector did not stop on context cancellation")
+	}
+}
+
+// TestCheckFailuresConcurrentWithMembershipChurn races the failure
+// detector against joins, leaves and heartbeats. A node that keeps
+// heartbeating must never be evicted — staleness is re-validated under
+// the directory lock at removal time — and the directory must stay
+// internally consistent throughout (run with -race).
+func TestCheckFailuresConcurrentWithMembershipChurn(t *testing.T) {
+	d := NewDirectory(5 * time.Millisecond)
+	d.Join("steady", "s")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // steady heartbeats
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = d.Heartbeat("steady")
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	go func() { // churn: join/leave a rotating cast
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				id := ring.NodeID(rune('a' + i%5))
+				d.Join(id, "x")
+				time.Sleep(time.Millisecond)
+				d.Leave(id)
+			}
+		}
+	}()
+	go func() { // aggressive detector
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, n := range d.CheckFailures() {
+					if n == "steady" {
+						t.Error("heartbeating node evicted by the failure detector")
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if !d.View().Contains("steady") {
+		t.Fatal("steady node missing from the final view")
+	}
+}
+
+// Fence must be a pure function of the member set — equal for any two
+// views with the same members (even across independently-numbered
+// directories) and different when membership differs.
+func TestViewFence(t *testing.T) {
+	a := View{ID: 1, Members: []ring.NodeID{"n1", "n2", "n3"}}
+	b := View{ID: 42, Members: []ring.NodeID{"n1", "n2", "n3"}}
+	if a.Fence() != b.Fence() {
+		t.Fatal("same members, different fences")
+	}
+	c := View{ID: 1, Members: []ring.NodeID{"n1", "n2"}}
+	if a.Fence() == c.Fence() {
+		t.Fatal("different members, same fence")
+	}
+	// Concatenation ambiguity: {"n1", "n2n3"} vs {"n1n2", "n3"}.
+	d := View{Members: []ring.NodeID{"n1", "n2n3"}}
+	e := View{Members: []ring.NodeID{"n1n2", "n3"}}
+	if d.Fence() == e.Fence() {
+		t.Fatal("member separator does not disambiguate concatenations")
 	}
 }

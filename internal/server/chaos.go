@@ -1,0 +1,69 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"crucial/internal/core"
+)
+
+// ChaosCmd is the payload of a KindChaos RPC: a fault-injection command
+// sent by dso-cli chaos. Partition commands steer the node's configured
+// chaos engine; each node applies them to its own engine, so a CLI that
+// wants a cluster-wide partition sends the command to every node.
+// Lifecycle commands ("crash", "restart") go through the node's
+// OnChaosLifecycle hook — in dso-server that is the supervisor loop, which
+// bounces the node process-internally.
+type ChaosCmd struct {
+	// Op is one of "partition", "partition-one-way", "heal", "crash",
+	// "restart".
+	Op string
+	// Groups are the partition groups for "partition".
+	Groups [][]string
+	// From and To are the blocked flow for "partition-one-way".
+	From, To []string
+}
+
+// handleChaos applies one ChaosCmd.
+func (n *Node) handleChaos(payload []byte) ([]byte, error) {
+	var cmd ChaosCmd
+	if err := core.DecodeValue(payload, &cmd); err != nil {
+		return nil, err
+	}
+	switch cmd.Op {
+	case "partition":
+		if n.cfg.Chaos == nil {
+			return nil, errors.New("server: node has no chaos engine")
+		}
+		n.cfg.Chaos.Partition(cmd.Groups...)
+	case "partition-one-way":
+		if n.cfg.Chaos == nil {
+			return nil, errors.New("server: node has no chaos engine")
+		}
+		n.cfg.Chaos.PartitionOneWay(cmd.From, cmd.To)
+	case "heal":
+		if n.cfg.Chaos == nil {
+			return nil, errors.New("server: node has no chaos engine")
+		}
+		n.cfg.Chaos.Heal()
+	case "crash", "restart":
+		if n.cfg.OnChaosLifecycle == nil {
+			return nil, errors.New("server: node has no chaos lifecycle hook")
+		}
+		// Acknowledge before acting: the hook tears down this node's RPC
+		// server, which waits for in-flight handlers — including this one.
+		op := cmd.Op
+		hook := n.cfg.OnChaosLifecycle
+		n.log.Info("chaos lifecycle command", "op", op)
+		go func() {
+			time.Sleep(20 * time.Millisecond) // let the ack frame flush
+			if err := hook(op); err != nil {
+				n.log.Warn("chaos lifecycle failed", "op", op, "err", err)
+			}
+		}()
+	default:
+		return nil, fmt.Errorf("server: unknown chaos op %q", cmd.Op)
+	}
+	return core.EncodeValue("ok")
+}

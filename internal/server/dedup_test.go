@@ -1,0 +1,99 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDedupLookupAndRecord(t *testing.T) {
+	var d dedupState
+	if _, ok := d.lookup(1, 1); ok {
+		t.Fatal("empty state reported a hit")
+	}
+	if ev := d.record(1, 1, []any{int64(7)}, ""); ev != 0 {
+		t.Fatalf("first record evicted %d", ev)
+	}
+	rec, ok := d.lookup(1, 1)
+	if !ok || len(rec.Results) != 1 || rec.Results[0].(int64) != 7 || rec.Err != "" {
+		t.Fatalf("lookup = %+v, %v", rec, ok)
+	}
+	d.record(1, 2, nil, "dso: boom")
+	if rec, ok := d.lookup(1, 2); !ok || rec.Err != "dso: boom" {
+		t.Fatalf("error outcome not replayed: %+v, %v", rec, ok)
+	}
+	if _, ok := d.lookup(2, 1); ok {
+		t.Fatal("stamp of another client matched")
+	}
+}
+
+func TestDedupWindowEvictsOldestSeqs(t *testing.T) {
+	var d dedupState
+	total := 0
+	for seq := 1; seq <= dedupWindowPerClient+5; seq++ {
+		total += d.record(1, uint64(seq), nil, "")
+	}
+	if total != 5 {
+		t.Fatalf("evicted %d records, want 5", total)
+	}
+	if _, ok := d.lookup(1, 5); ok {
+		t.Fatal("seq 5 should have been evicted FIFO")
+	}
+	if _, ok := d.lookup(1, 6); !ok {
+		t.Fatal("seq 6 should still be inside the window")
+	}
+	if _, ok := d.lookup(1, uint64(dedupWindowPerClient+5)); !ok {
+		t.Fatal("newest seq missing")
+	}
+	if got := len(d.Clients[1].Records); got != dedupWindowPerClient {
+		t.Fatalf("window holds %d records, bound is %d", got, dedupWindowPerClient)
+	}
+}
+
+func TestDedupEvictsOldestClientWholesale(t *testing.T) {
+	var d dedupState
+	for c := 1; c <= dedupMaxClients; c++ {
+		for s := 1; s <= 3; s++ {
+			d.record(uint64(c), uint64(s), nil, "")
+		}
+	}
+	// One more client pushes out client 1 with all three of its stamps.
+	if ev := d.record(uint64(dedupMaxClients+1), 1, nil, ""); ev != 3 {
+		t.Fatalf("evicted %d records, want the 3 of the oldest client", ev)
+	}
+	if _, ok := d.lookup(1, 1); ok {
+		t.Fatal("oldest client should be gone")
+	}
+	if _, ok := d.lookup(2, 3); !ok {
+		t.Fatal("second-oldest client lost collaterally")
+	}
+	if got := len(d.Clients); got != dedupMaxClients {
+		t.Fatalf("tracking %d clients, bound is %d", got, dedupMaxClients)
+	}
+}
+
+func TestDedupCloneIsDeep(t *testing.T) {
+	var d dedupState
+	d.record(1, 1, []any{int64(1)}, "")
+	cp := d.clone()
+	d.record(1, 2, nil, "")
+	d.record(9, 1, nil, "")
+	if _, ok := cp.lookup(1, 2); ok {
+		t.Fatal("clone sees records added to the original afterwards")
+	}
+	if _, ok := cp.lookup(1, 1); !ok {
+		t.Fatal("clone lost an existing record")
+	}
+	if len(cp.Order) != 1 {
+		t.Fatalf("clone order %v", cp.Order)
+	}
+}
+
+func BenchmarkDedupRecordLookup(b *testing.B) {
+	var d dedupState
+	for i := 0; i < b.N; i++ {
+		c := uint64(i % 8)
+		d.record(c, uint64(i), nil, "")
+		d.lookup(c, uint64(i))
+	}
+	_ = fmt.Sprint(len(d.Order))
+}

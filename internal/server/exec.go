@@ -25,6 +25,16 @@ type entry struct {
 	// transferring marks the object as mid-rebalance; invocations bounce
 	// with ErrRebalancing so clients back off and retry.
 	transferring bool
+	// dedup is the at-most-once window (see dedup.go), guarded by mu like
+	// the object itself.
+	dedup dedupState
+	// version counts operations applied to this copy (guarded by mu).
+	// Replicas of one object apply the same totally-ordered sequence, so
+	// equal versions mean equal state; state transfers carry the snapshot's
+	// version and a receiver refuses to replace a copy that has applied
+	// more — otherwise a snapshot taken before an op but installed after it
+	// would silently roll back an acknowledged update.
+	version uint64
 }
 
 func newEntry(obj core.Object, persist, syncObj bool, init []any) *entry {
@@ -171,7 +181,13 @@ func (n *Node) execOn(ctx context.Context, e *entry, inv core.Invocation) ([]any
 		if e.transferring {
 			return nil, core.ErrRebalancing
 		}
-		return e.obj.Call(nodeCtl{n: n, e: e, ctx: ctx}, inv.Method, inv.Args)
+		if results, err, ok := n.dedupLookupLocked(ctx, e, inv); ok {
+			return results, err
+		}
+		results, err := e.obj.Call(nodeCtl{n: n, e: e, ctx: ctx}, inv.Method, inv.Args)
+		e.version++
+		n.dedupRecordLocked(e, inv, results, err)
+		return results, err
 	}
 	acquire := time.Now()
 	e.mu.Lock()
@@ -180,10 +196,56 @@ func (n *Node) execOn(ctx context.Context, e *entry, inv core.Invocation) ([]any
 	if e.transferring {
 		return nil, core.ErrRebalancing
 	}
+	if results, err, ok := n.dedupLookupLocked(ctx, e, inv); ok {
+		return results, err
+	}
 	execStart := time.Now()
 	results, err := e.obj.Call(nodeCtl{n: n, e: e, ctx: ctx}, inv.Method, inv.Args)
+	e.version++
 	n.hExec.Observe(time.Since(execStart))
+	n.dedupRecordLocked(e, inv, results, err)
 	return results, err
+}
+
+// lookupExisting returns the resident entry for ref without materializing
+// one. SMR delivery uses it to distinguish "apply to my copy" from "I have
+// no base copy for this object" (see deliverSMR).
+func (n *Node) lookupExisting(ref core.Ref) (*entry, bool) {
+	n.objMu.Lock()
+	defer n.objMu.Unlock()
+	e, ok := n.objects[ref]
+	return e, ok
+}
+
+// dedupLookupLocked answers a stamped retry whose original was already
+// applied, replaying the recorded response instead of re-executing. The
+// caller holds e.mu. Synchronization objects are excluded: their calls
+// must actually block.
+func (n *Node) dedupLookupLocked(ctx context.Context, e *entry, inv core.Invocation) ([]any, error, bool) {
+	if !inv.Stamped() || e.sync {
+		return nil, nil, false
+	}
+	rec, ok := e.dedup.lookup(inv.ClientID, inv.Seq)
+	if !ok {
+		return nil, nil, false
+	}
+	n.cDedupHits.Inc()
+	telemetry.SpanFromContext(ctx).SetAttr(telemetry.AttrChaos, "replayed")
+	return rec.Results, core.DecodeError(rec.Err), true
+}
+
+// dedupRecordLocked remembers an applied stamped invocation's outcome.
+// Every outcome the method itself produced is recorded — including its
+// errors, which a replayed retry must reproduce; routing-layer bounces
+// (ErrRebalancing, ErrWrongNode) never reach this point because execOn
+// returns before calling the object.
+func (n *Node) dedupRecordLocked(e *entry, inv core.Invocation, results []any, err error) {
+	if !inv.Stamped() || e.sync {
+		return
+	}
+	if evicted := e.dedup.record(inv.ClientID, inv.Seq, results, core.EncodeError(err)); evicted > 0 {
+		n.cDedupEvictions.Add(uint64(evicted))
+	}
 }
 
 // DebugObjectCount reports resident objects (tests and introspection).

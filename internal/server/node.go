@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crucial/internal/chaos"
 	"crucial/internal/core"
 	"crucial/internal/membership"
 	"crucial/internal/netsim"
@@ -48,6 +49,13 @@ const (
 	// trace collector estimates per-node clock offsets from this cheap,
 	// symmetric round trip before draining spans.
 	KindClock uint8 = 9
+	// KindChaos carries a fault-injection command (gob-encoded ChaosCmd)
+	// from dso-cli chaos to a node wired with a chaos engine.
+	KindChaos uint8 = 10
+	// KindFetch is a pull-on-miss: a replica asks a group peer for its copy
+	// of an object (gob-encoded core.Ref in, fetchResp out) instead of
+	// creating a fresh one when the hand-off transfer never arrived.
+	KindFetch uint8 = 11
 )
 
 // Config wires one node into a cluster.
@@ -76,10 +84,25 @@ type Config struct {
 	// it would in a real deployment; by default it is off.
 	ServiceTime        time.Duration
 	ServiceConcurrency int
+	// PeerCallTimeout bounds each inter-node RPC attempt (Skeen control
+	// messages, state transfers). Without it, a frame lost in the network
+	// blocks the coordinator forever and its orphaned proposal wedges the
+	// total-order queue on every replica. Zero means the 2s default;
+	// negative disables the bound.
+	PeerCallTimeout time.Duration
 	// Telemetry, when non-nil, records server-side spans (attached to the
 	// caller's trace via the invocation's TraceContext), execution and
 	// monitor-wait histograms, SMR round counters and an in-flight gauge.
 	Telemetry *telemetry.Telemetry
+	// Chaos, when non-nil, lets KindChaos commands steer this fault
+	// injection engine (partition/heal). The engine must be the one whose
+	// endpoints carry this deployment's traffic for the commands to bite.
+	Chaos *chaos.Engine
+	// OnChaosLifecycle, when non-nil, handles KindChaos "crash" and
+	// "restart" commands. It runs outside the RPC handler (the command is
+	// acknowledged first — crashing tears down the RPC server, which
+	// would otherwise deadlock waiting for its own handler).
+	OnChaosLifecycle func(op string) error
 }
 
 func (c Config) validate() error {
@@ -125,15 +148,21 @@ type Node struct {
 	objMu   sync.Mutex
 	objects map[core.Ref]*entry
 
+	// in-flight pull-on-miss repairs, singleflight per ref (see selfHeal)
+	pullMu  sync.Mutex
+	pulling map[core.Ref]bool
+
 	// peer connections
 	peerMu sync.Mutex
 	peers  map[ring.NodeID]*rpc.Client
 
 	// replication
-	to      *totalorder.Node
-	seq     atomic.Uint64
-	waitMu  sync.Mutex
-	waiters map[totalorder.MsgID]chan smrResult
+	to          *totalorder.Node
+	inflight    *inflightTracker
+	peerTimeout time.Duration
+	seq         atomic.Uint64
+	waitMu      sync.Mutex
+	waiters     map[totalorder.MsgID]chan smrResult
 
 	// svcGate, when non-nil, is the modeled capacity gate (see Config).
 	svcGate chan struct{}
@@ -148,15 +177,19 @@ type Node struct {
 	log *slog.Logger
 
 	// Telemetry handles; nil (no-op) when no bundle was configured.
-	instrumented bool
-	tracer       *telemetry.Tracer
-	metrics      *telemetry.Registry
-	cInvocations *telemetry.Counter
-	cSMRRounds   *telemetry.Counter
-	cTransfers   *telemetry.Counter
-	gInflight    *telemetry.Gauge
-	hExec        *telemetry.Histogram
-	hMonitorWait *telemetry.Histogram
+	instrumented    bool
+	tracer          *telemetry.Tracer
+	metrics         *telemetry.Registry
+	cInvocations    *telemetry.Counter
+	cSMRRounds      *telemetry.Counter
+	cTransfers      *telemetry.Counter
+	cTransfersStale *telemetry.Counter
+	cPulls          *telemetry.Counter
+	cDedupHits      *telemetry.Counter
+	cDedupEvictions *telemetry.Counter
+	gInflight       *telemetry.Gauge
+	hExec           *telemetry.Histogram
+	hMonitorWait    *telemetry.Histogram
 }
 
 // Start launches the node: it listens on cfg.Addr, joins the directory and
@@ -186,11 +219,28 @@ func Start(cfg Config) (*Node, error) {
 		n.cInvocations = n.metrics.Counter(telemetry.MetServerInvocations)
 		n.cSMRRounds = n.metrics.Counter(telemetry.MetServerSMRRounds)
 		n.cTransfers = n.metrics.Counter(telemetry.MetServerTransfers)
+		n.cTransfersStale = n.metrics.Counter(telemetry.MetServerTransfersStale)
+		n.cPulls = n.metrics.Counter(telemetry.MetServerPulls)
+		n.cDedupHits = n.metrics.Counter(telemetry.MetServerDedupHits)
+		n.cDedupEvictions = n.metrics.Counter(telemetry.MetServerDedupEvictions)
 		n.gInflight = n.metrics.Gauge(telemetry.MetServerInflight)
 		n.hExec = n.metrics.Histogram(telemetry.HistServerExec)
 		n.hMonitorWait = n.metrics.Histogram(telemetry.HistServerMonitorWait)
 	}
 	n.to = totalorder.NewNode(string(cfg.ID), n.deliverSMR)
+	switch {
+	case cfg.PeerCallTimeout > 0:
+		n.peerTimeout = cfg.PeerCallTimeout
+	case cfg.PeerCallTimeout == 0:
+		n.peerTimeout = 2 * time.Second
+	}
+	if n.peerTimeout > 0 {
+		// The orphan TTL must comfortably exceed the window in which a
+		// live coordinator could still finalize or abort (propose timeout
+		// plus abort retries), or the GC itself would drop in-flight ops.
+		n.to.SetPendingTTL(10 * n.peerTimeout)
+	}
+	n.inflight = newInflightTracker(10 * n.peerTimeout)
 
 	l, err := cfg.Transport.Listen(cfg.Addr)
 	if err != nil {
@@ -338,6 +388,10 @@ func (n *Node) handle(ctx context.Context, kind uint8, payload []byte) ([]byte, 
 		return core.EncodeValue(n.TraceDump())
 	case KindClock:
 		return core.EncodeValue(time.Now())
+	case KindChaos:
+		return n.handleChaos(payload)
+	case KindFetch:
+		return n.handleFetch(payload)
 	case KindPing:
 		return []byte("pong"), nil
 	default:

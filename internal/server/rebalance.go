@@ -17,12 +17,38 @@ import (
 // left the set drop their copy. Synchronization objects are ephemeral and
 // are never transferred (their waiters are connection-bound).
 
-// transferMsg carries one object snapshot between nodes.
+// transferMsg carries one object snapshot between nodes. Dedup moves the
+// at-most-once window with the object, so a client retry that lands on the
+// object's new home after a view change still replays instead of
+// re-executing. Pre-dedup peers simply omit the field (gob tolerates
+// absent fields), leaving the window empty — their retries degrade to
+// at-least-once, exactly the old behavior.
+//
+// Version is the snapshot's apply count (see entry.version). The receiver
+// installs a snapshot only when it is strictly newer than its local copy:
+// a snapshot races the operations that keep applying while it crosses the
+// network, and installing a stale one would roll back acknowledged
+// updates — the classic lost-update during hand-off.
 type transferMsg struct {
 	Ref      core.Ref
 	Init     []any
 	Persist  bool
 	Snapshot []byte
+	Dedup    dedupState
+	Version  uint64
+}
+
+// fetchResp answers a KindFetch pull: the requested object's snapshot,
+// Found=false when this node holds no copy, or Busy=true when the object
+// has accepted-but-undelivered proposals here. A busy snapshot would miss
+// an operation the puller may never receive by multicast (it was not in
+// that op's group), so the puller must retry rather than adopt it — and
+// must not mistake Busy for "no copy anywhere" and create the object
+// fresh.
+type fetchResp struct {
+	Found bool
+	Busy  bool
+	Msg   transferMsg
 }
 
 // onView installs a new view and rebalances. The directory serializes
@@ -41,9 +67,11 @@ func (n *Node) onView(v membership.View) {
 	n.log.Debug("view installed, rebalancing", "view", v.ID, "members", len(v.Members))
 	// Flush the total-order layer: a coordinator that died mid-multicast
 	// must not hold back deliveries forever (view-synchrony flush).
-	n.to.PurgeOrigins(func(origin string) bool {
+	alive := func(origin string) bool {
 		return origin == string(n.cfg.ID) || v.Contains(ring.NodeID(origin))
-	})
+	}
+	n.to.PurgeOrigins(alive)
+	n.inflight.purge(alive)
 	n.rebalance(oldRing, newRing, v)
 }
 
@@ -100,8 +128,14 @@ func (n *Node) rebalance(oldRing, newRing *ring.Ring, v membership.View) {
 			}
 		}
 		if pusher == n.cfg.ID {
+			// Push to every other member of the new set, not only the
+			// joiners: a surviving member may have missed operations (its
+			// base copy never arrived, so it skipped committed deliveries —
+			// see deliverSMR), and the version check on the receiving side
+			// makes refreshing an up-to-date copy a no-op. Each view change
+			// thereby doubles as an anti-entropy round.
 			for _, target := range newSet {
-				if contains(oldSet, target) || target == n.cfg.ID {
+				if target == n.cfg.ID {
 					continue
 				}
 				if err := n.pushObject(ref, e, target); err != nil {
@@ -119,37 +153,80 @@ func (n *Node) rebalance(oldRing, newRing *ring.Ring, v membership.View) {
 	}
 }
 
-// pushObject snapshots one object and ships it to target. The object is
-// marked transferring while the snapshot is taken so concurrent calls
-// back off.
-func (n *Node) pushObject(ref core.Ref, e *entry, target ring.NodeID) error {
+// snapshotEntry captures one object's state under its monitor: snapshot
+// bytes, apply version and at-most-once window, all from a single critical
+// section so they describe the same instant.
+func (n *Node) snapshotEntry(ref core.Ref, e *entry) (transferMsg, error) {
 	e.mu.Lock()
 	snap, ok := e.obj.(core.Snapshotter)
 	if !ok {
 		e.mu.Unlock()
-		return fmt.Errorf("server: %s (%T) is not snapshotable", ref, e.obj)
+		return transferMsg{}, fmt.Errorf("server: %s (%T) is not snapshotable", ref, e.obj)
 	}
 	e.transferring = true
 	data, err := snap.Snapshot()
 	e.transferring = false
-	persist := e.persist
-	init := e.init
+	msg := transferMsg{
+		Ref:      ref,
+		Init:     e.init,
+		Persist:  e.persist,
+		Snapshot: data,
+		Dedup:    e.dedup.clone(),
+		Version:  e.version,
+	}
 	e.mu.Unlock()
 	if err != nil {
-		return fmt.Errorf("server: snapshot %s: %w", ref, err)
+		return transferMsg{}, fmt.Errorf("server: snapshot %s: %w", ref, err)
 	}
+	return msg, nil
+}
 
-	body, err := core.EncodeValue(transferMsg{Ref: ref, Init: init, Persist: persist, Snapshot: data})
-	if err != nil {
-		return err
+// maxPushRounds bounds the snapshot/ship/re-check loop in pushObject. One
+// round suffices when nothing raced the transfer; a second covers the
+// common case of operations applying while the first snapshot crossed the
+// network. Anything the bound leaves behind is repaired by the next view's
+// anti-entropy push.
+const maxPushRounds = 3
+
+// pushObject ships one object to target, repeating while operations race
+// the snapshot: an op that applies locally after the snapshot was taken is
+// missing from it, and — if the target skipped that op's delivery for want
+// of a base copy — only a newer snapshot can deliver it. The loop exits as
+// soon as a shipped snapshot's version still matches the entry, i.e. the
+// target has everything this copy has.
+func (n *Node) pushObject(ref core.Ref, e *entry, target ring.NodeID) error {
+	for round := 0; round < maxPushRounds; round++ {
+		// Quiesce before snapshotting: an accepted-but-undelivered proposal
+		// is invisible to the snapshot, and the target — not a member of
+		// that op's group — can only ever get it from a snapshot taken
+		// after it applied. Best effort with a short bound; the version
+		// re-check below and the next view's anti-entropy round back it up.
+		for wait := 0; wait < 8 && n.inflight.busy(ref); wait++ {
+			time.Sleep(10 * time.Millisecond)
+		}
+		msg, err := n.snapshotEntry(ref, e)
+		if err != nil {
+			return err
+		}
+		body, err := core.EncodeValue(msg)
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_, err = n.peerCall(ctx, target, KindTransfer, body)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("server: transfer %s to %s: %w", ref, target, err)
+		}
+		n.transfers.Add(1)
+		n.cTransfers.Inc()
+		e.mu.Lock()
+		settled := e.version == msg.Version
+		e.mu.Unlock()
+		if settled {
+			return nil
+		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	if _, err := n.peerCall(ctx, target, KindTransfer, body); err != nil {
-		return fmt.Errorf("server: transfer %s to %s: %w", ref, target, err)
-	}
-	n.transfers.Add(1)
-	n.cTransfers.Inc()
 	return nil
 }
 
@@ -168,32 +245,172 @@ func (n *Node) removeObject(ref core.Ref) {
 	}
 }
 
-// handleTransfer installs a pushed snapshot, replacing any local copy.
+// handleTransfer installs a pushed snapshot.
 func (n *Node) handleTransfer(payload []byte) ([]byte, error) {
 	var msg transferMsg
 	if err := core.DecodeValue(payload, &msg); err != nil {
 		return nil, err
 	}
+	if err := n.installTransfer(msg); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// installTransfer materializes a received snapshot, refusing to go
+// backwards: if a local copy exists and has applied at least as many
+// operations as the snapshot, the snapshot is stale (it was taken before
+// ops that have since been applied and acknowledged) and is dropped.
+// Updates happen in place — goroutines mid-delivery hold the entry
+// pointer, and swapping the map entry under them would divert their apply
+// to an orphan.
+func (n *Node) installTransfer(msg transferMsg) error {
 	info, err := n.cfg.Registry.Lookup(msg.Ref.Type)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	obj, err := info.New(msg.Init)
 	if err != nil {
-		return nil, fmt.Errorf("server: transfer create %s: %w", msg.Ref, err)
+		return fmt.Errorf("server: transfer create %s: %w", msg.Ref, err)
 	}
 	snap, ok := obj.(core.Snapshotter)
 	if !ok {
-		return nil, fmt.Errorf("server: transferred type %s is not snapshotable", msg.Ref.Type)
+		return fmt.Errorf("server: transferred type %s is not snapshotable", msg.Ref.Type)
 	}
 	if err := snap.Restore(msg.Snapshot); err != nil {
-		return nil, fmt.Errorf("server: restore %s: %w", msg.Ref, err)
+		return fmt.Errorf("server: restore %s: %w", msg.Ref, err)
 	}
-	e := newEntry(obj, msg.Persist, false, msg.Init)
+
 	n.objMu.Lock()
-	n.objects[msg.Ref] = e
+	e, exists := n.objects[msg.Ref]
+	if !exists {
+		e = newEntry(obj, msg.Persist, false, msg.Init)
+		e.dedup = msg.Dedup
+		e.version = msg.Version
+		n.objects[msg.Ref] = e
+		n.objMu.Unlock()
+		n.transfers.Add(1)
+		n.cTransfers.Inc()
+		return nil
+	}
+	// Lock order objMu → e.mu matches the rest of the package (nothing
+	// acquires objMu while holding an entry lock).
+	e.mu.Lock()
 	n.objMu.Unlock()
+	defer e.mu.Unlock()
+	if e.version >= msg.Version {
+		n.cTransfersStale.Inc()
+		n.log.Debug("stale transfer ignored", "ref", msg.Ref.String(),
+			"local_version", e.version, "snapshot_version", msg.Version)
+		return nil
+	}
+	e.obj = obj
+	e.persist = msg.Persist
+	e.init = msg.Init
+	e.dedup = msg.Dedup
+	e.version = msg.Version
+	// State changed under waiters (synchronization objects are never
+	// transferred, but be safe).
+	e.cond.Broadcast()
 	n.transfers.Add(1)
 	n.cTransfers.Inc()
-	return nil, nil
+	return nil
+}
+
+// handleFetch answers a peer's pull-on-miss (KindFetch): ship our copy of
+// the requested object, or report that we hold none.
+func (n *Node) handleFetch(payload []byte) ([]byte, error) {
+	var ref core.Ref
+	if err := core.DecodeValue(payload, &ref); err != nil {
+		return nil, err
+	}
+	e, ok := n.lookupExisting(ref)
+	if !ok {
+		return core.EncodeValue(fetchResp{})
+	}
+	if n.inflight.busy(ref) {
+		return core.EncodeValue(fetchResp{Found: true, Busy: true})
+	}
+	msg, err := n.snapshotEntry(ref, e)
+	if err != nil {
+		return nil, err
+	}
+	return core.EncodeValue(fetchResp{Found: true, Msg: msg})
+}
+
+// pullObject asks the other members of ref's replica group for an existing
+// copy and adopts the first one offered (version-checked, like any
+// transfer). It returns whether a copy was installed, and whether some
+// peer holds a copy it could not serve yet (busy: in-flight ops there —
+// the caller must treat the object as existing-but-unavailable, never as
+// absent). The primary uses it before treating a local miss as object
+// creation: a miss can equally mean the hand-off transfer never arrived,
+// and creating a fresh object would fork the lineage and silently discard
+// all prior state.
+func (n *Node) pullObject(ctx context.Context, ref core.Ref, group []ring.NodeID) (installed, busy bool) {
+	body, err := core.EncodeValue(ref)
+	if err != nil {
+		return false, false
+	}
+	for _, m := range group {
+		if m == n.cfg.ID {
+			continue
+		}
+		out, err := n.peerCall(ctx, m, KindFetch, body)
+		if err != nil {
+			continue
+		}
+		var resp fetchResp
+		if core.DecodeValue(out, &resp) != nil || !resp.Found {
+			continue
+		}
+		if resp.Busy {
+			busy = true
+			continue
+		}
+		if err := n.installTransfer(resp.Msg); err != nil {
+			n.log.Debug("pull install failed", "ref", ref.String(), "err", err)
+			continue
+		}
+		n.cPulls.Inc()
+		n.log.Debug("adopted base copy from peer", "ref", ref.String(),
+			"peer", string(m), "version", resp.Msg.Version)
+		return true, busy
+	}
+	return false, busy
+}
+
+// selfHeal runs a background pull for an object whose committed delivery
+// had to be skipped for want of a base copy (singleflight per ref). Until
+// a copy arrives this replica contributes nothing for the object; pulling
+// promptly restores the replication factor instead of waiting for the
+// next view change's anti-entropy push.
+func (n *Node) selfHeal(ref core.Ref) {
+	n.pullMu.Lock()
+	if n.pulling == nil {
+		n.pulling = make(map[core.Ref]bool)
+	}
+	if n.pulling[ref] {
+		n.pullMu.Unlock()
+		return
+	}
+	n.pulling[ref] = true
+	n.pullMu.Unlock()
+	defer func() {
+		n.pullMu.Lock()
+		delete(n.pulling, ref)
+		n.pullMu.Unlock()
+	}()
+
+	group, r := n.replicaGroup(ref, true)
+	if r == nil {
+		return
+	}
+	timeout := 2 * n.peerTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	n.pullObject(ctx, ref, group)
 }

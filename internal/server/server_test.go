@@ -9,7 +9,9 @@ import (
 	"crucial/internal/core"
 	"crucial/internal/membership"
 	"crucial/internal/objects"
+	"crucial/internal/ring"
 	"crucial/internal/rpc"
+	"crucial/internal/totalorder"
 )
 
 func validConfig(net rpc.Transport, dir *membership.Directory) Config {
@@ -295,5 +297,261 @@ func TestWaitUnblocksOnContextCancel(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("Wait did not unblock on context cancellation")
+	}
+}
+
+// Regression: a state transfer carrying a snapshot older than the local
+// copy must be refused. Without the version check, a snapshot taken before
+// an operation but installed after it rolled the object back, losing an
+// acknowledged update (found by the chaos nemesis, seed 505).
+func TestStaleTransferRefused(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	n := startNode(t, validConfig(net, dir))
+	ctx := context.Background()
+
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: "xfer"}
+	set := func(v int64) {
+		t.Helper()
+		if _, err := n.invokeLocal(ctx, core.Invocation{Ref: ref, Method: "Set", Args: []any{v}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get := func() int64 {
+		t.Helper()
+		res, err := n.invokeLocal(ctx, core.Invocation{Ref: ref, Method: "Get"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := core.NumberAsInt64(res[0])
+		return v
+	}
+
+	set(10) // version 1
+	e, ok := n.lookupExisting(ref)
+	if !ok {
+		t.Fatal("object not resident")
+	}
+	stale, err := n.snapshotEntry(ref, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set(20) // version 2: the snapshot is now stale
+
+	if err := n.installTransfer(stale); err != nil {
+		t.Fatal(err)
+	}
+	if v := get(); v != 20 {
+		t.Fatalf("stale transfer rolled the object back: got %d, want 20", v)
+	}
+
+	// A strictly newer snapshot must install.
+	newer := stale
+	newer.Version = 99
+	if err := n.installTransfer(newer); err != nil {
+		t.Fatal(err)
+	}
+	if v := get(); v != 10 {
+		t.Fatalf("newer transfer not installed: got %d, want 10", v)
+	}
+}
+
+// Regression: a committed SMR delivery for an object this replica holds no
+// base copy of (the hand-off transfer has not arrived) must be skipped, not
+// applied to a freshly created object — that would fork the object's
+// lineage. Genesis-flagged ops (first-ever op, coordinator held no copy
+// and neither did its peers) still create.
+func TestDeliverWithoutBaseCopySkips(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	n := startNode(t, validConfig(net, dir))
+
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: "nobase"}
+	encInv, err := core.EncodeInvocation(core.Invocation{
+		Ref: ref, Method: "IncrementAndGet", Persist: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-genesis op, no local copy: must skip and report a retryable error
+	// to the (local) waiter.
+	id := totalorder.MsgID{Origin: "n1", Seq: 1}
+	ch := make(chan smrResult, 1)
+	n.waitMu.Lock()
+	n.waiters[id] = ch
+	n.waitMu.Unlock()
+	n.deliverSMR(id, append([]byte{smrOpExisting}, encInv...))
+	select {
+	case res := <-ch:
+		if !errors.Is(res.err, core.ErrRebalancing) {
+			t.Fatalf("skipped delivery returned %v, want ErrRebalancing", res.err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never completed")
+	}
+	if n.DebugHasObject(ref) {
+		t.Fatal("non-genesis delivery created a fresh object")
+	}
+
+	// Genesis op: creates and applies.
+	n.deliverSMR(totalorder.MsgID{Origin: "n1", Seq: 2}, append([]byte{smrOpGenesis}, encInv...))
+	if !n.DebugHasObject(ref) {
+		t.Fatal("genesis delivery did not create the object")
+	}
+}
+
+// Regression: a propose from a coordinator whose membership view differs
+// from the receiver's must be fenced. Without the fence, a stale primary
+// and the new primary could both commit operations for one object during a
+// view transition, forking its lineage (two clients acknowledged the same
+// counter value).
+func TestProposeFencedOnViewMismatch(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	startNode(t, validConfig(net, dir))
+	c := dial(t, net, "n1")
+	ctx := context.Background()
+
+	encInv, err := core.EncodeInvocation(core.Invocation{
+		Ref: core.Ref{Type: objects.TypeAtomicLong, Key: "fenced"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(fence uint64, seq uint64) []byte {
+		body, err := core.EncodeValue(proposeMsg{
+			ID:      totalorder.MsgID{Origin: "n9", Seq: seq},
+			Payload: append([]byte{smrOpGenesis}, encInv...),
+			Fence:   fence,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	if _, err := c.Call(ctx, KindPropose, mk(dir.View().Fence()+1, 1)); err == nil {
+		t.Fatal("propose with mismatched view fence accepted")
+	}
+	if _, err := c.Call(ctx, KindPropose, mk(dir.View().Fence(), 2)); err != nil {
+		t.Fatalf("propose with matching fence refused: %v", err)
+	}
+}
+
+// pullObject adopts an existing copy from a group peer instead of treating
+// a local miss as object creation.
+func TestPullOnMissAdoptsPeerCopy(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	n1 := startNode(t, validConfig(net, dir))
+	cfg2 := validConfig(net, dir)
+	cfg2.ID, cfg2.Addr = "n2", "n2"
+	n2 := startNode(t, cfg2)
+	ctx := context.Background()
+
+	// Seed a copy on n1 directly (bypassing routing: this is the replica
+	// layer, not the client layer).
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: "adopt"}
+	if _, err := n1.lookupOrCreate(core.Invocation{Ref: ref}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := n1.lookupExisting(ref)
+	e.mu.Lock()
+	e.version = 7
+	e.persist = true
+	e.mu.Unlock()
+
+	if installed, _ := n2.pullObject(ctx, ref, []ring.NodeID{"n1", "n2"}); !installed {
+		t.Fatal("pull found no copy")
+	}
+	got, ok := n2.lookupExisting(ref)
+	if !ok {
+		t.Fatal("pulled object not resident on n2")
+	}
+	got.mu.Lock()
+	v := got.version
+	got.mu.Unlock()
+	if v != 7 {
+		t.Fatalf("pulled copy version = %d, want 7", v)
+	}
+}
+
+// The in-flight tracker admits only one coordinator per object at a time:
+// during a view transition the old and the new primary must not both have
+// undelivered proposals for the same object (each would ack a result the
+// other never sees).
+func TestInflightSingleCoordinatorPerObject(t *testing.T) {
+	tr := newInflightTracker(time.Minute)
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: "one"}
+	other := core.Ref{Type: objects.TypeAtomicLong, Key: "two"}
+
+	a1 := totalorder.MsgID{Origin: "a", Seq: 1}
+	if !tr.admit(a1, ref) {
+		t.Fatal("first propose refused")
+	}
+	if !tr.admit(a1, ref) {
+		t.Fatal("duplicate propose (same ID) refused")
+	}
+	if !tr.admit(totalorder.MsgID{Origin: "a", Seq: 2}, ref) {
+		t.Fatal("second propose from the same coordinator refused")
+	}
+	if tr.admit(totalorder.MsgID{Origin: "b", Seq: 1}, ref) {
+		t.Fatal("propose from a second coordinator admitted while the first is in flight")
+	}
+	if !tr.admit(totalorder.MsgID{Origin: "b", Seq: 2}, other) {
+		t.Fatal("unrelated object blocked by another object's in-flight op")
+	}
+	if !tr.busy(ref) {
+		t.Fatal("object with undelivered proposals not busy")
+	}
+
+	// Delivery settles both of a's proposals; b may now coordinate.
+	tr.settle(a1)
+	tr.settle(totalorder.MsgID{Origin: "a", Seq: 2})
+	if tr.busy(ref) {
+		t.Fatal("object busy after all proposals settled")
+	}
+	if !tr.admit(totalorder.MsgID{Origin: "b", Seq: 3}, ref) {
+		t.Fatal("propose refused after the conflicting ops settled")
+	}
+
+	// A view change purges proposals from dead coordinators.
+	tr.purge(func(origin string) bool { return origin != "b" })
+	if tr.busy(ref) {
+		t.Fatal("dead coordinator's proposals survived the purge")
+	}
+}
+
+// A fetch for an object with undelivered proposals answers Busy: a snapshot
+// taken now would miss those ops, and the puller must neither adopt it nor
+// conclude the object does not exist.
+func TestFetchBusyWhileOpsInFlight(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	n1 := startNode(t, validConfig(net, dir))
+	cfg2 := validConfig(net, dir)
+	cfg2.ID, cfg2.Addr = "n2", "n2"
+	n2 := startNode(t, cfg2)
+	ctx := context.Background()
+
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: "busy"}
+	if _, err := n1.lookupOrCreate(core.Invocation{Ref: ref}); err != nil {
+		t.Fatal(err)
+	}
+	n1.inflight.admit(totalorder.MsgID{Origin: "n9", Seq: 1}, ref)
+
+	installed, busy := n2.pullObject(ctx, ref, []ring.NodeID{"n1", "n2"})
+	if installed {
+		t.Fatal("pull adopted a snapshot with ops still in flight")
+	}
+	if !busy {
+		t.Fatal("pull did not report the peer's copy as busy")
+	}
+
+	n1.inflight.settle(totalorder.MsgID{Origin: "n9", Seq: 1})
+	installed, busy = n2.pullObject(ctx, ref, []ring.NodeID{"n1", "n2"})
+	if !installed || busy {
+		t.Fatalf("pull after settle: installed=%v busy=%v, want true/false", installed, busy)
 	}
 }

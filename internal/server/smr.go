@@ -22,10 +22,30 @@ type smrResult struct {
 }
 
 // proposeMsg and finalMsg are the Skeen control messages on the wire.
+// Fence is the coordinator's membership digest (membership.View.Fence): a
+// receiver refuses proposes from a coordinator whose view of the cluster
+// differs from its own. Skeen's protocol needs every group member's
+// propose to succeed, so during a view transition any replica shared
+// between the old and the new replica group fences out the stale
+// coordinator — without the fence, the old and the new primary can both
+// commit ops for the same object to overlapping groups and fork its
+// lineage (two clients acknowledged the same counter value).
 type proposeMsg struct {
 	ID      totalorder.MsgID
 	Payload []byte
+	Fence   uint64
 }
+
+// SMR payloads carry a one-byte prefix ahead of the encoded invocation:
+// whether the coordinator held a copy of the object when it multicast the
+// op. A replica that receives a non-genesis op for an object it does not
+// hold is missing its base copy (the hand-off transfer has not arrived) —
+// applying the op to a freshly created object would fork the lineage, so
+// it skips the apply and pulls a base copy instead (see deliverSMR).
+const (
+	smrOpExisting byte = 0 // the coordinator already held the object
+	smrOpGenesis  byte = 1 // first-ever op: replicas may create it fresh
+)
 
 type finalMsg struct {
 	ID totalorder.MsgID
@@ -53,10 +73,33 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 		return n.invokeLocal(ctx, inv)
 	}
 
-	payload, err := core.EncodeInvocation(inv)
+	_, resident := n.lookupExisting(inv.Ref)
+	if !resident && len(group) > 1 {
+		// The primary holds no copy. That is either a genuinely new object
+		// or one whose hand-off transfer never reached us (the view changed
+		// while we were partitioned, or the pusher died mid-transfer).
+		// Creating a fresh object in the second case would silently discard
+		// all prior state, so ask the other replicas for a copy first and
+		// only treat a unanimous miss as creation.
+		var busy bool
+		resident, busy = n.pullObject(ctx, inv.Ref, group)
+		if !resident && busy {
+			// A peer holds a copy but has in-flight ops for it; adopting a
+			// snapshot now would miss them. Bounce the client to retry once
+			// they settle.
+			return nil, fmt.Errorf("%w: %s busy at a peer", core.ErrRebalancing, inv.Ref)
+		}
+	}
+	flag := smrOpGenesis
+	if resident {
+		flag = smrOpExisting
+	}
+
+	encInv, err := core.EncodeInvocation(inv)
 	if err != nil {
 		return nil, err
 	}
+	payload := append([]byte{flag}, encInv...)
 	id := totalorder.MsgID{Origin: string(n.cfg.ID), Seq: n.seq.Add(1)}
 	ch := make(chan smrResult, 1)
 	n.waitMu.Lock()
@@ -80,7 +123,14 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 		orderStart = time.Now()
 	}
 	if err := totalorder.Multicast(ctx, (*toTransport)(n), members, id, payload); err != nil {
-		return nil, err
+		// A failed multicast means part of the replica group is
+		// unreachable or the view is changing under our feet (a member
+		// crashed between group computation and propose). Either way the
+		// client should re-route and retry — surface the rebalancing
+		// sentinel, which survives the wire's string encoding as a prefix
+		// (unlike an error buried mid-text). At-most-once dedup makes the
+		// retry safe even if this round did deliver somewhere.
+		return nil, fmt.Errorf("%w: %v", core.ErrRebalancing, err)
 	}
 	n.smrOps.Add(1)
 	n.cSMRRounds.Inc()
@@ -97,16 +147,41 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 
 // deliverSMR applies one totally-ordered operation to the local replica and
 // completes the coordinator's waiter if this node originated it.
+//
+// An op for an object this replica does not hold is applied only when the
+// coordinator flagged it as genesis (first-ever op). Otherwise the base
+// copy is missing — the hand-off transfer has not arrived yet — and
+// applying to a fresh object would fork the lineage: this replica would
+// hold a copy reflecting only the ops it saw, yet look authoritative to a
+// later version comparison. The delivery is skipped (the op is safe in the
+// other replicas' copies and in any snapshot taken after it) and a
+// background pull restores this replica's base copy.
 func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) {
-	inv, err := core.DecodeInvocation(payload)
+	n.inflight.settle(id)
 	var results []any
+	genesis, body, err := splitSMRPayload(payload)
 	if err == nil {
-		var e *entry
-		e, err = n.lookupOrCreate(inv)
+		var inv core.Invocation
+		inv, err = core.DecodeInvocation(body)
 		if err == nil {
-			// SMR ops never block (no sync objects), so Background is a
-			// safe execution context here.
-			results, err = n.execOn(context.Background(), e, inv)
+			e, resident := n.lookupExisting(inv.Ref)
+			switch {
+			case !resident && !genesis:
+				n.log.Debug("skipping committed op without base copy",
+					"ref", inv.Ref.String(), "origin", id.Origin)
+				err = fmt.Errorf("%w: %s has no base copy on %s",
+					core.ErrRebalancing, inv.Ref, n.cfg.ID)
+				go n.selfHeal(inv.Ref)
+			default:
+				if !resident {
+					e, err = n.lookupOrCreate(inv)
+				}
+				if err == nil {
+					// SMR ops never block (no sync objects), so Background
+					// is a safe execution context here.
+					results, err = n.execOn(context.Background(), e, inv)
+				}
+			}
 		}
 	}
 	n.waitMu.Lock()
@@ -114,6 +189,35 @@ func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) {
 	n.waitMu.Unlock()
 	if ok {
 		ch <- smrResult{results: results, err: err}
+	}
+}
+
+// refOfSMRPayload extracts the target object of an SMR payload, for the
+// in-flight conflict check on the propose path (see inflightTracker).
+func refOfSMRPayload(payload []byte) (core.Ref, error) {
+	_, body, err := splitSMRPayload(payload)
+	if err != nil {
+		return core.Ref{}, err
+	}
+	inv, err := core.DecodeInvocation(body)
+	if err != nil {
+		return core.Ref{}, err
+	}
+	return inv.Ref, nil
+}
+
+// splitSMRPayload strips the genesis prefix from an SMR payload.
+func splitSMRPayload(payload []byte) (genesis bool, body []byte, err error) {
+	if len(payload) < 1 {
+		return false, nil, fmt.Errorf("server: empty smr payload")
+	}
+	switch payload[0] {
+	case smrOpGenesis:
+		return true, payload[1:], nil
+	case smrOpExisting:
+		return false, payload[1:], nil
+	default:
+		return false, nil, fmt.Errorf("server: bad smr payload prefix 0x%02x", payload[0])
 	}
 }
 
@@ -128,9 +232,21 @@ func (t *toTransport) node() *Node { return (*Node)(t) }
 func (t *toTransport) Propose(ctx context.Context, target string, id totalorder.MsgID, payload []byte) (uint64, error) {
 	n := t.node()
 	if target == string(n.cfg.ID) {
+		// The local propose passes the same single-coordinator admission
+		// check as a remote one: if another coordinator's op for this
+		// object is still in flight here, this round must not start.
+		ref, err := refOfSMRPayload(payload)
+		if err != nil {
+			return 0, err
+		}
+		if !n.inflight.admit(id, ref) {
+			return 0, fmt.Errorf("%w: %s has an op in flight from another coordinator",
+				core.ErrRebalancing, ref)
+		}
 		return n.to.HandlePropose(id, payload), nil
 	}
-	body, err := core.EncodeValue(proposeMsg{ID: id, Payload: payload})
+	view, _ := n.currentView()
+	body, err := core.EncodeValue(proposeMsg{ID: id, Payload: payload, Fence: view.Fence()})
 	if err != nil {
 		return 0, err
 	}
@@ -164,6 +280,7 @@ func (t *toTransport) Final(ctx context.Context, target string, id totalorder.Ms
 func (t *toTransport) Abort(ctx context.Context, target string, id totalorder.MsgID) error {
 	n := t.node()
 	if target == string(n.cfg.ID) {
+		n.inflight.settle(id)
 		n.to.Drop(id)
 		return nil
 	}
@@ -177,8 +294,11 @@ func (t *toTransport) Abort(ctx context.Context, target string, id totalorder.Ms
 
 var _ totalorder.Transport = (*toTransport)(nil)
 
-// peerCall performs one inter-node RPC with simulated replica-link latency
-// and a single redial on connection failure.
+// peerCall performs one inter-node RPC with simulated replica-link latency,
+// a per-attempt timeout (see Config.PeerCallTimeout) and a single redial on
+// connection failure. The timeout is what turns a frame lost in the network
+// into an error the protocol layer can clean up after; an unbounded call
+// would wedge the coordinator and, with it, the total-order queue.
 func (n *Node) peerCall(ctx context.Context, id ring.NodeID, kind uint8, body []byte) ([]byte, error) {
 	if err := n.profile.Delay(ctx, n.profile.DSOReplica); err != nil {
 		return nil, err
@@ -188,7 +308,15 @@ func (n *Node) peerCall(ctx context.Context, id ring.NodeID, kind uint8, body []
 		if err != nil {
 			return nil, err
 		}
-		out, err := c.Call(ctx, kind, body)
+		callCtx := ctx
+		var cancel context.CancelFunc
+		if n.peerTimeout > 0 {
+			callCtx, cancel = context.WithTimeout(ctx, n.peerTimeout)
+		}
+		out, err := c.Call(callCtx, kind, body)
+		if cancel != nil {
+			cancel()
+		}
 		if err == nil {
 			return out, nil
 		}
@@ -211,15 +339,38 @@ func (n *Node) handleAbort(payload []byte) ([]byte, error) {
 	if err := core.DecodeValue(payload, &id); err != nil {
 		return nil, err
 	}
+	n.inflight.settle(id)
 	n.to.Drop(id)
 	return nil, nil
 }
 
-// handlePropose services a peer's PROPOSE.
+// handlePropose services a peer's PROPOSE. Proposes from a coordinator
+// whose membership view disagrees with ours are refused (see proposeMsg):
+// the coordinator aborts the round and the client retries once the views
+// converge — a transient bounce, never a fork.
 func (n *Node) handlePropose(payload []byte) ([]byte, error) {
 	var msg proposeMsg
 	if err := core.DecodeValue(payload, &msg); err != nil {
 		return nil, err
+	}
+	view, _ := n.currentView()
+	if fence := view.Fence(); msg.Fence != fence {
+		return nil, fmt.Errorf("%w: propose from %s fenced (view mismatch)",
+			core.ErrRebalancing, msg.ID.Origin)
+	}
+	// Single-coordinator admission: the fence above compares whole views,
+	// but it cannot stop this interleaving — we accept the old primary's
+	// op, install the next view, then the new primary proposes for the
+	// same object while the first op is still undelivered. Two coordinators
+	// would each ack a result the other never sees. Refuse the newcomer;
+	// its round aborts and the client retries after the pending op settles.
+	ref, err := refOfSMRPayload(msg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if !n.inflight.admit(msg.ID, ref) {
+		return nil, fmt.Errorf("%w: %s has an op in flight from another coordinator",
+			core.ErrRebalancing, ref)
 	}
 	ts := n.to.HandlePropose(msg.ID, msg.Payload)
 	return core.EncodeValue(ts)

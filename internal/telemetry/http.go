@@ -54,6 +54,11 @@ func HTTPHandler(node string, t *Telemetry) http.Handler {
 //	                                    gob (non-zero means RegisterValue types
 //	                                    are on the hot path — worth a look if
 //	                                    codec throughput matters)
+//	crucial_codec_stamped_decodes_total invocations carrying an at-most-once
+//	                                    (clientID, seq) stamp
+//	crucial_codec_unstamped_decodes_total invocations without a stamp (old
+//	                                    clients or control-plane tools; their
+//	                                    retries stay at-least-once)
 func writeCodecStats(w io.Writer) {
 	s := core.ReadCodecStats()
 	for _, c := range []struct {
@@ -64,6 +69,8 @@ func writeCodecStats(w io.Writer) {
 		{"crucial_codec_fast_decodes_total", s.FastDecodes},
 		{"crucial_codec_legacy_gob_total", s.LegacyGobDecodes},
 		{"crucial_codec_fallback_values_total", s.FallbackValues},
+		{"crucial_codec_stamped_decodes_total", s.StampedDecodes},
+		{"crucial_codec_unstamped_decodes_total", s.UnstampedDecodes},
 	} {
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v)
 	}

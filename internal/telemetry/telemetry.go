@@ -75,6 +75,32 @@ const (
 	MetServerInflight     = "server.inflight"
 	HistServerExec        = "server.exec"
 	HistServerMonitorWait = "server.monitor_wait"
+	// At-most-once dedup (server side): replayed responses and window
+	// evictions.
+	MetServerDedupHits      = "server.dedup_hits"
+	MetServerDedupEvictions = "server.dedup_evictions"
+	// State-transfer safety: snapshots refused because the local copy had
+	// already applied more operations, and base copies adopted from peers
+	// (pull-on-miss) instead of being created fresh.
+	MetServerTransfersStale = "server.transfers_stale"
+	MetServerPulls          = "server.object_pulls"
+
+	// Per-function FaaS fault accounting: the function name is appended,
+	// e.g. "faas.failures.by_fn.trainer".
+	MetFaaSFailurePrefix = "faas.failures.by_fn."
+	MetFaaSTimeoutPrefix = "faas.timeouts.by_fn."
+
+	// Chaos engine (fault injection). Exported on /metrics as
+	// crucial_chaos_*_total.
+	MetChaosFramesDropped    = "chaos.frames_dropped"
+	MetChaosFramesDelayed    = "chaos.frames_delayed"
+	MetChaosFramesDuplicated = "chaos.frames_duplicated"
+	MetChaosPartitionDrops   = "chaos.partition_drops"
+	MetChaosDialsRefused     = "chaos.dials_refused"
+	MetChaosFaaSFaults       = "chaos.faas_faults"
+	MetChaosFaaSDelays       = "chaos.faas_delays"
+	MetChaosCrashes          = "chaos.crashes"
+	MetChaosRestarts         = "chaos.restarts"
 )
 
 // Span names and attributes used along the invocation path.
@@ -83,16 +109,24 @@ const (
 	SpanFaaSInvoke   = "faas.invoke"
 	SpanClientInvoke = "client.invoke"
 	SpanServerInvoke = "server.invoke"
+	// SpanChaosFault is the marker span the chaos engine records per
+	// injected fault, so trace dumps show what the workload survived.
+	SpanChaosFault = "chaos.fault"
 
-	AttrCold        = "cold"
-	AttrFunction    = "function"
-	AttrThreadID    = "thread_id"
-	AttrAttempt     = "attempt"
-	AttrObjectType  = "object_type"
-	AttrObjectKey   = "object_key"
-	AttrMethod      = "method"
-	AttrPath        = "path" // "local" or "smr"
-	AttrError       = "error"
+	AttrCold       = "cold"
+	AttrFunction   = "function"
+	AttrThreadID   = "thread_id"
+	AttrAttempt    = "attempt"
+	AttrObjectType = "object_type"
+	AttrObjectKey  = "object_key"
+	AttrMethod     = "method"
+	AttrPath       = "path" // "local" or "smr"
+	AttrError      = "error"
+	// AttrChaos tags a span touched by fault injection: "replayed" on a
+	// server.invoke answered from the dedup window, the fault kind on
+	// chaos.fault markers and faas.invoke spans that hit an injector.
+	AttrChaos       = "chaos"
+	AttrChaosLink   = "chaos_link"
 	TimingMonitor   = "monitor_wait"
 	TimingAcquire   = "monitor_acquire"
 	TimingColdStart = "cold_start"

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // MsgID uniquely identifies a multicast message: the originating sender
@@ -54,6 +55,7 @@ type pendingMsg struct {
 	payload []byte
 	ts      uint64
 	final   bool
+	added   time.Time
 }
 
 // Node is one group member's state machine for the protocol. A Node is
@@ -71,6 +73,7 @@ type Node struct {
 
 	mu        sync.Mutex
 	clock     uint64
+	ttl       time.Duration
 	pending   map[MsgID]*pendingMsg
 	delivered map[MsgID]struct{}
 }
@@ -110,8 +113,25 @@ func (n *Node) HandlePropose(id MsgID, payload []byte) uint64 {
 		return p.ts
 	}
 	n.clock++
-	n.pending[id] = &pendingMsg{id: id, payload: payload, ts: n.clock}
+	n.pending[id] = &pendingMsg{id: id, payload: payload, ts: n.clock, added: time.Now()}
 	return n.clock
+}
+
+// SetPendingTTL bounds how long a proposed-but-never-finalized message may
+// sit at the head of the queue. A coordinator that fails between PROPOSE
+// and FINAL normally cleans up with ABORT (or is purged on view change),
+// but under message loss the ABORT itself can vanish — the TTL is the last
+// line of defense against a zombie proposal blocking delivery forever.
+// Expired orphans are discarded the next time a delivery is attempted.
+// Pick a TTL comfortably above the coordinator's propose/abort timeout: a
+// FINAL that arrives for an already-expired message is ignored, so too
+// small a TTL can drop an operation that the rest of the group delivers
+// (repaired only by the next view change's state transfer). Zero disables
+// the sweep.
+func (n *Node) SetPendingTTL(d time.Duration) {
+	n.mu.Lock()
+	n.ttl = d
+	n.mu.Unlock()
 }
 
 // HandleFinal assigns the final timestamp to a pending message and delivers
@@ -127,10 +147,12 @@ func (n *Node) HandleFinal(id MsgID, ts uint64) {
 	}
 	p, ok := n.pending[id]
 	if !ok {
-		// FINAL can only follow our own PROPOSE reply in this transport,
-		// but be permissive for retries: record it as final directly.
-		p = &pendingMsg{id: id, ts: ts, final: true}
-		n.pending[id] = p
+		// FINAL for a message we never stored (the orphan TTL discarded
+		// it, or a stale retry). Fabricating a final entry here would
+		// deliver a payload-less message, so ignore it; if the rest of
+		// the group delivered, the next state transfer reconciles us.
+		n.mu.Unlock()
+		return
 	}
 	p.ts = ts
 	p.final = true
@@ -156,7 +178,16 @@ func (n *Node) collectDeliverableLocked() []*pendingMsg {
 				min = p
 			}
 		}
-		if min == nil || !min.final {
+		if min == nil {
+			return out
+		}
+		if !min.final {
+			if n.ttl > 0 && !min.added.IsZero() && time.Since(min.added) > n.ttl {
+				// Expired orphan: its coordinator's ABORT never reached
+				// us. Discard so it cannot block delivery forever.
+				delete(n.pending, min.id)
+				continue
+			}
 			return out
 		}
 		delete(n.pending, min.id)
@@ -300,9 +331,27 @@ func Multicast(ctx context.Context, tr Transport, group []string, id MsgID, payl
 	return nil
 }
 
-// abort best-effort drops a message at every member.
+// abort drops a message at every member. The first attempt is synchronous
+// (callers may immediately multicast again and must not race their own
+// cleanup); a member whose ABORT fails — e.g. the same fault that broke
+// the multicast also eats the abort — is retried in the background, since
+// an undropped proposal blocks that member's deliveries until the orphan
+// TTL fires.
 func abort(ctx context.Context, tr Transport, members []string, id MsgID) {
 	for _, m := range members {
-		_ = tr.Abort(ctx, m, id)
+		if err := tr.Abort(ctx, m, id); err == nil {
+			continue
+		}
+		go func(m string) {
+			for attempt := 1; attempt <= 4; attempt++ {
+				time.Sleep(time.Duration(attempt) * 25 * time.Millisecond)
+				actx, cancel := context.WithTimeout(context.Background(), time.Second)
+				err := tr.Abort(actx, m, id)
+				cancel()
+				if err == nil {
+					return
+				}
+			}
+		}(m)
 	}
 }
