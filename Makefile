@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-rpc cover verify chaos chaos-short
+.PHONY: build test vet fmt race bench bench-rpc bench-cache cover verify chaos chaos-short doclint
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ race:
 
 # bench runs the telemetry-overhead spot check plus the RPC hot-path
 # microbenchmark suite (which refreshes BENCH_rpc.json).
-bench: bench-rpc
+bench: bench-rpc bench-cache
 	$(GO) test -run '^$$' -bench 'BenchmarkInvokeTelemetry' -benchtime 2000x .
 
 # bench-rpc runs the wire-codec and RPC hot-path microbenchmarks and
@@ -38,23 +38,41 @@ bench-rpc:
 	$(GO) run ./cmd/benchfmt < /tmp/bench_rpc_raw.txt > BENCH_rpc.json
 	@echo "wrote BENCH_rpc.json"
 
+# bench-cache runs the read-path microbenchmarks (the same hot-object Get
+# with the lease cache off and on) and commits their aggregate to
+# BENCH_cache.json via cmd/benchfmt. The throughput-level view of the same
+# story is `crucial-bench -exp cache` (EXPERIMENTS.md).
+bench-cache:
+	$(GO) test -run '^$$' -bench 'BenchmarkReadUncached|BenchmarkReadCached' \
+		-benchmem -count=5 ./internal/cluster/ > /tmp/bench_cache_raw.txt
+	$(GO) run ./cmd/benchfmt < /tmp/bench_cache_raw.txt > BENCH_cache.json
+	@echo "wrote BENCH_cache.json"
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
 # chaos runs the nemesis linearizability suite under the race detector:
-# five seeded fault schedules (partitions, drop/delay, duplication,
-# crash/restart, combined) plus the at-most-once blackhole regressions.
-# Schedules are deterministic in their seeds, so a failure reproduces.
+# seven seeded fault schedules (partitions, drop/delay, duplication,
+# crash/restart, combined, and both with the lease cache on) plus the
+# at-most-once blackhole regressions. Schedules are deterministic in
+# their seeds, so a failure reproduces.
 chaos:
 	$(GO) test -race -count=1 -run 'TestNemesis|TestAtMostOnce' ./internal/chaos/
 
 # chaos-short is the verify-gate slice of the nemesis: one partition
-# schedule and one crash/restart schedule, shrunk by -short.
+# schedule, one crash/restart schedule, and the cache-on partition
+# schedule (with its invalidation-blackhole window), shrunk by -short.
 chaos-short:
-	$(GO) test -race -count=1 -short -run 'TestNemesisPartition|TestNemesisCrashRestart' ./internal/chaos/
+	$(GO) test -race -count=1 -short -run 'TestNemesisPartition|TestNemesisCrashRestart|TestNemesisCachePartition' ./internal/chaos/
+
+# doclint fails when an exported identifier in the public API (the root
+# package) has no doc comment.
+doclint:
+	$(GO) run ./cmd/doclint .
 
 # verify is the tier-1 gate (see ROADMAP.md): everything must be gofmt
-# clean, compile, vet clean, pass under the race detector, and survive
-# the short nemesis slice.
-verify: fmt vet build race chaos-short
+# clean, compile, vet clean, doc-complete on the public API, pass under
+# the race detector, and survive the short nemesis slice (which includes
+# one cache-on schedule).
+verify: fmt vet build doclint race chaos-short

@@ -1,0 +1,39 @@
+package crucial
+
+import (
+	"testing"
+	"time"
+)
+
+// The read path through the public API: a runtime with leases + client
+// caching serves read-mostly traffic coherently.
+func TestRuntimeClientCache(t *testing.T) {
+	rt := testRuntime(t, Options{LeaseTTL: time.Second, ClientCache: true})
+	ctr := NewAtomicLong("api-cached")
+	rt.Bind(ctr)
+	ctx := bg()
+
+	if err := ctr.Set(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		v, err := ctr.Get(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 5 {
+			t.Fatalf("Get = %d, want 5", v)
+		}
+	}
+	// A write through the same proxy must invalidate the cached copy.
+	if _, err := ctr.AddAndGet(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ctr.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatalf("Get after write = %d, want 7", v)
+	}
+}

@@ -54,6 +54,7 @@ func run() int {
 		}
 		fmt.Println(bench.ExpStages)
 		fmt.Println(bench.ExpChaos)
+		fmt.Println(bench.ExpCache)
 		return 0
 	}
 	opts := bench.Options{Scale: *scale, Quick: *quick, Report: *report}

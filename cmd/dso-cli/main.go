@@ -8,6 +8,7 @@
 //	dso-cli -members n1=:7001,n2=:7002 -type Map -key users -method Put -arg alice -arg admin
 //	dso-cli -members n1=:7001,n2=:7002 -type CyclicBarrier -key b -init 3 -method Await
 //	dso-cli stats -members n1=:7001,n2=:7002
+//	dso-cli cache -members n1=:7001,n2=:7002
 //	dso-cli trace -members n1=:7001,n2=:7002 -o trace.json
 //	dso-cli chaos partition -members n1=:7001,n2=:7002 -group n1 -group n2
 //	dso-cli chaos restart -members n1=:7001,n2=:7002 -node n2
@@ -17,6 +18,11 @@
 // (latency histograms with p50/p95/p99 when the cluster runs
 // instrumented). Nodes that are down are skipped with a warning; the
 // command fails only when no node answers.
+//
+// The cache subcommand prints the read-path slice of the same counters:
+// lease grants/refusals/revocations, expiry waits on the write path, and
+// reads served without an SMR round (primary-local and follower reads).
+// Meaningful when nodes run with -lease-ttl and -telemetry.
 //
 // The trace subcommand drains the span ring of every reachable node
 // (clock-aligned, merged by trace ID) and writes Chrome/Perfetto
@@ -71,6 +77,8 @@ func main() {
 		switch os.Args[1] {
 		case "stats":
 			os.Exit(runStats(os.Args[2:]))
+		case "cache":
+			os.Exit(runCache(os.Args[2:]))
 		case "trace":
 			os.Exit(runTrace(os.Args[2:]))
 		case "chaos":
@@ -311,6 +319,88 @@ func runStats(argv []string) int {
 		fmt.Print(indent(merged.String(), "  "))
 	}
 	return 0
+}
+
+// cachePrefixes selects the read-path metrics out of a node snapshot:
+// server-side lease-table counters plus any cache.* counters a node-local
+// cache might report.
+var cachePrefixes = []string{"server.lease", "server.follower_reads", "server.local_reads", "cache."}
+
+// runCache implements `dso-cli cache`: the lease/read-path slice of every
+// node's counters — grants and refusals, synchronous revocations, expiry
+// waits on the write path, and how many reads were answered without an SMR
+// round (locally at the primary or by a follower).
+func runCache(argv []string) int {
+	fs := flag.NewFlagSet("cache", flag.ExitOnError)
+	var (
+		members = fs.String("members", "", "comma-separated id=addr pairs of the cluster")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-node RPC timeout")
+	)
+	_ = fs.Parse(argv)
+
+	view, err := staticView(*members)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dso-cli:", err)
+		return 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	merged := make(map[string]uint64)
+	reached := 0
+	for _, id := range view.Members {
+		snap, err := fetchSnapshot(ctx, view.Addrs[id])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dso-cli: warning: node %s unreachable, skipping: %v\n", id, err)
+			continue
+		}
+		reached++
+		rows := cacheCounters(snap.Metrics.Counters)
+		fmt.Printf("node %s:\n", snap.ID)
+		if len(rows) == 0 {
+			fmt.Println("  (no lease activity — is the node running with -lease-ttl and -telemetry?)")
+			continue
+		}
+		printCounterRows(rows)
+		for k, v := range rows {
+			merged[k] += v
+		}
+	}
+	if reached == 0 {
+		fmt.Fprintln(os.Stderr, "dso-cli: no node answered")
+		return 1
+	}
+	if len(merged) > 0 && len(view.Members) > 1 {
+		fmt.Printf("cluster (merged, %d/%d nodes):\n", reached, len(view.Members))
+		printCounterRows(merged)
+	}
+	return 0
+}
+
+// cacheCounters filters a counter map down to the read-path slice.
+func cacheCounters(counters map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64)
+	for name, v := range counters {
+		for _, p := range cachePrefixes {
+			if strings.HasPrefix(name, p) {
+				out[name] = v
+				break
+			}
+		}
+	}
+	return out
+}
+
+// printCounterRows prints counters sorted by name, indented.
+func printCounterRows(rows map[string]uint64) {
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-28s %d\n", n, rows[n])
+	}
 }
 
 // fetchSnapshot performs one KindStats round-trip against a node.

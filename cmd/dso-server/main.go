@@ -48,6 +48,7 @@ func run() int {
 		chaosOn  = flag.Bool("chaos", false, "accept `dso-cli chaos crash/restart` commands: a supervisor bounces this node in-process")
 		crashFor = flag.Duration("chaos-restart-after", 3*time.Second, "downtime before the supervisor revives a chaos-crashed node (restart is immediate)")
 		httpAddr = flag.String("http", "", "serve /metrics (Prometheus), /traces (trace-event JSON) and /debug/pprof on this address, e.g. :8080")
+		leaseTTL = flag.Duration("lease-ttl", 0, "enable the lease-based read path with this lease duration (e.g. 500ms); 0 disables leases")
 		logSpec  = flag.String("log", "info", "log level spec: one level for all components (debug|info|warn|error) or component=level pairs")
 	)
 	flag.Parse()
@@ -106,6 +107,7 @@ func run() int {
 		Registry:  objects.BuiltinRegistry(),
 		Directory: dir,
 		RF:        *rf,
+		LeaseTTL:  *leaseTTL,
 		Telemetry: tel,
 	}
 	// The supervisor channel decouples the KindChaos RPC handler from the

@@ -14,7 +14,9 @@ func typeError[T any](got any) error {
 
 // List is a linearizable growable list of T values shared by all cloud
 // threads. Register non-basic T with crucial.RegisterValue first.
-type List[T any] struct{ H Handle }
+type List[T any] struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewList builds a proxy for the list named key.
 func NewList[T any](key string, opts ...Option) *List[T] {
@@ -75,7 +77,9 @@ func (l *List[T]) GetAll(ctx context.Context) ([]T, error) {
 
 // Map is a linearizable string-keyed map of T values shared by all cloud
 // threads.
-type Map[T any] struct{ H Handle }
+type Map[T any] struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewMap builds a proxy for the map named key.
 func NewMap[T any](key string, opts ...Option) *Map[T] {
@@ -172,7 +176,9 @@ func (m *Map[T]) Clear(ctx context.Context) error {
 
 // KV is a single binary cell (used by the storage-baseline benchmarks and
 // handy for PyWren-style result drops).
-type KV struct{ H Handle }
+type KV struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewKV builds a proxy for the cell named key.
 func NewKV(key string, opts ...Option) *KV {

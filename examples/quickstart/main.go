@@ -80,5 +80,13 @@ func run() int {
 	pi := 4.0 * float64(hits) / float64(nThreads*iterations)
 	fmt.Printf("pi ~= %.5f (from %d points across %d cloud threads)\n",
 		pi, nThreads*iterations, nThreads)
+
+	// Observability in 60 seconds: run with CRUCIAL_TELEMETRY=1 and the
+	// runtime records counters, latency histograms, and one distributed
+	// trace per invocation (thread -> faas.invoke -> client.invoke ->
+	// server.invoke) — dump the metrics on the way out.
+	if rt.Telemetry() != nil {
+		fmt.Print(rt.Metrics())
+	}
 	return 0
 }

@@ -112,9 +112,11 @@ func Run(name string, w io.Writer, o Options) error {
 		return Stages(w, o)
 	case ExpChaos:
 		return Chaos(w, o)
+	case ExpCache:
+		return Cache(w, o)
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (known: %v + %v + %q + %q)",
-			name, Names(), AblationNames(), ExpStages, ExpChaos)
+		return fmt.Errorf("bench: unknown experiment %q (known: %v + %v + %q + %q + %q)",
+			name, Names(), AblationNames(), ExpStages, ExpChaos, ExpCache)
 	}
 }
 

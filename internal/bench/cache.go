@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crucial/internal/client"
+	"crucial/internal/cluster"
+	"crucial/internal/core"
+	"crucial/internal/objects"
+)
+
+// ExpCache is the read-path scaling experiment (not part of RunAll, like
+// the ablations): a read-mostly workload hammers one hot object — the
+// shape a production system serving a popular key sees — with the
+// lease-based read path off and on, at rf=1 and rf=2. Without caching
+// every Get is an RPC to the one owning node, so aggregate read throughput
+// flat-lines at that node's ceiling no matter how many clients pile on;
+// with leases the same Gets are answered from client-local cached copies
+// (and, at rf=2, by follower replicas), so throughput scales with the
+// client count instead. Writes trickle through either way and every
+// configuration stays linearizable — the cache trades no correctness for
+// its throughput (see the nemesis schedules for the proof under faults).
+const ExpCache = "cache"
+
+// cacheRow is one configuration's measurement.
+type cacheRow struct {
+	Object    string  `json:"object"`
+	RF        int     `json:"rf"`
+	Cached    bool    `json:"cached"`
+	Clients   int     `json:"clients"`
+	Reads     uint64  `json:"reads"`
+	Writes    uint64  `json:"writes"`
+	ReadsPerS float64 `json:"reads_per_sec"`
+	HitRate   float64 `json:"cache_hit_rate"`
+}
+
+// Cache runs the read-path experiment and prints one row per
+// configuration, plus the headline speedups.
+func Cache(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	clients := pick(o, 4, 8)
+	window := pick(o, 150*time.Millisecond, 750*time.Millisecond)
+
+	title(w, "Cache: read-mostly hot object, lease cache off vs on (reads/s, wall clock)")
+	row(w, "%-8s %3s %7s %8s %9s %8s %12s %8s", "OBJECT", "RF", "CACHE",
+		"CLIENTS", "READS", "WRITES", "READS/SEC", "HITRATE")
+
+	type cfg struct {
+		object string
+		rf     int
+		cached bool
+	}
+	cfgs := []cfg{
+		{"counter", 1, false}, {"counter", 1, true},
+		{"counter", 2, false}, {"counter", 2, true},
+		{"map", 1, false}, {"map", 1, true},
+	}
+	rows := make([]cacheRow, 0, len(cfgs))
+	speedup := make(map[string]float64)
+	for _, c := range cfgs {
+		r, err := cacheRun(c.object, c.rf, c.cached, clients, window)
+		if err != nil {
+			return fmt.Errorf("cache %s rf=%d cached=%v: %w", c.object, c.rf, c.cached, err)
+		}
+		rows = append(rows, r)
+		onOff := "off"
+		if c.cached {
+			onOff = "on"
+		}
+		row(w, "%-8s %3d %7s %8d %9d %8d %12.0f %8.2f", r.Object, r.RF, onOff,
+			r.Clients, r.Reads, r.Writes, r.ReadsPerS, r.HitRate)
+		key := fmt.Sprintf("%s/rf%d", c.object, c.rf)
+		if !c.cached {
+			speedup[key] = r.ReadsPerS
+		} else if base := speedup[key]; base > 0 {
+			speedup[key] = r.ReadsPerS / base
+		}
+	}
+	for _, key := range []string{"counter/rf1", "counter/rf2", "map/rf1"} {
+		note(w, "%s: cached read throughput %.1fx uncached", key, speedup[key])
+	}
+	note(w, "uncached reads funnel through one node's RPC loop; cached reads are")
+	note(w, "client-local (lease-coherent), so throughput scales with the client count")
+
+	if o.JSON != nil {
+		doc := struct {
+			Experiment string             `json:"experiment"`
+			Rows       []cacheRow         `json:"rows"`
+			Speedup    map[string]float64 `json:"speedup_cached_vs_uncached"`
+		}{ExpCache, rows, speedup}
+		enc := json.NewEncoder(o.JSON)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return fmt.Errorf("bench: write JSON results: %w", err)
+		}
+	}
+	return nil
+}
+
+// cacheRun measures one configuration: `clients` readers spin on Get for
+// the window while one writer injects a mutation every ~10ms (read-mostly),
+// on a single hot object. The cluster runs uninstrumented — spans on the
+// hot path are observer overhead, and the hit rate comes from the client's
+// own cache counters (DebugCacheStats) instead of the telemetry bundle.
+func cacheRun(object string, rf int, cached bool, clients int, window time.Duration) (cacheRow, error) {
+	opts := cluster.Options{
+		Nodes: maxInt(rf, 1),
+		RF:    rf,
+	}
+	if cached {
+		opts.LeaseTTL = 100 * time.Millisecond
+		opts.ClientCache = true
+	}
+	cl, err := cluster.StartLocal(opts)
+	if err != nil {
+		return cacheRow{}, err
+	}
+	defer func() { _ = cl.Close() }()
+
+	var ref core.Ref
+	var readMethod string
+	var readArgs []any
+	switch object {
+	case "counter":
+		ref = core.Ref{Type: objects.TypeAtomicLong, Key: "bench/cache/hot"}
+		readMethod = "Get"
+	case "map":
+		ref = core.Ref{Type: objects.TypeMap, Key: "bench/cache/hotmap"}
+		readMethod = "Get"
+		readArgs = []any{"k"}
+	default:
+		return cacheRow{}, fmt.Errorf("unknown object %q", object)
+	}
+	persist := rf > 1
+
+	ctx, cancel := context.WithTimeout(context.Background(), window+30*time.Second)
+	defer cancel()
+	writer, err := cl.NewClient()
+	if err != nil {
+		return cacheRow{}, err
+	}
+	defer func() { _ = writer.Close() }()
+	write := func(v int64) error {
+		var err error
+		if object == "counter" {
+			_, err = writer.InvokeObject(ctx, core.Invocation{
+				Ref: ref, Method: "Set", Args: []any{v}, Persist: persist,
+			})
+		} else {
+			_, err = writer.InvokeObject(ctx, core.Invocation{
+				Ref: ref, Method: "Put", Args: []any{"k", v}, Persist: persist,
+			})
+		}
+		return err
+	}
+	if err := write(0); err != nil {
+		return cacheRow{}, err
+	}
+
+	var reads, writes atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, clients+1)
+	readers := make([]*client.Client, 0, clients)
+	for i := 0; i < clients; i++ {
+		rc, err := cl.NewClient()
+		if err != nil {
+			return cacheRow{}, err
+		}
+		defer func() { _ = rc.Close() }()
+		readers = append(readers, rc)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := rc.InvokeObject(ctx, core.Invocation{
+					Ref: ref, Method: readMethod, Args: readArgs, Persist: persist,
+				}); err != nil {
+					errc <- err
+					return
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		v := int64(1)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if err := write(v); err != nil {
+					errc <- err
+					return
+				}
+				v++
+				writes.Add(1)
+			}
+		}
+	}()
+
+	start := time.Now()
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return cacheRow{}, err
+	default:
+	}
+
+	r := cacheRow{
+		Object:    object,
+		RF:        rf,
+		Cached:    cached,
+		Clients:   clients,
+		Reads:     reads.Load(),
+		Writes:    writes.Load(),
+		ReadsPerS: float64(reads.Load()) / elapsed.Seconds(),
+	}
+	if cached {
+		var hits, misses uint64
+		for _, rc := range readers {
+			st := rc.DebugCacheStats()
+			hits += st.Hits
+			misses += st.Misses
+		}
+		if hits+misses > 0 {
+			r.HitRate = float64(hits) / float64(hits+misses)
+		}
+	}
+	return r, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

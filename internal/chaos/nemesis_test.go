@@ -50,6 +50,11 @@ type nemesisOpts struct {
 	workers   int
 	ops       int // ops per worker per object
 	ephemeral bool
+	// cache turns the lease-based client cache on (short TTL, so leases
+	// expire and re-grant inside the schedule) — reads are then served
+	// from client-local copies and follower replicas, and the histories
+	// must STILL be linearizable under every fault in the plan.
+	cache bool
 	// plan builds the fault schedule from the cluster's node names.
 	plan func(nodes []string) chaos.Plan
 }
@@ -82,7 +87,7 @@ func runNemesis(t *testing.T, o nemesisOpts) (*chaos.Engine, *telemetry.Telemetr
 	}
 	tel := telemetry.New()
 	eng := chaos.New(rpc.NewMemNetwork(), chaos.Options{Seed: o.seed, Telemetry: tel})
-	cl, err := cluster.StartLocal(cluster.Options{
+	copts := cluster.Options{
 		Nodes:                3,
 		RF:                   2,
 		Chaos:                eng,
@@ -90,7 +95,12 @@ func runNemesis(t *testing.T, o nemesisOpts) (*chaos.Engine, *telemetry.Telemetr
 		ClientRetry:          nemesisRetry(),
 		ClientAttemptTimeout: 200 * time.Millisecond,
 		PeerCallTimeout:      250 * time.Millisecond,
-	})
+	}
+	if o.cache {
+		copts.LeaseTTL = 50 * time.Millisecond
+		copts.ClientCache = true
+	}
+	cl, err := cluster.StartLocal(copts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,6 +387,84 @@ func TestNemesisCrashRestart(t *testing.T) {
 			return chaos.Plan{Steps: steps}
 		},
 	})
+}
+
+// TestNemesisCachePartition runs the workload with the lease-based client
+// cache ON (seed 606): reads are served from client-local copies and
+// follower replicas while partitions isolate nodes, and one window drops
+// every frame reaching the cache-side invalidation listeners — the
+// blackholed-invalidation case, where a writer must wait out the lease
+// TTL before committing because it cannot reach the holders. The
+// histories must stay linearizable throughout; a cache that served one
+// stale read would fail the check.
+func TestNemesisCachePartition(t *testing.T) {
+	_, tel := runNemesis(t, nemesisOpts{
+		seed:      606,
+		ephemeral: true,
+		cache:     true,
+		plan: func(nodes []string) chaos.Plan {
+			s := spacing()
+			var steps []chaos.Step
+			for w := 0; w < windows(); w++ {
+				at := s * time.Duration(w)
+				if w%2 == 0 {
+					victim := nodes[w%len(nodes)]
+					rest := make([]string, 0, len(nodes)-1)
+					for _, n := range nodes {
+						if n != victim {
+							rest = append(rest, n)
+						}
+					}
+					steps = append(steps, chaos.Step{At: at, Kind: chaos.ActPartition,
+						Groups: [][]string{{victim}, rest}})
+				} else {
+					// Blackhole invalidations and revocations: nothing from
+					// any node reaches any client cache listener.
+					steps = append(steps, chaos.Step{At: at, Kind: chaos.ActRule,
+						Rule: chaos.Rule{From: "dso-*", To: "cache-client-*",
+							Faults: chaos.LinkFaults{Drop: 1}}})
+				}
+				steps = append(steps,
+					chaos.Step{At: at + s*3/4, Kind: chaos.ActHeal},
+					chaos.Step{At: at + s*3/4, Kind: chaos.ActClearRules})
+			}
+			return chaos.Plan{Steps: steps}
+		},
+	})
+	if g := tel.Metrics().Counter(telemetry.MetServerLeaseGrants).Value(); g == 0 {
+		t.Error("cache nemesis granted no leases — the cache never engaged")
+	}
+}
+
+// TestNemesisCacheCrashRestart crashes and restarts nodes with the client
+// cache ON (seed 707): leases granted by a primary die with it, and the
+// view-change fence on the successor must keep every still-leased cached
+// copy consistent until it has provably expired. Persistent objects only.
+// The windows are twice as wide as the cache-off schedule's: every view
+// change arms a one-TTL write fence, so recovery (rejoin + state
+// transfer + fence) takes longer, and RF=2 only tolerates one lost copy
+// at a time — crashing the next node before the previous one has caught
+// back up would exceed the fault model, not test it.
+func TestNemesisCacheCrashRestart(t *testing.T) {
+	_, tel := runNemesis(t, nemesisOpts{
+		seed:  707,
+		cache: true,
+		plan: func(nodes []string) chaos.Plan {
+			s := spacing()
+			var steps []chaos.Step
+			for w := 0; w < windows(); w++ {
+				at := 2 * s * time.Duration(w)
+				victim := nodes[1+w%(len(nodes)-1)] // rotate over non-first nodes
+				steps = append(steps,
+					chaos.Step{At: at, Kind: chaos.ActCrash, Node: victim},
+					chaos.Step{At: at + s/2, Kind: chaos.ActRestart, Node: victim})
+			}
+			return chaos.Plan{Steps: steps}
+		},
+	})
+	if g := tel.Metrics().Counter(telemetry.MetServerLeaseGrants).Value(); g == 0 {
+		t.Error("cache nemesis granted no leases — the cache never engaged")
+	}
 }
 
 // TestNemesisCombined drives a generated schedule mixing partitions, link

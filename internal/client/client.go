@@ -71,6 +71,22 @@ type Config struct {
 	// propagated to the serving node through the wire), RPC round-trip
 	// and per-object-type latency histograms, and re-route counters.
 	Telemetry *telemetry.Telemetry
+	// ReadReplicas, when > 1, spreads read-only invocations on persistent
+	// objects round-robin across the object's replica group instead of
+	// always hitting the primary. Followers serve such reads under a
+	// primary-granted lease (server follower reads) and bounce to the
+	// primary when they cannot, so any value is safe; set it to the
+	// cluster's replication factor to use every copy. Zero or one routes
+	// every call to the primary (the classic path).
+	ReadReplicas int
+	// Cache, when non-nil, enables the lease-based read cache: read-only
+	// invocations (per core.RegisterReadOnlyMethods) on leased objects are
+	// answered from a local copy without a network round trip, kept
+	// coherent by server-pushed invalidations (see cache.go and DESIGN.md
+	// §5d). The cluster's nodes must run with leases enabled
+	// (server.Config.LeaseTTL > 0) for grants to succeed; against a
+	// lease-less cluster every read simply falls back to the remote path.
+	Cache *CacheConfig
 
 	// MaxRetries bounds total attempts per invocation.
 	//
@@ -130,6 +146,12 @@ type Client struct {
 	id  uint64
 	seq atomic.Uint64
 
+	// readSeq round-robins follower-read routing across a replica group
+	// (see Config.ReadReplicas). Advancing it per routed read also makes
+	// retries naturally move on to the next replica — and eventually the
+	// primary — when a follower cannot serve.
+	readSeq atomic.Uint64
+
 	// Telemetry handles; nil (no-op) when no bundle was configured.
 	instrumented bool
 	tracer       *telemetry.Tracer
@@ -137,6 +159,10 @@ type Client struct {
 	cCalls       *telemetry.Counter
 	cReroutes    *telemetry.Counter
 	hRPC         *telemetry.Histogram
+
+	// cache is the lease-based read cache; nil when Config.Cache is unset
+	// (reads take the classic remote path at zero cost).
+	cache *leaseCache
 
 	// routes is the lock-free routing snapshot; mu serializes writers
 	// (refreshView, dial, dropConn, Close) only.
@@ -171,6 +197,13 @@ func New(cfg Config) (*Client, error) {
 		c.cCalls = c.metrics.Counter(telemetry.MetClientCalls)
 		c.cReroutes = c.metrics.Counter(telemetry.MetClientReroutes)
 		c.hRPC = c.metrics.Histogram(telemetry.HistClientRPC)
+	}
+	if cfg.Cache != nil {
+		lc, err := newLeaseCache(c, *cfg.Cache)
+		if err != nil {
+			return nil, err
+		}
+		c.cache = lc
 	}
 	c.refreshView()
 	return c, nil
@@ -232,6 +265,34 @@ func (c *Client) route(ref core.Ref) (string, *rpc.Client, error) {
 	_, addr, err := rt.target(ref)
 	if err != nil {
 		return "", nil, err
+	}
+	if rc, ok := rt.conns[addr]; ok {
+		return addr, rc, nil
+	}
+	rc, err := c.dial(addr)
+	return addr, rc, err
+}
+
+// routeFor resolves the connection for one invocation attempt: read-only
+// calls on persistent objects fan out round-robin across the replica group
+// when Config.ReadReplicas > 1 (follower reads); everything else goes to
+// the primary.
+func (c *Client) routeFor(inv core.Invocation) (string, *rpc.Client, error) {
+	if c.cfg.ReadReplicas <= 1 || !inv.ReadOnly || !inv.Persist {
+		return c.route(inv.Ref)
+	}
+	rt := c.routes.Load()
+	if rt.ring == nil || rt.ring.Size() == 0 {
+		return "", nil, errors.New("client: no DSO nodes in view")
+	}
+	group := rt.ring.ReplicaSet(inv.Ref.String(), c.cfg.ReadReplicas)
+	if len(group) == 0 {
+		return "", nil, errors.New("client: no owner for " + inv.Ref.String())
+	}
+	id := group[c.readSeq.Add(1)%uint64(len(group))]
+	addr, ok := rt.view.Addrs[id]
+	if !ok {
+		return "", nil, fmt.Errorf("client: no address for node %s", id)
 	}
 	if rc, ok := rt.conns[addr]; ok {
 		return addr, rc, nil
@@ -345,6 +406,22 @@ func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, 
 		}()
 	}
 
+	// Classify the call against the read-only registry. The flag rides the
+	// wire (servers re-validate it against their own registry) and steers
+	// every layer of the read path: the lease cache below, follower reads,
+	// and the server's local-read fast path.
+	if !inv.ReadOnly {
+		inv.ReadOnly = core.IsReadOnlyMethod(inv.Ref.Type, inv.Method)
+	}
+	// Read path: a read-only call on a leased object is answered locally,
+	// no stamp, no encode, no network. ok=false falls through to the
+	// remote invoke (and the span above still records the call).
+	if c.cache != nil && inv.ReadOnly {
+		if results, err, ok := c.cache.read(ctx, inv); ok {
+			return results, err
+		}
+	}
+
 	// Stamp before encoding: the payload below is reused verbatim across
 	// retries, so every retry carries the same (clientID, seq) and the
 	// server can deduplicate re-executions of an already-applied call.
@@ -374,7 +451,7 @@ func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, 
 				return nil, err
 			}
 		}
-		addr, rc, err := c.route(inv.Ref)
+		addr, rc, err := c.routeFor(inv)
 		if err != nil {
 			lastErr = err
 			continue
@@ -446,6 +523,9 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.cache != nil {
+		c.cache.close()
+	}
 	cur := c.routes.Load()
 	for _, rc := range cur.conns {
 		_ = rc.Close()

@@ -66,6 +66,17 @@ type Options struct {
 	// server.Config.PeerCallTimeout); nemesis tests lower it so lost SMR
 	// frames are detected and aborted within a fault window.
 	PeerCallTimeout time.Duration
+	// LeaseTTL, when positive, enables the lease-based read path on every
+	// node (see server.Config.LeaseTTL): client cache leases, follower
+	// reads, and the primary's local-read fast path.
+	LeaseTTL time.Duration
+	// ClientCache, when true, attaches a lease-based read cache to every
+	// client from NewClient (listener address "cache-client-NN", the
+	// cluster registry). Requires LeaseTTL > 0 to be effective.
+	ClientCache bool
+	// ClientCacheObjects bounds resident entries per client cache
+	// (default 1024).
+	ClientCacheObjects int
 }
 
 // Cluster is a running DSO deployment.
@@ -168,6 +179,7 @@ func (c *Cluster) nodeConfig(id ring.NodeID) server.Config {
 		ServiceTime:        c.opts.ServiceTime,
 		ServiceConcurrency: c.opts.ServiceConcurrency,
 		PeerCallTimeout:    c.opts.PeerCallTimeout,
+		LeaseTTL:           c.opts.LeaseTTL,
 		Telemetry:          c.opts.Telemetry,
 		Chaos:              c.opts.Chaos,
 	}
@@ -251,20 +263,37 @@ func (c *Cluster) Node(id ring.NodeID) (*server.Node, bool) {
 
 // NewClient opens a DSO client against this cluster. With a chaos engine
 // configured, each client dials through its own "client-NN" endpoint so
-// fault rules can target individual clients.
+// fault rules can target individual clients. With Options.ClientCache set,
+// the client gets a lease-based read cache whose invalidation listener
+// binds "cache-client-NN" — nemesis schedules partition that name to
+// blackhole invalidations.
 func (c *Cluster) NewClient() (*client.Client, error) {
+	seq := c.clientSeq.Add(1)
 	transport := c.Transport
 	if c.opts.Chaos != nil {
-		transport = c.opts.Chaos.Endpoint(fmt.Sprintf("client-%02d", c.clientSeq.Add(1)))
+		transport = c.opts.Chaos.Endpoint(fmt.Sprintf("client-%02d", seq))
 	}
-	return client.New(client.Config{
+	cfg := client.Config{
 		Transport:      transport,
 		Views:          c.Dir,
 		Profile:        c.profile,
 		Retry:          c.opts.ClientRetry,
 		AttemptTimeout: c.opts.ClientAttemptTimeout,
 		Telemetry:      c.opts.Telemetry,
-	})
+	}
+	if c.opts.LeaseTTL > 0 {
+		// Leases make follower reads sound, so clients may fan read-only
+		// calls across the whole replica group.
+		cfg.ReadReplicas = c.opts.RF
+	}
+	if c.opts.ClientCache {
+		cfg.Cache = &client.CacheConfig{
+			ListenAddr: fmt.Sprintf("cache-client-%02d", seq),
+			Registry:   c.registry,
+			MaxObjects: c.opts.ClientCacheObjects,
+		}
+	}
+	return client.New(cfg)
 }
 
 // Telemetry exposes the cluster's telemetry bundle (nil when disabled).

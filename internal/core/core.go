@@ -55,6 +55,15 @@ type Invocation struct {
 	// semantics.
 	ClientID uint64
 	Seq      uint64
+	// ReadOnly marks the method as declared read-only (see
+	// RegisterReadOnlyMethods). Read-only invocations may be served from a
+	// leased client cache or by a follower replica, skip the at-most-once
+	// dedup window (re-executing a read is harmless and must not evict
+	// write records), and do not advance the object's apply version.
+	// Servers re-validate the flag against their own registry before
+	// trusting it. Old frames decode with the flag unset — every call is
+	// conservatively a write.
+	ReadOnly bool
 }
 
 // Stamped reports whether the invocation carries an at-most-once stamp.

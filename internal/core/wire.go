@@ -27,13 +27,15 @@ import (
 //	byte    kind: 'I' invocation | 'R' response
 //
 //	invocation: Type, Key, Method (strings), Args values, Init values,
-//	            flags byte (bit0 = Persist, bit1 = stamped), TraceID,
-//	            SpanID (uvarint), then — only when bit1 is set — ClientID,
-//	            Seq (uvarint): the at-most-once stamp. The stamp is
-//	            appended after every field an old decoder reads, and old
-//	            decoders ignore trailing bytes, so stamped frames remain
-//	            decodable by pre-stamp peers (which simply execute without
-//	            dedup).
+//	            flags byte (bit0 = Persist, bit1 = stamped, bit2 =
+//	            read-only), TraceID, SpanID (uvarint), then — only when
+//	            bit1 is set — ClientID, Seq (uvarint): the at-most-once
+//	            stamp. The stamp is appended after every field an old
+//	            decoder reads, and old decoders ignore trailing bytes, so
+//	            stamped frames remain decodable by pre-stamp peers (which
+//	            simply execute without dedup). Pre-lease decoders likewise
+//	            ignore flag bit2 and treat every call as a write, which is
+//	            always safe.
 //	response:   Results values, Err (string)
 //
 // A value list is a uvarint count followed by tagged values; strings and
@@ -159,6 +161,9 @@ func AppendInvocation(dst []byte, inv Invocation) ([]byte, error) {
 	if inv.Stamped() {
 		flags |= 2
 	}
+	if inv.ReadOnly {
+		flags |= 4
+	}
 	dst = append(dst, flags)
 	dst = binary.AppendUvarint(dst, inv.Trace.TraceID)
 	dst = binary.AppendUvarint(dst, inv.Trace.SpanID)
@@ -212,6 +217,7 @@ func decodeWireInvocation(data []byte) (Invocation, error) {
 		return Invocation{}, fmt.Errorf("core: decode invocation: %w", err)
 	}
 	inv.Persist = flags&1 != 0
+	inv.ReadOnly = flags&4 != 0
 	if inv.Trace.TraceID, err = r.uvarint(); err != nil {
 		return Invocation{}, fmt.Errorf("core: decode invocation: %w", err)
 	}

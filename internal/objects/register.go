@@ -23,8 +23,14 @@ const (
 
 // RegisterBuiltins installs the shared object library into a registry.
 // Server nodes call it at startup; applications then add their own
-// user-defined types on top (the @Shared analog).
+// user-defined types on top (the @Shared analog). It also declares the
+// library's read-only methods (core.RegisterReadOnlyMethods) so the lease
+// cache and follower-read paths can serve them without an ownership round
+// trip. Only methods that neither mutate state nor block qualify; note the
+// near-misses that do NOT: GetAndAdd and GetAndSet write, SumThenReset
+// resets, PutIfAbsent inserts.
 func RegisterBuiltins(r *core.Registry) {
+	registerBuiltinReadOnly()
 	r.MustRegister(core.TypeInfo{Name: TypeAtomicInt, New: NewAtomicInt64})
 	r.MustRegister(core.TypeInfo{Name: TypeAtomicLong, New: NewAtomicInt64})
 	r.MustRegister(core.TypeInfo{Name: TypeAtomicBoolean, New: NewAtomicBoolean})
@@ -39,6 +45,23 @@ func RegisterBuiltins(r *core.Registry) {
 	r.MustRegister(core.TypeInfo{Name: TypeSemaphore, New: NewSemaphore, Synchronization: true})
 	r.MustRegister(core.TypeInfo{Name: TypeFuture, New: NewFuture, Synchronization: true})
 	r.MustRegister(core.TypeInfo{Name: TypeCountDownLatch, New: NewCountDownLatch, Synchronization: true})
+}
+
+// registerBuiltinReadOnly declares the read-only subset of the library
+// methods. core.RegisterReadOnlyMethods is idempotent, so calling
+// RegisterBuiltins for several registries re-declares harmlessly.
+func registerBuiltinReadOnly() {
+	for _, t := range []string{TypeAtomicInt, TypeAtomicLong} {
+		core.RegisterReadOnlyMethods(t, "Get")
+	}
+	core.RegisterReadOnlyMethods(TypeAtomicBoolean, "Get")
+	core.RegisterReadOnlyMethods(TypeAtomicReference, "Get", "IsNil")
+	core.RegisterReadOnlyMethods(TypeAtomicByteArray, "Length", "Get", "GetAll")
+	core.RegisterReadOnlyMethods(TypeAtomicDoubleArray, "Length", "Get", "GetAll")
+	core.RegisterReadOnlyMethods(TypeDoubleAdder, "Sum", "Count")
+	core.RegisterReadOnlyMethods(TypeList, "Get", "Size", "GetAll", "Contains")
+	core.RegisterReadOnlyMethods(TypeMap, "Get", "ContainsKey", "Size", "Keys")
+	core.RegisterReadOnlyMethods(TypeKV, "Get", "Exists")
 }
 
 // BuiltinRegistry returns a fresh registry preloaded with the library.

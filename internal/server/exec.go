@@ -163,48 +163,88 @@ func (n *Node) invokeLocal(ctx context.Context, inv core.Invocation) ([]any, err
 	if group[0] != n.cfg.ID {
 		return nil, fmt.Errorf("%w: %s belongs to %s", core.ErrWrongNode, inv.Ref, group[0])
 	}
+	if n.isStale(inv.Ref) {
+		// The copy is marked behind the committed history (see markStale).
+		// Resolve it on the spot with a poll over the wider rf-sized set —
+		// the likeliest holders of a better leftover copy. With rf=1 this
+		// node is the whole set and the poll is trivially definitive: no
+		// better copy can exist anywhere, so the mark clears and whatever
+		// this node holds is the lineage's best surviving state.
+		if pollGroup, pr := n.replicaGroup(inv.Ref, true); pr != nil {
+			n.pullObject(ctx, inv.Ref, pollGroup)
+		}
+		if n.isStale(inv.Ref) {
+			return nil, fmt.Errorf("%w: %s stale on %s", core.ErrRebalancing, inv.Ref, n.cfg.ID)
+		}
+	}
 	e, err := n.lookupOrCreate(inv)
 	if err != nil {
 		return nil, err
 	}
-	return n.execOn(ctx, e, inv)
+	if n.leases != nil && !inv.ReadOnly && !e.sync {
+		// Mutations must fence outstanding leases before executing; reads
+		// and synchronization objects (never leased) skip the hook.
+		done, err := n.prepareWrite(ctx, inv.Ref)
+		if err != nil {
+			return nil, err
+		}
+		defer done()
+	}
+	results, _, err := n.execOn(ctx, e, inv)
+	return results, err
 }
 
 // execOn runs one method under the object monitor. Instrumented nodes
 // attribute monitor acquisition time to the active span and record the
 // method's wall time (which includes any Ctl.Wait blocking — subtract the
 // span's monitor_wait timing for pure compute) in server.exec.
-func (n *Node) execOn(ctx context.Context, e *entry, inv core.Invocation) ([]any, error) {
+//
+// The returned version is the copy's apply version right after this call,
+// read inside the same critical section as the execution — the SMR layer
+// compares it across replicas to detect a forked copy (see
+// invokeReplicated), and a version read after the monitor is released
+// could already include a later delivery. A dedup replay reports the
+// current version without a bump: replaying is not applying.
+func (n *Node) execOn(ctx context.Context, e *entry, inv core.Invocation) ([]any, uint64, error) {
 	if !n.instrumented {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		if e.transferring {
-			return nil, core.ErrRebalancing
+			return nil, e.version, core.ErrRebalancing
 		}
 		if results, err, ok := n.dedupLookupLocked(ctx, e, inv); ok {
-			return results, err
+			return results, e.version, err
 		}
 		results, err := e.obj.Call(nodeCtl{n: n, e: e, ctx: ctx}, inv.Method, inv.Args)
-		e.version++
+		if !inv.ReadOnly {
+			e.version++
+		}
 		n.dedupRecordLocked(e, inv, results, err)
-		return results, err
+		return results, e.version, err
 	}
 	acquire := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	telemetry.SpanFromContext(ctx).AddTiming(telemetry.TimingAcquire, time.Since(acquire))
 	if e.transferring {
-		return nil, core.ErrRebalancing
+		return nil, e.version, core.ErrRebalancing
 	}
 	if results, err, ok := n.dedupLookupLocked(ctx, e, inv); ok {
-		return results, err
+		return results, e.version, err
 	}
 	execStart := time.Now()
 	results, err := e.obj.Call(nodeCtl{n: n, e: e, ctx: ctx}, inv.Method, inv.Args)
-	e.version++
+	if !inv.ReadOnly {
+		// Reads leave the apply version alone: the version counts state
+		// changes, and — since primary-local and follower reads bypass the
+		// SMR round — bumping it per read would make replica versions
+		// diverge and break the "equal versions, equal state" invariant
+		// that state transfer relies on.
+		e.version++
+	}
 	n.hExec.Observe(time.Since(execStart))
 	n.dedupRecordLocked(e, inv, results, err)
-	return results, err
+	return results, e.version, err
 }
 
 // lookupExisting returns the resident entry for ref without materializing
@@ -222,7 +262,11 @@ func (n *Node) lookupExisting(ref core.Ref) (*entry, bool) {
 // caller holds e.mu. Synchronization objects are excluded: their calls
 // must actually block.
 func (n *Node) dedupLookupLocked(ctx context.Context, e *entry, inv core.Invocation) ([]any, error, bool) {
-	if !inv.Stamped() || e.sync {
+	if !inv.Stamped() || e.sync || inv.ReadOnly {
+		// Read-only calls skip dedup entirely: re-executing a read is
+		// harmless (its retry window extends to the later execution), and
+		// recording reads would evict write records from the bounded
+		// window — the records that actually protect correctness.
 		return nil, nil, false
 	}
 	rec, ok := e.dedup.lookup(inv.ClientID, inv.Seq)
@@ -240,7 +284,7 @@ func (n *Node) dedupLookupLocked(ctx context.Context, e *entry, inv core.Invocat
 // (ErrRebalancing, ErrWrongNode) never reach this point because execOn
 // returns before calling the object.
 func (n *Node) dedupRecordLocked(e *entry, inv core.Invocation, results []any, err error) {
-	if !inv.Stamped() || e.sync {
+	if !inv.Stamped() || e.sync || inv.ReadOnly {
 		return
 	}
 	if evicted := e.dedup.record(inv.ClientID, inv.Seq, results, core.EncodeError(err)); evicted > 0 {

@@ -56,6 +56,18 @@ const (
 	// of an object (gob-encoded core.Ref in, fetchResp out) instead of
 	// creating a fresh one when the hand-off transfer never arrived.
 	KindFetch uint8 = 11
+	// KindLease acquires or renews a lease on an object from its primary
+	// (gob-encoded LeaseRequest in, LeaseResponse out): client caches get
+	// a snapshot, followers get a version floor. See lease.go.
+	KindLease uint8 = 12
+	// KindLeaseRevoke is the primary telling a follower to stop serving
+	// reads under its replica lease (gob-encoded leaseRevokeMsg), sent
+	// synchronously before a mutation commits.
+	KindLeaseRevoke uint8 = 13
+	// KindCacheInvalidate is the primary telling a client cache to drop
+	// its leased copy (gob-encoded InvalidateMsg). It is handled by the
+	// client's invalidation listener, not by nodes.
+	KindCacheInvalidate uint8 = 14
 )
 
 // Config wires one node into a cluster.
@@ -84,6 +96,15 @@ type Config struct {
 	// it would in a real deployment; by default it is off.
 	ServiceTime        time.Duration
 	ServiceConcurrency int
+	// LeaseTTL, when positive, enables the lease-based read path on this
+	// node: it grants client cache leases and follower read leases of this
+	// duration, serves read-only invocations locally at the primary
+	// without an SMR round, and fences mutations behind synchronous lease
+	// revocation (see lease.go and DESIGN.md §5d). Zero disables leases —
+	// every call takes the classic ownership path. Shorter TTLs shrink the
+	// worst-case write stall behind an unreachable lease holder; longer
+	// TTLs amortize more reads per grant.
+	LeaseTTL time.Duration
 	// PeerCallTimeout bounds each inter-node RPC attempt (Skeen control
 	// messages, state transfers). Without it, a frame lost in the network
 	// blocks the coordinator forever and its orphaned proposal wedges the
@@ -152,6 +173,12 @@ type Node struct {
 	pullMu  sync.Mutex
 	pulling map[core.Ref]bool
 
+	// refs whose local copy is behind the committed history because a
+	// delivery was skipped for want of a base copy (see markStale)
+	staleMu   sync.Mutex
+	staleRefs map[core.Ref]uint64
+	staleSeq  uint64
+
 	// peer connections
 	peerMu sync.Mutex
 	peers  map[ring.NodeID]*rpc.Client
@@ -163,6 +190,18 @@ type Node struct {
 	seq         atomic.Uint64
 	waitMu      sync.Mutex
 	waiters     map[totalorder.MsgID]chan smrResult
+
+	// post-apply version bookkeeping for the SMR fork check (finalResp):
+	// applyVers holds this node's member-side versions awaiting their FINAL
+	// reply; finalVers collects the members' versions per coordinated round.
+	applyVerMu sync.Mutex
+	applyVers  map[totalorder.MsgID]uint64
+	finalVerMu sync.Mutex
+	finalVers  map[totalorder.MsgID]map[ring.NodeID]uint64
+
+	// leases is the lease table (nil when Config.LeaseTTL is zero: the
+	// read path and the write hooks are disabled at zero cost).
+	leases *leaseTable
 
 	// svcGate, when non-nil, is the modeled capacity gate (see Config).
 	svcGate chan struct{}
@@ -190,6 +229,13 @@ type Node struct {
 	gInflight       *telemetry.Gauge
 	hExec           *telemetry.Histogram
 	hMonitorWait    *telemetry.Histogram
+
+	cLeaseGrants      *telemetry.Counter
+	cLeaseRefusals    *telemetry.Counter
+	cLeaseRevokes     *telemetry.Counter
+	cLeaseExpiryWaits *telemetry.Counter
+	cFollowerReads    *telemetry.Counter
+	cLocalReads       *telemetry.Counter
 }
 
 // Start launches the node: it listens on cfg.Addr, joins the directory and
@@ -226,6 +272,18 @@ func Start(cfg Config) (*Node, error) {
 		n.gInflight = n.metrics.Gauge(telemetry.MetServerInflight)
 		n.hExec = n.metrics.Histogram(telemetry.HistServerExec)
 		n.hMonitorWait = n.metrics.Histogram(telemetry.HistServerMonitorWait)
+	}
+	// The lease counters are resolved unconditionally: the registry and
+	// the counters it returns are nil-safe, so uninstrumented nodes pay a
+	// no-op Inc rather than a nil check on every lease-path branch.
+	n.cLeaseGrants = n.metrics.Counter(telemetry.MetServerLeaseGrants)
+	n.cLeaseRefusals = n.metrics.Counter(telemetry.MetServerLeaseRefusals)
+	n.cLeaseRevokes = n.metrics.Counter(telemetry.MetServerLeaseRevokes)
+	n.cLeaseExpiryWaits = n.metrics.Counter(telemetry.MetServerLeaseExpiryWts)
+	n.cFollowerReads = n.metrics.Counter(telemetry.MetServerFollowerReads)
+	n.cLocalReads = n.metrics.Counter(telemetry.MetServerLocalReads)
+	if cfg.LeaseTTL > 0 {
+		n.leases = newLeaseTable(n, cfg.LeaseTTL)
 	}
 	n.to = totalorder.NewNode(string(cfg.ID), n.deliverSMR)
 	switch {
@@ -332,6 +390,11 @@ func (n *Node) Crash() error {
 
 func (n *Node) shutdown() error {
 	n.closed.Store(true)
+	// Abort FINAL handlers parked in WaitDelivered (see totalorder.Close):
+	// they hold RPC handler slots, and waiting out their full bound here
+	// would stall the shutdown — and everything sequenced after it — for
+	// seconds.
+	n.to.Close()
 	if n.unsubscribe != nil {
 		n.unsubscribe()
 	}
@@ -346,6 +409,9 @@ func (n *Node) shutdown() error {
 		e.mu.Lock()
 		e.cond.Broadcast()
 		e.mu.Unlock()
+	}
+	if n.leases != nil {
+		n.leases.close()
 	}
 	err := n.rpcServer.Close()
 	n.peerMu.Lock()
@@ -392,6 +458,10 @@ func (n *Node) handle(ctx context.Context, kind uint8, payload []byte) ([]byte, 
 		return n.handleChaos(payload)
 	case KindFetch:
 		return n.handleFetch(payload)
+	case KindLease:
+		return n.handleLease(payload)
+	case KindLeaseRevoke:
+		return n.handleLeaseRevoke(payload)
 	case KindPing:
 		return []byte("pong"), nil
 	default:
@@ -406,6 +476,14 @@ func (n *Node) handleInvoke(ctx context.Context, payload []byte) ([]byte, error)
 	if err != nil {
 		return nil, err
 	}
+	// Re-derive the read-only flag from this node's own registry rather
+	// than trusting the wire: the flag steers execution past the write
+	// machinery (SMR round, dedup, version bump, lease revocation), so a
+	// stale or hostile client must not smuggle a mutating method through
+	// it — and a thin client that never registered the classification
+	// (dso-cli, old binaries) still gets the read fast path, since
+	// re-executing or follower-serving a genuine read is always safe.
+	inv.ReadOnly = core.IsReadOnlyMethod(inv.Ref.Type, inv.Method)
 	n.invocations.Add(1)
 	// Telemetry: continue the client's trace across the RPC boundary via
 	// the invocation's TraceContext, and track queue depth (in-flight

@@ -36,6 +36,15 @@ type transferMsg struct {
 	Snapshot []byte
 	Dedup    dedupState
 	Version  uint64
+
+	// Stale carries the sender's stale mark (see markStale) with the
+	// snapshot: a copy that may be behind the committed history must not
+	// shed that suspicion by crossing the network. The receiver installs
+	// it (better a tainted copy than none) but marks the ref, so the
+	// write, grant, and read paths keep refusing until a proving pull
+	// finds a clean copy — or the primary's fully-definitive poll
+	// concludes none exists (see pullObject).
+	Stale bool
 }
 
 // fetchResp answers a KindFetch pull: the requested object's snapshot,
@@ -63,6 +72,15 @@ func (n *Node) onView(v membership.View) {
 
 	if oldRing == nil || n.closed.Load() {
 		return
+	}
+	if n.leases != nil {
+		// Fence first, rebalance second: ownership just moved under every
+		// lease this node granted, and the new owners cannot revoke them
+		// (they live in our table). Arm the one-TTL write fence and drop
+		// everything — held replica leases immediately, granted leases by
+		// best-effort invalidation (their expiry, bounded by the fence, is
+		// the guarantee).
+		n.leases.onViewChange()
 	}
 	n.log.Debug("view installed, rebalancing", "view", v.ID, "members", len(v.Members))
 	// Flush the total-order layer: a coordinator that died mid-multicast
@@ -109,10 +127,33 @@ func (n *Node) rebalance(oldRing, newRing *ring.Ring, v membership.View) {
 		newSet := newRing.ReplicaSet(key, rf)
 		if !contains(oldSet, n.cfg.ID) {
 			// We hold a copy we were not responsible for (leftover of an
-			// earlier view); drop it if we are not responsible now either.
+			// earlier view); drop it if we are not responsible now either —
+			// unless it is stale-marked, in which case it may be the best
+			// surviving state of its lineage and is kept for a future poll.
 			if !contains(newSet, n.cfg.ID) {
-				n.removeObject(ref)
+				if !n.isStale(ref) {
+					n.removeObject(ref)
+				}
+				continue
 			}
+			// Re-entering the replica set with a leftover copy: every op
+			// committed while this node sat outside the set bypassed it
+			// without a trace — no skipped delivery, no transfer, nothing
+			// that would betray how far behind the copy is. Mark it so the
+			// write, grant, and read paths treat it as suspect until a
+			// proving pull (see markStale); the copy itself stays, both as
+			// a pull fallback for the group and so the mark has something
+			// to clear onto.
+			n.markStale(ref)
+			n.log.Debug("leftover copy rejoining replica set marked stale",
+				"ref", ref.String(), "old_set", fmt.Sprint(oldSet),
+				"new_set", fmt.Sprint(newSet))
+			// Resolve proactively rather than waiting for an access to
+			// trip over the mark. The common benign case — a hand-off
+			// transfer that landed just before this view was processed,
+			// making the fresh copy look like a leftover — clears on the
+			// first definitive poll.
+			go n.selfHeal(ref)
 			continue
 		}
 
@@ -147,7 +188,7 @@ func (n *Node) rebalance(oldRing, newRing *ring.Ring, v membership.View) {
 				}
 			}
 		}
-		if !contains(newSet, n.cfg.ID) {
+		if !contains(newSet, n.cfg.ID) && !n.isStale(ref) {
 			n.removeObject(ref)
 		}
 	}
@@ -199,15 +240,25 @@ func (n *Node) pushObject(ref core.Ref, e *entry, target ring.NodeID) error {
 		// Quiesce before snapshotting: an accepted-but-undelivered proposal
 		// is invisible to the snapshot, and the target — not a member of
 		// that op's group — can only ever get it from a snapshot taken
-		// after it applied. Best effort with a short bound; the version
-		// re-check below and the next view's anti-entropy round back it up.
+		// after it applied. If the object will not quiesce within the
+		// bound, abort rather than ship: a target left non-resident is
+		// safe (its next access pulls under the fetch barrier), while a
+		// target holding a behind snapshot looks resident and would
+		// coordinate writes and grant leases from it.
 		for wait := 0; wait < 8 && n.inflight.busy(ref); wait++ {
 			time.Sleep(10 * time.Millisecond)
+		}
+		if n.inflight.busy(ref) {
+			return fmt.Errorf("server: transfer %s to %s: ops in flight", ref, target)
 		}
 		msg, err := n.snapshotEntry(ref, e)
 		if err != nil {
 			return err
 		}
+		// A marked copy still ships — it may be the lineage's best
+		// surviving state — but the taint travels with it (see
+		// transferMsg.Stale).
+		msg.Stale = n.isStale(ref)
 		body, err := core.EncodeValue(msg)
 		if err != nil {
 			return err
@@ -284,6 +335,12 @@ func (n *Node) installTransfer(msg transferMsg) error {
 	n.objMu.Lock()
 	e, exists := n.objects[msg.Ref]
 	if !exists {
+		if msg.Stale {
+			// The sender's copy carried a stale mark; the taint arrives
+			// with the copy (marked before the entry is published, so the
+			// copy never looks both resident and clean).
+			n.markStale(msg.Ref)
+		}
 		e = newEntry(obj, msg.Persist, false, msg.Init)
 		e.dedup = msg.Dedup
 		e.version = msg.Version
@@ -304,11 +361,28 @@ func (n *Node) installTransfer(msg transferMsg) error {
 			"local_version", e.version, "snapshot_version", msg.Version)
 		return nil
 	}
+	if msg.Stale {
+		// Adopting a tainted snapshot taints the local copy (a refused
+		// one, above, does not: the local copy stays as it was).
+		n.markStale(msg.Ref)
+	}
 	e.obj = obj
 	e.persist = msg.Persist
 	e.init = msg.Init
 	e.dedup = msg.Dedup
 	e.version = msg.Version
+	if n.leases != nil {
+		// The copy just changed under any lease we granted on it (an
+		// anti-entropy refresh landing while we hold grants). The view
+		// fence already covers the hand-off case; this best-effort
+		// invalidation covers the refresh case without waiting.
+		ref := msg.Ref
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*n.leases.ttl)
+			defer cancel()
+			_ = n.leases.revokeAll(ctx, ref, false)
+		}()
+	}
 	// State changed under waiters (synchronization objects are never
 	// transferred, but be safe).
 	e.cond.Broadcast()
@@ -331,15 +405,20 @@ func (n *Node) handleFetch(payload []byte) ([]byte, error) {
 	if n.inflight.busy(ref) {
 		return core.EncodeValue(fetchResp{Found: true, Busy: true})
 	}
+	// Snapshot first, then read the mark: a skip recorded between the two
+	// taints a snapshot that is actually fine, which is merely
+	// conservative — the reverse order could export an unmarked stale
+	// copy.
 	msg, err := n.snapshotEntry(ref, e)
 	if err != nil {
 		return nil, err
 	}
+	msg.Stale = n.isStale(ref)
 	return core.EncodeValue(fetchResp{Found: true, Msg: msg})
 }
 
 // pullObject asks the other members of ref's replica group for an existing
-// copy and adopts the first one offered (version-checked, like any
+// copy and adopts the best one offered (version-checked, like any
 // transfer). It returns whether a copy was installed, and whether some
 // peer holds a copy it could not serve yet (busy: in-flight ops there —
 // the caller must treat the object as existing-but-unavailable, never as
@@ -347,37 +426,169 @@ func (n *Node) handleFetch(payload []byte) ([]byte, error) {
 // creation: a miss can equally mean the hand-off transfer never arrived,
 // and creating a fresh object would fork the lineage and silently discard
 // all prior state.
+//
+// pullObject is also how a stale mark (see markStale) is resolved. A
+// clean (unmarked) snapshot from a peer is a proof of currency: the fetch
+// was answered under the peer's in-flight barrier, so its version counts
+// the full committed history, and either installing it or already
+// covering its version clears the mark. When no clean copy exists but
+// every group member answered definitively — a snapshot (clean or
+// tainted) or a firm "no copy" — the primary adopts the highest-versioned
+// state on offer and clears its mark anyway: the poll proves no better
+// copy survives anywhere in the group, and an op acknowledged under the
+// apply-at-every-member barrier (see handleFinal) is on at least one
+// surviving copy after any single failure, so the adopted maximum
+// contains every acknowledged write. An unreachable or busy peer makes
+// the poll indefinite and the mark stays.
 func (n *Node) pullObject(ctx context.Context, ref core.Ref, group []ring.NodeID) (installed, busy bool) {
+	// Read the stale token before the first fetch: only a fetch issued
+	// after the skip proves currency, and a skip recorded mid-pull must
+	// keep the mark.
+	token, wasStale := n.staleToken(ref)
 	body, err := core.EncodeValue(ref)
 	if err != nil {
 		return false, false
 	}
+	var (
+		answers    []fetchResp
+		definitive = true
+	)
 	for _, m := range group {
 		if m == n.cfg.ID {
 			continue
 		}
 		out, err := n.peerCall(ctx, m, KindFetch, body)
 		if err != nil {
+			definitive = false
 			continue
 		}
 		var resp fetchResp
-		if core.DecodeValue(out, &resp) != nil || !resp.Found {
+		if core.DecodeValue(out, &resp) != nil {
+			definitive = false
 			continue
 		}
 		if resp.Busy {
 			busy = true
+			definitive = false
 			continue
 		}
-		if err := n.installTransfer(resp.Msg); err != nil {
-			n.log.Debug("pull install failed", "ref", ref.String(), "err", err)
-			continue
+		if resp.Found {
+			answers = append(answers, resp)
 		}
-		n.cPulls.Inc()
-		n.log.Debug("adopted base copy from peer", "ref", ref.String(),
-			"peer", string(m), "version", resp.Msg.Version)
-		return true, busy
 	}
-	return false, busy
+
+	// Prefer the best clean snapshot; fall back to the best tainted one.
+	var best *fetchResp
+	for i := range answers {
+		a := &answers[i]
+		if best == nil ||
+			(!a.Msg.Stale && best.Msg.Stale) ||
+			(a.Msg.Stale == best.Msg.Stale && a.Msg.Version > best.Msg.Version) {
+			best = a
+		}
+	}
+	cleanProof := false
+	if best != nil {
+		if err := n.installTransfer(best.Msg); err == nil {
+			installed = true
+			cleanProof = !best.Msg.Stale
+			n.cPulls.Inc()
+			n.log.Debug("adopted base copy from peer", "ref", ref.String(),
+				"version", best.Msg.Version, "stale", best.Msg.Stale)
+		} else if !best.Msg.Stale {
+			// Usually "not strictly newer": if the local copy already
+			// covers the clean snapshot's version, the barrier-protected
+			// fetch proves it current.
+			if e, ok := n.lookupExisting(ref); ok {
+				e.mu.Lock()
+				cleanProof = e.version >= best.Msg.Version
+				e.mu.Unlock()
+			}
+			n.log.Debug("pull install failed", "ref", ref.String(), "err", err)
+		} else {
+			n.log.Debug("pull install failed", "ref", ref.String(), "err", err)
+		}
+	}
+
+	if wasStale {
+		switch {
+		case cleanProof:
+			n.clearStale(ref, token)
+		case definitive && len(group) > 0 && group[0] == n.cfg.ID:
+			// Fully-definitive poll, no clean copy anywhere in the group:
+			// whatever this node now holds (its own copy, or the best
+			// tainted snapshot just adopted) is the lineage's best
+			// surviving state, and the primary declares it current.
+			// Clearing with a fresh token also erases the taint the
+			// adopted snapshot may just have re-recorded; no new skip can
+			// have raced in, since skips only happen on non-resident
+			// deliveries and the copy is resident now.
+			tok, marked := n.staleToken(ref)
+			if marked {
+				n.clearStale(ref, tok)
+			}
+			n.log.Info("primary adopted best surviving copy after group poll",
+				"ref", ref.String())
+		}
+	}
+	return installed, busy
+}
+
+// markStale records that ref's local copy — present or future — is behind
+// the committed history: a committed delivery was skipped because no base
+// copy was resident (deliverSMR). The danger is not the skip itself but
+// what can follow it: a rebalance push may later install a snapshot taken
+// *before* the skipped op, leaving this node resident-but-behind. Such a
+// copy looks authoritative — it passes the resident checks on the write,
+// lease-grant, and local-read paths — yet coordinating a write on it acks
+// results computed on state missing acknowledged operations, and granting
+// a lease from it serves reads that travel backwards in time.
+//
+// The mark is cleared only through pullObject, whose fetch carries a
+// proof of currency: handleFetch answers busy while the peer has accepted
+// ops still in flight, so a non-busy fetch issued after the skip returns
+// a snapshot that includes every op committed before the fetch — in
+// particular, every op this node skipped. Anti-entropy pushes install
+// copies but never clear the mark (a push's snapshot may predate the
+// skip); they merely make the subsequent proving pull cheap.
+func (n *Node) markStale(ref core.Ref) {
+	n.staleMu.Lock()
+	if n.staleRefs == nil {
+		n.staleRefs = make(map[core.Ref]uint64)
+	}
+	n.staleSeq++
+	n.staleRefs[ref] = n.staleSeq
+	n.staleMu.Unlock()
+}
+
+// staleToken returns the current stale mark for ref, if any. Callers that
+// intend to clear the mark must capture the token before issuing the
+// fetch that will justify the clear.
+func (n *Node) staleToken(ref core.Ref) (uint64, bool) {
+	n.staleMu.Lock()
+	defer n.staleMu.Unlock()
+	tok, ok := n.staleRefs[ref]
+	return tok, ok
+}
+
+// isStale reports whether ref's local copy is marked behind the committed
+// history. While true, this node must not coordinate writes, grant
+// leases, or serve reads for ref from its own copy.
+func (n *Node) isStale(ref core.Ref) bool {
+	n.staleMu.Lock()
+	defer n.staleMu.Unlock()
+	_, ok := n.staleRefs[ref]
+	return ok
+}
+
+// clearStale drops ref's stale mark, unless a newer skip was recorded
+// after token was captured (that skip still needs its own proving pull).
+func (n *Node) clearStale(ref core.Ref, token uint64) {
+	n.staleMu.Lock()
+	if tok, ok := n.staleRefs[ref]; ok && tok == token {
+		delete(n.staleRefs, ref)
+	}
+	n.staleMu.Unlock()
 }
 
 // selfHeal runs a background pull for an object whose committed delivery

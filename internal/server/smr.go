@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -19,6 +20,27 @@ import (
 type smrResult struct {
 	results []any
 	err     error
+	// version is the coordinator copy's apply version immediately after
+	// this op, captured under the object monitor (see execOn). Compared
+	// against the members' finalResp versions before acking.
+	version uint64
+}
+
+// finalResp is the reply to a FINAL control message, sent after the
+// member has applied the finalized op (see handleFinal). Version is the
+// member copy's apply version immediately after that apply. Replicas of
+// one object apply the same totally-ordered sequence, so for any given
+// message every member's post-apply version must agree with the
+// coordinator's — a mismatch means one side executed the op on a copy
+// with a different history (typically a replica replaying the op from its
+// at-most-once window while the coordinator re-executed it on a
+// resurrected older snapshot, the signature of a forked copy) and the op
+// must not be acked. Known distinguishes a real version 0 (a read-only
+// genesis round) from "version not recorded" (the apply raced the
+// bookkeeping window); an unknown version skips the comparison.
+type finalResp struct {
+	Version uint64
+	Known   bool
 }
 
 // proposeMsg and finalMsg are the Skeen control messages on the wire.
@@ -62,6 +84,11 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 		return nil, core.ErrRebalancing
 	}
 	if group[0] != n.cfg.ID {
+		if inv.ReadOnly && n.leases != nil && contains(group, n.cfg.ID) {
+			// Follower read: serve the read from our replica copy under a
+			// primary-granted lease instead of bouncing to the primary.
+			return n.followerRead(ctx, inv, group[0])
+		}
 		return nil, fmt.Errorf("%w: %s belongs to %s", core.ErrWrongNode, inv.Ref, group[0])
 	}
 	info, err := n.cfg.Registry.Lookup(inv.Ref.Type)
@@ -72,22 +99,50 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 		// Synchronization objects are never replicated (paper, fn. 2).
 		return n.invokeLocal(ctx, inv)
 	}
+	if results, err, ok := n.tryLocalRead(ctx, inv); ok {
+		// Read-only calls at a provably-current primary skip the ordering
+		// round entirely; writes it has not applied were never acked, so
+		// the read linearizes at its execution under the object monitor.
+		return results, err
+	}
+	if n.leases != nil && !inv.ReadOnly {
+		// Revoke-before-commit: block new grants, synchronously invalidate
+		// every cached copy and follower lease, and only then order the
+		// mutation. Grants resume (at the post-write version) once the
+		// primary has applied the op and replied.
+		done, lerr := n.prepareWrite(ctx, inv.Ref)
+		if lerr != nil {
+			return nil, lerr
+		}
+		defer done()
+	}
 
 	_, resident := n.lookupExisting(inv.Ref)
-	if !resident && len(group) > 1 {
-		// The primary holds no copy. That is either a genuinely new object
-		// or one whose hand-off transfer never reached us (the view changed
-		// while we were partitioned, or the pusher died mid-transfer).
-		// Creating a fresh object in the second case would silently discard
-		// all prior state, so ask the other replicas for a copy first and
-		// only treat a unanimous miss as creation.
-		var busy bool
-		resident, busy = n.pullObject(ctx, inv.Ref, group)
+	if (!resident || n.isStale(inv.Ref)) && len(group) > 1 {
+		// The primary holds no copy, or holds one marked behind the
+		// committed history (a delivery was skipped before its base
+		// installed). A miss is either a genuinely new object or one whose
+		// hand-off transfer never reached us (the view changed while we
+		// were partitioned, or the pusher died mid-transfer). Creating a
+		// fresh object in the second case would silently discard all prior
+		// state — and coordinating on a stale copy would ack results
+		// computed on state missing acknowledged ops. Ask the other
+		// replicas for a copy first; only a unanimous miss is creation.
+		installed, busy := n.pullObject(ctx, inv.Ref, group)
+		if installed {
+			resident = true
+		}
 		if !resident && busy {
 			// A peer holds a copy but has in-flight ops for it; adopting a
 			// snapshot now would miss them. Bounce the client to retry once
 			// they settle.
 			return nil, fmt.Errorf("%w: %s busy at a peer", core.ErrRebalancing, inv.Ref)
+		}
+		if n.isStale(inv.Ref) {
+			// The pull could not prove the local copy current (no peer
+			// reachable, or every candidate busy). Bounce rather than ack
+			// a write computed on a possibly-behind copy.
+			return nil, fmt.Errorf("%w: %s stale on %s", core.ErrRebalancing, inv.Ref, n.cfg.ID)
 		}
 	}
 	flag := smrOpGenesis
@@ -105,10 +160,19 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 	n.waitMu.Lock()
 	n.waiters[id] = ch
 	n.waitMu.Unlock()
+	n.finalVerMu.Lock()
+	if n.finalVers == nil {
+		n.finalVers = make(map[totalorder.MsgID]map[ring.NodeID]uint64)
+	}
+	n.finalVers[id] = make(map[ring.NodeID]uint64, len(group)-1)
+	n.finalVerMu.Unlock()
 	defer func() {
 		n.waitMu.Lock()
 		delete(n.waiters, id)
 		n.waitMu.Unlock()
+		n.finalVerMu.Lock()
+		delete(n.finalVers, id)
+		n.finalVerMu.Unlock()
 	}()
 
 	members := make([]string, len(group))
@@ -139,10 +203,61 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 		if n.instrumented {
 			telemetry.SpanFromContext(ctx).AddTiming(telemetry.TimingSMR, time.Since(orderStart))
 		}
+		if err := n.checkRoundVersions(inv.Ref, id, res.version); err != nil {
+			return nil, err
+		}
+		n.log.Debug("smr round complete", "ref", inv.Ref.String(),
+			"method", inv.Method, "id", id.String(), "group", members,
+			"genesis", flag == smrOpGenesis, "err", res.err)
 		return res.results, res.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// checkRoundVersions is the coordinator's fork check, run after its own
+// in-order apply and before the ack. Every member that reported a
+// post-apply version (finalResp) must agree with the coordinator's: the
+// total order delivers the same op sequence everywhere, so disagreement
+// means one side's copy carries a different history. The typical cause is
+// a resurrected older snapshot — the member replays the op from its
+// at-most-once window (no version bump) while the coordinator re-executes
+// it fresh, and acking would commit a lineage missing acknowledged
+// writes. Instead: no ack (the retry is dedup-safe), and the behind side
+// is repaired — the coordinator marks itself stale and pulls, or pushes
+// its copy to a behind member.
+func (n *Node) checkRoundVersions(ref core.Ref, id totalorder.MsgID, local uint64) error {
+	n.finalVerMu.Lock()
+	vs := n.finalVers[id]
+	n.finalVerMu.Unlock()
+	for member, v := range vs {
+		switch {
+		case v > local:
+			n.log.Warn("replica ahead of coordinator, refusing ack",
+				"ref", ref.String(), "id", id.String(), "member", string(member),
+				"member_version", v, "local_version", local)
+			n.markStale(ref)
+			go n.selfHeal(ref)
+			return fmt.Errorf("%w: %s version %d behind replica %s at %d",
+				core.ErrRebalancing, ref, local, member, v)
+		case v < local:
+			n.log.Warn("replica behind coordinator, refusing ack",
+				"ref", ref.String(), "id", id.String(), "member", string(member),
+				"member_version", v, "local_version", local)
+			if e, ok := n.lookupExisting(ref); ok {
+				m := member
+				go func() {
+					if err := n.pushObject(ref, e, m); err != nil {
+						n.log.Debug("repair push failed", "ref", ref.String(),
+							"target", string(m), "err", err)
+					}
+				}()
+			}
+			return fmt.Errorf("%w: replica %s of %s at version %d behind coordinator at %d",
+				core.ErrRebalancing, member, ref, v, local)
+		}
+	}
+	return nil
 }
 
 // deliverSMR applies one totally-ordered operation to the local replica and
@@ -156,9 +271,20 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 // later version comparison. The delivery is skipped (the op is safe in the
 // other replicas' copies and in any snapshot taken after it) and a
 // background pull restores this replica's base copy.
-func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) {
+//
+// The return value reports whether the op was applied to this replica's
+// copy. The coordinator's FINAL round waits on it (see handleFinal): a
+// skipped or bounced delivery returns false, the coordinator's multicast
+// fails, and the client gets a retryable error instead of an ack — so an
+// acknowledged op is guaranteed applied at every group member, and no
+// single crash can take the only copy of an acknowledged write with it.
+// Deterministic method errors still count as applied: every replica
+// executes them identically, so the copies agree.
+func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) bool {
 	n.inflight.settle(id)
 	var results []any
+	var version uint64
+	versionKnown := false
 	genesis, body, err := splitSMRPayload(payload)
 	if err == nil {
 		var inv core.Invocation
@@ -171,6 +297,11 @@ func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) {
 					"ref", inv.Ref.String(), "origin", id.Origin)
 				err = fmt.Errorf("%w: %s has no base copy on %s",
 					core.ErrRebalancing, inv.Ref, n.cfg.ID)
+				// The copy this node eventually installs may be a snapshot
+				// taken before this op; mark the ref so the write, grant,
+				// and local-read paths refuse it until a barrier-protected
+				// pull proves the copy current (see markStale).
+				n.markStale(inv.Ref)
 				go n.selfHeal(inv.Ref)
 			default:
 				if !resident {
@@ -179,7 +310,10 @@ func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) {
 				if err == nil {
 					// SMR ops never block (no sync objects), so Background
 					// is a safe execution context here.
-					results, err = n.execOn(context.Background(), e, inv)
+					results, version, err = n.execOn(context.Background(), e, inv)
+					versionKnown = true
+					n.log.Debug("smr op applied", "ref", inv.Ref.String(),
+						"method", inv.Method, "id", id.String(), "version", version)
 				}
 			}
 		}
@@ -188,8 +322,32 @@ func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) {
 	ch, ok := n.waiters[id]
 	n.waitMu.Unlock()
 	if ok {
-		ch <- smrResult{results: results, err: err}
+		ch <- smrResult{results: results, err: err, version: version}
+	} else if versionKnown {
+		// Member side: remember the post-apply version for the FINAL reply
+		// (see handleFinal). Bounded: an apply whose FINAL handler already
+		// gave up waiting leaves an orphan entry, so the map is pruned
+		// arbitrarily past a cap — a pruned entry only downgrades the
+		// coordinator's version comparison to "unknown", never corrupts it.
+		n.applyVerMu.Lock()
+		if n.applyVers == nil {
+			n.applyVers = make(map[totalorder.MsgID]uint64)
+		}
+		if len(n.applyVers) > 4096 {
+			for k := range n.applyVers {
+				delete(n.applyVers, k)
+				if len(n.applyVers) <= 2048 {
+					break
+				}
+			}
+		}
+		n.applyVers[id] = version
+		n.applyVerMu.Unlock()
 	}
+	// Rebalancing-class failures (no base copy, copy mid-transfer) mean
+	// the op did not reach this copy; anything else is a deterministic
+	// outcome shared by every replica.
+	return err == nil || !errors.Is(err, core.ErrRebalancing)
 }
 
 // refOfSMRPayload extracts the target object of an SMR payload, for the
@@ -261,7 +419,9 @@ func (t *toTransport) Propose(ctx context.Context, target string, id totalorder.
 	return ts, nil
 }
 
-// Final implements totalorder.Transport.
+// Final implements totalorder.Transport. Remote replies carry the
+// member's post-apply version (finalResp); it is collected into the
+// coordinator's per-round table for the fork check in invokeReplicated.
 func (t *toTransport) Final(ctx context.Context, target string, id totalorder.MsgID, ts uint64) error {
 	n := t.node()
 	if target == string(n.cfg.ID) {
@@ -272,8 +432,19 @@ func (t *toTransport) Final(ctx context.Context, target string, id totalorder.Ms
 	if err != nil {
 		return err
 	}
-	_, err = n.peerCall(ctx, ring.NodeID(target), KindFinal, body)
-	return err
+	out, err := n.peerCall(ctx, ring.NodeID(target), KindFinal, body)
+	if err != nil {
+		return err
+	}
+	var resp finalResp
+	if len(out) > 0 && core.DecodeValue(out, &resp) == nil && resp.Known {
+		n.finalVerMu.Lock()
+		if vs, ok := n.finalVers[id]; ok {
+			vs[ring.NodeID(target)] = resp.Version
+		}
+		n.finalVerMu.Unlock()
+	}
+	return nil
 }
 
 // Abort implements totalorder.Transport.
@@ -376,12 +547,37 @@ func (n *Node) handlePropose(payload []byte) ([]byte, error) {
 	return core.EncodeValue(ts)
 }
 
-// handleFinal services a peer's FINAL.
+// handleFinal services a peer's FINAL. It replies only once the message
+// has been applied here, not merely finalized: the coordinator's
+// Multicast waits on this reply before its own delivery acks the client,
+// so the reply is the guarantee that an acknowledged operation exists at
+// every group member. A finalized-but-undelivered message (stuck behind
+// an earlier pending op) acked in that window would live solely in the
+// coordinator's memory — a coordinator crash would drop it, the view
+// change would purge the stuck proposal, and the survivors would agree on
+// a history missing an acknowledged write. The wait bound matches the
+// orphan TTL that limits how long a zombie proposal can stall delivery;
+// on expiry the coordinator surfaces a retryable error instead of acking
+// (the at-most-once window makes the client's retry safe either way).
 func (n *Node) handleFinal(payload []byte) ([]byte, error) {
 	var msg finalMsg
 	if err := core.DecodeValue(payload, &msg); err != nil {
 		return nil, err
 	}
 	n.to.HandleFinal(msg.ID, msg.TS)
-	return nil, nil
+	if !n.to.WaitDelivered(msg.ID, 10*n.peerTimeout) {
+		return nil, fmt.Errorf("%w: %s finalized but not yet applied on %s",
+			core.ErrRebalancing, msg.ID, n.cfg.ID)
+	}
+	// Report the local post-apply version so the coordinator can verify
+	// the copies did not fork (see finalResp). The entry was recorded by
+	// deliverSMR; consume it so the map stays bounded.
+	resp := finalResp{}
+	n.applyVerMu.Lock()
+	if v, ok := n.applyVers[msg.ID]; ok {
+		resp.Version, resp.Known = v, true
+		delete(n.applyVers, msg.ID)
+	}
+	n.applyVerMu.Unlock()
+	return core.EncodeValue(resp)
 }

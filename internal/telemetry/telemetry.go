@@ -90,6 +90,30 @@ const (
 	MetFaaSFailurePrefix = "faas.failures.by_fn."
 	MetFaaSTimeoutPrefix = "faas.timeouts.by_fn."
 
+	// Client lease cache (read path). Exported on /metrics as
+	// crucial_cache_{hits,misses,invalidations,lease_expiries}_total.
+	// A hit is a read-only call answered from a locally leased copy; a
+	// miss fell through to a remote invoke (no lease, refused grant, or
+	// uncacheable method); an invalidation is a server-pushed revoke
+	// (a write committed, or the view changed); an expiry is a read that
+	// found its lease past due and had to re-acquire.
+	MetCacheHits          = "cache.hits"
+	MetCacheMisses        = "cache.misses"
+	MetCacheInvalidations = "cache.invalidations"
+	MetCacheLeaseExpiries = "cache.lease_expiries"
+
+	// Server-side lease table: grants handed out (client + replica),
+	// grants refused, synchronous revocations on the write path, writes
+	// that had to sit out an unreachable holder's expiry or a post-view
+	// fence, and read-only calls served without an SMR round (locally at
+	// the primary or by a follower holding a replica lease).
+	MetServerLeaseGrants    = "server.lease_grants"
+	MetServerLeaseRefusals  = "server.lease_refusals"
+	MetServerLeaseRevokes   = "server.lease_revokes"
+	MetServerLeaseExpiryWts = "server.lease_expiry_waits"
+	MetServerFollowerReads  = "server.follower_reads"
+	MetServerLocalReads     = "server.local_reads"
+
 	// Chaos engine (fault injection). Exported on /metrics as
 	// crucial_chaos_*_total.
 	MetChaosFramesDropped    = "chaos.frames_dropped"
@@ -112,6 +136,9 @@ const (
 	// SpanChaosFault is the marker span the chaos engine records per
 	// injected fault, so trace dumps show what the workload survived.
 	SpanChaosFault = "chaos.fault"
+	// SpanCacheRead wraps a read-only invocation answered from the client
+	// lease cache (attributes: object_type, method, cache = "hit").
+	SpanCacheRead = "cache.read"
 
 	AttrCold       = "cold"
 	AttrFunction   = "function"
@@ -125,8 +152,10 @@ const (
 	// AttrChaos tags a span touched by fault injection: "replayed" on a
 	// server.invoke answered from the dedup window, the fault kind on
 	// chaos.fault markers and faas.invoke spans that hit an injector.
-	AttrChaos       = "chaos"
-	AttrChaosLink   = "chaos_link"
+	AttrChaos     = "chaos"
+	AttrChaosLink = "chaos_link"
+	// AttrCache tags cache.read spans with the lookup outcome ("hit").
+	AttrCache       = "cache"
 	TimingMonitor   = "monitor_wait"
 	TimingAcquire   = "monitor_acquire"
 	TimingColdStart = "cold_start"

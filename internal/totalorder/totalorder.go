@@ -48,7 +48,11 @@ func (m MsgID) Less(o MsgID) bool {
 
 // Deliver is invoked exactly once per message, in total order, on the
 // node's delivery goroutine. Implementations must not block indefinitely.
-type Deliver func(id MsgID, payload []byte)
+// The return value reports whether the message was actually applied to
+// local state: an SMR layer that has to skip an op (no base copy for the
+// object yet) returns false, and WaitDelivered surfaces that to the
+// coordinator so the op is not acknowledged as stable here.
+type Deliver func(id MsgID, payload []byte) bool
 
 type pendingMsg struct {
 	id      MsgID
@@ -76,17 +80,33 @@ type Node struct {
 	ttl       time.Duration
 	pending   map[MsgID]*pendingMsg
 	delivered map[MsgID]struct{}
+
+	// applied records, for messages whose deliver callback has returned,
+	// whether the callback applied them (its return value); it lags
+	// delivered (set when a message is popped) by the callback's runtime
+	// and feeds WaitDelivered. Kept separate from delivered on purpose:
+	// HandlePropose consults delivered for idempotence, and a message must
+	// count as delivered the moment it is popped or a retried propose
+	// could re-enqueue (and double-deliver) it mid-callback.
+	applied   map[MsgID]bool
+	applyCond *sync.Cond
+
+	// closed aborts WaitDelivered early (see Close).
+	closed bool
 }
 
 // NewNode builds a protocol node. id must be the node's cluster-unique
 // name; deliver receives messages in total order.
 func NewNode(id string, deliver Deliver) *Node {
-	return &Node{
+	n := &Node{
 		id:        id,
 		deliver:   deliver,
 		pending:   make(map[MsgID]*pendingMsg),
 		delivered: make(map[MsgID]struct{}),
+		applied:   make(map[MsgID]bool),
 	}
+	n.applyCond = sync.NewCond(&n.mu)
+	return n
 }
 
 // ID returns the node's name.
@@ -162,9 +182,62 @@ func (n *Node) HandleFinal(id MsgID, ts uint64) {
 	ready := n.collectDeliverableLocked()
 	n.mu.Unlock()
 
-	for _, m := range ready {
-		n.deliver(m.id, m.payload)
+	n.deliverAll(ready)
+}
+
+// deliverAll runs the deliver callback for each popped message, in order,
+// and records each callback's applied result for WaitDelivered.
+func (n *Node) deliverAll(ready []*pendingMsg) {
+	if len(ready) == 0 {
+		return
 	}
+	results := make([]bool, len(ready))
+	for i, m := range ready {
+		results[i] = n.deliver(m.id, m.payload)
+	}
+	n.mu.Lock()
+	for i, m := range ready {
+		n.applied[m.id] = results[i]
+	}
+	n.mu.Unlock()
+	n.applyCond.Broadcast()
+}
+
+// WaitDelivered blocks until the deliver callback for id has returned on
+// this node, or until timeout elapses, and reports whether the callback
+// applied the message. The SMR layer's FINAL handler uses it to withhold
+// the coordinator's ack until the operation is applied here, not merely
+// finalized: a finalized message can sit behind an earlier pending one,
+// and an ack issued in that window would describe state held only in the
+// coordinator's memory — a coordinator crash would then silently drop an
+// acknowledged operation. A callback that declined to apply (skipped for
+// want of a base copy) fails the wait immediately for the same reason.
+func (n *Node) WaitDelivered(id MsgID, timeout time.Duration) bool {
+	timer := time.AfterFunc(timeout, func() { n.applyCond.Broadcast() })
+	defer timer.Stop()
+	deadline := time.Now().Add(timeout)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if ok, present := n.applied[id]; present {
+			return ok
+		}
+		if n.closed || !time.Now().Before(deadline) {
+			return false
+		}
+		n.applyCond.Wait()
+	}
+}
+
+// Close aborts every in-flight and future WaitDelivered with a negative
+// verdict. A node shutting down must not sit out the full wait bound for
+// messages that will never be applied — a FINAL handler parked in
+// WaitDelivered would stall the whole shutdown behind it.
+func (n *Node) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.applyCond.Broadcast()
 }
 
 // collectDeliverableLocked pops, in order, every final message whose
@@ -216,9 +289,7 @@ func (n *Node) Drop(id MsgID) {
 	}
 	ready := n.collectDeliverableLocked()
 	n.mu.Unlock()
-	for _, m := range ready {
-		n.deliver(m.id, m.payload)
-	}
+	n.deliverAll(ready)
 }
 
 // PurgeOrigins removes pending messages that were proposed but never
@@ -238,9 +309,7 @@ func (n *Node) PurgeOrigins(alive func(origin string) bool) {
 	}
 	ready := n.collectDeliverableLocked()
 	n.mu.Unlock()
-	for _, m := range ready {
-		n.deliver(m.id, m.payload)
-	}
+	n.deliverAll(ready)
 }
 
 // PendingCount reports how many messages await delivery (for tests).

@@ -76,10 +76,11 @@ type recorder struct {
 	order []MsgID
 }
 
-func (r *recorder) deliver(id MsgID, _ []byte) {
+func (r *recorder) deliver(id MsgID, _ []byte) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.order = append(r.order, id)
+	return true
 }
 
 func (r *recorder) snapshot() []MsgID {
@@ -238,7 +239,7 @@ func TestOverlappingGroups(t *testing.T) {
 }
 
 func TestProposeIdempotent(t *testing.T) {
-	n := NewNode("a", func(MsgID, []byte) {})
+	n := NewNode("a", func(MsgID, []byte) bool { return true })
 	id := MsgID{Origin: "c", Seq: 1}
 	ts1 := n.HandlePropose(id, nil)
 	ts2 := n.HandlePropose(id, nil)
@@ -249,7 +250,7 @@ func TestProposeIdempotent(t *testing.T) {
 
 func TestFinalIdempotentAfterDelivery(t *testing.T) {
 	var count int
-	n := NewNode("a", func(MsgID, []byte) { count++ })
+	n := NewNode("a", func(MsgID, []byte) bool { count++; return true })
 	id := MsgID{Origin: "c", Seq: 1}
 	ts := n.HandlePropose(id, nil)
 	n.HandleFinal(id, ts)
@@ -264,7 +265,7 @@ func TestFinalIdempotentAfterDelivery(t *testing.T) {
 
 func TestHoldbackUntilSmallerMessageFinal(t *testing.T) {
 	var order []MsgID
-	n := NewNode("a", func(id MsgID, _ []byte) { order = append(order, id) })
+	n := NewNode("a", func(id MsgID, _ []byte) bool { order = append(order, id); return true })
 	id1 := MsgID{Origin: "c", Seq: 1}
 	id2 := MsgID{Origin: "c", Seq: 2}
 	ts1 := n.HandlePropose(id1, nil) // ts 1
@@ -282,7 +283,7 @@ func TestHoldbackUntilSmallerMessageFinal(t *testing.T) {
 }
 
 func TestClockAdvancesToFinal(t *testing.T) {
-	n := NewNode("a", func(MsgID, []byte) {})
+	n := NewNode("a", func(MsgID, []byte) bool { return true })
 	id := MsgID{Origin: "c", Seq: 1}
 	n.HandlePropose(id, nil)
 	n.HandleFinal(id, 100)
@@ -331,10 +332,11 @@ func TestPayloadIntegrity(t *testing.T) {
 	got := map[string][]byte{}
 	for _, name := range []string{"a", "b"} {
 		name := name
-		tr.add(NewNode(name, func(_ MsgID, p []byte) {
+		tr.add(NewNode(name, func(_ MsgID, p []byte) bool {
 			mu.Lock()
 			got[name] = p
 			mu.Unlock()
+			return true
 		}))
 	}
 	payload := []byte{1, 2, 3, 4}
@@ -352,7 +354,7 @@ func TestPayloadIntegrity(t *testing.T) {
 
 func TestDropUnblocksLaterMessages(t *testing.T) {
 	var order []MsgID
-	n := NewNode("a", func(id MsgID, _ []byte) { order = append(order, id) })
+	n := NewNode("a", func(id MsgID, _ []byte) bool { order = append(order, id); return true })
 	zombie := MsgID{Origin: "dead", Seq: 1}
 	live := MsgID{Origin: "live", Seq: 1}
 	n.HandlePropose(zombie, nil) // never finalized
@@ -369,7 +371,7 @@ func TestDropUnblocksLaterMessages(t *testing.T) {
 
 func TestDropKeepsFinalMessages(t *testing.T) {
 	var order []MsgID
-	n := NewNode("a", func(id MsgID, _ []byte) { order = append(order, id) })
+	n := NewNode("a", func(id MsgID, _ []byte) bool { order = append(order, id); return true })
 	id := MsgID{Origin: "c", Seq: 1}
 	blocker := MsgID{Origin: "b", Seq: 1}
 	n.HandlePropose(blocker, nil)
@@ -384,7 +386,7 @@ func TestDropKeepsFinalMessages(t *testing.T) {
 
 func TestPurgeOriginsFlushesDeadCoordinators(t *testing.T) {
 	var order []MsgID
-	n := NewNode("a", func(id MsgID, _ []byte) { order = append(order, id) })
+	n := NewNode("a", func(id MsgID, _ []byte) bool { order = append(order, id); return true })
 	zombieA := MsgID{Origin: "dead", Seq: 1}
 	zombieB := MsgID{Origin: "dead", Seq: 2}
 	live := MsgID{Origin: "a", Seq: 1}

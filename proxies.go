@@ -14,7 +14,9 @@ import (
 
 // AtomicLong is a linearizable 64-bit counter, the workhorse of the
 // paper's examples (Listing 1 shares one across all cloud threads).
-type AtomicLong struct{ H Handle }
+type AtomicLong struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewAtomicLong builds a proxy for the counter named key.
 func NewAtomicLong(key string, opts ...Option) *AtomicLong {
@@ -89,7 +91,9 @@ func (a *AtomicLong) SimulatedWork(ctx context.Context, micros int64) (int64, er
 
 // AtomicInt is the 32-bit-flavored counter of Table 1. It shares the
 // server implementation with AtomicLong.
-type AtomicInt struct{ H Handle }
+type AtomicInt struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewAtomicInt builds a proxy for the counter named key.
 func NewAtomicInt(key string, opts ...Option) *AtomicInt {
@@ -123,7 +127,9 @@ func (a *AtomicInt) CompareAndSet(ctx context.Context, expect, update int64) (bo
 }
 
 // AtomicBoolean is a linearizable flag.
-type AtomicBoolean struct{ H Handle }
+type AtomicBoolean struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewAtomicBoolean builds a proxy for the flag named key.
 func NewAtomicBoolean(key string, opts ...Option) *AtomicBoolean {
@@ -152,7 +158,9 @@ func (a *AtomicBoolean) CompareAndSet(ctx context.Context, expect, update bool) 
 
 // AtomicReference holds an arbitrary gob-serializable value of type T.
 // Register non-basic T with crucial.RegisterValue first.
-type AtomicReference[T any] struct{ H Handle }
+type AtomicReference[T any] struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewAtomicReference builds a proxy for the reference named key.
 func NewAtomicReference[T any](key string, opts ...Option) *AtomicReference[T] {
@@ -193,7 +201,9 @@ func (a *AtomicReference[T]) CompareAndSet(ctx context.Context, expect, update T
 }
 
 // AtomicByteArray is a fixed-length mutable byte array.
-type AtomicByteArray struct{ H Handle }
+type AtomicByteArray struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewAtomicByteArray builds a proxy for an array of the given length
 // (applied on first access).
@@ -230,7 +240,9 @@ func (a *AtomicByteArray) SetAll(ctx context.Context, v []byte) error {
 
 // AtomicDoubleArray is a fixed-length float64 array with server-side
 // aggregation (AddAll), the natural container for ML weight vectors.
-type AtomicDoubleArray struct{ H Handle }
+type AtomicDoubleArray struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewAtomicDoubleArray builds a proxy for an array of the given length.
 func NewAtomicDoubleArray(key string, length int, opts ...Option) *AtomicDoubleArray {
@@ -285,7 +297,9 @@ func (a *AtomicDoubleArray) FillZero(ctx context.Context) error {
 }
 
 // DoubleAdder accumulates float64 contributions server side.
-type DoubleAdder struct{ H Handle }
+type DoubleAdder struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewDoubleAdder builds a proxy for the adder named key.
 func NewDoubleAdder(key string, opts ...Option) *DoubleAdder {

@@ -46,6 +46,18 @@ type Options struct {
 	FailureRate float64
 	// DefaultRetry is the retry policy applied by NewThread.
 	DefaultRetry RetryPolicy
+	// LeaseTTL, when positive, enables the lease-based read path on every
+	// DSO node (DESIGN.md §5d): read-only methods (RegisterReadOnlyMethods)
+	// are served from client caches, follower replicas, or the primary's
+	// local fast path instead of taking an SMR ordering round. Writes
+	// synchronously invalidate outstanding leases, preserving
+	// linearizability. Zero (the default) disables the read path entirely.
+	LeaseTTL time.Duration
+	// ClientCache, when true (and LeaseTTL is positive), attaches a
+	// lease-based read cache to the runtime's DSO clients: cloud threads
+	// and the master thread answer read-only calls on leased objects
+	// locally, without any network round trip.
+	ClientCache bool
 	// Telemetry, when non-nil, turns on end-to-end instrumentation: every
 	// layer (cloud threads, FaaS platform, DSO client and servers) records
 	// spans and metrics into this one bundle. Nil (the default) disables
@@ -126,11 +138,13 @@ func NewLocalRuntime(opts Options) (*Runtime, error) {
 	}
 	opts.Telemetry = opts.resolveTelemetry()
 	clu, err := cluster.StartLocal(cluster.Options{
-		Nodes:     opts.DSONodes,
-		RF:        opts.RF,
-		Profile:   opts.Profile,
-		Registry:  opts.Registry,
-		Telemetry: opts.Telemetry,
+		Nodes:       opts.DSONodes,
+		RF:          opts.RF,
+		Profile:     opts.Profile,
+		Registry:    opts.Registry,
+		Telemetry:   opts.Telemetry,
+		LeaseTTL:    opts.LeaseTTL,
+		ClientCache: opts.ClientCache && opts.LeaseTTL > 0,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("crucial: start DSO cluster: %w", err)

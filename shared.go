@@ -54,8 +54,25 @@ func RegisterValue(v any) {
 	core.RegisterValue(v)
 }
 
+// RegisterReadOnlyMethods declares methods of a registered shared-object
+// type as read-only, making them eligible for the lease-based read path:
+// client-cached execution, follower reads, and the primary's local-read
+// fast path (Options.LeaseTTL, DESIGN.md §5d). Declare them where the type
+// itself is registered. The contract is strict — a read-only method must
+// not mutate any object state, must not block (no Ctl.Wait), and must be
+// deterministic given the state; servers re-validate the classification,
+// so a wrong declaration costs performance, never correctness of writes,
+// but a method that mutates despite being declared read-only will corrupt
+// cached copies. The built-in library's read-only methods (Get, Size,
+// Contains, ...) are pre-declared.
+func RegisterReadOnlyMethods(typeName string, methods ...string) {
+	core.RegisterReadOnlyMethods(typeName, methods...)
+}
+
 // Shared is the generic client proxy for a user-defined shared object.
-type Shared struct{ H Handle }
+type Shared struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewShared builds a proxy for the object (typeName, key). init arguments
 // are applied on first access.

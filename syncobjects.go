@@ -14,7 +14,9 @@ import (
 // CyclicBarrier blocks parties cloud threads until all have arrived, then
 // releases them together and resets for the next generation — the
 // iteration synchronizer of the paper's k-means (Listing 2, line 19).
-type CyclicBarrier struct{ H Handle }
+type CyclicBarrier struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewCyclicBarrier builds a proxy for a barrier of the given party count
 // (applied on first access).
@@ -46,7 +48,9 @@ func (b *CyclicBarrier) Reset(ctx context.Context) error {
 }
 
 // Semaphore is a distributed counting semaphore.
-type Semaphore struct{ H Handle }
+type Semaphore struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewSemaphore builds a proxy for a semaphore with the given initial
 // permit count (applied on first access).
@@ -92,7 +96,9 @@ func (s *Semaphore) DrainPermits(ctx context.Context) (int64, error) {
 
 // Future is a single-assignment distributed cell: Get blocks until some
 // thread Sets it. The Fig. 6 map-phase synchronization is built on these.
-type Future[T any] struct{ H Handle }
+type Future[T any] struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewFuture builds a proxy for the future named key.
 func NewFuture[T any](key string, opts ...Option) *Future[T] {
@@ -138,7 +144,9 @@ func (f *Future[T]) GetNow(ctx context.Context) (T, bool, error) {
 }
 
 // CountDownLatch blocks waiters until count threads have counted down.
-type CountDownLatch struct{ H Handle }
+type CountDownLatch struct {
+	H Handle // H is the underlying object handle (ref + client binding).
+}
 
 // NewCountDownLatch builds a proxy for a latch with the given count
 // (applied on first access).

@@ -43,6 +43,9 @@ func (tc *TC) Bind(targets ...any) {
 // platform, exactly like the Java prototype ships the Runnable's class
 // name and parameters.
 type Runnable interface {
+	// Run executes the work on the remote worker. tc is the thread
+	// context: identity, arguments, and the client connection for
+	// reaching shared objects.
 	Run(tc *TC) error
 }
 
