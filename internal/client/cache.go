@@ -205,7 +205,14 @@ func (lc *leaseCache) read(ctx context.Context, inv core.Invocation) (results []
 		lc.cMisses.Inc()
 		return nil, nil, false
 	}
-	lc.cHits.Inc()
+	if resident {
+		lc.cHits.Inc()
+	} else {
+		// A cold fill answers locally but paid a grant round trip; counting
+		// it as a hit would overstate the warm-path rate the hits/misses
+		// ratio is meant to measure.
+		lc.cMisses.Inc()
+	}
 	return results, err, true
 }
 

@@ -32,10 +32,24 @@ import (
 // start their clock before the request leaves, the server starts its at
 // receipt), so wall-clock skew cannot resurrect a fenced lease.
 //
-// View changes are fenced in time rather than tracked per lease: leases
-// granted by a deposed primary live in *its* table, invisible to the new
-// one, so for one TTL after any view install every write (and nothing
-// else) waits the fence out — by then every pre-view lease has expired.
+// Revocation is two-sided. The coordinator revokes its own grants before
+// multicasting (prepareWrite); every *other* group member revokes its
+// grants when the op is delivered to it, before answering the FINAL that
+// gates the coordinator's ack (memberWriteFence, called from deliverSMR).
+// The member side exists because coordinator and grantor can be different
+// nodes around a view change: a deposed primary, its fence unarmed, may
+// coordinate a write under its old installed view while the new primary —
+// validated against the directory's latest view — has already granted
+// leases. Those grants live in the new primary's table where the
+// coordinator's revocation round never looks; the new primary is in the
+// write's replica group (or the propose fence would have refused the op),
+// so its delivery-time revocation kills them before the write is acked.
+//
+// View changes where the grantor is *not* in the writing group are fenced
+// in time instead: leases granted by a deposed primary live in *its*
+// table, invisible to the new one, so for one TTL after any view install
+// every write (and nothing else) waits the fence out — by then every
+// pre-view lease has expired.
 
 // leaseHolder is one outstanding grant in the primary's table.
 type leaseHolder struct {
@@ -543,6 +557,42 @@ func (n *Node) prepareWrite(ctx context.Context, ref core.Ref) (func(), error) {
 		return func() {}, err
 	}
 	return func() { n.leases.endWrite(ref) }, nil
+}
+
+// memberWriteFence is the member-side half of revoke-before-commit, run by
+// deliverSMR before applying a mutating op that another node coordinated.
+// The coordinator's prepareWrite only revokes leases in *its* table; around
+// a view change this node may hold grants of its own (it is the primary in
+// the directory's latest view while a deposed coordinator still writes
+// under its old one), and those must die before the FINAL reply that lets
+// the coordinator ack. Returns the func that re-enables grants (to call
+// after the op has applied, so no grant can snapshot the pre-op state) and
+// an error when the revocation round could not complete — the caller must
+// then skip the apply so the op is never acked on the strength of a lease
+// that may still be alive. In the steady state (no holders, or this node
+// coordinated the op itself) it is two map lookups.
+func (n *Node) memberWriteFence(origin string, inv core.Invocation) (func(), error) {
+	if n.leases == nil || origin == string(n.cfg.ID) {
+		// The coordinator's own delivery is covered by prepareWrite, whose
+		// grant block stays up until the round completes.
+		return func() {}, nil
+	}
+	if inv.ReadOnly && core.IsReadOnlyMethod(inv.Ref.Type, inv.Method) {
+		return func() {}, nil
+	}
+	lt := n.leases
+	lt.beginWrite(inv.Ref)
+	// The bound only guards against pathological scheduling: revokeAll's
+	// longest path is one TTL-bounded invalidation attempt plus waiting out
+	// a holder's expiry, itself at most one TTL away.
+	ctx, cancel := context.WithTimeout(context.Background(), 3*lt.ttl)
+	defer cancel()
+	if err := lt.revokeAll(ctx, inv.Ref, true); err != nil {
+		lt.endWrite(inv.Ref)
+		return func() {}, fmt.Errorf("%w: lease revocation for %s outlived its bound: %v",
+			core.ErrRebalancing, inv.Ref, err)
+	}
+	return func() { lt.endWrite(inv.Ref) }, nil
 }
 
 // tryLocalRead serves a read-only invocation from the primary's own copy

@@ -523,6 +523,76 @@ func TestInflightSingleCoordinatorPerObject(t *testing.T) {
 	}
 }
 
+// Regression: a mutating op coordinated by another node must revoke the
+// leases *this* node granted before its delivery completes — the delivery's
+// return is what the coordinator's FINAL reply, and with it the client ack,
+// waits on. Around a view change the grantor (primary per the directory's
+// latest view) and the coordinator (deposed primary, old view installed,
+// write fence unarmed) can be different nodes; without member-side
+// revocation the grantor's client caches would serve pre-write state for a
+// full TTL after the write was acknowledged.
+func TestDeliverRevokesMemberLeases(t *testing.T) {
+	net := rpc.NewMemNetwork()
+	dir := membership.NewDirectory(time.Hour)
+	cfg := validConfig(net, dir)
+	cfg.LeaseTTL = time.Second
+	n := startNode(t, cfg)
+
+	// A listener standing in for a client cache's invalidation endpoint.
+	invalidated := make(chan struct{}, 4)
+	l, err := net.Listen("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(func(_ context.Context, kind uint8, _ []byte) ([]byte, error) {
+		if kind == KindCacheInvalidate {
+			invalidated <- struct{}{}
+		}
+		return nil, nil
+	})
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	// Materialize the object, then hand a lease to the sink — this node is
+	// the primary in the directory's latest view, so the grant succeeds.
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: "member-lease"}
+	if _, err := n.invokeLocal(context.Background(), core.Invocation{
+		Ref: ref, Method: "Set", Args: []any{int64(1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if resp := n.leases.grant(LeaseRequest{Ref: ref, HolderAddr: "sink"}); !resp.Granted {
+		t.Fatalf("grant refused: %s", resp.Reason)
+	}
+
+	// Deliver a write coordinated elsewhere (origin n9, as a deposed primary
+	// still on its old view would): the lease must be dead by the time
+	// deliverSMR returns.
+	encInv, err := core.EncodeInvocation(core.Invocation{
+		Ref: ref, Method: "Set", Args: []any{int64(2)}, Persist: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.deliverSMR(totalorder.MsgID{Origin: "n9", Seq: 1}, append([]byte{smrOpExisting}, encInv...)) {
+		t.Fatal("delivery not applied")
+	}
+	select {
+	case <-invalidated:
+	default:
+		t.Fatal("member-side delivery did not revoke the lease this node granted")
+	}
+	n.leases.mu.Lock()
+	holders := 0
+	if rl := n.leases.refs[ref]; rl != nil {
+		holders = len(rl.holders)
+	}
+	n.leases.mu.Unlock()
+	if holders != 0 {
+		t.Fatalf("%d lease holders survived a foreign-coordinated write", holders)
+	}
+}
+
 // A fetch for an object with undelivered proposals answers Busy: a snapshot
 // taken now would miss those ops, and the puller must neither adopt it nor
 // conclude the object does not exist.

@@ -308,12 +308,28 @@ func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) bool {
 					e, err = n.lookupOrCreate(inv)
 				}
 				if err == nil {
-					// SMR ops never block (no sync objects), so Background
-					// is a safe execution context here.
-					results, version, err = n.execOn(context.Background(), e, inv)
-					versionKnown = true
-					n.log.Debug("smr op applied", "ref", inv.Ref.String(),
-						"method", inv.Method, "id", id.String(), "version", version)
+					// Member-side revoke-before-commit: leases *this* node
+					// granted on the ref (it may be the new primary while a
+					// deposed coordinator still writes under its old view)
+					// must die before the FINAL reply that gates the ack.
+					var release func()
+					release, err = n.memberWriteFence(id.Origin, inv)
+					if err != nil {
+						// The revocation round could not complete, so a
+						// stale lease may outlive this op; refuse the apply
+						// (no ack — the retry is dedup-safe) and heal: the
+						// other members applied, so our copy is now behind.
+						n.markStale(inv.Ref)
+						go n.selfHeal(inv.Ref)
+					} else {
+						// SMR ops never block (no sync objects), so
+						// Background is a safe execution context here.
+						results, version, err = n.execOn(context.Background(), e, inv)
+						versionKnown = true
+						release()
+						n.log.Debug("smr op applied", "ref", inv.Ref.String(),
+							"method", inv.Method, "id", id.String(), "version", version)
+					}
 				}
 			}
 		}
@@ -565,7 +581,16 @@ func (n *Node) handleFinal(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	n.to.HandleFinal(msg.ID, msg.TS)
-	if !n.to.WaitDelivered(msg.ID, 10*n.peerTimeout) {
+	// Floor the wait bound: a negative Config.PeerCallTimeout disables the
+	// per-attempt RPC bound and zeroes peerTimeout, but this wait still
+	// needs a real deadline — at zero, any finalized op queued behind an
+	// earlier pending message would fail its FINAL immediately and the
+	// coordinator would spuriously abort the round.
+	pt := n.peerTimeout
+	if pt <= 0 {
+		pt = 2 * time.Second // the Config.PeerCallTimeout default
+	}
+	if !n.to.WaitDelivered(msg.ID, 10*pt) {
 		return nil, fmt.Errorf("%w: %s finalized but not yet applied on %s",
 			core.ErrRebalancing, msg.ID, n.cfg.ID)
 	}
