@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-rpc bench-cache cover verify chaos chaos-short doclint
+.PHONY: build test vet fmt race bench bench-rpc bench-cache bench-write cover verify chaos chaos-short doclint
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ race:
 
 # bench runs the telemetry-overhead spot check plus the RPC hot-path
 # microbenchmark suite (which refreshes BENCH_rpc.json).
-bench: bench-rpc bench-cache
+bench: bench-rpc bench-cache bench-write
 	$(GO) test -run '^$$' -bench 'BenchmarkInvokeTelemetry' -benchtime 2000x .
 
 # bench-rpc runs the wire-codec and RPC hot-path microbenchmarks and
@@ -48,23 +48,35 @@ bench-cache:
 	$(GO) run ./cmd/benchfmt < /tmp/bench_cache_raw.txt > BENCH_cache.json
 	@echo "wrote BENCH_cache.json"
 
+# bench-write runs the write-path group-commit benchmarks (parallel
+# hot-counter increments with batching off and on, plus a batch-size and
+# linger ablation) and commits their aggregate to BENCH_write.json via
+# cmd/benchfmt. DESIGN.md §5e explains the protocol being measured.
+bench-write:
+	$(GO) test -run '^$$' -bench 'BenchmarkWrite' \
+		-benchmem -count=5 ./internal/cluster/ > /tmp/bench_write_raw.txt
+	$(GO) run ./cmd/benchfmt < /tmp/bench_write_raw.txt > BENCH_write.json
+	@echo "wrote BENCH_write.json"
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
 # chaos runs the nemesis linearizability suite under the race detector:
-# seven seeded fault schedules (partitions, drop/delay, duplication,
-# crash/restart, combined, and both with the lease cache on) plus the
-# at-most-once blackhole regressions. Schedules are deterministic in
-# their seeds, so a failure reproduces.
+# nine seeded fault schedules (partitions, drop/delay, duplication,
+# crash/restart, combined, both with the lease cache on, and partition
+# and crash/restart with write batching on) plus the at-most-once
+# blackhole regressions. Schedules are deterministic in their seeds, so a
+# failure reproduces.
 chaos:
 	$(GO) test -race -count=1 -run 'TestNemesis|TestAtMostOnce' ./internal/chaos/
 
 # chaos-short is the verify-gate slice of the nemesis: one partition
-# schedule, one crash/restart schedule, and the cache-on partition
-# schedule (with its invalidation-blackhole window), shrunk by -short.
+# schedule, one crash/restart schedule, the cache-on partition schedule
+# (with its invalidation-blackhole window), and the group-commit partition
+# schedule (write batching on), shrunk by -short.
 chaos-short:
-	$(GO) test -race -count=1 -short -run 'TestNemesisPartition|TestNemesisCrashRestart|TestNemesisCachePartition' ./internal/chaos/
+	$(GO) test -race -count=1 -short -run 'TestNemesisPartition|TestNemesisCrashRestart|TestNemesisCachePartition|TestNemesisWriteBatchPartition' ./internal/chaos/
 
 # doclint fails when an exported identifier in the public API (the root
 # package) has no doc comment.

@@ -13,7 +13,10 @@
 // (functions, methods, types, consts, vars, and exported fields and
 // interface methods of documented types) that have no doc comment.
 // Grouped const/var blocks count as documented when the block has a doc
-// comment. Exit status is 1 when anything is undocumented.
+// comment. It also flags malformed comment lines written as "///" or
+// "// /", which compile fine but render in godoc with a stray leading
+// slash ("/ Registry overrides ..."). Exit status is 1 when anything is
+// undocumented or malformed.
 package main
 
 import (
@@ -71,10 +74,47 @@ func lintDir(dir string) ([]string, error) {
 			for _, decl := range file.Decls {
 				lintDecl(decl, report)
 			}
+			for _, group := range file.Comments {
+				for _, cm := range group.List {
+					if malformedComment(cm.Text) {
+						p := fset.Position(cm.Pos())
+						missing = append(missing, fmt.Sprintf(
+							"%s:%d: malformed comment %q renders with a stray leading slash in godoc",
+							filepath.ToSlash(p.Filename), p.Line, firstLine(cm.Text)))
+					}
+				}
+			}
 		}
 	}
 	sort.Strings(missing)
 	return missing, nil
+}
+
+// malformedComment reports whether a line comment was written as "///" or
+// "// /": both compile, but godoc strips only the leading "//" and renders
+// the line with a stray "/ " prefix. A slash immediately followed by text
+// (e.g. "// /metrics serves ...") is a URL path, not the malformation.
+func malformedComment(text string) bool {
+	if !strings.HasPrefix(text, "//") {
+		return false // block comments are out of scope
+	}
+	rest := strings.TrimLeft(text[2:], " \t")
+	if !strings.HasPrefix(rest, "/") {
+		return false
+	}
+	after := rest[1:]
+	return after == "" || strings.HasPrefix(after, " ") || strings.HasPrefix(after, "\t")
+}
+
+// firstLine truncates a comment's text for the report.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 60 {
+		s = s[:60] + "..."
+	}
+	return s
 }
 
 // lintDecl reports undocumented exported identifiers in one top-level

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintSource writes one source file into a temp package dir and lints it.
+func lintSource(t *testing.T, src string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing, err := lintDir(dir)
+	if err != nil {
+		t.Fatalf("lintDir: %v", err)
+	}
+	return missing
+}
+
+func TestLintFlagsUndocumentedExports(t *testing.T) {
+	missing := lintSource(t, `package x
+
+func Exported() {}
+
+// Documented is fine.
+func Documented() {}
+`)
+	if len(missing) != 1 || !strings.Contains(missing[0], "function Exported") {
+		t.Fatalf("want one finding for Exported, got %q", missing)
+	}
+}
+
+func TestLintFlagsMalformedSlashComments(t *testing.T) {
+	missing := lintSource(t, `package x
+
+/// Registry overrides the object type registry.
+var Registry int
+
+// / Telemetry enables instrumentation.
+var Telemetry int
+`)
+	if len(missing) != 2 {
+		t.Fatalf("want 2 malformed-comment findings, got %q", missing)
+	}
+	for _, m := range missing {
+		if !strings.Contains(m, "malformed comment") {
+			t.Fatalf("finding %q should name the malformed comment", m)
+		}
+	}
+}
+
+func TestLintAcceptsPathsAndDividers(t *testing.T) {
+	missing := lintSource(t, `package x
+
+// Handler serves /metrics and /debug/pprof on the admin port.
+// /metrics is the Prometheus endpoint.
+var Handler int
+
+//// divider-style comment banners stay legal
+var private int
+
+var _ = private
+`)
+	if len(missing) != 0 {
+		t.Fatalf("want no findings, got %q", missing)
+	}
+}
+
+func TestMalformedComment(t *testing.T) {
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"// normal", false},
+		{"/// Registry overrides", true},
+		{"// / Telemetry enables", true},
+		{"///", true},
+		{"// /metrics endpoint", false},
+		{"//// banner", false},
+		{"//", false},
+	}
+	for _, c := range cases {
+		if got := malformedComment(c.text); got != c.want {
+			t.Errorf("malformedComment(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}

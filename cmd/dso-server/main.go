@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"crucial/internal/core"
 	"crucial/internal/membership"
 	"crucial/internal/objects"
 	"crucial/internal/ring"
@@ -49,6 +50,9 @@ func run() int {
 		crashFor = flag.Duration("chaos-restart-after", 3*time.Second, "downtime before the supervisor revives a chaos-crashed node (restart is immediate)")
 		httpAddr = flag.String("http", "", "serve /metrics (Prometheus), /traces (trace-event JSON) and /debug/pprof on this address, e.g. :8080")
 		leaseTTL = flag.Duration("lease-ttl", 0, "enable the lease-based read path with this lease duration (e.g. 500ms); 0 disables leases")
+		wrBatch  = flag.Int("write-batch", 0, "group-commit batch size: coalesce up to this many concurrent writes per object into one ordering round; 0 disables batching")
+		wrDelay  = flag.Duration("write-delay", 0, "group-commit linger: hold a non-full batch this long for stragglers (requires -write-batch)")
+		wrPipe   = flag.Int("write-pipeline", 0, "group-commit pipeline depth: outstanding ordering rounds per object (default 2 when -write-batch is set)")
 		logSpec  = flag.String("log", "info", "log level spec: one level for all components (debug|info|warn|error) or component=level pairs")
 	)
 	flag.Parse()
@@ -100,6 +104,13 @@ func run() int {
 		logger.Info("observability endpoint up", "addr", *httpAddr,
 			"paths", "/metrics /traces /debug/pprof")
 	}
+	// The three -write-* flags round-trip the same core.WritePolicy struct
+	// the embedded runtime takes via Options.Write. -write-batch alone
+	// enables batching with the library's default pipeline depth.
+	write := core.WritePolicy{MaxBatch: *wrBatch, MaxDelay: *wrDelay, Pipeline: *wrPipe}
+	if write.Batching() && write.Pipeline <= 0 {
+		write.Pipeline = core.DefaultWritePolicy().Pipeline
+	}
 	cfg := server.Config{
 		ID:        ring.NodeID(*id),
 		Addr:      addr,
@@ -108,6 +119,7 @@ func run() int {
 		Directory: dir,
 		RF:        *rf,
 		LeaseTTL:  *leaseTTL,
+		Write:     write,
 		Telemetry: tel,
 	}
 	// The supervisor channel decouples the KindChaos RPC handler from the

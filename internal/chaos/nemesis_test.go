@@ -55,6 +55,12 @@ type nemesisOpts struct {
 	// from client-local copies and follower replicas, and the histories
 	// must STILL be linearizable under every fault in the plan.
 	cache bool
+	// write turns group commit on: concurrent mutations share ordering
+	// rounds (batched payloads, pipelined FINAL acks) and the per-sub-op
+	// at-most-once window is the only thing standing between a retried
+	// batch and a double-applied counter increment. Histories must stay
+	// linearizable with batching under every fault in the plan.
+	write bool
 	// plan builds the fault schedule from the cluster's node names.
 	plan func(nodes []string) chaos.Plan
 }
@@ -99,6 +105,11 @@ func runNemesis(t *testing.T, o nemesisOpts) (*chaos.Engine, *telemetry.Telemetr
 	if o.cache {
 		copts.LeaseTTL = 50 * time.Millisecond
 		copts.ClientCache = true
+	}
+	if o.write {
+		// Small batches and a short linger so rounds actually coalesce the
+		// 3-worker load while still cutting many distinct rounds per window.
+		copts.Write = core.WritePolicy{MaxBatch: 8, MaxDelay: time.Millisecond, Pipeline: 2}
 	}
 	cl, err := cluster.StartLocal(copts)
 	if err != nil {
@@ -374,6 +385,66 @@ func TestNemesisDuplicate(t *testing.T) {
 func TestNemesisCrashRestart(t *testing.T) {
 	runNemesis(t, nemesisOpts{
 		seed: 404,
+		plan: func(nodes []string) chaos.Plan {
+			s := spacing()
+			var steps []chaos.Step
+			for w := 0; w < windows(); w++ {
+				at := s * time.Duration(w)
+				victim := nodes[1+w%(len(nodes)-1)] // rotate over non-first nodes
+				steps = append(steps,
+					chaos.Step{At: at, Kind: chaos.ActCrash, Node: victim},
+					chaos.Step{At: at + s*3/4, Kind: chaos.ActRestart, Node: victim})
+			}
+			return chaos.Plan{Steps: steps}
+		},
+	})
+}
+
+// TestNemesisWriteBatchPartition runs the workload with group commit ON
+// (seed 505) under the partition schedule: concurrent mutations share
+// ordering rounds while partitions isolate the coordinator mid-round, so
+// retried writes land in *different* batches than their first attempt and
+// only the per-sub-operation at-most-once window keeps them applied once.
+// Every history must stay linearizable with batching enabled.
+func TestNemesisWriteBatchPartition(t *testing.T) {
+	_, tel := runNemesis(t, nemesisOpts{
+		seed:      505,
+		ephemeral: true,
+		write:     true,
+		plan: func(nodes []string) chaos.Plan {
+			s := spacing()
+			var steps []chaos.Step
+			for w := 0; w < windows(); w++ {
+				at := s * time.Duration(w)
+				victim := nodes[w%len(nodes)]
+				rest := make([]string, 0, len(nodes)-1)
+				for _, n := range nodes {
+					if n != victim {
+						rest = append(rest, n)
+					}
+				}
+				steps = append(steps,
+					chaos.Step{At: at, Kind: chaos.ActPartition,
+						Groups: [][]string{{victim}, rest}},
+					chaos.Step{At: at + s*3/4, Kind: chaos.ActHeal})
+			}
+			return chaos.Plan{Steps: steps}
+		},
+	})
+	if tel.Metrics().Counter(telemetry.MetServerBatches).Value() == 0 {
+		t.Error("group commit enabled but no batch round was ever cut")
+	}
+}
+
+// TestNemesisWriteBatchCrashRestart crashes nodes with group commit ON
+// (seed 707): a coordinator may die with batches queued and rounds in
+// flight, replicas must converge on the batched state, and the restarted
+// node's state transfer must hand back object versions advanced by whole
+// batches at a time.
+func TestNemesisWriteBatchCrashRestart(t *testing.T) {
+	runNemesis(t, nemesisOpts{
+		seed:  707,
+		write: true,
 		plan: func(nodes []string) chaos.Plan {
 			s := spacing()
 			var steps []chaos.Step

@@ -87,6 +87,15 @@ type Config struct {
 	// (server.Config.LeaseTTL > 0) for grants to succeed; against a
 	// lease-less cluster every read simply falls back to the remote path.
 	Cache *CacheConfig
+	// Write is the write-path policy applied to this client's
+	// connections, the mutation-side sibling of Cache/ReadReplicas. At
+	// the client the only transport-level knob is
+	// WritePolicy.DirectWrites (frame coalescing off for debugging);
+	// the batching knobs act server side, where the cluster applies the
+	// same struct to every node (server.Config.Write) — pass one policy
+	// through cluster.Options.Write or crucial.Options.Write and both
+	// halves stay in sync.
+	Write core.WritePolicy
 
 	// MaxRetries bounds total attempts per invocation.
 	//
@@ -158,6 +167,7 @@ type Client struct {
 	metrics      *telemetry.Registry
 	cCalls       *telemetry.Counter
 	cReroutes    *telemetry.Counter
+	cFlushes     *telemetry.Counter
 	hRPC         *telemetry.Histogram
 
 	// cache is the lease-based read cache; nil when Config.Cache is unset
@@ -196,6 +206,7 @@ func New(cfg Config) (*Client, error) {
 		c.metrics = cfg.Telemetry.Metrics()
 		c.cCalls = c.metrics.Counter(telemetry.MetClientCalls)
 		c.cReroutes = c.metrics.Counter(telemetry.MetClientReroutes)
+		c.cFlushes = c.metrics.Counter(telemetry.MetClientWriteFlushes)
 		c.hRPC = c.metrics.Histogram(telemetry.HistClientRPC)
 	}
 	if cfg.Cache != nil {
@@ -319,6 +330,7 @@ func (c *Client) dial(addr string) (*rpc.Client, error) {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	rc := rpc.NewClient(netConn)
+	rc.SetWritePolicy(c.cfg.Write)
 	if c.instrumented {
 		// The transport layer feeds the round-trip histogram directly, so
 		// it also covers server-side blocking time (barrier waits etc.).
@@ -326,6 +338,8 @@ func (c *Client) dial(addr string) (*rpc.Client, error) {
 		rc.SetObserver(func(_ uint8, rtt time.Duration, _ int, _ error) {
 			hRPC.Observe(rtt)
 		})
+		cFlushes := c.cFlushes
+		rc.SetFlushHook(func() { cFlushes.Inc() })
 	}
 	conns := make(map[string]*rpc.Client, len(cur.conns)+1)
 	for a, cl := range cur.conns {

@@ -77,6 +77,11 @@ type Options struct {
 	// ClientCacheObjects bounds resident entries per client cache
 	// (default 1024).
 	ClientCacheObjects int
+	// Write is the group-commit policy for the SMR write path, applied to
+	// every node (server.Config.Write) and every client from NewClient
+	// (client.Config.Write). The zero value keeps the classic
+	// one-round-per-mutation path; see core.WritePolicy.
+	Write core.WritePolicy
 }
 
 // Cluster is a running DSO deployment.
@@ -180,6 +185,7 @@ func (c *Cluster) nodeConfig(id ring.NodeID) server.Config {
 		ServiceConcurrency: c.opts.ServiceConcurrency,
 		PeerCallTimeout:    c.opts.PeerCallTimeout,
 		LeaseTTL:           c.opts.LeaseTTL,
+		Write:              c.opts.Write,
 		Telemetry:          c.opts.Telemetry,
 		Chaos:              c.opts.Chaos,
 	}
@@ -279,6 +285,7 @@ func (c *Cluster) NewClient() (*client.Client, error) {
 		Profile:        c.profile,
 		Retry:          c.opts.ClientRetry,
 		AttemptTimeout: c.opts.ClientAttemptTimeout,
+		Write:          c.opts.Write,
 		Telemetry:      c.opts.Telemetry,
 	}
 	if c.opts.LeaseTTL > 0 {

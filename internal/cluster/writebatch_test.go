@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crucial/internal/client"
+	"crucial/internal/core"
+	"crucial/internal/objects"
+	"crucial/internal/telemetry"
+)
+
+// Group-commit integration tests: the same concurrent hot-counter load the
+// write benchmark drives, but checked for exactness — every increment must
+// land exactly once no matter how the batcher slices the stream into
+// rounds — plus the observability contract (DESIGN.md §5e).
+
+// hammerCounter runs workers*perWorker stamped increments of one
+// persistent counter through nclients clients and returns the final value.
+func hammerCounter(t *testing.T, c *Cluster, workers, perWorker, nclients int) int64 {
+	t.Helper()
+	clients := make([]*client.Client, nclients)
+	var err error
+	for i := range clients {
+		if clients[i], err = c.NewClient(); err != nil {
+			t.Fatal(err)
+		}
+		defer clients[i].Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: "wb/counter"}
+	if _, err := clients[0].InvokeObject(ctx, core.Invocation{
+		Ref: ref, Method: "Set", Args: []any{int64(0)}, Persist: true}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		cl := clients[w%nclients]
+		go func() {
+			defer wg.Done()
+			inc := core.Invocation{Ref: ref, Method: "IncrementAndGet", Persist: true}
+			for i := 0; i < perWorker; i++ {
+				if _, err := cl.InvokeObject(ctx, inc); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	out, err := clients[0].InvokeObject(ctx, core.Invocation{
+		Ref: ref, Method: "Get", Persist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out[0].(int64)
+}
+
+// TestWriteBatchingExactlyOnce floods one counter through group commit and
+// checks the final value: a batcher that dropped a queued write, applied
+// one twice (e.g. a retry landing in a second batch after its first round
+// already delivered), or mixed up per-sub-operation results would be off.
+func TestWriteBatchingExactlyOnce(t *testing.T) {
+	tel := telemetry.New()
+	c, err := StartLocal(Options{
+		Nodes:     3,
+		RF:        2,
+		Telemetry: tel,
+		Write:     core.WritePolicy{MaxBatch: 8, MaxDelay: 200 * time.Microsecond, Pipeline: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const workers, perWorker = 24, 25
+	if got := hammerCounter(t, c, workers, perWorker, 4); got != workers*perWorker {
+		t.Fatalf("counter = %d after %d increments", got, workers*perWorker)
+	}
+
+	m := tel.Metrics()
+	batches := m.Counter(telemetry.MetServerBatches).Value()
+	rounds := m.Counter(telemetry.MetServerSMRRounds).Value()
+	if batches == 0 {
+		t.Error("no batch round was cut despite batching enabled")
+	}
+	if rounds > workers*perWorker {
+		t.Errorf("%d ordering rounds for %d ops: batching amortized nothing", rounds, workers*perWorker)
+	}
+}
+
+// TestWriteBatchingDisabledByDefault pins the compatibility contract: the
+// zero Options keep the classic one-round-per-mutation path, so existing
+// deployments see no behavior change until they opt in.
+func TestWriteBatchingDisabledByDefault(t *testing.T) {
+	tel := telemetry.New()
+	c, err := StartLocal(Options{Nodes: 3, RF: 2, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := hammerCounter(t, c, 8, 5, 2); got != 40 {
+		t.Fatalf("counter = %d after 40 increments", got)
+	}
+	if n := tel.Metrics().Counter(telemetry.MetServerBatches).Value(); n != 0 {
+		t.Errorf("zero WritePolicy cut %d batch rounds, want the classic path", n)
+	}
+}
+
+// TestWriteBatchingMetrics checks the observability contract on /metrics:
+// the batch-size histogram exports unitless as crucial_server_batch_size,
+// the round counter as crucial_server_batches_total, and the client-side
+// flush counter as crucial_client_write_flushes_total.
+func TestWriteBatchingMetrics(t *testing.T) {
+	tel := telemetry.New()
+	c, err := StartLocal(Options{
+		Nodes:     3,
+		RF:        2,
+		Telemetry: tel,
+		Write:     core.WritePolicy{MaxBatch: 16, Pipeline: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hammerCounter(t, c, 16, 10, 2)
+
+	var b strings.Builder
+	if err := telemetry.WritePrometheus(&b, tel.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	exp := b.String()
+	for _, want := range []string{
+		"crucial_server_batches_total",
+		"crucial_server_batch_size_bucket",
+		"crucial_server_batch_size_count",
+		"crucial_client_write_flushes_total",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("prometheus exposition lacks %s", want)
+		}
+	}
+	if strings.Contains(exp, "crucial_server_batch_size_seconds") {
+		t.Error("batch-size histogram exported with a _seconds suffix: it is unitless")
+	}
+}

@@ -41,6 +41,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"crucial/internal/core"
 )
 
 const (
@@ -137,6 +139,18 @@ type connWriter struct {
 	// conn.Write under the lock (the pre-coalescing behavior, kept for
 	// A/B benchmarks and debugging).
 	direct bool
+	// onFlush, when non-nil, runs after every conn.Write that carried
+	// frames out (one call per flush, not per frame), under mu — it must
+	// be cheap and non-blocking. The DSO client uses it to count write
+	// flushes for the client.write_flushes metric.
+	onFlush func()
+}
+
+// flushed reports one completed conn.Write to the hook. Callers hold mu.
+func (w *connWriter) flushed() {
+	if w.onFlush != nil {
+		w.onFlush()
+	}
 }
 
 func (w *connWriter) write(f frame) error {
@@ -154,6 +168,8 @@ func (w *connWriter) write(f frame) error {
 		_, err := w.conn.Write(w.buf)
 		if err != nil {
 			w.fail(err)
+		} else {
+			w.flushed()
 		}
 		w.mu.Unlock()
 		return err
@@ -175,6 +191,8 @@ func (w *connWriter) write(f frame) error {
 		w.mu.Lock()
 		if err != nil {
 			w.fail(err)
+		} else {
+			w.flushed()
 		}
 		if cap(out) <= maxPooledBuffer {
 			w.spare = out[:0]
@@ -422,14 +440,42 @@ func NewClient(conn net.Conn) *Client {
 	return c
 }
 
-// SetWriteCoalescing toggles batching of concurrent writes into single
-// conn.Write calls. It is meant to be set right after NewClient (A/B
-// benchmarking, debugging); flipping it mid-traffic is safe but the
-// switch is not synchronized with in-flight writes.
-func (c *Client) SetWriteCoalescing(enable bool) {
+// SetWritePolicy applies a write policy's transport-level knob to this
+// connection: core.WritePolicy.DirectWrites (MaxBatch < 0) reverts frame
+// coalescing to one conn.Write per frame, any other policy keeps
+// coalescing on. The batching knobs themselves (MaxBatch, MaxDelay,
+// Pipeline) act one layer up, on the SMR ordering path — the rpc layer
+// only honors the debug escape hatch. Meant to be set right after
+// NewClient; flipping it mid-traffic is safe but the switch is not
+// synchronized with in-flight writes.
+func (c *Client) SetWritePolicy(p core.WritePolicy) {
 	c.w.mu.Lock()
-	c.w.direct = !enable
+	c.w.direct = p.DirectWrites()
 	c.w.mu.Unlock()
+}
+
+// SetFlushHook installs fn to run after every completed write flush on
+// this connection (one call per conn.Write, which may carry many frames).
+// fn runs under the writer lock and must be cheap; pass nil to remove.
+func (c *Client) SetFlushHook(fn func()) {
+	c.w.mu.Lock()
+	c.w.onFlush = fn
+	c.w.mu.Unlock()
+}
+
+// SetWriteCoalescing toggles batching of concurrent writes into single
+// conn.Write calls.
+//
+// Deprecated: use SetWritePolicy — SetWriteCoalescing(false) is
+// SetWritePolicy(core.WritePolicy{MaxBatch: -1}), SetWriteCoalescing(true)
+// is the zero policy. Kept as a shim so existing A/B benchmarks and tests
+// keep working.
+func (c *Client) SetWriteCoalescing(enable bool) {
+	if enable {
+		c.SetWritePolicy(core.WritePolicy{})
+	} else {
+		c.SetWritePolicy(core.WritePolicy{MaxBatch: -1})
+	}
 }
 
 // Dial connects over TCP and returns a client.

@@ -247,6 +247,54 @@ func (n *Node) execOn(ctx context.Context, e *entry, inv core.Invocation) ([]any
 	return results, e.version, err
 }
 
+// execBatchOn applies a delivered group-commit batch under one monitor
+// acquisition: the transferring check runs once, then every
+// sub-invocation is individually dedup-checked, executed, version-bumped
+// and dedup-recorded — the same per-operation sequence as execOn, minus
+// N-1 lock round trips. Per-sub version bumps (rather than one per batch)
+// keep this copy's apply version comparable across replicas regardless of
+// how each coordinator happened to slice the same operation stream into
+// batches, and a dedup replay inside a batch skips its bump exactly like
+// a replayed single. The returned version is the copy's apply version
+// after the last sub-operation, read in the same critical section. The
+// batch-level error is only ErrRebalancing (copy mid-transfer): nothing
+// has executed at that point, so skipping the whole round is sound.
+func (n *Node) execBatchOn(ctx context.Context, e *entry, invs []core.Invocation) ([]subResult, uint64, error) {
+	var acquire time.Time
+	if n.instrumented {
+		acquire = time.Now()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n.instrumented {
+		telemetry.SpanFromContext(ctx).AddTiming(telemetry.TimingAcquire, time.Since(acquire))
+	}
+	if e.transferring {
+		return nil, e.version, core.ErrRebalancing
+	}
+	res := make([]subResult, len(invs))
+	for i, inv := range invs {
+		if results, err, ok := n.dedupLookupLocked(ctx, e, inv); ok {
+			res[i] = subResult{results: results, err: err}
+			continue
+		}
+		var execStart time.Time
+		if n.instrumented {
+			execStart = time.Now()
+		}
+		results, err := e.obj.Call(nodeCtl{n: n, e: e, ctx: ctx}, inv.Method, inv.Args)
+		if !inv.ReadOnly {
+			e.version++
+		}
+		if n.instrumented {
+			n.hExec.Observe(time.Since(execStart))
+		}
+		n.dedupRecordLocked(e, inv, results, err)
+		res[i] = subResult{results: results, err: err}
+	}
+	return res, e.version, nil
+}
+
 // lookupExisting returns the resident entry for ref without materializing
 // one. SMR delivery uses it to distinguish "apply to my copy" from "I have
 // no base copy for this object" (see deliverSMR).

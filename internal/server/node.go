@@ -105,6 +105,14 @@ type Config struct {
 	// worst-case write stall behind an unreachable lease holder; longer
 	// TTLs amortize more reads per grant.
 	LeaseTTL time.Duration
+	// Write is the group-commit policy for the SMR write path (DESIGN.md
+	// §5e): with WritePolicy.Batching() true, concurrent mutations of one
+	// object coalesce into shared ordering rounds of up to MaxBatch
+	// stamped invocations, with up to Pipeline rounds in flight per
+	// object. The zero value keeps the classic one-round-per-write path.
+	// The same struct configures every layer (crucial.Options.Write,
+	// cluster.Options.Write, client.Config.Write, dso-server flags).
+	Write core.WritePolicy
 	// PeerCallTimeout bounds each inter-node RPC attempt (Skeen control
 	// messages, state transfers). Without it, a frame lost in the network
 	// blocks the coordinator forever and its orphaned proposal wedges the
@@ -199,6 +207,14 @@ type Node struct {
 	finalVerMu sync.Mutex
 	finalVers  map[totalorder.MsgID]map[ring.NodeID]uint64
 
+	// batcher is the group-commit submit queue (nil when Config.Write
+	// disables batching: the classic write path runs untouched), and
+	// batchWaiters completes coordinated batch rounds on in-order
+	// delivery, the batch analogue of waiters.
+	batcher      *writeBatcher
+	batchWaitMu  sync.Mutex
+	batchWaiters map[totalorder.MsgID]chan batchOutcome
+
 	// leases is the lease table (nil when Config.LeaseTTL is zero: the
 	// read path and the write hooks are disabled at zero cost).
 	leases *leaseTable
@@ -236,6 +252,9 @@ type Node struct {
 	cLeaseExpiryWaits *telemetry.Counter
 	cFollowerReads    *telemetry.Counter
 	cLocalReads       *telemetry.Counter
+
+	cBatches   *telemetry.Counter
+	hBatchSize *telemetry.Histogram
 }
 
 // Start launches the node: it listens on cfg.Addr, joins the directory and
@@ -282,8 +301,13 @@ func Start(cfg Config) (*Node, error) {
 	n.cLeaseExpiryWaits = n.metrics.Counter(telemetry.MetServerLeaseExpiryWts)
 	n.cFollowerReads = n.metrics.Counter(telemetry.MetServerFollowerReads)
 	n.cLocalReads = n.metrics.Counter(telemetry.MetServerLocalReads)
+	n.cBatches = n.metrics.Counter(telemetry.MetServerBatches)
+	n.hBatchSize = n.metrics.Histogram(telemetry.HistServerBatchSize)
 	if cfg.LeaseTTL > 0 {
 		n.leases = newLeaseTable(n, cfg.LeaseTTL)
+	}
+	if cfg.Write.Batching() {
+		n.batcher = newWriteBatcher(n, cfg.Write)
 	}
 	n.to = totalorder.NewNode(string(cfg.ID), n.deliverSMR)
 	switch {
@@ -395,6 +419,12 @@ func (n *Node) shutdown() error {
 	// would stall the shutdown — and everything sequenced after it — for
 	// seconds.
 	n.to.Close()
+	if n.batcher != nil {
+		// Queued-but-unflushed writes fail with ErrStopped; rounds already
+		// in flight run out against the closing transport under their own
+		// deadline.
+		n.batcher.close()
+	}
 	if n.unsubscribe != nil {
 		n.unsubscribe()
 	}

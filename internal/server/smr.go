@@ -67,6 +67,13 @@ type proposeMsg struct {
 const (
 	smrOpExisting byte = 0 // the coordinator already held the object
 	smrOpGenesis  byte = 1 // first-ever op: replicas may create it fresh
+	// Group-commit rounds (see batch.go): the body is a totalorder batch
+	// container of N encoded invocations, all targeting one ref. The
+	// genesis distinction carries over from the single-op prefixes and
+	// applies to the batch as a whole — residency was checked once by the
+	// coordinator before the round.
+	smrOpBatch        byte = 2
+	smrOpBatchGenesis byte = 3
 )
 
 type finalMsg struct {
@@ -105,6 +112,14 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 		// the read linearizes at its execution under the object monitor.
 		return results, err
 	}
+	if n.batcher != nil && !inv.ReadOnly {
+		// Group commit (Config.Write): the mutation joins a per-ref batch
+		// and shares one ordering round, one lease fence and one monitor
+		// acquisition with its concurrent neighbors. Everything below is
+		// the classic one-round-per-op path, kept verbatim for disabled
+		// policies and for the read-only rounds of lease-less clusters.
+		return n.submitBatched(ctx, inv)
+	}
 	if n.leases != nil && !inv.ReadOnly {
 		// Revoke-before-commit: block new grants, synchronously invalidate
 		// every cached copy and follower lease, and only then order the
@@ -117,37 +132,13 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 		defer done()
 	}
 
-	_, resident := n.lookupExisting(inv.Ref)
-	if (!resident || n.isStale(inv.Ref)) && len(group) > 1 {
-		// The primary holds no copy, or holds one marked behind the
-		// committed history (a delivery was skipped before its base
-		// installed). A miss is either a genuinely new object or one whose
-		// hand-off transfer never reached us (the view changed while we
-		// were partitioned, or the pusher died mid-transfer). Creating a
-		// fresh object in the second case would silently discard all prior
-		// state — and coordinating on a stale copy would ack results
-		// computed on state missing acknowledged ops. Ask the other
-		// replicas for a copy first; only a unanimous miss is creation.
-		installed, busy := n.pullObject(ctx, inv.Ref, group)
-		if installed {
-			resident = true
-		}
-		if !resident && busy {
-			// A peer holds a copy but has in-flight ops for it; adopting a
-			// snapshot now would miss them. Bounce the client to retry once
-			// they settle.
-			return nil, fmt.Errorf("%w: %s busy at a peer", core.ErrRebalancing, inv.Ref)
-		}
-		if n.isStale(inv.Ref) {
-			// The pull could not prove the local copy current (no peer
-			// reachable, or every candidate busy). Bounce rather than ack
-			// a write computed on a possibly-behind copy.
-			return nil, fmt.Errorf("%w: %s stale on %s", core.ErrRebalancing, inv.Ref, n.cfg.ID)
-		}
+	genesis, err := n.ensureCoordinatorCopy(ctx, inv.Ref, group)
+	if err != nil {
+		return nil, err
 	}
-	flag := smrOpGenesis
-	if resident {
-		flag = smrOpExisting
+	flag := smrOpExisting
+	if genesis {
+		flag = smrOpGenesis
 	}
 
 	encInv, err := core.EncodeInvocation(inv)
@@ -213,6 +204,42 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// ensureCoordinatorCopy makes sure this node may safely coordinate an
+// ordering round for ref, and reports whether the round must be flagged
+// genesis. The single-op path and the group-commit flush share it; for a
+// batch it runs once per round, not per write.
+func (n *Node) ensureCoordinatorCopy(ctx context.Context, ref core.Ref, group []ring.NodeID) (genesis bool, err error) {
+	_, resident := n.lookupExisting(ref)
+	if (!resident || n.isStale(ref)) && len(group) > 1 {
+		// The primary holds no copy, or holds one marked behind the
+		// committed history (a delivery was skipped before its base
+		// installed). A miss is either a genuinely new object or one whose
+		// hand-off transfer never reached us (the view changed while we
+		// were partitioned, or the pusher died mid-transfer). Creating a
+		// fresh object in the second case would silently discard all prior
+		// state — and coordinating on a stale copy would ack results
+		// computed on state missing acknowledged ops. Ask the other
+		// replicas for a copy first; only a unanimous miss is creation.
+		installed, busy := n.pullObject(ctx, ref, group)
+		if installed {
+			resident = true
+		}
+		if !resident && busy {
+			// A peer holds a copy but has in-flight ops for it; adopting a
+			// snapshot now would miss them. Bounce the client to retry once
+			// they settle.
+			return false, fmt.Errorf("%w: %s busy at a peer", core.ErrRebalancing, ref)
+		}
+		if n.isStale(ref) {
+			// The pull could not prove the local copy current (no peer
+			// reachable, or every candidate busy). Bounce rather than ack
+			// a write computed on a possibly-behind copy.
+			return false, fmt.Errorf("%w: %s stale on %s", core.ErrRebalancing, ref, n.cfg.ID)
+		}
+	}
+	return !resident, nil
 }
 
 // checkRoundVersions is the coordinator's fork check, run after its own
@@ -281,6 +308,9 @@ func (n *Node) checkRoundVersions(ref core.Ref, id totalorder.MsgID, local uint6
 // Deterministic method errors still count as applied: every replica
 // executes them identically, so the copies agree.
 func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) bool {
+	if isBatchPayload(payload) {
+		return n.deliverSMRBatch(id, payload)
+	}
 	n.inflight.settle(id)
 	var results []any
 	var version uint64
@@ -341,24 +371,8 @@ func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) bool {
 		ch <- smrResult{results: results, err: err, version: version}
 	} else if versionKnown {
 		// Member side: remember the post-apply version for the FINAL reply
-		// (see handleFinal). Bounded: an apply whose FINAL handler already
-		// gave up waiting leaves an orphan entry, so the map is pruned
-		// arbitrarily past a cap — a pruned entry only downgrades the
-		// coordinator's version comparison to "unknown", never corrupts it.
-		n.applyVerMu.Lock()
-		if n.applyVers == nil {
-			n.applyVers = make(map[totalorder.MsgID]uint64)
-		}
-		if len(n.applyVers) > 4096 {
-			for k := range n.applyVers {
-				delete(n.applyVers, k)
-				if len(n.applyVers) <= 2048 {
-					break
-				}
-			}
-		}
-		n.applyVers[id] = version
-		n.applyVerMu.Unlock()
+		// (see handleFinal and recordApplyVersion).
+		n.recordApplyVersion(id, version)
 	}
 	// Rebalancing-class failures (no base copy, copy mid-transfer) mean
 	// the op did not reach this copy; anything else is a deterministic
@@ -366,9 +380,115 @@ func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) bool {
 	return err == nil || !errors.Is(err, core.ErrRebalancing)
 }
 
+// deliverSMRBatch applies one totally-ordered group-commit round: every
+// sub-invocation of the batch, in payload order, to the local copy under a
+// single member write fence and a single monitor acquisition. The
+// correctness story is per sub-operation exactly as for singles — each is
+// individually dedup-checked and dedup-recorded, so a retried write that
+// lands in a later batch replays instead of re-executing, and duplicate
+// delivery of the whole batch is impossible (one MsgID, and the protocol
+// layer delivers each id at most once). The batch applies all-or-nothing
+// with respect to rebalancing-class failures (missing base copy, fence
+// failure, mid-transfer copy): those void the round before any
+// sub-operation runs, so the single applied verdict the protocol layer
+// expects remains sound; deterministic method errors of individual
+// sub-operations count as applied, as every replica reproduces them.
+func (n *Node) deliverSMRBatch(id totalorder.MsgID, payload []byte) bool {
+	n.inflight.settle(id)
+	var out batchOutcome
+	versionKnown := false
+	genesis, invs, err := splitSMRBatchPayload(payload)
+	if err != nil {
+		out.err = err
+	} else {
+		ref := invs[0].Ref
+		e, resident := n.lookupExisting(ref)
+		switch {
+		case !resident && !genesis:
+			// Same as the single-op skip: no base copy, applying would
+			// fork the lineage. The whole batch is skipped and the copy
+			// healed in the background.
+			n.log.Debug("skipping committed batch without base copy",
+				"ref", ref.String(), "origin", id.Origin, "ops", len(invs))
+			out.err = fmt.Errorf("%w: %s has no base copy on %s",
+				core.ErrRebalancing, ref, n.cfg.ID)
+			n.markStale(ref)
+			go n.selfHeal(ref)
+		default:
+			if !resident {
+				e, out.err = n.lookupOrCreate(invs[0])
+			}
+			if out.err == nil {
+				// Fence amortization: one member-side revocation round
+				// covers every write of the batch — leases must be dead
+				// before the first sub-op applies, and grants resume only
+				// after the last.
+				release, ferr := n.memberWriteFence(id.Origin, invs[0])
+				if ferr != nil {
+					n.markStale(ref)
+					go n.selfHeal(ref)
+					out.err = ferr
+				} else {
+					out.res, out.version, out.err = n.execBatchOn(context.Background(), e, invs)
+					versionKnown = out.err == nil
+					release()
+					n.log.Debug("smr batch applied", "ref", ref.String(),
+						"id", id.String(), "ops", len(invs), "version", out.version)
+				}
+			}
+		}
+	}
+	n.batchWaitMu.Lock()
+	ch, ok := n.batchWaiters[id]
+	n.batchWaitMu.Unlock()
+	if ok {
+		ch <- out
+	} else if versionKnown {
+		// Member side: the post-batch version feeds the FINAL reply's fork
+		// check, same bookkeeping as a single op (see deliverSMR).
+		n.recordApplyVersion(id, out.version)
+	}
+	return out.err == nil || !errors.Is(out.err, core.ErrRebalancing)
+}
+
+// recordApplyVersion remembers a member-side post-apply version for the
+// FINAL reply (see handleFinal). Bounded: an apply whose FINAL handler
+// already gave up waiting leaves an orphan entry, so the map is pruned
+// arbitrarily past a cap — a pruned entry only downgrades the
+// coordinator's version comparison to "unknown", never corrupts it.
+func (n *Node) recordApplyVersion(id totalorder.MsgID, version uint64) {
+	n.applyVerMu.Lock()
+	if n.applyVers == nil {
+		n.applyVers = make(map[totalorder.MsgID]uint64)
+	}
+	if len(n.applyVers) > 4096 {
+		for k := range n.applyVers {
+			delete(n.applyVers, k)
+			if len(n.applyVers) <= 2048 {
+				break
+			}
+		}
+	}
+	n.applyVers[id] = version
+	n.applyVerMu.Unlock()
+}
+
 // refOfSMRPayload extracts the target object of an SMR payload, for the
-// in-flight conflict check on the propose path (see inflightTracker).
+// in-flight conflict check on the propose path (see inflightTracker). A
+// batch decodes to its first sub-invocation's ref — all sub-operations of
+// a round share one object by construction.
 func refOfSMRPayload(payload []byte) (core.Ref, error) {
+	if isBatchPayload(payload) {
+		parts, err := totalorder.SplitBatch(payload[1:])
+		if err != nil {
+			return core.Ref{}, err
+		}
+		inv, err := core.DecodeInvocation(parts[0])
+		if err != nil {
+			return core.Ref{}, err
+		}
+		return inv.Ref, nil
+	}
 	_, body, err := splitSMRPayload(payload)
 	if err != nil {
 		return core.Ref{}, err
@@ -378,6 +498,37 @@ func refOfSMRPayload(payload []byte) (core.Ref, error) {
 		return core.Ref{}, err
 	}
 	return inv.Ref, nil
+}
+
+// isBatchPayload reports whether an SMR payload carries a group-commit
+// batch container rather than a single invocation.
+func isBatchPayload(payload []byte) bool {
+	return len(payload) > 0 && (payload[0] == smrOpBatch || payload[0] == smrOpBatchGenesis)
+}
+
+// splitSMRBatchPayload decodes a group-commit payload into its genesis
+// flag and sub-invocations. All sub-invocations must target the same ref;
+// a mixed batch is a protocol violation and voids the round.
+func splitSMRBatchPayload(payload []byte) (genesis bool, invs []core.Invocation, err error) {
+	if !isBatchPayload(payload) {
+		return false, nil, fmt.Errorf("server: not an smr batch payload")
+	}
+	genesis = payload[0] == smrOpBatchGenesis
+	parts, err := totalorder.SplitBatch(payload[1:])
+	if err != nil {
+		return false, nil, err
+	}
+	invs = make([]core.Invocation, len(parts))
+	for i, p := range parts {
+		if invs[i], err = core.DecodeInvocation(p); err != nil {
+			return false, nil, fmt.Errorf("server: batch part %d: %w", i, err)
+		}
+		if invs[i].Ref != invs[0].Ref {
+			return false, nil, fmt.Errorf("server: batch mixes refs %s and %s",
+				invs[0].Ref, invs[i].Ref)
+		}
+	}
+	return genesis, invs, nil
 }
 
 // splitSMRPayload strips the genesis prefix from an SMR payload.

@@ -223,6 +223,13 @@ func attribute(n *Node, cats map[string]time.Duration) {
 		take(CatMonitorWait, n.Span.Timings[telemetry.TimingMonitor])
 		take(CatSMR, n.Span.Timings[telemetry.TimingSMR])
 		cats[CatExec] += self
+	case telemetry.SpanSMRBatch:
+		// A group-commit round is ordering work end to end — fence,
+		// multicast, in-order delivery of the whole batch — so its self
+		// time lands in smr_order rather than other. Per-sub-operation
+		// server.invoke spans still carry their own smr_order timing for
+		// the time each caller waited on the round.
+		cats[CatSMR] += self
 	default:
 		cats[CatOther] += self
 	}

@@ -152,6 +152,19 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// ObserveValue records one unitless sample (a size or count rather than a
+// latency) by mapping value v onto the microsecond bucket scale: bucket
+// bounds become plain powers of two of the value. Histograms fed this way
+// should be named with a ".size" suffix — the Prometheus exporter renders
+// those without the _seconds unit and with raw-value bucket bounds, and
+// human-readable dumps print their stats as values, not durations.
+func (h *Histogram) ObserveValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Observe(time.Duration(v) * time.Microsecond)
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
+	"time"
 )
 
 // Prometheus text-format exposition (version 0.0.4), the format every
@@ -69,11 +71,25 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
+		if sizeHistogram(name) {
+			if err := writePromSizeHistogram(w, promName(name), s.Histograms[name]); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := writePromHistogram(w, promName(name)+"_seconds", s.Histograms[name]); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// sizeHistogram reports whether a registry histogram holds unitless values
+// (fed via Histogram.ObserveValue) rather than latencies. The convention
+// is the name suffix: *.size histograms (e.g. server.batch_size) are
+// exported without the _seconds unit and with raw-value bucket bounds.
+func sizeHistogram(name string) bool {
+	return strings.HasSuffix(name, ".size") || strings.HasSuffix(name, "_size")
 }
 
 // writePromHistogram emits one histogram family. Trailing all-zero buckets
@@ -102,5 +118,35 @@ func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
 	}
 	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
 		name, promFloat(h.Sum.Seconds()), name, h.Count)
+	return err
+}
+
+// writePromSizeHistogram emits a unitless histogram family: bucket bounds
+// and the sum are raw values (ObserveValue maps value v to the v-microsecond
+// bucket, so dividing the duration scale back by a microsecond recovers
+// them exactly).
+func writePromSizeHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	last := -1
+	for i, c := range h.Buckets {
+		if c > 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += h.Buckets[i]
+		le := promFloat(float64(bucketUpper(i) / time.Microsecond))
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		name, promFloat(float64(h.Sum/time.Microsecond)), name, h.Count)
 	return err
 }

@@ -114,6 +114,18 @@ const (
 	MetServerFollowerReads  = "server.follower_reads"
 	MetServerLocalReads     = "server.local_reads"
 
+	// Group-commit write path (DESIGN.md §5e). Batches is ordering rounds
+	// that carried a coalesced batch (crucial_server_batches_total);
+	// batch_size is a unitless size histogram — the *.size suffix selects
+	// value semantics, see Histogram.ObserveValue — of sub-operations per
+	// round (crucial_server_batch_size); write_flushes counts completed
+	// frame flushes on a DSO client's connections
+	// (crucial_client_write_flushes_total), the transport-level half of
+	// the same amortization story.
+	MetServerBatches      = "server.batches"
+	HistServerBatchSize   = "server.batch_size"
+	MetClientWriteFlushes = "client.write_flushes"
+
 	// Chaos engine (fault injection). Exported on /metrics as
 	// crucial_chaos_*_total.
 	MetChaosFramesDropped    = "chaos.frames_dropped"
@@ -133,6 +145,12 @@ const (
 	SpanFaaSInvoke   = "faas.invoke"
 	SpanClientInvoke = "client.invoke"
 	SpanServerInvoke = "server.invoke"
+	// SpanSMRBatch wraps one group-commit ordering round on the
+	// coordinator: the lease fence, the multicast and the wait for the
+	// batch's in-order delivery. It is recorded once per batch (not per
+	// sub-operation) with AttrBatchSize, and the stages report attributes
+	// its self time to the smr_order category.
+	SpanSMRBatch = "server.smr_batch"
 	// SpanChaosFault is the marker span the chaos engine records per
 	// injected fault, so trace dumps show what the workload survived.
 	SpanChaosFault = "chaos.fault"
@@ -148,7 +166,10 @@ const (
 	AttrObjectKey  = "object_key"
 	AttrMethod     = "method"
 	AttrPath       = "path" // "local" or "smr"
-	AttrError      = "error"
+	// AttrBatchSize tags a server.smr_batch span with the number of
+	// sub-operations its round carried.
+	AttrBatchSize = "batch_size"
+	AttrError     = "error"
 	// AttrChaos tags a span touched by fault injection: "replayed" on a
 	// server.invoke answered from the dedup window, the fault kind on
 	// chaos.fault markers and faas.invoke spans that hit an injector.

@@ -21,6 +21,20 @@ import (
 // to the DSO layer, and runs it (paper Section 5).
 const RunnerFunction = "crucial-runner"
 
+// WritePolicy configures group commit on the SMR write path: how many
+// concurrent mutations of one object may share a single ordering round
+// (MaxBatch), how long a round may linger for stragglers (MaxDelay), and
+// how many rounds per object may be pipelined (Pipeline). It is an alias
+// of core.WritePolicy, the single policy type threaded through
+// Options.Write, cluster.Options.Write, server.Config.Write and
+// client.Config.Write. The zero value disables batching.
+type WritePolicy = core.WritePolicy
+
+// DefaultWritePolicy returns the tested group-commit defaults
+// (MaxBatch 64, no linger, pipeline depth 2). A convenience re-export of
+// core.DefaultWritePolicy.
+func DefaultWritePolicy() WritePolicy { return core.DefaultWritePolicy() }
+
 // Options configures a local runtime: an in-process FaaS platform plus an
 // in-process DSO cluster wired over an in-memory network.
 type Options struct {
@@ -58,6 +72,13 @@ type Options struct {
 	// and the master thread answer read-only calls on leased objects
 	// locally, without any network round trip.
 	ClientCache bool
+	// Write is the group-commit policy for the SMR write path (DESIGN.md
+	// §5e): concurrent mutations of one object coalesce into shared
+	// ordering rounds, bounded by Write.MaxBatch and Write.MaxDelay, with
+	// up to Write.Pipeline rounds in flight per object. The zero value
+	// keeps the classic one-round-per-mutation path; DefaultWritePolicy()
+	// enables batching with tested defaults.
+	Write WritePolicy
 	// Telemetry, when non-nil, turns on end-to-end instrumentation: every
 	// layer (cloud threads, FaaS platform, DSO client and servers) records
 	// spans and metrics into this one bundle. Nil (the default) disables
@@ -145,6 +166,7 @@ func NewLocalRuntime(opts Options) (*Runtime, error) {
 		Telemetry:   opts.Telemetry,
 		LeaseTTL:    opts.LeaseTTL,
 		ClientCache: opts.ClientCache && opts.LeaseTTL > 0,
+		Write:       opts.Write,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("crucial: start DSO cluster: %w", err)
