@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-rpc bench-cache bench-write cover verify chaos chaos-short doclint
+.PHONY: build test vet fmt race bench bench-rpc bench-cache bench-write cover verify chaos chaos-short doclint alloc-guard
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,8 @@ bench-rpc:
 		./internal/rpc/ >> /tmp/bench_rpc_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkInvokeObject' -benchmem -count=5 \
 		./internal/client/ >> /tmp/bench_rpc_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkTrackerObserve' -benchmem -count=5 \
+		./internal/telemetry/ >> /tmp/bench_rpc_raw.txt
 	$(GO) run ./cmd/benchfmt < /tmp/bench_rpc_raw.txt > BENCH_rpc.json
 	@echo "wrote BENCH_rpc.json"
 
@@ -83,8 +85,18 @@ chaos-short:
 doclint:
 	$(GO) run ./cmd/doclint .
 
+# alloc-guard enforces the hot-path allocation budgets: the invocation
+# round trip must hold PR 3's 8 allocs/op, and the per-object tracker's
+# warm-path Observe must stay allocation-free (the telemetry-overhead
+# guard for the always-on accounting plane). These tests self-skip under
+# -race, so they need this dedicated non-race invocation to actually
+# bite; the measured numbers live in BENCH_rpc.json.
+alloc-guard:
+	$(GO) test -count=1 -run 'AllocBudget|TrackerObserveAllocs' \
+		./internal/core/ ./internal/telemetry/
+
 # verify is the tier-1 gate (see ROADMAP.md): everything must be gofmt
-# clean, compile, vet clean, doc-complete on the public API, pass under
-# the race detector, and survive the short nemesis slice (which includes
-# one cache-on schedule).
-verify: fmt vet build doclint race chaos-short
+# clean, compile, vet clean, doc-complete on the public API, hold the
+# hot-path allocation budgets, pass under the race detector, and survive
+# the short nemesis slice (which includes one cache-on schedule).
+verify: fmt vet build doclint alloc-guard race chaos-short

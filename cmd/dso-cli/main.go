@@ -8,6 +8,7 @@
 //	dso-cli -members n1=:7001,n2=:7002 -type Map -key users -method Put -arg alice -arg admin
 //	dso-cli -members n1=:7001,n2=:7002 -type CyclicBarrier -key b -init 3 -method Await
 //	dso-cli stats -members n1=:7001,n2=:7002
+//	dso-cli top -members n1=:7001,n2=:7002 -rf 2 -n 10
 //	dso-cli cache -members n1=:7001,n2=:7002
 //	dso-cli trace -members n1=:7001,n2=:7002 -o trace.json
 //	dso-cli chaos partition -members n1=:7001,n2=:7002 -group n1 -group n2
@@ -18,6 +19,13 @@
 // (latency histograms with p50/p95/p99 when the cluster runs
 // instrumented). Nodes that are down are skipped with a warning; the
 // command fails only when no node answers.
+//
+// The top subcommand drains every node's per-object heavy-hitter tracker
+// (KindObjectStats), merges the snapshots cluster-wide, and renders the
+// hottest objects with their invocation rate, read/write mix, latency
+// percentiles (p50/p99/p999) and owning replica group on the current
+// ring. Pass -rf to match the servers' replication factor so the GROUP
+// column shows the true replica set.
 //
 // The cache subcommand prints the read-path slice of the same counters:
 // lease grants/refusals/revocations, expiry waits on the write path, and
@@ -77,6 +85,8 @@ func main() {
 		switch os.Args[1] {
 		case "stats":
 			os.Exit(runStats(os.Args[2:]))
+		case "top":
+			os.Exit(runTop(os.Args[2:]))
 		case "cache":
 			os.Exit(runCache(os.Args[2:]))
 		case "trace":

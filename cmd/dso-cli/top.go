@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"crucial/internal/collector"
+	"crucial/internal/core"
+	"crucial/internal/rpc"
+	"crucial/internal/telemetry"
+)
+
+// runTop implements `dso-cli top`: one KindObjectStats RPC per member,
+// merged cluster-wide (telemetry.ObjectsSnapshot.Merge), rendered as a
+// hottest-objects table with per-object rate, read/write mix, latency
+// percentiles and placement (the replica group that owns the object on
+// the current ring).
+func runTop(argv []string) int {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	var (
+		members = fs.String("members", "", "comma-separated id=addr pairs of the cluster")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-node RPC timeout")
+		n       = fs.Int("n", 20, "number of objects to show")
+		rf      = fs.Int("rf", 1, "replication factor used to compute placement (match the servers' -rf)")
+	)
+	_ = fs.Parse(argv)
+
+	view, err := staticView(*members)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dso-cli:", err)
+		return 1
+	}
+
+	col := &collector.Collector{}
+	reached := 0
+	for _, id := range view.Members {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		_, err := col.FetchNodeObjects(ctx, rpc.TCP{}, view.Addrs[id])
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dso-cli: warning: node %s unreachable, skipping: %v\n", id, err)
+			continue
+		}
+		reached++
+	}
+	if reached == 0 {
+		fmt.Fprintln(os.Stderr, "dso-cli: no node answered")
+		return 1
+	}
+
+	merged := col.Objects()
+	if len(merged.Stats) == 0 {
+		fmt.Println("no per-object load recorded — are the nodes running with -telemetry?")
+		return 0
+	}
+	r := view.Ring()
+	placement := func(st telemetry.ObjectStat) string {
+		set := r.ReplicaSet(core.Ref{Type: st.Type, Key: st.Key}.String(), *rf)
+		ids := make([]string, len(set))
+		for i, id := range set {
+			ids[i] = string(id)
+		}
+		return strings.Join(ids, ",")
+	}
+	fmt.Printf("cluster objects (merged %d/%d nodes, window %v, %d tracked of %d observations",
+		reached, len(view.Members), merged.Window.Round(time.Second),
+		len(merged.Stats), merged.Total)
+	if merged.Evictions > 0 {
+		fmt.Printf(", %d slot takeovers", merged.Evictions)
+	}
+	fmt.Println("):")
+	writeObjectsTable(os.Stdout, merged, *n, placement)
+	return 0
+}
+
+// writeObjectsTable renders the top-n rows of a merged snapshot. The
+// placement callback maps an object to its owning replica group ("" to
+// omit the column).
+func writeObjectsTable(w *os.File, snap telemetry.ObjectsSnapshot, n int, placement func(telemetry.ObjectStat) string) {
+	fmt.Fprintf(w, "  %-28s %-12s %9s %6s %6s %10s %10s %10s %10s\n",
+		"OBJECT", "GROUP", "RATE/s", "RD%", "WR%", "P50", "P99", "P999", "BYTES")
+	rows := snap.Stats
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	for _, st := range rows {
+		name := st.Type + "[" + st.Key + "]"
+		if len(name) > 28 {
+			name = name[:25] + "..."
+		}
+		group := ""
+		if placement != nil {
+			group = placement(st)
+		}
+		rd, wr := "-", "-"
+		if tot := st.Reads + st.Writes; tot > 0 {
+			rd = fmt.Sprintf("%d", st.Reads*100/tot)
+			wr = fmt.Sprintf("%d", st.Writes*100/tot)
+		}
+		lat := st.Latency
+		p50, p99, p999 := "-", "-", "-"
+		if lat.Count > 0 {
+			p50 = lat.P50.Round(time.Microsecond).String()
+			p99 = lat.P99.Round(time.Microsecond).String()
+			p999 = lat.P999.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "  %-28s %-12s %9.1f %6s %6s %10s %10s %10s %10s\n",
+			name, group, st.Rate(snap.Window), rd, wr, p50, p99, p999,
+			formatBytes(st.Bytes))
+	}
+}
+
+// formatBytes renders a byte count with a binary unit suffix.
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

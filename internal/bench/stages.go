@@ -82,7 +82,7 @@ func Stages(w io.Writer, o Options) error {
 
 	snap := rt.Metrics()
 	title(w, "Stages: per-stage latency breakdown (modeled time, instrumented runtime)")
-	row(w, "%-22s %8s %10s %10s %10s %10s", "STAGE", "COUNT", "P50", "P95", "P99", "MAX")
+	row(w, "%-22s %8s %10s %10s %10s %10s %10s", "STAGE", "COUNT", "P50", "P95", "P99", "P999", "MAX")
 	for _, name := range []string{
 		telemetry.HistFaaSColdStart,
 		telemetry.HistFaaSInvoke,
@@ -95,9 +95,10 @@ func Stages(w io.Writer, o Options) error {
 		if !ok {
 			continue
 		}
-		row(w, "%-22s %8d %10s %10s %10s %10s", name, h.Count,
+		row(w, "%-22s %8d %10s %10s %10s %10s %10s", name, h.Count,
 			stageDur(h.P50, o.Scale), stageDur(h.P95, o.Scale),
-			stageDur(h.P99, o.Scale), stageDur(h.Max, o.Scale))
+			stageDur(h.P99, o.Scale), stageDur(h.P999, o.Scale),
+			stageDur(h.Max, o.Scale))
 	}
 	cold := snap.Counters[telemetry.MetFaaSColdStarts]
 	total := snap.Counters[telemetry.MetFaaSInvocations]

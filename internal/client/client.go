@@ -165,6 +165,7 @@ type Client struct {
 	instrumented bool
 	tracer       *telemetry.Tracer
 	metrics      *telemetry.Registry
+	objTrack     *telemetry.ObjectTracker
 	cCalls       *telemetry.Counter
 	cReroutes    *telemetry.Counter
 	cFlushes     *telemetry.Counter
@@ -204,6 +205,7 @@ func New(cfg Config) (*Client, error) {
 		c.instrumented = true
 		c.tracer = cfg.Telemetry.Tracer()
 		c.metrics = cfg.Telemetry.Metrics()
+		c.objTrack = cfg.Telemetry.Objects()
 		c.cCalls = c.metrics.Counter(telemetry.MetClientCalls)
 		c.cReroutes = c.metrics.Counter(telemetry.MetClientReroutes)
 		c.cFlushes = c.metrics.Counter(telemetry.MetClientWriteFlushes)
@@ -413,6 +415,9 @@ func (c *Client) InvokeObject(ctx context.Context, inv core.Invocation) ([]any, 
 		sc := span.Context()
 		inv.Trace = core.TraceContext{TraceID: sc.TraceID, SpanID: sc.SpanID}
 		c.cCalls.Inc()
+		// Per-object accounting before the cache check, so hot keys show
+		// client-side pressure even when every read is a local cache hit.
+		c.objTrack.ObserveCall(telemetry.ObjectKey{Type: inv.Ref.Type, Key: inv.Ref.Key})
 		typeHist := c.metrics.Histogram(telemetry.MetClientCallPrefix + inv.Ref.Type)
 		defer func() {
 			typeHist.Observe(time.Since(callStart))

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"crucial/internal/core"
+	"crucial/internal/telemetry"
+)
+
+// TestHotKeysEndToEnd drives a zipfian workload through a live 3-node
+// RF=2 cluster and checks the per-object load plane end to end: the
+// heavy-hitter tracker (shared bundle, the LocalRuntime shape) must
+// identify the true hottest objects, report a read/write mix and latency
+// percentiles per object, account member-side SMR applies, and stay
+// within its fixed capacity despite touching more keys than slots.
+func TestHotKeysEndToEnd(t *testing.T) {
+	tel := telemetry.New()
+	c, err := StartLocal(Options{Nodes: 3, RF: 2, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.5, 1, 499) // 500 distinct keys, capacity is 128
+	truth := make(map[string]int)
+	const calls = 3000
+	for i := 0; i < calls; i++ {
+		key := fmt.Sprintf("zipf/%d", zipf.Uint64())
+		ref := core.Ref{Type: "AtomicLong", Key: key}
+		truth[key]++
+		inv := core.Invocation{Ref: ref, Method: "AddAndGet", Args: []any{int64(1)}, Persist: true}
+		if i%4 == 0 {
+			inv = core.Invocation{Ref: ref, Method: "Get", Persist: true}
+		}
+		if _, err := cl.InvokeObject(ctx, inv); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hottest, hottestN := "", 0
+	for k, n := range truth {
+		if n > hottestN {
+			hottest, hottestN = k, n
+		}
+	}
+
+	snap := tel.Objects().Snapshot()
+	if len(snap.Stats) > telemetry.DefaultObjectTopK {
+		t.Fatalf("tracked %d objects, capacity %d", len(snap.Stats), telemetry.DefaultObjectTopK)
+	}
+	if len(snap.Stats) == 0 {
+		t.Fatal("no per-object stats recorded")
+	}
+	top := snap.Stats[0]
+	if top.Key != hottest {
+		t.Fatalf("tracker top = %s (count %d), true hottest = %s (%d calls)",
+			top.Key, top.Count, hottest, hottestN)
+	}
+	// The hot key saw both reads and writes, with server-side latency.
+	if top.Invokes == 0 || top.Reads == 0 || top.Writes == 0 {
+		t.Fatalf("hot key mix: invokes=%d reads=%d writes=%d", top.Invokes, top.Reads, top.Writes)
+	}
+	if top.Latency.Count == 0 || top.Latency.P50 <= 0 || top.Latency.P999 < top.Latency.P50 {
+		t.Fatalf("hot key latency: %+v", top.Latency)
+	}
+	// RF=2 persistent writes apply on members too: with the shared
+	// bundle, coordinator + member applies both land here.
+	if top.Applies == 0 {
+		t.Fatalf("hot key saw no SMR applies at RF=2: %+v", top)
+	}
+	if top.Rate(snap.Window) <= 0 {
+		t.Fatalf("hot key rate = %v over window %v", top.Rate(snap.Window), snap.Window)
+	}
+	// The cluster-visible total accounts every client call and server
+	// invoke (shared bundle: calls == invokes == total client traffic).
+	var sumCalls uint64
+	for _, st := range snap.Stats {
+		sumCalls += st.Calls
+	}
+	if sumCalls == 0 || sumCalls > calls {
+		t.Fatalf("tracked calls = %d, want (0, %d]", sumCalls, calls)
+	}
+}

@@ -24,9 +24,10 @@ import (
 // Collector accumulates aligned spans from any number of sources. The zero
 // value is ready to use; methods are safe for concurrent fetches.
 type Collector struct {
-	mu    sync.Mutex
-	spans []telemetry.NodeSpan
-	nodes []string
+	mu      sync.Mutex
+	spans   []telemetry.NodeSpan
+	nodes   []string
+	objects telemetry.ObjectsSnapshot
 }
 
 // AddLocal merges spans recorded in the collector's own process (its DSO
@@ -113,6 +114,51 @@ func (c *Collector) FetchNode(ctx context.Context, transport rpc.Transport, addr
 	c.spans = append(c.spans, aligned...)
 	c.mu.Unlock()
 	return nil
+}
+
+// AddObjects merges one per-object load snapshot (from a node's
+// KindObjectStats reply or an in-process tracker) into the cluster-wide
+// accumulator. Object stats are interval counts, not timestamps, so no
+// clock alignment is needed — merge semantics are those of
+// telemetry.ObjectsSnapshot.Merge (counts add, histograms merge, error
+// bounds add).
+func (c *Collector) AddObjects(snap telemetry.ObjectsSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if snap.Node != "" {
+		c.nodes = append(c.nodes, snap.Node)
+	}
+	c.objects = c.objects.Merge(snap)
+}
+
+// FetchNodeObjects dials one DSO node, drains its per-object heavy-hitter
+// snapshot via KindObjectStats, and merges it. Returns the node's own
+// snapshot so callers can also report per-node views.
+func (c *Collector) FetchNodeObjects(ctx context.Context, transport rpc.Transport, addr string) (telemetry.ObjectsSnapshot, error) {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return telemetry.ObjectsSnapshot{}, fmt.Errorf("collector: dial %s: %w", addr, err)
+	}
+	rc := rpc.NewClient(conn)
+	defer func() { _ = rc.Close() }()
+
+	raw, err := rc.Call(ctx, server.KindObjectStats, nil)
+	if err != nil {
+		return telemetry.ObjectsSnapshot{}, fmt.Errorf("collector: object stats from %s: %w", addr, err)
+	}
+	var snap telemetry.ObjectsSnapshot
+	if err := core.DecodeValue(raw, &snap); err != nil {
+		return telemetry.ObjectsSnapshot{}, fmt.Errorf("collector: decode object stats from %s: %w", addr, err)
+	}
+	c.AddObjects(snap)
+	return snap, nil
+}
+
+// Objects returns the cluster-wide merged per-object load snapshot.
+func (c *Collector) Objects() telemetry.ObjectsSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.objects
 }
 
 // Nodes lists every source merged so far, in merge order.

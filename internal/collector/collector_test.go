@@ -235,3 +235,65 @@ func TestAlignDumpCorrectsSkew(t *testing.T) {
 			ss, se, clientStart, clientEnd)
 	}
 }
+
+// TestClusterObjectStatsCollection exercises the per-object load plane
+// over the real RPC: an instrumented cluster serves a skewed workload,
+// the collector drains every node's KindObjectStats snapshot, and the
+// merged result identifies the hot key with consistent counts.
+func TestClusterObjectStatsCollection(t *testing.T) {
+	transport, cl, clientTel, nodes := startTestCluster(t)
+	ctx := context.Background()
+
+	hot := core.Ref{Type: "AtomicLong", Key: "objstats/hot"}
+	for i := 0; i < 50; i++ {
+		if _, err := cl.Call(ctx, hot, "AddAndGet", int64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		ref := core.Ref{Type: "AtomicLong", Key: fmt.Sprintf("objstats/cold%d", i)}
+		if _, err := cl.Call(ctx, ref, "Get"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	col := &Collector{}
+	for _, n := range nodes {
+		snap, err := col.FetchNodeObjects(ctx, transport, n.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Node != string(n.ID()) {
+			t.Fatalf("snapshot node %q, want %q", snap.Node, n.ID())
+		}
+	}
+	// The client's own tracker merges in like another node's.
+	clientSnap := clientTel.Objects().Snapshot()
+	clientSnap.Node = "client"
+	col.AddObjects(clientSnap)
+
+	merged := col.Objects()
+	if len(merged.Stats) == 0 {
+		t.Fatal("no object stats collected")
+	}
+	top := merged.Stats[0]
+	if top.Key != hot.Key {
+		t.Fatalf("hottest object = %s[%s], want %s", top.Type, top.Key, hot.Key)
+	}
+	// 50 server invokes + 50 client calls for the hot key.
+	if top.Invokes != 50 {
+		t.Fatalf("hot invokes = %d, want 50", top.Invokes)
+	}
+	if top.Calls != 50 {
+		t.Fatalf("hot calls = %d, want 50", top.Calls)
+	}
+	if top.Writes != 50 || top.Reads != 0 {
+		t.Fatalf("hot read/write mix = %d/%d, want 0/50", top.Reads, top.Writes)
+	}
+	if top.Latency.Count != 50 || top.Latency.P99 <= 0 {
+		t.Fatalf("hot latency: count=%d p99=%v", top.Latency.Count, top.Latency.P99)
+	}
+	if top.Latency.P999 < top.Latency.P50 {
+		t.Fatalf("p999 %v below p50 %v", top.Latency.P999, top.Latency.P50)
+	}
+}

@@ -68,6 +68,10 @@ const (
 	// its leased copy (gob-encoded InvalidateMsg). It is handled by the
 	// client's invalidation listener, not by nodes.
 	KindCacheInvalidate uint8 = 14
+	// KindObjectStats returns the node's per-object heavy-hitter snapshot
+	// (gob-encoded telemetry.ObjectsSnapshot) for dso-cli top and the
+	// cluster collector. Uninstrumented nodes return an empty snapshot.
+	KindObjectStats uint8 = 15
 )
 
 // Config wires one node into a cluster.
@@ -235,6 +239,7 @@ type Node struct {
 	instrumented    bool
 	tracer          *telemetry.Tracer
 	metrics         *telemetry.Registry
+	objTrack        *telemetry.ObjectTracker
 	cInvocations    *telemetry.Counter
 	cSMRRounds      *telemetry.Counter
 	cTransfers      *telemetry.Counter
@@ -281,6 +286,7 @@ func Start(cfg Config) (*Node, error) {
 		n.instrumented = true
 		n.tracer = cfg.Telemetry.Tracer()
 		n.metrics = cfg.Telemetry.Metrics()
+		n.objTrack = cfg.Telemetry.Objects()
 		n.cInvocations = n.metrics.Counter(telemetry.MetServerInvocations)
 		n.cSMRRounds = n.metrics.Counter(telemetry.MetServerSMRRounds)
 		n.cTransfers = n.metrics.Counter(telemetry.MetServerTransfers)
@@ -374,6 +380,14 @@ func (n *Node) Snapshot() Snapshot {
 		Stats:   n.Stats(),
 		Metrics: n.metrics.Snapshot(),
 	}
+}
+
+// ObjectStats captures the node's per-object heavy-hitter snapshot, the
+// payload of KindObjectStats. Uninstrumented nodes report zero objects.
+func (n *Node) ObjectStats() telemetry.ObjectsSnapshot {
+	snap := n.objTrack.Snapshot()
+	snap.Node = string(n.cfg.ID)
+	return snap
 }
 
 // TraceDump captures the node's retained spans plus its wall clock, the
@@ -480,6 +494,8 @@ func (n *Node) handle(ctx context.Context, kind uint8, payload []byte) ([]byte, 
 		return n.handleAbort(payload)
 	case KindStats:
 		return core.EncodeValue(n.Snapshot())
+	case KindObjectStats:
+		return core.EncodeValue(n.ObjectStats())
 	case KindTraceDump:
 		return core.EncodeValue(n.TraceDump())
 	case KindClock:
@@ -515,6 +531,17 @@ func (n *Node) handleInvoke(ctx context.Context, payload []byte) ([]byte, error)
 	// re-executing or follower-serving a genuine read is always safe.
 	inv.ReadOnly = core.IsReadOnlyMethod(inv.Ref.Type, inv.Method)
 	n.invocations.Add(1)
+	// Per-object load accounting (DESIGN.md §5f): one observation per
+	// handled invocation with the read/write class, end-to-end handler
+	// latency and request payload size. Nil tracker is a no-op.
+	if n.objTrack != nil {
+		start := time.Now()
+		defer func() {
+			n.objTrack.ObserveInvoke(
+				telemetry.ObjectKey{Type: inv.Ref.Type, Key: inv.Ref.Key},
+				inv.ReadOnly, time.Since(start), len(payload))
+		}()
+	}
 	// Telemetry: continue the client's trace across the RPC boundary via
 	// the invocation's TraceContext, and track queue depth (in-flight
 	// invocations on this node).

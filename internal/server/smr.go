@@ -357,6 +357,10 @@ func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) bool {
 						results, version, err = n.execOn(context.Background(), e, inv)
 						versionKnown = true
 						release()
+						if err == nil {
+							n.objTrack.ObserveApply(
+								telemetry.ObjectKey{Type: inv.Ref.Type, Key: inv.Ref.Key}, 1)
+						}
 						n.log.Debug("smr op applied", "ref", inv.Ref.String(),
 							"method", inv.Method, "id", id.String(), "version", version)
 					}
@@ -432,6 +436,10 @@ func (n *Node) deliverSMRBatch(id totalorder.MsgID, payload []byte) bool {
 					out.res, out.version, out.err = n.execBatchOn(context.Background(), e, invs)
 					versionKnown = out.err == nil
 					release()
+					if out.err == nil {
+						n.objTrack.ObserveApply(
+							telemetry.ObjectKey{Type: ref.Type, Key: ref.Key}, len(invs))
+					}
 					n.log.Debug("smr batch applied", "ref", ref.String(),
 						"id", id.String(), "ops", len(invs), "version", out.version)
 				}

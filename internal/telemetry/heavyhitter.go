@@ -1,0 +1,354 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Per-object load accounting (DESIGN.md §5f). The ObjectTracker is a
+// bounded heavy-hitter sketch over object references: a Space-Saving
+// (stream-summary) top-K structure that keeps exact per-object stats for
+// the K most frequently touched objects and an overestimation bound for
+// everything that had to share a slot. Memory is fixed at capacity K
+// regardless of how many distinct objects the workload touches, which is
+// what lets the tracker stay always-on under FaaS-scale fan-in.
+//
+// Three observation points feed it:
+//
+//   - ObserveCall: the DSO client, once per InvokeObject (including cache
+//     hits, so client-side pressure is visible even when the server never
+//     sees the read).
+//   - ObserveInvoke: the server invoke path, once per handled invocation,
+//     with the read/write classification, end-to-end handler latency and
+//     request payload size.
+//   - ObserveApply: the SMR delivery path on every member, once per
+//     applied sub-operation, so replicated write amplification shows up
+//     on follower nodes that never see the client-facing invoke.
+//
+// The Space-Saving weight (Count) sums all three kinds, making it a
+// generic "touches" pressure signal; the per-kind counters stay separate
+// so consumers can derive rates that do not double-count (rate uses
+// Invokes on servers, Calls on clients).
+
+// DefaultObjectTopK is the tracker capacity used by New.
+const DefaultObjectTopK = 128
+
+// ObjectKey identifies a DSO instance (mirrors core.Ref without importing
+// it — telemetry stays dependency-free). It is comparable, so warm-path
+// map lookups allocate nothing.
+type ObjectKey struct {
+	Type string
+	Key  string
+}
+
+// objSlot is one stream-summary slot. All fields are guarded by the
+// tracker mutex; plain (non-atomic) words keep the warm path to a single
+// uncontended lock plus a handful of stores.
+type objSlot struct {
+	key     ObjectKey
+	count   uint64 // Space-Saving weight: calls + invokes + applies
+	errs    uint64 // overestimation bound inherited on slot takeover
+	calls   uint64
+	invokes uint64
+	applies uint64
+	reads   uint64
+	writes  uint64
+	bytes   uint64
+
+	// Inline latency histogram over server invoke durations, same
+	// power-of-two-microsecond buckets as Histogram.
+	hcount  uint64
+	sumNs   int64
+	minNs   int64
+	maxNs   int64
+	buckets [histBuckets]uint64
+}
+
+// ObjectTracker is the bounded per-object load accountant. A nil tracker
+// is the disabled state: every Observe* is a no-op and Snapshot returns a
+// zero ObjectsSnapshot.
+type ObjectTracker struct {
+	mu        sync.Mutex
+	slots     map[ObjectKey]*objSlot
+	capacity  int
+	total     uint64 // observations of any kind, including evicted keys
+	evictions uint64 // slot takeovers (distinct keys beyond capacity)
+	start     time.Time
+}
+
+// NewObjectTracker returns a tracker bounded at capacity slots
+// (DefaultObjectTopK when capacity <= 0).
+func NewObjectTracker(capacity int) *ObjectTracker {
+	if capacity <= 0 {
+		capacity = DefaultObjectTopK
+	}
+	return &ObjectTracker{
+		slots:    make(map[ObjectKey]*objSlot, capacity),
+		capacity: capacity,
+		start:    time.Now(),
+	}
+}
+
+// slotFor returns the slot for k, admitting it via Space-Saving takeover
+// of the minimum-count slot when the tracker is full. Caller holds mu.
+func (t *ObjectTracker) slotFor(k ObjectKey) *objSlot {
+	if s := t.slots[k]; s != nil {
+		return s
+	}
+	if len(t.slots) < t.capacity {
+		s := &objSlot{key: k, minNs: -1}
+		t.slots[k] = s
+		return s
+	}
+	// Take over the slot with the minimum weight: the newcomer inherits
+	// count=min+1 worth of weight credit (added by the caller's +1) and
+	// err=min, the classic Space-Saving guarantee that true counts lie in
+	// [count-err, count]. Auxiliary stats reset — they describe only the
+	// current occupant's observed window.
+	var victim *objSlot
+	for _, s := range t.slots {
+		if victim == nil || s.count < victim.count {
+			victim = s
+		}
+	}
+	delete(t.slots, victim.key)
+	min := victim.count
+	*victim = objSlot{key: k, count: min, errs: min, minNs: -1}
+	t.slots[k] = victim
+	t.evictions++
+	return victim
+}
+
+// ObserveCall records one client-side call to the object.
+func (t *ObjectTracker) ObserveCall(k ObjectKey) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	s := t.slotFor(k)
+	s.count++
+	s.calls++
+	t.total++
+	t.mu.Unlock()
+}
+
+// ObserveInvoke records one server-side handled invocation: its
+// read/write classification, handler latency and request payload size.
+func (t *ObjectTracker) ObserveInvoke(k ObjectKey, readOnly bool, d time.Duration, payloadBytes int) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	s := t.slotFor(k)
+	s.count++
+	s.invokes++
+	if readOnly {
+		s.reads++
+	} else {
+		s.writes++
+	}
+	if payloadBytes > 0 {
+		s.bytes += uint64(payloadBytes)
+	}
+	s.hcount++
+	s.sumNs += int64(d)
+	if s.minNs < 0 || int64(d) < s.minNs {
+		s.minNs = int64(d)
+	}
+	if int64(d) > s.maxNs {
+		s.maxNs = int64(d)
+	}
+	s.buckets[bucketIndex(d)]++
+	t.total++
+	t.mu.Unlock()
+}
+
+// ObserveApply records n SMR sub-operations applied to the object on this
+// member (n > 1 for group-commit batches).
+func (t *ObjectTracker) ObserveApply(k ObjectKey, n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	s := t.slotFor(k)
+	s.count += uint64(n)
+	s.applies += uint64(n)
+	t.total += uint64(n)
+	t.mu.Unlock()
+}
+
+// ObjectStat is the serializable per-object line of an ObjectsSnapshot.
+// Count is the Space-Saving weight (all observation kinds summed);
+// CountErr bounds its overestimation — the true weight lies in
+// [Count-CountErr, Count].
+type ObjectStat struct {
+	Type     string            `json:"type"`
+	Key      string            `json:"key"`
+	Count    uint64            `json:"count"`
+	CountErr uint64            `json:"count_err,omitempty"`
+	Calls    uint64            `json:"calls,omitempty"`
+	Invokes  uint64            `json:"invokes,omitempty"`
+	Applies  uint64            `json:"applies,omitempty"`
+	Reads    uint64            `json:"reads,omitempty"`
+	Writes   uint64            `json:"writes,omitempty"`
+	Bytes    uint64            `json:"bytes,omitempty"`
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// ObjectsSnapshot is a point-in-time copy of an ObjectTracker,
+// serializable with gob and JSON (the payload of the KindObjectStats
+// RPC). Stats are sorted by Count descending.
+type ObjectsSnapshot struct {
+	Node      string        `json:"node,omitempty"`
+	Capacity  int           `json:"capacity"`
+	Window    time.Duration `json:"window_ns"`
+	Total     uint64        `json:"total"`
+	Evictions uint64        `json:"evictions,omitempty"`
+	Stats     []ObjectStat  `json:"stats,omitempty"`
+}
+
+// Snapshot captures the tracker's current state. Safe on nil.
+func (t *ObjectTracker) Snapshot() ObjectsSnapshot {
+	if t == nil {
+		return ObjectsSnapshot{}
+	}
+	t.mu.Lock()
+	out := ObjectsSnapshot{
+		Capacity:  t.capacity,
+		Window:    time.Since(t.start),
+		Total:     t.total,
+		Evictions: t.evictions,
+		Stats:     make([]ObjectStat, 0, len(t.slots)),
+	}
+	for _, s := range t.slots {
+		st := ObjectStat{
+			Type:     s.key.Type,
+			Key:      s.key.Key,
+			Count:    s.count,
+			CountErr: s.errs,
+			Calls:    s.calls,
+			Invokes:  s.invokes,
+			Applies:  s.applies,
+			Reads:    s.reads,
+			Writes:   s.writes,
+			Bytes:    s.bytes,
+		}
+		if s.hcount > 0 {
+			h := HistogramSnapshot{
+				Count:   s.hcount,
+				Sum:     time.Duration(s.sumNs),
+				Min:     time.Duration(s.minNs),
+				Max:     time.Duration(s.maxNs),
+				Buckets: make([]uint64, histBuckets),
+			}
+			copy(h.Buckets, s.buckets[:])
+			h.P50 = h.Quantile(0.50)
+			h.P95 = h.Quantile(0.95)
+			h.P99 = h.Quantile(0.99)
+			h.P999 = h.Quantile(0.999)
+			st.Latency = h
+		}
+		out.Stats = append(out.Stats, st)
+	}
+	t.mu.Unlock()
+	sortObjectStats(out.Stats)
+	return out
+}
+
+// Reset clears all slots and restarts the rate window.
+func (t *ObjectTracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.slots = make(map[ObjectKey]*objSlot, t.capacity)
+	t.total = 0
+	t.evictions = 0
+	t.start = time.Now()
+	t.mu.Unlock()
+}
+
+// sortObjectStats orders by Count descending, breaking ties by (Type,
+// Key) so output is deterministic.
+func sortObjectStats(stats []ObjectStat) {
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Count != stats[j].Count {
+			return stats[i].Count > stats[j].Count
+		}
+		if stats[i].Type != stats[j].Type {
+			return stats[i].Type < stats[j].Type
+		}
+		return stats[i].Key < stats[j].Key
+	})
+}
+
+// Rate returns the object's server-side invocation rate per second over
+// the snapshot window (Calls-based when the snapshot came from a
+// client-only tracker).
+func (s ObjectStat) Rate(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	n := s.Invokes
+	if n == 0 {
+		n = s.Calls
+	}
+	return float64(n) / window.Seconds()
+}
+
+// Merge combines two snapshots keywise: counts add, latency histograms
+// merge, capacity and window take the max (nodes share a wall-clock
+// window; the widest one bounds the rate denominator), and the result is
+// re-sorted and truncated to the merged capacity. Error bounds add, which
+// keeps the [Count-CountErr, Count] invariant conservative across nodes.
+func (s ObjectsSnapshot) Merge(other ObjectsSnapshot) ObjectsSnapshot {
+	out := ObjectsSnapshot{
+		Capacity:  s.Capacity,
+		Window:    s.Window,
+		Total:     s.Total + other.Total,
+		Evictions: s.Evictions + other.Evictions,
+	}
+	if other.Capacity > out.Capacity {
+		out.Capacity = other.Capacity
+	}
+	if other.Window > out.Window {
+		out.Window = other.Window
+	}
+	merged := make(map[ObjectKey]*ObjectStat, len(s.Stats)+len(other.Stats))
+	add := func(st ObjectStat) {
+		k := ObjectKey{Type: st.Type, Key: st.Key}
+		if m := merged[k]; m != nil {
+			m.Count += st.Count
+			m.CountErr += st.CountErr
+			m.Calls += st.Calls
+			m.Invokes += st.Invokes
+			m.Applies += st.Applies
+			m.Reads += st.Reads
+			m.Writes += st.Writes
+			m.Bytes += st.Bytes
+			m.Latency = m.Latency.Merge(st.Latency)
+			return
+		}
+		cp := st
+		merged[k] = &cp
+	}
+	for _, st := range s.Stats {
+		add(st)
+	}
+	for _, st := range other.Stats {
+		add(st)
+	}
+	out.Stats = make([]ObjectStat, 0, len(merged))
+	for _, m := range merged {
+		out.Stats = append(out.Stats, *m)
+	}
+	sortObjectStats(out.Stats)
+	if out.Capacity > 0 && len(out.Stats) > out.Capacity {
+		out.Stats = out.Stats[:out.Capacity]
+	}
+	return out
+}

@@ -12,7 +12,10 @@ import (
 // HTTPHandler builds the observability endpoint served by dso-server's
 // optional -http listener:
 //
-//	/metrics          Prometheus text-format exposition of the registry
+//	/metrics          Prometheus text-format exposition: the registry,
+//	                  per-object heavy-hitter series (crucial_object_*),
+//	                  Go runtime health (crucial_runtime_*) and the wire
+//	                  codec counters
 //	/traces           retained spans as Chrome/Perfetto trace-event JSON
 //	/debug/pprof/*    the standard net/http/pprof profiles
 //
@@ -24,6 +27,8 @@ func HTTPHandler(node string, t *Telemetry) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w, t.Snapshot())
+		_ = WritePrometheusObjects(w, t.Objects().Snapshot())
+		_ = WritePrometheusRuntime(w)
 		writeCodecStats(w)
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {

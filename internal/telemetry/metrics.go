@@ -193,12 +193,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P50 = s.Quantile(0.50)
 	s.P95 = s.Quantile(0.95)
 	s.P99 = s.Quantile(0.99)
+	s.P999 = s.Quantile(0.999)
 	return s
 }
 
 // HistogramSnapshot is the immutable, serializable state of a Histogram.
-// P50/P95/P99 are precomputed so JSON consumers (bench result files) can
-// track tail latency without re-deriving quantiles from the buckets.
+// P50/P95/P99/P999 are precomputed so JSON consumers (bench result files)
+// can track tail latency without re-deriving quantiles from the buckets.
 type HistogramSnapshot struct {
 	Count   uint64        `json:"count"`
 	Sum     time.Duration `json:"sum_ns"`
@@ -207,6 +208,7 @@ type HistogramSnapshot struct {
 	P50     time.Duration `json:"p50_ns"`
 	P95     time.Duration `json:"p95_ns"`
 	P99     time.Duration `json:"p99_ns"`
+	P999    time.Duration `json:"p999_ns"`
 	Buckets []uint64      `json:"buckets,omitempty"`
 }
 
@@ -283,6 +285,7 @@ func (s HistogramSnapshot) Merge(other HistogramSnapshot) HistogramSnapshot {
 		}
 	}
 	out.P50, out.P95, out.P99 = out.Quantile(0.50), out.Quantile(0.95), out.Quantile(0.99)
+	out.P999 = out.Quantile(0.999)
 	return out
 }
 
@@ -504,10 +507,11 @@ func (s Snapshot) Format(w io.Writer) {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Histograms[n]
-		fmt.Fprintf(w, "%-32s n=%-8d mean=%-10v p50=%-10v p95=%-10v p99=%-10v max=%v\n",
+		fmt.Fprintf(w, "%-32s n=%-8d mean=%-10v p50=%-10v p95=%-10v p99=%-10v p999=%-10v max=%v\n",
 			n, h.Count, h.Mean().Round(time.Microsecond),
 			h.P50.Round(time.Microsecond), h.P95.Round(time.Microsecond),
-			h.P99.Round(time.Microsecond), h.Max.Round(time.Microsecond))
+			h.P99.Round(time.Microsecond), h.P999.Round(time.Microsecond),
+			h.Max.Round(time.Microsecond))
 	}
 }
 

@@ -75,9 +75,123 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			if err := writePromSizeHistogram(w, promName(name), s.Histograms[name]); err != nil {
 				return err
 			}
+			if err := writePromQuantiles(w, promName(name), s.Histograms[name], false); err != nil {
+				return err
+			}
 			continue
 		}
 		if err := writePromHistogram(w, promName(name)+"_seconds", s.Histograms[name]); err != nil {
+			return err
+		}
+		if err := writePromQuantiles(w, promName(name), s.Histograms[name], true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromQuantiles emits per-histogram quantile gauges as sibling
+// families (<name>_p50_seconds etc. for latencies, <name>_p50 for size
+// histograms). They duplicate what PromQL's histogram_quantile derives
+// from the _bucket family, but give dashboards and curl users the tail
+// directly — and unlike the bucket estimate they are clamped to the
+// observed min/max.
+func writePromQuantiles(w io.Writer, name string, h HistogramSnapshot, seconds bool) error {
+	for _, q := range []struct {
+		suffix string
+		v      time.Duration
+	}{
+		{"p50", h.P50}, {"p99", h.P99}, {"p999", h.P999},
+	} {
+		n := name + "_" + q.suffix
+		val := float64(q.v) / float64(time.Microsecond)
+		if seconds {
+			n += "_seconds"
+			val = q.v.Seconds()
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(val)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promLabelEscape escapes a label value per the exposition format
+// (backslash, double quote and newline).
+func promLabelEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheusObjects renders a per-object load snapshot as
+// crucial_object_* families, one series per tracked object labeled with
+// {type, key}. Cardinality is bounded by the tracker capacity (top-K),
+// so this is safe to scrape continuously. Count-style stats export as
+// counters; per-object latency exports as a summary family with
+// quantile labels (0.5, 0.99, 0.999) plus _sum/_count.
+func WritePrometheusObjects(w io.Writer, snap ObjectsSnapshot) error {
+	if len(snap.Stats) == 0 {
+		return nil
+	}
+	for _, fam := range []struct {
+		name  string
+		value func(ObjectStat) uint64
+	}{
+		{"crucial_object_touches_total", func(s ObjectStat) uint64 { return s.Count }},
+		{"crucial_object_calls_total", func(s ObjectStat) uint64 { return s.Calls }},
+		{"crucial_object_invocations_total", func(s ObjectStat) uint64 { return s.Invokes }},
+		{"crucial_object_applies_total", func(s ObjectStat) uint64 { return s.Applies }},
+		{"crucial_object_reads_total", func(s ObjectStat) uint64 { return s.Reads }},
+		{"crucial_object_writes_total", func(s ObjectStat) uint64 { return s.Writes }},
+		{"crucial_object_payload_bytes_total", func(s ObjectStat) uint64 { return s.Bytes }},
+	} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", fam.name); err != nil {
+			return err
+		}
+		for _, st := range snap.Stats {
+			if _, err := fmt.Fprintf(w, "%s{type=\"%s\",key=\"%s\"} %d\n",
+				fam.name, promLabelEscape(st.Type), promLabelEscape(st.Key),
+				fam.value(st)); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE crucial_object_latency_seconds summary\n"); err != nil {
+		return err
+	}
+	for _, st := range snap.Stats {
+		if st.Latency.Count == 0 {
+			continue
+		}
+		t, k := promLabelEscape(st.Type), promLabelEscape(st.Key)
+		for _, q := range []struct {
+			label string
+			v     time.Duration
+		}{
+			{"0.5", st.Latency.P50}, {"0.99", st.Latency.P99}, {"0.999", st.Latency.P999},
+		} {
+			if _, err := fmt.Fprintf(w, "crucial_object_latency_seconds{type=\"%s\",key=\"%s\",quantile=\"%s\"} %s\n",
+				t, k, q.label, promFloat(q.v.Seconds())); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "crucial_object_latency_seconds_sum{type=\"%s\",key=\"%s\"} %s\ncrucial_object_latency_seconds_count{type=\"%s\",key=\"%s\"} %d\n",
+			t, k, promFloat(st.Latency.Sum.Seconds()), t, k, st.Latency.Count); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusQuantileGauges: every histogram family gains sibling
+// p50/p99/p999 gauges, in seconds for latencies and raw values for size
+// histograms.
+func TestPrometheusQuantileGauges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("client.rpc")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+	r.Histogram("server.batch_size").ObserveValue(8)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	types, samples, _ := parsePromFamilies(t, b.String())
+
+	for _, name := range []string{
+		"crucial_client_rpc_p50_seconds",
+		"crucial_client_rpc_p99_seconds",
+		"crucial_client_rpc_p999_seconds",
+		"crucial_server_batch_size_p50",
+		"crucial_server_batch_size_p999",
+	} {
+		if types[name] != "gauge" {
+			t.Fatalf("%s: type %q, want gauge", name, types[name])
+		}
+	}
+	snap := h.Snapshot()
+	if got, want := samples["crucial_client_rpc_p99_seconds"], snap.P99.Seconds(); got != want {
+		t.Fatalf("p99 gauge = %v, want %v", got, want)
+	}
+	if samples["crucial_client_rpc_p999_seconds"] < samples["crucial_client_rpc_p50_seconds"] {
+		t.Fatal("p999 below p50")
+	}
+	// The size histogram's quantiles are raw values (ObserveValue(8) maps
+	// to the 8-microsecond bucket; recovery divides back).
+	if v := samples["crucial_server_batch_size_p50"]; v < 1 || v > 16 {
+		t.Fatalf("size p50 = %v, want a raw value near 8", v)
+	}
+}
+
+// TestPrometheusObjectSeries renders a tracker snapshot and checks the
+// per-object families, label escaping and the latency summary.
+func TestPrometheusObjectSeries(t *testing.T) {
+	tr := NewObjectTracker(8)
+	hot := ObjectKey{Type: "AtomicLong", Key: `weird"key\n1`}
+	tr.ObserveCall(hot)
+	tr.ObserveInvoke(hot, true, time.Millisecond, 100)
+	tr.ObserveInvoke(hot, false, 2*time.Millisecond, 50)
+	tr.ObserveApply(hot, 2)
+	tr.ObserveCall(ObjectKey{Type: "Map", Key: "cold"})
+
+	var b strings.Builder
+	if err := WritePrometheusObjects(&b, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	types, samples, _ := parsePromFamilies(t, text)
+
+	for _, fam := range []string{
+		"crucial_object_touches_total", "crucial_object_calls_total",
+		"crucial_object_invocations_total", "crucial_object_applies_total",
+		"crucial_object_reads_total", "crucial_object_writes_total",
+		"crucial_object_payload_bytes_total",
+	} {
+		if types[fam] != "counter" {
+			t.Fatalf("%s: type %q, want counter", fam, types[fam])
+		}
+	}
+	if types["crucial_object_latency_seconds"] != "summary" {
+		t.Fatalf("latency family type %q, want summary", types["crucial_object_latency_seconds"])
+	}
+	// The quote and backslash in the key must be escaped on the wire.
+	esc := `weird\"key\\n1`
+	series := `crucial_object_touches_total{type="AtomicLong",key="` + esc + `"}`
+	if v, ok := samples[series]; !ok || v != 5 {
+		t.Fatalf("hot series %q = %v (present %v)\n%s", series, v, ok, text)
+	}
+	if v := samples[`crucial_object_payload_bytes_total{type="AtomicLong",key="`+esc+`"}`]; v != 150 {
+		t.Fatalf("payload bytes = %v, want 150", v)
+	}
+	if v := samples[`crucial_object_latency_seconds_count{type="AtomicLong",key="`+esc+`"}`]; v != 2 {
+		t.Fatalf("latency count = %v, want 2", v)
+	}
+	q99 := `crucial_object_latency_seconds{type="AtomicLong",key="` + esc + `",quantile="0.99"}`
+	if v, ok := samples[q99]; !ok || v <= 0 {
+		t.Fatalf("missing/zero p99 summary sample %q = %v", q99, v)
+	}
+	// An empty snapshot writes nothing (no dangling TYPE lines).
+	var empty strings.Builder
+	if err := WritePrometheusObjects(&empty, ObjectsSnapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("empty snapshot produced output: %q", empty.String())
+	}
+}
+
+// TestPrometheusRuntimeMetrics samples the live runtime and checks the
+// crucial_runtime_* families parse and carry sane values.
+func TestPrometheusRuntimeMetrics(t *testing.T) {
+	runtime.GC() // guarantee at least one GC cycle and pause sample
+
+	var b strings.Builder
+	if err := WritePrometheusRuntime(&b); err != nil {
+		t.Fatal(err)
+	}
+	types, samples, _ := parsePromFamilies(t, b.String())
+
+	if types["crucial_runtime_goroutines"] != "gauge" || samples["crucial_runtime_goroutines"] < 1 {
+		t.Fatalf("goroutines: type=%q value=%v",
+			types["crucial_runtime_goroutines"], samples["crucial_runtime_goroutines"])
+	}
+	if samples["crucial_runtime_heap_objects_bytes"] <= 0 {
+		t.Fatalf("heap bytes = %v", samples["crucial_runtime_heap_objects_bytes"])
+	}
+	if types["crucial_runtime_gc_cycles_total"] != "counter" || samples["crucial_runtime_gc_cycles_total"] < 1 {
+		t.Fatalf("gc cycles: type=%q value=%v",
+			types["crucial_runtime_gc_cycles_total"], samples["crucial_runtime_gc_cycles_total"])
+	}
+	if types["crucial_runtime_gc_pause_seconds"] != "histogram" {
+		t.Fatalf("gc pause family type %q", types["crucial_runtime_gc_pause_seconds"])
+	}
+	count := samples["crucial_runtime_gc_pause_seconds_count"]
+	if count < 1 {
+		t.Fatalf("gc pause count = %v after forced GC", count)
+	}
+	if inf := samples[`crucial_runtime_gc_pause_seconds_bucket{le="+Inf"}`]; inf != count {
+		t.Fatalf("+Inf bucket %v != count %v", inf, count)
+	}
+}

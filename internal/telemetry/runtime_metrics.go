@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+)
+
+// Go runtime health exported next to DSO health on /metrics, so an
+// operator dashboard can correlate tail latency with GC pauses or a
+// goroutine leak without attaching pprof. Backed by the runtime/metrics
+// package (sampled per scrape, negligible cost).
+
+// runtimeSamples is the fixed sample set WritePrometheusRuntime reads.
+// Names are the runtime/metrics identifiers; each maps to one exported
+// crucial_runtime_* family.
+var runtimeSamples = []struct {
+	id   string
+	name string
+	kind string // "gauge", "counter" or "histogram"
+}{
+	{"/sched/goroutines:goroutines", "crucial_runtime_goroutines", "gauge"},
+	{"/memory/classes/heap/objects:bytes", "crucial_runtime_heap_objects_bytes", "gauge"},
+	{"/memory/classes/total:bytes", "crucial_runtime_memory_total_bytes", "gauge"},
+	{"/gc/cycles/total:gc-cycles", "crucial_runtime_gc_cycles_total", "counter"},
+	{"/gc/pauses:seconds", "crucial_runtime_gc_pause_seconds", "histogram"},
+}
+
+// WritePrometheusRuntime samples the Go runtime and renders process
+// health metrics (goroutine count, heap bytes, GC cycle count and the GC
+// pause histogram) in Prometheus text format.
+func WritePrometheusRuntime(w io.Writer) error {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, rs := range runtimeSamples {
+		samples[i].Name = rs.id
+	}
+	metrics.Read(samples)
+	for i, rs := range runtimeSamples {
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n",
+				rs.name, rs.kind, rs.name, samples[i].Value.Uint64()); err != nil {
+				return err
+			}
+		case metrics.KindFloat64:
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n",
+				rs.name, rs.kind, rs.name, promFloat(samples[i].Value.Float64())); err != nil {
+				return err
+			}
+		case metrics.KindFloat64Histogram:
+			if err := writeRuntimeHistogram(w, rs.name, samples[i].Value.Float64Histogram()); err != nil {
+				return err
+			}
+		default:
+			// KindBad: the metric does not exist in this Go version; skip.
+		}
+	}
+	return nil
+}
+
+// writeRuntimeHistogram converts a runtime/metrics Float64Histogram into
+// a cumulative Prometheus histogram family. Only buckets that carry
+// samples get their own `le` series (runtime histograms have hundreds of
+// mostly-empty buckets); the cumulative counts are exact.
+func writeRuntimeHistogram(w io.Writer, name string, h *metrics.Float64Histogram) error {
+	if h == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		// Bucket i spans [Buckets[i], Buckets[i+1]); use the upper bound
+		// as `le` and approximate the sum from bucket midpoints.
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if !math.IsInf(hi, 1) {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+				name, promFloat(hi), cum); err != nil {
+				return err
+			}
+		}
+		if math.IsInf(lo, -1) {
+			lo = 0
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		sum += float64(c) * (lo + hi) / 2
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, cum, name, promFloat(sum), name, cum)
+	return err
+}

@@ -7,17 +7,22 @@ package telemetry
 type Telemetry struct {
 	tracer  *Tracer
 	metrics *Registry
+	objects *ObjectTracker
 }
 
 // New returns an enabled telemetry bundle with a DefaultSpanCapacity span
-// ring and an empty metrics registry.
+// ring, an empty metrics registry and a DefaultObjectTopK object tracker.
 func New() *Telemetry {
-	return &Telemetry{tracer: NewTracer(0), metrics: NewRegistry()}
+	return NewWithCapacity(0)
 }
 
 // NewWithCapacity sizes the span ring explicitly.
 func NewWithCapacity(spanCapacity int) *Telemetry {
-	return &Telemetry{tracer: NewTracer(spanCapacity), metrics: NewRegistry()}
+	return &Telemetry{
+		tracer:  NewTracer(spanCapacity),
+		metrics: NewRegistry(),
+		objects: NewObjectTracker(0),
+	}
 }
 
 // Tracer returns the span recorder (nil when disabled).
@@ -34,6 +39,15 @@ func (t *Telemetry) Metrics() *Registry {
 		return nil
 	}
 	return t.metrics
+}
+
+// Objects returns the per-object heavy-hitter tracker (nil when
+// disabled).
+func (t *Telemetry) Objects() *ObjectTracker {
+	if t == nil {
+		return nil
+	}
+	return t.objects
 }
 
 // Snapshot captures the current metrics (empty when disabled).

@@ -261,6 +261,14 @@ func (rt *Runtime) Metrics() telemetry.Snapshot { return rt.tel.Snapshot() }
 // TraceID: thread → faas.invoke → client.invoke → server.invoke.
 func (rt *Runtime) Trace() []telemetry.SpanData { return rt.tel.Tracer().Spans() }
 
+// HotObjects snapshots the per-object heavy-hitter tracker: the top-K
+// most-touched shared objects with their call/invoke/apply counts,
+// read/write mix, payload bytes and latency percentiles, sorted hottest
+// first (empty when telemetry is disabled). See DESIGN.md §5f.
+func (rt *Runtime) HotObjects() telemetry.ObjectsSnapshot {
+	return rt.tel.Objects().Snapshot()
+}
+
 // Prewarm provisions n warm runner containers, excluding cold starts from
 // a measurement (the paper's global barrier before measuring).
 func (rt *Runtime) Prewarm(n int) error {
