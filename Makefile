@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-rpc bench-cache bench-write cover verify chaos chaos-short doclint alloc-guard
+.PHONY: build test vet fmt race bench bench-rpc bench-cache bench-write bench-reshard cover verify chaos chaos-short doclint alloc-guard
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ race:
 
 # bench runs the telemetry-overhead spot check plus the RPC hot-path
 # microbenchmark suite (which refreshes BENCH_rpc.json).
-bench: bench-rpc bench-cache bench-write
+bench: bench-rpc bench-cache bench-write bench-reshard
 	$(GO) test -run '^$$' -bench 'BenchmarkInvokeTelemetry' -benchtime 2000x .
 
 # bench-rpc runs the wire-codec and RPC hot-path microbenchmarks and
@@ -60,6 +60,20 @@ bench-write:
 	$(GO) run ./cmd/benchfmt < /tmp/bench_write_raw.txt > BENCH_write.json
 	@echo "wrote BENCH_write.json"
 
+# bench-reshard runs the elastic-resharding benchmarks (a zipfian
+# hot-spot workload under the ServiceTime capacity gate: static
+# placement vs sharded counters vs sharded + rebalancer) and commits
+# their aggregate to BENCH_reshard.json via cmd/benchfmt. Fixed
+# iteration counts keep go test from re-probing b.N — each probe would
+# pay a full cluster start plus, for Elastic, the rebalancer
+# convergence warmup. Acceptance: Elastic ≥ 3x the ops/s of Static
+# (DESIGN.md §5g, EXPERIMENTS.md).
+bench-reshard:
+	$(GO) test -run '^$$' -bench 'BenchmarkReshard' -benchtime 1500x \
+		-benchmem -count=5 ./internal/cluster/ > /tmp/bench_reshard_raw.txt
+	$(GO) run ./cmd/benchfmt < /tmp/bench_reshard_raw.txt > BENCH_reshard.json
+	@echo "wrote BENCH_reshard.json"
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
@@ -75,10 +89,11 @@ chaos:
 
 # chaos-short is the verify-gate slice of the nemesis: one partition
 # schedule, one crash/restart schedule, the cache-on partition schedule
-# (with its invalidation-blackhole window), and the group-commit partition
-# schedule (write batching on), shrunk by -short.
+# (with its invalidation-blackhole window), the group-commit partition
+# schedule (write batching on), and the live-migration partition schedule
+# (hot object migrated mid-partition), shrunk by -short.
 chaos-short:
-	$(GO) test -race -count=1 -short -run 'TestNemesisPartition|TestNemesisCrashRestart|TestNemesisCachePartition|TestNemesisWriteBatchPartition' ./internal/chaos/
+	$(GO) test -race -count=1 -short -run 'TestNemesisPartition|TestNemesisCrashRestart|TestNemesisCachePartition|TestNemesisWriteBatchPartition|TestNemesisMigrationPartition' ./internal/chaos/
 
 # doclint fails when an exported identifier in the public API (the root
 # package) has no doc comment.

@@ -55,6 +55,7 @@ func run() int {
 		fmt.Println(bench.ExpStages)
 		fmt.Println(bench.ExpChaos)
 		fmt.Println(bench.ExpCache)
+		fmt.Println(bench.ExpReshard)
 		return 0
 	}
 	opts := bench.Options{Scale: *scale, Quick: *quick, Report: *report}

@@ -13,6 +13,9 @@
 //	dso-cli trace -members n1=:7001,n2=:7002 -o trace.json
 //	dso-cli chaos partition -members n1=:7001,n2=:7002 -group n1 -group n2
 //	dso-cli chaos restart -members n1=:7001,n2=:7002 -node n2
+//	dso-cli rebalance status -members n1=:7001,n2=:7002
+//	dso-cli migrate -members n1=:7001,n2=:7002 -type AtomicLong -key hot -targets n2
+//	dso-cli migrate -members n1=:7001,n2=:7002 -type AtomicLong -key hot -unpin
 //
 // The stats subcommand fetches every node's counters and telemetry
 // snapshot and prints a per-node breakdown plus a cluster-wide merge
@@ -93,6 +96,10 @@ func main() {
 			os.Exit(runTrace(os.Args[2:]))
 		case "chaos":
 			os.Exit(runChaos(os.Args[2:]))
+		case "rebalance":
+			os.Exit(runRebalance(os.Args[2:]))
+		case "migrate":
+			os.Exit(runMigrate(os.Args[2:]))
 		}
 	}
 	os.Exit(run())
@@ -470,9 +477,12 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "dso-cli:", err)
 		return 1
 	}
+	// RemoteViews rather than a static view: a key the rebalancer pinned
+	// routes by the cluster's directive table, which only the cluster
+	// knows — the -members list merely seeds the contact points.
 	c, err := client.New(client.Config{
 		Transport: rpc.TCP{},
-		Views:     client.StaticView(view),
+		Views:     client.NewRemoteViews(rpc.TCP{}, view),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dso-cli:", err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -10,15 +11,20 @@ import (
 
 	"crucial/internal/collector"
 	"crucial/internal/core"
+	"crucial/internal/membership"
+	"crucial/internal/ring"
 	"crucial/internal/rpc"
 	"crucial/internal/telemetry"
 )
 
 // runTop implements `dso-cli top`: one KindObjectStats RPC per member,
 // merged cluster-wide (telemetry.ObjectsSnapshot.Merge), rendered as a
-// hottest-objects table with per-object rate, read/write mix, latency
-// percentiles and placement (the replica group that owns the object on
-// the current ring).
+// hottest-objects table with per-object rate (windowed when the nodes
+// report rate windows, lifetime average otherwise), read/write mix,
+// latency percentiles and placement — the replica group that owns the
+// object under the current ring plus any placement directives fetched
+// from the cluster. With -json the merged snapshot is emitted as JSON
+// instead, for scripts and dashboards.
 func runTop(argv []string) int {
 	fs := flag.NewFlagSet("top", flag.ExitOnError)
 	var (
@@ -26,6 +32,7 @@ func runTop(argv []string) int {
 		timeout = fs.Duration("timeout", 30*time.Second, "per-node RPC timeout")
 		n       = fs.Int("n", 20, "number of objects to show")
 		rf      = fs.Int("rf", 1, "replication factor used to compute placement (match the servers' -rf)")
+		asJSON  = fs.Bool("json", false, "emit the merged snapshot as JSON")
 	)
 	_ = fs.Parse(argv)
 
@@ -53,13 +60,26 @@ func runTop(argv []string) int {
 	}
 
 	merged := col.Objects()
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(merged); err != nil {
+			fmt.Fprintln(os.Stderr, "dso-cli:", err)
+			return 1
+		}
+		return 0
+	}
 	if len(merged.Stats) == 0 {
 		fmt.Println("no per-object load recorded — are the nodes running with -telemetry?")
 		return 0
 	}
 	r := view.Ring()
+	// Placement directives live in the cluster's directory, which a static
+	// member list cannot see; any member's rebalance status carries the
+	// installed table, so directed objects render their true home.
+	directives := fetchDirectives(view, *timeout)
 	placement := func(st telemetry.ObjectStat) string {
-		set := r.ReplicaSet(core.Ref{Type: st.Type, Key: st.Key}.String(), *rf)
+		set := directives.Place(r, core.Ref{Type: st.Type, Key: st.Key}.String(), *rf)
 		ids := make([]string, len(set))
 		for i, id := range set {
 			ids[i] = string(id)
@@ -109,9 +129,36 @@ func writeObjectsTable(w *os.File, snap telemetry.ObjectsSnapshot, n int, placem
 			p999 = lat.P999.Round(time.Microsecond).String()
 		}
 		fmt.Fprintf(w, "  %-28s %-12s %9.1f %6s %6s %10s %10s %10s %10s\n",
-			name, group, st.Rate(snap.Window), rd, wr, p50, p99, p999,
+			name, group, snap.RateOf(st), rd, wr, p50, p99, p999,
 			formatBytes(st.Bytes))
 	}
+}
+
+// fetchDirectives asks members for their installed placement-directive
+// table (KindRebalanceStatus) and returns the first answer, empty when no
+// node reports one (older nodes, or none reachable).
+func fetchDirectives(view membership.View, timeout time.Duration) ring.Directives {
+	for _, id := range view.Members {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		st, err := fetchRebalanceStatus(ctx, view.Addrs[id])
+		cancel()
+		if err != nil {
+			continue
+		}
+		d := ring.Directives{Version: st.DirectiveVersion}
+		if len(st.Directives) > 0 {
+			d.Entries = make(map[string][]ring.NodeID, len(st.Directives))
+			for key, targets := range st.Directives {
+				ids := make([]ring.NodeID, len(targets))
+				for i, t := range targets {
+					ids[i] = ring.NodeID(t)
+				}
+				d.Entries[key] = ids
+			}
+		}
+		return d
+	}
+	return ring.Directives{}
 }
 
 // formatBytes renders a byte count with a binary unit suffix.

@@ -53,6 +53,9 @@ func run() int {
 		wrBatch  = flag.Int("write-batch", 0, "group-commit batch size: coalesce up to this many concurrent writes per object into one ordering round; 0 disables batching")
 		wrDelay  = flag.Duration("write-delay", 0, "group-commit linger: hold a non-full batch this long for stragglers (requires -write-batch)")
 		wrPipe   = flag.Int("write-pipeline", 0, "group-commit pipeline depth: outstanding ordering rounds per object (default 2 when -write-batch is set)")
+		rebal    = flag.Bool("rebalance", false, "enable the elastic resharding loop: the coordinator live-migrates sustained heavy hitters (requires -telemetry for a load signal)")
+		rebalHot = flag.Float64("rebalance-hot-rate", 0, "rebalancer hot threshold in ops/s (default 200)")
+		rebalInt = flag.Duration("rebalance-interval", 0, "rebalancer scan period (default 2s)")
 		logSpec  = flag.String("log", "info", "log level spec: one level for all components (debug|info|warn|error) or component=level pairs")
 	)
 	flag.Parse()
@@ -121,6 +124,18 @@ func run() int {
 		LeaseTTL:  *leaseTTL,
 		Write:     write,
 		Telemetry: tel,
+	}
+	if *rebal {
+		// Same pattern as -write-*: the flags round-trip core.RebalancePolicy,
+		// unset knobs fall back to the library defaults via Normalized.
+		cfg.Rebalance = core.RebalancePolicy{
+			Enabled:  true,
+			HotRate:  *rebalHot,
+			Interval: *rebalInt,
+		}.Normalized()
+		if tel == nil {
+			logger.Warn("-rebalance without -telemetry: no load signal, the rebalancer will never migrate")
+		}
 	}
 	// The supervisor channel decouples the KindChaos RPC handler from the
 	// node teardown it triggers: the handler just enqueues the op and the

@@ -114,9 +114,11 @@ func Run(name string, w io.Writer, o Options) error {
 		return Chaos(w, o)
 	case ExpCache:
 		return Cache(w, o)
+	case ExpReshard:
+		return Reshard(w, o)
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (known: %v + %v + %q + %q + %q)",
-			name, Names(), AblationNames(), ExpStages, ExpChaos, ExpCache)
+		return fmt.Errorf("bench: unknown experiment %q (known: %v + %v + %q + %q + %q + %q)",
+			name, Names(), AblationNames(), ExpStages, ExpChaos, ExpCache, ExpReshard)
 	}
 }
 

@@ -211,3 +211,23 @@ func TestStagesSmoke(t *testing.T) {
 		t.Fatalf("stages JSON incomplete:\n%s", js)
 	}
 }
+
+func TestReshardSmoke(t *testing.T) {
+	var jsonBuf bytes.Buffer
+	var buf bytes.Buffer
+	o := quickOpts()
+	o.JSON = &jsonBuf
+	if err := Run(ExpReshard, &buf, o); err != nil {
+		t.Fatalf("reshard: %v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, cfg := range []string{"static", "sharded", "elastic"} {
+		if !strings.Contains(out, cfg) {
+			t.Fatalf("reshard missing %q row:\n%s", cfg, out)
+		}
+	}
+	js := jsonBuf.String()
+	if !strings.Contains(js, `"experiment": "reshard"`) || !strings.Contains(js, `"recovery_vs_static"`) {
+		t.Fatalf("reshard JSON incomplete:\n%s", js)
+	}
+}

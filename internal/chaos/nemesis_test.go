@@ -63,6 +63,10 @@ type nemesisOpts struct {
 	write bool
 	// plan builds the fault schedule from the cluster's node names.
 	plan func(nodes []string) chaos.Plan
+	// during, when set, runs concurrently with the workload (a second
+	// nemesis beyond the fault plan — e.g. a migration driver bouncing a
+	// hot object between primaries). It must return when stop closes.
+	during func(ctx context.Context, cl *cluster.Cluster, stop <-chan struct{})
 }
 
 // nemesisRetry is deliberately generous: a call may straddle several fault
@@ -154,6 +158,17 @@ func runNemesis(t *testing.T, o nemesisOpts) (*chaos.Engine, *telemetry.Telemetr
 		})
 	}()
 
+	stopDuring := make(chan struct{})
+	duringDone := make(chan struct{})
+	if o.during != nil {
+		go func() {
+			defer close(duringDone)
+			o.during(ctx, cl, stopDuring)
+		}()
+	} else {
+		close(duringDone)
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < o.workers; w++ {
 		wg.Add(1)
@@ -174,6 +189,8 @@ func runNemesis(t *testing.T, o nemesisOpts) (*chaos.Engine, *telemetry.Telemetr
 		}(w)
 	}
 	wg.Wait()
+	close(stopDuring)
+	<-duringDone
 	if err := <-planDone; err != nil {
 		t.Fatalf("fault plan: %v", err)
 	}
@@ -535,6 +552,81 @@ func TestNemesisCacheCrashRestart(t *testing.T) {
 	})
 	if g := tel.Metrics().Counter(telemetry.MetServerLeaseGrants).Value(); g == 0 {
 		t.Error("cache nemesis granted no leases — the cache never engaged")
+	}
+}
+
+// TestNemesisMigrationPartition live-migrates the hot persistent counter
+// between primaries while partitions land (seed 808): a migration driver
+// re-pins the object onto whichever nodes are not its current primary, over
+// and over, as the fault plan isolates nodes — so pushes fail mid-flight,
+// directive flips race invocations, and clients chase the object through
+// ErrRebalancing bounces. Every history must stay linearizable: a migration
+// that lost an update, forked the lineage (dual primary), or served a stale
+// read through a surviving lease would fail the check.
+func TestNemesisMigrationPartition(t *testing.T) {
+	hot := core.Ref{Type: objects.TypeAtomicLong, Key: "nem-counter-p"}
+	_, tel := runNemesis(t, nemesisOpts{
+		seed:      808,
+		ephemeral: true,
+		plan: func(nodes []string) chaos.Plan {
+			s := spacing()
+			var steps []chaos.Step
+			for w := 0; w < windows(); w++ {
+				at := s * time.Duration(w)
+				victim := nodes[w%len(nodes)]
+				rest := make([]string, 0, len(nodes)-1)
+				for _, n := range nodes {
+					if n != victim {
+						rest = append(rest, n)
+					}
+				}
+				steps = append(steps,
+					chaos.Step{At: at, Kind: chaos.ActPartition,
+						Groups: [][]string{{victim}, rest}},
+					chaos.Step{At: at + s*3/4, Kind: chaos.ActHeal})
+			}
+			return chaos.Plan{Steps: steps}
+		},
+		during: func(ctx context.Context, cl *cluster.Cluster, stop <-chan struct{}) {
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				default:
+				}
+				// Re-pin the hot counter onto everyone but its current
+				// primary. Failures are expected mid-partition (the push
+				// cannot reach the new primary) and must be harmless: the
+				// fence lifts, the directive stays put, clients retry.
+				set := cl.Dir.View().Place(hot.String(), cl.RF())
+				if len(set) > 0 {
+					if n, ok := cl.Node(set[0]); ok {
+						var targets []ring.NodeID
+						for _, id := range cl.NodeIDs() {
+							if id != set[0] {
+								targets = append(targets, id)
+							}
+						}
+						if len(targets) > cl.RF() {
+							targets = targets[:cl.RF()]
+						}
+						mctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+						_ = n.MigrateObject(mctx, hot, targets, false)
+						cancel()
+					}
+				}
+				select {
+				case <-stop:
+					return
+				case <-time.After(spacing() / 3):
+				}
+			}
+		},
+	})
+	if tel.Metrics().Counter(telemetry.MetServerMigrations).Value() == 0 {
+		t.Error("no live migration ever completed during the schedule")
 	}
 }
 

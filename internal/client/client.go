@@ -254,15 +254,20 @@ func (c *Client) refreshView() {
 	c.mu.Unlock()
 }
 
-// target picks the primary node for a reference from a routing snapshot.
+// target picks the primary node for a reference from a routing snapshot,
+// honoring the view's directive table: a key the rebalancer pinned routes
+// to its directed primary, everything else to the ring owner. A directive
+// flip arrives as a new view, so the ordinary refresh-and-retry loop
+// re-routes pinned keys with no extra machinery.
 func (rt *routes) target(ref core.Ref) (ring.NodeID, string, error) {
 	if rt.ring == nil || rt.ring.Size() == 0 {
 		return "", "", errors.New("client: no DSO nodes in view")
 	}
-	owner, ok := rt.ring.Owner(ref.String())
-	if !ok {
+	set := rt.view.Directives.Place(rt.ring, ref.String(), 1)
+	if len(set) == 0 {
 		return "", "", errors.New("client: no owner for " + ref.String())
 	}
+	owner := set[0]
 	addr, ok := rt.view.Addrs[owner]
 	if !ok {
 		return "", "", fmt.Errorf("client: no address for node %s", owner)
@@ -298,7 +303,7 @@ func (c *Client) routeFor(inv core.Invocation) (string, *rpc.Client, error) {
 	if rt.ring == nil || rt.ring.Size() == 0 {
 		return "", nil, errors.New("client: no DSO nodes in view")
 	}
-	group := rt.ring.ReplicaSet(inv.Ref.String(), c.cfg.ReadReplicas)
+	group := rt.view.Directives.Place(rt.ring, inv.Ref.String(), c.cfg.ReadReplicas)
 	if len(group) == 0 {
 		return "", nil, errors.New("client: no owner for " + inv.Ref.String())
 	}

@@ -82,6 +82,12 @@ type Options struct {
 	// (client.Config.Write). The zero value keeps the classic
 	// one-round-per-mutation path; see core.WritePolicy.
 	Write core.WritePolicy
+	// Rebalance is the elastic resharding policy applied to every node
+	// (server.Config.Rebalance): with Enabled set and Telemetry attached,
+	// the coordinator node live-migrates sustained heavy hitters onto the
+	// least-loaded nodes. The zero value keeps placement hash-driven; see
+	// core.RebalancePolicy.
+	Rebalance core.RebalancePolicy
 }
 
 // Cluster is a running DSO deployment.
@@ -186,6 +192,7 @@ func (c *Cluster) nodeConfig(id ring.NodeID) server.Config {
 		PeerCallTimeout:    c.opts.PeerCallTimeout,
 		LeaseTTL:           c.opts.LeaseTTL,
 		Write:              c.opts.Write,
+		Rebalance:          c.opts.Rebalance,
 		Telemetry:          c.opts.Telemetry,
 		Chaos:              c.opts.Chaos,
 	}

@@ -23,10 +23,15 @@ import (
 )
 
 // View is one membership epoch. Views are immutable; Members is sorted.
+// Directives carries the per-key placement overrides in force for this
+// epoch (ring.Directives): the rebalancer installs a new view (same
+// members, bumped directive version) to move a hot object, and every node
+// and client routes from the same table.
 type View struct {
-	ID      uint64
-	Members []ring.NodeID
-	Addrs   map[ring.NodeID]string
+	ID         uint64
+	Members    []ring.NodeID
+	Addrs      map[ring.NodeID]string
+	Directives ring.Directives
 }
 
 // Contains reports whether node is a member of the view.
@@ -44,32 +49,65 @@ func (v View) Ring() *ring.Ring {
 	return ring.New(v.Members, 0)
 }
 
-// Fence is a digest of the view's membership (FNV-1a over the sorted
-// member list). Two views with equal fences resolve every object to the
-// same replica group and the same primary, so replication messages fenced
-// on it can only commit among nodes that agree on who coordinates —
-// ruling out a stale primary and a new one serving the same object
-// concurrently during a view transition. Unlike the ID, the fence is
-// comparable across independently-numbered directories (each process of a
-// TCP deployment runs its own).
+// Place computes the replica set for key in this view: directive table
+// first, ring otherwise (ring.Directives.Place). Convenience for cold
+// paths; hot paths keep a cached Ring and call Directives.Place on it.
+func (v View) Place(key string, rf int) []ring.NodeID {
+	return v.Directives.Place(v.Ring(), key, rf)
+}
+
+// Fence is a digest of the view's placement function (FNV-1a over the
+// sorted member list and the directive table). Two views with equal
+// fences resolve every object to the same replica group and the same
+// primary, so replication messages fenced on it can only commit among
+// nodes that agree on who coordinates — ruling out a stale primary and a
+// new one serving the same object concurrently during a view transition.
+// Directives are part of the digest because a directive flip changes
+// placement exactly like a membership change does: a proposal fenced on
+// the pre-flip table must not commit once the flip lands. Unlike the ID,
+// the fence is comparable across independently-numbered directories (each
+// process of a TCP deployment runs its own).
 func (v View) Fence() uint64 {
 	// Inline FNV-1a, 64 bit.
 	const offset64, prime64 = 14695981039346656037, 1099511628211
 	h := uint64(offset64)
-	for _, m := range v.Members {
-		for i := 0; i < len(m); i++ {
-			h ^= uint64(m[i])
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
 			h *= prime64
 		}
-		h ^= 0xff // member separator
+		h ^= 0xff // field separator
 		h *= prime64
+	}
+	for _, m := range v.Members {
+		mix(string(m))
+	}
+	if v.Directives.Len() > 0 {
+		for i := 0; i < 8; i++ {
+			h ^= (v.Directives.Version >> (8 * i)) & 0xff
+			h *= prime64
+		}
+		for _, k := range v.Directives.Keys() {
+			mix(k)
+			targets, _ := v.Directives.Lookup(k)
+			for _, t := range targets {
+				mix(string(t))
+			}
+			h ^= 0xfe // entry separator
+			h *= prime64
+		}
 	}
 	return h
 }
 
 // clone returns a deep copy so callers can never alias directory state.
 func (v View) clone() View {
-	out := View{ID: v.ID, Members: make([]ring.NodeID, len(v.Members)), Addrs: make(map[ring.NodeID]string, len(v.Addrs))}
+	out := View{
+		ID:         v.ID,
+		Members:    make([]ring.NodeID, len(v.Members)),
+		Addrs:      make(map[ring.NodeID]string, len(v.Addrs)),
+		Directives: v.Directives.Clone(),
+	}
 	copy(out.Members, v.Members)
 	for k, a := range v.Addrs {
 		out.Addrs[k] = a
@@ -184,7 +222,7 @@ func (d *Directory) change(mutate func(map[ring.NodeID]string)) View {
 		return cur
 	}
 
-	next := View{ID: d.view.ID + 1, Addrs: members}
+	next := View{ID: d.view.ID + 1, Addrs: members, Directives: d.view.Directives.Clone()}
 	next.Members = make([]ring.NodeID, 0, len(members))
 	for n := range members {
 		next.Members = append(next.Members, n)
@@ -211,6 +249,90 @@ func (d *Directory) change(mutate func(map[ring.NodeID]string)) View {
 		l(installed)
 	}
 	return installed
+}
+
+// SetDirective installs the next view with key directed to targets (same
+// members, directive version bumped). An empty target list removes the
+// override. Placement flips go through the ordinary view-installation
+// path on purpose: subscribers see one totally-ordered sequence of
+// placement changes, membership or directive alike, and the new view's
+// fence cuts off in-flight replication rounds routed by the old table.
+func (d *Directory) SetDirective(key string, targets []ring.NodeID) View {
+	return d.UpdateDirectives(func(cur ring.Directives) ring.Directives {
+		return cur.With(key, targets)
+	})
+}
+
+// ClearDirective installs the next view with key's override removed, so
+// the key falls back to hash placement. Clearing a key that has no
+// override installs nothing.
+func (d *Directory) ClearDirective(key string) View {
+	return d.UpdateDirectives(func(cur ring.Directives) ring.Directives {
+		if _, ok := cur.Lookup(key); !ok {
+			return cur
+		}
+		return cur.Without(key)
+	})
+}
+
+// UpdateDirectives applies mutate to the current directive table and, if
+// the returned table's version differs, installs the next view carrying
+// it. Updates are serialized under the installation lock, so concurrent
+// callers each observe the latest table and versions are strictly
+// monotonic. mutate must return either its argument unchanged (no
+// install) or a derived table with a larger version; it must not call
+// back into the directory.
+func (d *Directory) UpdateDirectives(mutate func(ring.Directives) ring.Directives) View {
+	d.installMu.Lock()
+	defer d.installMu.Unlock()
+
+	d.mu.Lock()
+	next := mutate(d.view.Directives.Clone())
+	if next.Version == d.view.Directives.Version {
+		cur := d.view.clone()
+		d.mu.Unlock()
+		return cur
+	}
+	nv := d.view.clone()
+	nv.ID = d.view.ID + 1
+	nv.Directives = next
+	d.view = nv
+
+	ls := make([]Listener, 0, len(d.listeners))
+	for _, l := range d.listeners {
+		ls = append(ls, l)
+	}
+	installed := nv.clone()
+	d.mu.Unlock()
+
+	for _, l := range ls {
+		l(installed)
+	}
+	return installed
+}
+
+// SyncDirectives adopts a remote directive table if it is strictly newer
+// than the local one, installing the next view carrying it (same member
+// set). It is the propagation half of placement flips for deployments
+// where every process owns a private Directory: the primary that
+// executes a migration flips its own directory, then broadcasts the new
+// table to its peers, and the rebalance coordinator re-broadcasts every
+// scan as anti-entropy — a node that missed the flip converges within
+// one scan interval. Version-ordered adoption is last-writer-wins: the
+// single rebalance coordinator serializes migrations, so competing
+// tables with the same version only arise from concurrent hand-driven
+// `dso-cli migrate` calls against partitioned primaries. The bool
+// reports whether the table was adopted.
+func (d *Directory) SyncDirectives(remote ring.Directives) (View, bool) {
+	adopted := false
+	v := d.UpdateDirectives(func(cur ring.Directives) ring.Directives {
+		if remote.Version <= cur.Version {
+			return cur
+		}
+		adopted = true
+		return remote.Clone()
+	})
+	return v, adopted
 }
 
 // unchangedLocked reports whether the mutated member set equals the

@@ -1,0 +1,223 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sameSet(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDirectivesZeroValueFallsBackToHash(t *testing.T) {
+	r := New(nodes(5), 0)
+	var d Directives
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if !sameSet(d.Place(r, k, 3), r.ReplicaSet(k, 3)) {
+			t.Fatalf("empty table changed placement of %q", k)
+		}
+	}
+}
+
+// Redistribution bound: installing a directive moves exactly the directed
+// key. Every other key keeps its hash placement bit-for-bit — the analog
+// of consistent hashing's minimal-movement property, for the override
+// table.
+func TestDirectiveMovesOnlyTheDirectedKey(t *testing.T) {
+	const keys = 2000
+	r := New(nodes(5), 0)
+	var before Directives
+
+	hot := "key-42"
+	cur := before.Place(r, hot, 2)
+	// Direct the hot key at the two nodes that do NOT hold it today.
+	var targets []NodeID
+	for _, n := range r.Nodes() {
+		if n != cur[0] && n != cur[1] {
+			targets = append(targets, n)
+		}
+		if len(targets) == 2 {
+			break
+		}
+	}
+	after := before.With(hot, targets)
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if MovedWith(r, before, r, after, k, 2) {
+			moved++
+			if k != hot {
+				t.Fatalf("undirected key %q moved on directive install", k)
+			}
+		}
+	}
+	if moved != 1 {
+		t.Fatalf("moved %d keys, want exactly 1 (the directed key)", moved)
+	}
+	if got := after.Place(r, hot, 2); !sameSet(got, targets) {
+		t.Fatalf("directed key placed at %v, want %v", got, targets)
+	}
+}
+
+// Removing the directive restores the key's hash placement and, again,
+// moves nothing else.
+func TestDirectiveRemovalRestoresHashPlacement(t *testing.T) {
+	r := New(nodes(5), 0)
+	hot := "key-7"
+	pinned := Directives{}.With(hot, []NodeID{"node-03", "node-04"})
+	unpinned := pinned.Without(hot)
+
+	if !sameSet(unpinned.Place(r, hot, 2), r.ReplicaSet(hot, 2)) {
+		t.Fatal("un-pinned key did not return to hash placement")
+	}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if k == hot {
+			continue
+		}
+		if MovedWith(r, pinned, r, unpinned, k, 2) {
+			t.Fatalf("undirected key %q moved on directive removal", k)
+		}
+	}
+}
+
+// A directive shields its key from unrelated membership changes: as long
+// as the directed targets survive, the key stays put even when the ring
+// around it shrinks.
+func TestDirectedKeyStableAcrossViewChange(t *testing.T) {
+	before := New(nodes(5), 0)
+	after := New(nodes(5)[:4], 0) // drop node-04
+	d := Directives{}.With("hot", []NodeID{"node-01", "node-02"})
+
+	if MovedWith(before, d, after, d, "hot", 2) {
+		t.Fatal("directed key moved although its targets survived the view change")
+	}
+	if got := d.Place(after, "hot", 2); !sameSet(got, []NodeID{"node-01", "node-02"}) {
+		t.Fatalf("directed placement after view change = %v", got)
+	}
+}
+
+// Dead targets are skipped and the set is topped up from the clockwise
+// ring walk, so a directive degrades toward hash placement instead of
+// stranding its key.
+func TestDirectivePlaceFiltersDeadTargetsAndTopsUp(t *testing.T) {
+	r := New(nodes(3), 0)
+	d := Directives{}.With("k", []NodeID{"node-99", "node-01"})
+
+	got := d.Place(r, "k", 2)
+	if len(got) != 2 {
+		t.Fatalf("placement size %d, want 2", len(got))
+	}
+	if got[0] != "node-01" {
+		t.Fatalf("surviving target demoted: primary %q, want node-01", got[0])
+	}
+	seen := map[NodeID]struct{}{}
+	for _, n := range got {
+		if !r.Contains(n) {
+			t.Fatalf("placed on non-member %q", n)
+		}
+		if _, dup := seen[n]; dup {
+			t.Fatalf("duplicate node %q in %v", n, got)
+		}
+		seen[n] = struct{}{}
+	}
+}
+
+func TestDirectivePlaceAllTargetsDead(t *testing.T) {
+	r := New(nodes(3), 0)
+	d := Directives{}.With("k", []NodeID{"gone-1", "gone-2"})
+	if got := d.Place(r, "k", 2); !sameSet(got, r.ReplicaSet("k", 2)) {
+		t.Fatalf("fully-dead directive placed %v, want hash fallback %v",
+			got, r.ReplicaSet("k", 2))
+	}
+}
+
+func TestDirectivePlaceDeduplicatesTargets(t *testing.T) {
+	r := New(nodes(3), 0)
+	d := Directives{}.With("k", []NodeID{"node-01", "node-01", "node-02"})
+	got := d.Place(r, "k", 2)
+	if !sameSet(got, []NodeID{"node-01", "node-02"}) {
+		t.Fatalf("duplicate targets not collapsed: %v", got)
+	}
+}
+
+func TestDirectivePlaceClampsRF(t *testing.T) {
+	r := New(nodes(2), 0)
+	d := Directives{}.With("k", []NodeID{"node-00"})
+	if got := d.Place(r, "k", 5); len(got) != 2 {
+		t.Fatalf("rf clamp failed: %d nodes for a 2-node ring", len(got))
+	}
+	if got := d.Place(r, "k", 0); got != nil {
+		t.Fatalf("rf=0 returned %v", got)
+	}
+}
+
+// Every With/Without strictly bumps the version — including a With that
+// only deletes — so any two distinct tables in a lineage are ordered.
+func TestDirectiveVersionStrictlyMonotonic(t *testing.T) {
+	d := Directives{}
+	last := d.Version
+	step := func(next Directives, op string) {
+		if next.Version <= last {
+			t.Fatalf("%s: version %d not greater than %d", op, next.Version, last)
+		}
+		last = next.Version
+		d = next
+	}
+	step(d.With("a", []NodeID{"n1"}), "install a")
+	step(d.With("b", []NodeID{"n2"}), "install b")
+	step(d.Without("a"), "remove a")
+	step(d.Without("missing"), "remove absent key")
+	step(d.With("c", nil), "install with empty targets")
+	if d.Len() != 1 {
+		t.Fatalf("table has %d entries, want 1 (just b)", d.Len())
+	}
+}
+
+// With/Without/Clone never mutate the receiver, so a table can be shared
+// without locks.
+func TestDirectivesImmutable(t *testing.T) {
+	base := Directives{}.With("a", []NodeID{"n1", "n2"})
+	snapshot := base.Clone()
+
+	_ = base.With("b", []NodeID{"n3"})
+	_ = base.Without("a")
+	cl := base.Clone()
+	cl.Entries["a"][0] = "mutated"
+
+	if base.Version != snapshot.Version || base.Len() != snapshot.Len() {
+		t.Fatal("derivation mutated the receiver")
+	}
+	got, _ := base.Lookup("a")
+	if !sameSet(got, []NodeID{"n1", "n2"}) {
+		t.Fatalf("receiver entries mutated: %v", got)
+	}
+}
+
+func TestDirectivesWithCopiesTargets(t *testing.T) {
+	targets := []NodeID{"n1", "n2"}
+	d := Directives{}.With("a", targets)
+	targets[0] = "mutated"
+	got, _ := d.Lookup("a")
+	if got[0] != "n1" {
+		t.Fatal("With aliased the caller's target slice")
+	}
+}
+
+func TestDirectivesKeysSorted(t *testing.T) {
+	d := Directives{}.With("b", []NodeID{"n1"}).With("a", []NodeID{"n1"}).With("c", []NodeID{"n1"})
+	keys := d.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("Keys() = %v, want sorted [a b c]", keys)
+	}
+}

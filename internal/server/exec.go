@@ -117,9 +117,11 @@ func (c nodeCtl) Context() context.Context { return c.ctx }
 var _ core.Ctl = nodeCtl{}
 
 // replicaGroup computes the nodes responsible for a reference in the
-// current view. rf is clamped by membership size inside the ring.
+// current view: the view's directive table first (per-key placement
+// overrides installed by the rebalancer), the consistent-hashing ring for
+// everything else. rf is clamped by membership size inside the ring.
 func (n *Node) replicaGroup(ref core.Ref, persist bool) ([]ring.NodeID, *ring.Ring) {
-	_, r := n.currentView()
+	v, r := n.currentView()
 	if r == nil {
 		return nil, nil
 	}
@@ -127,7 +129,7 @@ func (n *Node) replicaGroup(ref core.Ref, persist bool) ([]ring.NodeID, *ring.Ri
 	if persist {
 		rf = n.cfg.RF
 	}
-	return r.ReplicaSet(ref.String(), rf), r
+	return v.Directives.Place(r, ref.String(), rf), r
 }
 
 // lookupOrCreate returns the entry for ref, materializing the object from

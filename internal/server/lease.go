@@ -185,9 +185,15 @@ func (lt *leaseTable) grant(req LeaseRequest) LeaseResponse {
 	// locally installed one: a deposed primary may not have installed the
 	// new view yet, and granting from it would outlive the view fence.
 	dv := n.cfg.Directory.View()
-	group := dv.Ring().ReplicaSet(req.Ref.String(), rf)
+	group := dv.Place(req.Ref.String(), rf)
 	if len(group) == 0 || group[0] != n.cfg.ID {
 		return lt.refusal("not primary")
+	}
+	if n.migrationFenced(req.Ref) {
+		// The object is mid-migration: its copy is about to move and the
+		// directive flip will change the primary. A lease granted now could
+		// outlive this node's ownership without the new owner knowing.
+		return lt.refusal("migrating")
 	}
 	if req.Replica && !contains(group, ring.NodeID(req.HolderAddr)) {
 		return lt.refusal("holder not in replica group")
@@ -614,7 +620,7 @@ func (n *Node) tryLocalRead(ctx context.Context, inv core.Invocation) ([]any, er
 		return nil, nil, false
 	}
 	dv := n.cfg.Directory.View()
-	group := dv.Ring().ReplicaSet(inv.Ref.String(), n.cfg.RF)
+	group := dv.Place(inv.Ref.String(), n.cfg.RF)
 	if len(group) == 0 || group[0] != n.cfg.ID {
 		return nil, nil, false
 	}

@@ -72,6 +72,30 @@ const (
 	// (gob-encoded telemetry.ObjectsSnapshot) for dso-cli top and the
 	// cluster collector. Uninstrumented nodes return an empty snapshot.
 	KindObjectStats uint8 = 15
+	// KindMigrate asks an object's primary to live-migrate it (gob-encoded
+	// migrateCmd): fence, revoke leases, quiesce, push the snapshot to the
+	// new replica set, then flip the placement directive. Sent by the
+	// rebalancer and dso-cli migrate. See migrate.go.
+	KindMigrate uint8 = 16
+	// KindRebalanceStatus returns the node's resharding-plane status
+	// (gob-encoded RebalanceStatus) for dso-cli rebalance status.
+	KindRebalanceStatus uint8 = 17
+	// KindView returns the node's installed membership view (gob-encoded
+	// membership.View) — members, addresses, AND the directive table.
+	// External clients (client.RemoteViews) refresh through it so keys
+	// the rebalancer pinned keep routing after a directive flip; a static
+	// member list alone goes permanently stale the first time placement
+	// diverges from the hash ring.
+	KindView uint8 = 18
+	// KindDirectivesSync carries a directive table (gob-encoded
+	// ring.Directives) between nodes. Processes with private directories
+	// (dso-server) adopt a strictly newer table into their own view, so a
+	// placement flip executed on one primary reaches every member: the
+	// migrating primary broadcasts after the flip, and the rebalance
+	// coordinator re-broadcasts each scan as anti-entropy. Shared-
+	// directory deployments (in-process clusters) see only no-ops — the
+	// table is never newer than their own.
+	KindDirectivesSync uint8 = 19
 )
 
 // Config wires one node into a cluster.
@@ -117,6 +141,13 @@ type Config struct {
 	// The same struct configures every layer (crucial.Options.Write,
 	// cluster.Options.Write, client.Config.Write, dso-server flags).
 	Write core.WritePolicy
+	// Rebalance configures the telemetry-driven elastic resharding loop
+	// (DESIGN.md §5g): with Enabled set (and a Telemetry bundle, its only
+	// load signal), the coordinator node periodically merges the cluster's
+	// per-object windowed rates and live-migrates sustained heavy hitters
+	// onto the least-loaded nodes via placement directives. The zero value
+	// keeps placement purely hash-driven.
+	Rebalance core.RebalancePolicy
 	// PeerCallTimeout bounds each inter-node RPC attempt (Skeen control
 	// messages, state transfers). Without it, a frame lost in the network
 	// blocks the coordinator forever and its orphaned proposal wedges the
@@ -226,6 +257,18 @@ type Node struct {
 	// svcGate, when non-nil, is the modeled capacity gate (see Config).
 	svcGate chan struct{}
 
+	// migrating holds the live-migration fences (ref → deadline): writes
+	// and lease grants bounce with ErrRebalancing while a hand-off is in
+	// flight (see migrate.go). rebal is the resharding loop, nil unless
+	// Config.Rebalance enables it.
+	migrateMu sync.Mutex
+	migrating map[core.Ref]time.Time
+	rebal     *rebalancer
+
+	migrations       atomic.Uint64
+	migrationsFailed atomic.Uint64
+	rebalScans       atomic.Uint64
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 
@@ -240,6 +283,7 @@ type Node struct {
 	tracer          *telemetry.Tracer
 	metrics         *telemetry.Registry
 	objTrack        *telemetry.ObjectTracker
+	bundleTrack     *telemetry.ObjectTracker
 	cInvocations    *telemetry.Counter
 	cSMRRounds      *telemetry.Counter
 	cTransfers      *telemetry.Counter
@@ -260,6 +304,10 @@ type Node struct {
 
 	cBatches   *telemetry.Counter
 	hBatchSize *telemetry.Histogram
+
+	cMigrations       *telemetry.Counter
+	cMigrationsFailed *telemetry.Counter
+	cRebalScans       *telemetry.Counter
 }
 
 // Start launches the node: it listens on cfg.Addr, joins the directory and
@@ -286,7 +334,16 @@ func Start(cfg Config) (*Node, error) {
 		n.instrumented = true
 		n.tracer = cfg.Telemetry.Tracer()
 		n.metrics = cfg.Telemetry.Metrics()
-		n.objTrack = cfg.Telemetry.Objects()
+		// Per-NODE tracker, deliberately not the bundle's shared one: this
+		// node's KindObjectStats answer must describe the load IT serves.
+		// In-process clusters share one Telemetry bundle across nodes, and
+		// a shared tracker would make every member report the whole
+		// cluster's traffic — inflating merged snapshots N-fold and
+		// blinding the rebalancer's per-node load model. The bundle's own
+		// tracker keeps the process-wide view (Runtime.HotObjects), so
+		// server-side observations are mirrored into it as well.
+		n.objTrack = telemetry.NewObjectTracker(0)
+		n.bundleTrack = cfg.Telemetry.Objects()
 		n.cInvocations = n.metrics.Counter(telemetry.MetServerInvocations)
 		n.cSMRRounds = n.metrics.Counter(telemetry.MetServerSMRRounds)
 		n.cTransfers = n.metrics.Counter(telemetry.MetServerTransfers)
@@ -309,6 +366,9 @@ func Start(cfg Config) (*Node, error) {
 	n.cLocalReads = n.metrics.Counter(telemetry.MetServerLocalReads)
 	n.cBatches = n.metrics.Counter(telemetry.MetServerBatches)
 	n.hBatchSize = n.metrics.Histogram(telemetry.HistServerBatchSize)
+	n.cMigrations = n.metrics.Counter(telemetry.MetServerMigrations)
+	n.cMigrationsFailed = n.metrics.Counter(telemetry.MetServerMigrationsFailed)
+	n.cRebalScans = n.metrics.Counter(telemetry.MetServerRebalanceScans)
 	if cfg.LeaseTTL > 0 {
 		n.leases = newLeaseTable(n, cfg.LeaseTTL)
 	}
@@ -342,8 +402,12 @@ func Start(cfg Config) (*Node, error) {
 	// then track view changes for rebalancing.
 	cfg.Directory.Join(cfg.ID, cfg.Addr)
 	n.unsubscribe = cfg.Directory.Subscribe(n.onView)
+	if cfg.Rebalance.Enabled {
+		n.rebal = newRebalancer(n, cfg.Rebalance)
+		n.rebal.start()
+	}
 	n.log.Info("node started", "addr", cfg.Addr, "rf", cfg.RF,
-		"instrumented", n.instrumented)
+		"instrumented", n.instrumented, "rebalance", cfg.Rebalance.Enabled)
 	return n, nil
 }
 
@@ -428,6 +492,11 @@ func (n *Node) Crash() error {
 
 func (n *Node) shutdown() error {
 	n.closed.Store(true)
+	if n.rebal != nil {
+		// Stop the scan loop before tearing down the RPC plane; an
+		// in-flight scan's peer calls fail fast against closed peers.
+		n.rebal.stopWait()
+	}
 	// Abort FINAL handlers parked in WaitDelivered (see totalorder.Close):
 	// they hold RPC handler slots, and waiting out their full bound here
 	// would stall the shutdown — and everything sequenced after it — for
@@ -508,6 +577,15 @@ func (n *Node) handle(ctx context.Context, kind uint8, payload []byte) ([]byte, 
 		return n.handleLease(payload)
 	case KindLeaseRevoke:
 		return n.handleLeaseRevoke(payload)
+	case KindMigrate:
+		return n.handleMigrate(ctx, payload)
+	case KindRebalanceStatus:
+		return n.handleRebalanceStatus()
+	case KindView:
+		v, _ := n.currentView()
+		return core.EncodeValue(v)
+	case KindDirectivesSync:
+		return n.handleDirectivesSync(payload)
 	case KindPing:
 		return []byte("pong"), nil
 	default:
@@ -537,9 +615,10 @@ func (n *Node) handleInvoke(ctx context.Context, payload []byte) ([]byte, error)
 	if n.objTrack != nil {
 		start := time.Now()
 		defer func() {
-			n.objTrack.ObserveInvoke(
-				telemetry.ObjectKey{Type: inv.Ref.Type, Key: inv.Ref.Key},
-				inv.ReadOnly, time.Since(start), len(payload))
+			k := telemetry.ObjectKey{Type: inv.Ref.Type, Key: inv.Ref.Key}
+			d := time.Since(start)
+			n.objTrack.ObserveInvoke(k, inv.ReadOnly, d, len(payload))
+			n.bundleTrack.ObserveInvoke(k, inv.ReadOnly, d, len(payload))
 		}()
 	}
 	// Telemetry: continue the client's trace across the RPC boundary via
@@ -576,9 +655,16 @@ func (n *Node) handleInvoke(ctx context.Context, payload []byte) ([]byte, error)
 
 	var results []any
 	var callErr error
-	if inv.Persist && n.cfg.RF > 1 {
+	switch {
+	case n.migrationFenced(inv.Ref):
+		// Mid-migration: the copy is about to move and the directive flip
+		// will change the primary. Bounce retryably; the client refreshes
+		// its view and lands on the new home (see migrate.go).
+		callErr = fmt.Errorf("%w: %s mid-migration on %s",
+			core.ErrRebalancing, inv.Ref, n.cfg.ID)
+	case inv.Persist && n.cfg.RF > 1:
 		results, callErr = n.invokeReplicated(ctx, inv)
-	} else {
+	default:
 		results, callErr = n.invokeLocal(ctx, inv)
 	}
 	resp := core.Response{Results: results, Err: core.EncodeError(callErr)}

@@ -64,6 +64,7 @@ type fetchResp struct {
 // listener invocations, so onView never runs concurrently with itself.
 func (n *Node) onView(v membership.View) {
 	n.viewMu.Lock()
+	oldView := n.view
 	oldRing := n.ringCur
 	n.view = v
 	n.ringCur = v.Ring()
@@ -73,6 +74,10 @@ func (n *Node) onView(v membership.View) {
 	if oldRing == nil || n.closed.Load() {
 		return
 	}
+	// A migration fence held for an object this node no longer owns can
+	// lift: the directive flip it was guarding has landed (or membership
+	// moved the key anyway), and the new primary serves from here on.
+	n.liftMigrationFences(v)
 	if n.leases != nil {
 		// Fence first, rebalance second: ownership just moved under every
 		// lease this node granted, and the new owners cannot revoke them
@@ -90,7 +95,7 @@ func (n *Node) onView(v membership.View) {
 	}
 	n.to.PurgeOrigins(alive)
 	n.inflight.purge(alive)
-	n.rebalance(oldRing, newRing, v)
+	n.rebalance(oldView, oldRing, newRing, v)
 }
 
 func contains(set []ring.NodeID, id ring.NodeID) bool {
@@ -102,8 +107,11 @@ func contains(set []ring.NodeID, id ring.NodeID) bool {
 	return false
 }
 
-// rebalance moves objects after a membership change.
-func (n *Node) rebalance(oldRing, newRing *ring.Ring, v membership.View) {
+// rebalance moves objects after a placement change — a membership change,
+// a directive flip, or both at once. Replica sets are computed under each
+// view's own directive table, so a directive install moves exactly the
+// directed key and a directive removal sends it back to its hash home.
+func (n *Node) rebalance(oldView membership.View, oldRing, newRing *ring.Ring, v membership.View) {
 	n.objMu.Lock()
 	refs := make([]core.Ref, 0, len(n.objects))
 	entries := make([]*entry, 0, len(n.objects))
@@ -123,8 +131,8 @@ func (n *Node) rebalance(oldRing, newRing *ring.Ring, v membership.View) {
 			rf = n.cfg.RF
 		}
 		key := ref.String()
-		oldSet := oldRing.ReplicaSet(key, rf)
-		newSet := newRing.ReplicaSet(key, rf)
+		oldSet := oldView.Directives.Place(oldRing, key, rf)
+		newSet := v.Directives.Place(newRing, key, rf)
 		if !contains(oldSet, n.cfg.ID) {
 			// We hold a copy we were not responsible for (leftover of an
 			// earlier view); drop it if we are not responsible now either —

@@ -358,8 +358,9 @@ func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) bool {
 						versionKnown = true
 						release()
 						if err == nil {
-							n.objTrack.ObserveApply(
-								telemetry.ObjectKey{Type: inv.Ref.Type, Key: inv.Ref.Key}, 1)
+							k := telemetry.ObjectKey{Type: inv.Ref.Type, Key: inv.Ref.Key}
+							n.objTrack.ObserveApply(k, 1)
+							n.bundleTrack.ObserveApply(k, 1)
 						}
 						n.log.Debug("smr op applied", "ref", inv.Ref.String(),
 							"method", inv.Method, "id", id.String(), "version", version)
@@ -437,8 +438,9 @@ func (n *Node) deliverSMRBatch(id totalorder.MsgID, payload []byte) bool {
 					versionKnown = out.err == nil
 					release()
 					if out.err == nil {
-						n.objTrack.ObserveApply(
-							telemetry.ObjectKey{Type: ref.Type, Key: ref.Key}, len(invs))
+						k := telemetry.ObjectKey{Type: ref.Type, Key: ref.Key}
+						n.objTrack.ObserveApply(k, len(invs))
+						n.bundleTrack.ObserveApply(k, len(invs))
 					}
 					n.log.Debug("smr batch applied", "ref", ref.String(),
 						"id", id.String(), "ops", len(invs), "version", out.version)

@@ -34,6 +34,13 @@ import (
 // DefaultObjectTopK is the tracker capacity used by New.
 const DefaultObjectTopK = 128
 
+// DefaultRateEpoch is the windowed-rate rotation period. The tracker keeps
+// two epochs of per-slot activity (current plus previous) and rotates them
+// on this cadence, so a windowed rate always covers between one and two
+// epochs of recent history — cumulative counters can say an object *was*
+// hot, only the window can say it still is.
+const DefaultRateEpoch = 5 * time.Second
+
 // ObjectKey identifies a DSO instance (mirrors core.Ref without importing
 // it — telemetry stays dependency-free). It is comparable, so warm-path
 // map lookups allocate nothing.
@@ -56,6 +63,13 @@ type objSlot struct {
 	writes  uint64
 	bytes   uint64
 
+	// Two-epoch windowed activity (calls + invokes, not applies — the
+	// window is the hot-*primary* signal, and counting every member's
+	// apply would multiply a replicated write by its group size). winCur
+	// accumulates the running epoch; winPrev holds the last completed one.
+	winCur  uint64
+	winPrev uint64
+
 	// Inline latency histogram over server invoke durations, same
 	// power-of-two-microsecond buckets as Histogram.
 	hcount  uint64
@@ -75,6 +89,13 @@ type ObjectTracker struct {
 	total     uint64 // observations of any kind, including evicted keys
 	evictions uint64 // slot takeovers (distinct keys beyond capacity)
 	start     time.Time
+
+	// Windowed-rate epoch state (see DefaultRateEpoch): epochStart is when
+	// the running epoch began, prevDur the length of the completed epoch
+	// held in the slots' winPrev (zero before the first rotation).
+	rateEpoch  time.Duration
+	epochStart time.Time
+	prevDur    time.Duration
 }
 
 // NewObjectTracker returns a tracker bounded at capacity slots
@@ -83,11 +104,40 @@ func NewObjectTracker(capacity int) *ObjectTracker {
 	if capacity <= 0 {
 		capacity = DefaultObjectTopK
 	}
+	now := time.Now()
 	return &ObjectTracker{
-		slots:    make(map[ObjectKey]*objSlot, capacity),
-		capacity: capacity,
-		start:    time.Now(),
+		slots:      make(map[ObjectKey]*objSlot, capacity),
+		capacity:   capacity,
+		start:      now,
+		rateEpoch:  DefaultRateEpoch,
+		epochStart: now,
 	}
+}
+
+// maybeRotateLocked advances the two-epoch window when the running epoch
+// has run its course: current activity becomes the previous epoch and a
+// fresh one starts. After an idle gap of two epochs or more both windows
+// are stale and are cleared. O(capacity) once per epoch; caller holds mu.
+func (t *ObjectTracker) maybeRotateLocked(now time.Time) {
+	elapsed := now.Sub(t.epochStart)
+	if elapsed < t.rateEpoch {
+		return
+	}
+	stale := elapsed >= 2*t.rateEpoch
+	for _, s := range t.slots {
+		if stale {
+			s.winPrev = 0
+		} else {
+			s.winPrev = s.winCur
+		}
+		s.winCur = 0
+	}
+	if stale {
+		t.prevDur = 0
+	} else {
+		t.prevDur = elapsed
+	}
+	t.epochStart = now
 }
 
 // slotFor returns the slot for k, admitting it via Space-Saving takeover
@@ -126,9 +176,11 @@ func (t *ObjectTracker) ObserveCall(k ObjectKey) {
 		return
 	}
 	t.mu.Lock()
+	t.maybeRotateLocked(time.Now())
 	s := t.slotFor(k)
 	s.count++
 	s.calls++
+	s.winCur++
 	t.total++
 	t.mu.Unlock()
 }
@@ -143,9 +195,11 @@ func (t *ObjectTracker) ObserveInvoke(k ObjectKey, readOnly bool, d time.Duratio
 		d = 0
 	}
 	t.mu.Lock()
+	t.maybeRotateLocked(time.Now())
 	s := t.slotFor(k)
 	s.count++
 	s.invokes++
+	s.winCur++
 	if readOnly {
 		s.reads++
 	} else {
@@ -186,17 +240,22 @@ func (t *ObjectTracker) ObserveApply(k ObjectKey, n int) {
 // CountErr bounds its overestimation — the true weight lies in
 // [Count-CountErr, Count].
 type ObjectStat struct {
-	Type     string            `json:"type"`
-	Key      string            `json:"key"`
-	Count    uint64            `json:"count"`
-	CountErr uint64            `json:"count_err,omitempty"`
-	Calls    uint64            `json:"calls,omitempty"`
-	Invokes  uint64            `json:"invokes,omitempty"`
-	Applies  uint64            `json:"applies,omitempty"`
-	Reads    uint64            `json:"reads,omitempty"`
-	Writes   uint64            `json:"writes,omitempty"`
-	Bytes    uint64            `json:"bytes,omitempty"`
-	Latency  HistogramSnapshot `json:"latency"`
+	Type     string `json:"type"`
+	Key      string `json:"key"`
+	Count    uint64 `json:"count"`
+	CountErr uint64 `json:"count_err,omitempty"`
+	Calls    uint64 `json:"calls,omitempty"`
+	Invokes  uint64 `json:"invokes,omitempty"`
+	Applies  uint64 `json:"applies,omitempty"`
+	Reads    uint64 `json:"reads,omitempty"`
+	Writes   uint64 `json:"writes,omitempty"`
+	Bytes    uint64 `json:"bytes,omitempty"`
+	// WindowCount is the object's activity (calls + invokes) inside the
+	// snapshot's two-epoch rate window (ObjectsSnapshot.RateWindow); it is
+	// what current-load rates divide, where Count/Window only yields the
+	// lifetime average.
+	WindowCount uint64            `json:"window_count,omitempty"`
+	Latency     HistogramSnapshot `json:"latency"`
 }
 
 // ObjectsSnapshot is a point-in-time copy of an ObjectTracker,
@@ -208,7 +267,12 @@ type ObjectsSnapshot struct {
 	Window    time.Duration `json:"window_ns"`
 	Total     uint64        `json:"total"`
 	Evictions uint64        `json:"evictions,omitempty"`
-	Stats     []ObjectStat  `json:"stats,omitempty"`
+	// RateWindow is the span the stats' WindowCount fields cover (the
+	// completed epoch plus the running one, between one and two
+	// DefaultRateEpochs in the steady state). Zero when the tracker
+	// predates windowed rates.
+	RateWindow time.Duration `json:"rate_window_ns,omitempty"`
+	Stats      []ObjectStat  `json:"stats,omitempty"`
 }
 
 // Snapshot captures the tracker's current state. Safe on nil.
@@ -216,26 +280,30 @@ func (t *ObjectTracker) Snapshot() ObjectsSnapshot {
 	if t == nil {
 		return ObjectsSnapshot{}
 	}
+	now := time.Now()
 	t.mu.Lock()
+	t.maybeRotateLocked(now)
 	out := ObjectsSnapshot{
-		Capacity:  t.capacity,
-		Window:    time.Since(t.start),
-		Total:     t.total,
-		Evictions: t.evictions,
-		Stats:     make([]ObjectStat, 0, len(t.slots)),
+		Capacity:   t.capacity,
+		Window:     now.Sub(t.start),
+		Total:      t.total,
+		Evictions:  t.evictions,
+		RateWindow: t.prevDur + now.Sub(t.epochStart),
+		Stats:      make([]ObjectStat, 0, len(t.slots)),
 	}
 	for _, s := range t.slots {
 		st := ObjectStat{
-			Type:     s.key.Type,
-			Key:      s.key.Key,
-			Count:    s.count,
-			CountErr: s.errs,
-			Calls:    s.calls,
-			Invokes:  s.invokes,
-			Applies:  s.applies,
-			Reads:    s.reads,
-			Writes:   s.writes,
-			Bytes:    s.bytes,
+			Type:        s.key.Type,
+			Key:         s.key.Key,
+			Count:       s.count,
+			CountErr:    s.errs,
+			Calls:       s.calls,
+			Invokes:     s.invokes,
+			Applies:     s.applies,
+			Reads:       s.reads,
+			Writes:      s.writes,
+			Bytes:       s.bytes,
+			WindowCount: s.winPrev + s.winCur,
 		}
 		if s.hcount > 0 {
 			h := HistogramSnapshot{
@@ -269,6 +337,8 @@ func (t *ObjectTracker) Reset() {
 	t.total = 0
 	t.evictions = 0
 	t.start = time.Now()
+	t.epochStart = t.start
+	t.prevDur = 0
 	t.mu.Unlock()
 }
 
@@ -300,6 +370,33 @@ func (s ObjectStat) Rate(window time.Duration) float64 {
 	return float64(n) / window.Seconds()
 }
 
+// minRateWindow floors the windowed-rate denominator: dividing a handful
+// of observations by a near-zero window (a tracker mid-first-epoch) would
+// fabricate a huge rate out of noise.
+const minRateWindow = 250 * time.Millisecond
+
+// WindowRate returns the object's current activity rate per second over
+// the snapshot's two-epoch rate window. Zero when the window is too short
+// to be meaningful or absent (a pre-windowing snapshot) — callers that
+// want a number anyway fall back to the lifetime Rate, which is what
+// ObjectsSnapshot.RateOf does.
+func (s ObjectStat) WindowRate(rateWindow time.Duration) float64 {
+	if rateWindow < minRateWindow {
+		return 0
+	}
+	return float64(s.WindowCount) / rateWindow.Seconds()
+}
+
+// RateOf returns the best available rate for one of the snapshot's stats:
+// the windowed (current-load) rate when the snapshot carries a rate
+// window, the lifetime average otherwise.
+func (s ObjectsSnapshot) RateOf(st ObjectStat) float64 {
+	if s.RateWindow >= minRateWindow {
+		return st.WindowRate(s.RateWindow)
+	}
+	return st.Rate(s.Window)
+}
+
 // Merge combines two snapshots keywise: counts add, latency histograms
 // merge, capacity and window take the max (nodes share a wall-clock
 // window; the widest one bounds the rate denominator), and the result is
@@ -318,6 +415,10 @@ func (s ObjectsSnapshot) Merge(other ObjectsSnapshot) ObjectsSnapshot {
 	if other.Window > out.Window {
 		out.Window = other.Window
 	}
+	out.RateWindow = s.RateWindow
+	if other.RateWindow > out.RateWindow {
+		out.RateWindow = other.RateWindow
+	}
 	merged := make(map[ObjectKey]*ObjectStat, len(s.Stats)+len(other.Stats))
 	add := func(st ObjectStat) {
 		k := ObjectKey{Type: st.Type, Key: st.Key}
@@ -330,6 +431,7 @@ func (s ObjectsSnapshot) Merge(other ObjectsSnapshot) ObjectsSnapshot {
 			m.Reads += st.Reads
 			m.Writes += st.Writes
 			m.Bytes += st.Bytes
+			m.WindowCount += st.WindowCount
 			m.Latency = m.Latency.Merge(st.Latency)
 			return
 		}

@@ -140,6 +140,15 @@ const (
 	HistServerBatchSize   = "server.batch_size"
 	MetClientWriteFlushes = "client.write_flushes"
 
+	// Elastic resharding (DESIGN.md §5g). Migrations counts live
+	// hot-object migrations this node coordinated to completion (the
+	// directive flip landed); failed migrations aborted before the flip
+	// and left placement untouched; scans counts rebalancer passes over
+	// the merged cluster-wide heavy-hitter snapshots.
+	MetServerMigrations       = "server.migrations"
+	MetServerMigrationsFailed = "server.migrations_failed"
+	MetServerRebalanceScans   = "server.rebalance_scans"
+
 	// Chaos engine (fault injection). Exported on /metrics as
 	// crucial_chaos_*_total.
 	MetChaosFramesDropped    = "chaos.frames_dropped"

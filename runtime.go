@@ -35,6 +35,21 @@ type WritePolicy = core.WritePolicy
 // core.DefaultWritePolicy.
 func DefaultWritePolicy() WritePolicy { return core.DefaultWritePolicy() }
 
+// RebalancePolicy configures the telemetry-driven elastic resharding loop
+// (DESIGN.md §5g): how often the coordinator node scans the cluster's
+// per-object windowed load, what counts as a sustained heavy hitter, and
+// how aggressively hot objects are live-migrated onto the least-loaded
+// nodes. It is an alias of core.RebalancePolicy, the single policy type
+// threaded through Options.Rebalance, cluster.Options.Rebalance and
+// server.Config.Rebalance. The zero value disables rebalancing.
+type RebalancePolicy = core.RebalancePolicy
+
+// DefaultRebalancePolicy returns the tested resharding defaults with the
+// loop enabled (2s scans, 200 ops/s hot threshold at 4× the mean,
+// sustained over 2 scans, 30s per-object cooldown). A convenience
+// re-export of core.DefaultRebalancePolicy.
+func DefaultRebalancePolicy() RebalancePolicy { return core.DefaultRebalancePolicy() }
+
 // Options configures a local runtime: an in-process FaaS platform plus an
 // in-process DSO cluster wired over an in-memory network.
 type Options struct {
@@ -79,6 +94,14 @@ type Options struct {
 	// keeps the classic one-round-per-mutation path; DefaultWritePolicy()
 	// enables batching with tested defaults.
 	Write WritePolicy
+	// Rebalance is the elastic resharding policy (DESIGN.md §5g): with
+	// Enabled set (and telemetry on — the per-object trackers are the only
+	// load signal), the DSO coordinator node watches cluster-wide windowed
+	// object rates and live-migrates sustained heavy hitters onto the
+	// least-loaded nodes, un-pinning them when they cool. The zero value
+	// (the default) keeps placement purely hash-driven;
+	// DefaultRebalancePolicy() enables it with tested defaults.
+	Rebalance RebalancePolicy
 	// Telemetry, when non-nil, turns on end-to-end instrumentation: every
 	// layer (cloud threads, FaaS platform, DSO client and servers) records
 	// spans and metrics into this one bundle. Nil (the default) disables
@@ -167,6 +190,7 @@ func NewLocalRuntime(opts Options) (*Runtime, error) {
 		LeaseTTL:    opts.LeaseTTL,
 		ClientCache: opts.ClientCache && opts.LeaseTTL > 0,
 		Write:       opts.Write,
+		Rebalance:   opts.Rebalance,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("crucial: start DSO cluster: %w", err)
