@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-rpc bench-cache bench-write bench-reshard cover verify chaos chaos-short doclint alloc-guard
+.PHONY: build test vet fmt race bench bench-rpc bench-cache bench-write bench-reshard bench-wal wal-fuzz cover verify chaos chaos-short doclint alloc-guard
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,23 @@ bench-reshard:
 	$(GO) run ./cmd/benchfmt < /tmp/bench_reshard_raw.txt > BENCH_reshard.json
 	@echo "wrote BENCH_reshard.json"
 
+# bench-wal runs the durability-overhead benchmarks (the bench-write
+# contended hot-counter workload with the durability tier off,
+# snapshot-only, group-fsynced every 64 records, and fsynced per op) and
+# commits their aggregate to BENCH_wal.json via cmd/benchfmt. Acceptance:
+# GroupFsync within ~2x of Off (DESIGN.md §5h, EXPERIMENTS.md).
+bench-wal:
+	$(GO) test -run '^$$' -bench 'BenchmarkWAL' \
+		-benchmem -count=5 ./internal/cluster/ > /tmp/bench_wal_raw.txt
+	$(GO) run ./cmd/benchfmt < /tmp/bench_wal_raw.txt > BENCH_wal.json
+	@echo "wrote BENCH_wal.json"
+
+# wal-fuzz fuzzes the WAL segment decoder — the one parser fed raw bytes
+# off cold storage, where torn flushes and bit rot are the expected input.
+# Invariants: no panics, and accepted records re-encode byte-identically.
+wal-fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeSegment' -fuzztime 30s ./internal/durability/
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
@@ -90,10 +107,11 @@ chaos:
 # chaos-short is the verify-gate slice of the nemesis: one partition
 # schedule, one crash/restart schedule, the cache-on partition schedule
 # (with its invalidation-blackhole window), the group-commit partition
-# schedule (write batching on), and the live-migration partition schedule
-# (hot object migrated mid-partition), shrunk by -short.
+# schedule (write batching on), the live-migration partition schedule
+# (hot object migrated mid-partition), and the kill-everything schedule
+# (full-cluster crash recovered from cold storage), shrunk by -short.
 chaos-short:
-	$(GO) test -race -count=1 -short -run 'TestNemesisPartition|TestNemesisCrashRestart|TestNemesisCachePartition|TestNemesisWriteBatchPartition|TestNemesisMigrationPartition' ./internal/chaos/
+	$(GO) test -race -count=1 -short -run 'TestNemesisPartition|TestNemesisCrashRestart|TestNemesisCachePartition|TestNemesisWriteBatchPartition|TestNemesisMigrationPartition|TestNemesisKillEverything' ./internal/chaos/
 
 # doclint fails when an exported identifier in the public API (the root
 # package) has no doc comment.

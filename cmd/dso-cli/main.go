@@ -57,6 +57,7 @@ import (
 	"crucial/internal/client"
 	"crucial/internal/collector"
 	"crucial/internal/core"
+	"crucial/internal/costmodel"
 	"crucial/internal/membership"
 	"crucial/internal/ring"
 	"crucial/internal/rpc"
@@ -335,7 +336,26 @@ func runStats(argv []string) int {
 		fmt.Printf("cluster (merged, %d/%d nodes):\n", reached, len(view.Members))
 		fmt.Print(indent(merged.String(), "  "))
 	}
+	printStorageCost(merged.Counters)
 	return 0
+}
+
+// printStorageCost prices the durability tier's cold-storage traffic at
+// the paper's 2019 S3 rates (Table 3 vintage): every WAL flush, snapshot
+// blob and manifest write is a PUT-class request, every recovery read a
+// GET. Storage rent is omitted — the log is truncated behind each
+// checkpoint, so resident bytes stay near one checkpoint's size and the
+// request charges dominate at experiment timescales.
+func printStorageCost(counters map[string]uint64) {
+	puts := counters[telemetry.MetStoragePuts] + counters[telemetry.MetStorageLists]
+	gets := counters[telemetry.MetStorageGets]
+	if puts == 0 && gets == 0 {
+		return
+	}
+	bytes := counters[telemetry.MetStoragePutBytes]
+	cost := costmodel.S3Cost(puts, gets, 0, 0)
+	fmt.Printf("storage (durability tier): %d put/list, %d get, %.1f MB written, est. $%.6f in S3 requests\n",
+		puts, gets, float64(bytes)/(1<<20), cost)
 }
 
 // cachePrefixes selects the read-path metrics out of a node snapshot:

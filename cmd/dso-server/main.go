@@ -33,6 +33,7 @@ import (
 	"crucial/internal/ring"
 	"crucial/internal/rpc"
 	"crucial/internal/server"
+	"crucial/internal/storage/s3sim"
 	"crucial/internal/telemetry"
 )
 
@@ -56,6 +57,10 @@ func run() int {
 		rebal    = flag.Bool("rebalance", false, "enable the elastic resharding loop: the coordinator live-migrates sustained heavy hitters (requires -telemetry for a load signal)")
 		rebalHot = flag.Float64("rebalance-hot-rate", 0, "rebalancer hot threshold in ops/s (default 200)")
 		rebalInt = flag.Duration("rebalance-interval", 0, "rebalancer scan period (default 2s)")
+		walOn    = flag.Bool("wal", false, "enable the durability tier: WAL + snapshots in an in-process simulated cold store; chaos restarts recover state from it")
+		walSync  = flag.Int("wal-sync-every", 0, "group-fsync the WAL every N appends (default 64, 1 = sync every op, negative = snapshot-only durability)")
+		walSnap  = flag.Duration("wal-snapshot-interval", 0, "background checkpoint cadence (default 2s, negative disables snapshots)")
+		walSeg   = flag.Int("wal-segment-bytes", 0, "WAL segment roll threshold in bytes (default 64KiB)")
 		logSpec  = flag.String("log", "info", "log level spec: one level for all components (debug|info|warn|error) or component=level pairs")
 	)
 	flag.Parse()
@@ -136,6 +141,27 @@ func run() int {
 		if tel == nil {
 			logger.Warn("-rebalance without -telemetry: no load signal, the rebalancer will never migrate")
 		}
+	}
+	if *walOn {
+		// The -wal-* flags round-trip core.DurabilityPolicy. The cold store
+		// is a per-process s3sim instance: it outlives chaos crashes, so a
+		// chaos-bounced node genuinely recovers its state from the WAL and
+		// checkpoints rather than restarting empty.
+		cfg.Durability = core.DurabilityPolicy{
+			Enabled:          true,
+			SyncEvery:        *walSync,
+			SnapshotInterval: *walSnap,
+			SegmentBytes:     *walSeg,
+		}.Normalized()
+		var metrics *telemetry.Registry
+		if tel != nil {
+			metrics = tel.Metrics()
+		}
+		cfg.ColdStore = s3sim.New(s3sim.Options{Metrics: metrics})
+		logger.Info("durability tier enabled",
+			"sync_every", cfg.Durability.SyncEvery,
+			"snapshot_interval", cfg.Durability.SnapshotInterval,
+			"segment_bytes", cfg.Durability.SegmentBytes)
 	}
 	// The supervisor channel decouples the KindChaos RPC handler from the
 	// node teardown it triggers: the handler just enqueues the op and the

@@ -1,0 +1,254 @@
+// Kill-everything nemesis: the whole cluster dies at once — no surviving
+// replica to state-transfer from — and a fresh cluster restarted over the
+// same cold store must serve every acknowledged write. This is the
+// durability tier's headline guarantee (DESIGN.md §5h): RF-replication
+// tolerates f node failures, the WAL + checkpoint path tolerates all of
+// them.
+package chaos_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crucial/internal/chaos"
+	"crucial/internal/cluster"
+	"crucial/internal/core"
+	"crucial/internal/linearizability"
+	"crucial/internal/netsim"
+	"crucial/internal/objects"
+	"crucial/internal/ring"
+	"crucial/internal/rpc"
+	"crucial/internal/storage/s3sim"
+	"crucial/internal/telemetry"
+)
+
+// TestNemesisKillEverything runs three phases over one shared cold store:
+//
+//  1. A faulted workload (link drops and delays, plus transient storage
+//     PUT failures that the WAL flusher must retry through) builds
+//     linearizable history on a persistent counter, and a hot-key
+//     directive is pinned.
+//  2. Blind increments run flat out while the WHOLE cluster is crashed
+//     mid-stream. Successes are acked (durable by contract); failures are
+//     in doubt — each may or may not have applied before the lights went
+//     out.
+//  3. A brand-new cluster boots from the cold store alone. The recovered
+//     counter must hold every acked write and invent none:
+//     acked <= recovered <= acked + in-doubt. The directive must survive,
+//     recovery must have replayed WAL records, and a fresh post-recovery
+//     workload must itself be linearizable.
+func TestNemesisKillEverything(t *testing.T) {
+	const seed = 909
+	store := s3sim.New(s3sim.Options{Profile: netsim.Zero(), ListLag: -1})
+	dur := core.DurabilityPolicy{
+		Enabled:          true,
+		SyncEvery:        4,
+		SnapshotInterval: 150 * time.Millisecond,
+		SegmentBytes:     32 << 10,
+	}
+	tel := telemetry.New()
+	eng := chaos.New(rpc.NewMemNetwork(), chaos.Options{Seed: seed, Telemetry: tel})
+	c1, err := cluster.StartLocal(cluster.Options{
+		Nodes:                3,
+		RF:                   2,
+		Chaos:                eng,
+		Telemetry:            tel,
+		ClientRetry:          nemesisRetry(),
+		ClientAttemptTimeout: 200 * time.Millisecond,
+		PeerCallTimeout:      250 * time.Millisecond,
+		Durability:           dur,
+		ColdStore:            store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	ref := core.Ref{Type: objects.TypeAtomicLong, Key: "kill-counter"}
+	counter := &nemObject{kind: "counter", ref: ref, persist: true,
+		model: linearizability.CounterModel()}
+
+	// ---- Phase 1: faulted workload with recorded history ----------------
+	// Link faults on every inter-node and client link, and a transient PUT
+	// failure rate on the cold store itself: group-commit flushes must
+	// retry through it without acking anything undurable.
+	store.SetFaults(s3sim.Faults{PutErrRate: 0.05})
+	s := spacing()
+	planDone := make(chan error, 1)
+	go func() {
+		planDone <- chaos.Plan{Steps: []chaos.Step{
+			{At: 0, Kind: chaos.ActRule, Rule: chaos.Rule{Faults: chaos.LinkFaults{Drop: 0.1}}},
+			{At: s, Kind: chaos.ActClearRules},
+			{At: s, Kind: chaos.ActRule, Rule: chaos.Rule{Faults: chaos.LinkFaults{
+				Delay: 0.4, DelayBy: 2 * time.Millisecond, DelayJitter: 4 * time.Millisecond}}},
+			{At: 2 * s, Kind: chaos.ActClearRules},
+		}}.Run(ctx, chaos.Target{Engine: eng})
+	}()
+
+	const phase1Workers, phase1Ops = 3, 5
+	var phase1Adds atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < phase1Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := c1.NewClient()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < phase1Ops; i++ {
+				if (w+i)%3 != 2 {
+					phase1Adds.Add(1)
+				}
+				nemesisOp(t, ctx, conn, counter, w, i)
+				time.Sleep(time.Duration(4+(w+i)%5) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := <-planDone; err != nil {
+		t.Fatalf("fault plan: %v", err)
+	}
+	store.SetFaults(s3sim.Faults{})
+	if t.Failed() {
+		t.FailNow() // phase-1 ops must all succeed; the history is complete
+	}
+	counter.mu.Lock()
+	history := append([]linearizability.Operation(nil), counter.history...)
+	counter.mu.Unlock()
+	if _, ok := linearizability.Check(counter.model, history); !ok {
+		linearizability.SortByCall(history)
+		t.Fatalf("pre-kill history not linearizable under seed %d:\n%+v", seed, history)
+	}
+	if eng.Counts().Total() == 0 {
+		t.Error("fault plan injected no faults — the schedule did not engage")
+	}
+
+	// Pin the counter off its hash placement and let a checkpoint capture
+	// both the pin and the phase-1 state (two snapshot intervals).
+	ids := c1.NodeIDs()
+	pin := []ring.NodeID{ids[len(ids)-1], ids[0]}
+	c1.Dir.SetDirective(ref.String(), pin)
+	time.Sleep(2 * dur.SnapshotInterval)
+
+	// ---- Phase 2: kill everything mid-workload --------------------------
+	var acked, inDoubt atomic.Int64
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := c1.NewClient()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cctx, ccancel := context.WithTimeout(ctx, 2*time.Second)
+				_, err := conn.InvokeObject(cctx, core.Invocation{
+					Ref: ref, Method: "AddAndGet", Args: []any{int64(1)}, Persist: true,
+				})
+				ccancel()
+				if err != nil {
+					// In doubt: the crash may have landed between apply+WAL
+					// flush and the ack. One count per issued-but-unacked op
+					// keeps the recovery upper bound exact.
+					inDoubt.Add(1)
+					return
+				}
+				acked.Add(1)
+			}
+		}()
+	}
+	time.Sleep(80 * time.Millisecond)
+	if err := c1.Close(); err != nil {
+		t.Fatalf("kill everything: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if acked.Load() == 0 {
+		t.Fatal("no phase-2 write was acked before the kill; the kill landed too early to test anything")
+	}
+
+	// ---- Phase 3: restart from the cold store alone ---------------------
+	tel2 := telemetry.New()
+	c2, err := cluster.StartLocal(cluster.Options{
+		Nodes: 3, RF: 2, Telemetry: tel2, Durability: dur, ColdStore: store,
+	})
+	if err != nil {
+		t.Fatalf("restart from cold store: %v", err)
+	}
+	defer c2.Close()
+	conn, err := c2.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	res, err := conn.InvokeObject(ctx, core.Invocation{Ref: ref, Method: "Get", Persist: true})
+	if err != nil {
+		t.Fatalf("read recovered counter: %v", err)
+	}
+	recovered := res[0].(int64)
+	min := phase1Adds.Load() + acked.Load()
+	max := min + inDoubt.Load()
+	if recovered < min {
+		t.Fatalf("recovered counter = %d, below the %d acked writes: durability lost data", recovered, min)
+	}
+	if recovered > max {
+		t.Fatalf("recovered counter = %d > %d acked + %d in doubt: recovery invented writes (replay not idempotent)",
+			recovered, min, inDoubt.Load())
+	}
+	if v := tel2.Metrics().Counter(telemetry.MetWALReplays).Value(); v == 0 {
+		t.Error("recovery replayed no WAL records: the phase-2 tail came from nowhere")
+	}
+	targets, ok := c2.Dir.View().Directives.Lookup(ref.String())
+	if !ok || len(targets) != 2 || targets[0] != pin[0] || targets[1] != pin[1] {
+		t.Errorf("directive pin did not survive the full-cluster crash: got %v, want %v", targets, pin)
+	}
+
+	// The recovered cluster must itself be consistent under load: a fresh
+	// post-recovery history (new object, so the model starts at zero).
+	after := &nemObject{kind: "counter", persist: true,
+		ref:   core.Ref{Type: objects.TypeAtomicLong, Key: "post-recovery"},
+		model: linearizability.CounterModel()}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wconn, err := c2.NewClient()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer wconn.Close()
+			for i := 0; i < 4; i++ {
+				nemesisOp(t, ctx, wconn, after, w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	after.mu.Lock()
+	history = append([]linearizability.Operation(nil), after.history...)
+	after.mu.Unlock()
+	if _, ok := linearizability.Check(after.model, history); !ok {
+		linearizability.SortByCall(history)
+		t.Errorf("post-recovery history not linearizable:\n%+v", history)
+	}
+}

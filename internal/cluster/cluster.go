@@ -15,6 +15,7 @@ import (
 	"crucial/internal/chaos"
 	"crucial/internal/client"
 	"crucial/internal/core"
+	"crucial/internal/durability"
 	"crucial/internal/membership"
 	"crucial/internal/netsim"
 	"crucial/internal/objects"
@@ -88,6 +89,16 @@ type Options struct {
 	// least-loaded nodes. The zero value keeps placement hash-driven; see
 	// core.RebalancePolicy.
 	Rebalance core.RebalancePolicy
+	// Durability is the cold-storage durability policy applied to every
+	// node (server.Config.Durability): WAL on the write path, periodic
+	// checkpoints, recovery on (re)start. Requires ColdStore; the zero
+	// value keeps the cluster in-memory-only. See core.DurabilityPolicy.
+	Durability core.DurabilityPolicy
+	// ColdStore is the durable object store behind the durability tier,
+	// shared by every node (each logs under its own key prefix). A
+	// restarted or re-added node with the same identity recovers its
+	// state from it — including after ALL nodes went down.
+	ColdStore durability.Storage
 }
 
 // Cluster is a running DSO deployment.
@@ -193,6 +204,8 @@ func (c *Cluster) nodeConfig(id ring.NodeID) server.Config {
 		LeaseTTL:           c.opts.LeaseTTL,
 		Write:              c.opts.Write,
 		Rebalance:          c.opts.Rebalance,
+		Durability:         c.opts.Durability,
+		ColdStore:          c.opts.ColdStore,
 		Telemetry:          c.opts.Telemetry,
 		Chaos:              c.opts.Chaos,
 	}

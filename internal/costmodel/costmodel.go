@@ -23,6 +23,12 @@ const (
 	// EMR service fees per instance-hour.
 	EMRFeeM5XLargePerHour  = 0.048
 	EMRFeeM52XLargePerHour = 0.096
+
+	// S3 standard-tier request and storage rates (the durability tier's
+	// cold store: WAL segment flushes are PUTs, recovery reads are GETs).
+	S3PerPut     = 0.005 / 1000.0  // PUT, COPY, POST, LIST per request
+	S3PerGet     = 0.0004 / 1000.0 // GET, SELECT per request
+	S3PerGBMonth = 0.023           // first 50 TB / month
 )
 
 // LambdaCost prices function execution: billed GB-seconds plus requests.
@@ -33,6 +39,15 @@ func LambdaCost(gbSeconds float64, requests uint64) float64 {
 // EC2Cost prices count instances at an hourly rate for a duration.
 func EC2Cost(hourlyRate float64, count int, d time.Duration) float64 {
 	return hourlyRate * float64(count) * d.Hours()
+}
+
+// S3Cost prices the durability tier's cold-storage traffic: PUT-class
+// requests (WAL flushes, snapshot blobs, manifests), GET-class requests
+// (recovery reads), plus storing the resident bytes for a duration.
+// LISTs are priced as PUTs, matching the S3 rate card.
+func S3Cost(puts, gets uint64, residentBytes uint64, d time.Duration) float64 {
+	storage := float64(residentBytes) / (1 << 30) * S3PerGBMonth * d.Hours() / (30 * 24)
+	return float64(puts)*S3PerPut + float64(gets)*S3PerGet + storage
 }
 
 // EMRClusterPerSecond is the paper's Spark deployment rate: one m5.xlarge

@@ -1,0 +1,283 @@
+package durability
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"crucial/internal/core"
+	"crucial/internal/ring"
+	"crucial/internal/telemetry"
+)
+
+// Checkpoint layout under one node's namespace:
+//
+//	snap/<node>/ep-<epoch>/obj-<i>   one snapshot blob per object
+//	snap/<node>/ep-<epoch>/manifest  the epoch's manifest (CAS-created)
+//	snap/<node>/latest               pointer to the newest epoch
+//
+// The manifest is written last, with PutIfAbsent: an epoch exists only
+// once its manifest does, a half-written checkpoint (crash mid-pass) is
+// invisible, and two recovering instances of one node identity cannot
+// both claim the same epoch. The latest pointer is a plain Put — it is an
+// optimization over LIST (whose eventual consistency could hide a fresh
+// manifest); LoadLatest validates it and falls back to a listing scan.
+
+// ErrEpochClaimed reports a manifest CAS loss: some other writer already
+// owns the epoch. The snapshotter retries with a higher epoch.
+var ErrEpochClaimed = errors.New("durability: checkpoint epoch already claimed")
+
+func snapPrefix(node string) string { return "snap/" + node + "/" }
+
+func epochPrefix(node string, epoch uint64) string {
+	return fmt.Sprintf("%sep-%016d/", snapPrefix(node), epoch)
+}
+
+func manifestKey(node string, epoch uint64) string {
+	return epochPrefix(node, epoch) + "manifest"
+}
+
+func objectKey(node string, epoch uint64, i int) string {
+	return fmt.Sprintf("%sobj-%06d", epochPrefix(node, epoch), i)
+}
+
+func latestKey(node string) string { return snapPrefix(node) + "latest" }
+
+// Manifest indexes one checkpoint epoch: which snapshot blobs belong to
+// it, where replay resumes, and the control-plane state that must survive
+// a full-cluster restart — the placement directive table (hot-key pins)
+// and the membership the node checkpointed under.
+type Manifest struct {
+	Node  string
+	Epoch uint64
+	// CutSeg is the WAL position of this checkpoint: every record in
+	// segments below it is reflected in the epoch's snapshots; recovery
+	// replays segments >= CutSeg.
+	CutSeg uint64
+	// Objects lists the epoch's snapshot blob keys, in write order.
+	Objects []string
+	// Directives is the placement directive table in force at the
+	// checkpoint; recovery re-installs it (version-checked) so hot-key
+	// pins survive a cold start.
+	Directives ring.Directives
+	// Members and ViewID record the membership the checkpoint was taken
+	// under (informational: recovery logs them; the restart re-forms the
+	// cluster through the directory as usual).
+	Members []ring.NodeID
+	ViewID  uint64
+}
+
+// SaveCheckpoint writes one epoch: every snapshot blob, then the manifest
+// via compare-and-set, then the latest pointer. blobs[i] lands under
+// man.Objects[i] (filled in here). Counters for the checkpoint component
+// of the storage bill land in reg (nil-safe).
+func SaveCheckpoint(ctx context.Context, store Storage, man Manifest, blobs [][]byte, reg *telemetry.Registry) error {
+	cPuts := reg.Counter(telemetry.MetSnapshotPuts)
+	cBytes := reg.Counter(telemetry.MetSnapshotBytes)
+	man.Objects = make([]string, len(blobs))
+	for i, blob := range blobs {
+		key := objectKey(man.Node, man.Epoch, i)
+		if err := store.Put(ctx, key, blob); err != nil {
+			return fmt.Errorf("durability: checkpoint blob %s: %w", key, err)
+		}
+		man.Objects[i] = key
+		cPuts.Inc()
+		cBytes.Add(uint64(len(blob)))
+	}
+	body, err := core.EncodeValue(man)
+	if err != nil {
+		return fmt.Errorf("durability: encode manifest: %w", err)
+	}
+	created, err := store.PutIfAbsent(ctx, manifestKey(man.Node, man.Epoch), body)
+	if err != nil {
+		return fmt.Errorf("durability: write manifest: %w", err)
+	}
+	if !created {
+		return fmt.Errorf("%w: %s epoch %d", ErrEpochClaimed, man.Node, man.Epoch)
+	}
+	cPuts.Inc()
+	cBytes.Add(uint64(len(body)))
+	_ = store.Put(ctx, latestKey(man.Node), []byte(strconv.FormatUint(man.Epoch, 10)))
+	return nil
+}
+
+// loadEpoch fetches and decodes one epoch's manifest plus all its blobs.
+func loadEpoch(ctx context.Context, store Storage, node string, epoch uint64) (Manifest, [][]byte, error) {
+	body, err := store.Get(ctx, manifestKey(node, epoch))
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	var man Manifest
+	if err := core.DecodeValue(body, &man); err != nil {
+		return Manifest{}, nil, err
+	}
+	blobs := make([][]byte, len(man.Objects))
+	for i, key := range man.Objects {
+		if blobs[i], err = store.Get(ctx, key); err != nil {
+			return Manifest{}, nil, fmt.Errorf("durability: blob %s of epoch %d: %w", key, epoch, err)
+		}
+	}
+	return man, blobs, nil
+}
+
+// LoadLatest finds the newest fully-loadable checkpoint for node: the
+// latest pointer's epoch first, then — pointer missing, stale or its
+// epoch damaged — every manifest a listing surfaces, newest first. found
+// is false when no checkpoint exists (first boot): recovery starts empty
+// and replays the whole log.
+func LoadLatest(ctx context.Context, store Storage, node string) (man Manifest, blobs [][]byte, found bool, err error) {
+	var candidates []uint64
+	seen := make(map[uint64]bool)
+	if body, gerr := store.Get(ctx, latestKey(node)); gerr == nil {
+		if ep, perr := strconv.ParseUint(strings.TrimSpace(string(body)), 10, 64); perr == nil {
+			candidates = append(candidates, ep)
+			seen[ep] = true
+		}
+	}
+	keys, lerr := store.List(ctx, snapPrefix(node)+"ep-")
+	if lerr == nil {
+		for _, k := range keys {
+			if !strings.HasSuffix(k, "/manifest") {
+				continue
+			}
+			rest := strings.TrimPrefix(k, snapPrefix(node)+"ep-")
+			ep, perr := strconv.ParseUint(strings.TrimSuffix(rest, "/manifest"), 10, 64)
+			if perr == nil && !seen[ep] {
+				candidates = append(candidates, ep)
+				seen[ep] = true
+			}
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] > candidates[j] })
+	var lastErr error
+	for _, ep := range candidates {
+		m, bs, eerr := loadEpoch(ctx, store, node, ep)
+		if eerr == nil {
+			return m, bs, true, nil
+		}
+		lastErr = eerr
+	}
+	// Candidates existed but none loaded (stale pointer, GC'd or damaged
+	// epoch): report the damage alongside found=false so the caller can
+	// log it; recovery proceeds from whatever the log still holds.
+	return Manifest{}, nil, false, lastErr
+}
+
+// ReadLog loads every readable record from segment fromSeg onward, in
+// delivery order. Segments are probed by dense sequence number (GET has
+// read-after-write consistency where LIST does not); if fromSeg itself is
+// gone — a manifest pointing at a truncated segment — the listing locates
+// the earliest surviving segment at or above it and reading resumes
+// there, which is safe because replay is version-gated: anything the
+// missing segments held is either in the checkpoint or unacknowledged.
+// torn counts segments truncated at damage (torn tail or CRC mismatch);
+// per the log's prefix consistency, reading stops at the first damaged
+// segment. maxSeg is the highest segment observed (damaged or not), so
+// the reopened log writes strictly after history.
+func ReadLog(ctx context.Context, store Storage, node string, fromSeg uint64) (recs []Record, maxSeg uint64, torn int, err error) {
+	if fromSeg == 0 {
+		fromSeg = 1
+	}
+	maxSeg = fromSeg - 1
+	seg := fromSeg
+	if _, gerr := store.Get(ctx, segmentKey(node, seg)); gerr != nil {
+		// The first expected segment is missing: either the log is empty
+		// past the checkpoint, or truncation outran the manifest. A listing
+		// finds the earliest survivor; eventual LIST consistency can only
+		// hide the very freshest segments, which the dense probe below
+		// reaches anyway once a listed segment anchors it.
+		keys, lerr := store.List(ctx, walPrefix(node))
+		if lerr != nil {
+			return nil, maxSeg, 0, nil
+		}
+		next := uint64(0)
+		for _, k := range keys {
+			s, perr := strconv.ParseUint(strings.TrimPrefix(k, walPrefix(node)+"seg-"), 10, 64)
+			if perr == nil && s >= fromSeg && (next == 0 || s < next) {
+				next = s
+			}
+		}
+		if next == 0 {
+			return nil, maxSeg, 0, nil
+		}
+		seg = next
+	}
+	for {
+		data, gerr := store.Get(ctx, segmentKey(node, seg))
+		if gerr != nil {
+			return recs, maxSeg, torn, nil
+		}
+		maxSeg = seg
+		segRecs, derr := DecodeSegment(data)
+		recs = append(recs, segRecs...)
+		if derr != nil {
+			// Damage truncates the log here; later segments, if any, are
+			// beyond the break and must not be replayed over the gap.
+			return recs, maxSeg, torn + 1, nil
+		}
+		seg++
+	}
+}
+
+// TruncateSegments deletes every sealed segment below cutSeg — they are
+// fully covered by the checkpoint that supplied the cut. Returns how many
+// were deleted.
+func TruncateSegments(ctx context.Context, store Storage, node string, cutSeg uint64) (int, error) {
+	keys, err := store.List(ctx, walPrefix(node))
+	if err != nil {
+		return 0, err
+	}
+	deleted := 0
+	for _, k := range keys {
+		s, perr := strconv.ParseUint(strings.TrimPrefix(k, walPrefix(node)+"seg-"), 10, 64)
+		if perr != nil || s >= cutSeg {
+			continue
+		}
+		if derr := store.Delete(ctx, k); derr == nil {
+			deleted++
+		}
+	}
+	return deleted, nil
+}
+
+// PruneEpochs deletes checkpoint epochs older than keepFrom (manifest
+// last, so a partially-pruned epoch is already invisible to LoadLatest's
+// manifest scan... the manifest going first would instead orphan blobs).
+// The caller keeps at least one epoch before the newest as a fallback.
+func PruneEpochs(ctx context.Context, store Storage, node string, keepFrom uint64) error {
+	keys, err := store.List(ctx, snapPrefix(node)+"ep-")
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		rest := strings.TrimPrefix(k, snapPrefix(node)+"ep-")
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			continue
+		}
+		ep, perr := strconv.ParseUint(rest[:slash], 10, 64)
+		if perr != nil || ep >= keepFrom {
+			continue
+		}
+		if strings.HasSuffix(k, "/manifest") {
+			continue // deleted below, after the epoch's blobs
+		}
+		_ = store.Delete(ctx, k)
+	}
+	for _, k := range keys {
+		rest := strings.TrimPrefix(k, snapPrefix(node)+"ep-")
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 || !strings.HasSuffix(k, "/manifest") {
+			continue
+		}
+		ep, perr := strconv.ParseUint(rest[:slash], 10, 64)
+		if perr != nil || ep >= keepFrom {
+			continue
+		}
+		_ = store.Delete(ctx, k)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"crucial/internal/core"
+	"crucial/internal/durability"
 	"crucial/internal/ring"
 	"crucial/internal/telemetry"
 	"crucial/internal/totalorder"
@@ -49,6 +50,9 @@ type batchOutcome struct {
 	res     []subResult
 	version uint64
 	err     error
+	// commit is the round's WAL durability ticket (nil with the tier
+	// off); the coordinator waits on it before distributing acks.
+	commit *durability.Commit
 }
 
 // refQueue is the per-object batch state: queued writes, whether a
@@ -340,6 +344,12 @@ func (n *Node) flushBatch(ref core.Ref, batch []*batchedWrite) {
 			return
 		}
 		if err := n.checkRoundVersions(ref, id, out.version); err != nil {
+			failBatch(live, err)
+			return
+		}
+		if err := waitDurable(ctx, out.commit); err != nil {
+			// The batch applied in memory but never reached cold storage; no
+			// write of the round may be acked (the retries are dedup-safe).
 			failBatch(live, err)
 			return
 		}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -192,7 +193,22 @@ func (n *Node) invokeLocal(ctx context.Context, inv core.Invocation) ([]any, err
 		}
 		defer done()
 	}
-	results, _, err := n.execOn(ctx, e, inv)
+	results, version, err := n.execOn(ctx, e, inv)
+	if e.persist && !inv.ReadOnly && !errors.Is(err, core.ErrRebalancing) &&
+		n.dur != nil && n.dur.log != nil {
+		// The rf=1 write path has no ordering round, so the WAL record is
+		// synthesized here: a genesis-flagged single-op payload (replay may
+		// have to re-create the object — with rf=1 no replica held another
+		// copy) under a locally sequenced id. The ack waits on the flush
+		// exactly like the replicated path's.
+		if encInv, encErr := core.EncodeInvocation(inv); encErr == nil {
+			payload := append([]byte{smrOpGenesis}, encInv...)
+			c := n.appendWAL(string(n.cfg.ID), n.seq.Add(1), version, payload)
+			if werr := waitDurable(ctx, c); werr != nil {
+				return nil, werr
+			}
+		}
+	}
 	return results, err
 }
 

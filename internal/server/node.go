@@ -17,6 +17,7 @@ import (
 
 	"crucial/internal/chaos"
 	"crucial/internal/core"
+	"crucial/internal/durability"
 	"crucial/internal/membership"
 	"crucial/internal/netsim"
 	"crucial/internal/ring"
@@ -148,6 +149,18 @@ type Config struct {
 	// onto the least-loaded nodes via placement directives. The zero value
 	// keeps placement purely hash-driven.
 	Rebalance core.RebalancePolicy
+	// Durability configures the cold-storage durability tier (DESIGN.md
+	// §5h): with Enabled set (and a ColdStore wired), every committed SMR
+	// delivery this node applies is logged to a per-node write-ahead log,
+	// acks wait on the coordinator's record reaching storage, and a
+	// background snapshotter checkpoints object state so a restart — even
+	// a whole-cluster one — recovers every acknowledged write from the
+	// store alone. The zero value keeps the in-memory-only behavior.
+	Durability core.DurabilityPolicy
+	// ColdStore is the durable object store behind the WAL and the
+	// checkpoints (s3sim in simulation). Required when Durability.Enabled;
+	// nil disables the tier regardless of policy.
+	ColdStore durability.Storage
 	// PeerCallTimeout bounds each inter-node RPC attempt (Skeen control
 	// messages, state transfers). Without it, a frame lost in the network
 	// blocks the coordinator forever and its orphaned proposal wedges the
@@ -268,6 +281,10 @@ type Node struct {
 	migrations       atomic.Uint64
 	migrationsFailed atomic.Uint64
 	rebalScans       atomic.Uint64
+
+	// dur is the durability tier runtime (WAL + snapshotter), nil when
+	// Config.Durability or Config.ColdStore leaves the tier off.
+	dur *durabilityState
 
 	closed    atomic.Bool
 	closeOnce sync.Once
@@ -398,6 +415,15 @@ func Start(cfg Config) (*Node, error) {
 	n.rpcServer = rpc.NewServer(n.handle)
 	go func() { _ = n.rpcServer.Serve(l) }()
 
+	// Recover from cold storage BEFORE joining: the node must enter the
+	// view already holding its checkpointed objects and replayed log, and
+	// with the recovered directive table installed, or peers would route
+	// and anti-entropy against an empty impostor.
+	if err := n.initDurability(); err != nil {
+		_ = n.rpcServer.Close()
+		return nil, fmt.Errorf("server: durability recovery: %w", err)
+	}
+
 	// Join after the listener is live so peers can reach us immediately,
 	// then track view changes for rebalancing.
 	cfg.Directory.Join(cfg.ID, cfg.Addr)
@@ -508,6 +534,9 @@ func (n *Node) shutdown() error {
 		// deadline.
 		n.batcher.close()
 	}
+	// Stop the snapshotter and abandon unflushed WAL records (nothing
+	// unflushed was acked); the next start recovers from the store.
+	n.closeDurability()
 	if n.unsubscribe != nil {
 		n.unsubscribe()
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"crucial/internal/core"
+	"crucial/internal/durability"
 	"crucial/internal/ring"
 	"crucial/internal/telemetry"
 	"crucial/internal/totalorder"
@@ -24,6 +25,9 @@ type smrResult struct {
 	// this op, captured under the object monitor (see execOn). Compared
 	// against the members' finalResp versions before acking.
 	version uint64
+	// commit is the op's WAL durability ticket (nil with the tier off).
+	// The coordinator waits on it before acking — see waitDurable.
+	commit *durability.Commit
 }
 
 // finalResp is the reply to a FINAL control message, sent after the
@@ -197,6 +201,12 @@ func (n *Node) invokeReplicated(ctx context.Context, inv core.Invocation) ([]any
 		if err := n.checkRoundVersions(inv.Ref, id, res.version); err != nil {
 			return nil, err
 		}
+		if err := waitDurable(ctx, res.commit); err != nil {
+			// The op is applied in memory but its record never reached cold
+			// storage; acking would promise crash durability the tier cannot
+			// honor. No ack — the client's retry is dedup-safe.
+			return nil, err
+		}
 		n.log.Debug("smr round complete", "ref", inv.Ref.String(),
 			"method", inv.Method, "id", id.String(), "group", members,
 			"genesis", flag == smrOpGenesis, "err", res.err)
@@ -314,6 +324,7 @@ func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) bool {
 	n.inflight.settle(id)
 	var results []any
 	var version uint64
+	var commit *durability.Commit
 	versionKnown := false
 	genesis, body, err := splitSMRPayload(payload)
 	if err == nil {
@@ -357,6 +368,13 @@ func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) bool {
 						results, version, err = n.execOn(context.Background(), e, inv)
 						versionKnown = true
 						release()
+						if !inv.ReadOnly && !errors.Is(err, core.ErrRebalancing) {
+							// The op reached this copy (deterministic method
+							// errors included — replicas reproduce them); log
+							// it. Every replica logs its own WAL; only the
+							// coordinator's ticket gates the ack.
+							commit = n.appendWAL(id.Origin, id.Seq, version, payload)
+						}
 						if err == nil {
 							k := telemetry.ObjectKey{Type: inv.Ref.Type, Key: inv.Ref.Key}
 							n.objTrack.ObserveApply(k, 1)
@@ -373,7 +391,7 @@ func (n *Node) deliverSMR(id totalorder.MsgID, payload []byte) bool {
 	ch, ok := n.waiters[id]
 	n.waitMu.Unlock()
 	if ok {
-		ch <- smrResult{results: results, err: err, version: version}
+		ch <- smrResult{results: results, err: err, version: version, commit: commit}
 	} else if versionKnown {
 		// Member side: remember the post-apply version for the FINAL reply
 		// (see handleFinal and recordApplyVersion).
@@ -438,6 +456,9 @@ func (n *Node) deliverSMRBatch(id totalorder.MsgID, payload []byte) bool {
 					versionKnown = out.err == nil
 					release()
 					if out.err == nil {
+						// One record carries the whole batch; replay re-applies
+						// its sub-operations through the same dedup window.
+						out.commit = n.appendWAL(id.Origin, id.Seq, out.version, payload)
 						k := telemetry.ObjectKey{Type: ref.Type, Key: ref.Key}
 						n.objTrack.ObserveApply(k, len(invs))
 						n.bundleTrack.ObserveApply(k, len(invs))

@@ -16,10 +16,16 @@ import (
 	"time"
 
 	"crucial/internal/netsim"
+	"crucial/internal/telemetry"
 )
 
 // ErrNoSuchKey is returned by Get for absent objects.
 var ErrNoSuchKey = errors.New("s3sim: no such key")
+
+// ErrInjected is the transient failure surfaced by fault injection (see
+// Faults): the store's analogue of an S3 5xx. Callers are expected to
+// retry, exactly as AWS SDKs do.
+var ErrInjected = errors.New("s3sim: injected fault")
 
 type object struct {
 	data []byte
@@ -27,6 +33,29 @@ type object struct {
 	// GETs immediately (S3 read-after-write for new keys) but does not
 	// appear in LIST results until this time.
 	visibleAt time.Time
+}
+
+// Faults configures injectable per-operation failure rates and extra
+// latency, so chaos schedules can degrade cold storage the way they
+// degrade the network. Rates are probabilities in [0, 1] rolled per call
+// with the store's seeded generator (deterministic under a fixed seed and
+// call order); ExtraLatency is added to every operation on top of the
+// profile's modeled latency. The zero value injects nothing.
+type Faults struct {
+	PutErrRate    float64
+	GetErrRate    float64
+	ListErrRate   float64
+	DeleteErrRate float64
+	ExtraLatency  time.Duration
+}
+
+// Stats is a snapshot of the store's operation counters — the raw
+// material of S3 request-cost accounting (every put, get/head, list and
+// delete is a billable request; bytes feed storage and transfer cost).
+type Stats struct {
+	Puts, Gets, Lists, Deletes uint64
+	// BytesPut and BytesGot total the object payloads written and read.
+	BytesPut, BytesGot uint64
 }
 
 // Store is one bucket-less S3 endpoint. Safe for concurrent use.
@@ -38,8 +67,14 @@ type Store struct {
 	rng     *rand.Rand
 	// listLag bounds the extra delay before a new object appears in LIST.
 	listLag time.Duration
+	faults  Faults
 
-	puts, gets, lists uint64
+	stats Stats
+
+	// Mirrors of the stats counters in a telemetry registry (nil-safe
+	// no-ops without one), exported as crucial_storage_*_total.
+	cPuts, cGets, cLists, cDeletes *telemetry.Counter
+	cBytesPut, cBytesGot           *telemetry.Counter
 }
 
 // Options configures the store.
@@ -50,8 +85,14 @@ type Options struct {
 	// 80ms, scaled by the profile). Zero keeps the default; negative
 	// disables the lag.
 	ListLag time.Duration
-	// Seed makes the visibility jitter deterministic (default 1).
+	// Seed makes the visibility jitter and fault rolls deterministic
+	// (default 1).
 	Seed int64
+	// Metrics, when non-nil, mirrors the store's operation counters into
+	// this registry under the storage.* names (telemetry.MetStoragePuts
+	// et al.), which the Prometheus exporter serves as
+	// crucial_storage_*_total.
+	Metrics *telemetry.Registry
 }
 
 // New builds an empty store.
@@ -69,11 +110,46 @@ func New(opts Options) *Store {
 		opts.Seed = 1
 	}
 	return &Store{
-		profile: opts.Profile,
-		objects: make(map[string]object),
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		listLag: opts.ListLag,
+		profile:   opts.Profile,
+		objects:   make(map[string]object),
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		listLag:   opts.ListLag,
+		cPuts:     opts.Metrics.Counter(telemetry.MetStoragePuts),
+		cGets:     opts.Metrics.Counter(telemetry.MetStorageGets),
+		cLists:    opts.Metrics.Counter(telemetry.MetStorageLists),
+		cDeletes:  opts.Metrics.Counter(telemetry.MetStorageDeletes),
+		cBytesPut: opts.Metrics.Counter(telemetry.MetStoragePutBytes),
+		cBytesGot: opts.Metrics.Counter(telemetry.MetStorageGetBytes),
 	}
+}
+
+// SetFaults installs (or, with the zero value, clears) the store's fault
+// injection profile. Safe to call while the store is in use.
+func (s *Store) SetFaults(f Faults) {
+	s.mu.Lock()
+	s.faults = f
+	s.mu.Unlock()
+}
+
+// delay models one operation's latency: the profile's plus any injected
+// extra.
+func (s *Store) delay(ctx context.Context, l netsim.Latency) error {
+	s.mu.Lock()
+	extra := s.faults.ExtraLatency
+	s.mu.Unlock()
+	if err := s.profile.Delay(ctx, l); err != nil {
+		return err
+	}
+	if extra > 0 {
+		return netsim.Sleep(ctx, extra)
+	}
+	return nil
+}
+
+// roll decides one fault injection under the store lock (the caller holds
+// it), keeping the rng stream deterministic.
+func (s *Store) rollLocked(rate float64) bool {
+	return rate > 0 && s.rng.Float64() < rate
 }
 
 // Put stores an object under key.
@@ -81,34 +157,89 @@ func (s *Store) Put(ctx context.Context, key string, data []byte) error {
 	if key == "" {
 		return errors.New("s3sim: empty key")
 	}
-	if err := s.profile.Delay(ctx, s.profile.S3Put); err != nil {
+	if err := s.delay(ctx, s.profile.S3Put); err != nil {
 		return err
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	s.mu.Lock()
+	if s.rollLocked(s.faults.PutErrRate) {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: put %q", ErrInjected, key)
+	}
 	lag := time.Duration(0)
 	if s.listLag > 0 {
 		lag = s.profile.Scaled(time.Duration(s.rng.Int63n(int64(s.listLag))))
 	}
 	s.objects[key] = object{data: cp, visibleAt: time.Now().Add(lag)}
-	s.puts++
+	s.stats.Puts++
+	s.stats.BytesPut += uint64(len(cp))
 	s.mu.Unlock()
+	s.cPuts.Inc()
+	s.cBytesPut.Add(uint64(len(cp)))
 	return nil
+}
+
+// PutIfAbsent atomically creates key when it does not exist yet and
+// reports whether this call created it. It is the store's compare-and-set
+// primitive: two recovering nodes racing to claim one checkpoint manifest
+// key see exactly one winner, where plain Put would let the second
+// silently overwrite the first. (Real S3 gained this in 2024 as
+// conditional writes, `If-None-Match: *`.)
+func (s *Store) PutIfAbsent(ctx context.Context, key string, data []byte) (bool, error) {
+	if key == "" {
+		return false, errors.New("s3sim: empty key")
+	}
+	if err := s.delay(ctx, s.profile.S3Put); err != nil {
+		return false, err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	if s.rollLocked(s.faults.PutErrRate) {
+		s.mu.Unlock()
+		return false, fmt.Errorf("%w: put-if-absent %q", ErrInjected, key)
+	}
+	if _, exists := s.objects[key]; exists {
+		s.stats.Puts++
+		s.mu.Unlock()
+		s.cPuts.Inc()
+		return false, nil
+	}
+	lag := time.Duration(0)
+	if s.listLag > 0 {
+		lag = s.profile.Scaled(time.Duration(s.rng.Int63n(int64(s.listLag))))
+	}
+	s.objects[key] = object{data: cp, visibleAt: time.Now().Add(lag)}
+	s.stats.Puts++
+	s.stats.BytesPut += uint64(len(cp))
+	s.mu.Unlock()
+	s.cPuts.Inc()
+	s.cBytesPut.Add(uint64(len(cp)))
+	return true, nil
 }
 
 // Get retrieves an object.
 func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
-	if err := s.profile.Delay(ctx, s.profile.S3Get); err != nil {
+	if err := s.delay(ctx, s.profile.S3Get); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
+	if s.rollLocked(s.faults.GetErrRate) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: get %q", ErrInjected, key)
+	}
 	obj, ok := s.objects[key]
-	s.gets++
+	s.stats.Gets++
+	if ok {
+		s.stats.BytesGot += uint64(len(obj.data))
+	}
 	s.mu.Unlock()
+	s.cGets.Inc()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchKey, key)
 	}
+	s.cBytesGot.Add(uint64(len(obj.data)))
 	out := make([]byte, len(obj.data))
 	copy(out, obj.data)
 	return out, nil
@@ -116,13 +247,18 @@ func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
 
 // Exists reports key presence with GET-like latency (a HEAD request).
 func (s *Store) Exists(ctx context.Context, key string) (bool, error) {
-	if err := s.profile.Delay(ctx, s.profile.S3Get); err != nil {
+	if err := s.delay(ctx, s.profile.S3Get); err != nil {
 		return false, err
 	}
 	s.mu.Lock()
+	if s.rollLocked(s.faults.GetErrRate) {
+		s.mu.Unlock()
+		return false, fmt.Errorf("%w: head %q", ErrInjected, key)
+	}
 	_, ok := s.objects[key]
-	s.gets++
+	s.stats.Gets++
 	s.mu.Unlock()
+	s.cGets.Inc()
 	return ok, nil
 }
 
@@ -130,37 +266,48 @@ func (s *Store) Exists(ctx context.Context, key string) (bool, error) {
 // Freshly written objects may be missing (eventual consistency), which is
 // what makes S3 polling-based synchronization erratic (Fig. 6).
 func (s *Store) List(ctx context.Context, prefix string) ([]string, error) {
-	if err := s.profile.Delay(ctx, s.profile.S3List); err != nil {
+	if err := s.delay(ctx, s.profile.S3List); err != nil {
 		return nil, err
 	}
 	now := time.Now()
 	s.mu.Lock()
+	if s.rollLocked(s.faults.ListErrRate) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: list %q", ErrInjected, prefix)
+	}
 	keys := make([]string, 0, len(s.objects))
 	for k, o := range s.objects {
 		if strings.HasPrefix(k, prefix) && !o.visibleAt.After(now) {
 			keys = append(keys, k)
 		}
 	}
-	s.lists++
+	s.stats.Lists++
 	s.mu.Unlock()
+	s.cLists.Inc()
 	sort.Strings(keys)
 	return keys, nil
 }
 
 // Delete removes an object (idempotent, like S3).
 func (s *Store) Delete(ctx context.Context, key string) error {
-	if err := s.profile.Delay(ctx, s.profile.S3Put); err != nil {
+	if err := s.delay(ctx, s.profile.S3Put); err != nil {
 		return err
 	}
 	s.mu.Lock()
+	if s.rollLocked(s.faults.DeleteErrRate) {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: delete %q", ErrInjected, key)
+	}
 	delete(s.objects, key)
+	s.stats.Deletes++
 	s.mu.Unlock()
+	s.cDeletes.Inc()
 	return nil
 }
 
-// Stats reports operation counts (puts, gets+heads, lists).
-func (s *Store) Stats() (puts, gets, lists uint64) {
+// Stats reports the store's operation counters.
+func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.puts, s.gets, s.lists
+	return s.stats
 }

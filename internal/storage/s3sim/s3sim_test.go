@@ -138,12 +138,16 @@ func TestGetReturnsCopy(t *testing.T) {
 func TestStats(t *testing.T) {
 	s := New(Options{})
 	ctx := context.Background()
-	_ = s.Put(ctx, "k", nil)
+	_ = s.Put(ctx, "k", []byte("abc"))
 	_, _ = s.Get(ctx, "k")
 	_, _ = s.List(ctx, "")
-	puts, gets, lists := s.Stats()
-	if puts != 1 || gets != 1 || lists != 1 {
-		t.Fatalf("stats = %d %d %d", puts, gets, lists)
+	_ = s.Delete(ctx, "k")
+	st := s.Stats()
+	if st.Puts != 1 || st.Gets != 1 || st.Lists != 1 || st.Deletes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesPut != 3 || st.BytesGot != 3 {
+		t.Fatalf("byte stats = %+v", st)
 	}
 }
 
@@ -155,5 +159,75 @@ func TestContextCancellation(t *testing.T) {
 	defer cancel()
 	if err := s.Put(ctx, "k", nil); err == nil {
 		t.Fatal("Put with cancelled context succeeded")
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	created, err := s.PutIfAbsent(ctx, "cas", []byte("first"))
+	if err != nil || !created {
+		t.Fatalf("first PutIfAbsent = (%v, %v), want (true, nil)", created, err)
+	}
+	created, err = s.PutIfAbsent(ctx, "cas", []byte("second"))
+	if err != nil || created {
+		t.Fatalf("second PutIfAbsent = (%v, %v), want (false, nil)", created, err)
+	}
+	got, err := s.Get(ctx, "cas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Fatalf("loser overwrote CAS winner: Get = %q", got)
+	}
+	// Both attempts are billable requests, but only the winner stored bytes.
+	st := s.Stats()
+	if st.Puts != 2 {
+		t.Fatalf("Puts = %d, want 2", st.Puts)
+	}
+	if st.BytesPut != uint64(len("first")) {
+		t.Fatalf("BytesPut = %d, want %d", st.BytesPut, len("first"))
+	}
+}
+
+func TestFaultInjectionRates(t *testing.T) {
+	s := New(Options{Seed: 7})
+	ctx := context.Background()
+	s.SetFaults(Faults{PutErrRate: 1.0})
+	if err := s.Put(ctx, "k", []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put under PutErrRate=1 = %v, want ErrInjected", err)
+	}
+	if _, err := s.Get(ctx, "k"); errors.Is(err, ErrInjected) {
+		t.Fatal("GetErrRate=0 must not inject on Get")
+	}
+	s.SetFaults(Faults{GetErrRate: 1.0, ListErrRate: 1.0, DeleteErrRate: 1.0})
+	if err := s.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("Put with faults cleared on puts: %v", err)
+	}
+	if _, err := s.Get(ctx, "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Get under GetErrRate=1 = %v, want ErrInjected", err)
+	}
+	if _, err := s.List(ctx, ""); !errors.Is(err, ErrInjected) {
+		t.Fatalf("List under ListErrRate=1 = %v, want ErrInjected", err)
+	}
+	if err := s.Delete(ctx, "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Delete under DeleteErrRate=1 = %v, want ErrInjected", err)
+	}
+	s.SetFaults(Faults{})
+	if _, err := s.Get(ctx, "k"); err != nil {
+		t.Fatalf("Get after clearing faults: %v", err)
+	}
+}
+
+func TestFaultExtraLatency(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	s.SetFaults(Faults{ExtraLatency: 30 * time.Millisecond})
+	start := time.Now()
+	if err := s.Put(ctx, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("Put with ExtraLatency took %v, want >= 30ms", d)
 	}
 }

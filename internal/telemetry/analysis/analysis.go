@@ -40,6 +40,9 @@ const (
 	// CatFnCompute is user code running inside the function between DSO
 	// calls.
 	CatFnCompute = "function_compute"
+	// CatDurability is cold-storage durability work: WAL segment flushes
+	// (wal.append) and crash-recovery replay (recovery.replay).
+	CatDurability = "durability"
 	// CatOther is everything unattributed: thread dispatch, retry backoff,
 	// encode/decode outside any finer-grained span.
 	CatOther = "other"
@@ -49,7 +52,7 @@ const (
 func Categories() []string {
 	return []string{
 		CatColdStart, CatQueueWait, CatRPC, CatMonitorWait,
-		CatExec, CatSMR, CatFnCompute, CatOther,
+		CatExec, CatSMR, CatFnCompute, CatDurability, CatOther,
 	}
 }
 
@@ -230,6 +233,8 @@ func attribute(n *Node, cats map[string]time.Duration) {
 		// server.invoke spans still carry their own smr_order timing for
 		// the time each caller waited on the round.
 		cats[CatSMR] += self
+	case telemetry.SpanWALAppend, telemetry.SpanRecoveryReplay:
+		cats[CatDurability] += self
 	default:
 		cats[CatOther] += self
 	}

@@ -149,6 +149,37 @@ const (
 	MetServerMigrationsFailed = "server.migrations_failed"
 	MetServerRebalanceScans   = "server.rebalance_scans"
 
+	// Durability tier (DESIGN.md §5h). WAL appends counts records written
+	// to the open segment; fsyncs counts storage flushes (each a segment
+	// PUT covering one group-commit of records); wal.bytes totals segment
+	// bytes shipped to cold storage; replays counts records re-applied
+	// during recovery; torn_tails counts segments whose tail was
+	// unreadable (partial final record or CRC mismatch) and was discarded
+	// at the first damage. server.snapshots counts completed checkpoint
+	// passes (snapshot set + manifest landed). Exported on /metrics as
+	// crucial_wal_*_total / crucial_server_snapshots_total.
+	MetWALAppends      = "wal.appends"
+	MetWALFsyncs       = "wal.fsyncs"
+	MetWALBytes        = "wal.bytes"
+	MetWALReplays      = "wal.replays"
+	MetWALTornTails    = "wal.torn_tails"
+	MetServerSnapshots = "server.snapshots"
+	// Checkpoint component of the storage bill (FaaSKeeper-style cost
+	// accounting): snapshot-blob and manifest PUTs plus their bytes,
+	// separable from the wal.* counters that price the log component.
+	MetSnapshotPuts  = "snapshot.puts"
+	MetSnapshotBytes = "snapshot.bytes"
+
+	// Cold object store (s3sim) request counters, the raw material of the
+	// storage cost model: every put, get/head, list and delete is a
+	// billable S3 request. Exported as crucial_storage_*_total.
+	MetStoragePuts     = "storage.puts"
+	MetStorageGets     = "storage.gets"
+	MetStorageLists    = "storage.lists"
+	MetStorageDeletes  = "storage.deletes"
+	MetStoragePutBytes = "storage.put_bytes"
+	MetStorageGetBytes = "storage.get_bytes"
+
 	// Chaos engine (fault injection). Exported on /metrics as
 	// crucial_chaos_*_total.
 	MetChaosFramesDropped    = "chaos.frames_dropped"
@@ -180,6 +211,13 @@ const (
 	// SpanCacheRead wraps a read-only invocation answered from the client
 	// lease cache (attributes: object_type, method, cache = "hit").
 	SpanCacheRead = "cache.read"
+	// SpanWALAppend wraps one WAL flush on the durability tier: encoding
+	// the pending records and the segment PUT to cold storage. Recorded
+	// once per fsync (not per record), so span counts mirror wal.fsyncs.
+	SpanWALAppend = "wal.append"
+	// SpanRecoveryReplay wraps one node's restart recovery: loading the
+	// checkpoint, installing objects, and replaying the surviving WAL.
+	SpanRecoveryReplay = "recovery.replay"
 
 	AttrCold       = "cold"
 	AttrFunction   = "function"

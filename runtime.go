@@ -11,8 +11,10 @@ import (
 	"crucial/internal/client"
 	"crucial/internal/cluster"
 	"crucial/internal/core"
+	"crucial/internal/durability"
 	"crucial/internal/faas"
 	"crucial/internal/netsim"
+	"crucial/internal/storage/s3sim"
 	"crucial/internal/telemetry"
 )
 
@@ -49,6 +51,21 @@ type RebalancePolicy = core.RebalancePolicy
 // sustained over 2 scans, 30s per-object cooldown). A convenience
 // re-export of core.DefaultRebalancePolicy.
 func DefaultRebalancePolicy() RebalancePolicy { return core.DefaultRebalancePolicy() }
+
+// DurabilityPolicy configures the durability tier (DESIGN.md §5h): every
+// DSO node appends committed mutations to a write-ahead log in cold
+// storage (group-fsynced every SyncEvery appends), checkpoints object
+// snapshots every SnapshotInterval, and — after a crash of any subset of
+// nodes, up to the whole cluster — rebuilds its state from cold storage
+// alone on restart. It is an alias of core.DurabilityPolicy, the single
+// policy type threaded through Options.Durability, cluster.Options and
+// server.Config. The zero value disables the tier entirely.
+type DurabilityPolicy = core.DurabilityPolicy
+
+// DefaultDurabilityPolicy returns the tested durability defaults with the
+// tier enabled (group fsync every 64 appends, 2s snapshot cadence, 64 KiB
+// WAL segments). A convenience re-export of core.DefaultDurabilityPolicy.
+func DefaultDurabilityPolicy() DurabilityPolicy { return core.DefaultDurabilityPolicy() }
 
 // Options configures a local runtime: an in-process FaaS platform plus an
 // in-process DSO cluster wired over an in-memory network.
@@ -102,6 +119,14 @@ type Options struct {
 	// (the default) keeps placement purely hash-driven;
 	// DefaultRebalancePolicy() enables it with tested defaults.
 	Rebalance RebalancePolicy
+	// Durability is the WAL-plus-snapshot durability tier (DESIGN.md §5h).
+	// With Enabled set, the runtime provisions a simulated cold object
+	// store shared by every DSO node; each node logs its committed
+	// mutations there before acknowledging and checkpoints object
+	// snapshots in the background, so state survives a crash of the whole
+	// cluster. The zero value (the default) keeps state purely in memory;
+	// DefaultDurabilityPolicy() enables the tier with tested defaults.
+	Durability DurabilityPolicy
 	// Telemetry, when non-nil, turns on end-to-end instrumentation: every
 	// layer (cloud threads, FaaS platform, DSO client and servers) records
 	// spans and metrics into this one bundle. Nil (the default) disables
@@ -148,6 +173,16 @@ func envBool(name string) bool {
 	return err == nil && v
 }
 
+// asColdStore converts the optional concrete store to the durability
+// interface without producing a typed-nil interface value when the tier
+// is disabled.
+func asColdStore(s *s3sim.Store) durability.Storage {
+	if s == nil {
+		return nil
+	}
+	return s
+}
+
 // Runtime is a complete local Crucial deployment: the FaaS platform
 // executing cloud threads and the DSO cluster holding shared state.
 type Runtime struct {
@@ -163,6 +198,7 @@ type Runtime struct {
 	functionName string
 	defaultRetry RetryPolicy
 	profile      *netsim.Profile
+	coldStore    *s3sim.Store
 
 	// Telemetry handles; nil/no-op when Options.Telemetry was unset.
 	tel          *telemetry.Telemetry
@@ -181,6 +217,14 @@ func NewLocalRuntime(opts Options) (*Runtime, error) {
 		opts.Profile = netsim.Zero()
 	}
 	opts.Telemetry = opts.resolveTelemetry()
+	var coldStore *s3sim.Store
+	if opts.Durability.Enabled {
+		var metrics *telemetry.Registry
+		if opts.Telemetry != nil {
+			metrics = opts.Telemetry.Metrics()
+		}
+		coldStore = s3sim.New(s3sim.Options{Profile: opts.Profile, Metrics: metrics})
+	}
 	clu, err := cluster.StartLocal(cluster.Options{
 		Nodes:       opts.DSONodes,
 		RF:          opts.RF,
@@ -191,6 +235,8 @@ func NewLocalRuntime(opts Options) (*Runtime, error) {
 		ClientCache: opts.ClientCache && opts.LeaseTTL > 0,
 		Write:       opts.Write,
 		Rebalance:   opts.Rebalance,
+		Durability:  opts.Durability,
+		ColdStore:   asColdStore(coldStore),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("crucial: start DSO cluster: %w", err)
@@ -201,6 +247,7 @@ func NewLocalRuntime(opts Options) (*Runtime, error) {
 		functionName: RunnerFunction,
 		defaultRetry: opts.DefaultRetry,
 		profile:      opts.Profile,
+		coldStore:    coldStore,
 		tel:          opts.Telemetry,
 	}
 	if opts.Telemetry != nil {
@@ -272,6 +319,12 @@ func (rt *Runtime) Cluster() *cluster.Cluster { return rt.clu }
 
 // Profile returns the latency profile in effect.
 func (rt *Runtime) Profile() *netsim.Profile { return rt.profile }
+
+// ColdStore returns the simulated cold object store backing the
+// durability tier, or nil when Options.Durability was disabled. Useful
+// for inspecting request/byte totals (storage cost accounting) and for
+// restarting a cluster against the same durable state in experiments.
+func (rt *Runtime) ColdStore() *s3sim.Store { return rt.coldStore }
 
 // Telemetry returns the runtime's telemetry bundle (nil when disabled).
 func (rt *Runtime) Telemetry() *telemetry.Telemetry { return rt.tel }
