@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-rpc bench-cache bench-write bench-reshard bench-wal wal-fuzz cover verify chaos chaos-short doclint alloc-guard
+.PHONY: build test vet fmt race bench bench-rpc bench-cache bench-write bench-reshard bench-wal bench-statefun wal-fuzz cover verify chaos chaos-short doclint alloc-guard
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,20 @@ bench-wal:
 	$(GO) run ./cmd/benchfmt < /tmp/bench_wal_raw.txt > BENCH_wal.json
 	@echo "wrote BENCH_wal.json"
 
+# bench-statefun runs the stateful-functions sustained-throughput
+# benchmarks (one op = one message pushed, dispatched, handled, and
+# atomically committed; per-instance drain probes close each run) across
+# 100 and 1000 instances with the durability tier off and on, and
+# commits their aggregate to BENCH_statefun.json via cmd/benchfmt. Fixed
+# iteration counts keep go test from re-probing b.N — each probe pays a
+# full runtime boot. The table-level view is `crucial-bench -exp
+# statefun` (DESIGN.md §5i, EXPERIMENTS.md).
+bench-statefun:
+	$(GO) test -run '^$$' -bench 'BenchmarkStatefun' -benchtime 3000x \
+		-benchmem -count=3 . > /tmp/bench_statefun_raw.txt
+	$(GO) run ./cmd/benchfmt < /tmp/bench_statefun_raw.txt > BENCH_statefun.json
+	@echo "wrote BENCH_statefun.json"
+
 # wal-fuzz fuzzes the WAL segment decoder — the one parser fed raw bytes
 # off cold storage, where torn flushes and bit rot are the expected input.
 # Invariants: no panics, and accepted records re-encode byte-identically.
@@ -95,12 +109,13 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# chaos runs the nemesis linearizability suite under the race detector:
-# nine seeded fault schedules (partitions, drop/delay, duplication,
-# crash/restart, combined, both with the lease cache on, and partition
-# and crash/restart with write batching on) plus the at-most-once
-# blackhole regressions. Schedules are deterministic in their seeds, so a
-# failure reproduces.
+# chaos runs the nemesis suite under the race detector: ten seeded
+# linearizability schedules (partitions, drop/delay, duplication,
+# crash/restart, combined, with the lease cache on, with write batching
+# on, with live migration mid-partition), the kill-everything
+# full-cluster recovery audit, the stateful-functions kill-everything
+# delivery audit, and the at-most-once blackhole regressions. Schedules
+# are deterministic in their seeds, so a failure reproduces.
 chaos:
 	$(GO) test -race -count=1 -run 'TestNemesis|TestAtMostOnce' ./internal/chaos/
 
@@ -108,10 +123,12 @@ chaos:
 # schedule, one crash/restart schedule, the cache-on partition schedule
 # (with its invalidation-blackhole window), the group-commit partition
 # schedule (write batching on), the live-migration partition schedule
-# (hot object migrated mid-partition), and the kill-everything schedule
-# (full-cluster crash recovered from cold storage), shrunk by -short.
+# (hot object migrated mid-partition), the kill-everything schedule
+# (full-cluster crash recovered from cold storage), and the stateful-
+# functions kill-everything schedule (exactly-once-visible delivery
+# audited across the same full-cluster crash), shrunk by -short.
 chaos-short:
-	$(GO) test -race -count=1 -short -run 'TestNemesisPartition|TestNemesisCrashRestart|TestNemesisCachePartition|TestNemesisWriteBatchPartition|TestNemesisMigrationPartition|TestNemesisKillEverything' ./internal/chaos/
+	$(GO) test -race -count=1 -short -run 'TestNemesisPartition|TestNemesisCrashRestart|TestNemesisCachePartition|TestNemesisWriteBatchPartition|TestNemesisMigrationPartition|TestNemesisKillEverything|TestNemesisStatefunKillEverything' ./internal/chaos/
 
 # doclint fails when an exported identifier in the public API (the root
 # package) has no doc comment.

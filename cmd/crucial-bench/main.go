@@ -56,6 +56,7 @@ func run() int {
 		fmt.Println(bench.ExpChaos)
 		fmt.Println(bench.ExpCache)
 		fmt.Println(bench.ExpReshard)
+		fmt.Println(bench.ExpStatefun)
 		return 0
 	}
 	opts := bench.Options{Scale: *scale, Quick: *quick, Report: *report}

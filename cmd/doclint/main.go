@@ -15,8 +15,11 @@
 // Grouped const/var blocks count as documented when the block has a doc
 // comment. It also flags malformed comment lines written as "///" or
 // "// /", which compile fine but render in godoc with a stray leading
-// slash ("/ Registry overrides ..."). Exit status is 1 when anything is
-// undocumented or malformed.
+// slash ("/ Registry overrides ..."), and doc comments that do not begin
+// with the identifier they document (the godoc convention, so that
+// `go doc -all` reads as a glossary; an optional leading article — "A",
+// "An", "The" — and "Deprecated:" notices are accepted). Exit status is
+// 1 when anything is undocumented, malformed, or misnamed.
 package main
 
 import (
@@ -48,7 +51,7 @@ func main() {
 		}
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) lack doc comments\n", bad)
+		fmt.Fprintf(os.Stderr, "doclint: %d doc comment problem(s)\n", bad)
 		os.Exit(1)
 	}
 }
@@ -69,10 +72,15 @@ func lintDir(dir string) ([]string, error) {
 		missing = append(missing, fmt.Sprintf("%s:%d: %s %s is exported but has no doc comment",
 			filepath.ToSlash(p.Filename), p.Line, what, name))
 	}
+	badName := func(pos token.Pos, what, name string, doc *ast.CommentGroup) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: comment on %s %s should start with %q (godoc convention), not %q",
+			filepath.ToSlash(p.Filename), p.Line, what, name, name, firstWord(doc.Text())))
+	}
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
-				lintDecl(decl, report)
+				lintDecl(decl, report, badName)
 			}
 			for _, group := range file.Comments {
 				for _, cm := range group.List {
@@ -118,15 +126,17 @@ func firstLine(s string) string {
 }
 
 // lintDecl reports undocumented exported identifiers in one top-level
-// declaration.
-func lintDecl(decl ast.Decl, report func(token.Pos, string, string)) {
+// declaration, and documented ones whose comment does not start with the
+// identifier name (via badName).
+func lintDecl(decl ast.Decl, report func(token.Pos, string, string), badName func(token.Pos, string, string, *ast.CommentGroup)) {
 	switch d := decl.(type) {
 	case *ast.FuncDecl:
-		if !d.Name.IsExported() || d.Doc != nil {
+		if !d.Name.IsExported() {
 			return
 		}
 		what := "function"
 		name := d.Name.Name
+		display := name
 		if d.Recv != nil && len(d.Recv.List) == 1 {
 			// Only methods on exported receivers are part of the API.
 			recv := receiverName(d.Recv.List[0].Type)
@@ -134,9 +144,13 @@ func lintDecl(decl ast.Decl, report func(token.Pos, string, string)) {
 				return
 			}
 			what = "method"
-			name = recv + "." + name
+			display = recv + "." + name
 		}
-		report(d.Pos(), what, name)
+		if d.Doc == nil {
+			report(d.Pos(), what, display)
+		} else if !startsWithName(d.Doc, name) {
+			badName(d.Pos(), what, name, d.Doc)
+		}
 	case *ast.GenDecl:
 		switch d.Tok {
 		case token.TYPE:
@@ -145,24 +159,39 @@ func lintDecl(decl ast.Decl, report func(token.Pos, string, string)) {
 				if !ts.Name.IsExported() {
 					continue
 				}
-				if ts.Doc == nil && d.Doc == nil {
+				doc := ts.Doc
+				if doc == nil && len(d.Specs) == 1 {
+					doc = d.Doc
+				}
+				if doc == nil && d.Doc == nil {
 					report(ts.Pos(), "type", ts.Name.Name)
 					continue
+				}
+				if doc != nil && !startsWithName(doc, ts.Name.Name) {
+					badName(ts.Pos(), "type", ts.Name.Name, doc)
 				}
 				lintTypeMembers(ts, report)
 			}
 		case token.CONST, token.VAR:
-			// A doc comment on the grouped block documents the group.
-			if d.Doc != nil {
-				return
-			}
 			kind := "const"
 			if d.Tok == token.VAR {
 				kind = "var"
 			}
 			for _, spec := range d.Specs {
 				vs := spec.(*ast.ValueSpec)
-				if vs.Doc != nil || vs.Comment != nil {
+				// The name check applies only to ungrouped declarations:
+				// inside a `const ( ... )` block, a spec's doc comment is
+				// often a section header covering the run of specs below it
+				// (see internal/telemetry's metric-name groups), which no
+				// single identifier can lead.
+				if !d.Lparen.IsValid() && len(vs.Names) == 1 && vs.Names[0].IsExported() {
+					if doc := d.Doc; doc != nil && !startsWithName(doc, vs.Names[0].Name) {
+						badName(vs.Names[0].Pos(), kind, vs.Names[0].Name, doc)
+						continue
+					}
+				}
+				// A doc comment on the grouped block documents the group.
+				if d.Doc != nil || vs.Doc != nil || vs.Comment != nil {
 					continue
 				}
 				for _, name := range vs.Names {
@@ -173,6 +202,43 @@ func lintDecl(decl ast.Decl, report func(token.Pos, string, string)) {
 			}
 		}
 	}
+}
+
+// startsWithName reports whether a doc comment opens with the identifier
+// it documents, per the godoc convention. An optional leading article
+// ("A", "An", "The") is accepted, as are "Deprecated:" notices and
+// build-constraint-style directive comments (which have no prose).
+func startsWithName(doc *ast.CommentGroup, name string) bool {
+	text := doc.Text()
+	if text == "" {
+		return true // nothing but directives ("//go:generate" etc.)
+	}
+	word := firstWord(text)
+	if word == name {
+		return true
+	}
+	if word == "Deprecated:" {
+		return true
+	}
+	if strings.HasPrefix(word, "/") {
+		return true // already reported by the malformed-comment check
+	}
+	switch word {
+	case "A", "An", "The":
+		rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), word))
+		return firstWord(rest) == name
+	}
+	return false
+}
+
+// firstWord returns the first whitespace-delimited token of a comment's
+// prose, for report messages and the name check.
+func firstWord(text string) string {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
 }
 
 // lintTypeMembers reports undocumented exported fields of a struct type

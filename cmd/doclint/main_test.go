@@ -89,3 +89,64 @@ func TestMalformedComment(t *testing.T) {
 		}
 	}
 }
+
+func TestLintFlagsCommentsNotStartingWithName(t *testing.T) {
+	missing := lintSource(t, `package x
+
+// Runs the thing.
+func Exported() {}
+
+// Exported2 is fine.
+func Exported2() {}
+
+// A Widget is fine with a leading article.
+type Widget struct{}
+
+// Holder of state for gadgets.
+type Gadget struct{}
+
+// Wrong name for this variable.
+var Registry int
+
+// Deprecated: use Registry instead.
+var OldRegistry int
+`)
+	if len(missing) != 3 {
+		t.Fatalf("want 3 name-prefix findings, got %q", missing)
+	}
+	for _, want := range []string{"function Exported", "type Gadget", "var Registry"} {
+		found := false
+		for _, m := range missing {
+			if strings.Contains(m, want) && strings.Contains(m, "should start with") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing name-prefix finding for %q in %q", want, missing)
+		}
+	}
+}
+
+func TestLintNameCheckSkipsGroupSectionHeaders(t *testing.T) {
+	missing := lintSource(t, `package x
+
+// Canonical metric names.
+const (
+	// FaaS platform counters.
+	MetA = "a"
+	MetB = "b"
+
+	// Server counters.
+	MetC = "c"
+)
+
+// T exists so a method can carry the misnamed comment below.
+type T struct{}
+
+// Wrong verb-first comment.
+func (T) Do() {}
+`)
+	if len(missing) != 1 || !strings.Contains(missing[0], `method Do should start with "Do"`) {
+		t.Fatalf("want only the method finding, got %q", missing)
+	}
+}

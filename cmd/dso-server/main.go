@@ -33,6 +33,7 @@ import (
 	"crucial/internal/ring"
 	"crucial/internal/rpc"
 	"crucial/internal/server"
+	"crucial/internal/statefun"
 	"crucial/internal/storage/s3sim"
 	"crucial/internal/telemetry"
 )
@@ -119,11 +120,14 @@ func run() int {
 	if write.Batching() && write.Pipeline <= 0 {
 		write.Pipeline = core.DefaultWritePolicy().Pipeline
 	}
+	// TCP nodes serve stateful-function mailboxes too (DESIGN.md §5i).
+	registry := objects.BuiltinRegistry()
+	statefun.RegisterTypes(registry)
 	cfg := server.Config{
 		ID:        ring.NodeID(*id),
 		Addr:      addr,
 		Transport: rpc.TCP{},
-		Registry:  objects.BuiltinRegistry(),
+		Registry:  registry,
 		Directory: dir,
 		RF:        *rf,
 		LeaseTTL:  *leaseTTL,

@@ -1,8 +1,10 @@
-// The Santa Claus problem (paper Section 6.3.3) three ways: local
+// The Santa Claus problem (paper Section 6.3.3) four ways: local
 // goroutines with monitors, the same algorithm with DSO-hosted groups and
-// gates, and finally every entity on its own cloud thread. The entity code
-// is byte-for-byte identical across variants — only the object factory
-// changes.
+// gates, every entity on its own cloud thread, and finally the whole cast
+// rewritten event-driven on stateful functions (DESIGN.md §5i). The
+// entity code is byte-for-byte identical across the first three variants
+// — only the object factory changes; the fourth trades blocking waits
+// for durable mailboxes, so no entity ever holds a thread while waiting.
 //
 //	go run ./examples/santa
 package main
@@ -61,11 +63,23 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "santa cloud:", err)
 		return 1
 	}
+	santaFn, reindeerFn, elfFn, err := santa.DeployStatefun(rt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "santa statefun:", err)
+		return 1
+	}
+	params.Prefix = "santa-statefun"
+	statefun, err := santa.RunStatefun(ctx, params, santaFn, reindeerFn, elfFn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "santa statefun:", err)
+		return 1
+	}
 
 	fmt.Printf("%d deliveries with %d reindeer and %d elves:\n",
 		params.Deliveries, params.Reindeer, params.Elves)
 	fmt.Printf("  POJO (goroutines + monitors):   %v\n", pojo.Round(time.Millisecond))
 	fmt.Printf("  DSO objects (@Shared analog):   %v\n", dso.Round(time.Millisecond))
 	fmt.Printf("  DSO + cloud threads:            %v\n", cloud.Round(time.Millisecond))
+	fmt.Printf("  stateful functions (no waits):  %v\n", statefun.Round(time.Millisecond))
 	return 0
 }

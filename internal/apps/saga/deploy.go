@@ -1,0 +1,61 @@
+package saga
+
+import (
+	"context"
+
+	"crucial"
+)
+
+// Handles bundles the deployed saga functions for runtime-based callers
+// (tests and the local mode of examples/saga).
+type Handles struct {
+	Order     *crucial.StatefulFunction
+	Inventory *crucial.StatefulFunction
+	Payment   *crucial.StatefulFunction
+	Shipping  *crucial.StatefulFunction
+}
+
+// Deploy registers the four saga function types on the runtime.
+func Deploy(rt *crucial.Runtime) (*Handles, error) {
+	var h Handles
+	var err error
+	if h.Order, err = rt.DeployStatefulFunction(FnOrder, HandleOrder); err != nil {
+		return nil, err
+	}
+	if h.Inventory, err = rt.DeployStatefulFunction(FnInventory, HandleInventory); err != nil {
+		return nil, err
+	}
+	if h.Payment, err = rt.DeployStatefulFunction(FnPayment, HandlePayment); err != nil {
+		return nil, err
+	}
+	if h.Shipping, err = rt.DeployStatefulFunction(FnShipping, HandleShipping); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Restock adds qty units to a SKU's stock.
+func (h *Handles) Restock(ctx context.Context, sku string, qty int64) error {
+	return h.Inventory.Send(ctx, sku, "restock", Step{Qty: qty})
+}
+
+// Deposit adds amount to an account's balance.
+func (h *Handles) Deposit(ctx context.Context, account string, amount int64) error {
+	return h.Payment.Send(ctx, account, "deposit", Step{Amount: amount})
+}
+
+// Place starts the saga for orderID and blocks until it completes or
+// fails, returning the receipt.
+func (h *Handles) Place(ctx context.Context, orderID string, po PlaceOrder) (Receipt, error) {
+	var r Receipt
+	if err := h.Order.Call(ctx, orderID, "place", po, &r); err != nil {
+		return Receipt{}, err
+	}
+	return r, nil
+}
+
+// PlaceAsync starts the saga for orderID without waiting for the
+// outcome; poll the order's state (or the receipt phase) to observe it.
+func (h *Handles) PlaceAsync(ctx context.Context, orderID string, po PlaceOrder) error {
+	return h.Order.Send(ctx, orderID, "place", po)
+}

@@ -1,0 +1,305 @@
+// Package saga is the durable-workflow example of DESIGN.md §5i: an
+// order saga built on stateful functions. Each order is one "order"
+// instance orchestrating three participants — inventory, payment,
+// shipping — purely through mailbox messages. Every step's state change
+// and outgoing message commit atomically, so the saga resumes from its
+// exact step across process crashes, node crashes, and full-cluster
+// restarts, with no step applied twice: a reservation is never charged
+// twice, a failed payment always releases its reservation.
+//
+// The flow (happy path, with the compensation branch in brackets):
+//
+//	client ── place ──▶ order ── reserve ──▶ inventory
+//	                    order ◀─ reserved ── inventory
+//	                    order ── charge ───▶ payment
+//	                    order ◀─ charged ─── payment      [declined:
+//	                    order ── dispatch ─▶ shipping       release the
+//	                    order ◀─ dispatched─ shipping       reservation]
+//	client ◀─ receipt ─ order
+package saga
+
+import (
+	"fmt"
+
+	"crucial/internal/statefun"
+)
+
+// Function types of the saga cast.
+const (
+	FnOrder     = "order"
+	FnInventory = "inventory"
+	FnPayment   = "payment"
+	FnShipping  = "shipping"
+)
+
+// Order phases, in the order the saga moves through them. A saga that
+// fails ends in PhaseFailed with the reason recorded; compensation (the
+// inventory release) has already been sent in the same commit that
+// recorded the failure.
+const (
+	PhaseReserving = "reserving"
+	PhaseCharging  = "charging"
+	PhaseShipping  = "shipping"
+	PhaseCompleted = "completed"
+	PhaseFailed    = "failed"
+)
+
+// PlaceOrder is the client's request: what to buy, from which stock,
+// charged to which account.
+type PlaceOrder struct {
+	SKU     string
+	Qty     int64
+	Amount  int64
+	Account string
+}
+
+// Receipt is the saga's final answer to the client.
+type Receipt struct {
+	OrderID string
+	Status  string // PhaseCompleted or PhaseFailed
+	Reason  string // why, when failed
+}
+
+// Step is the message body participants and the orchestrator exchange;
+// OrderID routes answers back to the right order instance.
+type Step struct {
+	OrderID string
+	SKU     string
+	Qty     int64
+	Amount  int64
+	Account string
+	Reason  string
+}
+
+// OrderState is an order instance's durable state: the request, the
+// current phase, the client's reply key (answered when the saga ends),
+// and the failure reason if any.
+type OrderState struct {
+	Order    PlaceOrder
+	Phase    string
+	ReplyKey string
+	Reason   string
+}
+
+// InventoryState is a per-SKU stock instance: free stock plus the
+// per-order reservations that a compensating release returns to stock.
+type InventoryState struct {
+	Stock    int64
+	Reserved map[string]int64
+}
+
+// PaymentState is a per-account balance instance with the per-order
+// charges it has applied.
+type PaymentState struct {
+	Balance int64
+	Charged map[string]int64
+}
+
+// ShippingState counts dispatches from one depot instance.
+type ShippingState struct {
+	Dispatched int64
+}
+
+// RegisterAll adds the four saga handlers to hs, for engines built
+// directly on internal/statefun (the remote-cluster mode of
+// examples/saga). Runtimes use Deploy instead.
+func RegisterAll(hs *statefun.HandlerSet) error {
+	for fnType, h := range map[string]statefun.Handler{
+		FnOrder:     HandleOrder,
+		FnInventory: HandleInventory,
+		FnPayment:   HandlePayment,
+		FnShipping:  HandleShipping,
+	} {
+		if err := hs.Register(fnType, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// orderAddr routes a participant's answer back to the orchestrator.
+func orderAddr(orderID string) statefun.Address {
+	return statefun.Address{FnType: FnOrder, ID: orderID}
+}
+
+// HandleOrder is the orchestrator: it walks the order through
+// reserve → charge → dispatch, records each transition in its state, and
+// stages the next step's message in the same atomic commit.
+func HandleOrder(c *statefun.Ctx, m statefun.Msg) error {
+	var st OrderState
+	if _, err := c.State(&st); err != nil {
+		return err
+	}
+	fail := func(reason string) error {
+		st.Phase = PhaseFailed
+		st.Reason = reason
+		if st.ReplyKey != "" {
+			receipt := Receipt{OrderID: c.Self().ID, Status: PhaseFailed, Reason: reason}
+			if err := c.SendReply(st.ReplyKey, receipt); err != nil {
+				return err
+			}
+		}
+		return c.SetState(st)
+	}
+	switch m.Name() {
+	case "place":
+		if st.Phase != "" {
+			// A duplicate placement (a client retry beyond the dedup
+			// window): answer with the current status, change nothing.
+			if m.ReplyKey() != "" {
+				return c.Reply(Receipt{OrderID: c.Self().ID, Status: st.Phase, Reason: st.Reason})
+			}
+			return nil
+		}
+		var po PlaceOrder
+		if err := m.Body(&po); err != nil {
+			return err
+		}
+		st = OrderState{Order: po, Phase: PhaseReserving, ReplyKey: m.ReplyKey()}
+		step := Step{OrderID: c.Self().ID, SKU: po.SKU, Qty: po.Qty, Amount: po.Amount, Account: po.Account}
+		if err := c.Send(statefun.Address{FnType: FnInventory, ID: po.SKU}, "reserve", step); err != nil {
+			return err
+		}
+		return c.SetState(st)
+	case "reserved":
+		st.Phase = PhaseCharging
+		step := Step{OrderID: c.Self().ID, Amount: st.Order.Amount, Account: st.Order.Account}
+		if err := c.Send(statefun.Address{FnType: FnPayment, ID: st.Order.Account}, "charge", step); err != nil {
+			return err
+		}
+		return c.SetState(st)
+	case "rejected":
+		var step Step
+		if err := m.Body(&step); err != nil {
+			return err
+		}
+		return fail(step.Reason)
+	case "charged":
+		st.Phase = PhaseShipping
+		step := Step{OrderID: c.Self().ID, SKU: st.Order.SKU, Qty: st.Order.Qty}
+		if err := c.Send(statefun.Address{FnType: FnShipping, ID: "depot"}, "dispatch", step); err != nil {
+			return err
+		}
+		return c.SetState(st)
+	case "declined":
+		// Compensate: the reservation made in the reserve step must be
+		// returned to stock. The release rides the same commit as the
+		// failure record, so a crash cannot separate them.
+		var step Step
+		if err := m.Body(&step); err != nil {
+			return err
+		}
+		release := Step{OrderID: c.Self().ID, SKU: st.Order.SKU}
+		if err := c.Send(statefun.Address{FnType: FnInventory, ID: st.Order.SKU}, "release", release); err != nil {
+			return err
+		}
+		return fail(step.Reason)
+	case "dispatched":
+		st.Phase = PhaseCompleted
+		if st.ReplyKey != "" {
+			receipt := Receipt{OrderID: c.Self().ID, Status: PhaseCompleted}
+			if err := c.SendReply(st.ReplyKey, receipt); err != nil {
+				return err
+			}
+		}
+		return c.SetState(st)
+	default:
+		return fmt.Errorf("saga: order got unknown message %q", m.Name())
+	}
+}
+
+// HandleInventory manages one SKU's stock: reservations move stock into
+// a per-order bucket, releases (the compensation) move it back.
+func HandleInventory(c *statefun.Ctx, m statefun.Msg) error {
+	var st InventoryState
+	if _, err := c.State(&st); err != nil {
+		return err
+	}
+	if st.Reserved == nil {
+		st.Reserved = make(map[string]int64)
+	}
+	var step Step
+	if err := m.Body(&step); err != nil {
+		return err
+	}
+	switch m.Name() {
+	case "restock":
+		st.Stock += step.Qty
+		return c.SetState(st)
+	case "reserve":
+		if st.Stock < step.Qty {
+			reply := Step{OrderID: step.OrderID, Reason: fmt.Sprintf("out of stock: %s", c.Self().ID)}
+			if err := c.Send(orderAddr(step.OrderID), "rejected", reply); err != nil {
+				return err
+			}
+			return nil
+		}
+		st.Stock -= step.Qty
+		st.Reserved[step.OrderID] += step.Qty
+		if err := c.Send(orderAddr(step.OrderID), "reserved", Step{OrderID: step.OrderID}); err != nil {
+			return err
+		}
+		return c.SetState(st)
+	case "release":
+		st.Stock += st.Reserved[step.OrderID]
+		delete(st.Reserved, step.OrderID)
+		return c.SetState(st)
+	default:
+		return fmt.Errorf("saga: inventory got unknown message %q", m.Name())
+	}
+}
+
+// HandlePayment manages one account's balance: a charge that fits the
+// balance is applied and answered "charged", one that does not is
+// answered "declined" (triggering the orchestrator's compensation).
+func HandlePayment(c *statefun.Ctx, m statefun.Msg) error {
+	var st PaymentState
+	if _, err := c.State(&st); err != nil {
+		return err
+	}
+	if st.Charged == nil {
+		st.Charged = make(map[string]int64)
+	}
+	var step Step
+	if err := m.Body(&step); err != nil {
+		return err
+	}
+	switch m.Name() {
+	case "deposit":
+		st.Balance += step.Amount
+		return c.SetState(st)
+	case "charge":
+		if st.Balance < step.Amount {
+			reply := Step{OrderID: step.OrderID, Reason: fmt.Sprintf("insufficient funds: %s", c.Self().ID)}
+			return c.Send(orderAddr(step.OrderID), "declined", reply)
+		}
+		st.Balance -= step.Amount
+		st.Charged[step.OrderID] += step.Amount
+		if err := c.Send(orderAddr(step.OrderID), "charged", Step{OrderID: step.OrderID}); err != nil {
+			return err
+		}
+		return c.SetState(st)
+	default:
+		return fmt.Errorf("saga: payment got unknown message %q", m.Name())
+	}
+}
+
+// HandleShipping dispatches from one depot and confirms to the order.
+func HandleShipping(c *statefun.Ctx, m statefun.Msg) error {
+	if m.Name() != "dispatch" {
+		return fmt.Errorf("saga: shipping got unknown message %q", m.Name())
+	}
+	var st ShippingState
+	if _, err := c.State(&st); err != nil {
+		return err
+	}
+	var step Step
+	if err := m.Body(&step); err != nil {
+		return err
+	}
+	st.Dispatched++
+	if err := c.Send(orderAddr(step.OrderID), "dispatched", Step{OrderID: step.OrderID}); err != nil {
+		return err
+	}
+	return c.SetState(st)
+}

@@ -1,0 +1,208 @@
+package saga
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"crucial"
+)
+
+func sagaRuntime(t *testing.T, opts crucial.Options) (*crucial.Runtime, *Handles) {
+	t.Helper()
+	rt, err := crucial.NewLocalRuntime(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	h, err := Deploy(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, h
+}
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// waitFor polls cond until it holds; the receipt can arrive before
+// asynchronous tail effects (like a compensating release) are applied.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSagaHappyPath(t *testing.T) {
+	_, h := sagaRuntime(t, crucial.Options{DSONodes: 2, RF: 2})
+	ctx := ctxT(t)
+	if err := h.Restock(ctx, "widget", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Deposit(ctx, "alice", 500); err != nil {
+		t.Fatal(err)
+	}
+	r, err := h.Place(ctx, "o1", PlaceOrder{SKU: "widget", Qty: 3, Amount: 120, Account: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != PhaseCompleted {
+		t.Fatalf("receipt: %+v", r)
+	}
+	var inv InventoryState
+	if _, err := h.Inventory.State(ctx, "widget", &inv); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Stock != 7 || len(inv.Reserved) != 1 || inv.Reserved["o1"] != 3 {
+		t.Fatalf("inventory: %+v", inv)
+	}
+	var pay PaymentState
+	if _, err := h.Payment.State(ctx, "alice", &pay); err != nil {
+		t.Fatal(err)
+	}
+	if pay.Balance != 380 || pay.Charged["o1"] != 120 {
+		t.Fatalf("payment: %+v", pay)
+	}
+	var ship ShippingState
+	if _, err := h.Shipping.State(ctx, "depot", &ship); err != nil {
+		t.Fatal(err)
+	}
+	if ship.Dispatched != 1 {
+		t.Fatalf("shipping: %+v", ship)
+	}
+}
+
+// TestSagaCompensation drives a saga into a declined payment and checks
+// the compensating release restored the reservation to stock.
+func TestSagaCompensation(t *testing.T) {
+	_, h := sagaRuntime(t, crucial.Options{DSONodes: 2, Statefun: crucial.StatefunOptions{InProcess: true}})
+	ctx := ctxT(t)
+	if err := h.Restock(ctx, "gadget", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Deposit(ctx, "bob", 10); err != nil {
+		t.Fatal(err)
+	}
+	r, err := h.Place(ctx, "o2", PlaceOrder{SKU: "gadget", Qty: 2, Amount: 100, Account: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != PhaseFailed || r.Reason == "" {
+		t.Fatalf("receipt: %+v", r)
+	}
+	waitFor(t, "compensating release", func() bool {
+		// A fresh struct every poll: gob merges decoded maps into an
+		// existing value, which would mask the release.
+		var inv InventoryState
+		if _, err := h.Inventory.State(ctx, "gadget", &inv); err != nil {
+			t.Fatal(err)
+		}
+		return inv.Stock == 5 && len(inv.Reserved) == 0
+	})
+	var pay PaymentState
+	if _, err := h.Payment.State(ctx, "bob", &pay); err != nil {
+		t.Fatal(err)
+	}
+	if pay.Balance != 10 || len(pay.Charged) != 0 {
+		t.Fatalf("payment mutated on decline: %+v", pay)
+	}
+}
+
+// TestSagaOutOfStock rejects in the first step: no reservation, no
+// charge, no compensation needed.
+func TestSagaOutOfStock(t *testing.T) {
+	_, h := sagaRuntime(t, crucial.Options{DSONodes: 2, Statefun: crucial.StatefunOptions{InProcess: true}})
+	ctx := ctxT(t)
+	if err := h.Deposit(ctx, "carol", 1000); err != nil {
+		t.Fatal(err)
+	}
+	r, err := h.Place(ctx, "o3", PlaceOrder{SKU: "rare", Qty: 1, Amount: 10, Account: "carol"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != PhaseFailed {
+		t.Fatalf("receipt: %+v", r)
+	}
+	var pay PaymentState
+	if _, err := h.Payment.State(ctx, "carol", &pay); err != nil {
+		t.Fatal(err)
+	}
+	if pay.Balance != 1000 {
+		t.Fatalf("charged despite rejection: %+v", pay)
+	}
+}
+
+// TestSagaConcurrentOrders races many sagas over shared stock and a
+// shared account; the books must balance exactly: completed orders
+// consumed stock and money, failed orders consumed nothing.
+func TestSagaConcurrentOrders(t *testing.T) {
+	_, h := sagaRuntime(t, crucial.Options{DSONodes: 3, RF: 2, Statefun: crucial.StatefunOptions{InProcess: true}})
+	ctx := ctxT(t)
+	const orders = 12
+	if err := h.Restock(ctx, "bulk", 8); err != nil { // enough for 8 of 12
+		t.Fatal(err)
+	}
+	if err := h.Deposit(ctx, "dave", 1000); err != nil {
+		t.Fatal(err)
+	}
+	receipts := make([]Receipt, orders)
+	var wg sync.WaitGroup
+	for i := 0; i < orders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := h.Place(ctx, fmt.Sprintf("c%d", i),
+				PlaceOrder{SKU: "bulk", Qty: 1, Amount: 50, Account: "dave"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			receipts[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	var completed int64
+	for _, r := range receipts {
+		if r.Status == PhaseCompleted {
+			completed++
+		}
+	}
+	if completed != 8 {
+		t.Fatalf("completed = %d, want 8 (stock-limited)", completed)
+	}
+	var inv InventoryState
+	if _, err := h.Inventory.State(ctx, "bulk", &inv); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Stock != 0 || int64(len(inv.Reserved)) != completed {
+		t.Fatalf("inventory: %+v", inv)
+	}
+	var pay PaymentState
+	if _, err := h.Payment.State(ctx, "dave", &pay); err != nil {
+		t.Fatal(err)
+	}
+	if pay.Balance != 1000-completed*50 {
+		t.Fatalf("balance = %d, want %d", pay.Balance, 1000-completed*50)
+	}
+	var ship ShippingState
+	if _, err := h.Shipping.State(ctx, "depot", &ship); err != nil {
+		t.Fatal(err)
+	}
+	if ship.Dispatched != completed {
+		t.Fatalf("dispatched = %d, want %d", ship.Dispatched, completed)
+	}
+}

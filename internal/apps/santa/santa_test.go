@@ -182,3 +182,28 @@ func TestLocalSignalUnknownKind(t *testing.T) {
 		t.Fatal("unknown kind accepted")
 	}
 }
+
+// TestRunStatefunCompletes runs the event-driven variant: all work
+// served, and a second run on the same runtime (fresh prefix) works
+// since deployment and runs are decoupled.
+func TestRunStatefunCompletes(t *testing.T) {
+	rt := santaRuntime(t)
+	santaFn, reindeerFn, elfFn, err := DeployStatefun(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t)
+	p := fastParams()
+	p.Prefix = "santa-sf-1"
+	d, err := RunStatefun(ctx, p, santaFn, reindeerFn, elfFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("duration = %v", d)
+	}
+	p.Prefix = "santa-sf-2"
+	if _, err := RunStatefun(ctx, p, santaFn, reindeerFn, elfFn); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+package santa
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"crucial"
+)
+
+// The event-driven variant: the same Santa Claus problem rewritten on
+// stateful functions (DESIGN.md §5i). Where the other variants block
+// threads on monitors (Await, Join, Pass), here nobody blocks: Santa,
+// every reindeer, and every elf is a function instance reacting to
+// messages, with all coordination state in Santa's durable mailbox.
+// Group formation becomes queueing ("ready" messages accumulate in
+// Santa's state until a full group exists), priority becomes serving
+// the reindeer queue first, and the deadlock the blocking variant must
+// design around (elves stuck mid-batch waiting for tickets) cannot
+// exist — a handler never waits, it either serves a full group or
+// commits its queue and returns.
+
+// Stateful-function types of the cast.
+const (
+	FnSanta    = "santa"
+	FnReindeer = "reindeer"
+	FnElf      = "elf"
+)
+
+// santaMind is Santa's durable state: the queued ready entities, the
+// remaining work, and the herd parameters.
+type santaMind struct {
+	Started        bool
+	Reindeer       int      // herd size that forms one delivery group
+	DeliveriesLeft int      // sleigh runs not yet dispatched
+	ConsultsLeft   int      // shared consultation pool (tickets)
+	RQ             []string // reindeer ids waiting at the North Pole
+	EQ             []string // elf ids waiting outside the showroom
+	Deliveries     int      // total runs served (for the final report)
+	Consults       int      // total consultations served
+	DoneKey        string   // reply key answered when all work is done
+	Done           bool
+}
+
+// santaStart begins a simulation: group sizes and work totals.
+type santaStart struct {
+	Reindeer      int
+	Deliveries    int
+	TotalConsults int
+}
+
+// herdInit tells a reindeer or elf which Santa instance it serves and,
+// for reindeer, how many deliveries it participates in.
+type herdInit struct {
+	Santa string
+	Left  int
+}
+
+// readyMsg announces an entity at Santa's door.
+type readyMsg struct {
+	ID string
+}
+
+// herdState is a reindeer's or elf's durable state.
+type herdState struct {
+	Santa string
+	Left  int // deliveries remaining (reindeer only)
+}
+
+// santaReport is the final reply to the driver.
+type santaReport struct {
+	Deliveries int
+	Consults   int
+}
+
+// HandleSanta reacts to start/ready messages: queue the arrival, then
+// serve every full group the queues allow — reindeer first, the
+// problem's priority rule — and send the verdicts in the same commit.
+func HandleSanta(c *crucial.FnCtx, m crucial.FnMsg) error {
+	var st santaMind
+	if _, err := c.State(&st); err != nil {
+		return err
+	}
+	switch m.Name() {
+	case "start":
+		var s santaStart
+		if err := m.Body(&s); err != nil {
+			return err
+		}
+		st.Started = true
+		st.Reindeer = s.Reindeer
+		st.DeliveriesLeft = s.Deliveries
+		st.ConsultsLeft = s.TotalConsults
+		st.DoneKey = m.ReplyKey()
+	case "reindeer-ready":
+		var r readyMsg
+		if err := m.Body(&r); err != nil {
+			return err
+		}
+		st.RQ = append(st.RQ, r.ID)
+	case "elf-ready":
+		var r readyMsg
+		if err := m.Body(&r); err != nil {
+			return err
+		}
+		st.EQ = append(st.EQ, r.ID)
+	default:
+		return fmt.Errorf("santa: unknown message %q", m.Name())
+	}
+	if st.Started {
+		if err := serve(c, &st); err != nil {
+			return err
+		}
+	}
+	return c.SetState(&st)
+}
+
+// serve dispatches every full group available, reindeer before elves,
+// then retires drained queues and reports completion.
+func serve(c *crucial.FnCtx, st *santaMind) error {
+	for {
+		if st.DeliveriesLeft > 0 && len(st.RQ) >= st.Reindeer {
+			group := st.RQ[:st.Reindeer]
+			st.RQ = append([]string(nil), st.RQ[st.Reindeer:]...)
+			st.DeliveriesLeft--
+			st.Deliveries++
+			for _, id := range group {
+				if err := c.Send(crucial.FnAddress{FnType: FnReindeer, ID: id}, "delivered", nil); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if st.ConsultsLeft >= ElfGroupSize && len(st.EQ) >= ElfGroupSize {
+			group := st.EQ[:ElfGroupSize]
+			st.EQ = append([]string(nil), st.EQ[ElfGroupSize:]...)
+			st.ConsultsLeft -= ElfGroupSize
+			st.Consults += ElfGroupSize
+			for _, id := range group {
+				if err := c.Send(crucial.FnAddress{FnType: FnElf, ID: id}, "consulted", nil); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		break
+	}
+	if st.ConsultsLeft < ElfGroupSize {
+		// The pool is dry (or has a remainder smaller than a group):
+		// waiting elves go back to toy-making for good.
+		for _, id := range st.EQ {
+			if err := c.Send(crucial.FnAddress{FnType: FnElf, ID: id}, "done", nil); err != nil {
+				return err
+			}
+		}
+		st.EQ = nil
+	}
+	if !st.Done && st.DeliveriesLeft == 0 && st.ConsultsLeft < ElfGroupSize {
+		st.Done = true
+		if st.DoneKey != "" {
+			if err := c.SendReply(st.DoneKey, santaReport{Deliveries: st.Deliveries, Consults: st.Consults}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HandleReindeer checks in for each delivery until its count runs out.
+func HandleReindeer(c *crucial.FnCtx, m crucial.FnMsg) error {
+	var st herdState
+	if _, err := c.State(&st); err != nil {
+		return err
+	}
+	switch m.Name() {
+	case "init":
+		var init herdInit
+		if err := m.Body(&init); err != nil {
+			return err
+		}
+		st.Santa = init.Santa
+		st.Left = init.Left
+	case "delivered":
+		st.Left--
+	default:
+		return fmt.Errorf("reindeer: unknown message %q", m.Name())
+	}
+	if st.Left > 0 {
+		if err := c.Send(crucial.FnAddress{FnType: FnSanta, ID: st.Santa}, "reindeer-ready",
+			readyMsg{ID: c.Self().ID}); err != nil {
+			return err
+		}
+	}
+	return c.SetState(&st)
+}
+
+// HandleElf asks for a consultation whenever it is free; Santa's "done"
+// sends it back to the workshop permanently.
+func HandleElf(c *crucial.FnCtx, m crucial.FnMsg) error {
+	var st herdState
+	if _, err := c.State(&st); err != nil {
+		return err
+	}
+	switch m.Name() {
+	case "init":
+		var init herdInit
+		if err := m.Body(&init); err != nil {
+			return err
+		}
+		st.Santa = init.Santa
+	case "consulted":
+		// Free again: queue up for the next ticket.
+	case "done":
+		return c.SetState(&st)
+	default:
+		return fmt.Errorf("elf: unknown message %q", m.Name())
+	}
+	if err := c.Send(crucial.FnAddress{FnType: FnSanta, ID: st.Santa}, "elf-ready",
+		readyMsg{ID: c.Self().ID}); err != nil {
+		return err
+	}
+	return c.SetState(&st)
+}
+
+// DeployStatefun registers the three event-driven handlers on the
+// runtime (once per runtime).
+func DeployStatefun(rt *crucial.Runtime) (santaFn, reindeerFn, elfFn *crucial.StatefulFunction, err error) {
+	if santaFn, err = rt.DeployStatefulFunction(FnSanta, HandleSanta); err != nil {
+		return nil, nil, nil, err
+	}
+	if reindeerFn, err = rt.DeployStatefulFunction(FnReindeer, HandleReindeer); err != nil {
+		return nil, nil, nil, err
+	}
+	if elfFn, err = rt.DeployStatefulFunction(FnElf, HandleElf); err != nil {
+		return nil, nil, nil, err
+	}
+	return santaFn, reindeerFn, elfFn, nil
+}
+
+// RunStatefun solves the problem event-driven: no entity ever blocks,
+// so the modeled activity durations do not apply — the returned
+// duration measures pure message-passing throughput. Deploy must have
+// happened already (deploy is once per runtime, runs are many).
+func RunStatefun(ctx context.Context, p Params, santaFn, reindeerFn, elfFn *crucial.StatefulFunction) (time.Duration, error) {
+	full, err := p.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	santaID := full.Prefix
+	for i := 0; i < full.Reindeer; i++ {
+		id := fmt.Sprintf("%s/r%d", full.Prefix, i)
+		if err := reindeerFn.Send(ctx, id, "init", herdInit{Santa: santaID, Left: full.Deliveries}); err != nil {
+			return 0, err
+		}
+	}
+	for i := 0; i < full.Elves; i++ {
+		id := fmt.Sprintf("%s/e%d", full.Prefix, i)
+		if err := elfFn.Send(ctx, id, "init", herdInit{Santa: santaID}); err != nil {
+			return 0, err
+		}
+	}
+	var report santaReport
+	err = santaFn.Call(ctx, santaID, "start", santaStart{
+		Reindeer:      full.Reindeer,
+		Deliveries:    full.Deliveries,
+		TotalConsults: full.TotalConsults,
+	}, &report)
+	if err != nil {
+		return 0, err
+	}
+	if report.Deliveries != full.Deliveries || report.Consults != full.TotalConsults {
+		return 0, fmt.Errorf("santa: served %d deliveries / %d consults, want %d / %d",
+			report.Deliveries, report.Consults, full.Deliveries, full.TotalConsults)
+	}
+	return time.Since(start), nil
+}

@@ -116,9 +116,11 @@ func Run(name string, w io.Writer, o Options) error {
 		return Cache(w, o)
 	case ExpReshard:
 		return Reshard(w, o)
+	case ExpStatefun:
+		return Statefun(w, o)
 	default:
-		return fmt.Errorf("bench: unknown experiment %q (known: %v + %v + %q + %q + %q + %q)",
-			name, Names(), AblationNames(), ExpStages, ExpChaos, ExpCache, ExpReshard)
+		return fmt.Errorf("bench: unknown experiment %q (known: %v + %v + %q + %q + %q + %q + %q)",
+			name, Names(), AblationNames(), ExpStages, ExpChaos, ExpCache, ExpReshard, ExpStatefun)
 	}
 }
 

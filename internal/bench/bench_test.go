@@ -231,3 +231,21 @@ func TestReshardSmoke(t *testing.T) {
 		t.Fatalf("reshard JSON incomplete:\n%s", js)
 	}
 }
+
+func TestStatefunSmoke(t *testing.T) {
+	var jsonBuf bytes.Buffer
+	var buf bytes.Buffer
+	o := quickOpts()
+	o.JSON = &jsonBuf
+	if err := Run(ExpStatefun, &buf, o); err != nil {
+		t.Fatalf("statefun: %v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MSGS/SEC") || !strings.Contains(out, "true") || !strings.Contains(out, "false") {
+		t.Fatalf("statefun report incomplete:\n%s", out)
+	}
+	js := jsonBuf.String()
+	if !strings.Contains(js, `"experiment": "statefun"`) || !strings.Contains(js, `"msgs_per_sec"`) {
+		t.Fatalf("statefun JSON incomplete:\n%s", js)
+	}
+}

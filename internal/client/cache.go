@@ -320,7 +320,8 @@ func (lc *leaseCache) acquire(ctx context.Context, inv core.Invocation) *cacheEn
 	return e
 }
 
-// Stats reported by DebugCacheStats (tests and introspection).
+// CacheStats is the snapshot reported by DebugCacheStats (tests and
+// introspection).
 type CacheStats struct {
 	Entries       int
 	Hits          uint64

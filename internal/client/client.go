@@ -539,6 +539,11 @@ func (c *Client) Call(ctx context.Context, ref core.Ref, method string, args ...
 	return c.InvokeObject(ctx, core.Invocation{Ref: ref, Method: method, Args: args})
 }
 
+// ID returns the client's dedup identity — the ClientID stamped on every
+// invocation. Layers that need a process-unique principal name (e.g. the
+// stateful-functions sender identity) derive it from this.
+func (c *Client) ID() uint64 { return c.id }
+
 // Close releases all pooled connections.
 func (c *Client) Close() error {
 	c.mu.Lock()

@@ -22,6 +22,7 @@ import (
 	"crucial/internal/ring"
 	"crucial/internal/rpc"
 	"crucial/internal/server"
+	"crucial/internal/statefun"
 	"crucial/internal/telemetry"
 )
 
@@ -134,6 +135,9 @@ func StartLocal(opts Options) (*Cluster, error) {
 	if opts.Registry == nil {
 		opts.Registry = objects.BuiltinRegistry()
 	}
+	// Every node must be able to materialize stateful-function mailboxes,
+	// whether or not the application registered custom types.
+	statefun.RegisterTypes(opts.Registry)
 	if opts.HeartbeatTimeout <= 0 {
 		opts.HeartbeatTimeout = 5 * time.Second
 	}

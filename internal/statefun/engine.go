@@ -1,0 +1,296 @@
+package statefun
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"crucial/internal/core"
+	"crucial/internal/objects"
+	"crucial/internal/telemetry"
+)
+
+// Engine is the dispatch loop of the layer: it discovers live instances
+// through the directory Map (a read-only Keys poll, answered from the
+// lease cache while nothing changes), schedules drain passes onto a
+// worker pool, backs idle instances off adaptively, follows dirty hints
+// from local sends so hot chains dispatch without polling, and retires
+// instances that stay empty past the idle TTL.
+//
+// Engines are soft state: every fact they hold is reconstructable from
+// the directory and the mailboxes, so an engine can crash, restart or
+// run beside other engines without affecting correctness — a redundant
+// dispatch costs one no-op commit.
+type Engine struct {
+	cfg    EngineConfig
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	work   chan Address
+
+	mu        sync.Mutex
+	instances map[string]*instance
+
+	cGC *telemetry.Counter
+}
+
+// EngineConfig configures an Engine.
+type EngineConfig struct {
+	// Invoker is the DSO client used for directory reads and GC.
+	Invoker core.Invoker
+	// Runner executes drain passes (Proc, or the runtime's FaaS runner).
+	Runner Runner
+	// Workers is the drain-pass concurrency (0 = 8).
+	Workers int
+	// PollInterval is the scheduler tick and the busy-instance poll
+	// floor (0 = 2ms).
+	PollInterval time.Duration
+	// IdlePollMax caps the per-instance idle backoff (0 = 250ms).
+	IdlePollMax time.Duration
+	// DirRefresh is how often the directory is re-listed (0 = 10 ticks).
+	DirRefresh time.Duration
+	// IdleTTL retires instances idle this long from the directory
+	// (0 = never).
+	IdleTTL time.Duration
+	// MailboxCap is passed to mailbox constructors during GC rechecks
+	// (0 = DefaultMailboxCap).
+	MailboxCap int64
+	// Metrics receives the engine's counters (nil = private registry).
+	Metrics *telemetry.Registry
+}
+
+// instance is the engine's soft state about one function instance.
+type instance struct {
+	addr      Address
+	inflight  bool
+	dirty     bool
+	nextPoll  time.Time
+	backoff   time.Duration
+	idleSince time.Time
+}
+
+// NewEngine starts an engine; Close stops it.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 2 * time.Millisecond
+	}
+	if cfg.IdlePollMax <= 0 {
+		cfg.IdlePollMax = 250 * time.Millisecond
+	}
+	if cfg.DirRefresh <= 0 {
+		cfg.DirRefresh = 10 * cfg.PollInterval
+	}
+	if cfg.MailboxCap <= 0 {
+		cfg.MailboxCap = DefaultMailboxCap
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:       cfg,
+		ctx:       ctx,
+		cancel:    cancel,
+		work:      make(chan Address, 4*cfg.Workers),
+		instances: make(map[string]*instance),
+		cGC:       reg.Counter(telemetry.MetStatefunInstancesGC),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	e.wg.Add(1)
+	go e.run()
+	return e
+}
+
+// Close stops the scheduler and waits for in-flight drain passes.
+func (e *Engine) Close() {
+	e.cancel()
+	e.wg.Wait()
+}
+
+// Notify marks an instance dirty (a local send just enqueued a message),
+// so the next tick dispatches it without waiting for a directory refresh
+// or poll timer.
+func (e *Engine) Notify(addr Address) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.touch(addr).dirty = true
+}
+
+// touch returns the tracked instance, creating it due-now if unknown.
+// Callers hold e.mu.
+func (e *Engine) touch(addr Address) *instance {
+	key := addr.DirEntry()
+	inst := e.instances[key]
+	if inst == nil {
+		inst = &instance{addr: addr, backoff: e.cfg.PollInterval, idleSince: time.Now()}
+		e.instances[key] = inst
+	}
+	return inst
+}
+
+// run is the scheduler loop: refresh the directory, enqueue due
+// instances.
+func (e *Engine) run() {
+	defer e.wg.Done()
+	defer close(e.work)
+	tick := time.NewTicker(e.cfg.PollInterval)
+	defer tick.Stop()
+	var lastDir time.Time
+	for {
+		select {
+		case <-e.ctx.Done():
+			return
+		case now := <-tick.C:
+			if now.Sub(lastDir) >= e.cfg.DirRefresh {
+				e.refreshDirectory()
+				lastDir = now
+			}
+			e.schedule(now)
+		}
+	}
+}
+
+// refreshDirectory lists the dispatch directory and tracks any instance
+// it does not know yet. Errors are ignored — the next refresh retries,
+// and the engine keeps draining the instances it already knows (it must
+// ride out full-cluster-down windows).
+func (e *Engine) refreshDirectory() {
+	res, err := e.cfg.Invoker.InvokeObject(e.ctx, core.Invocation{
+		Ref:     core.Ref{Type: objects.TypeMap, Key: DirectoryKey},
+		Method:  "Keys",
+		Persist: true,
+	})
+	keys, err := resultAs[[]string](res, err)
+	if err != nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, k := range keys {
+		if _, known := e.instances[k]; known {
+			continue
+		}
+		if addr, ok := AddressFromDirEntry(k); ok {
+			e.touch(addr)
+		}
+	}
+}
+
+// schedule enqueues every due, not-inflight instance onto the worker
+// pool (skipping any the pool has no room for until the next tick).
+func (e *Engine) schedule(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, inst := range e.instances {
+		if inst.inflight || (!inst.dirty && now.Before(inst.nextPoll)) {
+			continue
+		}
+		select {
+		case e.work <- inst.addr:
+			inst.inflight = true
+			inst.dirty = false
+		default:
+			return
+		}
+	}
+}
+
+// worker executes drain passes.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for addr := range e.work {
+		report, err := e.cfg.Runner.Run(e.ctx, addr)
+		e.complete(addr, report, err)
+	}
+}
+
+// complete folds a drain pass's outcome back into the schedule: activity
+// resets the backoff and re-dispatches immediately, failures and idle
+// passes back off exponentially, and instances idle past the TTL are
+// retired.
+func (e *Engine) complete(addr Address, report RunReport, err error) {
+	now := time.Now()
+	var retire *instance
+	e.mu.Lock()
+	inst := e.touch(addr)
+	inst.inflight = false
+	switch {
+	case err != nil:
+		inst.backoff = clampBackoff(2*inst.backoff, e.cfg.IdlePollMax)
+		inst.nextPoll = now.Add(inst.backoff)
+		inst.idleSince = now
+	case report.Processed > 0 || report.QueueLen > 0 || report.OutboxLen > 0:
+		inst.backoff = e.cfg.PollInterval
+		inst.idleSince = now
+		if report.QueueLen > 0 || report.OutboxLen > 0 {
+			inst.dirty = true
+		} else {
+			inst.nextPoll = now.Add(inst.backoff)
+		}
+	default:
+		inst.backoff = clampBackoff(2*inst.backoff, e.cfg.IdlePollMax)
+		inst.nextPoll = now.Add(inst.backoff)
+		if e.cfg.IdleTTL > 0 && now.Sub(inst.idleSince) >= e.cfg.IdleTTL {
+			retire = inst
+		}
+	}
+	for _, d := range report.Dirty {
+		e.touch(d).dirty = true
+	}
+	e.mu.Unlock()
+	if retire != nil {
+		e.retire(addr)
+	}
+}
+
+// retire removes an idle instance from the directory, then re-checks its
+// mailbox: a message that raced in is covered either by the sender's own
+// re-registration (pushes that find the queue empty register the
+// instance) or by the recheck re-registering it here. Only a still-empty
+// instance is forgotten.
+func (e *Engine) retire(addr Address) {
+	if _, err := e.cfg.Invoker.InvokeObject(e.ctx, core.Invocation{
+		Ref:     core.Ref{Type: objects.TypeMap, Key: DirectoryKey},
+		Method:  "Remove",
+		Args:    []any{addr.DirEntry()},
+		Persist: true,
+	}); err != nil {
+		return
+	}
+	st, err := StatusOf(e.ctx, e.cfg.Invoker, addr, e.cfg.MailboxCap)
+	if err != nil {
+		return
+	}
+	if st.QueueLen > 0 || st.OutboxLen > 0 {
+		if RegisterInstance(e.ctx, e.cfg.Invoker, addr) == nil {
+			e.Notify(addr)
+		}
+		return
+	}
+	e.mu.Lock()
+	delete(e.instances, addr.DirEntry())
+	e.mu.Unlock()
+	e.cGC.Inc()
+}
+
+// clampBackoff doubles-with-cap for poll backoff.
+func clampBackoff(d, max time.Duration) time.Duration {
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// Instances returns how many instances the engine currently tracks.
+func (e *Engine) Instances() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.instances)
+}

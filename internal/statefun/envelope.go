@@ -1,0 +1,217 @@
+// Package statefun implements the event-driven stateful functions layer
+// (DESIGN.md §5i): functions addressed by (fnType, id), each instance
+// owning one durable mailbox DSO that holds its inbound queue, its
+// private state blob, and a transactional outbox of unsent effects.
+//
+// Delivery composes the machinery of earlier PRs instead of adding new
+// protocol: pushes ride the at-most-once write path (PR 4), idle
+// mailboxes are polled through lease-cached read-only methods (PR 5),
+// the handler's whole effect set commits as a single group-commit
+// invocation (PR 6), the mailbox is a persistent object so every
+// transition lands in the WAL and survives full-cluster recovery
+// (PR 9), and hot instances reshard like any other object (PR 8).
+// Execution is at-least-once; effects are exactly-once-visible.
+package statefun
+
+import (
+	"fmt"
+	"strings"
+
+	"crucial/internal/core"
+	"crucial/internal/objects"
+)
+
+// TypeMailbox is the registry name of the mailbox object backing one
+// function instance.
+const TypeMailbox = "StatefunMailbox"
+
+// ReplyFnType is the reserved function type used to address replies: an
+// envelope sent to Address{FnType: ReplyFnType, ID: k} is not enqueued
+// into a mailbox but completes the Future object stored under key k.
+const ReplyFnType = "_reply"
+
+// DirectoryKey is the key of the Map object listing the currently live
+// (possibly-nonempty) function instances; dispatch engines poll it to
+// learn what to drain, and retire entries after the idle TTL.
+const DirectoryKey = "statefun/.dir"
+
+// Address names one function instance: a registered function type plus a
+// free-form instance id (the Cloudburst/StateFun addressing model).
+type Address struct {
+	FnType string
+	ID     string
+}
+
+// Key returns the DSO key of the instance's mailbox object.
+func (a Address) Key() string { return "statefun/" + a.FnType + "/" + a.ID }
+
+// DirEntry returns the instance's key in the dispatch directory.
+func (a Address) DirEntry() string { return a.FnType + "/" + a.ID }
+
+// String renders the address as fnType/id.
+func (a Address) String() string { return a.FnType + "/" + a.ID }
+
+// AddressFromDirEntry parses a directory entry back into an Address.
+func AddressFromDirEntry(s string) (Address, bool) {
+	i := strings.IndexByte(s, '/')
+	if i <= 0 || i == len(s)-1 {
+		return Address{}, false
+	}
+	return Address{FnType: s[:i], ID: s[i+1:]}, true
+}
+
+// Envelope is one message: destination address, the sender's identity and
+// per-destination sequence number (the application-level dedup key), a
+// message name the handler switches on, an opaque encoded body, and an
+// optional reply key (a Future object key the handler may complete).
+type Envelope struct {
+	To      Address
+	From    string
+	Seq     uint64
+	Name    string
+	Body    []byte
+	ReplyTo string
+}
+
+// OutEntry is one undelivered outbox effect: the envelope plus the
+// outbox sequence number the mailbox assigned at commit time (stable
+// across redeliveries, which is what makes resending dedupable).
+type OutEntry struct {
+	Seq uint64
+	Env Envelope
+}
+
+// PushStatus is the mailbox's verdict on one Push.
+type PushStatus string
+
+// Push verdicts: accepted, rejected by the per-sender dedup window, or
+// bounced by the queue capacity (backpressure).
+const (
+	PushOK   PushStatus = "ok"
+	PushDup  PushStatus = "dup"
+	PushFull PushStatus = "full"
+)
+
+// PushResult reports the outcome of a Push and the queue length after it
+// (senders register the instance in the dispatch directory when the
+// queue transitions empty → nonempty, i.e. QueueLen == 1).
+type PushResult struct {
+	Status   PushStatus
+	QueueLen int64
+}
+
+// Task is the read-only view a runner fetches before executing: the head
+// message (if any), the instance's current private state, and the number
+// of undelivered outbox entries left over from earlier commits.
+type Task struct {
+	Has      bool
+	EnqSeq   uint64
+	Env      Envelope
+	State    []byte
+	HasState bool
+	QueueLen int64
+	OutLen   int64
+}
+
+// CommitReq is the handler's entire effect set, applied atomically by one
+// Commit invocation: pop the head message (identified by EnqSeq), replace
+// the private state, and append the outgoing envelopes to the outbox with
+// mailbox-assigned sequence numbers stamped From the given identity.
+type CommitReq struct {
+	EnqSeq   uint64
+	From     string
+	State    []byte
+	SetState bool
+	Sends    []Envelope
+}
+
+// CommitResult reports whether the commit applied (false means the head
+// had already been committed by an earlier attempt — the redelivery
+// no-op) and returns every still-undelivered outbox entry so the runner
+// can forward them regardless.
+type CommitResult struct {
+	Applied bool
+	Pending []OutEntry
+}
+
+// MailboxStatus is the read-only health view of one instance, used by
+// dispatch engines for idle detection and by tests.
+type MailboxStatus struct {
+	QueueLen  int64
+	OutboxLen int64
+	Processed int64
+	Dups      int64
+	Rejected  int64
+}
+
+// EncodeBody gob-encodes a handler-level message body (nil encodes to
+// an empty body).
+func EncodeBody(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	return core.EncodeValue(v)
+}
+
+// DecodeBody decodes a body produced by EncodeBody into v.
+func DecodeBody(data []byte, v any) error {
+	if len(data) == 0 {
+		return fmt.Errorf("statefun: empty body")
+	}
+	return core.DecodeValue(data, v)
+}
+
+// RegisterTypes adds the mailbox object type to a registry (idempotent)
+// and registers the layer's wire structs and read-only methods. Cluster
+// bootstrap calls it so every node can materialize mailboxes.
+func RegisterTypes(r *core.Registry) {
+	registerWireTypes()
+	if _, err := r.Lookup(TypeMailbox); err == nil {
+		return
+	}
+	r.MustRegister(core.TypeInfo{Name: TypeMailbox, New: NewMailbox})
+}
+
+// registerWireTypes makes the layer's argument/result structs and the
+// mailbox's read-only classification known process-wide (idempotent).
+func registerWireTypes() {
+	core.RegisterValueTypes()
+	core.RegisterValue(Address{})
+	core.RegisterValue(Envelope{})
+	core.RegisterValue(OutEntry{})
+	core.RegisterValue([]OutEntry(nil))
+	core.RegisterValue([]Envelope(nil))
+	core.RegisterValue(PushResult{})
+	core.RegisterValue(Task{})
+	core.RegisterValue(CommitReq{})
+	core.RegisterValue(CommitResult{})
+	core.RegisterValue(MailboxStatus{})
+	core.RegisterReadOnlyMethods(TypeMailbox, "Fetch", "Status", "Outbox")
+}
+
+// futureAlreadySetText is the message objects.ErrFutureAlreadySet carries
+// across the wire (it is not a core sentinel, so reply deliverers match
+// it textually to treat a duplicate reply as already delivered).
+var futureAlreadySetText = objects.ErrFutureAlreadySet.Error()
+
+// isFutureAlreadySet reports whether err is the (possibly wire-decoded)
+// future-already-completed error.
+func isFutureAlreadySet(err error) bool {
+	return err != nil && strings.Contains(err.Error(), futureAlreadySetText)
+}
+
+// resultAs decodes the single result of a mailbox invocation into T.
+func resultAs[T any](res []any, err error) (T, error) {
+	var zero T
+	if err != nil {
+		return zero, err
+	}
+	if len(res) < 1 {
+		return zero, fmt.Errorf("statefun: empty result set")
+	}
+	v, ok := res[0].(T)
+	if !ok {
+		return zero, fmt.Errorf("statefun: result has type %T, want %T", res[0], zero)
+	}
+	return v, nil
+}

@@ -1,0 +1,248 @@
+package statefun
+
+import (
+	"fmt"
+
+	"crucial/internal/core"
+)
+
+// DefaultMailboxCap is the queue capacity used when the constructor is
+// given none; pushes beyond it bounce with PushFull (backpressure).
+const DefaultMailboxCap = 1024
+
+// queuedMsg is one enqueued message plus the monotonically increasing
+// enqueue sequence number that identifies it to Commit.
+type queuedMsg struct {
+	EnqSeq uint64
+	Env    Envelope
+}
+
+// Mailbox is the durable heart of one function instance: a bounded FIFO
+// of inbound envelopes, the instance's private state blob, a per-sender
+// max-seq dedup window, and a transactional outbox. Every mutation is a
+// single SMR invocation, so the PR 6 group-commit path batches it, the
+// PR 9 WAL logs it, and replication/recovery replay it idempotently.
+//
+// The exactly-once-visible argument (DESIGN.md §5i) rests on three
+// properties enforced here: Push rejects any envelope whose (From, Seq)
+// is at or below the sender's high-water mark; Commit pops the head only
+// if its enqueue sequence still matches (so a redelivered handler run
+// commits as a no-op); and outbox entries get their sequence numbers
+// assigned exactly once, at first commit, so resending them after a
+// crash dedupes at the destination.
+type Mailbox struct {
+	capacity  int64
+	queue     []queuedMsg
+	nextEnq   uint64
+	state     []byte
+	hasState  bool
+	seen      map[string]uint64
+	outbox    []OutEntry
+	nextOut   uint64
+	processed int64
+	dups      int64
+	rejected  int64
+}
+
+// NewMailbox builds a mailbox; an optional first init argument overrides
+// the queue capacity.
+func NewMailbox(init []any) (core.Object, error) {
+	capacity := int64(DefaultMailboxCap)
+	if len(init) > 0 {
+		c, err := core.Int64Arg(init, 0)
+		if err != nil {
+			return nil, err
+		}
+		if c > 0 {
+			capacity = c
+		}
+	}
+	return &Mailbox{capacity: capacity, seen: make(map[string]uint64)}, nil
+}
+
+// Call dispatches a mailbox method.
+func (m *Mailbox) Call(_ core.Ctl, method string, args []any) ([]any, error) {
+	switch method {
+	case "Push":
+		env, err := structArg[Envelope](args, 0, "Push")
+		if err != nil {
+			return nil, err
+		}
+		return []any{m.push(env)}, nil
+	case "Fetch":
+		return []any{m.fetch()}, nil
+	case "Commit":
+		req, err := structArg[CommitReq](args, 0, "Commit")
+		if err != nil {
+			return nil, err
+		}
+		return []any{m.commit(req)}, nil
+	case "AckOut":
+		upTo, err := core.Int64Arg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		m.ackOut(uint64(upTo))
+		return nil, nil
+	case "Status":
+		return []any{MailboxStatus{
+			QueueLen:  int64(len(m.queue)),
+			OutboxLen: int64(len(m.outbox)),
+			Processed: m.processed,
+			Dups:      m.dups,
+			Rejected:  m.rejected,
+		}}, nil
+	case "Outbox":
+		out := make([]OutEntry, len(m.outbox))
+		copy(out, m.outbox)
+		return []any{out}, nil
+	default:
+		return nil, fmt.Errorf("%w: Mailbox.%s", core.ErrUnknownMethod, method)
+	}
+}
+
+// push enqueues one envelope unless the sender's dedup window or the
+// queue capacity rejects it.
+func (m *Mailbox) push(env Envelope) PushResult {
+	if env.From != "" && env.Seq != 0 && env.Seq <= m.seen[env.From] {
+		m.dups++
+		return PushResult{Status: PushDup, QueueLen: int64(len(m.queue))}
+	}
+	if int64(len(m.queue)) >= m.capacity {
+		m.rejected++
+		return PushResult{Status: PushFull, QueueLen: int64(len(m.queue))}
+	}
+	if env.From != "" && env.Seq != 0 {
+		m.seen[env.From] = env.Seq
+	}
+	m.nextEnq++
+	m.queue = append(m.queue, queuedMsg{EnqSeq: m.nextEnq, Env: env})
+	return PushResult{Status: PushOK, QueueLen: int64(len(m.queue))}
+}
+
+// fetch returns the head message and current state without mutating
+// anything (read-only, so idle polls are answered from lease caches).
+func (m *Mailbox) fetch() Task {
+	t := Task{
+		State:    m.state,
+		HasState: m.hasState,
+		QueueLen: int64(len(m.queue)),
+		OutLen:   int64(len(m.outbox)),
+	}
+	if len(m.queue) > 0 {
+		t.Has = true
+		t.EnqSeq = m.queue[0].EnqSeq
+		t.Env = m.queue[0].Env
+	}
+	return t
+}
+
+// commit atomically applies one handler run's effect set. The head is
+// popped only if its enqueue sequence matches req.EnqSeq; a stale commit
+// (the message was already applied by an earlier delivery attempt)
+// changes nothing and reports Applied=false. Either way the full
+// undelivered outbox is returned so the caller can forward it.
+func (m *Mailbox) commit(req CommitReq) CommitResult {
+	applied := len(m.queue) > 0 && m.queue[0].EnqSeq == req.EnqSeq
+	if applied {
+		m.queue = m.queue[1:]
+		m.processed++
+		if req.SetState {
+			m.state = req.State
+			m.hasState = true
+		}
+		for _, env := range req.Sends {
+			m.nextOut++
+			env.From = req.From
+			env.Seq = m.nextOut
+			m.outbox = append(m.outbox, OutEntry{Seq: m.nextOut, Env: env})
+		}
+	}
+	pending := make([]OutEntry, len(m.outbox))
+	copy(pending, m.outbox)
+	return CommitResult{Applied: applied, Pending: pending}
+}
+
+// ackOut prunes every outbox entry with sequence ≤ upTo (cumulative ack
+// from the deliverer).
+func (m *Mailbox) ackOut(upTo uint64) {
+	i := 0
+	for i < len(m.outbox) && m.outbox[i].Seq <= upTo {
+		i++
+	}
+	if i > 0 {
+		m.outbox = append([]OutEntry(nil), m.outbox[i:]...)
+	}
+}
+
+// mailboxState is the snapshot wire form of a mailbox.
+type mailboxState struct {
+	Capacity  int64
+	Queue     []queuedMsg
+	NextEnq   uint64
+	State     []byte
+	HasState  bool
+	Seen      map[string]uint64
+	Outbox    []OutEntry
+	NextOut   uint64
+	Processed int64
+	Dups      int64
+	Rejected  int64
+}
+
+// Snapshot encodes the full mailbox state (checkpointed by the
+// durability tier and shipped whole by migration/state transfer).
+func (m *Mailbox) Snapshot() ([]byte, error) {
+	return core.EncodeValue(mailboxState{
+		Capacity:  m.capacity,
+		Queue:     m.queue,
+		NextEnq:   m.nextEnq,
+		State:     m.state,
+		HasState:  m.hasState,
+		Seen:      m.seen,
+		Outbox:    m.outbox,
+		NextOut:   m.nextOut,
+		Processed: m.processed,
+		Dups:      m.dups,
+		Rejected:  m.rejected,
+	})
+}
+
+// Restore replaces the mailbox state from a snapshot.
+func (m *Mailbox) Restore(data []byte) error {
+	var s mailboxState
+	if err := core.DecodeValue(data, &s); err != nil {
+		return err
+	}
+	m.capacity = s.Capacity
+	m.queue = s.Queue
+	m.nextEnq = s.NextEnq
+	m.state = s.State
+	m.hasState = s.HasState
+	m.seen = s.Seen
+	if m.seen == nil {
+		m.seen = make(map[string]uint64)
+	}
+	m.outbox = s.Outbox
+	m.nextOut = s.NextOut
+	m.processed = s.Processed
+	m.dups = s.Dups
+	m.rejected = s.Rejected
+	return nil
+}
+
+var _ core.Snapshotter = (*Mailbox)(nil)
+
+// structArg extracts a typed struct argument.
+func structArg[T any](args []any, i int, method string) (T, error) {
+	var zero T
+	if i >= len(args) {
+		return zero, fmt.Errorf("statefun: %s needs %d argument(s)", method, i+1)
+	}
+	v, ok := args[i].(T)
+	if !ok {
+		return zero, fmt.Errorf("statefun: %s argument %d has type %T, want %T",
+			method, i, args[i], zero)
+	}
+	return v, nil
+}

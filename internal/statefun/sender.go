@@ -1,0 +1,157 @@
+package statefun
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"crucial/internal/core"
+	"crucial/internal/objects"
+)
+
+// ErrMailboxFull is returned when a push bounces off the destination
+// queue's capacity; the message was not enqueued and may be resent.
+var ErrMailboxFull = errors.New("statefun: mailbox full")
+
+// Sender is the client-side sending half of the layer: it allocates
+// per-destination monotonic sequence numbers under a per-destination
+// lock (the dedup windows are max-seq based, so sends to one mailbox
+// must land in order), pushes through the at-most-once write path, and
+// registers newly-nonempty instances in the dispatch directory.
+type Sender struct {
+	inv        core.Invoker
+	from       string
+	mailboxCap int64
+
+	mu    sync.Mutex
+	dests map[string]*destStream
+}
+
+// destStream serializes sends to one destination mailbox.
+type destStream struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+// NewSender builds a sender whose envelopes carry the given identity
+// (unique per sending principal, e.g. derived from the DSO client id)
+// and whose lazily-created mailboxes get the given capacity (0 = default).
+func NewSender(inv core.Invoker, from string, mailboxCap int64) *Sender {
+	if mailboxCap <= 0 {
+		mailboxCap = DefaultMailboxCap
+	}
+	return &Sender{inv: inv, from: from, mailboxCap: mailboxCap, dests: make(map[string]*destStream)}
+}
+
+// From returns the sender identity stamped on outgoing envelopes.
+func (s *Sender) From() string { return s.from }
+
+// stream returns the per-destination sequencer for key.
+func (s *Sender) stream(key string) *destStream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dests[key]
+	if d == nil {
+		d = &destStream{}
+		s.dests[key] = d
+	}
+	return d
+}
+
+// Send enqueues one message for (to.FnType, to.ID). A nil error means the
+// message is durably enqueued exactly once; ErrMailboxFull means it was
+// rejected and not enqueued; any other error leaves it in doubt (at most
+// once — resending may deliver it twice under a new sequence number).
+func (s *Sender) Send(ctx context.Context, to Address, name string, body []byte, replyTo string) error {
+	d := s.stream(to.Key())
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// The sequence number is burned even on error: an errored push may
+	// still have applied, so reusing its number for the next message
+	// could get that message wrongly deduped away.
+	d.next++
+	env := Envelope{To: to, From: s.from, Seq: d.next, Name: name, Body: body, ReplyTo: replyTo}
+	res, err := PushEnvelope(ctx, s.inv, env, s.mailboxCap)
+	if err != nil {
+		return err
+	}
+	switch res.Status {
+	case PushFull:
+		return fmt.Errorf("%w: %s", ErrMailboxFull, to)
+	case PushOK:
+		if res.QueueLen == 1 {
+			return RegisterInstance(ctx, s.inv, to)
+		}
+	}
+	return nil
+}
+
+// Call sends a request message carrying a fresh reply future and blocks
+// until the handler (or one of its downstream functions) completes it,
+// returning the raw reply body.
+func (s *Sender) Call(ctx context.Context, to Address, name string, body []byte, replyKey string) ([]byte, error) {
+	if err := s.Send(ctx, to, name, body, replyKey); err != nil {
+		return nil, err
+	}
+	return AwaitReply(ctx, s.inv, replyKey)
+}
+
+// PushEnvelope ships one envelope to its destination mailbox (creating
+// the mailbox with the given capacity on first touch). Mailboxes are
+// persistent objects: replicated, WAL-logged, and rebalanceable.
+func PushEnvelope(ctx context.Context, inv core.Invoker, env Envelope, mailboxCap int64) (PushResult, error) {
+	if mailboxCap <= 0 {
+		mailboxCap = DefaultMailboxCap
+	}
+	res, err := inv.InvokeObject(ctx, core.Invocation{
+		Ref:     core.Ref{Type: TypeMailbox, Key: env.To.Key()},
+		Method:  "Push",
+		Args:    []any{env},
+		Init:    []any{mailboxCap},
+		Persist: true,
+	})
+	return resultAs[PushResult](res, err)
+}
+
+// RegisterInstance adds the instance to the dispatch directory so
+// engines start draining it. Registration is idempotent; callers invoke
+// it on every empty → nonempty queue transition.
+func RegisterInstance(ctx context.Context, inv core.Invoker, addr Address) error {
+	_, err := inv.InvokeObject(ctx, core.Invocation{
+		Ref:     core.Ref{Type: objects.TypeMap, Key: DirectoryKey},
+		Method:  "Put",
+		Args:    []any{addr.DirEntry(), true},
+		Persist: true,
+	})
+	return err
+}
+
+// AwaitReply blocks on the reply future stored under key and returns the
+// reply body set by the handler.
+func AwaitReply(ctx context.Context, inv core.Invoker, key string) ([]byte, error) {
+	res, err := inv.InvokeObject(ctx, core.Invocation{
+		Ref:    core.Ref{Type: objects.TypeFuture, Key: key},
+		Method: "Get",
+	})
+	body, err := resultAs[[]byte](res, err)
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// DeliverReply completes the reply future named by env.To.ID with the
+// envelope body. A future that is already completed counts as delivered
+// (the redelivery case), so the outbox entry can be acked.
+func DeliverReply(ctx context.Context, inv core.Invoker, env Envelope) error {
+	_, err := inv.InvokeObject(ctx, core.Invocation{
+		Ref:    core.Ref{Type: objects.TypeFuture, Key: env.To.ID},
+		Method: "Set",
+		Args:   []any{env.Body},
+	})
+	if err != nil && !isFutureAlreadySet(err) {
+		return err
+	}
+	return nil
+}

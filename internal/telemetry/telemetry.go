@@ -191,6 +191,28 @@ const (
 	MetChaosFaaSDelays       = "chaos.faas_delays"
 	MetChaosCrashes          = "chaos.crashes"
 	MetChaosRestarts         = "chaos.restarts"
+
+	// Stateful functions layer (DESIGN.md §5i). messages counts handler
+	// commits that applied (each message counted exactly once across the
+	// cluster's engines); sends counts outbox envelopes delivered;
+	// replies counts reply futures completed; dups counts envelopes the
+	// per-sender dedup window rejected (redeliveries doing their job);
+	// mailbox_full counts pushes bounced by backpressure;
+	// handler_failures counts handler errors/panics (each implies a
+	// redelivery); redeliveries counts handler re-runs whose commit found
+	// the message already applied; instances_gc counts idle instances
+	// retired from the dispatch directory. Exported on /metrics as
+	// crucial_statefun_*_total; statefun.dispatch is the per-message
+	// dispatch latency histogram (fetch → commit → outbox drained).
+	MetStatefunMessages        = "statefun.messages"
+	MetStatefunSends           = "statefun.sends"
+	MetStatefunReplies         = "statefun.replies"
+	MetStatefunDups            = "statefun.dups"
+	MetStatefunMailboxFull     = "statefun.mailbox_full"
+	MetStatefunHandlerFailures = "statefun.handler_failures"
+	MetStatefunRedeliveries    = "statefun.redeliveries"
+	MetStatefunInstancesGC     = "statefun.instances_gc"
+	HistStatefunDispatch       = "statefun.dispatch"
 )
 
 // Span names and attributes used along the invocation path.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -127,6 +128,11 @@ type Options struct {
 	// cluster. The zero value (the default) keeps state purely in memory;
 	// DefaultDurabilityPolicy() enables the tier with tested defaults.
 	Durability DurabilityPolicy
+	// Statefun tunes the stateful-functions layer (DESIGN.md §5i):
+	// dispatch concurrency, poll cadence, idle-instance GC and mailbox
+	// capacity. The layer itself boots lazily on the first
+	// DeployStatefulFunction; the zero value uses tested defaults.
+	Statefun StatefunOptions
 	// Telemetry, when non-nil, turns on end-to-end instrumentation: every
 	// layer (cloud threads, FaaS platform, DSO client and servers) records
 	// spans and metrics into this one bundle. Nil (the default) disables
@@ -209,6 +215,12 @@ type Runtime struct {
 	hLifetime    *telemetry.Histogram
 
 	threadSeq atomic.Int64
+
+	// Stateful-functions layer (statefun.go), built lazily on the first
+	// DeployStatefulFunction.
+	sfMu   sync.Mutex
+	sf     *statefunState
+	sfOpts StatefunOptions
 }
 
 // NewLocalRuntime boots the platform and cluster.
@@ -249,6 +261,7 @@ func NewLocalRuntime(opts Options) (*Runtime, error) {
 		profile:      opts.Profile,
 		coldStore:    coldStore,
 		tel:          opts.Telemetry,
+		sfOpts:       opts.Statefun,
 	}
 	if opts.Telemetry != nil {
 		rt.instrumented = true
@@ -354,6 +367,7 @@ func (rt *Runtime) Prewarm(n int) error {
 
 // Close tears the runtime down.
 func (rt *Runtime) Close() error {
+	rt.closeStatefun()
 	var firstErr error
 	if rt.fnClient != nil {
 		if err := rt.fnClient.Close(); err != nil {

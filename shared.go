@@ -6,6 +6,7 @@ import (
 
 	"crucial/internal/core"
 	"crucial/internal/objects"
+	"crucial/internal/statefun"
 )
 
 // User-defined shared objects (the @Shared annotation of the paper).
@@ -44,7 +45,9 @@ type Factory = core.Factory
 // library; register application types on it and pass it to the runtime
 // options.
 func NewTypeRegistry() *TypeRegistry {
-	return objects.BuiltinRegistry()
+	r := objects.BuiltinRegistry()
+	statefun.RegisterTypes(r)
+	return r
 }
 
 // RegisterValue registers a concrete Go type for transport inside shared
