@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Ref uniquely identifies a shared object in the DSO layer. Following the
@@ -110,9 +111,33 @@ var (
 )
 
 // sentinels lists the retryable/recognisable errors for DecodeError.
-var sentinels = []error{
-	ErrWrongNode, ErrUnknownType, ErrUnknownMethod,
-	ErrStopped, ErrRebalancing, ErrNoSuchObject,
+// Layers above core extend it via RegisterErrorSentinel.
+var (
+	sentinelMu sync.RWMutex
+	sentinels  = []error{
+		ErrWrongNode, ErrUnknownType, ErrUnknownMethod,
+		ErrStopped, ErrRebalancing, ErrNoSuchObject,
+	}
+)
+
+// RegisterErrorSentinel adds err to the set DecodeError re-materializes,
+// so layers above core can define errors that survive the wire and keep
+// working with errors.Is on the client side. Like the built-in sentinels,
+// err is recognised by message prefix, so it must travel unwrapped (or
+// wrapped with appended context only). Idempotent; call at init time,
+// before the error can cross the wire.
+func RegisterErrorSentinel(err error) {
+	if err == nil {
+		return
+	}
+	sentinelMu.Lock()
+	defer sentinelMu.Unlock()
+	for _, sent := range sentinels {
+		if sent.Error() == err.Error() {
+			return
+		}
+	}
+	sentinels = append(sentinels, err)
 }
 
 // EncodeError turns an error into its wire representation.
@@ -130,6 +155,8 @@ func DecodeError(s string) error {
 	if s == "" {
 		return nil
 	}
+	sentinelMu.RLock()
+	defer sentinelMu.RUnlock()
 	for _, sent := range sentinels {
 		if matchSentinel(s, sent.Error()) {
 			if s == sent.Error() {

@@ -53,6 +53,18 @@ func TestDecodeErrorEmpty(t *testing.T) {
 	}
 }
 
+func TestRegisterErrorSentinel(t *testing.T) {
+	errCustom := errors.New("layer: custom failure")
+	RegisterErrorSentinel(errCustom)
+	RegisterErrorSentinel(errCustom) // idempotent
+	if got := DecodeError(EncodeError(errCustom)); !errors.Is(got, errCustom) {
+		t.Fatalf("registered sentinel lost identity: %v", got)
+	}
+	if got := DecodeError(errCustom.Error() + ": with context"); !errors.Is(got, errCustom) {
+		t.Fatalf("wrapped registered sentinel not recognised: %v", got)
+	}
+}
+
 func TestDecodeErrorUnknown(t *testing.T) {
 	err := DecodeError("something else broke")
 	if err == nil || err.Error() != "something else broke" {

@@ -20,6 +20,14 @@ var ErrFutureAlreadySet = errors.New("objects: future already completed")
 // they wait.
 var ErrBarrierBroken = errors.New("objects: barrier broken")
 
+func init() {
+	// Callers branch on these with errors.Is after a round trip (e.g. the
+	// statefun layer treats an already-completed reply future as
+	// delivered), so they must survive the wire as sentinels, not text.
+	core.RegisterErrorSentinel(ErrFutureAlreadySet)
+	core.RegisterErrorSentinel(ErrBarrierBroken)
+}
+
 // CyclicBarrier blocks parties callers until all have arrived, then starts
 // a new generation (reusable, like java.util.concurrent.CyclicBarrier).
 // Init: parties (int).

@@ -14,6 +14,7 @@
 package statefun
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -58,6 +59,31 @@ func AddressFromDirEntry(s string) (Address, bool) {
 		return Address{}, false
 	}
 	return Address{FnType: s[:i], ID: s[i+1:]}, true
+}
+
+// ValidateFnType checks that fnType can be registered and addressed:
+// non-empty, no leading '_' (reserved, e.g. ReplyFnType), and no '/'
+// (directory entries are "fnType/id" split at the first '/', so a slash
+// in the type would parse back as a different, handler-less address and
+// strand the instance's messages).
+func ValidateFnType(fnType string) error {
+	if fnType == "" || fnType[0] == '_' || strings.ContainsRune(fnType, '/') {
+		return fmt.Errorf("statefun: invalid function type %q (must be non-empty, not start with '_', not contain '/')", fnType)
+	}
+	return nil
+}
+
+// ValidateAddress checks that an address can be delivered to: a valid
+// function type plus a non-empty ID (a directory entry with an empty ID
+// fails to parse, so such an instance would never be dispatched).
+func ValidateAddress(a Address) error {
+	if err := ValidateFnType(a.FnType); err != nil {
+		return err
+	}
+	if a.ID == "" {
+		return fmt.Errorf("statefun: invalid address %q: empty instance id", a.String())
+	}
+	return nil
 }
 
 // Envelope is one message: destination address, the sender's identity and
@@ -189,15 +215,11 @@ func registerWireTypes() {
 	core.RegisterReadOnlyMethods(TypeMailbox, "Fetch", "Status", "Outbox")
 }
 
-// futureAlreadySetText is the message objects.ErrFutureAlreadySet carries
-// across the wire (it is not a core sentinel, so reply deliverers match
-// it textually to treat a duplicate reply as already delivered).
-var futureAlreadySetText = objects.ErrFutureAlreadySet.Error()
-
 // isFutureAlreadySet reports whether err is the (possibly wire-decoded)
-// future-already-completed error.
+// future-already-completed error. The objects package registers it as a
+// core error sentinel, so errors.Is holds across the wire.
 func isFutureAlreadySet(err error) bool {
-	return err != nil && strings.Contains(err.Error(), futureAlreadySetText)
+	return errors.Is(err, objects.ErrFutureAlreadySet)
 }
 
 // resultAs decodes the single result of a mailbox invocation into T.

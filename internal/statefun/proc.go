@@ -34,8 +34,8 @@ func NewHandlerSet() *HandlerSet { return &HandlerSet{m: make(map[string]Handler
 
 // Register adds the handler for fnType; re-registering a type is an error.
 func (s *HandlerSet) Register(fnType string, h Handler) error {
-	if fnType == "" || fnType[0] == '_' {
-		return fmt.Errorf("statefun: invalid function type %q (must be non-empty, not start with '_')", fnType)
+	if err := ValidateFnType(fnType); err != nil {
+		return err
 	}
 	if h == nil {
 		return errors.New("statefun: nil handler")
@@ -131,6 +131,9 @@ func (c *Ctx) SetState(v any) error {
 // Send stages a message to another instance (or to self); it is
 // enqueued via the outbox after commit, exactly once.
 func (c *Ctx) Send(to Address, name string, body any) error {
+	if err := ValidateAddress(to); err != nil {
+		return err
+	}
 	data, err := EncodeBody(body)
 	if err != nil {
 		return err
@@ -311,12 +314,18 @@ func runHandler(h Handler, c *Ctx, m Msg) (err error) {
 	return h(c, m)
 }
 
-// deliver forwards pending outbox entries in sequence order, stopping at
-// the first failure or full destination to preserve per-destination
-// ordering, then acks the delivered prefix.
+// deliver forwards pending outbox entries in sequence order. A full
+// destination suspends only its own later entries (ordering is
+// per-destination, and skipping everything would let two backpressuring
+// instances head-of-line-block each other forever); any other failure
+// stops the pass. The contiguous delivered prefix is then acked —
+// entries delivered past a skipped one stay in the outbox and dedup as
+// PushDup when resent.
 func (p *Proc) deliver(ctx context.Context, addr Address, pending []OutEntry, report *RunReport) error {
 	var acked uint64
-	var delivered int
+	var ackedCount int
+	contiguous := true
+	var full map[string]bool
 	var stopErr error
 deliverLoop:
 	for _, e := range pending {
@@ -327,6 +336,12 @@ deliverLoop:
 			}
 			p.cReplies.Inc()
 		} else {
+			if full[e.Env.To.Key()] {
+				// An earlier entry bounced off this destination's capacity;
+				// keep its later entries queued to preserve their order.
+				contiguous = false
+				continue
+			}
 			res, err := PushEnvelope(ctx, p.inv, e.Env, p.mailboxCap)
 			if err != nil {
 				stopErr = err
@@ -334,10 +349,15 @@ deliverLoop:
 			}
 			switch res.Status {
 			case PushFull:
-				// Backpressure: leave this and all later entries in the
+				// Backpressure: leave this destination's entries in the
 				// outbox; the next run retries them in order.
 				p.cFull.Inc()
-				break deliverLoop
+				if full == nil {
+					full = make(map[string]bool)
+				}
+				full[e.Env.To.Key()] = true
+				contiguous = false
+				continue
 			case PushOK:
 				p.cSends.Inc()
 				report.Dirty = append(report.Dirty, e.Env.To)
@@ -347,16 +367,31 @@ deliverLoop:
 						break deliverLoop
 					}
 				}
+			case PushDup:
+				// The push applied on an earlier attempt that may have died
+				// between pushing and registering the destination, so the
+				// QueueLen==1 transition is unobservable now. Registration
+				// is idempotent: re-register (and re-hint) whenever the
+				// queue is nonempty rather than strand the message.
+				if res.QueueLen > 0 {
+					if err := RegisterInstance(ctx, p.inv, e.Env.To); err != nil {
+						stopErr = err
+						break deliverLoop
+					}
+					report.Dirty = append(report.Dirty, e.Env.To)
+				}
 			}
 		}
-		acked = e.Seq
-		delivered++
+		if contiguous {
+			acked = e.Seq
+			ackedCount++
+		}
 	}
 	if acked > 0 {
 		if err := p.ackOut(ctx, addr, acked); err != nil {
 			return err
 		}
-		report.OutboxLen = int64(len(pending) - delivered)
+		report.OutboxLen = int64(len(pending) - ackedCount)
 	}
 	return stopErr
 }

@@ -32,6 +32,12 @@ type Sender struct {
 type destStream struct {
 	mu   sync.Mutex
 	next uint64
+	// needReg records a directory registration that a previous Send owed
+	// (its push made the queue nonempty) but failed to complete; the next
+	// Send retries it regardless of the queue length it observes, so a
+	// transient registration failure cannot strand a durably-enqueued
+	// message outside the dispatch directory.
+	needReg bool
 }
 
 // NewSender builds a sender whose envelopes carry the given identity
@@ -64,6 +70,9 @@ func (s *Sender) stream(key string) *destStream {
 // rejected and not enqueued; any other error leaves it in doubt (at most
 // once — resending may deliver it twice under a new sequence number).
 func (s *Sender) Send(ctx context.Context, to Address, name string, body []byte, replyTo string) error {
+	if err := ValidateAddress(to); err != nil {
+		return err
+	}
 	d := s.stream(to.Key())
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -80,10 +89,29 @@ func (s *Sender) Send(ctx context.Context, to Address, name string, body []byte,
 	case PushFull:
 		return fmt.Errorf("%w: %s", ErrMailboxFull, to)
 	case PushOK:
-		if res.QueueLen == 1 {
-			return RegisterInstance(ctx, s.inv, to)
+		if res.QueueLen == 1 || d.needReg {
+			return s.register(ctx, d, to)
+		}
+	case PushDup:
+		// A retry of a push whose first attempt errored after applying —
+		// and possibly before the registration it owed. Registration is
+		// idempotent, so re-register while the queue is nonempty rather
+		// than strand the message outside the directory.
+		if res.QueueLen > 0 || d.needReg {
+			return s.register(ctx, d, to)
 		}
 	}
+	return nil
+}
+
+// register completes the directory registration owed for to, remembering
+// a failure in d so a later Send retries it.
+func (s *Sender) register(ctx context.Context, d *destStream, to Address) error {
+	d.needReg = true
+	if err := RegisterInstance(ctx, s.inv, to); err != nil {
+		return err
+	}
+	d.needReg = false
 	return nil
 }
 
